@@ -1,0 +1,149 @@
+//===- BenchCommon.h - shared bench harness ----------------------*- C++ -*-===//
+///
+/// \file
+/// Shared machinery for the table benches: runs one benchmark program
+/// through VBMC (the paper pipeline: [[.]]_K + SAT-BMC) and the three
+/// stateless baselines, with per-tool wall-clock budgets, and renders
+/// paper-style rows. Every binary accepts:
+///
+///   --budget S      per-tool budget in seconds (default 20)
+///   --smc-budget S  baseline budget (default = --budget)
+///   --full          run the full row set of the paper's table (defaults
+///                   keep a representative subset so the whole bench suite
+///                   finishes in CI time)
+///
+/// Timeouts are printed as T.O like the paper. Verdict sanity (UNSAFE
+/// rows must not come back SAFE and vice versa) is checked and flagged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_BENCH_BENCHCOMMON_H
+#define VBMC_BENCH_BENCHCOMMON_H
+
+#include "bmc/Unroll.h"
+#include "ir/Flatten.h"
+#include "protocols/Protocols.h"
+#include "smc/Smc.h"
+#include "support/Cli.h"
+#include "support/Table.h"
+#include "vbmc/Vbmc.h"
+
+#include <cstdio>
+#include <string>
+
+namespace vbmc::bench {
+
+struct BenchConfig {
+  double VbmcBudget = 10;
+  double SmcBudget = 10;
+  bool Full = false;
+  uint32_t K = 2;
+  uint32_t L = 2;
+
+  static BenchConfig fromArgs(int Argc, char **Argv) {
+    CommandLine CL = CommandLine::parse(Argc, Argv);
+    BenchConfig C;
+    C.VbmcBudget = CL.getDouble("budget", 10);
+    C.SmcBudget = CL.getDouble("smc-budget", C.VbmcBudget);
+    C.Full = CL.hasFlag("full");
+    return C;
+  }
+};
+
+/// One cell: seconds or timeout, plus a verdict-sanity flag.
+struct CellResult {
+  double Seconds = 0;
+  bool TimedOut = false;
+  bool WrongVerdict = false;
+
+  std::string str() const {
+    std::string S = Table::formatSeconds(Seconds, TimedOut);
+    if (WrongVerdict)
+      S += "!";
+    return S;
+  }
+};
+
+/// True when any statement of \p P is a CAS or fence (each executed one
+/// consumes an abstract timestamp, so the stamp pool must be wider).
+inline bool usesCasOrFence(const std::vector<ir::Stmt> &Body) {
+  for (const ir::Stmt &S : Body)
+    if (S.Kind == ir::StmtKind::Cas || S.Kind == ir::StmtKind::Fence ||
+        usesCasOrFence(S.Then) || usesCasOrFence(S.Else))
+      return true;
+  return false;
+}
+
+/// Runs VBMC (translate + SAT backend) on \p P. \p ExpectBug drives the
+/// sanity check: an UNSAFE table row answered SAFE (or vice versa) is a
+/// reproduction failure, flagged with "!".
+inline CellResult runVbmc(const ir::Program &P, uint32_t K, uint32_t L,
+                          double Budget, bool ExpectBug) {
+  bool NeedsCasStamps = false;
+  for (const ir::Process &Proc : P.Procs)
+    NeedsCasStamps |= usesCasOrFence(Proc.Body);
+  driver::VbmcOptions O;
+  O.K = K;
+  O.L = L;
+  O.CasAllowance = NeedsCasStamps ? 6 : 1;
+  O.Backend = driver::BackendKind::Sat;
+  O.BudgetSeconds = Budget;
+  driver::VbmcResult R = driver::checkProgram(P, O);
+  CellResult C;
+  C.Seconds = R.Seconds;
+  C.TimedOut = R.Outcome == driver::Verdict::Unknown;
+  if (!C.TimedOut)
+    C.WrongVerdict = R.unsafe() != ExpectBug;
+  return C;
+}
+
+/// Runs one stateless baseline on the L-unrolled program.
+inline CellResult runSmc(const ir::Program &P, smc::SmcStrategy Strategy,
+                         uint32_t L, double Budget, bool ExpectBug) {
+  ir::FlatProgram FP = ir::flatten(bmc::unrollLoops(P, L));
+  smc::SmcOptions O;
+  O.Strategy = Strategy;
+  O.BudgetSeconds = Budget;
+  smc::SmcResult R = smc::exploreSmc(FP, O);
+  CellResult C;
+  C.Seconds = R.Seconds;
+  C.TimedOut = R.TimedOut || (!R.FoundBug && !R.Complete);
+  if (!C.TimedOut)
+    C.WrongVerdict = R.FoundBug != ExpectBug;
+  return C;
+}
+
+/// Runs the standard four-tool row of the paper's tables.
+inline std::vector<std::string> toolRow(const std::string &Name,
+                                        const ir::Program &P, uint32_t K,
+                                        uint32_t L, const BenchConfig &Cfg,
+                                        bool ExpectBug) {
+  CellResult Vbmc = runVbmc(P, K, L, Cfg.VbmcBudget, ExpectBug);
+  CellResult Tracer =
+      runSmc(P, smc::SmcStrategy::Dpor, L, Cfg.SmcBudget, ExpectBug);
+  CellResult Cdsc =
+      runSmc(P, smc::SmcStrategy::Naive, L, Cfg.SmcBudget, ExpectBug);
+  CellResult Rcmc =
+      runSmc(P, smc::SmcStrategy::Graph, L, Cfg.SmcBudget, ExpectBug);
+  return {Name, Vbmc.str(), Tracer.str(), Cdsc.str(), Rcmc.str()};
+}
+
+inline std::vector<std::string> standardHeader() {
+  return {"Program", "VBMC", "Tracer*", "Cdsc*", "Rcmc*"};
+}
+
+inline void printPreamble(const char *Title, const char *PaperRef,
+                          const BenchConfig &Cfg) {
+  std::printf("== %s ==\n", Title);
+  std::printf("reproduces: %s\n", PaperRef);
+  std::printf("budgets: vbmc %.0fs, baselines %.0fs; rows: %s\n",
+              Cfg.VbmcBudget, Cfg.SmcBudget,
+              Cfg.Full ? "full paper set" : "default subset (--full for "
+                                            "the complete table)");
+  std::printf("baselines marked * are the in-repo stand-ins for "
+              "Tracer/CDSChecker/RCMC (see DESIGN.md)\n\n");
+}
+
+} // namespace vbmc::bench
+
+#endif // VBMC_BENCH_BENCHCOMMON_H

@@ -1,0 +1,79 @@
+//===- ablation_backend.cpp - explicit vs SAT backend ------------*- C++ -*-===//
+//
+// Ablation A (DESIGN.md): the same translated programs decided by the
+// explicit-state context-bounded explorer versus the SAT/BMC pipeline.
+// The paper's prototype only had the CBMC path; this quantifies what the
+// symbolic backend buys as the instance grows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "ir/Parser.h"
+
+using namespace vbmc;
+using namespace vbmc::bench;
+using namespace vbmc::protocols;
+
+namespace {
+
+std::string runBackend(const ir::Program &P, driver::BackendKind B,
+                       uint32_t K, uint32_t L, double Budget,
+                       bool ExpectBug) {
+  driver::VbmcOptions O;
+  O.K = K;
+  O.L = L;
+  O.CasAllowance = 4;
+  O.Backend = B;
+  O.SwitchOnlyAfterWrite = true;
+  O.BudgetSeconds = Budget;
+  driver::VbmcResult R = driver::checkProgram(P, O);
+  bool TO = R.Outcome == driver::Verdict::Unknown;
+  std::string S = Table::formatSeconds(R.Seconds, TO);
+  if (!TO && R.unsafe() != ExpectBug)
+    S += "!";
+  return S;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchConfig Cfg = BenchConfig::fromArgs(Argc, Argv);
+  printPreamble("Ablation A: explicit vs SAT backend on [[P]]_K",
+                "design-choice ablation (not a paper table)", Cfg);
+
+  struct Row {
+    std::string Name;
+    ir::Program Prog;
+    uint32_t K;
+    bool ExpectBug;
+  };
+  std::vector<Row> Rows;
+  Rows.push_back({"MP (K=1)", *ir::parseProgram(R"(
+    var x y;
+    proc p0 { reg d; x = 1; y = 1; }
+    proc p1 { reg r1 r2; r1 = y; r2 = x; assert(!(r1 == 1 && r2 == 1)); }
+  )"), 1, true});
+  Rows.push_back({"sim_dekker_0 (K=2)",
+                  makeSimplifiedDekker(MutexOptions::unfenced(2)), 2, true});
+  Rows.push_back({"peterson_0(2) (K=2)",
+                  makePeterson(MutexOptions::unfenced(2)), 2, true});
+  if (Cfg.Full)
+    Rows.push_back({"szymanski_0(2) (K=2)",
+                    makeSzymanski(MutexOptions::unfenced(2)), 2, true});
+
+  Table T({"Program", "explicit", "sat"});
+  for (Row &R : Rows) {
+    T.addRow({R.Name,
+              runBackend(R.Prog, driver::BackendKind::Explicit, R.K, 2,
+                         Cfg.VbmcBudget, R.ExpectBug),
+              runBackend(R.Prog, driver::BackendKind::Sat, R.K, 2,
+                         Cfg.VbmcBudget, R.ExpectBug)});
+  }
+  std::fputs(T.str().c_str(), stdout);
+  std::puts("\nthe explicit backend enumerates the translation's stamp "
+            "guesses\nstate-by-state and collapses on small programs "
+            "only; the paper's\nchoice of a BMC backend is what makes "
+            "protocol-sized inputs feasible.");
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- ablation_kbound.cpp - how many view switches bugs need ----*- C++ -*-===//
+//
+// Ablation B: sweep the view-switch budget K on the unfenced protocols
+// and report the smallest K exposing each bug (the paper's thesis:
+// "many bugs manifest themselves within a small number of view-switches"
+// — Table 1 uses K = 2, peterson_1 needs K = 4). Ground truth comes from
+// the exact RA explorer, independent of the translation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Flatten.h"
+#include "protocols/Protocols.h"
+#include "ra/RaExplorer.h"
+#include "support/Cli.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace vbmc;
+using namespace vbmc::protocols;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL = CommandLine::parse(Argc, Argv);
+  uint32_t MaxK = static_cast<uint32_t>(CL.getInt("max-k", 4));
+  uint64_t MaxStates =
+      static_cast<uint64_t>(CL.getInt("max-states", 500000));
+
+  std::puts("== Ablation B: minimal view-switch budget per bug ==\n");
+  struct Row {
+    std::string Name;
+    ir::Program Prog;
+  };
+  std::vector<Row> Rows;
+  Rows.push_back(
+      {"sim_dekker_0", makeSimplifiedDekker(MutexOptions::unfenced(2))});
+  Rows.push_back({"peterson_0(2)", makePeterson(MutexOptions::unfenced(2))});
+  Rows.push_back({"dekker_0", makeDekker(MutexOptions::unfenced(2))});
+  Rows.push_back({"burns_0", makeBurns(MutexOptions::unfenced(2))});
+  Rows.push_back({"bakery_0", makeBakery(MutexOptions::unfenced(2))});
+  Rows.push_back(
+      {"szymanski_0", makeSzymanski(MutexOptions::unfenced(2))});
+  Rows.push_back({"peterson_1(3)",
+                  makePeterson(MutexOptions::fencedExcept(3, 0))});
+
+  Table T({"Program", "k=0", "k=1", "k=2", "k=3", "minimal K"});
+  for (Row &Rw : Rows) {
+    ir::FlatProgram FP = ir::flatten(Rw.Prog);
+    std::vector<std::string> Cells = {Rw.Name};
+    std::string MinK = ">" + std::to_string(MaxK - 1);
+    for (uint32_t K = 0; K < MaxK; ++K) {
+      ra::RaQuery Q;
+      Q.Goal = ra::GoalKind::AnyError;
+      Q.ViewSwitchBound = K;
+      Q.MaxStates = MaxStates;
+      ra::RaResult R = ra::exploreRa(FP, Q);
+      Cells.push_back(R.reached()     ? "bug"
+                      : R.exhausted() ? "safe"
+                                      : "cap");
+      if (R.reached() && MinK[0] == '>')
+        MinK = std::to_string(K);
+    }
+    Cells.push_back(MinK);
+    T.addRow(Cells);
+  }
+  std::fputs(T.str().c_str(), stdout);
+  std::puts("\npaper shape: every Table 1 bug appears by K = 2; the"
+            "\nfenced-except-one variants need slightly larger budgets.");
+  return 0;
+}

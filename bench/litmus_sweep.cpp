@@ -1,0 +1,80 @@
+//===- litmus_sweep.cpp - the Section 7 litmus experiment --------*- C++ -*-===//
+//
+// "We first applied VBMC to a set of litmus benchmarks ... We were able
+// to successfully run all 4004 of them, with K <= 5 ... The output result
+// returned by VBMC matches the ones returned by the Herd tool together
+// with the RA-axioms provided in [24]."
+//
+// Two sweeps:
+//  1. operational-vs-axiomatic on a large generated family (the two
+//     independent RA implementations must agree on every test);
+//  2. the full VBMC pipeline (translate + SAT) against the axiomatic
+//     oracle on the classic shapes plus a family subset.
+//
+// Flags: --family N (default 400; the paper had 4004 curated files),
+//        --vbmc-tests N (default 6), --budget S.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Litmus.h"
+#include "support/Cli.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
+using namespace vbmc;
+using namespace vbmc::litmus;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL = CommandLine::parse(Argc, Argv);
+  uint32_t FamilyCount = static_cast<uint32_t>(CL.getInt("family", 300));
+  uint32_t VbmcTests = static_cast<uint32_t>(CL.getInt("vbmc-tests", 3));
+  double Budget = CL.getDouble("budget", 45);
+
+  std::puts("== litmus sweep (PLDI'19 Section 7, litmus paragraph) ==\n");
+
+  Timer Watch;
+  auto Classics = classicTests();
+  Rng R(4004);
+  FamilyOptions FO;
+  FO.Count = FamilyCount;
+  auto Family = generateFamily(R, FO);
+  std::printf("generated %zu classic + %u random tests in %.1fs\n",
+              Classics.size(), FamilyCount, Watch.elapsedSeconds());
+
+  // Sweep 1: operational vs axiomatic on everything.
+  Watch.restart();
+  auto All = Classics;
+  All.insert(All.end(), Family.begin(), Family.end());
+  SweepResult Op = runOperationalSweep(All);
+  std::printf("operational vs axiomatic: %u/%u agree (%.1fs)\n",
+              Op.Agreements, Op.TestsRun, Watch.elapsedSeconds());
+  for (const auto &M : Op.Mismatches)
+    std::printf("  MISMATCH: %s\n", M.c_str());
+
+  // Sweep 2: the full VBMC pipeline on the classics + family head.
+  std::vector<LitmusTest> VbmcSet;
+  for (auto &T : Classics)
+    if (T.Prog.numProcs() <= 2 && VbmcSet.size() < VbmcTests)
+      VbmcSet.push_back(T);
+  for (auto &T : Family)
+    if (T.Prog.numProcs() <= 2 && VbmcSet.size() < VbmcTests)
+      VbmcSet.push_back(T);
+  Watch.restart();
+  SweepOptions SO;
+  SO.BudgetSeconds = Budget;
+  SO.MaxPositiveQueriesPerTest = 2;
+  SweepResult Vb = runVbmcSweep(VbmcSet, SO);
+  std::printf("VBMC (translate + SAT) vs axiomatic: %u agree, %u "
+              "inconclusive (budget), %zu contradictions over %u queries "
+              "(%.1fs)\n",
+              Vb.Agreements, Vb.Inconclusive, Vb.Mismatches.size(),
+              Vb.QueriesRun, Watch.elapsedSeconds());
+  for (const auto &M : Vb.Mismatches)
+    std::printf("  MISMATCH: %s\n", M.c_str());
+
+  bool Ok = Op.allAgree() && Vb.allAgree();
+  std::printf("\nresult: %s (paper: all 4004 matched Herd)\n",
+              Ok ? "all verdicts agree" : "DISAGREEMENT FOUND");
+  return Ok ? 0 : 1;
+}

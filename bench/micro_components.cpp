@@ -1,0 +1,143 @@
+//===- micro_components.cpp - component microbenchmarks ----------*- C++ -*-===//
+//
+// google-benchmark timings of the individual engines: RA step
+// enumeration and canonicalization, SC stepping, the [[.]]_K translation,
+// the BMC circuit encoder, and the CDCL solver on planted 3-SAT.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bmc/Encoder.h"
+#include "ir/Parser.h"
+#include "protocols/Protocols.h"
+#include "ra/RaSemantics.h"
+#include "sat/Solver.h"
+#include "sc/ScSemantics.h"
+#include "support/Rng.h"
+#include "translation/Translate.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace vbmc;
+
+namespace {
+
+ir::FlatProgram petersonFlat() {
+  static ir::FlatProgram FP = ir::flatten(
+      protocols::makePeterson(protocols::MutexOptions::unfenced(2)));
+  return FP;
+}
+
+void BM_RaStepEnumeration(benchmark::State &State) {
+  ir::FlatProgram FP = petersonFlat();
+  ra::RaConfig C = ra::initialConfig(FP);
+  // Walk a few steps in so the message pool is non-trivial.
+  std::vector<ra::RaStep> Steps;
+  for (int I = 0; I < 6; ++I) {
+    Steps.clear();
+    ra::enumerateSteps(FP, C, Steps);
+    if (Steps.empty())
+      break;
+    C = Steps.front().Next;
+  }
+  for (auto _ : State) {
+    Steps.clear();
+    ra::enumerateSteps(FP, C, Steps);
+    benchmark::DoNotOptimize(Steps.size());
+  }
+}
+BENCHMARK(BM_RaStepEnumeration);
+
+void BM_RaConfigSerialize(benchmark::State &State) {
+  ir::FlatProgram FP = petersonFlat();
+  ra::RaConfig C = ra::initialConfig(FP);
+  std::vector<uint32_t> Key;
+  for (auto _ : State) {
+    C.serialize(Key);
+    benchmark::DoNotOptimize(Key.size());
+  }
+}
+BENCHMARK(BM_RaConfigSerialize);
+
+void BM_ScStepEnumeration(benchmark::State &State) {
+  ir::FlatProgram FP = petersonFlat();
+  sc::ScConfig C = sc::initialScConfig(FP);
+  std::vector<sc::ScStep> Steps;
+  for (auto _ : State) {
+    Steps.clear();
+    sc::enumerateScSteps(FP, C, Steps);
+    benchmark::DoNotOptimize(Steps.size());
+  }
+}
+BENCHMARK(BM_ScStepEnumeration);
+
+void BM_Translation(benchmark::State &State) {
+  ir::Program P =
+      protocols::makePeterson(protocols::MutexOptions::fencedAll(2));
+  for (auto _ : State) {
+    translation::TranslationOptions TO;
+    TO.K = 2;
+    auto TR = translation::translateToSc(P, TO);
+    benchmark::DoNotOptimize(TR.Prog.numVars());
+  }
+}
+BENCHMARK(BM_Translation);
+
+void BM_Parser(benchmark::State &State) {
+  std::string Src = R"(
+    var x y turn;
+    proc p0 { reg r1 r2;
+      x = 1; turn = 1; r1 = turn; while (r1 == 1) { r2 = y; r1 = turn; }
+      assert(r2 >= 0); }
+    proc p1 { reg s1; y = 1; turn = 0; s1 = x; }
+  )";
+  for (auto _ : State) {
+    auto P = ir::parseProgram(Src);
+    benchmark::DoNotOptimize(P ? P->numProcs() : 0u);
+  }
+}
+BENCHMARK(BM_Parser);
+
+void BM_BmcEncodeMp(benchmark::State &State) {
+  auto P = ir::parseProgram(R"(
+    var x y;
+    proc p0 { reg d; x = 1; y = 1; }
+    proc p1 { reg r1 r2; r1 = y; r2 = x; assert(!(r1 == 1 && r2 == 0)); }
+  )");
+  for (auto _ : State) {
+    bmc::BmcOptions O;
+    O.ContextBound = 3;
+    O.UnrollBound = 1;
+    auto R = bmc::checkBmc(*P, O);
+    benchmark::DoNotOptimize(R.safe());
+  }
+}
+BENCHMARK(BM_BmcEncodeMp);
+
+void BM_SatPlanted3Sat(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    Rng R(State.iterations());
+    sat::Solver S;
+    const uint32_t N = 150;
+    std::vector<bool> Plant;
+    for (uint32_t I = 0; I < N; ++I) {
+      (void)S.newVar();
+      Plant.push_back(R.nextChance(1, 2));
+    }
+    for (uint32_t I = 0; I < 4 * N; ++I) {
+      std::vector<sat::Lit> C;
+      for (int J = 0; J < 3; ++J)
+        C.push_back(sat::Lit(static_cast<sat::Var>(R.nextBelow(N)),
+                             R.nextChance(1, 2)));
+      C[0] = sat::Lit(C[0].var(), !Plant[C[0].var()]);
+      S.addClause(C);
+    }
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(S.solve());
+  }
+}
+BENCHMARK(BM_SatPlanted3Sat);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+//===- table1_unfenced.cpp - Table 1 ----------------------------*- C++ -*-===//
+//
+// Table 1 of the paper: time to find the RA bug in the original unfenced
+// mutual-exclusion protocols (SV-COMP versions), loop unrolling L = 2,
+// VBMC with K = 2, against the three stateless baselines. All rows are
+// UNSAFE under RA.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace vbmc;
+using namespace vbmc::bench;
+using namespace vbmc::protocols;
+
+int main(int Argc, char **Argv) {
+  BenchConfig Cfg = BenchConfig::fromArgs(Argc, Argv);
+  Cfg.K = 2;
+  Cfg.L = 2;
+  // The paper's headline table: give the prototype solver more room by
+  // default so most rows complete (override with --budget).
+  CommandLine CL = CommandLine::parse(Argc, Argv);
+  if (!CL.hasFlag("budget"))
+    Cfg.VbmcBudget = 45;
+  printPreamble("Table 1: unfenced mutual-exclusion protocols (UNSAFE)",
+                "PLDI'19 Table 1 (K = 2, L = 2)", Cfg);
+
+  struct Row {
+    const char *Name;
+    ir::Program Prog;
+  };
+  std::vector<Row> Rows;
+  Rows.push_back({"bakery", makeBakery(MutexOptions::unfenced(2))});
+  Rows.push_back({"burns", makeBurns(MutexOptions::unfenced(2))});
+  Rows.push_back({"dekker", makeDekker(MutexOptions::unfenced(2))});
+  Rows.push_back({"lamport", makeLamportFast(MutexOptions::unfenced(2))});
+  Rows.push_back({"peterson_0", makePeterson(MutexOptions::unfenced(2))});
+  Rows.push_back(
+      {"peterson_0(3)", makePeterson(MutexOptions::unfenced(3))});
+  Rows.push_back(
+      {"sim_dekker", makeSimplifiedDekker(MutexOptions::unfenced(2))});
+  Rows.push_back({"szymanski_0", makeSzymanski(MutexOptions::unfenced(2))});
+
+  Table T(standardHeader());
+  for (Row &R : Rows)
+    T.addRow(toolRow(R.Name, R.Prog, Cfg.K, Cfg.L, Cfg,
+                     /*ExpectBug=*/true));
+  std::fputs(T.str().c_str(), stdout);
+  std::puts("\npaper shape: every tool finds each bug; the SMC baselines"
+            "\nare much faster on these shallow bugs (buggy-execution"
+            "\nratio 0.1-0.5), exactly as Section 7 discusses.");
+  return 0;
+}

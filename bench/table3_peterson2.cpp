@@ -1,0 +1,37 @@
+//===- table3_peterson2.cpp - Table 3 ---------------------------*- C++ -*-===//
+//
+// Table 3: peterson_2(N) — fully fenced Peterson with a one-line bug
+// injected into a FIXED (first) thread, N = 3..7. All buggy executions
+// must pass through that thread, so the buggy-execution probability is
+// low and drops further with N. The paper observes Tracer and CDSChecker
+// degrading with N while RCMC's search order happens to find this one
+// fast — our stand-ins reproduce the order-dependence (ascending order
+// suffers, descending order benefits when the bug is in thread 0 only
+// because fewer competitors precede... see Table 4 for the flip).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace vbmc;
+using namespace vbmc::bench;
+using namespace vbmc::protocols;
+
+int main(int Argc, char **Argv) {
+  BenchConfig Cfg = BenchConfig::fromArgs(Argc, Argv);
+  Cfg.L = 2;
+  printPreamble("Table 3: peterson_2(N), bug in the first thread (UNSAFE)",
+                "PLDI'19 Table 3 (K = 2, L = 2)", Cfg);
+
+  std::vector<uint32_t> Threads = Cfg.Full
+                                      ? std::vector<uint32_t>{3, 4, 5, 6, 7}
+                                      : std::vector<uint32_t>{3, 4, 5};
+  Table T(standardHeader());
+  for (uint32_t N : Threads) {
+    ir::Program P = makePeterson(MutexOptions::fencedBuggy(N, 0));
+    T.addRow(toolRow("peterson_2(" + std::to_string(N) + ")", P, /*K=*/2,
+                     Cfg.L, Cfg, /*ExpectBug=*/true));
+  }
+  std::fputs(T.str().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,32 @@
+//===- table5_szymanski2.cpp - Table 5 --------------------------*- C++ -*-===//
+//
+// Table 5: szymanski_2(N) — fenced Szymanski with the one-line bug in a
+// fixed thread, N = 3..7. The paper reports all three SMC tools timing
+// out by N = 5..6 while VBMC stays in seconds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace vbmc;
+using namespace vbmc::bench;
+using namespace vbmc::protocols;
+
+int main(int Argc, char **Argv) {
+  BenchConfig Cfg = BenchConfig::fromArgs(Argc, Argv);
+  Cfg.L = 2;
+  printPreamble("Table 5: szymanski_2(N), bug in a fixed thread (UNSAFE)",
+                "PLDI'19 Table 5 (K = 2, L = 2)", Cfg);
+
+  std::vector<uint32_t> Threads = Cfg.Full
+                                      ? std::vector<uint32_t>{3, 4, 5, 6, 7}
+                                      : std::vector<uint32_t>{3, 4, 5};
+  Table T(standardHeader());
+  for (uint32_t N : Threads) {
+    ir::Program P = makeSzymanski(MutexOptions::fencedBuggy(N, 0));
+    T.addRow(toolRow("szymanski_2(" + std::to_string(N) + ")", P, /*K=*/2,
+                     Cfg.L, Cfg, /*ExpectBug=*/true));
+  }
+  std::fputs(T.str().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,71 @@
+//===- table678_safe.cpp - Tables 6, 7, 8 -----------------------*- C++ -*-===//
+//
+// Tables 6-8: the SAFE (fully fenced) protocols at growing loop bounds
+// L = 1, 2, 4 with K = 2. These measure search-space coverage: the paper
+// shows the SMC tools' running time exploding as L doubles (tbar(3) goes
+// from sub-second at L = 1 to timeout at L = 2) while VBMC scales with
+// the code size.
+//
+// One binary prints all three tables; --table 6|7|8 selects one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace vbmc;
+using namespace vbmc::bench;
+using namespace vbmc::protocols;
+
+namespace {
+
+void runTable(uint32_t L, const BenchConfig &Cfg) {
+  std::printf("-- Table %u: SAFE fenced protocols, K = 2, L = %u --\n",
+              L == 1 ? 6u : L == 2 ? 7u : 8u, L);
+  struct Row {
+    std::string Name;
+    ir::Program Prog;
+  };
+  std::vector<Row> Rows;
+  Rows.push_back({"bakery", makeBakery(MutexOptions::fencedAll(2))});
+  Rows.push_back({"lamport", makeLamportFast(MutexOptions::fencedAll(2))});
+  Rows.push_back({"tbar(2)", makeTicketBarrier(MutexOptions::fencedAll(2))});
+  Rows.push_back({"tbar(3)", makeTicketBarrier(MutexOptions::fencedAll(3))});
+  Rows.push_back(
+      {"peterson_4(2)", makePeterson(MutexOptions::fencedAll(2))});
+  if (Cfg.Full)
+    Rows.push_back(
+        {"peterson_4(3)", makePeterson(MutexOptions::fencedAll(3))});
+
+  Table T(standardHeader());
+  for (Row &R : Rows)
+    T.addRow(toolRow(R.Name, R.Prog, /*K=*/2, L, Cfg,
+                     /*ExpectBug=*/false));
+  std::fputs(T.str().c_str(), stdout);
+  std::puts("");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchConfig Cfg = BenchConfig::fromArgs(Argc, Argv);
+  CommandLine CL = CommandLine::parse(Argc, Argv);
+  int64_t Only = CL.getInt("table", 0);
+  printPreamble("Tables 6-8: SAFE cases at L = 1, 2, 4",
+                "PLDI'19 Tables 6, 7, 8 (K = 2)", Cfg);
+  if (Only == 0 || Only == 6)
+    runTable(1, Cfg);
+  if (Only == 0 || Only == 7)
+    runTable(2, Cfg);
+  if ((Only == 0 && Cfg.Full) || Only == 8)
+    runTable(4, Cfg);
+  else if (Only == 0)
+    std::puts("(Table 8 at L = 4 skipped by default; pass --full or "
+              "--table 8)");
+  std::puts("paper shape: doubling L blows the SMC baselines up "
+            "(exponentially more executions to enumerate); the symbolic "
+            "backend degrades gracefully. SAFE verdicts from VBMC require "
+            "an UNSAT proof, the hardest part for our from-scratch CDCL -- "
+            "T.O entries here reflect the prototype solver, not the "
+            "method (the paper used CBMC).");
+  return 0;
+}

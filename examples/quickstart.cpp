@@ -1,0 +1,85 @@
+//===- quickstart.cpp - first steps with the VBMC library --------*- C++ -*-===//
+//
+// Demonstrates the core workflow on the message-passing idiom:
+//   1. write a concurrent program in the Fig. 1 concrete syntax,
+//   2. explore it under the exact RA semantics,
+//   3. run the paper's pipeline: translate with [[.]]_K and decide with a
+//      context-bounded SC backend (explicit and SAT),
+//   4. inspect the counterexample.
+//
+// Build: cmake --build build --target example_quickstart
+// Run:   ./build/examples/example_quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ra/RaExplorer.h"
+#include "vbmc/Vbmc.h"
+
+#include <cstdio>
+
+using namespace vbmc;
+
+int main() {
+  // Message passing: p0 publishes data (x) then raises a flag (y); p1
+  // polls the flag and reads the data. The assert claims p1 can never see
+  // both writes -- which is false, so VBMC should find a counterexample.
+  const char *Source = R"(
+    var x y;
+
+    proc p0 {
+      reg d;
+      x = 42;
+      y = 1;
+    }
+
+    proc p1 {
+      reg flag data;
+      flag = y;
+      data = x;
+      assert(!(flag == 1 && data == 42));
+    }
+  )";
+
+  auto Parsed = ir::parseProgram(Source);
+  if (!Parsed) {
+    std::fprintf(stderr, "parse error: %s\n", Parsed.error().str().c_str());
+    return 1;
+  }
+  std::puts("== input program ==");
+  std::fputs(ir::printProgram(*Parsed).c_str(), stdout);
+
+  // Ground truth: exact RA exploration with a view-switch budget.
+  ir::FlatProgram FP = ir::flatten(*Parsed);
+  for (uint32_t K = 0; K <= 2; ++K) {
+    ra::RaQuery Q;
+    Q.Goal = ra::GoalKind::AnyError;
+    Q.ViewSwitchBound = K;
+    ra::RaResult R = ra::exploreRa(FP, Q);
+    std::printf("RA explorer, k=%u: %s (%llu states)\n", K,
+                R.reached() ? "UNSAFE" : "safe within bound",
+                static_cast<unsigned long long>(R.StatesVisited));
+    if (R.reached()) {
+      std::puts("  witness run:");
+      std::fputs(ra::formatTrace(FP, R.Trace).c_str(), stdout);
+    }
+  }
+
+  // The paper's pipeline: [[P]]_K + context-bounded SC.
+  for (auto Backend :
+       {driver::BackendKind::Explicit, driver::BackendKind::Sat}) {
+    driver::VbmcOptions Opts;
+    Opts.K = 1;
+    Opts.L = 1;
+    Opts.CasAllowance = 2;
+    Opts.Backend = Backend;
+    driver::VbmcResult R = driver::checkProgram(*Parsed, Opts);
+    std::printf("VBMC (%s backend, K=1): %s in %.3fs\n",
+                Backend == driver::BackendKind::Explicit ? "explicit"
+                                                         : "sat",
+                R.unsafe() ? "UNSAFE" : R.safe() ? "SAFE" : "UNKNOWN",
+                R.Seconds);
+  }
+  return 0;
+}

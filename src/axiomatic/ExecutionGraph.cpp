@@ -1,0 +1,394 @@
+//===- ExecutionGraph.cpp - RA axioms and enumeration -----------*- C++ -*-===//
+
+#include "axiomatic/ExecutionGraph.h"
+
+#include "ir/Eval.h"
+
+#include <algorithm>
+
+using namespace vbmc;
+using namespace vbmc::axiomatic;
+using ir::Program;
+using ir::Stmt;
+using ir::StmtKind;
+
+namespace {
+
+/// Dense boolean relation over events with transitive closure.
+class Relation {
+public:
+  explicit Relation(uint32_t N) : N(N), Bits(N * N, 0) {}
+
+  void add(uint32_t A, uint32_t B) { Bits[A * N + B] = 1; }
+  bool has(uint32_t A, uint32_t B) const { return Bits[A * N + B]; }
+
+  void closeTransitively() {
+    for (uint32_t K = 0; K < N; ++K)
+      for (uint32_t I = 0; I < N; ++I) {
+        if (!Bits[I * N + K])
+          continue;
+        for (uint32_t J = 0; J < N; ++J)
+          if (Bits[K * N + J])
+            Bits[I * N + J] = 1;
+      }
+  }
+
+  bool irreflexive() const {
+    for (uint32_t I = 0; I < N; ++I)
+      if (Bits[I * N + I])
+        return false;
+    return true;
+  }
+
+private:
+  uint32_t N;
+  std::vector<uint8_t> Bits;
+};
+
+/// Adds po and rf edges of \p G into \p R (Init events before all).
+void addHbBase(const ExecutionGraph &G, Relation &R) {
+  // po: consecutive events of the same process; Init -> first events.
+  std::vector<int64_t> LastOf; // Proc -> last event seen.
+  for (uint32_t E = 0; E < G.numEvents(); ++E) {
+    const Event &Ev = G.Events[E];
+    if (Ev.Kind == EventKind::Init) {
+      // Init precedes every non-init event (added lazily below).
+      continue;
+    }
+    if (Ev.Proc >= LastOf.size())
+      LastOf.resize(Ev.Proc + 1, -1);
+    if (LastOf[Ev.Proc] >= 0)
+      R.add(static_cast<uint32_t>(LastOf[Ev.Proc]), E);
+    LastOf[Ev.Proc] = E;
+  }
+  for (uint32_t I = 0; I < G.numEvents(); ++I) {
+    if (G.Events[I].Kind != EventKind::Init)
+      continue;
+    for (uint32_t E = 0; E < G.numEvents(); ++E)
+      if (G.Events[E].Kind != EventKind::Init)
+        R.add(I, E);
+  }
+  // rf.
+  for (uint32_t E = 0; E < G.numEvents(); ++E)
+    if (G.Events[E].reads())
+      R.add(G.Rf[E], E);
+}
+
+} // namespace
+
+bool vbmc::axiomatic::checkRaConsistent(const ExecutionGraph &G) {
+  uint32_t N = G.numEvents();
+  Relation Hb(N);
+  addHbBase(G, Hb);
+  Hb.closeTransitively();
+  if (!Hb.irreflexive())
+    return false;
+
+  // eco = (rf U mo U fr)+ with fr = rf^-1 ; mo.
+  Relation Eco(N);
+  for (uint32_t E = 0; E < N; ++E)
+    if (G.Events[E].reads())
+      Eco.add(G.Rf[E], E);
+  // mo: Init(x) first, then Mo[x] in order.
+  for (VarId X = 0; X < G.Mo.size(); ++X) {
+    const auto &Seq = G.Mo[X];
+    // Find Init(x).
+    uint32_t InitE = ~0u;
+    for (uint32_t E = 0; E < N; ++E)
+      if (G.Events[E].Kind == EventKind::Init && G.Events[E].Var == X)
+        InitE = E;
+    for (size_t I = 0; I < Seq.size(); ++I) {
+      if (InitE != ~0u)
+        Eco.add(InitE, Seq[I]);
+      for (size_t J = I + 1; J < Seq.size(); ++J)
+        Eco.add(Seq[I], Seq[J]);
+    }
+    // fr: for each read r of x from w, r is eco-before every write
+    // mo-after w.
+    for (uint32_t E = 0; E < N; ++E) {
+      if (!G.Events[E].reads() || G.Events[E].Var != X)
+        continue;
+      uint32_t W = G.Rf[E];
+      bool Passed = W == InitE;
+      for (uint32_t WAfter : Seq) {
+        if (Passed && WAfter != E)
+          Eco.add(E, WAfter);
+        if (WAfter == W)
+          Passed = true;
+      }
+    }
+  }
+  Eco.closeTransitively();
+
+  // Coherence: no hb edge opposed by eco (together with hb irreflexivity
+  // this is irreflexive(hb ; eco^?)).
+  for (uint32_t A = 0; A < N; ++A)
+    for (uint32_t B = 0; B < N; ++B)
+      if (Hb.has(A, B) && Eco.has(B, A))
+        return false;
+  if (!Eco.irreflexive())
+    return false;
+
+  // Atomicity: an update is mo-adjacent to the write it reads.
+  for (uint32_t E = 0; E < N; ++E) {
+    if (G.Events[E].Kind != EventKind::Update)
+      continue;
+    uint32_t W = G.Rf[E];
+    const auto &Seq = G.Mo[G.Events[E].Var];
+    if (G.Events[W].Kind == EventKind::Init) {
+      if (Seq.empty() || Seq.front() != E)
+        return false;
+      continue;
+    }
+    auto It = std::find(Seq.begin(), Seq.end(), W);
+    if (It == Seq.end() || It + 1 == Seq.end() || *(It + 1) != E)
+      return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// One shared operation of a thread plus the local statements that
+/// precede it (or trail the thread for the final marker).
+struct ThreadOp {
+  const Stmt *S = nullptr; ///< Read/Write/Cas, or null for "end of thread".
+  std::vector<const Stmt *> LocalsBefore; ///< Assign/Assume/Assert.
+  uint32_t EventIdx = ~0u;
+};
+
+/// Enumeration state for enumerateRaOutcomes.
+class OutcomeEnumerator {
+public:
+  explicit OutcomeEnumerator(const Program &P) : P(P) {}
+
+  ErrorOr<std::set<std::vector<Value>>> run() {
+    if (auto Err = buildSkeleton())
+      return *Err;
+    enumerateRf(0);
+    return std::move(Outcomes);
+  }
+
+private:
+  std::optional<Diagnostic> buildSkeleton() {
+    // Init events, one per variable.
+    for (VarId X = 0; X < P.numVars(); ++X) {
+      Event E;
+      E.Kind = EventKind::Init;
+      E.Var = X;
+      G.Events.push_back(E);
+    }
+    Threads.resize(P.numProcs());
+    for (uint32_t PI = 0; PI < P.numProcs(); ++PI) {
+      std::vector<const Stmt *> Pending;
+      uint32_t Index = 0;
+      for (const Stmt &S : P.Procs[PI].Body) {
+        switch (S.Kind) {
+        case StmtKind::Assign:
+          if (S.E->kind() == ir::ExprKind::Nondet)
+            return Diagnostic("axiomatic oracle does not support nondet");
+          [[fallthrough]];
+        case StmtKind::Assume:
+        case StmtKind::Assert:
+          Pending.push_back(&S);
+          break;
+        case StmtKind::Term:
+          break; // Trailing locals after term never run; keep simple.
+        case StmtKind::Read:
+        case StmtKind::Write:
+        case StmtKind::Cas: {
+          ThreadOp Op;
+          Op.S = &S;
+          Op.LocalsBefore = std::move(Pending);
+          Pending.clear();
+          Event E;
+          E.Proc = PI;
+          E.IndexInProc = Index++;
+          E.Var = S.Var;
+          E.Kind = S.Kind == StmtKind::Read    ? EventKind::Read
+                   : S.Kind == StmtKind::Write ? EventKind::Write
+                                               : EventKind::Update;
+          Op.EventIdx = G.numEvents();
+          G.Events.push_back(E);
+          Threads[PI].push_back(std::move(Op));
+          break;
+        }
+        default:
+          return Diagnostic("axiomatic oracle requires straight-line "
+                            "programs (no if/while/fence/atomic)");
+        }
+      }
+      // Trailing local statements run after the last shared op.
+      ThreadOp End;
+      End.LocalsBefore = std::move(Pending);
+      Threads[PI].push_back(std::move(End));
+    }
+    G.Rf.assign(G.numEvents(), ~0u);
+    // Collect read events and same-variable write candidates.
+    for (uint32_t E = 0; E < G.numEvents(); ++E)
+      if (G.Events[E].reads())
+        ReadEvents.push_back(E);
+    return std::nullopt;
+  }
+
+  /// Depth-first choice of a writer for each read event.
+  void enumerateRf(size_t ReadIdx) {
+    if (ReadIdx == ReadEvents.size()) {
+      evaluateCandidate();
+      return;
+    }
+    uint32_t R = ReadEvents[ReadIdx];
+    for (uint32_t W = 0; W < G.numEvents(); ++W) {
+      if (!G.Events[W].writes() || G.Events[W].Var != G.Events[R].Var ||
+          W == R)
+        continue;
+      G.Rf[R] = W;
+      enumerateRf(ReadIdx + 1);
+    }
+    G.Rf[R] = ~0u;
+  }
+
+  /// With rf fixed: check po U rf acyclicity, compute values, check
+  /// completion, then search for a consistent mo.
+  void evaluateCandidate() {
+    // Acyclicity of po U rf.
+    uint32_t N = G.numEvents();
+    Relation HbBase(N);
+    addHbBase(G, HbBase);
+    HbBase.closeTransitively();
+    if (!HbBase.irreflexive())
+      return;
+
+    // Evaluate all threads sequentially; read values come from the rf
+    // sources, whose written values are computed on demand. Since po U rf
+    // is acyclic, a simple per-thread evaluation ordered by a topological
+    // pass terminates; we realize it as memoized recursion.
+    WrittenValue.assign(N, std::nullopt);
+    std::vector<Value> FinalRegs(P.numRegs(), 0);
+    for (uint32_t PI = 0; PI < P.numProcs(); ++PI) {
+      std::vector<Value> Regs(P.numRegs(), 0);
+      if (!evalThread(PI, Threads[PI].size(), Regs))
+        return; // Incomplete execution (assume/assert/CAS mismatch).
+      for (uint32_t R = 0; R < P.numRegs(); ++R)
+        if (P.Regs[R].Process == PI)
+          FinalRegs[R] = Regs[R];
+    }
+
+    // rf value sanity (a read observes exactly the written value).
+    for (uint32_t E : ReadEvents)
+      G.Events[E].ValueRead = writtenValueOf(G.Rf[E]);
+
+    if (findConsistentMo())
+      Outcomes.insert(FinalRegs);
+  }
+
+  Value writtenValueOf(uint32_t W) {
+    if (G.Events[W].Kind == EventKind::Init)
+      return 0;
+    if (!WrittenValue[W]) {
+      std::vector<Value> Regs(P.numRegs(), 0);
+      // Evaluate the owning thread until the event is computed.
+      evalThreadUntilEvent(G.Events[W].Proc, W, Regs);
+    }
+    assert(WrittenValue[W] && "write value not computed (rf cycle?)");
+    return *WrittenValue[W];
+  }
+
+  /// Runs thread \p PI up to (and including) the op producing event \p W.
+  void evalThreadUntilEvent(uint32_t PI, uint32_t W,
+                            std::vector<Value> &Regs) {
+    for (const ThreadOp &Op : Threads[PI]) {
+      for (const Stmt *L : Op.LocalsBefore)
+        if (L->Kind == StmtKind::Assign)
+          Regs[L->Reg] = ir::evalExpr(*L->E, Regs);
+      if (!Op.S)
+        return;
+      applySharedOp(Op, Regs);
+      if (Op.EventIdx == W)
+        return;
+    }
+  }
+
+  void applySharedOp(const ThreadOp &Op, std::vector<Value> &Regs) {
+    const Stmt &S = *Op.S;
+    if (S.Kind == StmtKind::Read) {
+      Regs[S.Reg] = writtenValueOf(G.Rf[Op.EventIdx]);
+      return;
+    }
+    if (S.Kind == StmtKind::Write) {
+      WrittenValue[Op.EventIdx] = ir::evalExpr(*S.E, Regs);
+      return;
+    }
+    // CAS: the new value is written; the expected-value check happens in
+    // evalThread (it decides completion, not the value).
+    WrittenValue[Op.EventIdx] = ir::evalExpr(*S.E2, Regs);
+  }
+
+  /// Full evaluation of thread \p PI (first \p Ops ops); returns false
+  /// when an assume/assert fails or a CAS does not see its expectation.
+  bool evalThread(uint32_t PI, size_t Ops, std::vector<Value> &Regs) {
+    for (size_t I = 0; I < Ops; ++I) {
+      const ThreadOp &Op = Threads[PI][I];
+      for (const Stmt *L : Op.LocalsBefore) {
+        if (L->Kind == StmtKind::Assign) {
+          Regs[L->Reg] = ir::evalExpr(*L->E, Regs);
+          continue;
+        }
+        // Assume or assert: false means the thread never completes.
+        if (ir::evalExpr(*L->E, Regs) == 0)
+          return false;
+      }
+      if (!Op.S)
+        continue;
+      if (Op.S->Kind == StmtKind::Cas) {
+        Value Expected = ir::evalExpr(*Op.S->E, Regs);
+        if (writtenValueOf(G.Rf[Op.EventIdx]) != Expected)
+          return false;
+      }
+      applySharedOp(Op, Regs);
+    }
+    return true;
+  }
+
+  /// Enumerates per-variable write permutations until one satisfies the
+  /// RA axioms.
+  bool findConsistentMo() {
+    std::vector<std::vector<uint32_t>> WritesPerVar(P.numVars());
+    for (uint32_t E = 0; E < G.numEvents(); ++E)
+      if (G.Events[E].writes() && G.Events[E].Kind != EventKind::Init)
+        WritesPerVar[G.Events[E].Var].push_back(E);
+    G.Mo.assign(P.numVars(), {});
+    return tryMoFor(0, WritesPerVar);
+  }
+
+  bool tryMoFor(VarId X, std::vector<std::vector<uint32_t>> &Writes) {
+    if (X == P.numVars())
+      return checkRaConsistent(G);
+    std::vector<uint32_t> Perm = Writes[X];
+    std::sort(Perm.begin(), Perm.end());
+    do {
+      G.Mo[X] = Perm;
+      if (tryMoFor(X + 1, Writes))
+        return true;
+    } while (std::next_permutation(Perm.begin(), Perm.end()));
+    return false;
+  }
+
+  const Program &P;
+  ExecutionGraph G;
+  std::vector<std::vector<ThreadOp>> Threads;
+  std::vector<uint32_t> ReadEvents;
+  std::vector<std::optional<Value>> WrittenValue;
+  std::set<std::vector<Value>> Outcomes;
+};
+
+} // namespace
+
+ErrorOr<std::set<std::vector<Value>>>
+vbmc::axiomatic::enumerateRaOutcomes(const Program &P) {
+  auto Valid = P.validate();
+  if (!Valid)
+    return Valid.error();
+  OutcomeEnumerator E(P);
+  return E.run();
+}

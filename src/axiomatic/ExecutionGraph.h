@@ -1,0 +1,88 @@
+//===- ExecutionGraph.h - axiomatic RA consistency ----------------*- C++ -*-===//
+///
+/// \file
+/// The axiomatic side of the RA model, standing in for Herd with the RA
+/// axioms of [24] (Lahav-Giannarakis-Vafeiadis): executions are graphs of
+/// read/write/update events related by program order (po), reads-from
+/// (rf) and per-location modification order (mo). An execution is
+/// RA-consistent iff
+///
+///   * hb = (po U rf)+ is irreflexive,
+///   * coherence: hb ; eco is irreflexive, where
+///     eco = (rf U mo U fr)+ and fr = rf^-1 ; mo,
+///   * atomicity: for an update (CAS) u reading from w, no write to the
+///     same location is mo-between w and u.
+///
+/// enumerateRaOutcomes exhaustively enumerates the consistent complete
+/// executions of a straight-line program and returns the reachable final
+/// register valuations — the litmus-test oracle. The operational (Fig. 2)
+/// and axiomatic semantics are proved equivalent in the literature; the
+/// test suite checks the equivalence *on this implementation* by
+/// comparing against ra::collectTerminalRegs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_AXIOMATIC_EXECUTIONGRAPH_H
+#define VBMC_AXIOMATIC_EXECUTIONGRAPH_H
+
+#include "ir/Program.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace vbmc::axiomatic {
+
+using ir::Value;
+using ir::VarId;
+
+enum class EventKind : uint8_t {
+  Init,  ///< The initial write of every variable (value 0).
+  Read,  ///< An acquire read.
+  Write, ///< A release write.
+  Update ///< A CAS (acquire-read + release-write, atomic).
+};
+
+struct Event {
+  EventKind Kind;
+  uint32_t Proc = ~0u;   ///< Owning process (~0 for Init).
+  uint32_t IndexInProc = 0;
+  VarId Var = 0;
+  Value ValueRead = 0;   ///< Read / Update.
+  Value ValueWritten = 0; ///< Init / Write / Update.
+
+  bool reads() const {
+    return Kind == EventKind::Read || Kind == EventKind::Update;
+  }
+  bool writes() const { return Kind != EventKind::Read; }
+};
+
+/// A candidate execution: events plus the rf and mo relations. po is
+/// implicit in (Proc, IndexInProc); the Init event precedes everything.
+struct ExecutionGraph {
+  std::vector<Event> Events;
+  /// Rf[e]: index of the write event that read event e reads from
+  /// (meaningful when Events[e].reads()).
+  std::vector<uint32_t> Rf;
+  /// Mo[x]: the modification order of variable x as a sequence of event
+  /// indices (excluding the Init event, which is first implicitly).
+  std::vector<std::vector<uint32_t>> Mo;
+
+  uint32_t numEvents() const { return static_cast<uint32_t>(Events.size()); }
+};
+
+/// Checks the RA axioms on \p G.
+bool checkRaConsistent(const ExecutionGraph &G);
+
+/// Exhaustively enumerates consistent complete executions of the
+/// straight-line program \p P (no if/while; fences must be desugared by
+/// the caller or absent) and returns all final register valuations.
+/// Executions where an assume fails or a CAS never sees its expected
+/// value are incomplete and excluded, matching the operational
+/// AllDone-collection semantics.
+ErrorOr<std::set<std::vector<Value>>> enumerateRaOutcomes(const ir::Program &P);
+
+} // namespace vbmc::axiomatic
+
+#endif // VBMC_AXIOMATIC_EXECUTIONGRAPH_H

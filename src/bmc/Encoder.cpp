@@ -1,0 +1,383 @@
+//===- Encoder.cpp - round-based symbolic execution -------------*- C++ -*-===//
+
+#include "bmc/Encoder.h"
+
+#include "bmc/Unroll.h"
+#include "formula/BitVec.h"
+#include "support/Diagnostics.h"
+
+using namespace vbmc;
+using namespace vbmc::bmc;
+using namespace vbmc::formula;
+using ir::Expr;
+using ir::ExprKind;
+using ir::Program;
+using ir::Stmt;
+using ir::StmtKind;
+
+namespace {
+
+/// Symbolic execution of one (unrolled, loop-free) program.
+class Encoder {
+public:
+  Encoder(const Program &P, const BmcOptions &Opts)
+      : P(P), Opts(Opts), W(Opts.ValueWidth),
+        Rounds(Opts.ContextBound + 1) {
+    RoundW = 1;
+    while ((1u << RoundW) < Rounds)
+      ++RoundW;
+    ++RoundW; // Headroom so unsigned compares against Rounds are exact.
+  }
+
+  BmcResult run() {
+    Timer Watch;
+    DL = Deadline(Opts.BudgetSeconds);
+    buildStores();
+    for (uint32_t PI = 0; PI < P.numProcs(); ++PI) {
+      walkProcess(PI);
+      // Encoding can dwarf solving on big instances; honor the budget and
+      // a node cap during construction too (prevents OOM on huge inputs).
+      if (DL.expired() || C.numNodes() > MaxCircuitNodes) {
+        BmcResult R;
+        R.Status = BmcStatus::Unknown;
+        R.Note = DL.expired() ? "encoding budget exhausted"
+                              : "circuit size cap exceeded";
+        R.CircuitNodes = C.numNodes();
+        R.Seconds = Watch.elapsedSeconds();
+        return R;
+      }
+    }
+    addChainConstraints();
+
+    NodeRef AnyError = C.falseRef();
+    for (NodeRef E : Errors)
+      AnyError = C.mkOr(AnyError, E);
+
+    BmcResult R;
+    R.CircuitNodes = C.numNodes();
+    if (C.isFalse(AnyError)) {
+      // No assert is even reachable: trivially safe within bounds.
+      R.Status = BmcStatus::Safe;
+      R.Seconds = Watch.elapsedSeconds();
+      return R;
+    }
+
+    Solver.addUnit(C.toLit(Solver, AnyError));
+    for (NodeRef G : SideConstraints)
+      Solver.addUnit(C.toLit(Solver, G));
+
+    Deadline DL(Opts.BudgetSeconds);
+    sat::SolveResult SR = Solver.solve({}, Opts.MaxConflicts, DL);
+    R.SolverConflicts = Solver.stats().Conflicts;
+    R.SolverDecisions = Solver.stats().Decisions;
+    switch (SR) {
+    case sat::SolveResult::Sat:
+      R.Status = BmcStatus::Unsafe;
+      // Read the model back: every error bit that is set names a failing
+      // assertion (folded-to-constant bits are reported unconditionally
+      // when true).
+      for (size_t I = 0; I < Errors.size(); ++I) {
+        NodeRef E = Errors[I];
+        bool Fails = C.isConst(E) ? C.isTrue(E)
+                                  : C.valueInModel(Solver, E);
+        if (Fails)
+          R.FailedAssertions.push_back(ErrorLabels[I]);
+      }
+      break;
+    case sat::SolveResult::Unsat:
+      R.Status = BmcStatus::Safe;
+      break;
+    case sat::SolveResult::Unknown:
+      R.Status = BmcStatus::Unknown;
+      R.Note = "solver budget exhausted";
+      break;
+    }
+    R.Seconds = Watch.elapsedSeconds();
+    return R;
+  }
+
+private:
+  /// Store[r * numVars + x]: current symbolic value of x on round r's
+  /// timeline, threaded through the processes in order.
+  std::vector<BitVec> Store;
+  /// The free guesses for each round's initial store (round 0 = zeros).
+  std::vector<BitVec> StoreInit;
+
+  struct ProcState {
+    std::vector<BitVec> Regs; ///< Indexed by global RegId.
+    BitVec Round;
+    NodeRef Guard;
+    uint32_t AtomicDepth = 0;
+  };
+
+  BitVec &storeCell(uint32_t Round, ir::VarId X) {
+    return Store[Round * P.numVars() + X];
+  }
+
+  void buildStores() {
+    Store.reserve(static_cast<size_t>(Rounds) * P.numVars());
+    StoreInit.reserve(Store.capacity());
+    for (uint32_t R = 0; R < Rounds; ++R) {
+      for (ir::VarId X = 0; X < P.numVars(); ++X) {
+        BitVec Init = R == 0 ? bvConst(C, 0, W) : bvFresh(C, W);
+        StoreInit.push_back(Init);
+        Store.push_back(Init);
+      }
+    }
+  }
+
+  void addChainConstraints() {
+    for (uint32_t R = 0; R + 1 < Rounds; ++R)
+      for (ir::VarId X = 0; X < P.numVars(); ++X)
+        SideConstraints.push_back(
+            bvEq(C, storeCell(R, X), StoreInit[(R + 1) * P.numVars() + X]));
+  }
+
+  /// A fresh round value constrained to [Current, Rounds).
+  BitVec advanceRound(const BitVec &Current) {
+    BitVec Next = bvFresh(C, RoundW);
+    SideConstraints.push_back(~bvUlt(C, Next, Current));
+    SideConstraints.push_back(bvUlt(C, Next, bvConst(C, Rounds, RoundW)));
+    return Next;
+  }
+
+  void walkProcess(uint32_t PI) {
+    CurrentProc = PI;
+    AssertCounter = 0;
+    ProcState S;
+    S.Regs.assign(P.numRegs(), bvConst(C, 0, W));
+    // The first visible action may happen in any round, or never (halt).
+    S.Round = advanceRound(bvConst(C, 0, RoundW));
+    S.Guard = ~C.mkInput();
+    walkBody(P.Procs[PI].Body, S);
+    assert(S.AtomicDepth == 0 && "unbalanced atomic section");
+  }
+
+  void walkBody(const std::vector<Stmt> &Body, ProcState &S) {
+    for (const Stmt &St : Body) {
+      if (C.numNodes() > MaxCircuitNodes || DL.expired()) {
+        // Kill the walk cheaply; run() reports Unknown.
+        S.Guard = C.falseRef();
+        return;
+      }
+      walkStmt(St, S);
+    }
+  }
+
+  /// Selects the current-round copy of \p X.
+  BitVec loadVar(const ProcState &S, ir::VarId X) {
+    BitVec V = storeCell(0, X);
+    for (uint32_t R = 1; R < Rounds; ++R) {
+      NodeRef IsR = bvEq(C, S.Round, bvConst(C, R, RoundW));
+      V = bvMux(C, IsR, storeCell(R, X), V);
+    }
+    return V;
+  }
+
+  /// Writes \p V into the current-round copy of \p X under the guard.
+  void writeVar(const ProcState &S, ir::VarId X, const BitVec &V) {
+    for (uint32_t R = 0; R < Rounds; ++R) {
+      NodeRef Here =
+          C.mkAnd(S.Guard, bvEq(C, S.Round, bvConst(C, R, RoundW)));
+      storeCell(R, X) = bvMux(C, Here, V, storeCell(R, X));
+    }
+  }
+
+  /// A visible point outside an atomic section: the round may advance,
+  /// and the process may halt (a free guess), modelling executions in
+  /// which the scheduler never runs it again. Without the halt choice the
+  /// encoding would force every process to completion and miss prefix
+  /// runs (e.g. "p1 acts before p0 ever moves" in a single round).
+  void maybeAdvance(ProcState &S) {
+    if (S.AtomicDepth != 0)
+      return;
+    S.Round = advanceRound(S.Round);
+    S.Guard = C.mkAnd(S.Guard, ~C.mkInput());
+  }
+
+  BitVec evalExpr(const Expr &E, const ProcState &S) {
+    switch (E.kind()) {
+    case ExprKind::Const:
+      return bvConst(C, E.constValue(), W);
+    case ExprKind::Reg:
+      return S.Regs[E.reg()];
+    case ExprKind::Nondet:
+      reportFatalError("nondet must be the whole right-hand side of an "
+                       "assignment (validate() enforces this)");
+    case ExprKind::Unary:
+      switch (E.unaryOp()) {
+      case ir::UnaryOp::Not:
+        return bvFromBool(C, ~bvNonZero(C, evalExpr(*E.lhs(), S)), W);
+      case ir::UnaryOp::Neg:
+        return bvNeg(C, evalExpr(*E.lhs(), S));
+      }
+      break;
+    case ExprKind::Binary: {
+      BitVec A = evalExpr(*E.lhs(), S);
+      BitVec B = evalExpr(*E.rhs(), S);
+      switch (E.binaryOp()) {
+      case ir::BinaryOp::Add:
+        return bvAdd(C, A, B);
+      case ir::BinaryOp::Sub:
+        return bvSub(C, A, B);
+      case ir::BinaryOp::Mul:
+        return bvMul(C, A, B);
+      case ir::BinaryOp::Div:
+        return bvSdiv(C, A, B);
+      case ir::BinaryOp::Mod:
+        return bvSrem(C, A, B);
+      case ir::BinaryOp::Eq:
+        return bvFromBool(C, bvEq(C, A, B), W);
+      case ir::BinaryOp::Ne:
+        return bvFromBool(C, ~bvEq(C, A, B), W);
+      case ir::BinaryOp::Lt:
+        return bvFromBool(C, bvSlt(C, A, B), W);
+      case ir::BinaryOp::Le:
+        return bvFromBool(C, bvSle(C, A, B), W);
+      case ir::BinaryOp::Gt:
+        return bvFromBool(C, bvSlt(C, B, A), W);
+      case ir::BinaryOp::Ge:
+        return bvFromBool(C, bvSle(C, B, A), W);
+      case ir::BinaryOp::And:
+        return bvFromBool(
+            C, C.mkAnd(bvNonZero(C, A), bvNonZero(C, B)), W);
+      case ir::BinaryOp::Or:
+        return bvFromBool(C, C.mkOr(bvNonZero(C, A), bvNonZero(C, B)), W);
+      }
+      break;
+    }
+    }
+    reportFatalError("unhandled expression kind in BMC encoder");
+  }
+
+  NodeRef evalBool(const Expr &E, const ProcState &S) {
+    return bvNonZero(C, evalExpr(E, S));
+  }
+
+  void walkStmt(const Stmt &St, ProcState &S) {
+    switch (St.Kind) {
+    case StmtKind::Read: {
+      maybeAdvance(S);
+      BitVec V = loadVar(S, St.Var);
+      // The register keeps its old value when the guard is dead; dead
+      // values feed only dead uses, but the mux keeps models readable.
+      S.Regs[St.Reg] = bvMux(C, S.Guard, V, S.Regs[St.Reg]);
+      return;
+    }
+    case StmtKind::Write: {
+      maybeAdvance(S);
+      writeVar(S, St.Var, evalExpr(*St.E, S));
+      return;
+    }
+    case StmtKind::Cas: {
+      maybeAdvance(S);
+      BitVec Loaded = loadVar(S, St.Var);
+      NodeRef Success = bvEq(C, Loaded, evalExpr(*St.E, S));
+      // A CAS that never sees its expected value blocks forever: the
+      // guard freezes this process, others continue.
+      S.Guard = C.mkAnd(S.Guard, Success);
+      writeVar(S, St.Var, evalExpr(*St.E2, S));
+      return;
+    }
+    case StmtKind::Assign: {
+      BitVec V = St.E->kind() == ExprKind::Nondet
+                     ? freshInRange(St.E->nondetLo(), St.E->nondetHi())
+                     : evalExpr(*St.E, S);
+      S.Regs[St.Reg] = bvMux(C, S.Guard, V, S.Regs[St.Reg]);
+      return;
+    }
+    case StmtKind::Assume:
+      S.Guard = C.mkAnd(S.Guard, evalBool(*St.E, S));
+      return;
+    case StmtKind::Assert: {
+      NodeRef Cond = evalBool(*St.E, S);
+      Errors.push_back(C.mkAnd(S.Guard, ~Cond));
+      ErrorLabels.push_back(P.Procs[CurrentProc].Name + ": assert #" +
+                            std::to_string(AssertCounter++));
+      S.Guard = C.mkAnd(S.Guard, Cond);
+      return;
+    }
+    case StmtKind::If: {
+      NodeRef Cond = evalBool(*St.E, S);
+      ProcState Then = S;
+      Then.Guard = C.mkAnd(S.Guard, Cond);
+      walkBody(St.Then, Then);
+      ProcState Else = std::move(S);
+      Else.Guard = C.mkAnd(Else.Guard, ~Cond);
+      // Store must be walked under the else guard from the state the
+      // then-branch left behind: branch effects are guard-muxed into the
+      // shared store, so the else branch sees then-branch writes only
+      // under the then guard, which is disjoint from its own. Registers
+      // and round are process-local and merged explicitly below.
+      walkBody(St.Else, Else);
+      S = mergeStates(Cond, std::move(Then), std::move(Else));
+      return;
+    }
+    case StmtKind::While:
+      reportFatalError("loops must be unrolled before encoding");
+    case StmtKind::Term:
+      S.Guard = C.falseRef();
+      return;
+    case StmtKind::Fence:
+      reportFatalError("fences must be desugared before encoding");
+    case StmtKind::AtomicBegin:
+      maybeAdvance(S);
+      ++S.AtomicDepth;
+      return;
+    case StmtKind::AtomicEnd:
+      assert(S.AtomicDepth > 0 && "unbalanced atomic_end");
+      --S.AtomicDepth;
+      return;
+    }
+  }
+
+  /// Merges branch-local state after an If. The shared store needs no
+  /// merge: writes are guard-muxed at write time, and the two branch
+  /// guards are disjoint refinements of the incoming guard.
+  ProcState mergeStates(NodeRef Cond, ProcState Then, ProcState Else) {
+    assert(Then.AtomicDepth == Else.AtomicDepth &&
+           "branches disagree on atomic nesting");
+    ProcState Out;
+    Out.AtomicDepth = Then.AtomicDepth;
+    Out.Guard = C.mkOr(Then.Guard, Else.Guard);
+    Out.Round = bvMux(C, Cond, Then.Round, Else.Round);
+    Out.Regs.reserve(Then.Regs.size());
+    for (size_t I = 0; I < Then.Regs.size(); ++I)
+      Out.Regs.push_back(bvMux(C, Cond, Then.Regs[I], Else.Regs[I]));
+    return Out;
+  }
+
+  BitVec freshInRange(int64_t Lo, int64_t Hi) {
+    BitVec V = bvFresh(C, W);
+    SideConstraints.push_back(bvSle(C, bvConst(C, Lo, W), V));
+    SideConstraints.push_back(bvSle(C, V, bvConst(C, Hi, W)));
+    return V;
+  }
+
+  static constexpr uint32_t MaxCircuitNodes = 30u * 1000 * 1000;
+
+  const Program &P;
+  const BmcOptions &Opts;
+  Deadline DL;
+  uint32_t W;
+  uint32_t Rounds;
+  uint32_t RoundW;
+  Circuit C;
+  sat::Solver Solver;
+  std::vector<NodeRef> Errors;
+  std::vector<std::string> ErrorLabels;
+  std::vector<NodeRef> SideConstraints;
+  uint32_t CurrentProc = 0;
+  uint32_t AssertCounter = 0;
+};
+
+} // namespace
+
+BmcResult vbmc::bmc::checkBmc(const Program &P, const BmcOptions &Opts) {
+  Program Unrolled = unrollLoops(P, Opts.UnrollBound);
+  auto Valid = Unrolled.validate();
+  if (!Valid)
+    reportFatalError("checkBmc: invalid program: " + Valid.error().str());
+  Encoder E(Unrolled, Opts);
+  return E.run();
+}

@@ -1,0 +1,81 @@
+//===- Encoder.h - Lal-Reps bounded model checking ----------------*- C++ -*-===//
+///
+/// \file
+/// Bounded model checking of concurrent SC programs via the Lal-Reps
+/// round-based sequentialization, playing the role CBMC plays in the
+/// paper's prototype:
+///
+///  * loops are unrolled L times (see Unroll.h);
+///  * executions are restricted to R = ContextBound+1 round-robin rounds;
+///    every shared variable gets R copies, round r's initial copy is a
+///    free guess, and a chain constraint equates round r's final store
+///    with round r+1's guess;
+///  * each process is symbolically executed once: registers are bit-vector
+///    SSA values, its current round is a monotonically non-decreasing
+///    guessed counter that may only advance at visible points (before a
+///    shared access outside an atomic section, or at an atomic_begin);
+///  * `assume` conjoins into the process's execution guard, so a blocked
+///    process simply freezes (matching the explicit SC semantics where
+///    other processes keep running);
+///  * `assert` records an error bit under the current guard;
+///  * the query "some error bit set" goes to the built-in CDCL solver.
+///
+/// SAT means UNSAFE with a witness; UNSAT means SAFE for every execution
+/// within the L/R bounds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_BMC_ENCODER_H
+#define VBMC_BMC_ENCODER_H
+
+#include "ir/Program.h"
+#include "support/Timer.h"
+
+#include <cstdint>
+#include <string>
+
+namespace vbmc::bmc {
+
+struct BmcOptions {
+  /// Loop unrolling bound L.
+  uint32_t UnrollBound = 2;
+  /// Maximum number of context switches (rounds = ContextBound + 1).
+  uint32_t ContextBound = 4;
+  /// Bit width of the value domain (two's complement). Must be wide
+  /// enough for every value the program can compute; see the width audit
+  /// in BmcBackend.
+  uint32_t ValueWidth = 12;
+  /// Wall-clock budget (0 = unlimited).
+  double BudgetSeconds = 0;
+  /// Conflict budget for the solver (0 = unlimited).
+  uint64_t MaxConflicts = 0;
+};
+
+enum class BmcStatus {
+  Unsafe, ///< Some assertion fails within the bounds (SAT).
+  Safe,   ///< No assertion fails within the bounds (UNSAT).
+  Unknown,
+};
+
+struct BmcResult {
+  BmcStatus Status = BmcStatus::Unknown;
+  double Seconds = 0;
+  uint64_t CircuitNodes = 0;
+  uint64_t SolverConflicts = 0;
+  uint64_t SolverDecisions = 0;
+  std::string Note;
+  /// When Unsafe: which assertions fail in the satisfying assignment,
+  /// e.g. "p1: assert #0". Multiple entries mean the model violates
+  /// several assertions at once.
+  std::vector<std::string> FailedAssertions;
+
+  bool unsafe() const { return Status == BmcStatus::Unsafe; }
+  bool safe() const { return Status == BmcStatus::Safe; }
+};
+
+/// Runs BMC on \p P (any SC program in the IR; atomic sections honored).
+BmcResult checkBmc(const ir::Program &P, const BmcOptions &Opts);
+
+} // namespace vbmc::bmc
+
+#endif // VBMC_BMC_ENCODER_H

@@ -1,0 +1,51 @@
+//===- Unroll.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "bmc/Unroll.h"
+
+using namespace vbmc;
+using namespace vbmc::ir;
+
+namespace {
+
+std::vector<Stmt> unrollBody(const std::vector<Stmt> &Body, uint32_t L);
+
+/// U(0)      = assume(!c)
+/// U(i)      = if (c) { B; U(i-1) }
+Stmt unrollWhile(const Stmt &Loop, uint32_t L, uint32_t Remaining) {
+  if (Remaining == 0)
+    return Stmt::assume(notE(Loop.E));
+  std::vector<Stmt> Then = unrollBody(Loop.Then, L);
+  Then.push_back(unrollWhile(Loop, L, Remaining - 1));
+  return Stmt::ifThen(Loop.E, std::move(Then));
+}
+
+std::vector<Stmt> unrollBody(const std::vector<Stmt> &Body, uint32_t L) {
+  std::vector<Stmt> Out;
+  for (const Stmt &S : Body) {
+    switch (S.Kind) {
+    case StmtKind::While:
+      Out.push_back(unrollWhile(S, L, L));
+      break;
+    case StmtKind::If: {
+      Stmt Copy = S;
+      Copy.Then = unrollBody(S.Then, L);
+      Copy.Else = unrollBody(S.Else, L);
+      Out.push_back(std::move(Copy));
+      break;
+    }
+    default:
+      Out.push_back(S);
+      break;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+Program vbmc::bmc::unrollLoops(const Program &P, uint32_t L) {
+  Program Out = P;
+  for (Process &Proc : Out.Procs)
+    Proc.Body = unrollBody(Proc.Body, L);
+  return Out;
+}

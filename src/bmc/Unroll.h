@@ -1,0 +1,24 @@
+//===- Unroll.h - bounded loop unrolling -------------------------*- C++ -*-===//
+///
+/// \file
+/// Replaces every `while (c) { B }` by L nested `if (c) { B ... }` copies
+/// terminated by an unwinding *assumption* `assume(!c)`, exactly as CBMC
+/// does when told to treat deeper iterations as unreachable. Executions
+/// needing more than L iterations are pruned, keeping BMC an
+/// under-approximation (matching the paper's use of the L parameter).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_BMC_UNROLL_H
+#define VBMC_BMC_UNROLL_H
+
+#include "ir/Program.h"
+
+namespace vbmc::bmc {
+
+/// Unrolls every loop in \p P exactly \p L times. The result is loop-free.
+ir::Program unrollLoops(const ir::Program &P, uint32_t L);
+
+} // namespace vbmc::bmc
+
+#endif // VBMC_BMC_UNROLL_H

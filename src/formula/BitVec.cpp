@@ -1,0 +1,188 @@
+//===- BitVec.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "formula/BitVec.h"
+
+#include <cassert>
+
+using namespace vbmc;
+using namespace vbmc::formula;
+
+BitVec vbmc::formula::bvConst(Circuit &C, int64_t V, uint32_t Width) {
+  BitVec R;
+  R.Bits.reserve(Width);
+  for (uint32_t I = 0; I < Width; ++I)
+    R.Bits.push_back((V >> I) & 1 ? C.trueRef() : C.falseRef());
+  return R;
+}
+
+BitVec vbmc::formula::bvFresh(Circuit &C, uint32_t Width) {
+  BitVec R;
+  R.Bits.reserve(Width);
+  for (uint32_t I = 0; I < Width; ++I)
+    R.Bits.push_back(C.mkInput());
+  return R;
+}
+
+namespace {
+
+/// Full adder: returns sum, sets \p Carry to the carry-out.
+NodeRef fullAdder(Circuit &C, NodeRef A, NodeRef B, NodeRef &Carry) {
+  NodeRef Sum = C.mkXor(C.mkXor(A, B), Carry);
+  Carry = C.mkOr(C.mkAnd(A, B), C.mkAnd(Carry, C.mkOr(A, B)));
+  return Sum;
+}
+
+BitVec addWithCarry(Circuit &C, const BitVec &A, const BitVec &B,
+                    NodeRef CarryIn) {
+  assert(A.width() == B.width() && "width mismatch");
+  BitVec R;
+  NodeRef Carry = CarryIn;
+  for (uint32_t I = 0; I < A.width(); ++I)
+    R.Bits.push_back(fullAdder(C, A.Bits[I], B.Bits[I], Carry));
+  return R;
+}
+
+BitVec bvNot(Circuit &, const BitVec &A) {
+  BitVec R;
+  for (NodeRef N : A.Bits)
+    R.Bits.push_back(~N);
+  return R;
+}
+
+/// Unsigned divide/modulo by restoring division; quotient in \p Quot,
+/// remainder returned. Division by zero handled by the callers.
+BitVec udivmod(Circuit &C, const BitVec &A, const BitVec &B, BitVec &Quot) {
+  uint32_t W = A.width();
+  BitVec Rem = bvConst(C, 0, W);
+  Quot.Bits.assign(W, C.falseRef());
+  for (uint32_t I = W; I-- > 0;) {
+    // Rem = (Rem << 1) | A[i].
+    for (uint32_t J = W; J-- > 1;)
+      Rem.Bits[J] = Rem.Bits[J - 1];
+    Rem.Bits[0] = A.Bits[I];
+    NodeRef Ge = ~bvUlt(C, Rem, B);
+    BitVec Sub = bvSub(C, Rem, B);
+    Rem = bvMux(C, Ge, Sub, Rem);
+    Quot.Bits[I] = Ge;
+  }
+  return Rem;
+}
+
+BitVec bvAbs(Circuit &C, const BitVec &A) {
+  return bvMux(C, A.sign(), bvNeg(C, A), A);
+}
+
+} // namespace
+
+BitVec vbmc::formula::bvAdd(Circuit &C, const BitVec &A, const BitVec &B) {
+  return addWithCarry(C, A, B, C.falseRef());
+}
+
+BitVec vbmc::formula::bvSub(Circuit &C, const BitVec &A, const BitVec &B) {
+  return addWithCarry(C, A, bvNot(C, B), C.trueRef());
+}
+
+BitVec vbmc::formula::bvNeg(Circuit &C, const BitVec &A) {
+  return bvSub(C, bvConst(C, 0, A.width()), A);
+}
+
+BitVec vbmc::formula::bvMul(Circuit &C, const BitVec &A, const BitVec &B) {
+  assert(A.width() == B.width() && "width mismatch");
+  uint32_t W = A.width();
+  BitVec Acc = bvConst(C, 0, W);
+  for (uint32_t I = 0; I < W; ++I) {
+    // Acc += (A << I) masked by B[i]; truncating at W bits.
+    BitVec Shifted = bvConst(C, 0, W);
+    for (uint32_t J = I; J < W; ++J)
+      Shifted.Bits[J] = A.Bits[J - I];
+    BitVec Masked;
+    for (uint32_t J = 0; J < W; ++J)
+      Masked.Bits.push_back(C.mkAnd(Shifted.Bits[J], B.Bits[I]));
+    Acc = bvAdd(C, Acc, Masked);
+  }
+  return Acc;
+}
+
+BitVec vbmc::formula::bvSdiv(Circuit &C, const BitVec &A, const BitVec &B) {
+  BitVec AbsA = bvAbs(C, A), AbsB = bvAbs(C, B);
+  BitVec Quot;
+  udivmod(C, AbsA, AbsB, Quot);
+  NodeRef NegResult = C.mkXor(A.sign(), B.sign());
+  BitVec Signed = bvMux(C, NegResult, bvNeg(C, Quot), Quot);
+  // x / 0 = 0 per the IR's total semantics.
+  NodeRef DivByZero = ~bvNonZero(C, B);
+  return bvMux(C, DivByZero, bvConst(C, 0, A.width()), Signed);
+}
+
+BitVec vbmc::formula::bvSrem(Circuit &C, const BitVec &A, const BitVec &B) {
+  BitVec AbsA = bvAbs(C, A), AbsB = bvAbs(C, B);
+  BitVec Quot;
+  BitVec Rem = udivmod(C, AbsA, AbsB, Quot);
+  // C++: remainder takes the dividend's sign.
+  BitVec Signed = bvMux(C, A.sign(), bvNeg(C, Rem), Rem);
+  NodeRef DivByZero = ~bvNonZero(C, B);
+  return bvMux(C, DivByZero, bvConst(C, 0, A.width()), Signed);
+}
+
+NodeRef vbmc::formula::bvEq(Circuit &C, const BitVec &A, const BitVec &B) {
+  assert(A.width() == B.width() && "width mismatch");
+  NodeRef R = C.trueRef();
+  for (uint32_t I = 0; I < A.width(); ++I)
+    R = C.mkAnd(R, C.mkEq(A.Bits[I], B.Bits[I]));
+  return R;
+}
+
+NodeRef vbmc::formula::bvUlt(Circuit &C, const BitVec &A, const BitVec &B) {
+  // Borrow-out of A - B.
+  NodeRef Borrow = C.falseRef();
+  for (uint32_t I = 0; I < A.width(); ++I) {
+    NodeRef AI = A.Bits[I], BI = B.Bits[I];
+    Borrow = C.mkOr(C.mkAnd(~AI, BI),
+                    C.mkAnd(C.mkOr(~AI, BI), Borrow));
+  }
+  return Borrow;
+}
+
+NodeRef vbmc::formula::bvSlt(Circuit &C, const BitVec &A, const BitVec &B) {
+  NodeRef SA = A.sign(), SB = B.sign();
+  NodeRef DiffSign = C.mkXor(SA, SB);
+  return C.mkIte(DiffSign, SA, bvUlt(C, A, B));
+}
+
+NodeRef vbmc::formula::bvSle(Circuit &C, const BitVec &A, const BitVec &B) {
+  return ~bvSlt(C, B, A);
+}
+
+NodeRef vbmc::formula::bvNonZero(Circuit &C, const BitVec &A) {
+  NodeRef R = C.falseRef();
+  for (NodeRef N : A.Bits)
+    R = C.mkOr(R, N);
+  return R;
+}
+
+BitVec vbmc::formula::bvMux(Circuit &C, NodeRef Cond, const BitVec &T,
+                            const BitVec &E) {
+  assert(T.width() == E.width() && "width mismatch");
+  BitVec R;
+  for (uint32_t I = 0; I < T.width(); ++I)
+    R.Bits.push_back(C.mkIte(Cond, T.Bits[I], E.Bits[I]));
+  return R;
+}
+
+BitVec vbmc::formula::bvFromBool(Circuit &C, NodeRef B, uint32_t Width) {
+  BitVec R = bvConst(C, 0, Width);
+  R.Bits[0] = B;
+  return R;
+}
+
+int64_t vbmc::formula::bvValueInModel(const Circuit &C, const sat::Solver &S,
+                                      const BitVec &A) {
+  uint64_t V = 0;
+  for (uint32_t I = 0; I < A.width(); ++I)
+    if (C.valueInModel(S, A.Bits[I]))
+      V |= 1ULL << I;
+  // Sign-extend.
+  if (A.width() < 64 && (V >> (A.width() - 1)) & 1)
+    V |= ~0ULL << A.width();
+  return static_cast<int64_t>(V);
+}

@@ -1,0 +1,69 @@
+//===- BitVec.h - bit-vector operations over circuits ------------*- C++ -*-===//
+///
+/// \file
+/// Fixed-width two's-complement bit-vector arithmetic built from circuit
+/// nodes (LSB first). Semantics mirror ir::applyBinary exactly, including
+/// division/modulo by zero yielding 0, so the BMC encoder and the
+/// interpreters agree bit-for-bit on the (wrap-around) value domain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_FORMULA_BITVEC_H
+#define VBMC_FORMULA_BITVEC_H
+
+#include "formula/Circuit.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace vbmc::formula {
+
+/// A bit-vector: Bits[0] is the least-significant bit.
+struct BitVec {
+  std::vector<NodeRef> Bits;
+
+  uint32_t width() const { return static_cast<uint32_t>(Bits.size()); }
+  NodeRef sign() const { return Bits.back(); }
+};
+
+/// Constant of \p Width bits (two's complement truncation of \p V).
+BitVec bvConst(Circuit &C, int64_t V, uint32_t Width);
+
+/// Fresh symbolic vector of \p Width input bits.
+BitVec bvFresh(Circuit &C, uint32_t Width);
+
+/// \name Arithmetic
+/// @{
+BitVec bvAdd(Circuit &C, const BitVec &A, const BitVec &B);
+BitVec bvSub(Circuit &C, const BitVec &A, const BitVec &B);
+BitVec bvNeg(Circuit &C, const BitVec &A);
+BitVec bvMul(Circuit &C, const BitVec &A, const BitVec &B);
+/// C++-style truncating signed division; x/0 = 0 (matching applyBinary).
+BitVec bvSdiv(Circuit &C, const BitVec &A, const BitVec &B);
+/// C++-style signed remainder; x%0 = 0.
+BitVec bvSrem(Circuit &C, const BitVec &A, const BitVec &B);
+/// @}
+
+/// \name Predicates (return a single node)
+/// @{
+NodeRef bvEq(Circuit &C, const BitVec &A, const BitVec &B);
+NodeRef bvUlt(Circuit &C, const BitVec &A, const BitVec &B);
+NodeRef bvSlt(Circuit &C, const BitVec &A, const BitVec &B);
+NodeRef bvSle(Circuit &C, const BitVec &A, const BitVec &B);
+/// True when any bit is set (the "nonzero = true" boolean reading).
+NodeRef bvNonZero(Circuit &C, const BitVec &A);
+/// @}
+
+/// Bitwise if-then-else.
+BitVec bvMux(Circuit &C, NodeRef Cond, const BitVec &T, const BitVec &E);
+
+/// Converts a boolean node to the 0/1 bit-vector of \p Width.
+BitVec bvFromBool(Circuit &C, NodeRef B, uint32_t Width);
+
+/// Evaluates \p A in the solver model as a signed integer.
+int64_t bvValueInModel(const Circuit &C, const sat::Solver &S,
+                       const BitVec &A);
+
+} // namespace vbmc::formula
+
+#endif // VBMC_FORMULA_BITVEC_H

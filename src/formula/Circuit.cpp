@@ -1,0 +1,150 @@
+//===- Circuit.cpp --------------------------------------------*- C++ -*-===//
+
+#include "formula/Circuit.h"
+
+#include <cassert>
+
+using namespace vbmc;
+using namespace vbmc::formula;
+
+Circuit::Circuit() {
+  // Node 0: constant TRUE.
+  Nodes.push_back(Node{0, 0, true});
+  SatVarOf.push_back(0);
+}
+
+NodeRef Circuit::mkInput() {
+  uint32_t Idx = numNodes();
+  Nodes.push_back(Node{2 * Idx, 2 * Idx, true});
+  SatVarOf.push_back(0);
+  return NodeRef::make(Idx, false);
+}
+
+NodeRef Circuit::mkAnd(NodeRef A, NodeRef B) {
+  // Constant folding and trivial simplifications.
+  if (isFalse(A) || isFalse(B))
+    return falseRef();
+  if (isTrue(A))
+    return B;
+  if (isTrue(B))
+    return A;
+  if (A == B)
+    return A;
+  if (A == ~B)
+    return falseRef();
+  // Normalize operand order for structural hashing.
+  uint32_t L = A.code(), R = B.code();
+  if (L > R)
+    std::swap(L, R);
+  auto Key = std::make_pair(L, R);
+  auto It = AndCache.find(Key);
+  if (It != AndCache.end())
+    return NodeRef::make(It->second, false);
+  uint32_t Idx = numNodes();
+  Nodes.push_back(Node{L, R, false});
+  SatVarOf.push_back(0);
+  AndCache.emplace(Key, Idx);
+  return NodeRef::make(Idx, false);
+}
+
+sat::Var Circuit::varFor(sat::Solver &Solver, uint32_t NodeIdx) {
+  if (SatVarOf[NodeIdx] != 0)
+    return SatVarOf[NodeIdx] - 1;
+
+  // Iterative DFS over the cone (children before parents).
+  std::vector<uint32_t> Stack = {NodeIdx};
+  while (!Stack.empty()) {
+    uint32_t N = Stack.back();
+    if (SatVarOf[N] != 0) {
+      Stack.pop_back();
+      continue;
+    }
+    const Node &Nd = Nodes[N];
+    if (N == 0) {
+      // Constant TRUE: a variable pinned to true.
+      sat::Var V = Solver.newVar();
+      Solver.addUnit(sat::mkLit(V));
+      SatVarOf[0] = V + 1;
+      Stack.pop_back();
+      continue;
+    }
+    if (Nd.IsInput) {
+      SatVarOf[N] = Solver.newVar() + 1;
+      Stack.pop_back();
+      continue;
+    }
+    uint32_t LNode = Nd.Lhs >> 1, RNode = Nd.Rhs >> 1;
+    bool ChildrenReady = true;
+    if (SatVarOf[LNode] == 0) {
+      Stack.push_back(LNode);
+      ChildrenReady = false;
+    }
+    if (SatVarOf[RNode] == 0) {
+      Stack.push_back(RNode);
+      ChildrenReady = false;
+    }
+    if (!ChildrenReady)
+      continue;
+    // Tseitin for N = Lhs AND Rhs.
+    sat::Var V = Solver.newVar();
+    sat::Lit NV = sat::mkLit(V);
+    sat::Lit LA(SatVarOf[LNode] - 1, Nd.Lhs & 1);
+    sat::Lit LB(SatVarOf[RNode] - 1, Nd.Rhs & 1);
+    Solver.addBinary(~NV, LA);
+    Solver.addBinary(~NV, LB);
+    Solver.addTernary(~LA, ~LB, NV);
+    SatVarOf[N] = V + 1;
+    Stack.pop_back();
+  }
+  return SatVarOf[NodeIdx] - 1;
+}
+
+sat::Lit Circuit::toLit(sat::Solver &Solver, NodeRef R) {
+  assert((BoundSolver == nullptr || BoundSolver == &Solver) &&
+         "a circuit's CNF mapping is tied to one solver");
+  BoundSolver = &Solver;
+  sat::Var V = varFor(Solver, R.node());
+  return sat::Lit(V, R.complemented());
+}
+
+bool Circuit::evaluate(
+    NodeRef R, const std::unordered_map<uint32_t, bool> &Inputs) const {
+  // Iterative evaluation with memoization.
+  std::vector<int8_t> Memo(Nodes.size(), -1);
+  Memo[0] = 1;
+  std::vector<uint32_t> Stack = {R.node()};
+  while (!Stack.empty()) {
+    uint32_t N = Stack.back();
+    if (Memo[N] >= 0) {
+      Stack.pop_back();
+      continue;
+    }
+    const Node &Nd = Nodes[N];
+    if (Nd.IsInput) {
+      auto It = Inputs.find(N);
+      Memo[N] = It != Inputs.end() && It->second ? 1 : 0;
+      Stack.pop_back();
+      continue;
+    }
+    uint32_t LNode = Nd.Lhs >> 1, RNode = Nd.Rhs >> 1;
+    if (Memo[LNode] < 0) {
+      Stack.push_back(LNode);
+      continue;
+    }
+    if (Memo[RNode] < 0) {
+      Stack.push_back(RNode);
+      continue;
+    }
+    bool LV = (Memo[LNode] == 1) != static_cast<bool>(Nd.Lhs & 1);
+    bool RV = (Memo[RNode] == 1) != static_cast<bool>(Nd.Rhs & 1);
+    Memo[N] = LV && RV ? 1 : 0;
+    Stack.pop_back();
+  }
+  return (Memo[R.node()] == 1) != R.complemented();
+}
+
+bool Circuit::valueInModel(const sat::Solver &Solver, NodeRef R) const {
+  assert(SatVarOf[R.node()] != 0 && "node was never encoded");
+  bool V = Solver.modelValue(SatVarOf[R.node()] - 1);
+  return V != R.complemented();
+}

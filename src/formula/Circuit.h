@@ -1,0 +1,120 @@
+//===- Circuit.h - hash-consed AND-inverter circuits -------------*- C++ -*-===//
+///
+/// \file
+/// A boolean circuit layer between the BMC encoder and the SAT solver: an
+/// AND-inverter graph (AIG) with complemented edges, constant folding and
+/// structural hashing, plus lazy Tseitin conversion into a sat::Solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_FORMULA_CIRCUIT_H
+#define VBMC_FORMULA_CIRCUIT_H
+
+#include "sat/Solver.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace vbmc::formula {
+
+/// A reference to a circuit node with a complement bit. Code layout:
+/// 2*node + (complemented ? 1 : 0). Node 0 is the constant TRUE.
+class NodeRef {
+public:
+  NodeRef() = default;
+
+  static NodeRef make(uint32_t Node, bool Complemented) {
+    NodeRef R;
+    R.Code = 2 * Node + (Complemented ? 1 : 0);
+    return R;
+  }
+
+  uint32_t node() const { return Code >> 1; }
+  bool complemented() const { return Code & 1; }
+  uint32_t code() const { return Code; }
+
+  NodeRef operator~() const {
+    NodeRef R;
+    R.Code = Code ^ 1;
+    return R;
+  }
+  bool operator==(const NodeRef &O) const = default;
+
+private:
+  uint32_t Code = 0;
+};
+
+/// The circuit builder / CNF exporter.
+class Circuit {
+public:
+  Circuit();
+
+  NodeRef trueRef() const { return NodeRef::make(0, false); }
+  NodeRef falseRef() const { return NodeRef::make(0, true); }
+
+  bool isTrue(NodeRef R) const { return R == trueRef(); }
+  bool isFalse(NodeRef R) const { return R == falseRef(); }
+  bool isConst(NodeRef R) const { return R.node() == 0; }
+
+  /// A fresh unconstrained input.
+  NodeRef mkInput();
+
+  /// Conjunction with folding and structural hashing.
+  NodeRef mkAnd(NodeRef A, NodeRef B);
+
+  NodeRef mkOr(NodeRef A, NodeRef B) { return ~mkAnd(~A, ~B); }
+  NodeRef mkXor(NodeRef A, NodeRef B) {
+    return mkAnd(mkOr(A, B), ~mkAnd(A, B));
+  }
+  NodeRef mkEq(NodeRef A, NodeRef B) { return ~mkXor(A, B); }
+  NodeRef mkImplies(NodeRef A, NodeRef B) { return mkOr(~A, B); }
+  NodeRef mkIte(NodeRef C, NodeRef T, NodeRef E) {
+    if (T == E) // Both arms equal: the condition is irrelevant.
+      return T;
+    return mkOr(mkAnd(C, T), mkAnd(~C, E));
+  }
+
+  uint32_t numNodes() const { return static_cast<uint32_t>(Nodes.size()); }
+
+  /// Returns (lazily creating) the SAT literal representing \p R in
+  /// \p Solver, Tseitin-encoding the node's cone on first use. The circuit
+  /// remembers the solver mapping, so all calls must use the same solver.
+  sat::Lit toLit(sat::Solver &Solver, NodeRef R);
+
+  /// Evaluates \p R under an assignment of input nodes (indexed by node
+  /// id; missing inputs default to false). For tests and model readback.
+  bool evaluate(NodeRef R,
+                const std::unordered_map<uint32_t, bool> &Inputs) const;
+
+  /// After a Sat answer, the value of \p R in the model.
+  bool valueInModel(const sat::Solver &Solver, NodeRef R) const;
+
+private:
+  struct Node {
+    // Inputs have Lhs == Rhs == self-code; AND nodes store operand codes.
+    uint32_t Lhs = 0;
+    uint32_t Rhs = 0;
+    bool IsInput = false;
+  };
+
+  struct PairHash {
+    size_t operator()(const std::pair<uint32_t, uint32_t> &P) const {
+      return P.first * 0x9e3779b97f4a7c15ULL + P.second;
+    }
+  };
+
+  std::vector<Node> Nodes;
+  std::unordered_map<std::pair<uint32_t, uint32_t>, uint32_t, PairHash>
+      AndCache;
+  /// Node id -> SAT variable (+1; 0 = not yet encoded).
+  std::vector<uint32_t> SatVarOf;
+  /// The solver the mapping belongs to (checked on every toLit).
+  sat::Solver *BoundSolver = nullptr;
+
+  sat::Var varFor(sat::Solver &Solver, uint32_t NodeIdx);
+};
+
+} // namespace vbmc::formula
+
+#endif // VBMC_FORMULA_CIRCUIT_H

@@ -1,0 +1,44 @@
+//===- Eval.h - expression evaluation ----------------------------*- C++ -*-===//
+///
+/// \file
+/// The Val(exp, R) function of the paper: evaluates a (nondet-free)
+/// expression against a register valuation. Every interpreter (RA, SC,
+/// SMC baselines) shares this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_IR_EVAL_H
+#define VBMC_IR_EVAL_H
+
+#include "ir/Expr.h"
+
+#include <cassert>
+#include <vector>
+
+namespace vbmc::ir {
+
+/// Evaluates \p E over the register file \p Regs. \p E must not contain a
+/// Nondet node (callers enumerate nondet assignments statement-wise).
+inline Value evalExpr(const Expr &E, const std::vector<Value> &Regs) {
+  switch (E.kind()) {
+  case ExprKind::Const:
+    return E.constValue();
+  case ExprKind::Reg:
+    assert(E.reg() < Regs.size() && "register out of range");
+    return Regs[E.reg()];
+  case ExprKind::Nondet:
+    assert(false && "nondet reached evaluation; enumerate it at the "
+                    "statement level");
+    return 0;
+  case ExprKind::Unary:
+    return applyUnary(E.unaryOp(), evalExpr(*E.lhs(), Regs));
+  case ExprKind::Binary:
+    return applyBinary(E.binaryOp(), evalExpr(*E.lhs(), Regs),
+                       evalExpr(*E.rhs(), Regs));
+  }
+  return 0;
+}
+
+} // namespace vbmc::ir
+
+#endif // VBMC_IR_EVAL_H

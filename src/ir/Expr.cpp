@@ -1,0 +1,164 @@
+//===- Expr.cpp -----------------------------------------------*- C++ -*-===//
+
+#include "ir/Expr.h"
+
+using namespace vbmc::ir;
+
+bool Expr::hasNondet() const {
+  switch (Kind) {
+  case ExprKind::Const:
+  case ExprKind::Reg:
+    return false;
+  case ExprKind::Nondet:
+    return true;
+  case ExprKind::Unary:
+    return Left->hasNondet();
+  case ExprKind::Binary:
+    return Left->hasNondet() || Right->hasNondet();
+  }
+  return false;
+}
+
+void Expr::collectRegs(std::vector<RegId> &Regs) const {
+  switch (Kind) {
+  case ExprKind::Const:
+  case ExprKind::Nondet:
+    return;
+  case ExprKind::Reg:
+    Regs.push_back(Register);
+    return;
+  case ExprKind::Unary:
+    Left->collectRegs(Regs);
+    return;
+  case ExprKind::Binary:
+    Left->collectRegs(Regs);
+    Right->collectRegs(Regs);
+    return;
+  }
+}
+
+ExprRef Expr::makeConst(Value V) {
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::Const;
+  E->ConstVal = V;
+  return E;
+}
+
+ExprRef Expr::makeReg(RegId R) {
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::Reg;
+  E->Register = R;
+  return E;
+}
+
+ExprRef Expr::makeNondet(Value Lo, Value Hi) {
+  assert(Lo <= Hi && "empty nondet range");
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::Nondet;
+  E->Lo = Lo;
+  E->Hi = Hi;
+  return E;
+}
+
+ExprRef Expr::makeUnary(UnaryOp Op, ExprRef Operand) {
+  assert(Operand && "null operand");
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::Unary;
+  E->UOp = Op;
+  E->Left = std::move(Operand);
+  return E;
+}
+
+ExprRef Expr::makeBinary(BinaryOp Op, ExprRef Lhs, ExprRef Rhs) {
+  assert(Lhs && Rhs && "null operand");
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->Kind = ExprKind::Binary;
+  E->BOp = Op;
+  E->Left = std::move(Lhs);
+  E->Right = std::move(Rhs);
+  return E;
+}
+
+Value vbmc::ir::applyUnary(UnaryOp Op, Value A) {
+  switch (Op) {
+  case UnaryOp::Not:
+    return A == 0 ? 1 : 0;
+  case UnaryOp::Neg:
+    return -A;
+  }
+  return 0;
+}
+
+Value vbmc::ir::applyBinary(BinaryOp Op, Value A, Value B) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return A + B;
+  case BinaryOp::Sub:
+    return A - B;
+  case BinaryOp::Mul:
+    return A * B;
+  case BinaryOp::Div:
+    return B == 0 ? 0 : A / B;
+  case BinaryOp::Mod:
+    return B == 0 ? 0 : A % B;
+  case BinaryOp::Eq:
+    return A == B;
+  case BinaryOp::Ne:
+    return A != B;
+  case BinaryOp::Lt:
+    return A < B;
+  case BinaryOp::Le:
+    return A <= B;
+  case BinaryOp::Gt:
+    return A > B;
+  case BinaryOp::Ge:
+    return A >= B;
+  case BinaryOp::And:
+    return (A != 0 && B != 0) ? 1 : 0;
+  case BinaryOp::Or:
+    return (A != 0 || B != 0) ? 1 : 0;
+  }
+  return 0;
+}
+
+const char *vbmc::ir::unaryOpSpelling(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Not:
+    return "!";
+  case UnaryOp::Neg:
+    return "-";
+  }
+  return "?";
+}
+
+const char *vbmc::ir::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Mod:
+    return "%";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::And:
+    return "&&";
+  case BinaryOp::Or:
+    return "||";
+  }
+  return "?";
+}

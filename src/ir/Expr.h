@@ -1,0 +1,151 @@
+//===- Expr.h - register expressions -----------------------------*- C++ -*-===//
+///
+/// \file
+/// Expressions over registers and constants, exactly as in the paper's
+/// grammar (Fig. 1): expressions never mention shared variables. We extend
+/// the grammar with a bounded nondeterministic choice `nondet(lo, hi)`,
+/// which the paper writes as "$r = v in D" and desugars through an auxiliary
+/// process; having it first-class keeps programs small and is required by
+/// the translation's guesses (Algorithms 2 and 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_IR_EXPR_H
+#define VBMC_IR_EXPR_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vbmc::ir {
+
+/// The data domain D. The paper's D is a finite set; int32_t comfortably
+/// contains every domain used by the benchmarks and the translation's
+/// timestamp range {0..2K}.
+using Value = int32_t;
+
+/// Program-wide register index (register sets of distinct processes are
+/// disjoint, so a flat index space is unambiguous).
+using RegId = uint32_t;
+
+/// Shared-variable index.
+using VarId = uint32_t;
+
+enum class ExprKind : uint8_t {
+  Const,  ///< Integer literal.
+  Reg,    ///< Register read.
+  Nondet, ///< Nondeterministic value in an inclusive range.
+  Unary,  ///< Unary operator application.
+  Binary, ///< Binary operator application.
+};
+
+enum class UnaryOp : uint8_t {
+  Not, ///< Logical negation (0 -> 1, nonzero -> 0).
+  Neg, ///< Arithmetic negation.
+};
+
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div, ///< Division; division by zero yields 0 (total semantics).
+  Mod, ///< Remainder; modulo by zero yields 0.
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And, ///< Logical conjunction on the zero/nonzero reading.
+  Or,  ///< Logical disjunction.
+};
+
+class Expr;
+
+/// Shared immutable expression handle. Expressions are freely shared between
+/// statements, the translation output, and the BMC encoder.
+using ExprRef = std::shared_ptr<const Expr>;
+
+/// An immutable expression tree node.
+class Expr {
+public:
+  ExprKind kind() const { return Kind; }
+
+  Value constValue() const {
+    assert(Kind == ExprKind::Const && "not a constant");
+    return ConstVal;
+  }
+  RegId reg() const {
+    assert(Kind == ExprKind::Reg && "not a register");
+    return Register;
+  }
+  Value nondetLo() const {
+    assert(Kind == ExprKind::Nondet && "not a nondet");
+    return Lo;
+  }
+  Value nondetHi() const {
+    assert(Kind == ExprKind::Nondet && "not a nondet");
+    return Hi;
+  }
+  UnaryOp unaryOp() const {
+    assert(Kind == ExprKind::Unary && "not unary");
+    return UOp;
+  }
+  BinaryOp binaryOp() const {
+    assert(Kind == ExprKind::Binary && "not binary");
+    return BOp;
+  }
+  const ExprRef &lhs() const {
+    assert(Kind != ExprKind::Const && Kind != ExprKind::Reg &&
+           Kind != ExprKind::Nondet && "leaf expression has no operands");
+    return Left;
+  }
+  const ExprRef &rhs() const {
+    assert(Kind == ExprKind::Binary && "not binary");
+    return Right;
+  }
+
+  /// True when the expression contains a Nondet node.
+  bool hasNondet() const;
+
+  /// Collects the registers read by this expression into \p Regs
+  /// (duplicates possible).
+  void collectRegs(std::vector<RegId> &Regs) const;
+
+  /// \name Factories
+  /// @{
+  static ExprRef makeConst(Value V);
+  static ExprRef makeReg(RegId R);
+  static ExprRef makeNondet(Value Lo, Value Hi);
+  static ExprRef makeUnary(UnaryOp Op, ExprRef Operand);
+  static ExprRef makeBinary(BinaryOp Op, ExprRef Lhs, ExprRef Rhs);
+  /// @}
+
+private:
+  Expr() = default;
+
+  ExprKind Kind = ExprKind::Const;
+  Value ConstVal = 0;
+  RegId Register = 0;
+  Value Lo = 0, Hi = 0;
+  UnaryOp UOp = UnaryOp::Not;
+  BinaryOp BOp = BinaryOp::Add;
+  ExprRef Left, Right;
+};
+
+/// Applies \p Op to \p A (on the total semantics: logical ops use the
+/// zero/nonzero reading and produce 0/1).
+Value applyUnary(UnaryOp Op, Value A);
+
+/// Applies \p Op to \p A and \p B; division/modulo by zero yield 0.
+Value applyBinary(BinaryOp Op, Value A, Value B);
+
+/// Spelled operator for diagnostics and the pretty printer.
+const char *unaryOpSpelling(UnaryOp Op);
+const char *binaryOpSpelling(BinaryOp Op);
+
+} // namespace vbmc::ir
+
+#endif // VBMC_IR_EXPR_H

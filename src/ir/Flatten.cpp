@@ -1,0 +1,196 @@
+//===- Flatten.cpp --------------------------------------------*- C++ -*-===//
+
+#include "ir/Flatten.h"
+
+using namespace vbmc::ir;
+
+namespace {
+
+/// Emits the labeled instructions of one process body.
+class Lowering {
+public:
+  Lowering(FlatProcess &Out, VarId FenceVar) : Out(Out), FenceVar(FenceVar) {}
+
+  /// Emits \p Body; afterwards control continues at whatever label is
+  /// emitted next.
+  void emitBody(const std::vector<Stmt> &Body) {
+    for (const Stmt &S : Body)
+      emitStmt(S);
+  }
+
+  /// Finalizes the process: control falling off the end terminates.
+  void finish() {
+    // Implicit `term` at the end of the body keeps the label space closed.
+    emit(make(Op::Term));
+  }
+
+private:
+  struct PatchSite {
+    Label Instr;
+    int Slot; ///< 0 = Next, 1 = TNext, 2 = FNext.
+  };
+
+  static FlatInstr make(Op K) {
+    FlatInstr I;
+    I.K = K;
+    return I;
+  }
+
+  Label here() const { return static_cast<Label>(Out.Instrs.size()); }
+
+  Label emit(FlatInstr I) {
+    Label L = here();
+    I.Next = L + 1; // Default straight-line successor; branches overwrite.
+    Out.Instrs.push_back(std::move(I));
+    return L;
+  }
+
+  void patchLabel(PatchSite Site, Label Target) {
+    FlatInstr &I = Out.Instrs[Site.Instr];
+    (Site.Slot == 0 ? I.Next : Site.Slot == 1 ? I.TNext : I.FNext) = Target;
+  }
+
+  void emitStmt(const Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::Read: {
+      FlatInstr I = make(Op::Read);
+      I.Reg = S.Reg;
+      I.Var = S.Var;
+      emit(std::move(I));
+      return;
+    }
+    case StmtKind::Write: {
+      FlatInstr I = make(Op::Write);
+      I.Var = S.Var;
+      I.E = S.E;
+      emit(std::move(I));
+      return;
+    }
+    case StmtKind::Cas: {
+      FlatInstr I = make(Op::Cas);
+      I.Var = S.Var;
+      I.E = S.E;
+      I.E2 = S.E2;
+      emit(std::move(I));
+      return;
+    }
+    case StmtKind::Assign: {
+      FlatInstr I = make(Op::Assign);
+      I.Reg = S.Reg;
+      I.E = S.E;
+      emit(std::move(I));
+      return;
+    }
+    case StmtKind::Assume: {
+      FlatInstr I = make(Op::Assume);
+      I.E = S.E;
+      emit(std::move(I));
+      return;
+    }
+    case StmtKind::Assert: {
+      FlatInstr I = make(Op::Assert);
+      I.E = S.E;
+      emit(std::move(I));
+      return;
+    }
+    case StmtKind::If: {
+      FlatInstr Br = make(Op::Branch);
+      Br.E = S.E;
+      Label BrL = emit(std::move(Br));
+      patchLabel({BrL, 1}, here()); // TNext = start of then-branch.
+      emitBody(S.Then);
+      if (S.Else.empty()) {
+        patchLabel({BrL, 2}, here()); // FNext = after the if.
+        return;
+      }
+      FlatInstr Skip = make(Op::Goto);
+      Label SkipL = emit(std::move(Skip));
+      patchLabel({BrL, 2}, here()); // FNext = start of else-branch.
+      emitBody(S.Else);
+      patchLabel({SkipL, 0}, here()); // Goto jumps past the else-branch.
+      return;
+    }
+    case StmtKind::While: {
+      Label Head = here();
+      FlatInstr Br = make(Op::Branch);
+      Br.E = S.E;
+      Label BrL = emit(std::move(Br));
+      patchLabel({BrL, 1}, here()); // TNext = loop body.
+      emitBody(S.Then);
+      FlatInstr Back = make(Op::Goto);
+      Label BackL = emit(std::move(Back));
+      patchLabel({BackL, 0}, Head);
+      patchLabel({BrL, 2}, here()); // FNext = after the loop.
+      return;
+    }
+    case StmtKind::Term:
+      emit(make(Op::Term));
+      return;
+    case StmtKind::Fence: {
+      // Section 6: a fence is a CAS on the distinguished fence variable,
+      // whose value is always 0.
+      assert(FenceVar != std::numeric_limits<VarId>::max() &&
+             "fence without fence variable");
+      FlatInstr I = make(Op::Cas);
+      I.Var = FenceVar;
+      I.E = Expr::makeConst(0);
+      I.E2 = Expr::makeConst(0);
+      emit(std::move(I));
+      return;
+    }
+    case StmtKind::AtomicBegin:
+      emit(make(Op::AtomicBegin));
+      return;
+    case StmtKind::AtomicEnd:
+      emit(make(Op::AtomicEnd));
+      return;
+    }
+  }
+
+  FlatProcess &Out;
+  VarId FenceVar;
+};
+
+bool bodyHasFence(const std::vector<Stmt> &Body) {
+  for (const Stmt &S : Body) {
+    if (S.Kind == StmtKind::Fence)
+      return true;
+    if (bodyHasFence(S.Then) || bodyHasFence(S.Else))
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+bool FlatProgram::hasAsserts() const {
+  for (const FlatProcess &P : Procs)
+    for (const FlatInstr &I : P.Instrs)
+      if (I.K == Op::Assert)
+        return true;
+  return false;
+}
+
+FlatProgram vbmc::ir::flatten(const Program &P) {
+  FlatProgram FP;
+  FP.VarNames = P.Vars;
+  FP.Regs = P.Regs;
+
+  bool NeedsFenceVar = false;
+  for (const Process &Proc : P.Procs)
+    NeedsFenceVar |= bodyHasFence(Proc.Body);
+  if (NeedsFenceVar) {
+    FP.FenceVar = static_cast<VarId>(FP.VarNames.size());
+    FP.VarNames.push_back("__fence");
+  }
+
+  for (const Process &Proc : P.Procs) {
+    FlatProcess FProc;
+    FProc.Name = Proc.Name;
+    Lowering L(FProc, FP.FenceVar);
+    L.emitBody(Proc.Body);
+    L.finish();
+    FP.Procs.push_back(std::move(FProc));
+  }
+  return FP;
+}

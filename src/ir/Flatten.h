@@ -1,0 +1,99 @@
+//===- Flatten.h - labeled-instruction form of programs ----------*- C++ -*-===//
+///
+/// \file
+/// The paper's semantics (Fig. 2) is defined over labeled instructions with
+/// successor maps next / Tnext / Fnext. This file lowers the structured
+/// Program into that form: each process becomes a vector of FlatInstr whose
+/// indices are the labels. Two sentinel labels exist per process:
+/// FlatProcess::doneLabel() (reached by `term`) and
+/// FlatProcess::errorLabel() (reached by a failed `assert`).
+///
+/// `fence` is desugared here into `cas(fence_var, 0, 0)` on a distinguished
+/// shared variable, following Section 6 of the paper ("Fences in the input
+/// programs are treated as CAS operations to a special variable [24]").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_IR_FLATTEN_H
+#define VBMC_IR_FLATTEN_H
+
+#include "ir/Program.h"
+
+#include <limits>
+
+namespace vbmc::ir {
+
+/// Instruction label (index into FlatProcess::Instrs, or a sentinel).
+using Label = uint32_t;
+
+enum class Op : uint8_t {
+  Read,        ///< Reg = Var
+  Write,       ///< Var = E
+  Cas,         ///< cas(Var, E, E2)
+  Assign,      ///< Reg = E
+  Assume,      ///< blocks at this label while E is false (Fnext = self)
+  Assert,      ///< jumps to errorLabel() when E is false
+  Branch,      ///< pc = E ? TNext : FNext (internal step)
+  Goto,        ///< pc = Next (internal step)
+  Term,        ///< pc = doneLabel()
+  AtomicBegin, ///< enter uninterruptible section
+  AtomicEnd,   ///< leave uninterruptible section
+};
+
+/// One labeled instruction.
+struct FlatInstr {
+  Op K = Op::Goto;
+  VarId Var = 0;
+  RegId Reg = 0;
+  ExprRef E;
+  ExprRef E2;
+  Label Next = 0;  ///< Successor of straight-line instructions.
+  Label TNext = 0; ///< Branch target when E evaluates to nonzero.
+  Label FNext = 0; ///< Branch target when E evaluates to zero.
+};
+
+/// A process lowered to labeled instructions. Entry label is 0.
+struct FlatProcess {
+  std::string Name;
+  std::vector<FlatInstr> Instrs;
+
+  /// Label denoting normal termination.
+  Label doneLabel() const { return static_cast<Label>(Instrs.size()); }
+  /// Label denoting an assertion failure.
+  Label errorLabel() const { return static_cast<Label>(Instrs.size()) + 1; }
+
+  bool isDone(Label L) const { return L == doneLabel(); }
+  bool isError(Label L) const { return L == errorLabel(); }
+  bool isFinal(Label L) const { return isDone(L) || isError(L); }
+};
+
+/// A whole program in labeled-instruction form, plus the symbol tables the
+/// engines need to report traces.
+struct FlatProgram {
+  std::vector<std::string> VarNames;
+  std::vector<RegDecl> Regs;
+  std::vector<FlatProcess> Procs;
+
+  /// Index of the distinguished fence variable, or numVars() when the
+  /// program contains no fences.
+  VarId FenceVar = std::numeric_limits<VarId>::max();
+
+  uint32_t numVars() const { return static_cast<uint32_t>(VarNames.size()); }
+  uint32_t numRegs() const { return static_cast<uint32_t>(Regs.size()); }
+  uint32_t numProcs() const { return static_cast<uint32_t>(Procs.size()); }
+
+  bool hasFenceVar() const {
+    return FenceVar != std::numeric_limits<VarId>::max();
+  }
+
+  /// True when some process mentions an error label (i.e. contains assert);
+  /// reachability engines can skip error tracking otherwise.
+  bool hasAsserts() const;
+};
+
+/// Lowers \p P (which must validate) into labeled-instruction form.
+FlatProgram flatten(const Program &P);
+
+} // namespace vbmc::ir
+
+#endif // VBMC_IR_FLATTEN_H

@@ -1,0 +1,614 @@
+//===- Parser.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "ir/Parser.h"
+
+#include <cctype>
+#include <map>
+
+using namespace vbmc;
+using namespace vbmc::ir;
+
+namespace {
+
+enum class TokKind : uint8_t {
+  Ident,
+  Number,
+  Punct, ///< One of the multi/single-char operators and separators.
+  Eof,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  Value Num = 0;
+  SourceLoc Loc;
+};
+
+/// Tokenizes the whole input up front (programs are small).
+class Lexer {
+public:
+  explicit Lexer(const std::string &Source) : Src(Source) {}
+
+  ErrorOr<std::vector<Token>> run() {
+    std::vector<Token> Toks;
+    while (true) {
+      skipTrivia();
+      if (Pos >= Src.size()) {
+        Toks.push_back(Token{TokKind::Eof, "", 0, loc()});
+        return Toks;
+      }
+      SourceLoc L = loc();
+      char C = Src[Pos];
+      if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+        std::string Text;
+        while (Pos < Src.size() &&
+               (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+                Src[Pos] == '_'))
+          Text += advance();
+        Toks.push_back(Token{TokKind::Ident, std::move(Text), 0, L});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        Value V = 0;
+        while (Pos < Src.size() &&
+               std::isdigit(static_cast<unsigned char>(Src[Pos])))
+          V = V * 10 + (advance() - '0');
+        Toks.push_back(Token{TokKind::Number, "", V, L});
+        continue;
+      }
+      static const char *TwoChar[] = {"==", "!=", "<=", ">=", "&&", "||"};
+      bool Matched = false;
+      for (const char *Op : TwoChar) {
+        if (Src.compare(Pos, 2, Op) == 0) {
+          Toks.push_back(Token{TokKind::Punct, Op, 0, L});
+          advance();
+          advance();
+          Matched = true;
+          break;
+        }
+      }
+      if (Matched)
+        continue;
+      if (std::string("=;{}(),+-*/%<>!").find(C) != std::string::npos) {
+        Toks.push_back(Token{TokKind::Punct, std::string(1, C), 0, L});
+        advance();
+        continue;
+      }
+      return Diagnostic(std::string("unexpected character '") + C + "'", L);
+    }
+  }
+
+private:
+  SourceLoc loc() const { return SourceLoc{Line, Col}; }
+
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  void skipTrivia() {
+    while (Pos < Src.size()) {
+      char C = Src[Pos];
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && Pos + 1 < Src.size() && Src[Pos + 1] == '/') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          advance();
+        continue;
+      }
+      if (C == '/' && Pos + 1 < Src.size() && Src[Pos + 1] == '*') {
+        advance();
+        advance();
+        while (Pos + 1 < Src.size() &&
+               !(Src[Pos] == '*' && Src[Pos + 1] == '/'))
+          advance();
+        if (Pos + 1 < Src.size()) {
+          advance();
+          advance();
+        } else {
+          // Unterminated comment: swallow the tail instead of lexing it.
+          while (Pos < Src.size())
+            advance();
+        }
+        continue;
+      }
+      return;
+    }
+  }
+
+  const std::string &Src;
+  size_t Pos = 0;
+  uint32_t Line = 1, Col = 1;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Toks) : Toks(std::move(Toks)) {}
+
+  ErrorOr<Program> run() {
+    while (!at(TokKind::Eof)) {
+      if (atKeyword("var")) {
+        if (auto Err = parseVarDecl())
+          return *Err;
+        continue;
+      }
+      if (atKeyword("proc")) {
+        if (auto Err = parseProc())
+          return *Err;
+        continue;
+      }
+      return err("expected 'var' or 'proc' at top level");
+    }
+    if (auto Check = P.validate(); !Check)
+      return Check.error();
+    return std::move(P);
+  }
+
+private:
+  using MaybeError = std::optional<Diagnostic>;
+
+  const Token &cur() const { return Toks[Idx]; }
+  bool at(TokKind K) const { return cur().Kind == K; }
+  bool atPunct(const char *S) const {
+    return cur().Kind == TokKind::Punct && cur().Text == S;
+  }
+  bool atKeyword(const char *S) const {
+    return cur().Kind == TokKind::Ident && cur().Text == S;
+  }
+  void consume() { ++Idx; }
+
+  Diagnostic err(const std::string &Message) const {
+    return Diagnostic(Message, cur().Loc);
+  }
+
+  MaybeError expectPunct(const char *S) {
+    if (!atPunct(S))
+      return err(std::string("expected '") + S + "'");
+    consume();
+    return std::nullopt;
+  }
+
+  ErrorOr<std::string> expectIdent() {
+    if (!at(TokKind::Ident))
+      return err("expected identifier");
+    std::string Name = cur().Text;
+    consume();
+    return Name;
+  }
+
+  MaybeError parseVarDecl() {
+    consume(); // var
+    bool Any = false;
+    while (at(TokKind::Ident)) {
+      if (P.findVar(cur().Text) != P.numVars())
+        return err("redeclared shared variable '" + cur().Text + "'");
+      P.addVar(cur().Text);
+      consume();
+      Any = true;
+    }
+    if (!Any)
+      return err("expected variable name after 'var'");
+    return expectPunct(";");
+  }
+
+  /// Resolves \p Name inside the current process: registers shadow nothing
+  /// (a name may not denote both a register and a variable).
+  std::optional<RegId> lookupReg(const std::string &Name) const {
+    auto It = CurRegs.find(Name);
+    if (It == CurRegs.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  MaybeError parseProc() {
+    consume(); // proc
+    auto Name = expectIdent();
+    if (!Name)
+      return Name.error();
+    CurProc = P.addProcess(*Name);
+    CurRegs.clear();
+    if (auto Err = expectPunct("{"))
+      return Err;
+    while (atKeyword("reg")) {
+      consume();
+      bool Any = false;
+      while (at(TokKind::Ident)) {
+        const std::string &RName = cur().Text;
+        if (P.findVar(RName) != P.numVars())
+          return err("register '" + RName + "' shadows a shared variable");
+        if (CurRegs.count(RName))
+          return err("redeclared register '" + RName + "'");
+        CurRegs[RName] = P.addReg(CurProc, RName);
+        consume();
+        Any = true;
+      }
+      if (!Any)
+        return err("expected register name after 'reg'");
+      if (auto Err = expectPunct(";"))
+        return Err;
+    }
+    auto Body = parseBlockBody();
+    if (!Body)
+      return Body.error();
+    if (auto Err = expectPunct("}"))
+      return Err;
+    P.Procs[CurProc].Body = Body.take();
+    return std::nullopt;
+  }
+
+  /// Parses statements until the closing '}' (not consumed).
+  ErrorOr<std::vector<Stmt>> parseBlockBody() {
+    std::vector<Stmt> Body;
+    while (!atPunct("}") && !at(TokKind::Eof)) {
+      auto S = parseStmt();
+      if (!S)
+        return S.error();
+      Body.push_back(S.take());
+    }
+    return Body;
+  }
+
+  ErrorOr<std::vector<Stmt>> parseBracedBlock() {
+    if (auto Err = expectPunct("{"))
+      return *Err;
+    auto Body = parseBlockBody();
+    if (!Body)
+      return Body.error();
+    if (auto Err = expectPunct("}"))
+      return *Err;
+    return Body;
+  }
+
+  ErrorOr<Stmt> parseStmt() {
+    if (atKeyword("if"))
+      return parseIf();
+    if (atKeyword("while"))
+      return parseWhile();
+    if (atKeyword("atomic"))
+      return parseAtomic();
+    if (atKeyword("cas"))
+      return parseCas();
+    if (atKeyword("assume") || atKeyword("assert"))
+      return parseAssumeAssert();
+    if (atKeyword("term")) {
+      consume();
+      if (auto Err = expectPunct(";"))
+        return *Err;
+      return Stmt::term();
+    }
+    if (atKeyword("fence")) {
+      consume();
+      if (auto Err = expectPunct(";"))
+        return *Err;
+      return Stmt::fence();
+    }
+    if (at(TokKind::Ident))
+      return parseAssignLike();
+    return err("expected statement");
+  }
+
+  ErrorOr<Stmt> parseIf() {
+    consume(); // if
+    if (auto Err = expectPunct("("))
+      return *Err;
+    auto Cond = parseExpr();
+    if (!Cond)
+      return Cond.error();
+    if (auto Err = expectPunct(")"))
+      return *Err;
+    auto Then = parseBracedBlock();
+    if (!Then)
+      return Then.error();
+    std::vector<Stmt> Else;
+    if (atKeyword("else")) {
+      consume();
+      auto E = parseBracedBlock();
+      if (!E)
+        return E.error();
+      Else = E.take();
+    }
+    return Stmt::ifThen(Cond.take(), Then.take(), std::move(Else));
+  }
+
+  ErrorOr<Stmt> parseWhile() {
+    consume(); // while
+    if (auto Err = expectPunct("("))
+      return *Err;
+    auto Cond = parseExpr();
+    if (!Cond)
+      return Cond.error();
+    if (auto Err = expectPunct(")"))
+      return *Err;
+    auto Body = parseBracedBlock();
+    if (!Body)
+      return Body.error();
+    return Stmt::whileLoop(Cond.take(), Body.take());
+  }
+
+  ErrorOr<Stmt> parseAtomic() {
+    consume(); // atomic
+    auto Body = parseBracedBlock();
+    if (!Body)
+      return Body.error();
+    // Desugar `atomic { B }` into `atomic_begin; B; atomic_end` by nesting
+    // the markers around the block inside an If(true) wrapper-free splice:
+    // we return a synthetic If with constant condition to keep Stmt a tree.
+    std::vector<Stmt> Spliced;
+    Spliced.push_back(Stmt::atomicBegin());
+    for (Stmt &S : *Body)
+      Spliced.push_back(std::move(S));
+    Spliced.push_back(Stmt::atomicEnd());
+    return Stmt::ifThen(constE(1), std::move(Spliced));
+  }
+
+  ErrorOr<Stmt> parseCas() {
+    consume(); // cas
+    if (auto Err = expectPunct("("))
+      return *Err;
+    auto VarName = expectIdent();
+    if (!VarName)
+      return VarName.error();
+    VarId X = P.findVar(*VarName);
+    if (X == P.numVars())
+      return err("cas on undeclared shared variable '" + *VarName + "'");
+    if (auto Err = expectPunct(","))
+      return *Err;
+    auto Expected = parseExpr();
+    if (!Expected)
+      return Expected.error();
+    if (auto Err = expectPunct(","))
+      return *Err;
+    auto New = parseExpr();
+    if (!New)
+      return New.error();
+    if (auto Err = expectPunct(")"))
+      return *Err;
+    if (auto Err = expectPunct(";"))
+      return *Err;
+    return Stmt::cas(X, Expected.take(), New.take());
+  }
+
+  ErrorOr<Stmt> parseAssumeAssert() {
+    bool IsAssert = cur().Text == "assert";
+    consume();
+    if (auto Err = expectPunct("("))
+      return *Err;
+    auto Cond = parseExpr();
+    if (!Cond)
+      return Cond.error();
+    if (auto Err = expectPunct(")"))
+      return *Err;
+    if (auto Err = expectPunct(";"))
+      return *Err;
+    return IsAssert ? Stmt::assertThat(Cond.take()) : Stmt::assume(Cond.take());
+  }
+
+  /// Statements of the form `name = ...;` — write, read, or assignment
+  /// depending on what `name` and the right-hand side denote.
+  ErrorOr<Stmt> parseAssignLike() {
+    SourceLoc L = cur().Loc;
+    std::string Lhs = cur().Text;
+    consume();
+    if (auto Err = expectPunct("="))
+      return *Err;
+
+    VarId LhsVar = P.findVar(Lhs);
+    std::optional<RegId> LhsReg = lookupReg(Lhs);
+
+    if (LhsVar != P.numVars()) {
+      // Write: x = e.
+      auto E = parseExpr();
+      if (!E)
+        return E.error();
+      if (auto Err = expectPunct(";"))
+        return *Err;
+      return Stmt::write(LhsVar, E.take());
+    }
+    if (!LhsReg)
+      return Diagnostic("unknown name '" + Lhs + "' on left-hand side", L);
+
+    // Read when the right-hand side is exactly one shared-variable name.
+    if (at(TokKind::Ident) && Toks[Idx + 1].Kind == TokKind::Punct &&
+        Toks[Idx + 1].Text == ";") {
+      VarId X = P.findVar(cur().Text);
+      if (X != P.numVars()) {
+        consume();
+        consume(); // ';'
+        return Stmt::read(*LhsReg, X);
+      }
+    }
+    auto E = parseExpr();
+    if (!E)
+      return E.error();
+    if (auto Err = expectPunct(";"))
+      return *Err;
+    return Stmt::assign(*LhsReg, E.take());
+  }
+
+  /// \name Expression parsing (precedence climbing)
+  /// @{
+  ErrorOr<ExprRef> parseExpr() { return parseOr(); }
+
+  ErrorOr<ExprRef> parseOr() {
+    auto L = parseAnd();
+    if (!L)
+      return L;
+    while (atPunct("||")) {
+      consume();
+      auto R = parseAnd();
+      if (!R)
+        return R;
+      L = orE(L.take(), R.take());
+    }
+    return L;
+  }
+
+  ErrorOr<ExprRef> parseAnd() {
+    auto L = parseCompare();
+    if (!L)
+      return L;
+    while (atPunct("&&")) {
+      consume();
+      auto R = parseCompare();
+      if (!R)
+        return R;
+      L = andE(L.take(), R.take());
+    }
+    return L;
+  }
+
+  ErrorOr<ExprRef> parseCompare() {
+    auto L = parseAdd();
+    if (!L)
+      return L;
+    static const std::pair<const char *, BinaryOp> Ops[] = {
+        {"==", BinaryOp::Eq}, {"!=", BinaryOp::Ne}, {"<=", BinaryOp::Le},
+        {">=", BinaryOp::Ge}, {"<", BinaryOp::Lt},  {">", BinaryOp::Gt}};
+    for (const auto &[Spelling, Op] : Ops) {
+      if (atPunct(Spelling)) {
+        consume();
+        auto R = parseAdd();
+        if (!R)
+          return R;
+        return ExprRef(binE(Op, L.take(), R.take()));
+      }
+    }
+    return L;
+  }
+
+  ErrorOr<ExprRef> parseAdd() {
+    auto L = parseMul();
+    if (!L)
+      return L;
+    while (atPunct("+") || atPunct("-")) {
+      BinaryOp Op = atPunct("+") ? BinaryOp::Add : BinaryOp::Sub;
+      consume();
+      auto R = parseMul();
+      if (!R)
+        return R;
+      L = binE(Op, L.take(), R.take());
+    }
+    return L;
+  }
+
+  ErrorOr<ExprRef> parseMul() {
+    auto L = parseUnary();
+    if (!L)
+      return L;
+    while (atPunct("*") || atPunct("/") || atPunct("%")) {
+      BinaryOp Op = atPunct("*")   ? BinaryOp::Mul
+                    : atPunct("/") ? BinaryOp::Div
+                                   : BinaryOp::Mod;
+      consume();
+      auto R = parseUnary();
+      if (!R)
+        return R;
+      L = binE(Op, L.take(), R.take());
+    }
+    return L;
+  }
+
+  ErrorOr<ExprRef> parseUnary() {
+    if (atPunct("!")) {
+      consume();
+      auto E = parseUnary();
+      if (!E)
+        return E;
+      return ExprRef(notE(E.take()));
+    }
+    if (atPunct("-")) {
+      consume();
+      auto E = parseUnary();
+      if (!E)
+        return E;
+      return ExprRef(Expr::makeUnary(UnaryOp::Neg, E.take()));
+    }
+    return parsePrimary();
+  }
+
+  ErrorOr<ExprRef> parsePrimary() {
+    if (at(TokKind::Number)) {
+      Value V = cur().Num;
+      consume();
+      return constE(V);
+    }
+    if (atPunct("(")) {
+      consume();
+      auto E = parseExpr();
+      if (!E)
+        return E;
+      if (auto Err = expectPunct(")"))
+        return *Err;
+      return E;
+    }
+    if (atKeyword("nondet")) {
+      consume();
+      if (auto Err = expectPunct("("))
+        return *Err;
+      auto Lo = parseSignedNumber();
+      if (!Lo)
+        return Lo.error();
+      if (auto Err = expectPunct(","))
+        return *Err;
+      auto Hi = parseSignedNumber();
+      if (!Hi)
+        return Hi.error();
+      if (auto Err = expectPunct(")"))
+        return *Err;
+      if (*Lo > *Hi)
+        return err("empty nondet range");
+      return nondetE(*Lo, *Hi);
+    }
+    if (at(TokKind::Ident)) {
+      if (auto R = lookupReg(cur().Text)) {
+        consume();
+        return regE(*R);
+      }
+      if (P.findVar(cur().Text) != P.numVars())
+        return err("shared variable '" + cur().Text +
+                   "' may not appear inside an expression");
+      return err("unknown name '" + cur().Text + "' in expression");
+    }
+    return err("expected expression");
+  }
+
+  ErrorOr<Value> parseSignedNumber() {
+    bool Negate = false;
+    if (atPunct("-")) {
+      consume();
+      Negate = true;
+    }
+    if (!at(TokKind::Number))
+      return err("expected number");
+    Value V = cur().Num;
+    consume();
+    return Negate ? -V : V;
+  }
+  /// @}
+
+  std::vector<Token> Toks;
+  size_t Idx = 0;
+  Program P;
+  uint32_t CurProc = 0;
+  std::map<std::string, RegId> CurRegs;
+};
+
+} // namespace
+
+ErrorOr<Program> vbmc::ir::parseProgram(const std::string &Source) {
+  Lexer L(Source);
+  auto Toks = L.run();
+  if (!Toks)
+    return Toks.error();
+  Parser Psr(Toks.take());
+  return Psr.run();
+}

@@ -1,0 +1,49 @@
+//===- Parser.h - concrete syntax for concurrent programs --------*- C++ -*-===//
+///
+/// \file
+/// A hand-written lexer and recursive-descent parser for the assembly-like
+/// concrete syntax of the paper's language (Fig. 1), used by the vbmc driver
+/// and the example programs. The syntax:
+///
+/// \code
+///   var x y;
+///   proc p0 {
+///     reg r1 r2;
+///     r1 = x;                 // read  ($r = x)
+///     x = r1 + 1;             // write (x = e over registers)
+///     r2 = r1 * 2;            // assignment ($r = e)
+///     r1 = nondet(0, 5);      // bounded nondeterministic choice
+///     cas(x, r1, r2);         // compare-and-swap
+///     assume(r1 == 0);
+///     assert(r1 != 2);
+///     fence;
+///     if (r1 == 1) { ... } else { ... }
+///     while (r1 != 0) { ... }
+///     atomic { ... }
+///     term;
+///   }
+/// \endcode
+///
+/// Expressions may mention registers and constants only — naming a shared
+/// variable inside an expression is a parse-time error, matching the
+/// grammar's separation of memory accesses from computation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_IR_PARSER_H
+#define VBMC_IR_PARSER_H
+
+#include "ir/Program.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+
+namespace vbmc::ir {
+
+/// Parses \p Source into a Program. On failure the diagnostic carries the
+/// 1-based line:column of the offending token.
+ErrorOr<Program> parseProgram(const std::string &Source);
+
+} // namespace vbmc::ir
+
+#endif // VBMC_IR_PARSER_H

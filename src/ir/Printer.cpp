@@ -1,0 +1,176 @@
+//===- Printer.cpp --------------------------------------------*- C++ -*-===//
+
+#include "ir/Printer.h"
+
+using namespace vbmc::ir;
+
+namespace {
+
+/// Renders an expression; non-leaf operands are parenthesized so the output
+/// re-parses to the same tree regardless of precedence subtleties.
+std::string printExprImpl(const Expr &E, const std::vector<RegDecl> &Regs) {
+  auto Operand = [&](const Expr &Op) {
+    std::string S = printExprImpl(Op, Regs);
+    if (Op.kind() == ExprKind::Unary || Op.kind() == ExprKind::Binary)
+      return "(" + S + ")";
+    return S;
+  };
+  switch (E.kind()) {
+  case ExprKind::Const:
+    if (E.constValue() < 0)
+      return "(0 - " + std::to_string(-static_cast<int64_t>(E.constValue())) +
+             ")";
+    return std::to_string(E.constValue());
+  case ExprKind::Reg:
+    return Regs[E.reg()].Name;
+  case ExprKind::Nondet:
+    return "nondet(" + std::to_string(E.nondetLo()) + ", " +
+           std::to_string(E.nondetHi()) + ")";
+  case ExprKind::Unary:
+    return std::string(unaryOpSpelling(E.unaryOp())) + Operand(*E.lhs());
+  case ExprKind::Binary:
+    return Operand(*E.lhs()) + " " + binaryOpSpelling(E.binaryOp()) + " " +
+           Operand(*E.rhs());
+  }
+  return "?";
+}
+
+void printStmts(const std::vector<Stmt> &Body, const Program &P,
+                const std::vector<RegDecl> &Regs, int Indent,
+                std::string &Out) {
+  std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+  for (const Stmt &S : Body) {
+    switch (S.Kind) {
+    case StmtKind::Read:
+      Out += Pad + Regs[S.Reg].Name + " = " + P.Vars[S.Var] + ";\n";
+      break;
+    case StmtKind::Write:
+      Out += Pad + P.Vars[S.Var] + " = " + printExprImpl(*S.E, Regs) + ";\n";
+      break;
+    case StmtKind::Cas:
+      Out += Pad + "cas(" + P.Vars[S.Var] + ", " + printExprImpl(*S.E, Regs) +
+             ", " + printExprImpl(*S.E2, Regs) + ");\n";
+      break;
+    case StmtKind::Assign:
+      Out += Pad + Regs[S.Reg].Name + " = " + printExprImpl(*S.E, Regs) +
+             ";\n";
+      break;
+    case StmtKind::Assume:
+      Out += Pad + "assume(" + printExprImpl(*S.E, Regs) + ");\n";
+      break;
+    case StmtKind::Assert:
+      Out += Pad + "assert(" + printExprImpl(*S.E, Regs) + ");\n";
+      break;
+    case StmtKind::If:
+      Out += Pad + "if (" + printExprImpl(*S.E, Regs) + ") {\n";
+      printStmts(S.Then, P, Regs, Indent + 1, Out);
+      if (!S.Else.empty()) {
+        Out += Pad + "} else {\n";
+        printStmts(S.Else, P, Regs, Indent + 1, Out);
+      }
+      Out += Pad + "}\n";
+      break;
+    case StmtKind::While:
+      Out += Pad + "while (" + printExprImpl(*S.E, Regs) + ") {\n";
+      printStmts(S.Then, P, Regs, Indent + 1, Out);
+      Out += Pad + "}\n";
+      break;
+    case StmtKind::Term:
+      Out += Pad + "term;\n";
+      break;
+    case StmtKind::Fence:
+      Out += Pad + "fence;\n";
+      break;
+    case StmtKind::AtomicBegin:
+      Out += Pad + "/* atomic_begin */ atomic {\n";
+      break;
+    case StmtKind::AtomicEnd:
+      Out += Pad + "} /* atomic_end */\n";
+      break;
+    }
+  }
+}
+
+} // namespace
+
+std::string vbmc::ir::printExpr(const Expr &E, const Program &P) {
+  return printExprImpl(E, P.Regs);
+}
+
+std::string vbmc::ir::printProgram(const Program &P) {
+  std::string Out;
+  if (!P.Vars.empty()) {
+    Out += "var";
+    for (const std::string &V : P.Vars)
+      Out += " " + V;
+    Out += ";\n\n";
+  }
+  for (uint32_t PI = 0; PI < P.numProcs(); ++PI) {
+    const Process &Proc = P.Procs[PI];
+    Out += "proc " + Proc.Name + " {\n";
+    std::string RegLine;
+    for (RegId R = 0; R < P.numRegs(); ++R)
+      if (P.Regs[R].Process == PI)
+        RegLine += " " + P.Regs[R].Name;
+    if (!RegLine.empty())
+      Out += "  reg" + RegLine + ";\n";
+    printStmts(Proc.Body, P, P.Regs, 1, Out);
+    Out += "}\n\n";
+  }
+  return Out;
+}
+
+std::string vbmc::ir::printFlatProgram(const FlatProgram &FP) {
+  std::string Out;
+  for (const FlatProcess &Proc : FP.Procs) {
+    Out += "proc " + Proc.Name + ":\n";
+    for (Label L = 0; L < Proc.Instrs.size(); ++L) {
+      const FlatInstr &I = Proc.Instrs[L];
+      Out += "  " + std::to_string(L) + ": ";
+      auto Ex = [&](const ExprRef &E) { return printExprImpl(*E, FP.Regs); };
+      switch (I.K) {
+      case Op::Read:
+        Out += FP.Regs[I.Reg].Name + " = " + FP.VarNames[I.Var];
+        break;
+      case Op::Write:
+        Out += FP.VarNames[I.Var] + " = " + Ex(I.E);
+        break;
+      case Op::Cas:
+        Out += "cas(" + FP.VarNames[I.Var] + ", " + Ex(I.E) + ", " + Ex(I.E2) +
+               ")";
+        break;
+      case Op::Assign:
+        Out += FP.Regs[I.Reg].Name + " = " + Ex(I.E);
+        break;
+      case Op::Assume:
+        Out += "assume(" + Ex(I.E) + ")";
+        break;
+      case Op::Assert:
+        Out += "assert(" + Ex(I.E) + ")";
+        break;
+      case Op::Branch:
+        Out += "branch " + Ex(I.E) + " ? " + std::to_string(I.TNext) + " : " +
+               std::to_string(I.FNext);
+        break;
+      case Op::Goto:
+        Out += "goto " + std::to_string(I.Next);
+        break;
+      case Op::Term:
+        Out += "term";
+        break;
+      case Op::AtomicBegin:
+        Out += "atomic_begin";
+        break;
+      case Op::AtomicEnd:
+        Out += "atomic_end";
+        break;
+      }
+      if (I.K != Op::Branch && I.K != Op::Goto && I.K != Op::Term)
+        Out += "  -> " + std::to_string(I.Next);
+      Out += "\n";
+    }
+    Out += "  " + std::to_string(Proc.doneLabel()) + ": <done>\n";
+    Out += "  " + std::to_string(Proc.errorLabel()) + ": <error>\n";
+  }
+  return Out;
+}

@@ -1,0 +1,32 @@
+//===- Printer.h - pretty printing -------------------------------*- C++ -*-===//
+///
+/// \file
+/// Renders programs and expressions back into the concrete syntax accepted
+/// by the parser (the printer/parser pair round-trips, which the tests
+/// check). Also renders the labeled-instruction form for debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_IR_PRINTER_H
+#define VBMC_IR_PRINTER_H
+
+#include "ir/Flatten.h"
+#include "ir/Program.h"
+
+#include <string>
+
+namespace vbmc::ir {
+
+/// Renders \p E using register names from \p P.
+std::string printExpr(const Expr &E, const Program &P);
+
+/// Renders \p P in parseable concrete syntax.
+std::string printProgram(const Program &P);
+
+/// Renders the labeled-instruction form with explicit label numbers and
+/// successor labels (diagnostic output, not parseable).
+std::string printFlatProgram(const FlatProgram &FP);
+
+} // namespace vbmc::ir
+
+#endif // VBMC_IR_PRINTER_H

@@ -1,0 +1,246 @@
+//===- Program.cpp --------------------------------------------*- C++ -*-===//
+
+#include "ir/Program.h"
+
+using namespace vbmc;
+using namespace vbmc::ir;
+
+Stmt Stmt::read(RegId R, VarId X) {
+  Stmt S;
+  S.Kind = StmtKind::Read;
+  S.Reg = R;
+  S.Var = X;
+  return S;
+}
+
+Stmt Stmt::write(VarId X, ExprRef E) {
+  Stmt S;
+  S.Kind = StmtKind::Write;
+  S.Var = X;
+  S.E = std::move(E);
+  return S;
+}
+
+Stmt Stmt::cas(VarId X, ExprRef Expected, ExprRef New) {
+  Stmt S;
+  S.Kind = StmtKind::Cas;
+  S.Var = X;
+  S.E = std::move(Expected);
+  S.E2 = std::move(New);
+  return S;
+}
+
+Stmt Stmt::assign(RegId R, ExprRef E) {
+  Stmt S;
+  S.Kind = StmtKind::Assign;
+  S.Reg = R;
+  S.E = std::move(E);
+  return S;
+}
+
+Stmt Stmt::assume(ExprRef E) {
+  Stmt S;
+  S.Kind = StmtKind::Assume;
+  S.E = std::move(E);
+  return S;
+}
+
+Stmt Stmt::assertThat(ExprRef E) {
+  Stmt S;
+  S.Kind = StmtKind::Assert;
+  S.E = std::move(E);
+  return S;
+}
+
+Stmt Stmt::ifThen(ExprRef Cond, std::vector<Stmt> Then,
+                  std::vector<Stmt> Else) {
+  Stmt S;
+  S.Kind = StmtKind::If;
+  S.E = std::move(Cond);
+  S.Then = std::move(Then);
+  S.Else = std::move(Else);
+  return S;
+}
+
+Stmt Stmt::whileLoop(ExprRef Cond, std::vector<Stmt> Body) {
+  Stmt S;
+  S.Kind = StmtKind::While;
+  S.E = std::move(Cond);
+  S.Then = std::move(Body);
+  return S;
+}
+
+Stmt Stmt::term() {
+  Stmt S;
+  S.Kind = StmtKind::Term;
+  return S;
+}
+
+Stmt Stmt::fence() {
+  Stmt S;
+  S.Kind = StmtKind::Fence;
+  return S;
+}
+
+Stmt Stmt::atomicBegin() {
+  Stmt S;
+  S.Kind = StmtKind::AtomicBegin;
+  return S;
+}
+
+Stmt Stmt::atomicEnd() {
+  Stmt S;
+  S.Kind = StmtKind::AtomicEnd;
+  return S;
+}
+
+VarId Program::addVar(std::string Name) {
+  Vars.push_back(std::move(Name));
+  return static_cast<VarId>(Vars.size() - 1);
+}
+
+uint32_t Program::addProcess(std::string Name) {
+  Procs.push_back(Process{std::move(Name), {}});
+  return static_cast<uint32_t>(Procs.size() - 1);
+}
+
+RegId Program::addReg(uint32_t ProcessIdx, std::string Name) {
+  assert(ProcessIdx < Procs.size() && "bad process index");
+  Regs.push_back(RegDecl{std::move(Name), ProcessIdx});
+  return static_cast<RegId>(Regs.size() - 1);
+}
+
+VarId Program::findVar(const std::string &Name) const {
+  for (VarId I = 0; I < Vars.size(); ++I)
+    if (Vars[I] == Name)
+      return I;
+  return numVars();
+}
+
+namespace {
+
+/// Recursive well-formedness walker for one process body.
+class Validator {
+public:
+  Validator(const Program &P, uint32_t ProcIdx) : P(P), ProcIdx(ProcIdx) {}
+
+  std::optional<std::string> check(const std::vector<Stmt> &Body) {
+    for (const Stmt &S : Body)
+      if (auto Err = checkStmt(S))
+        return Err;
+    return std::nullopt;
+  }
+
+private:
+  std::optional<std::string> checkExpr(const Expr &E) {
+    switch (E.kind()) {
+    case ExprKind::Const:
+      return std::nullopt;
+    case ExprKind::Nondet:
+      // Engines enumerate nondet choices statement-by-statement, so a
+      // nondet must be the entire right-hand side of an assignment (the
+      // Assign case handles that form before recursing here).
+      return "nondet(lo, hi) is only allowed as the full right-hand side "
+             "of a register assignment";
+    case ExprKind::Reg:
+      if (E.reg() >= P.numRegs())
+        return "register index out of range";
+      if (P.Regs[E.reg()].Process != ProcIdx)
+        return "process '" + P.Procs[ProcIdx].Name + "' uses register '" +
+               P.Regs[E.reg()].Name + "' of another process";
+      return std::nullopt;
+    case ExprKind::Unary:
+      return checkExpr(*E.lhs());
+    case ExprKind::Binary:
+      if (auto Err = checkExpr(*E.lhs()))
+        return Err;
+      return checkExpr(*E.rhs());
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::string> checkReg(RegId R) {
+    if (R >= P.numRegs())
+      return "register index out of range";
+    if (P.Regs[R].Process != ProcIdx)
+      return "process '" + P.Procs[ProcIdx].Name + "' writes register '" +
+             P.Regs[R].Name + "' of another process";
+    return std::nullopt;
+  }
+
+  std::optional<std::string> checkVar(VarId X) {
+    if (X >= P.numVars())
+      return "shared-variable index out of range";
+    return std::nullopt;
+  }
+
+  std::optional<std::string> checkStmt(const Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::Read:
+      if (auto Err = checkVar(S.Var))
+        return Err;
+      return checkReg(S.Reg);
+    case StmtKind::Write:
+      if (auto Err = checkVar(S.Var))
+        return Err;
+      return checkExpr(*S.E);
+    case StmtKind::Cas:
+      if (auto Err = checkVar(S.Var))
+        return Err;
+      if (auto Err = checkExpr(*S.E))
+        return Err;
+      return checkExpr(*S.E2);
+    case StmtKind::Assign:
+      if (auto Err = checkReg(S.Reg))
+        return Err;
+      if (S.E->kind() == ExprKind::Nondet) {
+        if (S.E->nondetLo() > S.E->nondetHi())
+          return "nondet range is empty";
+        return std::nullopt;
+      }
+      return checkExpr(*S.E);
+    case StmtKind::Assume:
+    case StmtKind::Assert:
+      return checkExpr(*S.E);
+    case StmtKind::If:
+      if (auto Err = checkExpr(*S.E))
+        return Err;
+      if (auto Err = check(S.Then))
+        return Err;
+      return check(S.Else);
+    case StmtKind::While:
+      if (auto Err = checkExpr(*S.E))
+        return Err;
+      return check(S.Then);
+    case StmtKind::Term:
+    case StmtKind::Fence:
+      return std::nullopt;
+    case StmtKind::AtomicBegin:
+      ++AtomicDepth;
+      return std::nullopt;
+    case StmtKind::AtomicEnd:
+      if (AtomicDepth == 0)
+        return "atomic_end without matching atomic_begin";
+      --AtomicDepth;
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  const Program &P;
+  uint32_t ProcIdx;
+  int AtomicDepth = 0;
+};
+
+} // namespace
+
+ErrorOr<bool> Program::validate() const {
+  if (Procs.empty())
+    return Diagnostic("program declares no processes");
+  for (uint32_t I = 0; I < numProcs(); ++I) {
+    Validator V(*this, I);
+    if (auto Err = V.check(Procs[I].Body))
+      return Diagnostic("in process '" + Procs[I].Name + "': " + *Err);
+  }
+  return true;
+}

@@ -1,0 +1,150 @@
+//===- Program.h - concurrent programs (Fig. 1) ------------------*- C++ -*-===//
+///
+/// \file
+/// The structured form of concurrent programs following the paper's grammar
+/// (Fig. 1):
+///
+/// \code
+///   Prog ::= var x* (proc p reg $r* i*)*
+///   s    ::= $r = x | x = $r | cas(x,$r1,$r2) | assume(e) | $r = e | term
+///          | if e then i* else i* end | while e do i* done
+/// \endcode
+///
+/// Extensions needed by the tool (Section 6 of the paper):
+///  * `assert(e)` — reachability queries are phrased as assertion failures;
+///  * `fence` — treated as a CAS on a distinguished variable (per [24]);
+///  * `atomic { ... }` — instrumentation blocks emitted by the translation
+///    that must not be interrupted under SC;
+///  * writes may carry a full register expression (`x = e` desugars the
+///    paper's `$r' = e; x = $r'` pair), and CAS operands may be expressions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_IR_PROGRAM_H
+#define VBMC_IR_PROGRAM_H
+
+#include "ir/Expr.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace vbmc::ir {
+
+enum class StmtKind : uint8_t {
+  Read,        ///< $r = x
+  Write,       ///< x = e
+  Cas,         ///< cas(x, eExpected, eNew)
+  Assign,      ///< $r = e
+  Assume,      ///< assume(e): blocks forever when e is false
+  Assert,      ///< assert(e): moves the process to the error label when false
+  If,          ///< if e then ... else ... end if
+  While,       ///< while e do ... done
+  Term,        ///< terminate the process
+  Fence,       ///< memory fence (sugar for CAS on a distinguished variable)
+  AtomicBegin, ///< begin an uninterruptible section (SC backends only)
+  AtomicEnd,   ///< end an uninterruptible section
+};
+
+/// A structured statement. Sub-statement vectors are only populated for If
+/// (Then/Else) and While (Then reused as the body).
+struct Stmt {
+  StmtKind Kind;
+  VarId Var = 0;       ///< Shared variable of Read/Write/Cas.
+  RegId Reg = 0;       ///< Destination register of Read/Assign.
+  ExprRef E;           ///< Value/condition operand.
+  ExprRef E2;          ///< Second CAS operand (new value).
+  std::vector<Stmt> Then;
+  std::vector<Stmt> Else;
+
+  /// \name Constructors for each statement form
+  /// @{
+  static Stmt read(RegId R, VarId X);
+  static Stmt write(VarId X, ExprRef E);
+  static Stmt cas(VarId X, ExprRef Expected, ExprRef New);
+  static Stmt assign(RegId R, ExprRef E);
+  static Stmt assume(ExprRef E);
+  static Stmt assertThat(ExprRef E);
+  static Stmt ifThen(ExprRef Cond, std::vector<Stmt> Then,
+                     std::vector<Stmt> Else = {});
+  static Stmt whileLoop(ExprRef Cond, std::vector<Stmt> Body);
+  static Stmt term();
+  static Stmt fence();
+  static Stmt atomicBegin();
+  static Stmt atomicEnd();
+  /// @}
+};
+
+/// A register declaration; registers of different processes are disjoint.
+struct RegDecl {
+  std::string Name;
+  uint32_t Process; ///< Owning process index.
+};
+
+/// One process: a name plus a structured statement list.
+struct Process {
+  std::string Name;
+  std::vector<Stmt> Body;
+};
+
+/// A whole concurrent program.
+class Program {
+public:
+  /// Shared-variable names; VarId indexes this vector.
+  std::vector<std::string> Vars;
+  /// All registers of all processes; RegId indexes this vector.
+  std::vector<RegDecl> Regs;
+  std::vector<Process> Procs;
+
+  uint32_t numVars() const { return static_cast<uint32_t>(Vars.size()); }
+  uint32_t numRegs() const { return static_cast<uint32_t>(Regs.size()); }
+  uint32_t numProcs() const { return static_cast<uint32_t>(Procs.size()); }
+
+  VarId addVar(std::string Name);
+  uint32_t addProcess(std::string Name);
+  RegId addReg(uint32_t Process, std::string Name);
+
+  /// Looks up a variable by name; returns numVars() when absent.
+  VarId findVar(const std::string &Name) const;
+
+  /// Checks structural well-formedness: every register used by a process
+  /// belongs to it, every Var/Reg index is in range, atomic sections nest
+  /// properly, and `term`/top-level placement rules hold.
+  ErrorOr<bool> validate() const;
+};
+
+/// Convenience expression factories (shorter call sites for builders).
+inline ExprRef constE(Value V) { return Expr::makeConst(V); }
+inline ExprRef regE(RegId R) { return Expr::makeReg(R); }
+inline ExprRef nondetE(Value Lo, Value Hi) { return Expr::makeNondet(Lo, Hi); }
+inline ExprRef notE(ExprRef A) {
+  return Expr::makeUnary(UnaryOp::Not, std::move(A));
+}
+inline ExprRef binE(BinaryOp Op, ExprRef A, ExprRef B) {
+  return Expr::makeBinary(Op, std::move(A), std::move(B));
+}
+inline ExprRef eqE(ExprRef A, ExprRef B) {
+  return binE(BinaryOp::Eq, std::move(A), std::move(B));
+}
+inline ExprRef neE(ExprRef A, ExprRef B) {
+  return binE(BinaryOp::Ne, std::move(A), std::move(B));
+}
+inline ExprRef ltE(ExprRef A, ExprRef B) {
+  return binE(BinaryOp::Lt, std::move(A), std::move(B));
+}
+inline ExprRef leE(ExprRef A, ExprRef B) {
+  return binE(BinaryOp::Le, std::move(A), std::move(B));
+}
+inline ExprRef andE(ExprRef A, ExprRef B) {
+  return binE(BinaryOp::And, std::move(A), std::move(B));
+}
+inline ExprRef orE(ExprRef A, ExprRef B) {
+  return binE(BinaryOp::Or, std::move(A), std::move(B));
+}
+inline ExprRef addE(ExprRef A, ExprRef B) {
+  return binE(BinaryOp::Add, std::move(A), std::move(B));
+}
+
+} // namespace vbmc::ir
+
+#endif // VBMC_IR_PROGRAM_H

@@ -1,0 +1,242 @@
+//===- Lcs.cpp - coverability engines ---------------------------*- C++ -*-===//
+
+#include "lcs/Lcs.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+using namespace vbmc;
+using namespace vbmc::lcs;
+
+bool Lcs::valid() const {
+  for (const LcsTransition &T : Transitions) {
+    if (T.From >= NumStates || T.To >= NumStates)
+      return false;
+    if (T.Op != ChanOp::Nop &&
+        (T.Channel >= NumChannels || T.Symbol >= AlphabetSize))
+      return false;
+  }
+  return NumStates > 0;
+}
+
+bool vbmc::lcs::isSubword(const std::vector<uint8_t> &A,
+                          const std::vector<uint8_t> &B) {
+  size_t I = 0;
+  for (uint8_t C : B) {
+    if (I < A.size() && A[I] == C)
+      ++I;
+  }
+  return I == A.size();
+}
+
+namespace {
+
+/// A minimal element of an upward-closed set of configurations.
+struct MinConfig {
+  uint32_t State;
+  std::vector<std::vector<uint8_t>> Channels;
+
+  bool operator==(const MinConfig &) const = default;
+  bool operator<(const MinConfig &O) const {
+    if (State != O.State)
+      return State < O.State;
+    return Channels < O.Channels;
+  }
+
+  /// Pointwise subword order (the WQO): this <= O means the upward
+  /// closure of O is contained in ours.
+  bool coveredBy(const MinConfig &O) const {
+    if (State != O.State)
+      return false;
+    for (size_t C = 0; C < Channels.size(); ++C)
+      if (!isSubword(O.Channels[C], Channels[C]))
+        return false;
+    return true;
+  }
+};
+
+/// Inserts \p M keeping \p Set an antichain of minimal elements; returns
+/// true if \p M was genuinely new (not covered by an existing element).
+bool insertMinimal(std::vector<MinConfig> &Set, MinConfig M) {
+  for (const MinConfig &E : Set)
+    if (M.coveredBy(E))
+      return false;
+  std::erase_if(Set, [&](const MinConfig &E) { return E.coveredBy(M); });
+  Set.push_back(std::move(M));
+  return true;
+}
+
+} // namespace
+
+CoverResult vbmc::lcs::coverable(const Lcs &L, uint32_t Target) {
+  CoverResult R;
+  // Start: the upward closure of (Target, empty channels).
+  std::vector<MinConfig> Minimals;
+  std::deque<MinConfig> Worklist;
+  MinConfig Seed{Target,
+                 std::vector<std::vector<uint8_t>>(L.NumChannels)};
+  Minimals.push_back(Seed);
+  Worklist.push_back(std::move(Seed));
+
+  auto isInitial = [&](const MinConfig &M) {
+    if (M.State != 0)
+      return false;
+    for (const auto &Ch : M.Channels)
+      if (!Ch.empty())
+        return false;
+    return true;
+  };
+  if (isInitial(Minimals.front())) {
+    R.Coverable = true;
+    return R;
+  }
+
+  while (!Worklist.empty()) {
+    ++R.Iterations;
+    MinConfig M = std::move(Worklist.front());
+    Worklist.pop_front();
+
+    for (const LcsTransition &T : L.Transitions) {
+      if (T.To != M.State)
+        continue;
+      MinConfig Pred = M;
+      Pred.State = T.From;
+      switch (T.Op) {
+      case ChanOp::Nop:
+        break;
+      case ChanOp::Send: {
+        // Executing c!a appends a; a minimal predecessor requirement
+        // drops a trailing a (if present) — otherwise the appended symbol
+        // was lost and the requirement is unchanged.
+        auto &Ch = Pred.Channels[T.Channel];
+        if (!Ch.empty() && Ch.back() == T.Symbol)
+          Ch.pop_back();
+        break;
+      }
+      case ChanOp::Recv: {
+        // Executing c?a consumed a leading a: the predecessor must offer
+        // it in front of the current requirement.
+        auto &Ch = Pred.Channels[T.Channel];
+        Ch.insert(Ch.begin(), T.Symbol);
+        break;
+      }
+      }
+      if (isInitial(Pred)) {
+        R.Coverable = true;
+        R.MinimalSetsExplored = Minimals.size();
+        return R;
+      }
+      if (insertMinimal(Minimals, Pred))
+        Worklist.push_back(std::move(Pred));
+    }
+  }
+  R.MinimalSetsExplored = Minimals.size();
+  return R;
+}
+
+bool vbmc::lcs::forwardCoverable(const Lcs &L, uint32_t Target,
+                                 uint32_t MaxChannelLength,
+                                 uint64_t MaxStates) {
+  struct Config {
+    uint32_t State;
+    std::vector<std::vector<uint8_t>> Channels;
+    bool operator<(const Config &O) const {
+      if (State != O.State)
+        return State < O.State;
+      return Channels < O.Channels;
+    }
+  };
+  std::set<Config> Visited;
+  std::deque<Config> Frontier;
+  Config Init{0, std::vector<std::vector<uint8_t>>(L.NumChannels)};
+  Visited.insert(Init);
+  Frontier.push_back(std::move(Init));
+  uint64_t Expanded = 0;
+
+  auto enqueue = [&](Config C) {
+    if (Visited.insert(C).second)
+      Frontier.push_back(std::move(C));
+  };
+
+  while (!Frontier.empty()) {
+    if (MaxStates && ++Expanded > MaxStates)
+      return false;
+    Config C = std::move(Frontier.front());
+    Frontier.pop_front();
+    if (C.State == Target)
+      return true;
+
+    for (const LcsTransition &T : L.Transitions) {
+      if (T.From != C.State)
+        continue;
+      switch (T.Op) {
+      case ChanOp::Nop: {
+        Config N = C;
+        N.State = T.To;
+        enqueue(std::move(N));
+        break;
+      }
+      case ChanOp::Send: {
+        // Message kept (if it fits the bound)...
+        if (C.Channels[T.Channel].size() < MaxChannelLength) {
+          Config N = C;
+          N.State = T.To;
+          N.Channels[T.Channel].push_back(T.Symbol);
+          enqueue(std::move(N));
+        }
+        // ... or lost in transit.
+        Config NLost = C;
+        NLost.State = T.To;
+        enqueue(std::move(NLost));
+        break;
+      }
+      case ChanOp::Recv: {
+        auto &Ch = C.Channels[T.Channel];
+        // Lossiness: any prefix of the channel may vanish before the
+        // receive; the receive fires on the first surviving symbol.
+        for (size_t Drop = 0; Drop < Ch.size(); ++Drop) {
+          if (Ch[Drop] != T.Symbol)
+            continue;
+          Config N = C;
+          N.State = T.To;
+          N.Channels[T.Channel].assign(Ch.begin() + Drop + 1, Ch.end());
+          enqueue(std::move(N));
+        }
+        break;
+      }
+      }
+    }
+  }
+  return false;
+}
+
+Lcs vbmc::lcs::makeRandomLcs(Rng &R, uint32_t States, uint32_t Channels,
+                             uint32_t Alphabet, uint32_t Transitions) {
+  Lcs L;
+  L.NumStates = States;
+  L.NumChannels = Channels;
+  L.AlphabetSize = Alphabet;
+  for (uint32_t I = 0; I < Transitions; ++I) {
+    LcsTransition T;
+    T.From = static_cast<uint32_t>(R.nextBelow(States));
+    T.To = static_cast<uint32_t>(R.nextBelow(States));
+    switch (R.nextBelow(3)) {
+    case 0:
+      T.Op = ChanOp::Nop;
+      break;
+    case 1:
+      T.Op = ChanOp::Send;
+      break;
+    default:
+      T.Op = ChanOp::Recv;
+      break;
+    }
+    if (T.Op != ChanOp::Nop) {
+      T.Channel = static_cast<uint32_t>(R.nextBelow(Channels));
+      T.Symbol = static_cast<uint8_t>(R.nextBelow(Alphabet));
+    }
+    L.Transitions.push_back(T);
+  }
+  return L;
+}

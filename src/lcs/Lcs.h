@@ -1,0 +1,86 @@
+//===- Lcs.h - lossy channel systems ------------------------------*- C++ -*-===//
+///
+/// \file
+/// Lossy channel systems and their coverability problem — the machinery
+/// behind Theorem 4.3's non-primitive-recursive lower bound for RA
+/// reachability without CAS (the paper reduces LCS reachability to it,
+/// "similar to the case of TSO [6]"; DESIGN.md records that we build the
+/// substrate and its decision procedure rather than re-deriving the
+/// unpublished program encoding).
+///
+/// Two engines:
+///  * a forward explorer with explicit lossiness (exact on bounded
+///    channel lengths, used for cross-checking);
+///  * the classic Abdulla-Jonsson backward coverability algorithm over
+///    upward-closed sets represented by their minimal elements under the
+///    subword well-quasi-order (Higman's lemma guarantees termination,
+///    and the algorithm's complexity is exactly the non-primitive
+///    recursive blow-up the lower bound exploits).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_LCS_LCS_H
+#define VBMC_LCS_LCS_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vbmc::lcs {
+
+/// A channel operation.
+enum class ChanOp : uint8_t {
+  Nop,  ///< Pure control transition.
+  Send, ///< Append Symbol to the channel.
+  Recv, ///< Consume Symbol from the head of the channel.
+};
+
+struct LcsTransition {
+  uint32_t From;
+  uint32_t To;
+  ChanOp Op = ChanOp::Nop;
+  uint32_t Channel = 0;
+  uint8_t Symbol = 0;
+};
+
+/// A lossy channel system. State 0 is initial; channels start empty.
+struct Lcs {
+  uint32_t NumStates = 1;
+  uint32_t NumChannels = 1;
+  uint32_t AlphabetSize = 2; ///< Symbols are 0 .. AlphabetSize-1.
+  std::vector<LcsTransition> Transitions;
+
+  bool valid() const;
+};
+
+/// Is \p A a (not necessarily contiguous) subword of \p B?
+bool isSubword(const std::vector<uint8_t> &A, const std::vector<uint8_t> &B);
+
+struct CoverResult {
+  bool Coverable = false;
+  /// Minimal-element sets processed by the backward algorithm (a proxy
+  /// for the WQO blow-up).
+  uint64_t MinimalSetsExplored = 0;
+  uint64_t Iterations = 0;
+};
+
+/// Backward coverability: can a configuration with control state
+/// \p Target (any channel contents) be reached from (0, empty channels)?
+CoverResult coverable(const Lcs &L, uint32_t Target);
+
+/// Forward reachability with channels truncated at \p MaxChannelLength
+/// (losses enumerated eagerly): under-approximates coverability; with
+/// channels bounded by the true witness it is exact. Used to cross-check
+/// the backward engine.
+bool forwardCoverable(const Lcs &L, uint32_t Target,
+                      uint32_t MaxChannelLength, uint64_t MaxStates);
+
+/// Random LCS generator for the differential tests.
+Lcs makeRandomLcs(Rng &R, uint32_t States, uint32_t Channels,
+                  uint32_t Alphabet, uint32_t Transitions);
+
+} // namespace vbmc::lcs
+
+#endif // VBMC_LCS_LCS_H

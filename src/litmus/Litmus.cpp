@@ -1,0 +1,357 @@
+//===- Litmus.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "litmus/Litmus.h"
+
+#include "axiomatic/ExecutionGraph.h"
+#include "ir/Flatten.h"
+#include "ra/RaExplorer.h"
+#include "support/Diagnostics.h"
+#include "vbmc/Vbmc.h"
+
+using namespace vbmc;
+using namespace vbmc::ir;
+using namespace vbmc::litmus;
+
+namespace {
+
+/// Fills Test.Expected from the axiomatic oracle.
+LitmusTest withOracle(std::string Name, Program P) {
+  LitmusTest T;
+  T.Name = std::move(Name);
+  auto Outcomes = axiomatic::enumerateRaOutcomes(P);
+  if (!Outcomes)
+    reportFatalError("litmus oracle failed on " + T.Name + ": " +
+                     Outcomes.error().str());
+  T.Prog = std::move(P);
+  T.Expected = Outcomes.take();
+  return T;
+}
+
+/// Helper building a straight-line program from per-thread ops.
+struct Builder {
+  Program P;
+  std::vector<VarId> Vars;
+  uint32_t Cur = 0;
+
+  explicit Builder(uint32_t NumVars) {
+    for (uint32_t X = 0; X < NumVars; ++X)
+      Vars.push_back(P.addVar("x" + std::to_string(X)));
+  }
+  void thread() { Cur = P.addProcess("p" + std::to_string(P.numProcs())); }
+  RegId reg(const std::string &Name) { return P.addReg(Cur, Name); }
+  void w(uint32_t X, Value V) {
+    P.Procs[Cur].Body.push_back(Stmt::write(Vars[X], constE(V)));
+  }
+  void r(RegId R, uint32_t X) {
+    P.Procs[Cur].Body.push_back(Stmt::read(R, Vars[X]));
+  }
+  void u(uint32_t X, Value From, Value To) {
+    P.Procs[Cur].Body.push_back(Stmt::cas(Vars[X], constE(From), constE(To)));
+  }
+};
+
+} // namespace
+
+std::vector<LitmusTest> vbmc::litmus::classicTests() {
+  std::vector<LitmusTest> Tests;
+
+  { // SB: store buffering.
+    Builder B(2);
+    B.thread();
+    RegId R0 = B.reg("r0");
+    B.w(0, 1);
+    B.r(R0, 1);
+    B.thread();
+    RegId R1 = B.reg("r1");
+    B.w(1, 1);
+    B.r(R1, 0);
+    Tests.push_back(withOracle("SB", std::move(B.P)));
+  }
+  { // MP: message passing.
+    Builder B(2);
+    B.thread();
+    B.w(0, 1);
+    B.w(1, 1);
+    B.thread();
+    RegId A = B.reg("a");
+    RegId C = B.reg("c");
+    B.r(A, 1);
+    B.r(C, 0);
+    Tests.push_back(withOracle("MP", std::move(B.P)));
+  }
+  { // LB: load buffering (forbidden outcome r0 = r1 = 1 under RA).
+    Builder B(2);
+    B.thread();
+    RegId R0 = B.reg("r0");
+    B.r(R0, 0);
+    B.w(1, 1);
+    B.thread();
+    RegId R1 = B.reg("r1");
+    B.r(R1, 1);
+    B.w(0, 1);
+    Tests.push_back(withOracle("LB", std::move(B.P)));
+  }
+  { // CoRR: read-read coherence.
+    Builder B(1);
+    B.thread();
+    B.w(0, 1);
+    B.w(0, 2);
+    B.thread();
+    RegId A = B.reg("a");
+    RegId C = B.reg("c");
+    B.r(A, 0);
+    B.r(C, 0);
+    Tests.push_back(withOracle("CoRR", std::move(B.P)));
+  }
+  { // CoWW+obs: write-write coherence with an observing thread.
+    Builder B(1);
+    B.thread();
+    B.w(0, 1);
+    B.w(0, 2);
+    B.thread();
+    RegId A = B.reg("a");
+    B.r(A, 0);
+    Tests.push_back(withOracle("CoWW", std::move(B.P)));
+  }
+  { // WRC: write-to-read causality (3 threads).
+    Builder B(2);
+    B.thread();
+    B.w(0, 1);
+    B.thread();
+    RegId A = B.reg("a");
+    B.r(A, 0);
+    B.w(1, 1);
+    B.thread();
+    RegId C = B.reg("c");
+    RegId D = B.reg("d");
+    B.r(C, 1);
+    B.r(D, 0);
+    Tests.push_back(withOracle("WRC", std::move(B.P)));
+  }
+  { // IRIW: independent reads of independent writes (4 threads).
+    Builder B(2);
+    B.thread();
+    B.w(0, 1);
+    B.thread();
+    B.w(1, 1);
+    B.thread();
+    RegId A = B.reg("a");
+    RegId C = B.reg("c");
+    B.r(A, 0);
+    B.r(C, 1);
+    B.thread();
+    RegId D = B.reg("d");
+    RegId E = B.reg("e");
+    B.r(D, 1);
+    B.r(E, 0);
+    Tests.push_back(withOracle("IRIW", std::move(B.P)));
+  }
+  { // 2+2W: two double-writers plus observers' registers via writes.
+    Builder B(2);
+    B.thread();
+    B.w(0, 1);
+    B.w(1, 2);
+    B.thread();
+    B.w(1, 1);
+    B.w(0, 2);
+    B.thread();
+    RegId A = B.reg("a");
+    RegId C = B.reg("c");
+    B.r(A, 0);
+    B.r(C, 1);
+    Tests.push_back(withOracle("2+2W", std::move(B.P)));
+  }
+  { // S: write, then message-passed overwrite race.
+    Builder B(2);
+    B.thread();
+    B.w(0, 2);
+    B.w(1, 1);
+    B.thread();
+    RegId A = B.reg("a");
+    B.r(A, 1);
+    B.w(0, 1);
+    B.thread();
+    RegId C = B.reg("c");
+    B.r(C, 0);
+    Tests.push_back(withOracle("S", std::move(B.P)));
+  }
+  { // R: writes racing against a read chain.
+    Builder B(2);
+    B.thread();
+    B.w(0, 1);
+    B.w(1, 1);
+    B.thread();
+    B.w(1, 2);
+    RegId A = B.reg("a");
+    B.r(A, 0);
+    Tests.push_back(withOracle("R", std::move(B.P)));
+  }
+  { // CAS-MP: CAS as the releasing publication.
+    Builder B(2);
+    B.thread();
+    B.w(0, 7);
+    B.u(1, 0, 1);
+    B.thread();
+    RegId A = B.reg("a");
+    RegId C = B.reg("c");
+    B.r(A, 1);
+    B.r(C, 0);
+    Tests.push_back(withOracle("CAS-MP", std::move(B.P)));
+  }
+  return Tests;
+}
+
+std::vector<LitmusTest>
+vbmc::litmus::generateFamily(Rng &R, const FamilyOptions &O) {
+  std::vector<LitmusTest> Tests;
+  Tests.reserve(O.Count);
+  for (uint32_t I = 0; I < O.Count; ++I) {
+    uint32_t Threads = 2 + R.nextBelow(O.MaxThreads - 1);
+    uint32_t Vars = 1 + R.nextBelow(O.MaxVars);
+    Builder B(Vars);
+    for (uint32_t T = 0; T < Threads; ++T) {
+      B.thread();
+      uint32_t Ops = 1 + R.nextBelow(O.MaxOpsPerThread);
+      for (uint32_t K = 0; K < Ops; ++K) {
+        uint32_t X = static_cast<uint32_t>(R.nextBelow(Vars));
+        if (R.nextChance(O.CasPermille, 1000)) {
+          B.u(X, static_cast<Value>(R.nextBelow(2)),
+              static_cast<Value>(1 + R.nextBelow(2)));
+        } else if (R.nextChance(1, 2)) {
+          RegId Reg = B.reg("r" + std::to_string(T) + std::to_string(K));
+          B.r(Reg, X);
+        } else {
+          B.w(X, static_cast<Value>(1 + R.nextBelow(2)));
+        }
+      }
+    }
+    Tests.push_back(
+        withOracle("rand" + std::to_string(I), std::move(B.P)));
+  }
+  return Tests;
+}
+
+Program vbmc::litmus::makeObserverProgram(const LitmusTest &Test,
+                                          const std::vector<Value> &Outcome) {
+  Program P = Test.Prog;
+  assert(Outcome.size() == P.numRegs() && "outcome arity mismatch");
+  // Publication cells and done flags.
+  std::vector<VarId> Out;
+  for (RegId R = 0; R < P.numRegs(); ++R)
+    Out.push_back(P.addVar("out_" + std::to_string(R)));
+  std::vector<VarId> DoneFlags;
+  uint32_t OriginalProcs = P.numProcs();
+  for (uint32_t PI = 0; PI < OriginalProcs; ++PI)
+    DoneFlags.push_back(P.addVar("done_" + std::to_string(PI)));
+
+  for (uint32_t PI = 0; PI < OriginalProcs; ++PI) {
+    for (RegId R = 0; R < P.numRegs(); ++R)
+      if (P.Regs[R].Process == PI)
+        P.Procs[PI].Body.push_back(Stmt::write(Out[R], regE(R)));
+    P.Procs[PI].Body.push_back(Stmt::write(DoneFlags[PI], constE(1)));
+  }
+
+  // Checker: waiting for every done flag pulls in each thread's final
+  // view (causality), so the out-cells read afterwards are exact.
+  uint32_t Checker = P.addProcess("checker");
+  RegId D = P.addReg(Checker, "d");
+  std::vector<Stmt> Body;
+  for (uint32_t PI = 0; PI < OriginalProcs; ++PI) {
+    Body.push_back(Stmt::read(D, DoneFlags[PI]));
+    Body.push_back(Stmt::assume(eqE(regE(D), constE(1))));
+  }
+  ExprRef Match = constE(1);
+  std::vector<RegId> OutRegs;
+  for (RegId R = 0; R < Test.Prog.numRegs(); ++R) {
+    RegId OR = P.addReg(Checker, "o" + std::to_string(R));
+    Body.push_back(Stmt::read(OR, Out[R]));
+    Match = andE(std::move(Match), eqE(regE(OR), constE(Outcome[R])));
+  }
+  Body.push_back(Stmt::assertThat(notE(std::move(Match))));
+  for (Stmt &S : Body)
+    P.Procs[Checker].Body.push_back(std::move(S));
+  return P;
+}
+
+SweepResult vbmc::litmus::runVbmcSweep(const std::vector<LitmusTest> &Tests,
+                                       const SweepOptions &O) {
+  SweepResult SR;
+  Rng PerturbRng(0x117EAF5);
+  for (const LitmusTest &T : Tests) {
+    ++SR.TestsRun;
+    // Candidate outcomes: every oracle outcome (must be UNSAFE) plus
+    // perturbed non-outcomes (must be SAFE).
+    std::vector<std::pair<std::vector<Value>, bool>> Queries;
+    for (const auto &Outcome : T.Expected) {
+      if (O.MaxPositiveQueriesPerTest &&
+          Queries.size() >= O.MaxPositiveQueriesPerTest)
+        break;
+      Queries.push_back({Outcome, true});
+    }
+    uint32_t Added = 0;
+    for (const auto &Outcome : T.Expected) {
+      if (Added >= O.NegativeQueriesPerTest)
+        break;
+      std::vector<Value> Perturbed = Outcome;
+      if (Perturbed.empty())
+        break;
+      // Nudge one register to a plausible-but-hopefully-unreachable
+      // value; skip if the perturbation is itself a real outcome.
+      Perturbed[PerturbRng.nextBelow(Perturbed.size())] += 1;
+      if (!T.Expected.count(Perturbed)) {
+        Queries.push_back({Perturbed, false});
+        ++Added;
+      }
+    }
+    // Adaptive view budget: one switch per read of the observer program
+    // is always enough (reads are the only view-altering events).
+    uint32_t AutoK = T.Prog.numProcs() + 1;
+    for (const ir::Process &Proc : T.Prog.Procs)
+      for (const ir::Stmt &S : Proc.Body)
+        AutoK += S.Kind == ir::StmtKind::Read ||
+                 S.Kind == ir::StmtKind::Cas;
+
+    for (const auto &[Outcome, ShouldBeUnsafe] : Queries) {
+      ++SR.QueriesRun;
+      driver::VbmcOptions VO;
+      VO.K = ShouldBeUnsafe ? (O.K ? O.K : AutoK) : O.NegativeK;
+      VO.CasAllowance = 6;
+      VO.L = 1; // Litmus programs are loop-free.
+      VO.Backend = O.UseSatBackend ? driver::BackendKind::Sat
+                                   : driver::BackendKind::Explicit;
+      VO.SwitchOnlyAfterWrite = true;
+      VO.BudgetSeconds = O.BudgetSeconds;
+      driver::VbmcResult R =
+          driver::checkProgram(makeObserverProgram(T, Outcome), VO);
+      if (R.Outcome == driver::Verdict::Unknown) {
+        ++SR.Inconclusive;
+        continue;
+      }
+      bool Agrees = (R.unsafe() && ShouldBeUnsafe) ||
+                    (R.safe() && !ShouldBeUnsafe);
+      if (Agrees)
+        ++SR.Agreements;
+      else
+        SR.Mismatches.push_back(T.Name + (ShouldBeUnsafe
+                                              ? " missed outcome"
+                                              : " spurious outcome"));
+    }
+  }
+  return SR;
+}
+
+SweepResult
+vbmc::litmus::runOperationalSweep(const std::vector<LitmusTest> &Tests) {
+  SweepResult SR;
+  for (const LitmusTest &T : Tests) {
+    ++SR.TestsRun;
+    ++SR.QueriesRun;
+    FlatProgram FP = flatten(T.Prog);
+    auto Operational = ra::collectTerminalRegs(FP);
+    if (Operational == T.Expected)
+      ++SR.Agreements;
+    else
+      SR.Mismatches.push_back(T.Name + ": operational/axiomatic mismatch");
+  }
+  return SR;
+}

@@ -1,0 +1,113 @@
+//===- Litmus.h - litmus tests: families, generator, runner ------*- C++ -*-===//
+///
+/// \file
+/// The litmus-test experiment of Section 7 ("We first applied VBMC to a
+/// set of litmus benchmarks... We were able to successfully run all 4004
+/// of them, with K <= 5... The output result returned by VBMC matches the
+/// ones returned by the Herd tool together with the RA-axioms"):
+///
+///  * the classic named shapes (SB, MP, LB, CoRR, CoWW, WRC, IRIW, 2+2W,
+///    R, S) as builders;
+///  * a deterministic random generator expanding the same ingredients
+///    into a family of thousands of tests (we generate our family since
+///    the original 4004 files are not bundled; see DESIGN.md);
+///  * expected outcomes computed by the axiomatic RA oracle (the Herd
+///    substitute, src/axiomatic);
+///  * an observer construction turning "is outcome o reachable" into an
+///    assertion-failure query VBMC can answer (each thread publishes its
+///    final registers and raises a done flag; a checker thread reads the
+///    flags — RA causality then forces it to see the true final values);
+///  * a sweep runner comparing VBMC verdicts against the oracle on every
+///    test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_LITMUS_LITMUS_H
+#define VBMC_LITMUS_LITMUS_H
+
+#include "ir/Program.h"
+#include "support/Rng.h"
+#include "support/Timer.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vbmc::litmus {
+
+using ir::Value;
+
+struct LitmusTest {
+  std::string Name;
+  ir::Program Prog; ///< Straight-line, assert-free.
+  /// All RA-reachable final register valuations (axiomatic oracle).
+  std::set<std::vector<Value>> Expected;
+};
+
+/// The classic named shapes with oracle outcomes filled in.
+std::vector<LitmusTest> classicTests();
+
+struct FamilyOptions {
+  uint32_t Count = 100;
+  uint32_t MaxThreads = 3;
+  uint32_t MaxVars = 2;
+  uint32_t MaxOpsPerThread = 3;
+  /// Permille of shared ops that are CAS.
+  uint32_t CasPermille = 80;
+};
+
+/// Deterministically generates \p O.Count random litmus tests with oracle
+/// outcomes.
+std::vector<LitmusTest> generateFamily(Rng &R, const FamilyOptions &O);
+
+/// Builds the observer program asking whether \p Outcome (a full register
+/// valuation of Test.Prog) is reachable: UNSAFE iff reachable.
+ir::Program makeObserverProgram(const LitmusTest &Test,
+                                const std::vector<Value> &Outcome);
+
+struct SweepResult {
+  uint32_t TestsRun = 0;
+  uint32_t QueriesRun = 0;
+  uint32_t Agreements = 0;
+  /// Queries the backend could not decide within its budget (timeouts are
+  /// not verdicts and therefore not disagreements).
+  uint32_t Inconclusive = 0;
+  std::vector<std::string> Mismatches;
+
+  bool allAgree() const { return Mismatches.empty(); }
+};
+
+struct SweepOptions {
+  /// View-switch budget for VBMC; 0 = choose per test (enough switches
+  /// for every read of the observer program: #reads + #threads + 1). The
+  /// paper used K <= 5 on observer-free postconditions; our observer
+  /// thread costs one extra switch per done flag.
+  uint32_t K = 0;
+  /// Per-query wall-clock budget.
+  double BudgetSeconds = 10;
+  /// Additional negative (expected-unreachable) outcomes per test.
+  uint32_t NegativeQueriesPerTest = 1;
+  /// True = decide queries with the SAT/BMC backend (the paper pipeline);
+  /// false = explicit-state backend.
+  bool UseSatBackend = true;
+  /// K used for negative (expected-SAFE) queries. An RA-unreachable
+  /// outcome is unreachable at every K, so a small budget keeps the UNSAT
+  /// formulas tractable while still catching spurious UNSAFE answers.
+  uint32_t NegativeK = 2;
+  /// Cap on positive queries per test (0 = all oracle outcomes).
+  uint32_t MaxPositiveQueriesPerTest = 0;
+};
+
+/// For every test: each oracle outcome must be found (UNSAFE) and each
+/// perturbed non-outcome must be refuted (SAFE) by VBMC.
+SweepResult runVbmcSweep(const std::vector<LitmusTest> &Tests,
+                         const SweepOptions &O);
+
+/// Cheaper sweep: compares the axiomatic oracle against the operational
+/// RA explorer's terminal valuations on every test (the two independent
+/// semantics implementations must agree exactly).
+SweepResult runOperationalSweep(const std::vector<LitmusTest> &Tests);
+
+} // namespace vbmc::litmus
+
+#endif // VBMC_LITMUS_LITMUS_H

@@ -1,0 +1,268 @@
+//===- Pcp.cpp - PCP encoding and solver ------------------------*- C++ -*-===//
+
+#include "pcp/Pcp.h"
+
+#include "ir/Flatten.h"
+#include "ra/RaExplorer.h"
+#include "smc/Smc.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace vbmc;
+using namespace vbmc::ir;
+using namespace vbmc::pcp;
+
+uint32_t PcpInstance::alphabetSize() const {
+  int Max = 0;
+  for (const auto &[U, V] : Pairs) {
+    for (int S : U)
+      Max = std::max(Max, S);
+    for (int S : V)
+      Max = std::max(Max, S);
+  }
+  return static_cast<uint32_t>(Max);
+}
+
+bool PcpInstance::valid() const {
+  if (Pairs.empty())
+    return false;
+  for (const auto &[U, V] : Pairs) {
+    if (U.empty() || V.empty())
+      return false;
+    for (int S : U)
+      if (S <= 0)
+        return false;
+    for (int S : V)
+      if (S <= 0)
+        return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<uint32_t>>
+vbmc::pcp::solvePcp(const PcpInstance &I, uint32_t MaxLength) {
+  // BFS over (index sequence, outstanding suffix) states. The suffix is
+  // the part of the longer stream not yet matched by the shorter one.
+  struct State {
+    std::vector<uint32_t> Seq;
+    std::vector<int> Suffix;
+    bool UAhead; // True: the u-stream is ahead by Suffix.
+  };
+  std::deque<State> Frontier;
+  Frontier.push_back(State{{}, {}, true});
+  while (!Frontier.empty()) {
+    State S = std::move(Frontier.front());
+    Frontier.pop_front();
+    if (S.Seq.size() >= MaxLength)
+      continue;
+    for (uint32_t P = 0; P < I.Pairs.size(); ++P) {
+      const auto &[U, V] = I.Pairs[P];
+      // Build the two streams extended by pair P relative to the suffix.
+      std::vector<int> A = S.UAhead ? S.Suffix : std::vector<int>();
+      std::vector<int> B = S.UAhead ? std::vector<int>() : S.Suffix;
+      A.insert(A.end(), U.begin(), U.end());
+      B.insert(B.end(), V.begin(), V.end());
+      size_t Common = std::min(A.size(), B.size());
+      bool Ok = std::equal(A.begin(), A.begin() + Common, B.begin());
+      if (!Ok)
+        continue;
+      State Next;
+      Next.Seq = S.Seq;
+      Next.Seq.push_back(P + 1);
+      Next.UAhead = A.size() >= B.size();
+      const std::vector<int> &Longer = Next.UAhead ? A : B;
+      Next.Suffix.assign(Longer.begin() + Common, Longer.end());
+      if (Next.Suffix.empty())
+        return Next.Seq;
+      Frontier.push_back(std::move(Next));
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Shared emission of the guessing processes p1 / p2.
+///
+/// \p Words: the u-words (for p1) or v-words (for p2).
+/// \p SymVar0/1: the alternating symbol stream variables.
+/// \p IdxVar0/1: the alternating index stream variables.
+void emitGuesser(Program &P, uint32_t Proc,
+                 const std::vector<std::vector<int>> &Words, VarId SymVar0,
+                 VarId SymVar1, VarId IdxVar0, VarId IdxVar1, Value Bot,
+                 uint32_t MaxIndices,
+                 const std::vector<uint32_t> *Hint) {
+  RegId Aux = P.addReg(Proc, "aux");
+  RegId TurnX = P.addReg(Proc, "turnx");
+  RegId TurnY = P.addReg(Proc, "turny");
+  RegId Cnt = P.addReg(Proc, "cnt");
+  RegId Stop = P.addReg(Proc, "stop");
+  uint32_t N = static_cast<uint32_t>(Words.size());
+
+  std::vector<Stmt> Body;
+  Body.push_back(Stmt::assign(TurnX, constE(1)));
+  Body.push_back(Stmt::assign(TurnY, constE(1)));
+  Body.push_back(Stmt::assign(Stop, constE(0)));
+
+  std::vector<Stmt> Loop;
+  if (!Hint) {
+    Loop.push_back(Stmt::assign(Aux, nondetE(0, static_cast<Value>(N))));
+  } else {
+    // Pin the guess to Hint[cnt] (0 past the end = stop).
+    Loop.push_back(Stmt::assign(Aux, constE(0)));
+    for (size_t J = 0; J < Hint->size(); ++J)
+      Loop.push_back(Stmt::ifThen(
+          eqE(regE(Cnt), constE(static_cast<Value>(J))),
+          {Stmt::assign(Aux, constE(static_cast<Value>((*Hint)[J])))}));
+  }
+  std::vector<Stmt> Finish = {Stmt::assign(Stop, constE(1))};
+  std::vector<Stmt> Continue;
+  // Budget: only MaxIndices words may be emitted.
+  Continue.push_back(Stmt::assume(
+      ltE(regE(Cnt), constE(static_cast<Value>(MaxIndices)))));
+  Continue.push_back(Stmt::assign(Cnt, addE(regE(Cnt), constE(1))));
+  for (uint32_t W = 1; W <= N; ++W) {
+    std::vector<Stmt> Module;
+    for (int Sym : Words[W - 1]) {
+      std::vector<Stmt> Even = {
+          Stmt::write(SymVar0, constE(Sym)),
+          Stmt::assign(TurnX, constE(2)),
+      };
+      std::vector<Stmt> Odd = {
+          Stmt::write(SymVar1, constE(Sym)),
+          Stmt::assign(TurnX, constE(1)),
+      };
+      Module.push_back(Stmt::ifThen(eqE(regE(TurnX), constE(1)),
+                                    std::move(Even), std::move(Odd)));
+    }
+    std::vector<Stmt> IdxEven = {
+        Stmt::write(IdxVar0, constE(static_cast<Value>(W))),
+        Stmt::assign(TurnY, constE(2)),
+    };
+    std::vector<Stmt> IdxOdd = {
+        Stmt::write(IdxVar1, constE(static_cast<Value>(W))),
+        Stmt::assign(TurnY, constE(1)),
+    };
+    Module.push_back(Stmt::ifThen(eqE(regE(TurnY), constE(1)),
+                                  std::move(IdxEven), std::move(IdxOdd)));
+    Continue.push_back(Stmt::ifThen(
+        eqE(regE(Aux), constE(static_cast<Value>(W))), std::move(Module)));
+  }
+  Loop.push_back(Stmt::ifThen(eqE(regE(Aux), constE(0)), std::move(Finish),
+                              std::move(Continue)));
+  Body.push_back(Stmt::whileLoop(eqE(regE(Stop), constE(0)),
+                                 std::move(Loop)));
+  // PCP asks for a non-empty index sequence.
+  Body.push_back(Stmt::assume(binE(BinaryOp::Ge, regE(Cnt), constE(1))));
+  // Signal the end of both streams.
+  Body.push_back(Stmt::ifThen(
+      eqE(regE(TurnX), constE(1)),
+      {Stmt::write(SymVar0, constE(Bot))},
+      {Stmt::write(SymVar1, constE(Bot))}));
+  Body.push_back(Stmt::ifThen(
+      eqE(regE(TurnY), constE(1)),
+      {Stmt::write(IdxVar0, constE(Bot))},
+      {Stmt::write(IdxVar1, constE(Bot))}));
+  Body.push_back(Stmt::term());
+  P.Procs[Proc].Body = std::move(Body);
+}
+
+/// The checking processes p3 / p4: consume two pairs of alternating
+/// streams with CAS, enforcing equality of the streams (Lemma 4.2).
+void emitChecker(Program &P, uint32_t Proc, VarId A0, VarId A1, VarId B0,
+                 VarId B1, Value MaxSymbol, Value Bot) {
+  RegId Aux = P.addReg(Proc, "aux");
+  RegId Turn = P.addReg(Proc, "turn");
+  RegId Tmp = P.addReg(Proc, "tmp");
+  RegId Stop = P.addReg(Proc, "stop");
+
+  std::vector<Stmt> Body;
+  Body.push_back(Stmt::assign(Turn, constE(1)));
+  Body.push_back(Stmt::assign(Stop, constE(0)));
+
+  std::vector<Stmt> Loop;
+  Loop.push_back(Stmt::assign(Aux, nondetE(1, Bot)));
+  // Guess a symbol or the end marker (values in between are unused).
+  Loop.push_back(Stmt::assume(orE(leE(regE(Aux), constE(MaxSymbol)),
+                                  eqE(regE(Aux), constE(Bot)))));
+
+  auto ConsumeQuad = [&](VarId First, VarId FirstOther, VarId Second,
+                         VarId SecondOther, Value NextTurn) {
+    std::vector<Stmt> Quad;
+    Quad.push_back(Stmt::cas(First, regE(Aux), constE(0)));
+    Quad.push_back(Stmt::read(Tmp, FirstOther));
+    Quad.push_back(Stmt::assume(eqE(regE(Tmp), constE(0))));
+    Quad.push_back(Stmt::cas(Second, regE(Aux), constE(0)));
+    Quad.push_back(Stmt::read(Tmp, SecondOther));
+    Quad.push_back(Stmt::assume(eqE(regE(Tmp), constE(0))));
+    Quad.push_back(Stmt::assign(Turn, constE(NextTurn)));
+    return Quad;
+  };
+
+  Loop.push_back(Stmt::ifThen(eqE(regE(Turn), constE(1)),
+                              ConsumeQuad(A0, A1, B0, B1, 2),
+                              ConsumeQuad(A1, A0, B1, B0, 1)));
+  Loop.push_back(Stmt::ifThen(eqE(regE(Aux), constE(Bot)),
+                              {Stmt::assign(Stop, constE(1))}));
+  Body.push_back(Stmt::whileLoop(eqE(regE(Stop), constE(0)),
+                                 std::move(Loop)));
+  Body.push_back(Stmt::term());
+  P.Procs[Proc].Body = std::move(Body);
+}
+
+} // namespace
+
+Program vbmc::pcp::encodePcp(const PcpInstance &I, uint32_t MaxIndices,
+                             const std::vector<uint32_t> *Hint) {
+  assert(I.valid() && "malformed PCP instance");
+  uint32_t N = static_cast<uint32_t>(I.Pairs.size());
+  Value A = static_cast<Value>(I.alphabetSize());
+  Value Bot = std::max(A, static_cast<Value>(N)) + 1;
+
+  Program P;
+  VarId X1 = P.addVar("x1"), X2 = P.addVar("x2");
+  VarId X3 = P.addVar("x3"), X4 = P.addVar("x4");
+  VarId Y1 = P.addVar("y1"), Y2 = P.addVar("y2");
+  VarId Y3 = P.addVar("y3"), Y4 = P.addVar("y4");
+
+  std::vector<std::vector<int>> UWords, VWords;
+  for (const auto &[U, V] : I.Pairs) {
+    UWords.push_back(U);
+    VWords.push_back(V);
+  }
+
+  uint32_t P1 = P.addProcess("p1");
+  emitGuesser(P, P1, UWords, X1, X2, Y1, Y2, Bot, MaxIndices, Hint);
+  uint32_t P2 = P.addProcess("p2");
+  emitGuesser(P, P2, VWords, X3, X4, Y3, Y4, Bot, MaxIndices, Hint);
+  uint32_t P3 = P.addProcess("p3");
+  emitChecker(P, P3, X1, X2, X3, X4, A, Bot);
+  uint32_t P4 = P.addProcess("p4");
+  emitChecker(P, P4, Y1, Y2, Y3, Y4, static_cast<Value>(N), Bot);
+  return P;
+}
+
+bool vbmc::pcp::allTermReachable(const Program &P, uint64_t MaxStates,
+                                 double BudgetSeconds) {
+  FlatProgram FP = flatten(P);
+  // Phase 1: goal-directed stateless DFS — finds a witness quickly on
+  // solvable instances without materializing the BFS frontier.
+  smc::SmcOptions SO;
+  SO.Goal = smc::SmcGoal::AllDone;
+  SO.Strategy = smc::SmcStrategy::Dpor;
+  SO.BudgetSeconds = BudgetSeconds > 0 ? BudgetSeconds * 0.5 : 20;
+  smc::SmcResult SR = smc::exploreSmc(FP, SO);
+  if (SR.FoundBug)
+    return true;
+  if (SR.Complete && !SR.TimedOut)
+    return false;
+  // Phase 2: exhaustive BFS within the state budget (needed to certify
+  // unreachability when the DFS timed out).
+  ra::RaQuery Q;
+  Q.Goal = ra::GoalKind::AllDone;
+  Q.MaxStates = MaxStates;
+  Q.BudgetSeconds = BudgetSeconds;
+  ra::RaResult R = ra::exploreRa(FP, Q);
+  return R.reached();
+}

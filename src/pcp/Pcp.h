@@ -1,0 +1,74 @@
+//===- Pcp.h - the Theorem 4.1 undecidability construction -------*- C++ -*-===//
+///
+/// \file
+/// Post's Correspondence Problem and the paper's reduction (Theorem 4.1,
+/// Fig. 3): a PCP instance {(u_i, v_i)} is encoded as a 4-process RA
+/// program such that every process can reach `term` iff the instance has
+/// a solution.
+///
+///  * p1 guesses an index sequence and writes the symbols of u_{i1} u_{i2}
+///    ... alternately into x1, x2, and the indices alternately into
+///    y1, y2;
+///  * p2 does the same for the v-words into x3, x4 and y3, y4;
+///  * p3 consumes the symbol streams with CAS (updating each guessed
+///    symbol back to 0) and `assume`s the partner variable is 0, which —
+///    by the CAS-adjacency and causality arguments of Lemma 4.2 — forces
+///    it to read *every* written value in order and to certify that the
+///    two symbol streams agree;
+///  * p4 certifies the index streams the same way.
+///
+/// The guessed index registers (`aux`) use the language's bounded nondet;
+/// the termination signal is the out-of-alphabet value Bot.
+///
+/// A brute-force PCP solver cross-checks the encoding on small instances:
+/// reachability of all-`term` (bounded search) must match PCP solvability
+/// (bounded length).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_PCP_PCP_H
+#define VBMC_PCP_PCP_H
+
+#include "ir/Program.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vbmc::pcp {
+
+/// A PCP instance over the alphabet {1..AlphabetSize} (0 is reserved for
+/// the consumed marker, and AlphabetSize+1.. for control values).
+struct PcpInstance {
+  /// Pairs of words; symbols are 1-based small integers.
+  std::vector<std::pair<std::vector<int>, std::vector<int>>> Pairs;
+
+  uint32_t alphabetSize() const;
+  bool valid() const;
+};
+
+/// Brute-force solver: returns a solution index sequence (1-based) of
+/// length <= MaxLength, or nullopt.
+std::optional<std::vector<uint32_t>> solvePcp(const PcpInstance &I,
+                                              uint32_t MaxLength);
+
+/// Builds the Fig. 3 program. The sequence-length budget \p MaxIndices
+/// bounds the guessing loops (the paper's construction uses unbounded
+/// loops; explicit-state exploration needs a finite horizon — solutions
+/// of length <= MaxIndices are preserved). When \p Hint is non-null the
+/// guessers' index choices are pinned to that sequence: the hinted
+/// program's runs are a subset of the unhinted one's, so all-term
+/// reachability of the hinted program soundly witnesses reachability of
+/// the full construction (used to keep the search tractable on instances
+/// whose witnesses are deep).
+ir::Program encodePcp(const PcpInstance &I, uint32_t MaxIndices,
+                      const std::vector<uint32_t> *Hint = nullptr);
+
+/// The reachability query of the reduction: every process at `term`.
+/// Implemented with the RA explorer; \p MaxStates caps the search.
+bool allTermReachable(const ir::Program &P, uint64_t MaxStates,
+                      double BudgetSeconds = 0);
+
+} // namespace vbmc::pcp
+
+#endif // VBMC_PCP_PCP_H

@@ -1,0 +1,613 @@
+//===- Protocols.cpp - mutual-exclusion benchmark builders ------*- C++ -*-===//
+
+#include "protocols/Protocols.h"
+
+#include <cctype>
+
+using namespace vbmc;
+using namespace vbmc::ir;
+using namespace vbmc::protocols;
+
+namespace {
+
+/// Structured-statement emitter for one thread, with optional fencing
+/// after stores and nested control-flow construction.
+class ThreadEmitter {
+public:
+  ThreadEmitter(Program &P, uint32_t Proc, bool Fenced)
+      : P(P), Proc(Proc), Fenced(Fenced) {
+    Blocks.emplace_back();
+  }
+
+  RegId reg(const std::string &Name) { return P.addReg(Proc, Name); }
+
+  void read(RegId R, VarId X) { cur().push_back(Stmt::read(R, X)); }
+
+  void write(VarId X, ExprRef E) {
+    cur().push_back(Stmt::write(X, std::move(E)));
+    if (Fenced)
+      cur().push_back(Stmt::fence());
+  }
+
+  void cas(VarId X, ExprRef Expected, ExprRef New) {
+    // A CAS is already a synchronizing RMW; no extra fence needed.
+    cur().push_back(Stmt::cas(X, std::move(Expected), std::move(New)));
+  }
+
+  void assign(RegId R, ExprRef E) {
+    cur().push_back(Stmt::assign(R, std::move(E)));
+  }
+
+  void assertThat(ExprRef E) {
+    cur().push_back(Stmt::assertThat(std::move(E)));
+  }
+
+  void beginWhile(ExprRef Cond) {
+    Pending.push_back(Frame{FrameKind::While, std::move(Cond), {}, false});
+    Blocks.emplace_back();
+  }
+
+  void endWhile() {
+    Frame F = std::move(Pending.back());
+    Pending.pop_back();
+    assert(F.Kind == FrameKind::While && "mismatched endWhile");
+    std::vector<Stmt> Body = std::move(Blocks.back());
+    Blocks.pop_back();
+    cur().push_back(Stmt::whileLoop(std::move(F.Cond), std::move(Body)));
+  }
+
+  void beginIf(ExprRef Cond) {
+    Pending.push_back(Frame{FrameKind::If, std::move(Cond), {}, false});
+    Blocks.emplace_back();
+  }
+
+  void beginElse() {
+    Frame &F = Pending.back();
+    assert(F.Kind == FrameKind::If && !F.InElse && "mismatched beginElse");
+    F.Then = std::move(Blocks.back());
+    Blocks.pop_back();
+    F.InElse = true;
+    Blocks.emplace_back();
+  }
+
+  void endIf() {
+    Frame F = std::move(Pending.back());
+    Pending.pop_back();
+    assert(F.Kind == FrameKind::If && "mismatched endIf");
+    std::vector<Stmt> Last = std::move(Blocks.back());
+    Blocks.pop_back();
+    if (F.InElse)
+      cur().push_back(Stmt::ifThen(std::move(F.Cond), std::move(F.Then),
+                                   std::move(Last)));
+    else
+      cur().push_back(Stmt::ifThen(std::move(F.Cond), std::move(Last)));
+  }
+
+  /// The standard counter-based critical section:
+  ///   cnt++; assert(cnt == 1); cnt--;
+  void criticalSection(VarId Cnt) {
+    RegId A = reg("cs_a");
+    RegId B = reg("cs_b");
+    read(A, Cnt);
+    write(Cnt, addE(regE(A), constE(1)));
+    read(B, Cnt);
+    assertThat(eqE(regE(B), constE(1)));
+    write(Cnt, binE(BinaryOp::Sub, regE(B), constE(1)));
+  }
+
+  void finish() {
+    assert(Pending.empty() && Blocks.size() == 1 && "unbalanced blocks");
+    P.Procs[Proc].Body = std::move(Blocks.front());
+  }
+
+private:
+  enum class FrameKind { While, If };
+  struct Frame {
+    FrameKind Kind;
+    ExprRef Cond;
+    std::vector<Stmt> Then;
+    bool InElse;
+  };
+
+  std::vector<Stmt> &cur() { return Blocks.back(); }
+
+  Program &P;
+  uint32_t Proc;
+  bool Fenced;
+  std::vector<std::vector<Stmt>> Blocks;
+  std::vector<Frame> Pending;
+};
+
+std::string thrName(uint32_t I) { return "t" + std::to_string(I); }
+
+} // namespace
+
+Program vbmc::protocols::makePeterson(const MutexOptions &O) {
+  // Peterson's filter lock: levels 1..N-1, one victim slot per level.
+  uint32_t N = std::max(2u, O.Threads);
+  Program P;
+  std::vector<VarId> Level;
+  for (uint32_t I = 0; I < N; ++I)
+    Level.push_back(P.addVar("level" + std::to_string(I)));
+  std::vector<VarId> Last(1, 0); // Index 0 unused.
+  for (uint32_t L = 1; L < N; ++L)
+    Last.push_back(P.addVar("last" + std::to_string(L)));
+  VarId Cnt = P.addVar("cnt");
+
+  for (uint32_t I = 0; I < N; ++I) {
+    uint32_t Proc = P.addProcess(thrName(I));
+    ThreadEmitter E(P, Proc, O.fenced(I));
+    RegId Ok = E.reg("ok");
+    RegId T = E.reg("t");
+    RegId Any = E.reg("any");
+    RegId Lk = E.reg("lk");
+
+    for (uint32_t L = 1; L < N; ++L) {
+      E.write(Level[I], constE(static_cast<Value>(L)));
+      E.write(Last[L], constE(static_cast<Value>(I)));
+      // The injected bug: the buggy thread never waits at any level (the
+      // writes stay, so the code shape is a minimal mutation of the
+      // original).
+      if (O.buggy(I))
+        continue;
+      // Wait until last[L] != i or every other thread sits below L.
+      E.assign(Ok, constE(0));
+      E.beginWhile(eqE(regE(Ok), constE(0)));
+      E.read(T, Last[L]);
+      E.beginIf(neE(regE(T), constE(static_cast<Value>(I))));
+      E.assign(Ok, constE(1));
+      E.beginElse();
+      E.assign(Any, constE(0));
+      for (uint32_t K = 0; K < N; ++K) {
+        if (K == I)
+          continue;
+        E.read(Lk, Level[K]);
+        E.assign(Any, orE(regE(Any),
+                          binE(BinaryOp::Ge, regE(Lk),
+                               constE(static_cast<Value>(L)))));
+      }
+      E.beginIf(eqE(regE(Any), constE(0)));
+      E.assign(Ok, constE(1));
+      E.endIf();
+      E.endIf();
+      E.endWhile();
+    }
+    E.criticalSection(Cnt);
+    E.write(Level[I], constE(0));
+    E.finish();
+  }
+  return P;
+}
+
+Program vbmc::protocols::makeSzymanski(const MutexOptions &O) {
+  uint32_t N = std::max(2u, O.Threads);
+  Program P;
+  std::vector<VarId> Flag;
+  for (uint32_t I = 0; I < N; ++I)
+    Flag.push_back(P.addVar("flag" + std::to_string(I)));
+  VarId Cnt = P.addVar("cnt");
+
+  for (uint32_t I = 0; I < N; ++I) {
+    uint32_t Proc = P.addProcess(thrName(I));
+    ThreadEmitter E(P, Proc, O.fenced(I));
+    RegId Ok = E.reg("ok");
+    RegId Any = E.reg("any");
+    RegId F = E.reg("f");
+
+    // Intention to enter.
+    E.write(Flag[I], constE(1));
+    // Wait until nobody is in the doorway or beyond (flag < 3). The
+    // injected bug removes every entry wait of the buggy thread.
+    if (!O.buggy(I)) {
+    E.assign(Ok, constE(0));
+    E.beginWhile(eqE(regE(Ok), constE(0)));
+    E.assign(Any, constE(0));
+    for (uint32_t J = 0; J < N; ++J) {
+      if (J == I)
+        continue;
+      E.read(F, Flag[J]);
+      E.assign(Any, orE(regE(Any), binE(BinaryOp::Ge, regE(F), constE(3))));
+    }
+    E.assign(Ok, notE(regE(Any)));
+    E.endWhile();
+    }
+    // Doorway.
+    E.write(Flag[I], constE(3));
+    // If someone else still intends to enter, step back and wait for a
+    // thread that already committed (flag == 4).
+    if (!O.buggy(I)) {
+    E.assign(Any, constE(0));
+    for (uint32_t J = 0; J < N; ++J) {
+      if (J == I)
+        continue;
+      E.read(F, Flag[J]);
+      E.assign(Any, orE(regE(Any), eqE(regE(F), constE(1))));
+    }
+    E.beginIf(neE(regE(Any), constE(0)));
+    E.write(Flag[I], constE(2));
+    E.assign(Ok, constE(0));
+    E.beginWhile(eqE(regE(Ok), constE(0)));
+    E.assign(Any, constE(0));
+    for (uint32_t J = 0; J < N; ++J) {
+      if (J == I)
+        continue;
+      E.read(F, Flag[J]);
+      E.assign(Any, orE(regE(Any), eqE(regE(F), constE(4))));
+    }
+    E.assign(Ok, regE(Any));
+    E.endWhile();
+    E.endIf();
+    }
+    E.write(Flag[I], constE(4));
+    // Wait for all lower-id threads to leave the waiting room.
+    if (!O.buggy(I)) {
+      E.assign(Ok, constE(0));
+      E.beginWhile(eqE(regE(Ok), constE(0)));
+      E.assign(Any, constE(0));
+      for (uint32_t J = 0; J < I; ++J) {
+        E.read(F, Flag[J]);
+        E.assign(Any,
+                 orE(regE(Any), binE(BinaryOp::Ge, regE(F), constE(2))));
+      }
+      E.assign(Ok, notE(regE(Any)));
+      E.endWhile();
+    }
+    E.criticalSection(Cnt);
+    // Exit: wait for higher-id threads not to be mid-doorway.
+    E.assign(Ok, constE(0));
+    E.beginWhile(eqE(regE(Ok), constE(0)));
+    E.assign(Any, constE(0));
+    for (uint32_t J = I + 1; J < N; ++J) {
+      E.read(F, Flag[J]);
+      E.assign(Any, orE(regE(Any), andE(binE(BinaryOp::Ge, regE(F),
+                                             constE(2)),
+                                        binE(BinaryOp::Le, regE(F),
+                                             constE(3)))));
+    }
+    E.assign(Ok, notE(regE(Any)));
+    E.endWhile();
+    E.write(Flag[I], constE(0));
+    E.finish();
+  }
+  return P;
+}
+
+Program vbmc::protocols::makeDekker(const MutexOptions &O) {
+  Program P;
+  VarId Flag[2] = {P.addVar("flag0"), P.addVar("flag1")};
+  VarId Turn = P.addVar("turn");
+  VarId Cnt = P.addVar("cnt");
+
+  for (uint32_t I = 0; I < 2; ++I) {
+    uint32_t J = 1 - I;
+    uint32_t Proc = P.addProcess(thrName(I));
+    ThreadEmitter E(P, Proc, O.fenced(I));
+    RegId Fj = E.reg("fj");
+    RegId T = E.reg("t");
+
+    E.write(Flag[I], constE(1));
+    if (O.buggy(I)) {
+      // One-line change: enter without checking the peer's flag.
+    } else {
+      E.read(Fj, Flag[J]);
+      E.beginWhile(eqE(regE(Fj), constE(1)));
+      E.read(T, Turn);
+      E.beginIf(neE(regE(T), constE(static_cast<Value>(I))));
+      E.write(Flag[I], constE(0));
+      E.read(T, Turn);
+      E.beginWhile(neE(regE(T), constE(static_cast<Value>(I))));
+      E.read(T, Turn);
+      E.endWhile();
+      E.write(Flag[I], constE(1));
+      E.endIf();
+      E.read(Fj, Flag[J]);
+      E.endWhile();
+    }
+    E.criticalSection(Cnt);
+    E.write(Turn, constE(static_cast<Value>(J)));
+    E.write(Flag[I], constE(0));
+    E.finish();
+  }
+  return P;
+}
+
+Program vbmc::protocols::makeSimplifiedDekker(const MutexOptions &O) {
+  Program P;
+  VarId Flag[2] = {P.addVar("flag0"), P.addVar("flag1")};
+  VarId Cnt = P.addVar("cnt");
+  for (uint32_t I = 0; I < 2; ++I) {
+    uint32_t Proc = P.addProcess(thrName(I));
+    ThreadEmitter E(P, Proc, O.fenced(I));
+    RegId Fj = E.reg("fj");
+    E.write(Flag[I], constE(1));
+    if (O.buggy(I))
+      E.assign(Fj, constE(0)); // One-line change: pretend the peer is out.
+    else
+      E.read(Fj, Flag[1 - I]);
+    E.beginIf(eqE(regE(Fj), constE(0)));
+    E.criticalSection(Cnt);
+    E.endIf();
+    E.write(Flag[I], constE(0));
+    E.finish();
+  }
+  return P;
+}
+
+Program vbmc::protocols::makeBurns(const MutexOptions &O) {
+  uint32_t N = std::max(2u, O.Threads);
+  Program P;
+  std::vector<VarId> Flag;
+  for (uint32_t I = 0; I < N; ++I)
+    Flag.push_back(P.addVar("flag" + std::to_string(I)));
+  VarId Cnt = P.addVar("cnt");
+
+  for (uint32_t I = 0; I < N; ++I) {
+    uint32_t Proc = P.addProcess(thrName(I));
+    ThreadEmitter E(P, Proc, O.fenced(I));
+    RegId Done = E.reg("done");
+    RegId Any = E.reg("any");
+    RegId F = E.reg("f");
+
+    // Phase A: raise the flag without a lower-id thread contending. The
+    // injected bug raises the flag and enters without any check.
+    if (O.buggy(I)) {
+      E.write(Flag[I], constE(1));
+    } else {
+    E.assign(Done, constE(0));
+    E.beginWhile(eqE(regE(Done), constE(0)));
+    E.write(Flag[I], constE(0));
+    E.assign(Any, constE(0));
+    for (uint32_t J = 0; J < I; ++J) {
+      E.read(F, Flag[J]);
+      E.assign(Any, orE(regE(Any), eqE(regE(F), constE(1))));
+    }
+    E.beginIf(eqE(regE(Any), constE(0)));
+    E.write(Flag[I], constE(1));
+    E.assign(Any, constE(0));
+    for (uint32_t J = 0; J < I; ++J) {
+      E.read(F, Flag[J]);
+      E.assign(Any, orE(regE(Any), eqE(regE(F), constE(1))));
+    }
+    E.beginIf(eqE(regE(Any), constE(0)));
+    E.assign(Done, constE(1));
+    E.endIf();
+    E.endIf();
+    E.endWhile();
+    }
+    // Phase B: wait for all higher-id threads to lower their flags.
+    if (!O.buggy(I)) {
+      E.assign(Done, constE(0));
+      E.beginWhile(eqE(regE(Done), constE(0)));
+      E.assign(Any, constE(0));
+      for (uint32_t J = I + 1; J < N; ++J) {
+        E.read(F, Flag[J]);
+        E.assign(Any, orE(regE(Any), eqE(regE(F), constE(1))));
+      }
+      E.assign(Done, notE(regE(Any)));
+      E.endWhile();
+    }
+    E.criticalSection(Cnt);
+    E.write(Flag[I], constE(0));
+    E.finish();
+  }
+  return P;
+}
+
+Program vbmc::protocols::makeBakery(const MutexOptions &O) {
+  uint32_t N = std::max(2u, O.Threads);
+  Program P;
+  std::vector<VarId> Choosing, Num;
+  for (uint32_t I = 0; I < N; ++I) {
+    Choosing.push_back(P.addVar("choosing" + std::to_string(I)));
+    Num.push_back(P.addVar("num" + std::to_string(I)));
+  }
+  VarId Cnt = P.addVar("cnt");
+
+  for (uint32_t I = 0; I < N; ++I) {
+    uint32_t Proc = P.addProcess(thrName(I));
+    ThreadEmitter E(P, Proc, O.fenced(I));
+    RegId M = E.reg("m");
+    RegId Nj = E.reg("nj");
+    RegId Cj = E.reg("cj");
+    RegId Ok = E.reg("ok");
+
+    E.write(Choosing[I], constE(1));
+    // Take a ticket one above the maximum visible ticket.
+    E.assign(M, constE(0));
+    for (uint32_t J = 0; J < N; ++J) {
+      E.read(Nj, Num[J]);
+      E.beginIf(binE(BinaryOp::Gt, regE(Nj), regE(M)));
+      E.assign(M, regE(Nj));
+      E.endIf();
+    }
+    E.assign(M, addE(regE(M), constE(1)));
+    E.write(Num[I], regE(M));
+    E.write(Choosing[I], constE(0));
+
+    for (uint32_t J = 0; J < N; ++J) {
+      if (J == I)
+        continue;
+      if (O.buggy(I))
+        break; // One-line change: skip the ticket comparison loop.
+      // Wait until J is not choosing.
+      E.read(Cj, Choosing[J]);
+      E.beginWhile(eqE(regE(Cj), constE(1)));
+      E.read(Cj, Choosing[J]);
+      E.endWhile();
+      // Wait until J's ticket is 0 or ordered after ours.
+      E.assign(Ok, constE(0));
+      E.beginWhile(eqE(regE(Ok), constE(0)));
+      E.read(Nj, Num[J]);
+      ExprRef After = orE(
+          eqE(regE(Nj), constE(0)),
+          orE(binE(BinaryOp::Gt, regE(Nj), regE(M)),
+              andE(eqE(regE(Nj), regE(M)),
+                   constE(J > I ? 1 : 0))));
+      E.assign(Ok, std::move(After));
+      E.endWhile();
+    }
+    E.criticalSection(Cnt);
+    E.write(Num[I], constE(0));
+    E.finish();
+  }
+  return P;
+}
+
+Program vbmc::protocols::makeLamportFast(const MutexOptions &O) {
+  uint32_t N = std::max(2u, O.Threads);
+  Program P;
+  std::vector<VarId> B;
+  for (uint32_t I = 0; I < N; ++I)
+    B.push_back(P.addVar("b" + std::to_string(I)));
+  VarId X = P.addVar("x");
+  VarId Y = P.addVar("y");
+  VarId Cnt = P.addVar("cnt");
+
+  for (uint32_t I = 0; I < N; ++I) {
+    Value Me = static_cast<Value>(I) + 1; // 0 means "unset".
+    uint32_t Proc = P.addProcess(thrName(I));
+    ThreadEmitter E(P, Proc, O.fenced(I));
+    RegId Done = E.reg("done");
+    RegId Ry = E.reg("ry");
+    RegId Rx = E.reg("rx");
+    RegId Bj = E.reg("bj");
+
+    E.assign(Done, constE(0));
+    E.beginWhile(eqE(regE(Done), constE(0)));
+    E.write(B[I], constE(1));
+    E.write(X, constE(Me));
+    E.read(Ry, Y);
+    E.beginIf(neE(regE(Ry), constE(0)));
+    // Contention on y: back off and retry once y clears.
+    E.write(B[I], constE(0));
+    E.read(Ry, Y);
+    E.beginWhile(neE(regE(Ry), constE(0)));
+    E.read(Ry, Y);
+    E.endWhile();
+    E.beginElse();
+    E.write(Y, constE(Me));
+    if (O.buggy(I)) {
+      // One-line change: always take the fast path.
+      E.assign(Rx, constE(Me));
+    } else {
+      E.read(Rx, X);
+    }
+    E.beginIf(eqE(regE(Rx), constE(Me)));
+    E.assign(Done, constE(1)); // Fast path.
+    E.beginElse();
+    E.write(B[I], constE(0));
+    for (uint32_t J = 0; J < N; ++J) {
+      E.read(Bj, B[J]);
+      E.beginWhile(eqE(regE(Bj), constE(1)));
+      E.read(Bj, B[J]);
+      E.endWhile();
+    }
+    E.read(Ry, Y);
+    E.beginIf(eqE(regE(Ry), constE(Me)));
+    E.assign(Done, constE(1)); // Slow path success.
+    E.beginElse();
+    E.read(Ry, Y);
+    E.beginWhile(neE(regE(Ry), constE(0)));
+    E.read(Ry, Y);
+    E.endWhile();
+    E.endIf();
+    E.endIf();
+    E.endIf();
+    E.endWhile();
+
+    E.criticalSection(Cnt);
+    E.write(Y, constE(0));
+    E.write(B[I], constE(0));
+    E.finish();
+  }
+  return P;
+}
+
+Program vbmc::protocols::makeTicketBarrier(const MutexOptions &O) {
+  uint32_t N = std::max(2u, O.Threads);
+  Program P;
+  VarId Next = P.addVar("next");
+  VarId Serving = P.addVar("serving");
+  VarId Cnt = P.addVar("cnt");
+
+  for (uint32_t I = 0; I < N; ++I) {
+    uint32_t Proc = P.addProcess(thrName(I));
+    ThreadEmitter E(P, Proc, O.fenced(I));
+    RegId T = E.reg("t");
+    RegId S = E.reg("s");
+
+    // Grab a ticket atomically (the CAS blocks on a stale read; runs
+    // where the read was current proceed).
+    E.read(T, Next);
+    E.cas(Next, regE(T), addE(regE(T), constE(1)));
+    // Wait to be served.
+    if (!O.buggy(I)) {
+      E.read(S, Serving);
+      E.beginWhile(neE(regE(S), regE(T)));
+      E.read(S, Serving);
+      E.endWhile();
+    }
+    E.criticalSection(Cnt);
+    E.write(Serving, addE(regE(T), constE(1)));
+    E.finish();
+  }
+  return P;
+}
+
+ErrorOr<Program> vbmc::protocols::makeByPaperName(const std::string &Name,
+                                                  uint32_t Threads) {
+  // Split an optional numeric version suffix: "peterson_2" -> base
+  // "peterson", version 2. "sim_dekker" has no version digit.
+  std::string Base = Name;
+  int Version = 0;
+  auto Pos = Name.find_last_of('_');
+  if (Pos != std::string::npos && Pos + 2 == Name.size() &&
+      std::isdigit(static_cast<unsigned char>(Name[Pos + 1]))) {
+    Base = Name.substr(0, Pos);
+    Version = Name[Pos + 1] - '0';
+  }
+
+  uint32_t N = std::max(2u, Threads);
+  MutexOptions O;
+  switch (Version) {
+  case 0:
+    O = MutexOptions::unfenced(N);
+    break;
+  case 1:
+    O = MutexOptions::fencedExcept(N, 0);
+    break;
+  case 2:
+    O = MutexOptions::fencedBuggy(N, 0);
+    break;
+  case 3:
+    O = MutexOptions::fencedBuggy(N, N - 1);
+    break;
+  case 4:
+    O = MutexOptions::fencedAll(N);
+    break;
+  default:
+    return Diagnostic("unknown protocol version in '" + Name + "'");
+  }
+
+  if (Base == "peterson")
+    return makePeterson(O);
+  if (Base == "szymanski")
+    return makeSzymanski(O);
+  if (Base == "dekker")
+    return makeDekker(O);
+  if (Base == "sim_dekker")
+    return makeSimplifiedDekker(O);
+  if (Base == "burns")
+    return makeBurns(O);
+  if (Base == "bakery")
+    return makeBakery(O);
+  if (Base == "lamport")
+    return makeLamportFast(O);
+  if (Base == "tbar") {
+    // tbar appears only in the SAFE tables; it is fenced by construction.
+    if (Version == 0)
+      O = MutexOptions::fencedAll(N);
+    return makeTicketBarrier(O);
+  }
+  return Diagnostic("unknown protocol '" + Name + "'");
+}

@@ -1,0 +1,102 @@
+//===- Protocols.h - the paper's mutual-exclusion benchmarks -----*- C++ -*-===//
+///
+/// \file
+/// Programmatic builders for the benchmark programs of Section 7: the
+/// SV-COMP-style mutual-exclusion protocols (Peterson's filter lock,
+/// Szymanski, Dekker, simplified Dekker, Burns, Lamport's bakery,
+/// Lamport's fast mutex) and the ticket barrier (tbar), parameterized by
+///
+///  * the number of threads,
+///  * a per-thread fencing mask (a fenced thread issues a fence after
+///    every shared store, the standard store-load fix these protocols
+///    need under weak memory),
+///  * an optional "one-line change" bug injection: the designated thread
+///    skips its final entry-wait, exactly the kind of single-line
+///    mutation Tables 3-5 describe.
+///
+/// Every protocol guards its critical section with the standard counter
+/// check: `cnt++; assert(cnt == 1); cnt--;` (lowered to reads/writes over
+/// registers). A mutual-exclusion violation makes the assert failable;
+/// causality of RA makes the fenced versions safe.
+///
+/// The paper's benchmark names map to builder calls as:
+///
+///   name_0(N)  unfenced, no bug               (UNSAFE under RA)
+///   name_1(N)  all threads fenced except 0    (UNSAFE; Table 2)
+///   name_2(N)  fenced + bug in thread 0       (UNSAFE; Tables 3, 5)
+///   name_3(N)  fenced + bug in thread N-1     (UNSAFE; Table 4)
+///   name_4(N)  fully fenced                   (SAFE; Tables 6-8)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_PROTOCOLS_PROTOCOLS_H
+#define VBMC_PROTOCOLS_PROTOCOLS_H
+
+#include "ir/Program.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+
+namespace vbmc::protocols {
+
+struct MutexOptions {
+  uint32_t Threads = 2;
+  /// Bit i set = thread i issues a fence after every shared store.
+  uint64_t FencedMask = 0;
+  /// Thread whose final entry-wait is removed (the "one line change"), or
+  /// -1 for no injected bug.
+  int32_t BuggyThread = -1;
+
+  bool fenced(uint32_t I) const { return (FencedMask >> I) & 1; }
+  bool buggy(uint32_t I) const {
+    return BuggyThread == static_cast<int32_t>(I);
+  }
+
+  static MutexOptions unfenced(uint32_t N) { return MutexOptions{N, 0, -1}; }
+  static MutexOptions fencedAll(uint32_t N) {
+    return MutexOptions{N, (1ULL << N) - 1, -1};
+  }
+  /// All threads fenced except \p Unfenced (the paper's version _1).
+  static MutexOptions fencedExcept(uint32_t N, uint32_t Unfenced) {
+    return MutexOptions{N, ((1ULL << N) - 1) & ~(1ULL << Unfenced), -1};
+  }
+  /// Fenced with a bug in \p Buggy (versions _2 and _3).
+  static MutexOptions fencedBuggy(uint32_t N, uint32_t Buggy) {
+    return MutexOptions{N, (1ULL << N) - 1, static_cast<int32_t>(Buggy)};
+  }
+};
+
+/// Peterson's filter lock (the N-thread generalization of Peterson).
+ir::Program makePeterson(const MutexOptions &O);
+
+/// Szymanski's flag-based algorithm.
+ir::Program makeSzymanski(const MutexOptions &O);
+
+/// Dekker's algorithm (exactly 2 threads; Threads is clamped).
+ir::Program makeDekker(const MutexOptions &O);
+
+/// The try-lock-style simplified Dekker (safe under SC, broken under RA).
+ir::Program makeSimplifiedDekker(const MutexOptions &O);
+
+/// Burns' one-bit algorithm.
+ir::Program makeBurns(const MutexOptions &O);
+
+/// Lamport's bakery (tickets bounded by the loop bound).
+ir::Program makeBakery(const MutexOptions &O);
+
+/// Lamport's fast mutex.
+ir::Program makeLamportFast(const MutexOptions &O);
+
+/// Ticket lock / barrier built on CAS ("tbar" in the tables).
+ir::Program makeTicketBarrier(const MutexOptions &O);
+
+/// Builds a benchmark by its paper name, e.g. "peterson_2" with N = 5 for
+/// peterson_2(5), "bakery" (version suffix defaults to _0 semantics for
+/// the unfenced Table 1 entries, except tbar which is version _4 = fenced).
+ErrorOr<ir::Program> makeByPaperName(const std::string &Name,
+                                     uint32_t Threads);
+
+} // namespace vbmc::protocols
+
+#endif // VBMC_PROTOCOLS_PROTOCOLS_H

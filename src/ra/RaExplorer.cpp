@@ -1,0 +1,216 @@
+//===- RaExplorer.cpp -----------------------------------------*- C++ -*-===//
+
+#include "ra/RaExplorer.h"
+
+#include <deque>
+#include <unordered_set>
+
+using namespace vbmc;
+using namespace vbmc::ra;
+
+namespace {
+
+/// FNV-1a over a word vector.
+struct KeyHash {
+  size_t operator()(const std::vector<uint32_t> &Key) const {
+    uint64_t H = 1469598103934665603ULL;
+    for (uint32_t W : Key) {
+      H ^= W;
+      H *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(H);
+  }
+};
+
+bool goalHolds(const FlatProgram &FP, const RaQuery &Q, const RaConfig &C) {
+  switch (Q.Goal) {
+  case GoalKind::AnyError:
+    for (uint32_t P = 0; P < FP.numProcs(); ++P)
+      if (FP.Procs[P].isError(C.Pc[P]))
+        return true;
+    return false;
+  case GoalKind::AllDone:
+    for (uint32_t P = 0; P < FP.numProcs(); ++P)
+      if (!FP.Procs[P].isDone(C.Pc[P]))
+        return false;
+    return true;
+  case GoalKind::Custom:
+    return Q.GoalPredicate(C.Pc);
+  }
+  return false;
+}
+
+/// BFS node: configuration + switches used + back-pointer for traces.
+struct Node {
+  RaConfig Config;
+  uint32_t Switches;
+  int64_t Parent; ///< Index into the arena, -1 for the root.
+  TraceStep Via;  ///< Step that produced this node (unused for the root).
+};
+
+} // namespace
+
+RaResult vbmc::ra::exploreRa(const FlatProgram &FP, const RaQuery &Q) {
+  Timer Watch;
+  Deadline DL(Q.BudgetSeconds);
+  RaResult Result;
+
+  std::vector<Node> Arena;
+  std::deque<size_t> Frontier;
+  std::unordered_set<std::vector<uint32_t>, KeyHash> Visited;
+
+  auto tryEnqueue = [&](RaConfig C, uint32_t Switches, int64_t Parent,
+                        TraceStep Via) {
+    std::vector<uint32_t> Key;
+    C.serialize(Key);
+    // The switch budget already spent is part of the state: a config seen
+    // with fewer switches dominates one seen with more, and BFS layers do
+    // not guarantee monotone switch counts, so the count is in the key.
+    if (Q.ViewSwitchBound)
+      Key.push_back(Switches);
+    if (!Visited.insert(std::move(Key)).second)
+      return;
+    Arena.push_back(Node{std::move(C), Switches, Parent, Via});
+    Frontier.push_back(Arena.size() - 1);
+  };
+
+  tryEnqueue(initialConfig(FP), 0, -1, TraceStep{0, 0, false});
+
+  auto buildTrace = [&](size_t NodeIdx) {
+    std::vector<TraceStep> Trace;
+    for (int64_t I = static_cast<int64_t>(NodeIdx); Arena[I].Parent >= 0;
+         I = Arena[I].Parent)
+      Trace.push_back(Arena[I].Via);
+    std::reverse(Trace.begin(), Trace.end());
+    return Trace;
+  };
+
+  std::vector<RaStep> Steps;
+  while (!Frontier.empty()) {
+    if (Q.MaxStates && Result.StatesVisited >= Q.MaxStates) {
+      Result.Status = SearchStatus::StateLimit;
+      Result.Seconds = Watch.elapsedSeconds();
+      return Result;
+    }
+    if ((Result.StatesVisited & 0x3f) == 0 && DL.expired()) {
+      Result.Status = SearchStatus::Timeout;
+      Result.Seconds = Watch.elapsedSeconds();
+      return Result;
+    }
+
+    size_t Idx = Frontier.front();
+    Frontier.pop_front();
+    ++Result.StatesVisited;
+
+    if (goalHolds(FP, Q, Arena[Idx].Config)) {
+      Result.Status = SearchStatus::Reached;
+      Result.SwitchesUsed = Arena[Idx].Switches;
+      Result.Trace = buildTrace(Idx);
+      Result.Seconds = Watch.elapsedSeconds();
+      return Result;
+    }
+
+    Steps.clear();
+    enumerateSteps(FP, Arena[Idx].Config, Steps);
+    Result.TransitionsExplored += Steps.size();
+    uint32_t BaseSwitches = Arena[Idx].Switches;
+    for (RaStep &S : Steps) {
+      uint32_t Switches = BaseSwitches + (S.ViewSwitch ? 1 : 0);
+      if (Q.ViewSwitchBound && Switches > *Q.ViewSwitchBound)
+        continue;
+      tryEnqueue(std::move(S.Next), Switches, static_cast<int64_t>(Idx),
+                 TraceStep{S.Proc, S.Instr, S.ViewSwitch});
+    }
+  }
+
+  Result.Status = SearchStatus::Exhausted;
+  Result.Seconds = Watch.elapsedSeconds();
+  return Result;
+}
+
+uint64_t vbmc::ra::randomWalks(const FlatProgram &FP, const RaQuery &Q, Rng &R,
+                               uint64_t Walks, uint64_t MaxSteps) {
+  uint64_t Hits = 0;
+  std::vector<RaStep> Steps;
+  for (uint64_t W = 0; W < Walks; ++W) {
+    RaConfig C = initialConfig(FP);
+    uint32_t Switches = 0;
+    for (uint64_t S = 0; S < MaxSteps; ++S) {
+      if (goalHolds(FP, Q, C)) {
+        ++Hits;
+        break;
+      }
+      Steps.clear();
+      enumerateSteps(FP, C, Steps);
+      if (Q.ViewSwitchBound) {
+        std::erase_if(Steps, [&](const RaStep &St) {
+          return Switches + (St.ViewSwitch ? 1 : 0) > *Q.ViewSwitchBound;
+        });
+      }
+      if (Steps.empty())
+        break;
+      RaStep &Pick = Steps[R.nextBelow(Steps.size())];
+      Switches += Pick.ViewSwitch ? 1 : 0;
+      C = std::move(Pick.Next);
+    }
+  }
+  return Hits;
+}
+
+std::set<std::vector<Value>>
+vbmc::ra::collectTerminalRegs(const FlatProgram &FP,
+                              std::optional<uint32_t> ViewSwitchBound,
+                              uint64_t MaxStates) {
+  std::set<std::vector<Value>> Terminals;
+  std::deque<std::pair<RaConfig, uint32_t>> Frontier;
+  std::unordered_set<std::vector<uint32_t>, KeyHash> Visited;
+  uint64_t Expanded = 0;
+
+  auto tryEnqueue = [&](RaConfig C, uint32_t Switches) {
+    std::vector<uint32_t> Key;
+    C.serialize(Key);
+    if (ViewSwitchBound)
+      Key.push_back(Switches);
+    if (!Visited.insert(std::move(Key)).second)
+      return;
+    Frontier.emplace_back(std::move(C), Switches);
+  };
+
+  tryEnqueue(initialConfig(FP), 0);
+  std::vector<RaStep> Steps;
+  while (!Frontier.empty()) {
+    if (MaxStates && ++Expanded > MaxStates)
+      break;
+    auto [C, Switches] = std::move(Frontier.front());
+    Frontier.pop_front();
+
+    bool AllDone = true;
+    for (uint32_t P = 0; P < FP.numProcs(); ++P)
+      AllDone &= FP.Procs[P].isDone(C.Pc[P]);
+    if (AllDone)
+      Terminals.insert(C.Regs);
+
+    Steps.clear();
+    enumerateSteps(FP, C, Steps);
+    for (RaStep &S : Steps) {
+      uint32_t NewSwitches = Switches + (S.ViewSwitch ? 1 : 0);
+      if (ViewSwitchBound && NewSwitches > *ViewSwitchBound)
+        continue;
+      tryEnqueue(std::move(S.Next), NewSwitches);
+    }
+  }
+  return Terminals;
+}
+
+std::string vbmc::ra::formatTrace(const FlatProgram &FP,
+                                  const std::vector<TraceStep> &Trace) {
+  std::string Out;
+  for (const TraceStep &S : Trace) {
+    RaStep Fake;
+    Fake.Proc = S.Proc;
+    Fake.Instr = S.Instr;
+    Fake.ViewSwitch = S.ViewSwitch;
+    Out += describeStep(FP, Fake) + "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,99 @@
+//===- RaExplorer.h - explicit-state reachability under RA -------*- C++ -*-===//
+///
+/// \file
+/// Breadth-first explicit-state reachability for the RA semantics, with
+/// optional view-switch bounding (the paper's k-bounded runs, Section 5).
+/// Thanks to timestamp canonicalization (see RaSemantics.h) the visited set
+/// is exact, so exploration terminates on loop-bounded programs.
+///
+/// Also provides a random-walk simulator used by the "stochastic simulation
+/// of the RA model" discussion in Section 7 and by the property tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_RA_RAEXPLORER_H
+#define VBMC_RA_RAEXPLORER_H
+
+#include "ra/RaSemantics.h"
+#include "support/Rng.h"
+#include "support/Timer.h"
+
+#include <functional>
+#include <optional>
+#include <set>
+
+namespace vbmc::ra {
+
+/// What the exploration is looking for.
+enum class GoalKind {
+  AnyError, ///< Some process at its error label (assertion failure).
+  AllDone,  ///< Every process at its done label (used by the PCP encoder).
+  Custom,   ///< A user predicate over the program counters.
+};
+
+/// Exploration parameters.
+struct RaQuery {
+  GoalKind Goal = GoalKind::AnyError;
+  /// Predicate for GoalKind::Custom.
+  std::function<bool(const std::vector<Label> &)> GoalPredicate;
+  /// Bound k on view-switches; unset = unbounded.
+  std::optional<uint32_t> ViewSwitchBound;
+  /// Hard cap on visited configurations (0 = unlimited).
+  uint64_t MaxStates = 0;
+  /// Wall-clock budget in seconds (0 = unlimited).
+  double BudgetSeconds = 0;
+};
+
+enum class SearchStatus {
+  Reached,    ///< Goal configuration found.
+  Exhausted,  ///< Full (bounded) state space explored; goal unreachable.
+  StateLimit, ///< Gave up: MaxStates exceeded.
+  Timeout,    ///< Gave up: budget exceeded.
+};
+
+/// One step of a counterexample run.
+struct TraceStep {
+  uint32_t Proc;
+  Label Instr;
+  bool ViewSwitch;
+};
+
+struct RaResult {
+  SearchStatus Status = SearchStatus::Exhausted;
+  uint64_t StatesVisited = 0;
+  uint64_t TransitionsExplored = 0;
+  /// Number of view-switches along the witness run (when reached).
+  uint32_t SwitchesUsed = 0;
+  /// Witness run from the initial configuration (when reached).
+  std::vector<TraceStep> Trace;
+  double Seconds = 0;
+
+  bool reached() const { return Status == SearchStatus::Reached; }
+  bool exhausted() const { return Status == SearchStatus::Exhausted; }
+};
+
+/// Runs BFS reachability on \p FP under RA per \p Q.
+RaResult exploreRa(const FlatProgram &FP, const RaQuery &Q);
+
+/// Performs up to \p Walks random walks of at most \p MaxSteps transitions
+/// each; returns the number of walks that hit the goal.
+uint64_t randomWalks(const FlatProgram &FP, const RaQuery &Q, Rng &R,
+                     uint64_t Walks, uint64_t MaxSteps);
+
+/// Renders a trace using instruction text, one line per step.
+std::string formatTrace(const FlatProgram &FP,
+                        const std::vector<TraceStep> &Trace);
+
+/// Exhaustively enumerates the (bounded) RA state space and returns every
+/// register valuation reachable in a configuration where all processes
+/// terminated. This is the behaviour oracle used for litmus tests and the
+/// differential tests against the axiomatic checker. Exploration stops
+/// early (and asserts in debug builds) only if \p MaxStates is exceeded.
+std::set<std::vector<Value>>
+collectTerminalRegs(const FlatProgram &FP,
+                    std::optional<uint32_t> ViewSwitchBound = std::nullopt,
+                    uint64_t MaxStates = 0);
+
+} // namespace vbmc::ra
+
+#endif // VBMC_RA_RAEXPLORER_H

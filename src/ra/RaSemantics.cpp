@@ -1,0 +1,282 @@
+//===- RaSemantics.cpp ----------------------------------------*- C++ -*-===//
+
+#include "ra/RaSemantics.h"
+
+#include "ir/Eval.h"
+#include "ir/Printer.h"
+
+using namespace vbmc;
+using namespace vbmc::ra;
+using ir::Expr;
+using ir::ExprKind;
+using ir::Op;
+
+void RaConfig::serialize(std::vector<uint32_t> &Out) const {
+  Out.clear();
+  for (Label L : Pc)
+    Out.push_back(L);
+  for (Value R : Regs)
+    Out.push_back(static_cast<uint32_t>(R));
+  for (const auto &V : Views)
+    for (Pos P : V)
+      Out.push_back(P);
+  for (const auto &Seq : Mem) {
+    Out.push_back(static_cast<uint32_t>(Seq.size()));
+    for (const RaMessage &M : Seq) {
+      Out.push_back(static_cast<uint32_t>(M.Val));
+      Out.push_back(M.GluedNext ? 1u : 0u);
+      for (Pos P : M.View)
+        Out.push_back(P);
+    }
+  }
+}
+
+RaConfig vbmc::ra::initialConfig(const FlatProgram &FP) {
+  RaConfig C;
+  uint32_t NV = FP.numVars();
+  C.Mem.resize(NV);
+  for (VarId X = 0; X < NV; ++X) {
+    RaMessage Init;
+    Init.View.assign(NV, 0);
+    C.Mem[X].push_back(std::move(Init));
+  }
+  C.Views.assign(FP.numProcs(), std::vector<Pos>(NV, 0));
+  C.Pc.assign(FP.numProcs(), 0);
+  C.Regs.assign(FP.numRegs(), 0);
+  return C;
+}
+
+namespace {
+
+/// Inserts a fresh message for variable \p X at position \p At in \p C
+/// (shifting existing positions >= At up by one and patching every view),
+/// then returns a reference to the inserted message. The caller fills in
+/// value/view/writer afterwards; the patched views are consistent with the
+/// renumbering *before* the writer's own view update.
+RaMessage &insertMessageAt(RaConfig &C, VarId X, Pos At) {
+  for (auto &View : C.Views)
+    if (View[X] >= At)
+      ++View[X];
+  for (auto &Seq : C.Mem)
+    for (RaMessage &M : Seq)
+      if (M.View[X] >= At)
+        ++M.View[X];
+  auto &Seq = C.Mem[X];
+  Seq.insert(Seq.begin() + At, RaMessage());
+  return Seq[At];
+}
+
+/// Merges \p From into \p Into (pointwise max); returns true when \p Into
+/// changed (the read was view-altering).
+bool mergeView(std::vector<Pos> &Into, const std::vector<Pos> &From) {
+  bool Changed = false;
+  for (size_t I = 0; I < Into.size(); ++I) {
+    if (From[I] > Into[I]) {
+      Into[I] = From[I];
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+/// Enumeration context for one process at one instruction.
+class StepBuilder {
+public:
+  StepBuilder(const FlatProgram &FP, const RaConfig &C, uint32_t P,
+              std::vector<RaStep> &Out)
+      : FP(FP), C(C), P(P), Out(Out) {}
+
+  void run() {
+    const ir::FlatProcess &Proc = FP.Procs[P];
+    Label L = C.Pc[P];
+    if (Proc.isFinal(L))
+      return;
+    const FlatInstr &I = Proc.Instrs[L];
+    switch (I.K) {
+    case Op::Read:
+      emitReads(I, L);
+      return;
+    case Op::Write:
+      emitWrites(I, L);
+      return;
+    case Op::Cas:
+      emitCas(I, L);
+      return;
+    case Op::Assign:
+      emitAssign(I, L);
+      return;
+    case Op::Assume:
+      if (ir::evalExpr(*I.E, C.Regs) != 0)
+        emitInternal(L, I.Next);
+      // A false assume keeps the process at L forever (Fnext = self); that
+      // self-loop adds no new configuration, so no step is emitted.
+      return;
+    case Op::Assert:
+      emitInternal(L, ir::evalExpr(*I.E, C.Regs) != 0 ? I.Next
+                                                      : Proc.errorLabel());
+      return;
+    case Op::Branch:
+      emitInternal(L, ir::evalExpr(*I.E, C.Regs) != 0 ? I.TNext : I.FNext);
+      return;
+    case Op::Goto:
+      emitInternal(L, I.Next);
+      return;
+    case Op::Term:
+      emitInternal(L, Proc.doneLabel());
+      return;
+    case Op::AtomicBegin:
+    case Op::AtomicEnd:
+      // Atomic sections constrain SC scheduling only; under RA they are
+      // internal no-ops (the RA engine analyses source programs, which the
+      // translation has not instrumented).
+      emitInternal(L, I.Next);
+      return;
+    }
+  }
+
+private:
+  RaStep &push(Label InstrLabel) {
+    Out.push_back(RaStep{C, P, InstrLabel, false});
+    return Out.back();
+  }
+
+  void emitInternal(Label InstrLabel, Label NextPc) {
+    RaStep &S = push(InstrLabel);
+    S.Next.Pc[P] = NextPc;
+  }
+
+  void emitAssign(const FlatInstr &I, Label L) {
+    if (I.E->kind() == ExprKind::Nondet) {
+      for (Value V = I.E->nondetLo(); V <= I.E->nondetHi(); ++V) {
+        RaStep &S = push(L);
+        S.Next.Regs[I.Reg] = V;
+        S.Next.Pc[P] = I.Next;
+      }
+      return;
+    }
+    RaStep &S = push(L);
+    S.Next.Regs[I.Reg] = ir::evalExpr(*I.E, C.Regs);
+    S.Next.Pc[P] = I.Next;
+  }
+
+  /// Rule Read: any message of x at or above the process's view.
+  void emitReads(const FlatInstr &I, Label L) {
+    VarId X = I.Var;
+    const auto &Seq = C.Mem[X];
+    for (Pos T = C.Views[P][X]; T < Seq.size(); ++T) {
+      RaStep &S = push(L);
+      S.ViewSwitch = mergeView(S.Next.Views[P], Seq[T].View);
+      S.Next.Regs[I.Reg] = Seq[T].Val;
+      S.Next.Pc[P] = I.Next;
+    }
+  }
+
+  /// Rule Write: pick any insertion point strictly above the view that does
+  /// not split a glued pair.
+  void emitWrites(const FlatInstr &I, Label L) {
+    VarId X = I.Var;
+    Value V = ir::evalExpr(*I.E, C.Regs);
+    const auto &Seq = C.Mem[X];
+    for (Pos At = C.Views[P][X] + 1; At <= Seq.size(); ++At) {
+      // Inserting at position At places the new message between At-1 and
+      // the old occupant of At; forbidden when At-1 is glued to it.
+      if (Seq[At - 1].GluedNext)
+        continue;
+      RaStep &S = push(L);
+      RaMessage &M = insertMessageAt(S.Next, X, At);
+      M.Val = V;
+      M.Writer = P;
+      auto &PView = S.Next.Views[P];
+      PView[X] = At;
+      M.View = PView;
+      S.Next.Pc[P] = I.Next;
+    }
+  }
+
+  /// Rule CAS: read a message whose successor timestamp is free, glue the
+  /// new message directly after it.
+  void emitCas(const FlatInstr &I, Label L) {
+    VarId X = I.Var;
+    Value Expected = ir::evalExpr(*I.E, C.Regs);
+    Value NewVal = ir::evalExpr(*I.E2, C.Regs);
+    const auto &Seq = C.Mem[X];
+    for (Pos T = C.Views[P][X]; T < Seq.size(); ++T) {
+      if (Seq[T].Val != Expected || Seq[T].GluedNext)
+        continue;
+      RaStep &S = push(L);
+      // Read part: merge the message view (this is the view-altering part).
+      S.ViewSwitch = mergeView(S.Next.Views[P], Seq[T].View);
+      // Write part: occupy timestamp T+1, glued to T.
+      S.Next.Mem[X][T].GluedNext = true;
+      RaMessage &M = insertMessageAt(S.Next, X, T + 1);
+      M.Val = NewVal;
+      M.Writer = P;
+      auto &PView = S.Next.Views[P];
+      PView[X] = T + 1;
+      M.View = PView;
+      S.Next.Pc[P] = I.Next;
+    }
+  }
+
+  const FlatProgram &FP;
+  const RaConfig &C;
+  uint32_t P;
+  std::vector<RaStep> &Out;
+};
+
+} // namespace
+
+void vbmc::ra::enumerateStepsOf(const FlatProgram &FP, const RaConfig &C,
+                                uint32_t P, std::vector<RaStep> &Out) {
+  StepBuilder(FP, C, P, Out).run();
+}
+
+void vbmc::ra::enumerateSteps(const FlatProgram &FP, const RaConfig &C,
+                              std::vector<RaStep> &Out) {
+  for (uint32_t P = 0; P < FP.numProcs(); ++P)
+    enumerateStepsOf(FP, C, P, Out);
+}
+
+std::string vbmc::ra::describeStep(const FlatProgram &FP, const RaStep &S) {
+  const ir::FlatProcess &Proc = FP.Procs[S.Proc];
+  std::string Out = Proc.Name + "@" + std::to_string(S.Instr) + ": ";
+  const FlatInstr &I = Proc.Instrs[S.Instr];
+  switch (I.K) {
+  case Op::Read:
+    Out += FP.Regs[I.Reg].Name + " = " + FP.VarNames[I.Var];
+    break;
+  case Op::Write:
+    Out += FP.VarNames[I.Var] + " = ...";
+    break;
+  case Op::Cas:
+    Out += "cas(" + FP.VarNames[I.Var] + ", ...)";
+    break;
+  case Op::Assign:
+    Out += FP.Regs[I.Reg].Name + " = <expr>";
+    break;
+  case Op::Assume:
+    Out += "assume";
+    break;
+  case Op::Assert:
+    Out += "assert";
+    break;
+  case Op::Branch:
+    Out += "branch";
+    break;
+  case Op::Goto:
+    Out += "goto";
+    break;
+  case Op::Term:
+    Out += "term";
+    break;
+  case Op::AtomicBegin:
+    Out += "atomic_begin";
+    break;
+  case Op::AtomicEnd:
+    Out += "atomic_end";
+    break;
+  }
+  if (S.ViewSwitch)
+    Out += "  [view-switch]";
+  return Out;
+}

@@ -1,0 +1,122 @@
+//===- RaSemantics.h - the RA operational semantics (Fig. 2) -----*- C++ -*-===//
+///
+/// \file
+/// Configurations and the transition relation of the release-acquire
+/// semantics, following Fig. 2 of the paper ([17, 34]'s operational model):
+/// the shared memory is a pool of messages (x, v, t, V), each process keeps
+/// a view X -> Time, reads pick any message at or above the process's view,
+/// writes pick a fresh timestamp above the view, and CAS reads a message
+/// whose successor timestamp t+1 is unoccupied and writes at exactly t+1.
+///
+/// **Timestamp canonicalization.** Concrete timestamps range over all of N,
+/// so configurations are infinite even for finite-state programs. This
+/// implementation uses the canonical representation where the timestamp of
+/// a message is its *position* in the modification order of its variable,
+/// plus one bit per message ("GluedNext") recording that the successor
+/// integer t+1 is occupied. The two representations induce the same
+/// reachable control states:
+///
+///  * only CAS ever *requires* adjacency (it writes at exactly t+1), so the
+///    only glued pairs come from a CAS and its read message;
+///  * a plain write may always pick its timestamp with arbitrarily large
+///    gaps, so inserting "between" two non-glued messages is always
+///    realizable over the integers (scale all later stamps up);
+///  * conversely a plain write could *choose* to occupy some t+1 and block
+///    a later CAS, but blocking a CAS only removes behaviours, so skipping
+///    those choices loses no reachable states.
+///
+/// Insertion renumbers later positions; views (process views and the views
+/// carried inside messages) are patched accordingly, keeping every
+/// configuration finitely representable and hashable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_RA_RASEMANTICS_H
+#define VBMC_RA_RASEMANTICS_H
+
+#include "ir/Flatten.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vbmc::ra {
+
+using ir::FlatInstr;
+using ir::FlatProgram;
+using ir::Label;
+using ir::Value;
+using ir::VarId;
+
+/// Canonical timestamp: position in the per-variable modification order.
+using Pos = uint32_t;
+
+/// Sentinel writer id of the initial messages.
+inline constexpr uint32_t InitialWriter = ~0u;
+
+/// One message in the pool, in canonical form. Its timestamp is implicit
+/// (its index in the per-variable sequence).
+struct RaMessage {
+  Value Val = 0;
+  /// The view V carried by the message, as positions per variable.
+  std::vector<Pos> View;
+  /// True when integer timestamp t+1 is occupied (by a CAS that read this
+  /// message); no write may ever be inserted directly after this message
+  /// and no CAS may read it.
+  bool GluedNext = false;
+  /// Writing process, or InitialWriter.
+  uint32_t Writer = InitialWriter;
+
+  bool operator==(const RaMessage &) const = default;
+};
+
+/// A configuration (M, P, J, R) of the RA transition system, canonicalized.
+struct RaConfig {
+  /// Mem[x] is the modification-order sequence of messages to x; index =
+  /// canonical timestamp. Mem[x][0] is the initial message.
+  std::vector<std::vector<RaMessage>> Mem;
+  /// Views[p][x]: position of the most recent message of x observed by p.
+  std::vector<std::vector<Pos>> Views;
+  /// Instruction label of each process (may be a done/error sentinel).
+  std::vector<Label> Pc;
+  /// Current register valuation (flat across processes).
+  std::vector<Value> Regs;
+
+  bool operator==(const RaConfig &) const = default;
+
+  /// Serializes into a flat word vector for hashing / visited sets.
+  void serialize(std::vector<uint32_t> &Out) const;
+};
+
+/// One enabled transition out of a configuration.
+struct RaStep {
+  RaConfig Next;
+  uint32_t Proc = 0;
+  Label Instr = 0;
+  /// True when this step read a message that changed the process's view
+  /// (the paper's "view-altering event"; writes never count).
+  bool ViewSwitch = false;
+};
+
+/// Returns the initial configuration of \p FP: one initial message per
+/// variable (value 0, timestamp 0, zero view), all views and registers 0.
+RaConfig initialConfig(const FlatProgram &FP);
+
+/// Appends all successors of \p C under the Fig. 2 rules to \p Out.
+/// Internal instructions (assign, branch, goto, assume, assert, term,
+/// atomic markers) produce at most one successor per nondet choice; read /
+/// write / cas enumerate the message and timestamp choices described in the
+/// file comment.
+void enumerateSteps(const FlatProgram &FP, const RaConfig &C,
+                    std::vector<RaStep> &Out);
+
+/// Like enumerateSteps but only for process \p P.
+void enumerateStepsOf(const FlatProgram &FP, const RaConfig &C, uint32_t P,
+                      std::vector<RaStep> &Out);
+
+/// Renders one step for trace output, e.g. "p1@3: x = r1 [t=2]".
+std::string describeStep(const FlatProgram &FP, const RaStep &S);
+
+} // namespace vbmc::ra
+
+#endif // VBMC_RA_RASEMANTICS_H

@@ -1,0 +1,53 @@
+//===- Dimacs.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "sat/Dimacs.h"
+
+#include <cstdlib>
+#include <sstream>
+
+using namespace vbmc;
+using namespace vbmc::sat;
+
+ErrorOr<uint32_t> vbmc::sat::loadDimacs(const std::string &Text,
+                                        Solver &Solver) {
+  std::istringstream In(Text);
+  std::string Line;
+  uint32_t Clauses = 0;
+  std::vector<Lit> Current;
+  while (std::getline(In, Line)) {
+    if (Line.empty() || Line[0] == 'c' || Line[0] == 'p')
+      continue;
+    std::istringstream Ls(Line);
+    long V;
+    while (Ls >> V) {
+      if (V == 0) {
+        Solver.addClause(Current);
+        Current.clear();
+        ++Clauses;
+        continue;
+      }
+      Var Idx = static_cast<Var>(std::labs(V)) - 1;
+      while (Solver.numVars() <= Idx)
+        Solver.newVar();
+      Current.push_back(Lit(Idx, V < 0));
+    }
+  }
+  if (!Current.empty())
+    return Diagnostic("clause not terminated by 0");
+  return Clauses;
+}
+
+void DimacsWriter::addClause(const std::vector<Lit> &Lits) {
+  for (Lit L : Lits) {
+    Body += L.negated() ? "-" : "";
+    Body += std::to_string(L.var() + 1);
+    Body += ' ';
+  }
+  Body += "0\n";
+  ++Count;
+}
+
+std::string DimacsWriter::str(uint32_t NumVars) const {
+  return "p cnf " + std::to_string(NumVars) + " " + std::to_string(Count) +
+         "\n" + Body;
+}

@@ -1,0 +1,40 @@
+//===- Dimacs.h - DIMACS CNF import/export -----------------------*- C++ -*-===//
+///
+/// \file
+/// Reads and writes the standard DIMACS CNF format so the built-in solver
+/// can be exercised against external instances and its inputs dumped for
+/// debugging with external solvers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_SAT_DIMACS_H
+#define VBMC_SAT_DIMACS_H
+
+#include "sat/Solver.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+
+namespace vbmc::sat {
+
+/// Parses DIMACS text into \p Solver (variables created as needed).
+/// Returns the number of clauses read.
+ErrorOr<uint32_t> loadDimacs(const std::string &Text, Solver &Solver);
+
+/// A CNF collector that renders to DIMACS (used by tests and the
+/// --dump-cnf option of the vbmc tool).
+class DimacsWriter {
+public:
+  void addClause(const std::vector<Lit> &Lits);
+  uint32_t numClauses() const { return Count; }
+  /// Renders the header and clauses.
+  std::string str(uint32_t NumVars) const;
+
+private:
+  std::string Body;
+  uint32_t Count = 0;
+};
+
+} // namespace vbmc::sat
+
+#endif // VBMC_SAT_DIMACS_H

@@ -1,0 +1,80 @@
+//===- SatMain.cpp - standalone DIMACS CNF solver ---------------*- C++ -*-===//
+//
+// A minimal MiniSat-style command-line frontend for the built-in CDCL
+// solver: reads DIMACS CNF, prints SATISFIABLE / UNSATISFIABLE and the
+// model. Useful for exercising the solver on external instances.
+//
+//   vbmc-sat FILE.cnf [--max-conflicts N] [--budget SECONDS]
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Dimacs.h"
+#include "sat/Solver.h"
+#include "support/Cli.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace vbmc;
+using namespace vbmc::sat;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL = CommandLine::parse(Argc, Argv);
+  if (CL.positionals().size() != 1) {
+    std::puts("usage: vbmc-sat FILE.cnf [--max-conflicts N] [--budget S]");
+    return 2;
+  }
+  std::ifstream File(CL.positionals()[0]);
+  if (!File) {
+    std::fprintf(stderr, "vbmc-sat: cannot open '%s'\n",
+                 CL.positionals()[0].c_str());
+    return 2;
+  }
+  std::stringstream Buffer;
+  Buffer << File.rdbuf();
+
+  Solver S;
+  auto Clauses = loadDimacs(Buffer.str(), S);
+  if (!Clauses) {
+    std::fprintf(stderr, "vbmc-sat: %s\n", Clauses.error().str().c_str());
+    return 2;
+  }
+
+  Timer W;
+  SolveResult R =
+      S.solve({}, static_cast<uint64_t>(CL.getInt("max-conflicts", 0)),
+              Deadline(CL.getDouble("budget", 0)));
+  std::fprintf(stderr,
+               "c vars=%u clauses=%u conflicts=%llu decisions=%llu "
+               "time=%.3fs\n",
+               S.numVars(), *Clauses,
+               static_cast<unsigned long long>(S.stats().Conflicts),
+               static_cast<unsigned long long>(S.stats().Decisions),
+               W.elapsedSeconds());
+  switch (R) {
+  case SolveResult::Sat: {
+    std::puts("s SATISFIABLE");
+    std::string Line = "v";
+    for (Var V = 0; V < S.numVars(); ++V) {
+      Line += S.modelValue(V) ? " " : " -";
+      Line += std::to_string(V + 1);
+      if (Line.size() > 72) {
+        std::puts(Line.c_str());
+        Line = "v";
+      }
+    }
+    Line += " 0";
+    std::puts(Line.c_str());
+    return 10;
+  }
+  case SolveResult::Unsat:
+    std::puts("s UNSATISFIABLE");
+    return 20;
+  case SolveResult::Unknown:
+    std::puts("s UNKNOWN");
+    return 0;
+  }
+  return 0;
+}

@@ -1,0 +1,516 @@
+//===- Solver.cpp - CDCL implementation ------------------------*- C++ -*-===//
+
+#include "sat/Solver.h"
+
+#include <algorithm>
+
+using namespace vbmc;
+using namespace vbmc::sat;
+
+Solver::Solver() = default;
+
+Var Solver::newVar() {
+  Var V = numVars();
+  Assigns.push_back(ValUndef);
+  Phase.push_back(0);
+  Info.push_back(VarInfo{});
+  Activity.push_back(0);
+  OrderPos.push_back(-1);
+  Seen.push_back(0);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  heapInsert(V);
+  return V;
+}
+
+bool Solver::addClause(const std::vector<Lit> &Lits) {
+  if (Unsat)
+    return false;
+  assert(currentLevel() == 0 && "clauses must be added at the root level");
+  // Simplify: drop duplicate/false literals, detect tautologies.
+  std::vector<Lit> Simplified;
+  for (Lit L : Lits) {
+    assert(L.var() < numVars() && "literal over undeclared variable");
+    uint8_t V = litValue(L);
+    if (V == ValTrue)
+      return true; // Satisfied at the root.
+    if (V == ValFalse)
+      continue;
+    bool Duplicate = false;
+    for (Lit Other : Simplified) {
+      if (Other == L)
+        Duplicate = true;
+      if (Other == ~L)
+        return true; // Tautology.
+    }
+    if (!Duplicate)
+      Simplified.push_back(L);
+  }
+  if (Simplified.empty()) {
+    Unsat = true;
+    return false;
+  }
+  if (Simplified.size() == 1) {
+    enqueue(Simplified[0], InvalidClause);
+    if (propagate() != InvalidClause)
+      Unsat = true;
+    return !Unsat;
+  }
+  ClauseRef CR = static_cast<ClauseRef>(Clauses.size());
+  Clauses.push_back(Clause{std::move(Simplified), 0, 0, false});
+  attachClause(CR);
+  return true;
+}
+
+void Solver::attachClause(ClauseRef CR) {
+  Clause &C = Clauses[CR];
+  assert(C.Lits.size() >= 2 && "attaching a short clause");
+  Watches[(~C.Lits[0]).code()].push_back(Watcher{CR, C.Lits[1]});
+  Watches[(~C.Lits[1]).code()].push_back(Watcher{CR, C.Lits[0]});
+}
+
+void Solver::enqueue(Lit L, ClauseRef Reason) {
+  assert(litValue(L) == ValUndef && "enqueue of assigned literal");
+  Assigns[L.var()] = L.negated() ? ValFalse : ValTrue;
+  Phase[L.var()] = L.negated() ? 0 : 1;
+  Info[L.var()] = VarInfo{Reason, currentLevel()};
+  Trail.push_back(L);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (PropagateHead < Trail.size()) {
+    Lit P = Trail[PropagateHead++];
+    ++Stats.Propagations;
+    std::vector<Watcher> &Ws = Watches[P.code()];
+    size_t Keep = 0;
+    for (size_t I = 0; I < Ws.size(); ++I) {
+      Watcher W = Ws[I];
+      // Blocker fast path: clause already satisfied.
+      if (litValue(W.Blocker) == ValTrue) {
+        Ws[Keep++] = W;
+        continue;
+      }
+      Clause &C = Clauses[W.Cls];
+      Lit FalseLit = ~P;
+      if (C.Lits[0] == FalseLit)
+        std::swap(C.Lits[0], C.Lits[1]);
+      assert(C.Lits[1] == FalseLit && "watch invariant broken");
+      Lit First = C.Lits[0];
+      if (litValue(First) == ValTrue) {
+        Ws[Keep++] = Watcher{W.Cls, First};
+        continue;
+      }
+      // Look for a replacement watch.
+      bool Moved = false;
+      for (size_t J = 2; J < C.Lits.size(); ++J) {
+        if (litValue(C.Lits[J]) != ValFalse) {
+          std::swap(C.Lits[1], C.Lits[J]);
+          Watches[(~C.Lits[1]).code()].push_back(Watcher{W.Cls, First});
+          Moved = true;
+          break;
+        }
+      }
+      if (Moved)
+        continue;
+      // Clause is unit or conflicting.
+      if (litValue(First) == ValFalse) {
+        // Conflict: restore remaining watchers and report.
+        for (size_t J = I; J < Ws.size(); ++J)
+          Ws[Keep++] = Ws[J];
+        Ws.resize(Keep);
+        return W.Cls;
+      }
+      Ws[Keep++] = W;
+      enqueue(First, W.Cls);
+    }
+    Ws.resize(Keep);
+  }
+  return InvalidClause;
+}
+
+void Solver::varBumpActivity(Var V) {
+  Activity[V] += VarInc;
+  if (Activity[V] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    VarInc *= 1e-100;
+  }
+  if (OrderPos[V] >= 0)
+    heapSiftUp(static_cast<size_t>(OrderPos[V]));
+}
+
+void Solver::varDecayActivity() { VarInc /= 0.95; }
+
+void Solver::claBumpActivity(Clause &C) {
+  C.Activity += ClaInc;
+  if (C.Activity > 1e20) {
+    for (ClauseRef CR : Learnts)
+      Clauses[CR].Activity *= 1e-20;
+    ClaInc *= 1e-20;
+  }
+}
+
+void Solver::analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
+                     uint32_t &BacktrackLevel, uint32_t &Lbd) {
+  Learnt.clear();
+  Learnt.push_back(Lit()); // Slot for the asserting literal.
+  uint32_t PathCount = 0;
+  Lit P;
+  bool PValid = false;
+  size_t TrailIdx = Trail.size();
+  ClauseRef Reason = Conflict;
+
+  do {
+    assert(Reason != InvalidClause && "no reason during analysis");
+    Clause &C = Clauses[Reason];
+    if (C.Learnt)
+      claBumpActivity(C);
+    for (size_t J = PValid ? 1 : 0; J < C.Lits.size(); ++J) {
+      Lit Q = C.Lits[J];
+      if (Seen[Q.var()] || Info[Q.var()].Level == 0)
+        continue;
+      Seen[Q.var()] = 1;
+      MarkedVars.push_back(Q.var());
+      varBumpActivity(Q.var());
+      if (Info[Q.var()].Level >= currentLevel())
+        ++PathCount;
+      else
+        Learnt.push_back(Q);
+    }
+    // Find the next literal of the current level on the trail.
+    while (!Seen[Trail[--TrailIdx].var()])
+      ;
+    P = Trail[TrailIdx];
+    PValid = true;
+    Seen[P.var()] = 0;
+    Reason = Info[P.var()].Reason;
+    --PathCount;
+    if (PathCount > 0) {
+      // Put the reason's asserting literal first for the next iteration.
+      assert(Reason != InvalidClause);
+      Clause &RC = Clauses[Reason];
+      if (RC.Lits[0] != P) {
+        for (size_t J = 1; J < RC.Lits.size(); ++J)
+          if (RC.Lits[J] == P) {
+            std::swap(RC.Lits[0], RC.Lits[J]);
+            break;
+          }
+      }
+    }
+  } while (PathCount > 0);
+  Learnt[0] = ~P;
+
+  // Clause minimization: drop literals implied by the rest of the clause.
+  uint32_t AbstractLevels = 0;
+  for (size_t I = 1; I < Learnt.size(); ++I)
+    AbstractLevels |= 1u << (Info[Learnt[I].var()].Level & 31);
+  size_t Keep = 1;
+  for (size_t I = 1; I < Learnt.size(); ++I) {
+    if (Info[Learnt[I].var()].Reason == InvalidClause ||
+        !litRedundant(Learnt[I], AbstractLevels))
+      Learnt[Keep++] = Learnt[I];
+  }
+  Learnt.resize(Keep);
+
+  // Compute the backtrack level and move its literal to slot 1.
+  BacktrackLevel = 0;
+  if (Learnt.size() > 1) {
+    size_t MaxIdx = 1;
+    for (size_t I = 2; I < Learnt.size(); ++I)
+      if (Info[Learnt[I].var()].Level > Info[Learnt[MaxIdx].var()].Level)
+        MaxIdx = I;
+    std::swap(Learnt[1], Learnt[MaxIdx]);
+    BacktrackLevel = Info[Learnt[1].var()].Level;
+  }
+
+  // LBD: number of distinct decision levels.
+  Lbd = 0;
+  std::vector<uint32_t> LevelsSeen;
+  for (Lit L : Learnt) {
+    uint32_t Lev = Info[L.var()].Level;
+    if (std::find(LevelsSeen.begin(), LevelsSeen.end(), Lev) ==
+        LevelsSeen.end()) {
+      LevelsSeen.push_back(Lev);
+      ++Lbd;
+    }
+  }
+
+  // Clear every mark set during this analysis (including literals that
+  // were minimized away and marks set by litRedundant).
+  for (Var V : MarkedVars)
+    Seen[V] = 0;
+  MarkedVars.clear();
+}
+
+bool Solver::litRedundant(Lit L, uint32_t AbstractLevels) {
+  // DFS over reasons; a literal is redundant if every path reaches seen
+  // literals or level-0 assignments.
+  std::vector<Lit> Stack = {L};
+  std::vector<Var> Cleared;
+  while (!Stack.empty()) {
+    Lit Cur = Stack.back();
+    Stack.pop_back();
+    ClauseRef Reason = Info[Cur.var()].Reason;
+    if (Reason == InvalidClause) {
+      for (Var V : Cleared)
+        Seen[V] = 0;
+      return false;
+    }
+    Clause &C = Clauses[Reason];
+    for (size_t J = 0; J < C.Lits.size(); ++J) {
+      Lit Q = C.Lits[J];
+      if (Q.var() == Cur.var() || Seen[Q.var()] ||
+          Info[Q.var()].Level == 0)
+        continue;
+      if (Info[Q.var()].Reason == InvalidClause ||
+          !(AbstractLevels & (1u << (Info[Q.var()].Level & 31)))) {
+        for (Var V : Cleared)
+          Seen[V] = 0;
+        return false;
+      }
+      Seen[Q.var()] = 1;
+      Cleared.push_back(Q.var());
+      MarkedVars.push_back(Q.var());
+      Stack.push_back(Q);
+    }
+  }
+  return true;
+}
+
+void Solver::backtrackTo(uint32_t Level) {
+  if (currentLevel() <= Level)
+    return;
+  size_t Bound = TrailLims[Level];
+  for (size_t I = Trail.size(); I-- > Bound;) {
+    Var V = Trail[I].var();
+    Assigns[V] = ValUndef;
+    Info[V].Reason = InvalidClause;
+    if (OrderPos[V] < 0)
+      heapInsert(V);
+  }
+  Trail.resize(Bound);
+  TrailLims.resize(Level);
+  PropagateHead = Trail.size();
+}
+
+Lit Solver::pickBranchLit() {
+  while (!heapEmpty()) {
+    Var V = heapPopMax();
+    if (Assigns[V] == ValUndef)
+      return Lit(V, Phase[V] == 0);
+  }
+  return Lit(); // No unassigned variable: model found (checked by caller).
+}
+
+void Solver::reduceDb() {
+  // Keep the better half by (LBD, activity); never drop reason clauses.
+  std::sort(Learnts.begin(), Learnts.end(), [&](ClauseRef A, ClauseRef B) {
+    const Clause &CA = Clauses[A], &CB = Clauses[B];
+    if (CA.Lbd != CB.Lbd)
+      return CA.Lbd < CB.Lbd;
+    return CA.Activity > CB.Activity;
+  });
+  size_t Keep = Learnts.size() / 2;
+  std::vector<ClauseRef> Kept(Learnts.begin(), Learnts.begin() + Keep);
+  for (size_t I = Keep; I < Learnts.size(); ++I) {
+    ClauseRef CR = Learnts[I];
+    Clause &C = Clauses[CR];
+    bool Locked = false;
+    Lit L0 = C.Lits[0];
+    if (litValue(L0) == ValTrue && Info[L0.var()].Reason == CR)
+      Locked = true;
+    if (Locked || C.Lbd <= 2) {
+      Kept.push_back(CR);
+      continue;
+    }
+    // Detach.
+    for (int W = 0; W < 2; ++W) {
+      auto &Ws = Watches[(~C.Lits[W]).code()];
+      for (size_t J = 0; J < Ws.size(); ++J)
+        if (Ws[J].Cls == CR) {
+          Ws[J] = Ws.back();
+          Ws.pop_back();
+          break;
+        }
+    }
+    C.Lits.clear();
+    C.Lits.shrink_to_fit();
+    ++Stats.ClausesDeleted;
+  }
+  Learnts = std::move(Kept);
+}
+
+uint64_t Solver::luby(uint64_t I) {
+  // Knuth's formulation of the Luby sequence.
+  uint64_t K = 1;
+  while ((1ULL << (K + 1)) <= I + 2)
+    ++K;
+  while ((1ULL << K) - 1 != I + 1) {
+    I -= (1ULL << K) - 1;
+    K = 1;
+    while ((1ULL << (K + 1)) <= I + 2)
+      ++K;
+  }
+  return 1ULL << (K - 1);
+}
+
+SolveResult Solver::solve(const std::vector<Lit> &Assumptions,
+                          uint64_t MaxConflicts, Deadline DL) {
+  if (Unsat)
+    return SolveResult::Unsat;
+  if (propagate() != InvalidClause) {
+    Unsat = true;
+    return SolveResult::Unsat;
+  }
+
+  uint64_t ConflictsAtStart = Stats.Conflicts;
+  uint64_t RestartUnit = 128;
+  uint64_t RestartIdx = 0;
+  uint64_t NextRestart =
+      Stats.Conflicts + RestartUnit * luby(RestartIdx);
+  size_t MaxLearnts = 4096;
+  std::vector<Lit> Learnt;
+
+  for (;;) {
+    ClauseRef Conflict = propagate();
+    if (Conflict != InvalidClause) {
+      ++Stats.Conflicts;
+      if (currentLevel() == 0) {
+        Unsat = true;
+        backtrackTo(0);
+        return SolveResult::Unsat;
+      }
+      uint32_t BtLevel, Lbd;
+      analyze(Conflict, Learnt, BtLevel, Lbd);
+      // Backjumping may land below the assumption levels; the decision
+      // loop re-pushes assumptions and detects a now-false one, which is
+      // how assumption unsatisfiability surfaces.
+      backtrackTo(BtLevel);
+      Stats.LearntLiterals += Learnt.size();
+      if (Learnt.size() == 1) {
+        enqueue(Learnt[0], InvalidClause);
+      } else {
+        ClauseRef CR = static_cast<ClauseRef>(Clauses.size());
+        Clauses.push_back(Clause{Learnt, ClaInc, Lbd, true});
+        Learnts.push_back(CR);
+        attachClause(CR);
+        enqueue(Learnt[0], CR);
+      }
+      varDecayActivity();
+      continue;
+    }
+
+    // No conflict: maybe restart / reduce, then decide.
+    if (Stats.Conflicts >= NextRestart && currentLevel() > Assumptions.size()) {
+      ++Stats.Restarts;
+      ++RestartIdx;
+      NextRestart = Stats.Conflicts + RestartUnit * luby(RestartIdx);
+      backtrackTo(static_cast<uint32_t>(Assumptions.size()));
+      continue;
+    }
+    if (MaxConflicts && Stats.Conflicts - ConflictsAtStart >= MaxConflicts)
+      return SolveResult::Unknown;
+    if ((Stats.Conflicts & 0xff) == 0 && DL.expired())
+      return SolveResult::Unknown;
+    if (Learnts.size() >= MaxLearnts) {
+      reduceDb();
+      MaxLearnts += MaxLearnts / 2;
+    }
+
+    Lit Decision;
+    bool HaveDecision = false;
+    if (currentLevel() < Assumptions.size()) {
+      Lit A = Assumptions[currentLevel()];
+      uint8_t V = litValue(A);
+      if (V == ValFalse) {
+        backtrackTo(0);
+        return SolveResult::Unsat;
+      }
+      if (V == ValTrue) {
+        // Open a level anyway so level bookkeeping matches positions.
+        TrailLims.push_back(static_cast<uint32_t>(Trail.size()));
+        continue;
+      }
+      Decision = A;
+      HaveDecision = true;
+    }
+    if (!HaveDecision) {
+      Decision = pickBranchLit();
+      if (Assigns[Decision.var()] != ValUndef ||
+          litValue(Decision) != ValUndef) {
+        // pickBranchLit returned the default Lit(): all vars assigned.
+        bool AllAssigned = true;
+        for (uint8_t A : Assigns)
+          AllAssigned &= A != ValUndef;
+        if (AllAssigned) {
+          Model.assign(numVars(), false);
+          for (Var V = 0; V < numVars(); ++V)
+            Model[V] = Assigns[V] == ValTrue;
+          backtrackTo(0);
+          return SolveResult::Sat;
+        }
+        continue;
+      }
+      ++Stats.Decisions;
+    }
+    TrailLims.push_back(static_cast<uint32_t>(Trail.size()));
+    enqueue(Decision, InvalidClause);
+  }
+}
+
+/// \name Activity heap (binary max-heap with position index)
+/// @{
+void Solver::heapInsert(Var V) {
+  OrderPos[V] = static_cast<int32_t>(Order.size());
+  Order.push_back(V);
+  heapSiftUp(Order.size() - 1);
+}
+
+Var Solver::heapPopMax() {
+  Var Top = Order[0];
+  OrderPos[Top] = -1;
+  if (Order.size() > 1) {
+    Order[0] = Order.back();
+    OrderPos[Order[0]] = 0;
+    Order.pop_back();
+    heapSiftDown(0);
+  } else {
+    Order.pop_back();
+  }
+  return Top;
+}
+
+void Solver::heapSiftUp(size_t I) {
+  Var V = Order[I];
+  while (I > 0) {
+    size_t Parent = (I - 1) / 2;
+    if (!heapLess(Order[Parent], V))
+      break;
+    Order[I] = Order[Parent];
+    OrderPos[Order[I]] = static_cast<int32_t>(I);
+    I = Parent;
+  }
+  Order[I] = V;
+  OrderPos[V] = static_cast<int32_t>(I);
+}
+
+void Solver::heapSiftDown(size_t I) {
+  Var V = Order[I];
+  for (;;) {
+    size_t Left = 2 * I + 1;
+    if (Left >= Order.size())
+      break;
+    size_t Right = Left + 1;
+    size_t Best =
+        Right < Order.size() && heapLess(Order[Left], Order[Right]) ? Right
+                                                                    : Left;
+    if (!heapLess(V, Order[Best]))
+      break;
+    Order[I] = Order[Best];
+    OrderPos[Order[I]] = static_cast<int32_t>(I);
+    I = Best;
+  }
+  Order[I] = V;
+  OrderPos[V] = static_cast<int32_t>(I);
+}
+/// @}

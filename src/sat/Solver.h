@@ -1,0 +1,186 @@
+//===- Solver.h - CDCL SAT solver --------------------------------*- C++ -*-===//
+///
+/// \file
+/// A from-scratch CDCL SAT solver in the MiniSat lineage, standing in for
+/// the SAT engine inside CBMC (the paper's backend). Features:
+///
+///  * two-watched-literal propagation,
+///  * first-UIP conflict analysis with clause minimization,
+///  * exponential VSIDS activities with phase saving,
+///  * Luby-sequence restarts,
+///  * LBD-based learnt-clause database reduction,
+///  * solving under assumptions,
+///  * conflict/time budgets for anytime use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_SAT_SOLVER_H
+#define VBMC_SAT_SOLVER_H
+
+#include "support/Timer.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace vbmc::sat {
+
+/// Boolean variable index (0-based).
+using Var = uint32_t;
+
+/// A literal: variable with sign, encoded as 2*var + (negated ? 1 : 0).
+class Lit {
+public:
+  Lit() = default;
+  Lit(Var V, bool Negated) : Code(2 * V + (Negated ? 1 : 0)) {}
+
+  Var var() const { return Code >> 1; }
+  bool negated() const { return Code & 1; }
+  Lit operator~() const {
+    Lit L;
+    L.Code = Code ^ 1;
+    return L;
+  }
+  bool operator==(const Lit &O) const = default;
+
+  /// Raw encoding, usable as an array index.
+  uint32_t code() const { return Code; }
+
+private:
+  uint32_t Code = 0;
+};
+
+inline Lit mkLit(Var V) { return Lit(V, false); }
+
+enum class SolveResult {
+  Sat,
+  Unsat,
+  Unknown, ///< Budget exhausted.
+};
+
+/// Solver statistics (cumulative over the solver lifetime).
+struct SolverStats {
+  uint64_t Conflicts = 0;
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+  uint64_t Restarts = 0;
+  uint64_t LearntLiterals = 0;
+  uint64_t ClausesDeleted = 0;
+};
+
+/// The CDCL solver.
+class Solver {
+public:
+  Solver();
+
+  /// Creates a fresh variable and returns its index.
+  Var newVar();
+
+  uint32_t numVars() const { return static_cast<uint32_t>(Assigns.size()); }
+
+  /// Adds a clause (simplified against top-level assignments). Returns
+  /// false when the formula became trivially unsatisfiable.
+  bool addClause(const std::vector<Lit> &Lits);
+
+  /// Convenience overloads.
+  bool addUnit(Lit A) { return addClause({A}); }
+  bool addBinary(Lit A, Lit B) { return addClause({A, B}); }
+  bool addTernary(Lit A, Lit B, Lit C) { return addClause({A, B, C}); }
+
+  /// Solves the formula under \p Assumptions. \p MaxConflicts == 0 means
+  /// unbounded; \p DL is a wall-clock budget.
+  SolveResult solve(const std::vector<Lit> &Assumptions = {},
+                    uint64_t MaxConflicts = 0, Deadline DL = Deadline());
+
+  /// Value of \p V in the model found by the last Sat answer.
+  bool modelValue(Var V) const {
+    assert(V < Model.size() && "variable out of range");
+    return Model[V];
+  }
+
+  const SolverStats &stats() const { return Stats; }
+
+  /// True once addClause derived top-level unsatisfiability.
+  bool inConflict() const { return Unsat; }
+
+private:
+  /// Truth values on the trail: 0 undef, 1 true, 2 false (lit-phased).
+  enum : uint8_t { ValUndef = 0, ValTrue = 1, ValFalse = 2 };
+
+  /// Clause storage: a flat arena; a clause is [header, lits...]. We keep
+  /// it simple with an index-based heap of clause objects.
+  struct Clause {
+    std::vector<Lit> Lits;
+    double Activity = 0;
+    uint32_t Lbd = 0;
+    bool Learnt = false;
+  };
+  using ClauseRef = uint32_t;
+  static constexpr ClauseRef InvalidClause = ~0u;
+
+  struct Watcher {
+    ClauseRef Cls;
+    Lit Blocker;
+  };
+
+  struct VarInfo {
+    ClauseRef Reason = InvalidClause;
+    uint32_t Level = 0;
+  };
+
+  uint8_t litValue(Lit L) const {
+    uint8_t V = Assigns[L.var()];
+    if (V == ValUndef)
+      return ValUndef;
+    return (V == ValTrue) != L.negated() ? ValTrue : ValFalse;
+  }
+
+  void enqueue(Lit L, ClauseRef Reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
+               uint32_t &BacktrackLevel, uint32_t &Lbd);
+  bool litRedundant(Lit L, uint32_t AbstractLevels);
+  void backtrackTo(uint32_t Level);
+  Lit pickBranchLit();
+  void varBumpActivity(Var V);
+  void varDecayActivity();
+  void claBumpActivity(Clause &C);
+  void reduceDb();
+  void attachClause(ClauseRef CR);
+  uint32_t currentLevel() const {
+    return static_cast<uint32_t>(TrailLims.size());
+  }
+  static uint64_t luby(uint64_t I);
+
+  std::vector<Clause> Clauses;          ///< All clauses (problem + learnt).
+  std::vector<ClauseRef> Learnts;       ///< Indices of learnt clauses.
+  std::vector<std::vector<Watcher>> Watches; ///< Indexed by literal code.
+  std::vector<uint8_t> Assigns;         ///< Var -> ValUndef/True/False.
+  std::vector<uint8_t> Phase;           ///< Saved phases.
+  std::vector<VarInfo> Info;
+  std::vector<double> Activity;
+  std::vector<Var> Order;               ///< Activity heap (binary heap).
+  std::vector<int32_t> OrderPos;        ///< Var -> heap slot or -1.
+  std::vector<Lit> Trail;
+  std::vector<uint32_t> TrailLims;
+  size_t PropagateHead = 0;
+  double VarInc = 1.0;
+  double ClaInc = 1.0;
+  bool Unsat = false;
+  std::vector<uint8_t> Seen;    ///< Scratch for conflict analysis.
+  std::vector<Var> MarkedVars;  ///< Vars with Seen set (for cleanup).
+  std::vector<bool> Model;
+  SolverStats Stats;
+
+  void heapInsert(Var V);
+  void heapDecrease(Var V);
+  Var heapPopMax();
+  bool heapEmpty() const { return Order.empty(); }
+  bool heapLess(Var A, Var B) const { return Activity[A] < Activity[B]; }
+  void heapSiftUp(size_t I);
+  void heapSiftDown(size_t I);
+};
+
+} // namespace vbmc::sat
+
+#endif // VBMC_SAT_SOLVER_H

@@ -1,0 +1,228 @@
+//===- ScExplorer.cpp -----------------------------------------*- C++ -*-===//
+
+#include "sc/ScExplorer.h"
+
+#include <deque>
+#include <unordered_set>
+
+using namespace vbmc;
+using namespace vbmc::sc;
+
+namespace {
+
+struct KeyHash {
+  size_t operator()(const std::vector<uint32_t> &Key) const {
+    uint64_t H = 1469598103934665603ULL;
+    for (uint32_t W : Key) {
+      H ^= W;
+      H *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(H);
+  }
+};
+
+bool goalHolds(const FlatProgram &FP, const ScQuery &Q, const ScConfig &C) {
+  switch (Q.Goal) {
+  case ScGoalKind::AnyError:
+    for (uint32_t P = 0; P < FP.numProcs(); ++P)
+      if (FP.Procs[P].isError(C.Pc[P]))
+        return true;
+    return false;
+  case ScGoalKind::AllDone:
+    for (uint32_t P = 0; P < FP.numProcs(); ++P)
+      if (!FP.Procs[P].isDone(C.Pc[P]))
+        return false;
+    return true;
+  case ScGoalKind::Custom:
+    return Q.GoalPredicate(C.Pc);
+  }
+  return false;
+}
+
+struct Node {
+  ScConfig Config;
+  int32_t LastProc;  ///< Process that made the incoming step, -1 at root.
+  uint32_t Switches; ///< Context switches used so far.
+  bool LastWrote;    ///< Incoming step wrote a shared variable.
+  int64_t Parent;
+  ScTraceStep Via;
+};
+
+} // namespace
+
+ScResult vbmc::sc::exploreSc(const FlatProgram &FP, const ScQuery &Q) {
+  Timer Watch;
+  Deadline DL(Q.BudgetSeconds);
+  ScResult Result;
+
+  std::vector<Node> Arena;
+  std::deque<size_t> Frontier;
+  std::unordered_set<std::vector<uint32_t>, KeyHash> Visited;
+
+  auto tryEnqueue = [&](ScConfig C, int32_t LastProc, uint32_t Switches,
+                        bool LastWrote, int64_t Parent, ScTraceStep Via) {
+    std::vector<uint32_t> Key;
+    C.serialize(Key);
+    Key.push_back(static_cast<uint32_t>(LastProc + 1));
+    if (Q.ContextBound || Q.RoundRobinRounds)
+      Key.push_back(Switches);
+    if (Q.SwitchOnlyAfterWrite)
+      Key.push_back(LastWrote ? 1u : 0u);
+    if (!Visited.insert(std::move(Key)).second)
+      return;
+    Arena.push_back(Node{std::move(C), LastProc, Switches, LastWrote, Parent,
+                         Via});
+    Frontier.push_back(Arena.size() - 1);
+  };
+
+  tryEnqueue(initialScConfig(FP), -1, 0, true, -1, ScTraceStep{0, 0});
+
+  auto buildTrace = [&](size_t NodeIdx) {
+    std::vector<ScTraceStep> Trace;
+    for (int64_t I = static_cast<int64_t>(NodeIdx); Arena[I].Parent >= 0;
+         I = Arena[I].Parent)
+      if (Arena[I].Via.Instr != ~0u) // Skip scheduler pass pseudo-steps.
+        Trace.push_back(Arena[I].Via);
+    std::reverse(Trace.begin(), Trace.end());
+    return Trace;
+  };
+
+  // Lal-Reps round-robin mode: Node::Switches holds the schedule position
+  // sp in 0 .. n*R-1; only process sp mod n may step, and the scheduler may
+  // silently pass to sp+1.
+  const bool RoundRobin = Q.RoundRobinRounds.has_value();
+  const uint32_t ScheduleLen =
+      RoundRobin ? *Q.RoundRobinRounds * FP.numProcs() : 0;
+
+  std::vector<ScStep> Steps;
+  while (!Frontier.empty()) {
+    if (Q.MaxStates && Result.StatesVisited >= Q.MaxStates) {
+      Result.Status = ScStatus::StateLimit;
+      Result.Seconds = Watch.elapsedSeconds();
+      return Result;
+    }
+    if ((Result.StatesVisited & 0x3f) == 0 && DL.expired()) {
+      Result.Status = ScStatus::Timeout;
+      Result.Seconds = Watch.elapsedSeconds();
+      return Result;
+    }
+
+    size_t Idx = Frontier.front();
+    Frontier.pop_front();
+    ++Result.StatesVisited;
+
+    // Copy scalar node state up front: tryEnqueue grows the arena, which
+    // can invalidate references into it.
+    const int32_t LastProc = Arena[Idx].LastProc;
+    const uint32_t BaseSwitches = Arena[Idx].Switches;
+    const bool LastWrote = Arena[Idx].LastWrote;
+
+    if (goalHolds(FP, Q, Arena[Idx].Config)) {
+      Result.Status = ScStatus::Reached;
+      Result.ContextSwitchesUsed = BaseSwitches;
+      Result.Trace = buildTrace(Idx);
+      Result.Seconds = Watch.elapsedSeconds();
+      return Result;
+    }
+
+    if (RoundRobin) {
+      uint32_t SP = BaseSwitches;
+      if (SP + 1 < ScheduleLen) {
+        ScConfig Copy = Arena[Idx].Config;
+        tryEnqueue(std::move(Copy), LastProc, SP + 1, LastWrote,
+                   static_cast<int64_t>(Idx), ScTraceStep{0, ~0u});
+      }
+      Steps.clear();
+      if (SP < ScheduleLen)
+        enumerateScStepsOf(FP, Arena[Idx].Config, SP % FP.numProcs(), Steps);
+      Result.TransitionsExplored += Steps.size();
+      for (ScStep &S : Steps)
+        tryEnqueue(std::move(S.Next), static_cast<int32_t>(S.Proc), SP,
+                   S.WroteShared, static_cast<int64_t>(Idx),
+                   ScTraceStep{S.Proc, S.Instr});
+      continue;
+    }
+
+    Steps.clear();
+    enumerateScSteps(FP, Arena[Idx].Config, Steps);
+    Result.TransitionsExplored += Steps.size();
+
+    // Under the Section 6 scheduling reduction, the active process keeps
+    // the context until it writes (or has no enabled step).
+    bool ActiveHasStep = false;
+    if (Q.SwitchOnlyAfterWrite && LastProc >= 0 && !LastWrote)
+      for (const ScStep &S : Steps)
+        ActiveHasStep |= S.Proc == static_cast<uint32_t>(LastProc);
+
+    for (ScStep &S : Steps) {
+      bool SameProc =
+          LastProc < 0 || S.Proc == static_cast<uint32_t>(LastProc);
+      if (Q.SwitchOnlyAfterWrite && !SameProc && ActiveHasStep)
+        continue;
+      uint32_t Switches = BaseSwitches + (SameProc ? 0 : 1);
+      if (Q.ContextBound && Switches > *Q.ContextBound)
+        continue;
+      tryEnqueue(std::move(S.Next), static_cast<int32_t>(S.Proc), Switches,
+                 S.WroteShared, static_cast<int64_t>(Idx),
+                 ScTraceStep{S.Proc, S.Instr});
+    }
+  }
+
+  Result.Status = ScStatus::Exhausted;
+  Result.Seconds = Watch.elapsedSeconds();
+  return Result;
+}
+
+std::set<std::vector<Value>>
+vbmc::sc::collectScTerminalRegs(const FlatProgram &FP,
+                                std::optional<uint32_t> ContextBound,
+                                uint64_t MaxStates) {
+  std::set<std::vector<Value>> Terminals;
+  // State: configuration + last active process + switches used.
+  struct Item {
+    ScConfig Config;
+    int32_t LastProc;
+    uint32_t Switches;
+  };
+  std::deque<Item> Frontier;
+  std::unordered_set<std::vector<uint32_t>, KeyHash> Visited;
+  uint64_t Expanded = 0;
+
+  auto tryEnqueue = [&](ScConfig C, int32_t LastProc, uint32_t Switches) {
+    std::vector<uint32_t> Key;
+    C.serialize(Key);
+    Key.push_back(static_cast<uint32_t>(LastProc + 1));
+    if (ContextBound)
+      Key.push_back(Switches);
+    if (!Visited.insert(std::move(Key)).second)
+      return;
+    Frontier.push_back(Item{std::move(C), LastProc, Switches});
+  };
+
+  tryEnqueue(initialScConfig(FP), -1, 0);
+  std::vector<ScStep> Steps;
+  while (!Frontier.empty()) {
+    if (MaxStates && ++Expanded > MaxStates)
+      break;
+    Item It = std::move(Frontier.front());
+    Frontier.pop_front();
+
+    bool AllDone = true;
+    for (uint32_t P = 0; P < FP.numProcs(); ++P)
+      AllDone &= FP.Procs[P].isDone(It.Config.Pc[P]);
+    if (AllDone)
+      Terminals.insert(It.Config.Regs);
+
+    Steps.clear();
+    enumerateScSteps(FP, It.Config, Steps);
+    for (ScStep &S : Steps) {
+      bool SameProc =
+          It.LastProc < 0 || S.Proc == static_cast<uint32_t>(It.LastProc);
+      uint32_t Switches = It.Switches + (SameProc ? 0 : 1);
+      if (ContextBound && Switches > *ContextBound)
+        continue;
+      tryEnqueue(std::move(S.Next), static_cast<int32_t>(S.Proc), Switches);
+    }
+  }
+  return Terminals;
+}

@@ -1,0 +1,86 @@
+//===- ScExplorer.h - context-bounded SC reachability ------------*- C++ -*-===//
+///
+/// \file
+/// Explicit-state context-bounded reachability under SC (Qadeer–Rehof
+/// bounding). This is the "SC backend" the translated program runs on when
+/// the SAT pipeline is not used, and the reference engine for the
+/// translation-correctness property tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_SC_SCEXPLORER_H
+#define VBMC_SC_SCEXPLORER_H
+
+#include "sc/ScSemantics.h"
+#include "support/Timer.h"
+
+#include <functional>
+#include <optional>
+#include <set>
+
+namespace vbmc::sc {
+
+enum class ScGoalKind {
+  AnyError,
+  AllDone,
+  Custom,
+};
+
+struct ScQuery {
+  ScGoalKind Goal = ScGoalKind::AnyError;
+  std::function<bool(const std::vector<Label> &)> GoalPredicate;
+  /// Bound on the number of context switches; unset = unbounded.
+  std::optional<uint32_t> ContextBound;
+  /// When set, scheduling is restricted to R rounds of round-robin in
+  /// process order (the Lal-Reps discipline the BMC encoder uses): the
+  /// run is a subsequence of (p0 ... pn-1)^R segments. ContextBound is
+  /// ignored in this mode.
+  std::optional<uint32_t> RoundRobinRounds;
+  /// Section 6 optimization: a context switch away from a process is only
+  /// allowed right after it wrote a shared variable (or when it cannot
+  /// move). Off by default; the correctness tests exercise the unreduced
+  /// semantics.
+  bool SwitchOnlyAfterWrite = false;
+  uint64_t MaxStates = 0;
+  double BudgetSeconds = 0;
+};
+
+enum class ScStatus {
+  Reached,
+  Exhausted,
+  StateLimit,
+  Timeout,
+};
+
+struct ScTraceStep {
+  uint32_t Proc;
+  Label Instr;
+};
+
+struct ScResult {
+  ScStatus Status = ScStatus::Exhausted;
+  uint64_t StatesVisited = 0;
+  uint64_t TransitionsExplored = 0;
+  uint32_t ContextSwitchesUsed = 0;
+  std::vector<ScTraceStep> Trace;
+  double Seconds = 0;
+
+  bool reached() const { return Status == ScStatus::Reached; }
+  bool exhausted() const { return Status == ScStatus::Exhausted; }
+};
+
+/// BFS reachability under SC per \p Q.
+ScResult exploreSc(const FlatProgram &FP, const ScQuery &Q);
+
+/// Enumerates the full SC state space (optionally context-bounded) and
+/// returns every register valuation reachable with all processes
+/// terminated. Counterpart of ra::collectTerminalRegs for the SC side of
+/// the differential tests.
+std::set<std::vector<Value>>
+collectScTerminalRegs(const FlatProgram &FP,
+                      std::optional<uint32_t> ContextBound = std::nullopt,
+                      uint64_t MaxStates = 0);
+
+} // namespace vbmc::sc
+
+#endif // VBMC_SC_SCEXPLORER_H

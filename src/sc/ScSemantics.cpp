@@ -1,0 +1,139 @@
+//===- ScSemantics.cpp ----------------------------------------*- C++ -*-===//
+
+#include "sc/ScSemantics.h"
+
+#include "ir/Eval.h"
+
+using namespace vbmc;
+using namespace vbmc::sc;
+using ir::ExprKind;
+using ir::Op;
+
+void ScConfig::serialize(std::vector<uint32_t> &Out) const {
+  Out.clear();
+  for (Value V : Store)
+    Out.push_back(static_cast<uint32_t>(V));
+  for (Label L : Pc)
+    Out.push_back(L);
+  for (Value V : Regs)
+    Out.push_back(static_cast<uint32_t>(V));
+  Out.push_back(static_cast<uint32_t>(AtomicHolder + 1));
+  Out.push_back(AtomicDepth);
+}
+
+ScConfig vbmc::sc::initialScConfig(const FlatProgram &FP) {
+  ScConfig C;
+  C.Store.assign(FP.numVars(), 0);
+  C.Pc.assign(FP.numProcs(), 0);
+  C.Regs.assign(FP.numRegs(), 0);
+  return C;
+}
+
+void vbmc::sc::enumerateScStepsOf(const FlatProgram &FP, const ScConfig &C,
+                                  uint32_t P, std::vector<ScStep> &Out) {
+  if (C.AtomicHolder >= 0 && static_cast<uint32_t>(C.AtomicHolder) != P)
+    return;
+  const ir::FlatProcess &Proc = FP.Procs[P];
+  Label L = C.Pc[P];
+  if (Proc.isFinal(L))
+    return;
+  const FlatInstr &I = Proc.Instrs[L];
+
+  auto push = [&]() -> ScStep & {
+    Out.push_back(ScStep{C, P, L, false});
+    return Out.back();
+  };
+
+  switch (I.K) {
+  case Op::Read: {
+    ScStep &S = push();
+    S.Next.Regs[I.Reg] = C.Store[I.Var];
+    S.Next.Pc[P] = I.Next;
+    return;
+  }
+  case Op::Write: {
+    ScStep &S = push();
+    S.Next.Store[I.Var] = ir::evalExpr(*I.E, C.Regs);
+    S.Next.Pc[P] = I.Next;
+    S.WroteShared = true;
+    return;
+  }
+  case Op::Cas: {
+    // Under SC a CAS is an atomic test-and-set that blocks while the
+    // expected value is absent (matching the blocking RA rule).
+    if (C.Store[I.Var] != ir::evalExpr(*I.E, C.Regs))
+      return;
+    ScStep &S = push();
+    S.Next.Store[I.Var] = ir::evalExpr(*I.E2, C.Regs);
+    S.Next.Pc[P] = I.Next;
+    S.WroteShared = true;
+    return;
+  }
+  case Op::Assign: {
+    if (I.E->kind() == ExprKind::Nondet) {
+      for (Value V = I.E->nondetLo(); V <= I.E->nondetHi(); ++V) {
+        ScStep &S = push();
+        S.Next.Regs[I.Reg] = V;
+        S.Next.Pc[P] = I.Next;
+      }
+      return;
+    }
+    ScStep &S = push();
+    S.Next.Regs[I.Reg] = ir::evalExpr(*I.E, C.Regs);
+    S.Next.Pc[P] = I.Next;
+    return;
+  }
+  case Op::Assume:
+    if (ir::evalExpr(*I.E, C.Regs) != 0) {
+      ScStep &S = push();
+      S.Next.Pc[P] = I.Next;
+    }
+    return;
+  case Op::Assert: {
+    ScStep &S = push();
+    S.Next.Pc[P] =
+        ir::evalExpr(*I.E, C.Regs) != 0 ? I.Next : Proc.errorLabel();
+    return;
+  }
+  case Op::Branch: {
+    ScStep &S = push();
+    S.Next.Pc[P] = ir::evalExpr(*I.E, C.Regs) != 0 ? I.TNext : I.FNext;
+    return;
+  }
+  case Op::Goto: {
+    ScStep &S = push();
+    S.Next.Pc[P] = I.Next;
+    return;
+  }
+  case Op::Term: {
+    ScStep &S = push();
+    S.Next.Pc[P] = Proc.doneLabel();
+    return;
+  }
+  case Op::AtomicBegin: {
+    // Only P can reach here while holding (the guard above filters other
+    // processes), so this either acquires or re-enters.
+    ScStep &S = push();
+    S.Next.AtomicHolder = static_cast<int32_t>(P);
+    S.Next.AtomicDepth = C.AtomicDepth + 1;
+    S.Next.Pc[P] = I.Next;
+    return;
+  }
+  case Op::AtomicEnd: {
+    assert(C.AtomicHolder == static_cast<int32_t>(P) && C.AtomicDepth > 0 &&
+           "atomic_end without matching atomic_begin");
+    ScStep &S = push();
+    S.Next.AtomicDepth = C.AtomicDepth - 1;
+    if (S.Next.AtomicDepth == 0)
+      S.Next.AtomicHolder = -1;
+    S.Next.Pc[P] = I.Next;
+    return;
+  }
+  }
+}
+
+void vbmc::sc::enumerateScSteps(const FlatProgram &FP, const ScConfig &C,
+                                std::vector<ScStep> &Out) {
+  for (uint32_t P = 0; P < FP.numProcs(); ++P)
+    enumerateScStepsOf(FP, C, P, Out);
+}

@@ -1,0 +1,72 @@
+//===- ScSemantics.h - sequential consistency ---------------------*- C++ -*-===//
+///
+/// \file
+/// The SC semantics of the same language: one flat store, interleaved
+/// atomic instruction execution. This is the target semantics of the
+/// paper's translation; the SC engines additionally count context switches
+/// (Qadeer–Rehof style) because the translation theorem speaks about
+/// (K+n)-context-bounded SC runs.
+///
+/// Atomic sections (emitted by the translation around each instrumentation
+/// block) pin the scheduler to the holding process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_SC_SCSEMANTICS_H
+#define VBMC_SC_SCSEMANTICS_H
+
+#include "ir/Flatten.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vbmc::sc {
+
+using ir::FlatInstr;
+using ir::FlatProgram;
+using ir::Label;
+using ir::Value;
+using ir::VarId;
+
+/// An SC configuration: store, program counters, registers, and the
+/// process currently inside an atomic section (-1 when none). Atomic
+/// sections are re-entrant (AtomicDepth counts the nesting).
+struct ScConfig {
+  std::vector<Value> Store;
+  std::vector<Label> Pc;
+  std::vector<Value> Regs;
+  int32_t AtomicHolder = -1;
+  uint32_t AtomicDepth = 0;
+
+  bool operator==(const ScConfig &) const = default;
+
+  void serialize(std::vector<uint32_t> &Out) const;
+};
+
+/// One enabled SC transition.
+struct ScStep {
+  ScConfig Next;
+  uint32_t Proc = 0;
+  Label Instr = 0;
+  /// True when the instruction wrote a shared variable (Write or a
+  /// successful CAS); used by the switch-only-after-write scheduling
+  /// optimization from Section 6.
+  bool WroteShared = false;
+};
+
+/// Initial configuration: store, registers zeroed, entry labels.
+ScConfig initialScConfig(const FlatProgram &FP);
+
+/// Appends all SC successors of \p C for process \p P (respecting atomic
+/// sections) to \p Out.
+void enumerateScStepsOf(const FlatProgram &FP, const ScConfig &C, uint32_t P,
+                        std::vector<ScStep> &Out);
+
+/// Appends all SC successors of \p C (all processes) to \p Out.
+void enumerateScSteps(const FlatProgram &FP, const ScConfig &C,
+                      std::vector<ScStep> &Out);
+
+} // namespace vbmc::sc
+
+#endif // VBMC_SC_SCSEMANTICS_H

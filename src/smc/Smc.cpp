@@ -1,0 +1,160 @@
+//===- Smc.cpp - stateless exploration engines ------------------*- C++ -*-===//
+
+#include "smc/Smc.h"
+
+#include <algorithm>
+
+using namespace vbmc;
+using namespace vbmc::smc;
+using namespace vbmc::ra;
+using ir::FlatProgram;
+using ir::Op;
+
+namespace {
+
+class StatelessExplorer {
+public:
+  StatelessExplorer(const FlatProgram &FP, const SmcOptions &Opts)
+      : FP(FP), Opts(Opts), DL(Opts.BudgetSeconds) {}
+
+  SmcResult run() {
+    Timer Watch;
+    Result.Complete = dfs(initialConfig(FP), 0, 0);
+    // A found bug terminates the DFS early; that does not count as an
+    // incomplete exploration in the usual SMC sense.
+    if (Result.FoundBug)
+      Result.Complete = true;
+    Result.Seconds = Watch.elapsedSeconds();
+    return Result;
+  }
+
+private:
+  bool anyError(const RaConfig &C) const {
+    if (Opts.Goal == SmcGoal::AllDone) {
+      for (uint32_t P = 0; P < FP.numProcs(); ++P)
+        if (!FP.Procs[P].isDone(C.Pc[P]))
+          return false;
+      return true;
+    }
+    for (uint32_t P = 0; P < FP.numProcs(); ++P)
+      if (FP.Procs[P].isError(C.Pc[P]))
+        return true;
+    return false;
+  }
+
+  /// True when \p P's next instruction is internal (deterministic control
+  /// or register work with a unique successor).
+  bool nextIsInternal(const RaConfig &C, uint32_t P) const {
+    ir::Label L = C.Pc[P];
+    const ir::FlatProcess &Proc = FP.Procs[P];
+    if (Proc.isFinal(L))
+      return false;
+    switch (Proc.Instrs[L].K) {
+    case Op::Read:
+    case Op::Write:
+    case Op::Cas:
+      return false;
+    case Op::Assign:
+      // A nondet assignment is a branching choice point, not internal.
+      return Proc.Instrs[L].E->kind() != ir::ExprKind::Nondet;
+    default:
+      return true;
+    }
+  }
+
+  /// Eagerly executes internal steps of \p P (visible-op granularity).
+  /// Returns false when the error label was reached (bug found).
+  bool fastForward(RaConfig &C, uint32_t P, uint64_t &Depth) {
+    // Internal steps never read messages, so the switch count is
+    // unaffected here.
+    std::vector<RaStep> Steps;
+    while (nextIsInternal(C, P)) {
+      Steps.clear();
+      enumerateStepsOf(FP, C, P, Steps);
+      if (Steps.empty())
+        return true; // Blocked assume: nothing to do.
+      assert(Steps.size() == 1 && "internal step must be deterministic");
+      C = std::move(Steps[0].Next);
+      ++Depth;
+      ++Result.Steps;
+      if (anyError(C)) {
+        Result.FoundBug = true;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Depth-first stateless search. Returns false when exploration was cut
+  /// short (budget) — bubbles up to mark the result incomplete.
+  bool dfs(RaConfig C, uint64_t Depth, uint32_t Switches) {
+    if (Result.FoundBug)
+      return true;
+    if (DL.expired()) {
+      Result.TimedOut = true;
+      return false;
+    }
+    if (Opts.MaxExecutions && Result.Executions >= Opts.MaxExecutions)
+      return false;
+    if (Depth > Opts.MaxStepsPerRun)
+      return false;
+    if (anyError(C)) {
+      Result.FoundBug = true;
+      return true;
+    }
+
+    std::vector<RaStep> Steps;
+    bool VisibleGranularity = Opts.Strategy != SmcStrategy::Naive;
+
+    if (VisibleGranularity) {
+      // Execute internal steps of each runnable process eagerly; the
+      // choice points are only the visible operations. Internal runs of
+      // distinct processes commute, so fast-forwarding all of them first
+      // is a sound reduction.
+      for (uint32_t P = 0; P < FP.numProcs(); ++P) {
+        if (!fastForward(C, P, Depth))
+          return true; // Bug found during fast-forwarding.
+      }
+      enumerateSteps(FP, C, Steps);
+    } else {
+      enumerateSteps(FP, C, Steps);
+    }
+
+    if (Steps.empty()) {
+      ++Result.Executions;
+      return true;
+    }
+
+    if (Opts.Strategy == SmcStrategy::Graph) {
+      // RCMC-like order: last process first, newest messages first.
+      std::reverse(Steps.begin(), Steps.end());
+    }
+
+    bool Complete = true;
+    for (RaStep &S : Steps) {
+      uint32_t NewSwitches = Switches + (S.ViewSwitch ? 1 : 0);
+      if (Opts.BoundViewSwitches && NewSwitches > Opts.ViewSwitchBound)
+        continue; // Pruned, not incompleteness: the bound is the query.
+      ++Result.Steps;
+      Complete &= dfs(std::move(S.Next), Depth + 1, NewSwitches);
+      if (Result.FoundBug)
+        return true;
+      if (Result.TimedOut)
+        return false;
+    }
+    return Complete;
+  }
+
+  const FlatProgram &FP;
+  const SmcOptions &Opts;
+  Deadline DL;
+  SmcResult Result;
+};
+
+} // namespace
+
+SmcResult vbmc::smc::exploreSmc(const FlatProgram &FP,
+                                const SmcOptions &Opts) {
+  StatelessExplorer E(FP, Opts);
+  return E.run();
+}

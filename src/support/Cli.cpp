@@ -1,0 +1,56 @@
+//===- Cli.cpp ------------------------------------------------*- C++ -*-===//
+
+#include "support/Cli.h"
+
+#include <cstdlib>
+
+using namespace vbmc;
+
+CommandLine CommandLine::parse(int Argc, const char *const *Argv) {
+  CommandLine CL;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--", 0) != 0) {
+      CL.Positionals.push_back(Arg);
+      continue;
+    }
+    std::string Body = Arg.substr(2);
+    auto Eq = Body.find('=');
+    if (Eq != std::string::npos) {
+      CL.Flags[Body.substr(0, Eq)] = Body.substr(Eq + 1);
+      continue;
+    }
+    // "--name value" when the next token is not itself a flag; otherwise a
+    // bare boolean flag.
+    if (I + 1 < Argc && std::string(Argv[I + 1]).rfind("--", 0) != 0) {
+      CL.Flags[Body] = Argv[++I];
+    } else {
+      CL.Flags[Body] = "";
+    }
+  }
+  return CL;
+}
+
+bool CommandLine::hasFlag(const std::string &Name) const {
+  return Flags.count(Name) != 0;
+}
+
+std::string CommandLine::getString(const std::string &Name,
+                                   const std::string &Default) const {
+  auto It = Flags.find(Name);
+  return It == Flags.end() ? Default : It->second;
+}
+
+int64_t CommandLine::getInt(const std::string &Name, int64_t Default) const {
+  auto It = Flags.find(Name);
+  if (It == Flags.end() || It->second.empty())
+    return Default;
+  return std::strtoll(It->second.c_str(), nullptr, 10);
+}
+
+double CommandLine::getDouble(const std::string &Name, double Default) const {
+  auto It = Flags.find(Name);
+  if (It == Flags.end() || It->second.empty())
+    return Default;
+  return std::strtod(It->second.c_str(), nullptr);
+}

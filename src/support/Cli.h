@@ -1,0 +1,43 @@
+//===- Cli.h - minimal command-line flag parsing -----------------*- C++ -*-===//
+///
+/// \file
+/// A tiny declarative flag parser used by the example binaries and the vbmc
+/// driver. Flags look like "--name value" or "--name=value"; bare arguments
+/// are collected as positionals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_SUPPORT_CLI_H
+#define VBMC_SUPPORT_CLI_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vbmc {
+
+/// Parsed command line: named flags plus positional arguments.
+class CommandLine {
+public:
+  /// Parses argv. Unknown flags are retained; validation is the caller's
+  /// concern (the binaries document their flags in --help text).
+  static CommandLine parse(int Argc, const char *const *Argv);
+
+  bool hasFlag(const std::string &Name) const;
+
+  /// Returns the flag value or \p Default when absent.
+  std::string getString(const std::string &Name,
+                        const std::string &Default = "") const;
+  int64_t getInt(const std::string &Name, int64_t Default) const;
+  double getDouble(const std::string &Name, double Default) const;
+
+  const std::vector<std::string> &positionals() const { return Positionals; }
+
+private:
+  std::map<std::string, std::string> Flags;
+  std::vector<std::string> Positionals;
+};
+
+} // namespace vbmc
+
+#endif // VBMC_SUPPORT_CLI_H

@@ -1,0 +1,25 @@
+//===- Diagnostics.cpp ----------------------------------------*- C++ -*-===//
+
+#include "support/Diagnostics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace vbmc;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(Line) + ":" + std::to_string(Column);
+}
+
+std::string Diagnostic::str() const {
+  if (!Loc.isValid())
+    return Message;
+  return Loc.str() + ": " + Message;
+}
+
+void vbmc::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "vbmc fatal error: %s\n", Message.c_str());
+  std::abort();
+}

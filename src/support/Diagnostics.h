@@ -1,0 +1,97 @@
+//===- Diagnostics.h - error reporting without exceptions ------*- C++ -*-===//
+//
+// Part of the VBMC reproduction of "Verification of Programs under the
+// Release-Acquire Semantics" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight error-propagation utilities. The code base does not use C++
+/// exceptions; fallible operations return an ErrorOr<T> whose failure arm
+/// carries a human-readable message (lower-case first word, no trailing
+/// period, in the style of compiler diagnostics).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_SUPPORT_DIAGNOSTICS_H
+#define VBMC_SUPPORT_DIAGNOSTICS_H
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace vbmc {
+
+/// A source position inside a program text (1-based line and column).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string str() const;
+};
+
+/// A diagnostic message, optionally anchored to a source location.
+class Diagnostic {
+public:
+  Diagnostic() = default;
+  Diagnostic(std::string Message, SourceLoc Loc = SourceLoc())
+      : Message(std::move(Message)), Loc(Loc) {}
+
+  const std::string &message() const { return Message; }
+  SourceLoc location() const { return Loc; }
+
+  /// Renders "line:col: message" (or just the message when unanchored).
+  std::string str() const;
+
+private:
+  std::string Message;
+  SourceLoc Loc;
+};
+
+/// Either a value of type T or a Diagnostic explaining why no value could be
+/// produced. Modeled after llvm::ErrorOr but carrying a message instead of a
+/// std::error_code.
+template <typename T> class ErrorOr {
+public:
+  ErrorOr(T Value) : Storage(std::move(Value)) {}
+  ErrorOr(Diagnostic Diag) : Storage(std::move(Diag)) {}
+
+  explicit operator bool() const { return std::holds_alternative<T>(Storage); }
+
+  T &operator*() {
+    assert(*this && "accessing value of failed ErrorOr");
+    return std::get<T>(Storage);
+  }
+  const T &operator*() const {
+    assert(*this && "accessing value of failed ErrorOr");
+    return std::get<T>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  const Diagnostic &error() const {
+    assert(!*this && "accessing error of successful ErrorOr");
+    return std::get<Diagnostic>(Storage);
+  }
+
+  /// Moves the contained value out. Only valid on success.
+  T take() {
+    assert(*this && "taking value of failed ErrorOr");
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, Diagnostic> Storage;
+};
+
+/// Aborts with a message. Used for invariant violations that indicate a bug
+/// in VBMC itself rather than in the analyzed program.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+} // namespace vbmc
+
+#endif // VBMC_SUPPORT_DIAGNOSTICS_H

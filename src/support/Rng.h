@@ -1,0 +1,82 @@
+//===- Rng.h - deterministic pseudo-random numbers --------------*- C++ -*-===//
+///
+/// \file
+/// A small, fast, reproducible PRNG (splitmix64 seeded xoshiro256**). All
+/// randomized components (random-walk simulation, random program generation
+/// for property tests, litmus family expansion) draw from this generator so
+/// test runs are bit-for-bit reproducible from a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_SUPPORT_RNG_H
+#define VBMC_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace vbmc {
+
+/// Deterministic 64-bit PRNG.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed using splitmix64 so that nearby
+  /// seeds produce unrelated streams.
+  void reseed(uint64_t Seed) {
+    uint64_t X = Seed;
+    for (uint64_t &Word : State) {
+      X += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Returns the next 64 random bits (xoshiro256**).
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t Threshold = -Bound % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Returns a uniform integer in [Lo, Hi] (inclusive).
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool nextChance(uint64_t Num, uint64_t Den) { return nextBelow(Den) < Num; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace vbmc
+
+#endif // VBMC_SUPPORT_RNG_H

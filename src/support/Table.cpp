@@ -1,0 +1,56 @@
+//===- Table.cpp ----------------------------------------------*- C++ -*-===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace vbmc;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {}
+
+void Table::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row arity mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+std::string Table::str() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  auto Widen = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  };
+  Widen(Header);
+  for (const auto &Row : Rows)
+    Widen(Row);
+
+  std::string Out;
+  auto Emit = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      Out += Row[I];
+      if (I + 1 < Row.size())
+        Out.append(Widths[I] - Row[I].size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+  Emit(Header);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  Out.append(Total > 2 ? Total - 2 : Total, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    Emit(Row);
+  return Out;
+}
+
+std::string Table::formatSeconds(double Seconds, bool TimedOut) {
+  if (TimedOut)
+    return "T.O";
+  char Buffer[64];
+  if (Seconds < 10)
+    std::snprintf(Buffer, sizeof(Buffer), "%.3f", Seconds);
+  else
+    std::snprintf(Buffer, sizeof(Buffer), "%.1f", Seconds);
+  return Buffer;
+}

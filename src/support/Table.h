@@ -1,0 +1,40 @@
+//===- Table.h - aligned text tables for bench output ------------*- C++ -*-===//
+///
+/// \file
+/// Renders the paper-style comparison tables (Tables 1-8) as aligned plain
+/// text. Cells are strings; numeric helpers format seconds the way the paper
+/// does and render timeouts as "T.O".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_SUPPORT_TABLE_H
+#define VBMC_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace vbmc {
+
+/// A simple column-aligned table with a header row.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders the table with a separator under the header.
+  std::string str() const;
+
+  /// Formats a duration in seconds with the paper's precision (two to three
+  /// significant decimals), or "T.O" when \p TimedOut is set.
+  static std::string formatSeconds(double Seconds, bool TimedOut);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace vbmc
+
+#endif // VBMC_SUPPORT_TABLE_H

@@ -1,0 +1,389 @@
+//===- Translate.cpp - implementation of [[.]]_K ----------------*- C++ -*-===//
+
+#include "translation/Translate.h"
+
+#include "support/Diagnostics.h"
+
+using namespace vbmc;
+using namespace vbmc::ir;
+using namespace vbmc::translation;
+
+namespace {
+
+bool bodyHasFence(const std::vector<Stmt> &Body) {
+  for (const Stmt &S : Body)
+    if (S.Kind == StmtKind::Fence || bodyHasFence(S.Then) ||
+        bodyHasFence(S.Else))
+      return true;
+  return false;
+}
+
+void rewriteFences(std::vector<Stmt> &Body, VarId FenceVar) {
+  for (Stmt &S : Body) {
+    if (S.Kind == StmtKind::Fence)
+      S = Stmt::cas(FenceVar, constE(0), constE(0));
+    rewriteFences(S.Then, FenceVar);
+    rewriteFences(S.Else, FenceVar);
+  }
+}
+
+/// Builds [[Prog]]_K. One instance per call; members cache the ids of the
+/// instrumentation variables/registers.
+class Translator {
+public:
+  Translator(const Program &In, const TranslationOptions &Opts)
+      : In(In), Opts(Opts), K(Opts.K), T(Opts.timeBound()),
+        NV(In.numVars()) {}
+
+  TranslationResult run() {
+    declareSharedState();
+    declareProcesses();
+    for (uint32_t P = 0; P < In.numProcs(); ++P)
+      translateProcess(P);
+    TranslationResult R;
+    R.Prog = std::move(Out);
+    R.ContextBound = K + In.numProcs();
+    R.InputVars = NV;
+    return R;
+  }
+
+private:
+  /// \name Output shared-state ids
+  /// @{
+  std::vector<VarId> MsVar;              ///< [slot] -> ms<i>_var
+  std::vector<std::vector<VarId>> MsT;   ///< [slot][x]
+  std::vector<std::vector<VarId>> MsV;   ///< [slot][x]
+  std::vector<std::vector<VarId>> MsL;   ///< [slot][x]
+  VarId MessagesUsed = 0;
+  VarId SRa = 0;
+  std::vector<std::vector<VarId>> UsedStamp; ///< [x][t-1], t in 1..T
+  /// @}
+
+  /// \name Per-process register ids (filled by translateProcess)
+  /// @{
+  std::vector<RegId> VwT, VwV, VwL; ///< [x]
+  RegId GChoice = 0, GMsg = 0, GStamp = 0, GA = 0, GB = 0;
+  /// @}
+
+  void declareSharedState() {
+    // Keep the input variables (Fig. 4 keeps `var x*`); the instrumented
+    // code never touches them, they only stabilize naming.
+    for (const std::string &V : In.Vars)
+      Out.addVar(V);
+
+    MsVar.resize(K);
+    MsT.assign(K, std::vector<VarId>(NV));
+    MsV.assign(K, std::vector<VarId>(NV));
+    MsL.assign(K, std::vector<VarId>(NV));
+    for (uint32_t I = 0; I < K; ++I) {
+      std::string Prefix = "ms" + std::to_string(I) + "_";
+      MsVar[I] = Out.addVar(Prefix + "var");
+      for (VarId X = 0; X < NV; ++X) {
+        MsT[I][X] = Out.addVar(Prefix + In.Vars[X] + "_t");
+        MsV[I][X] = Out.addVar(Prefix + In.Vars[X] + "_v");
+        MsL[I][X] = Out.addVar(Prefix + In.Vars[X] + "_l");
+      }
+    }
+    MessagesUsed = Out.addVar("msgs_used");
+    SRa = Out.addVar("s_ra");
+    UsedStamp.assign(NV, {});
+    for (VarId X = 0; X < NV; ++X)
+      for (uint32_t S = 1; S <= T; ++S)
+        UsedStamp[X].push_back(
+            Out.addVar("used_" + In.Vars[X] + "_" + std::to_string(S)));
+  }
+
+  void declareProcesses() {
+    // Processes and original registers keep their indices so statement
+    // expressions can be reused verbatim.
+    for (const Process &P : In.Procs)
+      Out.addProcess(P.Name);
+    for (const RegDecl &R : In.Regs)
+      Out.addReg(R.Process, R.Name);
+  }
+
+  void translateProcess(uint32_t P) {
+    VwT.resize(NV);
+    VwV.resize(NV);
+    VwL.resize(NV);
+    for (VarId X = 0; X < NV; ++X) {
+      VwT[X] = Out.addReg(P, "vw_" + In.Vars[X] + "_t");
+      VwV[X] = Out.addReg(P, "vw_" + In.Vars[X] + "_v");
+      VwL[X] = Out.addReg(P, "vw_" + In.Vars[X] + "_l");
+    }
+    GChoice = Out.addReg(P, "g_choice");
+    GMsg = Out.addReg(P, "g_msg");
+    GStamp = Out.addReg(P, "g_stamp");
+    GA = Out.addReg(P, "g_a");
+    GB = Out.addReg(P, "g_b");
+
+    // init_proc(): the initial view maps every variable to the initial
+    // message (timestamp 0, value 0), and that timestamp is exact.
+    std::vector<Stmt> Body;
+    for (VarId X = 0; X < NV; ++X)
+      Body.push_back(Stmt::assign(VwL[X], constE(1)));
+    translateStmts(In.Procs[P].Body, Body);
+    Out.Procs[P].Body = std::move(Body);
+  }
+
+  void translateStmts(const std::vector<Stmt> &InBody,
+                      std::vector<Stmt> &OutBody) {
+    for (const Stmt &S : InBody)
+      translateStmt(S, OutBody);
+  }
+
+  void translateStmt(const Stmt &S, std::vector<Stmt> &OutBody) {
+    switch (S.Kind) {
+    case StmtKind::Read:
+      emitRead(S.Var, S.Reg, OutBody);
+      return;
+    case StmtKind::Write:
+      emitWrite(S.Var, S.E, OutBody);
+      return;
+    case StmtKind::Cas:
+      emitCas(S.Var, S.E, S.E2, OutBody);
+      return;
+    case StmtKind::Assign:
+    case StmtKind::Assume:
+    case StmtKind::Assert:
+    case StmtKind::Term:
+      OutBody.push_back(S);
+      return;
+    case StmtKind::If: {
+      Stmt Copy = S;
+      Copy.Then.clear();
+      Copy.Else.clear();
+      translateStmts(S.Then, Copy.Then);
+      translateStmts(S.Else, Copy.Else);
+      OutBody.push_back(std::move(Copy));
+      return;
+    }
+    case StmtKind::While: {
+      Stmt Copy = S;
+      Copy.Then.clear();
+      translateStmts(S.Then, Copy.Then);
+      OutBody.push_back(std::move(Copy));
+      return;
+    }
+    case StmtKind::Fence:
+      reportFatalError("fence reached the translator; call desugarFences");
+      return;
+    case StmtKind::AtomicBegin:
+    case StmtKind::AtomicEnd:
+      // Input atomic sections nest inside the per-access sections the
+      // translation emits; the SC semantics supports re-entrancy.
+      OutBody.push_back(S);
+      return;
+    }
+  }
+
+  /// \name Emission helpers (all append to the given statement list)
+  /// @{
+
+  /// assume(<reg> == <v>) without clobbering any scratch register.
+  static Stmt assumeRegEq(RegId R, Value V) {
+    return Stmt::assume(eqE(regE(R), constE(V)));
+  }
+
+  /// Algorithm 5, update_view(x, g_msg), inlined as an if-chain over the
+  /// K message slots. Clobbers GB.
+  void emitUpdateView(VarId X, std::vector<Stmt> &OutBody) {
+    for (uint32_t I = 0; I < K; ++I) {
+      std::vector<Stmt> Slot;
+      // assume(m_var == &x)
+      Slot.push_back(Stmt::read(GB, MsVar[I]));
+      Slot.push_back(assumeRegEq(GB, static_cast<Value>(X) + 1));
+      // assume(view_x_l)
+      Slot.push_back(assumeRegEq(VwL[X], 1));
+      // assume(view_x_t <= m_view_x_t)
+      Slot.push_back(Stmt::read(GB, MsT[I][X]));
+      Slot.push_back(Stmt::assume(leE(regE(VwT[X]), regE(GB))));
+      // for all y: assume(view_y_l)
+      for (VarId Y = 0; Y < NV; ++Y)
+        Slot.push_back(assumeRegEq(VwL[Y], 1));
+      // for all y: if (view_y_t <= m_view_y_t) update t and v.
+      for (VarId Y = 0; Y < NV; ++Y) {
+        Slot.push_back(Stmt::read(GB, MsT[I][Y]));
+        std::vector<Stmt> Upd;
+        Upd.push_back(Stmt::assign(VwT[Y], regE(GB)));
+        Upd.push_back(Stmt::read(GB, MsV[I][Y]));
+        Upd.push_back(Stmt::assign(VwV[Y], regE(GB)));
+        // Published views are fully legit (Algorithm 3 asserts every
+        // view_y_l before publishing), so the merged stamp is exact.
+        Upd.push_back(Stmt::assign(VwL[Y], constE(1)));
+        Slot.push_back(Stmt::ifThen(leE(regE(VwT[Y]), regE(GB)),
+                                    std::move(Upd)));
+      }
+      OutBody.push_back(
+          Stmt::ifThen(eqE(regE(GMsg), constE(static_cast<Value>(I))),
+                       std::move(Slot)));
+    }
+  }
+
+  /// The view-altering prologue shared by reads and CAS: guess a published
+  /// message, check the budget, merge. Emitted only when K > 0. Clobbers
+  /// GA, GB, GMsg.
+  void emitViewAlteringRead(VarId X, std::vector<Stmt> &OutBody) {
+    // assume(s_RA < K); s_RA++ (budget accounting first frees GA).
+    OutBody.push_back(Stmt::read(GA, SRa));
+    OutBody.push_back(
+        Stmt::assume(ltE(regE(GA), constE(static_cast<Value>(K)))));
+    OutBody.push_back(Stmt::write(SRa, addE(regE(GA), constE(1))));
+    // message_num <- nondet(0, messages_used - 1)
+    OutBody.push_back(
+        Stmt::assign(GMsg, nondetE(0, static_cast<Value>(K) - 1)));
+    OutBody.push_back(Stmt::read(GB, MessagesUsed));
+    OutBody.push_back(Stmt::assume(ltE(regE(GMsg), regE(GB))));
+    emitUpdateView(X, OutBody);
+  }
+
+  /// Takes abstract timestamp GStamp from variable \p X's pool: it must be
+  /// unused, and becomes used. Clobbers GA.
+  void emitTakeStamp(VarId X, std::vector<Stmt> &OutBody) {
+    for (uint32_t S = 1; S <= T; ++S) {
+      std::vector<Stmt> Arm;
+      Arm.push_back(Stmt::read(GA, UsedStamp[X][S - 1]));
+      Arm.push_back(assumeRegEq(GA, 0));
+      Arm.push_back(Stmt::write(UsedStamp[X][S - 1], constE(1)));
+      OutBody.push_back(
+          Stmt::ifThen(eqE(regE(GStamp), constE(static_cast<Value>(S))),
+                       std::move(Arm)));
+    }
+  }
+
+  /// Algorithm 3, publish(x): requires every view entry legit, appends the
+  /// current view to message_store. Clobbers GB.
+  void emitPublish(VarId X, std::vector<Stmt> &OutBody) {
+    for (VarId Y = 0; Y < NV; ++Y)
+      OutBody.push_back(assumeRegEq(VwL[Y], 1));
+    OutBody.push_back(Stmt::read(GB, MessagesUsed));
+    OutBody.push_back(
+        Stmt::assume(ltE(regE(GB), constE(static_cast<Value>(K)))));
+    for (uint32_t I = 0; I < K; ++I) {
+      std::vector<Stmt> Slot;
+      Slot.push_back(Stmt::write(MsVar[I], constE(static_cast<Value>(X) + 1)));
+      for (VarId Y = 0; Y < NV; ++Y) {
+        Slot.push_back(Stmt::write(MsT[I][Y], regE(VwT[Y])));
+        Slot.push_back(Stmt::write(MsV[I][Y], regE(VwV[Y])));
+        Slot.push_back(Stmt::write(MsL[I][Y], regE(VwL[Y])));
+      }
+      OutBody.push_back(
+          Stmt::ifThen(eqE(regE(GB), constE(static_cast<Value>(I))),
+                       std::move(Slot)));
+    }
+    OutBody.push_back(Stmt::write(MessagesUsed, addE(regE(GB), constE(1))));
+  }
+
+  /// Algorithm 4: [[ $r = x ]].
+  void emitRead(VarId X, RegId Dst, std::vector<Stmt> &OutBody) {
+    OutBody.push_back(Stmt::atomicBegin());
+    if (K > 0) {
+      OutBody.push_back(Stmt::assign(GChoice, nondetE(0, 1)));
+      std::vector<Stmt> Altering;
+      emitViewAlteringRead(X, Altering);
+      OutBody.push_back(
+          Stmt::ifThen(eqE(regE(GChoice), constE(1)), std::move(Altering)));
+    }
+    // val($r) = view_x_v (line 7).
+    OutBody.push_back(Stmt::assign(Dst, regE(VwV[X])));
+    OutBody.push_back(Stmt::atomicEnd());
+  }
+
+  /// Algorithm 2: [[ x = e ]].
+  void emitWrite(VarId X, const ExprRef &E, std::vector<Stmt> &OutBody) {
+    OutBody.push_back(Stmt::atomicBegin());
+    OutBody.push_back(Stmt::assign(GChoice, nondetE(0, 1)));
+
+    // Guessed-stamp arm (lines 2-10).
+    std::vector<Stmt> Stamped;
+    Stamped.push_back(
+        Stmt::assign(GStamp, nondetE(1, static_cast<Value>(T))));
+    Stamped.push_back(Stmt::assume(ltE(regE(VwT[X]), regE(GStamp))));
+    emitTakeStamp(X, Stamped);
+    Stamped.push_back(Stmt::assign(VwT[X], regE(GStamp)));
+    Stamped.push_back(Stmt::assign(VwL[X], constE(1)));
+    Stamped.push_back(Stmt::assign(VwV[X], E));
+    if (K > 0) {
+      Stamped.push_back(Stmt::assign(GChoice, nondetE(0, 1)));
+      std::vector<Stmt> Pub;
+      emitPublish(X, Pub);
+      Stamped.push_back(
+          Stmt::ifThen(eqE(regE(GChoice), constE(1)), std::move(Pub)));
+    }
+
+    // Unstamped arm (lines 12-13).
+    std::vector<Stmt> Unstamped;
+    Unstamped.push_back(Stmt::assign(VwV[X], E));
+    Unstamped.push_back(Stmt::assign(VwL[X], constE(0)));
+
+    OutBody.push_back(Stmt::ifThen(eqE(regE(GChoice), constE(1)),
+                                   std::move(Stamped), std::move(Unstamped)));
+    OutBody.push_back(Stmt::atomicEnd());
+  }
+
+  /// [[ cas(x, e1, e2) ]] (derived; see the file comment).
+  void emitCas(VarId X, const ExprRef &Expected, const ExprRef &New,
+               std::vector<Stmt> &OutBody) {
+    OutBody.push_back(Stmt::atomicBegin());
+    if (K > 0) {
+      OutBody.push_back(Stmt::assign(GChoice, nondetE(0, 1)));
+      std::vector<Stmt> Altering;
+      emitViewAlteringRead(X, Altering);
+      OutBody.push_back(
+          Stmt::ifThen(eqE(regE(GChoice), constE(1)), std::move(Altering)));
+    }
+    // The read part must see the expected value at an exact stamp.
+    OutBody.push_back(assumeRegEq(VwL[X], 1));
+    OutBody.push_back(Stmt::assume(eqE(regE(VwV[X]), Expected)));
+    // The write part takes exactly stamp t+1 (Fig. 2 CAS rule).
+    OutBody.push_back(Stmt::assign(GStamp, addE(regE(VwT[X]), constE(1))));
+    OutBody.push_back(
+        Stmt::assume(leE(regE(GStamp), constE(static_cast<Value>(T)))));
+    emitTakeStamp(X, OutBody);
+    OutBody.push_back(Stmt::assign(VwT[X], regE(GStamp)));
+    OutBody.push_back(Stmt::assign(VwV[X], New));
+    OutBody.push_back(Stmt::assign(VwL[X], constE(1)));
+    if (K > 0) {
+      OutBody.push_back(Stmt::assign(GChoice, nondetE(0, 1)));
+      std::vector<Stmt> Pub;
+      emitPublish(X, Pub);
+      OutBody.push_back(
+          Stmt::ifThen(eqE(regE(GChoice), constE(1)), std::move(Pub)));
+    }
+    OutBody.push_back(Stmt::atomicEnd());
+  }
+  /// @}
+
+  const Program &In;
+  [[maybe_unused]] const TranslationOptions &Opts;
+  uint32_t K;
+  uint32_t T;
+  uint32_t NV;
+  Program Out;
+};
+
+} // namespace
+
+Program vbmc::translation::desugarFences(const Program &P) {
+  Program Out = P;
+  bool Any = false;
+  for (const Process &Proc : Out.Procs)
+    Any |= bodyHasFence(Proc.Body);
+  if (!Any)
+    return Out;
+  VarId FenceVar = Out.addVar("__fence");
+  for (Process &Proc : Out.Procs)
+    rewriteFences(Proc.Body, FenceVar);
+  return Out;
+}
+
+TranslationResult
+vbmc::translation::translateToSc(const Program &P,
+                                 const TranslationOptions &Opts) {
+  Program Desugared = desugarFences(P);
+  auto Valid = Desugared.validate();
+  if (!Valid)
+    reportFatalError("translateToSc: invalid input program: " +
+                     Valid.error().str());
+  return Translator(Desugared, Opts).run();
+}

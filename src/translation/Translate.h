@@ -1,0 +1,96 @@
+//===- Translate.h - the view-bounded RA-to-SC translation -------*- C++ -*-===//
+///
+/// \file
+/// The paper's core contribution: the code-to-code map [[.]]_K (Fig. 4,
+/// Algorithms 1-5) taking an RA program and a view-switch budget K to an SC
+/// program whose (K+n)-context-bounded reachability coincides with the
+/// K-bounded-view-switching reachability of the input.
+///
+/// Data-structure lowering (our language has scalars only, so the paper's
+/// records/arrays become families of shared variables; all families are
+/// statically sized by K and the timestamp domain, keeping the translation
+/// polynomial exactly as Theorem-level claims require):
+///
+///  * `View` (one per process) -> registers `vw_<x>_t`, `vw_<x>_v`,
+///    `vw_<x>_l` of that process (timestamp, value, and the "legit" bit
+///    saying the timestamp is exact);
+///  * `message_store[K]` -> shared `ms<i>_var` (holding VarId+1; 0 = slot
+///    empty) and `ms<i>_<x>_{t,v,l}`;
+///  * `messages_used`, `s_RA` -> shared scalars;
+///  * `avail_x[Time]` -> shared `used_<x>_<t>` for t in 1..T with *negated*
+///    polarity (0 = available), which makes the all-zero initial store the
+///    correct initial state and removes the need for the paper's Main
+///    initializer process (Algorithm 1): with nothing to initialize, no
+///    extra context is spent, and the K+n context bound is exact.
+///
+/// Statement mapping:
+///  * reads follow Algorithm 4 + Algorithm 5 (update_view);
+///  * writes follow Algorithm 2 + Algorithm 3 (publish);
+///  * cas (omitted in the paper "for ease of presentation") is derived
+///    here: an optional view-altering read exactly like Algorithm 4's
+///    lines 1-6, then `assume(vw_x_l && vw_x_v == expected)`, then a write
+///    whose timestamp is *forced* to `vw_x_t + 1` (the Fig. 2 CAS rule
+///    writes at exactly t+1), checked against the used-pool so no other
+///    guessed stamp ever collides with it, then an optional publish;
+///  * fences are desugared to `cas(__fence, 0, 0)` first (Section 6);
+///  * every other statement maps to itself (Fig. 4).
+///
+/// Each simulated memory access is wrapped in an atomic section: the
+/// instrumentation block corresponds to one indivisible RA transition, so
+/// the SC scheduler may only preempt between simulated events (this is
+/// what Lazy-CSeq's is_init_round/is_end_round brackets achieve in the
+/// paper's prototype).
+///
+/// **Timestamp domain.** The paper shows 2K abstract stamps per variable
+/// suffice without CAS. Every executed CAS additionally consumes the stamp
+/// adjacent to the message it reads, so the domain is widened by a
+/// configurable CasAllowance (runs needing more stamps are pruned, keeping
+/// the analysis an under-approximation, never unsound).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_TRANSLATION_TRANSLATE_H
+#define VBMC_TRANSLATION_TRANSLATE_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+
+namespace vbmc::translation {
+
+struct TranslationOptions {
+  /// The view-switch budget K.
+  uint32_t K = 2;
+  /// Extra abstract timestamps per variable for CAS/fence chains; the
+  /// timestamp domain is {1 .. 2K + max(CasAllowance, 1)} (at least one
+  /// stamp always exists so the guessed-stamp arm of Algorithm 2 is
+  /// well-formed even at K = 0).
+  uint32_t CasAllowance = 8;
+
+  uint32_t timeBound() const {
+    return 2 * K + (CasAllowance < 1 ? 1 : CasAllowance);
+  }
+};
+
+struct TranslationResult {
+  /// The SC program [[Prog]]_K.
+  ir::Program Prog;
+  /// The context-switch budget K + n to hand to the SC backend.
+  uint32_t ContextBound = 0;
+  /// Number of shared variables of the *input* (after fence desugaring);
+  /// useful for diagnostics.
+  uint32_t InputVars = 0;
+};
+
+/// Replaces every `fence` statement by `cas(__fence, 0, 0)` on a fresh
+/// shared variable (no-op if the program has no fences). Applied by
+/// translateToSc, exposed for tests.
+ir::Program desugarFences(const ir::Program &P);
+
+/// Applies [[.]]_K to \p P. \p P must validate.
+TranslationResult translateToSc(const ir::Program &P,
+                                const TranslationOptions &Opts);
+
+} // namespace vbmc::translation
+
+#endif // VBMC_TRANSLATION_TRANSLATE_H

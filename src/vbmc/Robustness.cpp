@@ -1,0 +1,60 @@
+//===- Robustness.cpp -----------------------------------------*- C++ -*-===//
+
+#include "vbmc/Robustness.h"
+
+#include "ir/Flatten.h"
+#include "ra/RaExplorer.h"
+#include "sc/ScExplorer.h"
+
+using namespace vbmc;
+using namespace vbmc::driver;
+
+RobustnessResult vbmc::driver::checkRobustness(const ir::Program &P,
+                                               uint64_t MaxStates) {
+  RobustnessResult R;
+  ir::FlatProgram FP = ir::flatten(P);
+
+  // Terminal behaviours. collectTerminalRegs stops early when MaxStates
+  // is exceeded; detect that by re-checking against an explicit query.
+  auto ScSet = sc::collectScTerminalRegs(FP, std::nullopt, MaxStates);
+  auto RaSet = ra::collectTerminalRegs(FP, std::nullopt, MaxStates);
+
+  // Assertion reachability on both sides.
+  sc::ScQuery SQ;
+  SQ.Goal = sc::ScGoalKind::AnyError;
+  SQ.MaxStates = MaxStates;
+  sc::ScResult ScErr = sc::exploreSc(FP, SQ);
+
+  ra::RaQuery RQ;
+  RQ.Goal = ra::GoalKind::AnyError;
+  RQ.MaxStates = MaxStates;
+  ra::RaResult RaErr = ra::exploreRa(FP, RQ);
+
+  if (ScErr.Status == sc::ScStatus::StateLimit ||
+      ScErr.Status == sc::ScStatus::Timeout ||
+      RaErr.Status == ra::SearchStatus::StateLimit ||
+      RaErr.Status == ra::SearchStatus::Timeout) {
+    R.Note = "exploration budget exceeded";
+    return R;
+  }
+  R.Conclusive = true;
+
+  if (RaErr.reached() && !ScErr.reached()) {
+    R.RaOnlyAssertionFailure = true;
+    R.Robust = false;
+    R.Note = "RA reaches an assertion violation SC cannot";
+    return R;
+  }
+
+  for (const auto &Outcome : RaSet) {
+    if (!ScSet.count(Outcome)) {
+      R.Robust = false;
+      R.WitnessOutcome = Outcome;
+      R.Note = "RA-only terminal behaviour found";
+      return R;
+    }
+  }
+  R.Robust = true;
+  R.Note = "RA and SC behaviours coincide";
+  return R;
+}

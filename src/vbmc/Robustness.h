@@ -1,0 +1,49 @@
+//===- Robustness.h - RA-vs-SC robustness checking ----------------*- C++ -*-===//
+///
+/// \file
+/// A small application built on the library: decide whether a program is
+/// *robust* against the release-acquire semantics, i.e. whether RA admits
+/// any behaviour (terminal register valuation or assertion violation)
+/// that SC does not. Robustness is how practitioners phrase "do I need
+/// fences here?" — the unfenced Table 1 protocols are exactly the
+/// non-robust ones, and the fenced versions are robust.
+///
+/// The check enumerates both semantics exhaustively, so it is meant for
+/// bounded (loop-unrolled or loop-free) programs; pass a budget for
+/// anything bigger.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_VBMC_ROBUSTNESS_H
+#define VBMC_VBMC_ROBUSTNESS_H
+
+#include "ir/Program.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vbmc::driver {
+
+struct RobustnessResult {
+  /// True when RA and SC agree on terminal behaviours and on assertion
+  /// reachability.
+  bool Robust = false;
+  /// False when a budget was hit before a conclusion.
+  bool Conclusive = false;
+  /// An RA-only terminal register valuation, when one exists.
+  std::vector<ir::Value> WitnessOutcome;
+  /// True when RA reaches an assertion violation SC cannot.
+  bool RaOnlyAssertionFailure = false;
+  std::string Note;
+};
+
+/// Decides robustness of \p P by exhaustive enumeration (RA behaviours
+/// always include the SC ones, so only the RA-minus-SC direction is
+/// searched). \p MaxStates caps each exploration (0 = unlimited).
+RobustnessResult checkRobustness(const ir::Program &P,
+                                 uint64_t MaxStates = 0);
+
+} // namespace vbmc::driver
+
+#endif // VBMC_VBMC_ROBUSTNESS_H

@@ -1,0 +1,94 @@
+//===- SatBackend.cpp - BMC backend for the vbmc driver ---------*- C++ -*-===//
+//
+// Bridges the driver to the BMC pipeline (src/bmc): picks a sufficient
+// bit width, unrolls, sequentializes and solves. Plays the role CBMC plays
+// behind Lazy-CSeq in the paper's prototype.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bmc/Encoder.h"
+#include "vbmc/Vbmc.h"
+
+using namespace vbmc;
+using namespace vbmc::driver;
+
+namespace {
+
+void auditExpr(const ir::Expr &E, int64_t &MaxAbs) {
+  switch (E.kind()) {
+  case ir::ExprKind::Const:
+    MaxAbs = std::max<int64_t>(MaxAbs, std::abs((int64_t)E.constValue()));
+    return;
+  case ir::ExprKind::Nondet:
+    MaxAbs = std::max<int64_t>(MaxAbs, std::abs((int64_t)E.nondetLo()));
+    MaxAbs = std::max<int64_t>(MaxAbs, std::abs((int64_t)E.nondetHi()));
+    return;
+  case ir::ExprKind::Reg:
+    return;
+  case ir::ExprKind::Unary:
+    auditExpr(*E.lhs(), MaxAbs);
+    return;
+  case ir::ExprKind::Binary:
+    auditExpr(*E.lhs(), MaxAbs);
+    auditExpr(*E.rhs(), MaxAbs);
+    return;
+  }
+}
+
+void auditBody(const std::vector<ir::Stmt> &Body, int64_t &MaxAbs) {
+  for (const ir::Stmt &S : Body) {
+    if (S.E)
+      auditExpr(*S.E, MaxAbs);
+    if (S.E2)
+      auditExpr(*S.E2, MaxAbs);
+    auditBody(S.Then, MaxAbs);
+    auditBody(S.Else, MaxAbs);
+  }
+}
+
+/// Picks a bit width with headroom: enough for every literal constant in
+/// the program times a safety factor for the +1 arithmetic the translation
+/// emits. Programs computing values far beyond their literals (long
+/// counter loops) should raise VbmcOptions-independent widths upstream.
+uint32_t pickWidth(const ir::Program &P) {
+  int64_t MaxAbs = 1;
+  for (const ir::Process &Proc : P.Procs)
+    auditBody(Proc.Body, MaxAbs);
+  uint32_t Bits = 1;
+  while ((1LL << Bits) < MaxAbs + 1)
+    ++Bits;
+  // Sign bit plus two bits of arithmetic headroom, floor of 8.
+  return std::max(8u, Bits + 3);
+}
+
+} // namespace
+
+VbmcResult vbmc::driver::runSatBackend(const ir::Program &Translated,
+                                       uint32_t ContextBound,
+                                       const VbmcOptions &Opts) {
+  bmc::BmcOptions BO;
+  BO.UnrollBound = Opts.L;
+  BO.ContextBound = ContextBound;
+  BO.ValueWidth = pickWidth(Translated);
+  BO.BudgetSeconds = Opts.BudgetSeconds;
+  bmc::BmcResult BR = bmc::checkBmc(Translated, BO);
+
+  VbmcResult R;
+  R.Seconds = BR.Seconds;
+  R.Work = BR.SolverConflicts;
+  switch (BR.Status) {
+  case bmc::BmcStatus::Unsafe:
+    R.Outcome = Verdict::Unsafe;
+    for (const std::string &F : BR.FailedAssertions)
+      R.Note += (R.Note.empty() ? "" : "; ") + F;
+    break;
+  case bmc::BmcStatus::Safe:
+    R.Outcome = Verdict::Safe;
+    break;
+  case bmc::BmcStatus::Unknown:
+    R.Outcome = Verdict::Unknown;
+    R.Note = BR.Note;
+    break;
+  }
+  return R;
+}

@@ -1,0 +1,107 @@
+//===- Vbmc.cpp -----------------------------------------------*- C++ -*-===//
+
+#include "vbmc/Vbmc.h"
+
+#include "ir/Flatten.h"
+#include "ir/Parser.h"
+#include "support/Timer.h"
+
+using namespace vbmc;
+using namespace vbmc::driver;
+
+namespace {
+
+VbmcResult runExplicit(const ir::Program &Translated, uint32_t ContextBound,
+                       const VbmcOptions &Opts) {
+  VbmcResult R;
+  ir::FlatProgram FP = ir::flatten(Translated);
+  sc::ScQuery Q;
+  Q.Goal = sc::ScGoalKind::AnyError;
+  Q.ContextBound = ContextBound;
+  Q.SwitchOnlyAfterWrite = Opts.SwitchOnlyAfterWrite;
+  Q.BudgetSeconds = Opts.BudgetSeconds;
+  Q.MaxStates = Opts.MaxStates;
+  sc::ScResult SR = sc::exploreSc(FP, Q);
+  R.Work = SR.StatesVisited;
+  R.Seconds = SR.Seconds;
+  switch (SR.Status) {
+  case sc::ScStatus::Reached:
+    R.Outcome = Verdict::Unsafe;
+    R.Trace = std::move(SR.Trace);
+    break;
+  case sc::ScStatus::Exhausted:
+    R.Outcome = Verdict::Safe;
+    break;
+  case sc::ScStatus::StateLimit:
+    R.Outcome = Verdict::Unknown;
+    R.Note = "state limit exceeded";
+    break;
+  case sc::ScStatus::Timeout:
+    R.Outcome = Verdict::Unknown;
+    R.Note = "timeout";
+    break;
+  }
+  return R;
+}
+
+} // namespace
+
+VbmcResult vbmc::driver::checkProgram(const ir::Program &P,
+                                      const VbmcOptions &Opts) {
+  Timer Watch;
+  translation::TranslationOptions TO;
+  TO.K = Opts.K;
+  TO.CasAllowance = Opts.CasAllowance;
+  translation::TranslationResult TR = translation::translateToSc(P, TO);
+
+  VbmcResult R = Opts.Backend == BackendKind::Explicit
+                     ? runExplicit(TR.Prog, TR.ContextBound, Opts)
+                     : runSatBackend(TR.Prog, TR.ContextBound, Opts);
+  R.Seconds = Watch.elapsedSeconds();
+  return R;
+}
+
+IterativeResult vbmc::driver::checkIterative(const ir::Program &P,
+                                             uint32_t MaxK,
+                                             const VbmcOptions &BaseOpts) {
+  Timer Watch;
+  IterativeResult R;
+  bool SawInconclusive = false;
+  for (uint32_t K = 0; K <= MaxK; ++K) {
+    VbmcOptions Opts = BaseOpts;
+    Opts.K = K;
+    if (BaseOpts.BudgetSeconds > 0) {
+      double Left = BaseOpts.BudgetSeconds - Watch.elapsedSeconds();
+      if (Left <= 0) {
+        SawInconclusive = true;
+        break;
+      }
+      Opts.BudgetSeconds = Left;
+    }
+    VbmcResult Step = checkProgram(P, Opts);
+    R.Iterations.push_back(IterationReport{K, Step.Outcome, Step.Seconds});
+    if (Step.unsafe()) {
+      R.Outcome = Verdict::Unsafe;
+      R.KUsed = K;
+      R.Seconds = Watch.elapsedSeconds();
+      return R;
+    }
+    SawInconclusive |= Step.Outcome == Verdict::Unknown;
+  }
+  R.Outcome = SawInconclusive ? Verdict::Unknown : Verdict::Safe;
+  R.KUsed = MaxK;
+  R.Seconds = Watch.elapsedSeconds();
+  return R;
+}
+
+VbmcResult vbmc::driver::checkSource(const std::string &Source,
+                                     const VbmcOptions &Opts) {
+  auto P = ir::parseProgram(Source);
+  if (!P) {
+    VbmcResult R;
+    R.Outcome = Verdict::Unknown;
+    R.Note = "parse error: " + P.error().str();
+    return R;
+  }
+  return checkProgram(*P, Opts);
+}

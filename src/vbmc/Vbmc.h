@@ -1,0 +1,114 @@
+//===- Vbmc.h - the VBMC tool driver ------------------------------*- C++ -*-===//
+///
+/// \file
+/// End-to-end driver replicating the paper's tool (Section 6): given an RA
+/// program and a view bound K, translate with [[.]]_K and decide assertion
+/// reachability of the translated program under context-bounded SC with one
+/// of two backends:
+///
+///  * Explicit — explicit-state context-bounded search (stands in for the
+///    scheduler part of Lazy-CSeq);
+///  * Sat — bounded model checking: unroll loops L times, sequentialize
+///    (Lal–Reps rounds), bit-blast, solve with the built-in CDCL solver
+///    (stands in for CBMC).
+///
+/// Verdicts follow the paper: UNSAFE means an assertion fails within the
+/// K-view-switch under-approximation; SAFE means no assertion fails in that
+/// subset of executions (not full safety).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_VBMC_VBMC_H
+#define VBMC_VBMC_VBMC_H
+
+#include "ir/Program.h"
+#include "sc/ScExplorer.h"
+#include "translation/Translate.h"
+
+#include <string>
+
+namespace vbmc::driver {
+
+enum class BackendKind {
+  Explicit, ///< Explicit-state context-bounded SC search.
+  Sat,      ///< BMC pipeline (unroll + sequentialize + CDCL SAT).
+};
+
+struct VbmcOptions {
+  /// View-switch budget K.
+  uint32_t K = 2;
+  /// Loop unrolling bound L (Sat backend; the explicit backend needs none).
+  uint32_t L = 2;
+  /// Extra abstract timestamps for CAS/fence chains.
+  uint32_t CasAllowance = 8;
+  BackendKind Backend = BackendKind::Explicit;
+  /// Section 6 scheduling optimization (explicit backend).
+  bool SwitchOnlyAfterWrite = true;
+  /// Wall-clock budget in seconds (0 = unlimited).
+  double BudgetSeconds = 0;
+  /// State cap for the explicit backend (0 = unlimited).
+  uint64_t MaxStates = 0;
+};
+
+enum class Verdict {
+  Safe,    ///< No assertion violation in the K-bounded subset.
+  Unsafe,  ///< Counterexample with at most K view switches found.
+  Unknown, ///< Resource limit hit before a conclusion.
+};
+
+struct VbmcResult {
+  Verdict Outcome = Verdict::Unknown;
+  double Seconds = 0;
+  /// Explicit backend: states visited. Sat backend: CNF clauses.
+  uint64_t Work = 0;
+  /// Counterexample schedule over the *translated* program, when UNSAFE
+  /// and the explicit backend was used.
+  std::vector<sc::ScTraceStep> Trace;
+  std::string Note;
+
+  bool unsafe() const { return Outcome == Verdict::Unsafe; }
+  bool safe() const { return Outcome == Verdict::Safe; }
+};
+
+/// Runs the full VBMC pipeline on \p P.
+VbmcResult checkProgram(const ir::Program &P, const VbmcOptions &Opts);
+
+/// Convenience: parse, then checkProgram; parse errors yield Unknown with
+/// the diagnostic in Note.
+VbmcResult checkSource(const std::string &Source, const VbmcOptions &Opts);
+
+/// BMC backend entry point (defined in SatBackend.cpp): decides assertion
+/// reachability of the already-translated SC program \p Translated within
+/// \p ContextBound context switches by bounded model checking.
+VbmcResult runSatBackend(const ir::Program &Translated, uint32_t ContextBound,
+                         const VbmcOptions &Opts);
+
+/// One step of the paper's iterative workflow (Section 6: "This subset
+/// can be increased iteratively, by increasing K, to find bugs in real
+/// world programs").
+struct IterationReport {
+  uint32_t K = 0;
+  Verdict Outcome = Verdict::Unknown;
+  double Seconds = 0;
+};
+
+struct IterativeResult {
+  /// Final verdict: Unsafe as soon as some K finds a bug; Safe when every
+  /// K up to MaxK was exhausted conclusively; Unknown otherwise.
+  Verdict Outcome = Verdict::Unknown;
+  uint32_t KUsed = 0;
+  std::vector<IterationReport> Iterations;
+  double Seconds = 0;
+
+  bool unsafe() const { return Outcome == Verdict::Unsafe; }
+};
+
+/// Runs checkProgram for K = 0, 1, ..., MaxK, stopping at the first
+/// UNSAFE answer. The remaining wall-clock budget is split across the
+/// iterations (later iterations get whatever is left).
+IterativeResult checkIterative(const ir::Program &P, uint32_t MaxK,
+                               const VbmcOptions &BaseOpts);
+
+} // namespace vbmc::driver
+
+#endif // VBMC_VBMC_VBMC_H

@@ -1,0 +1,151 @@
+//===- VbmcMain.cpp - the vbmc command-line tool ---------------*- C++ -*-===//
+//
+// Usage:
+//   vbmc [--k N] [--l N] [--backend explicit|sat] [--budget SECONDS]
+//        [--dump-translation] [--show-trace] [--ra-reference] FILE
+//
+// Reads a concurrent program in the Fig. 1 concrete syntax, translates it
+// with [[.]]_K and reports SAFE / UNSAFE / UNKNOWN. With --ra-reference the
+// query is answered by the exact RA explorer instead (no translation), for
+// cross-checking on small inputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ra/RaExplorer.h"
+#include "support/Cli.h"
+#include "vbmc/Vbmc.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace vbmc;
+
+namespace {
+
+void printUsage() {
+  std::puts(
+      "usage: vbmc [options] FILE\n"
+      "  --k N              view-switch budget (default 2)\n"
+      "  --l N              loop unrolling bound for the sat backend "
+      "(default 2)\n"
+      "  --backend KIND     explicit | sat (default explicit)\n"
+      "  --budget SECONDS   wall-clock budget (default unlimited)\n"
+      "  --max-states N     explicit-backend state cap\n"
+      "  --dump-translation print [[P]]_K and exit\n"
+      "  --show-trace       print the counterexample schedule when UNSAFE\n"
+      "  --ra-reference     answer with the exact RA explorer instead\n"
+      "  --iterative        deepen K = 0.. until a bug is found\n"
+      "  --max-k N          iterative-mode ceiling (default 6)");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine CL = CommandLine::parse(Argc, Argv);
+  if (CL.hasFlag("help") || CL.positionals().size() != 1) {
+    printUsage();
+    return CL.hasFlag("help") ? 0 : 2;
+  }
+
+  std::ifstream File(CL.positionals()[0]);
+  if (!File) {
+    std::fprintf(stderr, "vbmc: cannot open '%s'\n",
+                 CL.positionals()[0].c_str());
+    return 2;
+  }
+  std::stringstream Buffer;
+  Buffer << File.rdbuf();
+
+  auto Parsed = ir::parseProgram(Buffer.str());
+  if (!Parsed) {
+    std::fprintf(stderr, "vbmc: %s: %s\n", CL.positionals()[0].c_str(),
+                 Parsed.error().str().c_str());
+    return 2;
+  }
+
+  driver::VbmcOptions Opts;
+  Opts.K = static_cast<uint32_t>(CL.getInt("k", 2));
+  Opts.L = static_cast<uint32_t>(CL.getInt("l", 2));
+  Opts.BudgetSeconds = CL.getDouble("budget", 0);
+  Opts.MaxStates = static_cast<uint64_t>(CL.getInt("max-states", 0));
+  Opts.Backend = CL.getString("backend", "explicit") == "sat"
+                     ? driver::BackendKind::Sat
+                     : driver::BackendKind::Explicit;
+
+  if (CL.hasFlag("dump-translation")) {
+    translation::TranslationOptions TO;
+    TO.K = Opts.K;
+    auto TR = translation::translateToSc(*Parsed, TO);
+    std::fputs(ir::printProgram(TR.Prog).c_str(), stdout);
+    std::printf("// context bound: %u\n", TR.ContextBound);
+    return 0;
+  }
+
+  if (CL.hasFlag("ra-reference")) {
+    ir::FlatProgram FP = ir::flatten(*Parsed);
+    ra::RaQuery Q;
+    Q.ViewSwitchBound = Opts.K;
+    Q.BudgetSeconds = Opts.BudgetSeconds;
+    Q.MaxStates = Opts.MaxStates;
+    ra::RaResult R = ra::exploreRa(FP, Q);
+    if (R.reached()) {
+      std::printf("UNSAFE (ra-reference, %u view switches, %.3fs)\n",
+                  R.SwitchesUsed, R.Seconds);
+      if (CL.hasFlag("show-trace"))
+        std::fputs(ra::formatTrace(FP, R.Trace).c_str(), stdout);
+      return 1;
+    }
+    std::printf("%s (ra-reference, %.3fs)\n",
+                R.exhausted() ? "SAFE" : "UNKNOWN", R.Seconds);
+    return R.exhausted() ? 0 : 3;
+  }
+
+  if (CL.hasFlag("iterative")) {
+    uint32_t MaxK = static_cast<uint32_t>(CL.getInt("max-k", 6));
+    driver::IterativeResult IR = driver::checkIterative(*Parsed, MaxK, Opts);
+    for (const auto &Step : IR.Iterations)
+      std::printf("  k=%u: %s (%.3fs)\n", Step.K,
+                  Step.Outcome == driver::Verdict::Unsafe   ? "UNSAFE"
+                  : Step.Outcome == driver::Verdict::Safe   ? "safe"
+                                                            : "unknown",
+                  Step.Seconds);
+    switch (IR.Outcome) {
+    case driver::Verdict::Unsafe:
+      std::printf("UNSAFE (found at k=%u, %.3fs total)\n", IR.KUsed,
+                  IR.Seconds);
+      return 1;
+    case driver::Verdict::Safe:
+      std::printf("SAFE (k <= %u, %.3fs total)\n", IR.KUsed, IR.Seconds);
+      return 0;
+    case driver::Verdict::Unknown:
+      std::printf("UNKNOWN (%.3fs total)\n", IR.Seconds);
+      return 3;
+    }
+  }
+
+  driver::VbmcResult R = driver::checkProgram(*Parsed, Opts);
+  switch (R.Outcome) {
+  case driver::Verdict::Unsafe:
+    std::printf("UNSAFE (k=%u, %.3fs)\n", Opts.K, R.Seconds);
+    if (CL.hasFlag("show-trace")) {
+      translation::TranslationOptions TO;
+      TO.K = Opts.K;
+      auto TR = translation::translateToSc(*Parsed, TO);
+      ir::FlatProgram FP = ir::flatten(TR.Prog);
+      for (const auto &Step : R.Trace)
+        std::printf("  %s@%u\n", FP.Procs[Step.Proc].Name.c_str(),
+                    Step.Instr);
+    }
+    return 1;
+  case driver::Verdict::Safe:
+    std::printf("SAFE (k=%u, %.3fs)\n", Opts.K, R.Seconds);
+    return 0;
+  case driver::Verdict::Unknown:
+    std::printf("UNKNOWN (%s, %.3fs)\n", R.Note.c_str(), R.Seconds);
+    return 3;
+  }
+  return 3;
+}

@@ -1,0 +1,321 @@
+//===- BmcTest.cpp - tests for the BMC pipeline -----------------*- C++ -*-===//
+//
+// Validates the Lal-Reps encoder against the explicit-state SC explorer
+// (same programs, same context bounds, verdicts must agree) and checks the
+// end-to-end VBMC SAT backend against the RA ground truth.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bmc/Encoder.h"
+#include "bmc/Unroll.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ra/RaExplorer.h"
+#include "sc/ScExplorer.h"
+#include "vbmc/Vbmc.h"
+
+#include "RandomPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+using namespace vbmc;
+using namespace vbmc::ir;
+using namespace vbmc::bmc;
+
+namespace {
+
+Program parseOrDie(const std::string &Src) {
+  auto P = parseProgram(Src);
+  EXPECT_TRUE(P) << (P ? "" : P.error().str());
+  return P.take();
+}
+
+BmcResult bmcCheck(const Program &P, uint32_t ContextBound, uint32_t L = 4) {
+  BmcOptions O;
+  O.UnrollBound = L;
+  O.ContextBound = ContextBound;
+  return checkBmc(P, O);
+}
+
+bool explicitReach(const Program &P, uint32_t ContextBound) {
+  FlatProgram FP = flatten(P);
+  sc::ScQuery Q;
+  Q.Goal = sc::ScGoalKind::AnyError;
+  Q.ContextBound = ContextBound;
+  sc::ScResult R = sc::exploreSc(FP, Q);
+  EXPECT_TRUE(R.reached() || R.exhausted());
+  return R.reached();
+}
+
+/// Explicit-state reachability under the exact Lal-Reps round-robin
+/// discipline the BMC encoder uses (R rounds).
+bool roundRobinReach(const Program &P, uint32_t Rounds) {
+  FlatProgram FP = flatten(P);
+  sc::ScQuery Q;
+  Q.Goal = sc::ScGoalKind::AnyError;
+  Q.RoundRobinRounds = Rounds;
+  sc::ScResult R = sc::exploreSc(FP, Q);
+  EXPECT_TRUE(R.reached() || R.exhausted());
+  return R.reached();
+}
+
+} // namespace
+
+TEST(UnrollTest, LoopBecomesNestedIfs) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc p { reg r; while (r < 3) { r = r + 1; } x = r; }
+  )");
+  Program U = unrollLoops(P, 2);
+  const auto &B = U.Procs[0].Body;
+  ASSERT_EQ(B.size(), 2u);
+  ASSERT_EQ(B[0].Kind, StmtKind::If);
+  // if (c) { body; if (c) { body; assume(!c) } }
+  ASSERT_EQ(B[0].Then.size(), 2u);
+  EXPECT_EQ(B[0].Then[1].Kind, StmtKind::If);
+  EXPECT_EQ(B[0].Then[1].Then.back().Kind, StmtKind::Assume);
+}
+
+TEST(UnrollTest, NestedLoopsUnrolled) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc p { reg i j;
+      while (i < 2) { j = 0; while (j < 2) { j = j + 1; } i = i + 1; }
+    }
+  )");
+  Program U = unrollLoops(P, 3);
+  // No While statements may remain anywhere.
+  std::function<bool(const std::vector<Stmt> &)> NoWhile =
+      [&](const std::vector<Stmt> &Body) {
+        for (const Stmt &S : Body) {
+          if (S.Kind == StmtKind::While)
+            return false;
+          if (!NoWhile(S.Then) || !NoWhile(S.Else))
+            return false;
+        }
+        return true;
+      };
+  EXPECT_TRUE(NoWhile(U.Procs[0].Body));
+}
+
+TEST(BmcSequentialTest, ArithmeticAssertions) {
+  // A pure register computation: 3*4+5 == 17.
+  Program P = parseOrDie(R"(
+    var x;
+    proc p { reg a b; a = 3 * 4 + 5; assert(a == 17); }
+  )");
+  EXPECT_TRUE(bmcCheck(P, 0).safe());
+
+  Program Bad = parseOrDie(R"(
+    var x;
+    proc p { reg a; a = 3 * 4 + 5; assert(a == 18); }
+  )");
+  EXPECT_TRUE(bmcCheck(Bad, 0).unsafe());
+}
+
+TEST(BmcSequentialTest, NondetRangeExplored) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc p { reg a; a = nondet(0, 9); assert(a != 7); }
+  )");
+  EXPECT_TRUE(bmcCheck(P, 0).unsafe());
+  Program Q = parseOrDie(R"(
+    var x;
+    proc p { reg a; a = nondet(0, 9); assert(a <= 9 && a >= 0); }
+  )");
+  EXPECT_TRUE(bmcCheck(Q, 0).safe());
+}
+
+TEST(BmcSequentialTest, AssumeGuardsPath) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc p { reg a; a = nondet(0, 9); assume(a > 4); assert(a >= 5); }
+  )");
+  EXPECT_TRUE(bmcCheck(P, 0).safe());
+}
+
+TEST(BmcSequentialTest, LoopUnrollingBoundMatters) {
+  // The loop needs 5 iterations to reach r == 5; with L = 3 those paths
+  // are pruned by the unwinding assumption.
+  Program P = parseOrDie(R"(
+    var x;
+    proc p { reg r; while (r < 5) { r = r + 1; } assert(r != 5); }
+  )");
+  EXPECT_TRUE(bmcCheck(P, 0, /*L=*/3).safe());
+  EXPECT_TRUE(bmcCheck(P, 0, /*L=*/5).unsafe());
+  EXPECT_TRUE(bmcCheck(P, 0, /*L=*/7).unsafe());
+}
+
+TEST(BmcSequentialTest, DivisionSemantics) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc p { reg a b; a = nondet(1, 7); b = (0 - 13) / a * a + ((0 - 13) % a);
+             assert(b == 0 - 13); }
+  )");
+  // The C++ division identity (a/b)*b + a%b == a must hold symbolically.
+  EXPECT_TRUE(bmcCheck(P, 0).safe());
+}
+
+TEST(BmcConcurrentTest, StoreBufferingForbiddenUnderSc) {
+  // Store buffering with the observation routed through a shared cell
+  // (asserts may only mention the asserting process's registers).
+  Program Good = parseOrDie(R"(
+    var x y o0;
+    proc p0 { reg r0; x = 1; r0 = y; o0 = r0 + 1; }
+    proc p1 { reg r1 s; y = 1; r1 = x; s = o0;
+              assume(s > 0); assert(!(r1 == 0 && s == 1)); }
+  )");
+  // Under SC, p0 reading y=0 (s==1) and p1 reading x=0 simultaneously is
+  // impossible; with enough rounds the check must still be SAFE.
+  EXPECT_TRUE(bmcCheck(Good, 4).safe());
+  EXPECT_FALSE(explicitReach(Good, 4));
+}
+
+TEST(BmcConcurrentTest, PingPongRoundBound) {
+  Program P = parseOrDie(R"(
+    var x y;
+    proc p0 { reg r0; x = 1; r0 = y; assert(r0 != 1); }
+    proc p1 { reg a; a = x; y = a; }
+  )");
+  // The error trace is p0 | p1 | p0: one round of round-robin (p0 then p1)
+  // cannot realize it, two rounds can. ContextBound = rounds - 1 here.
+  EXPECT_TRUE(bmcCheck(P, 0).safe());
+  EXPECT_TRUE(bmcCheck(P, 1).unsafe());
+  EXPECT_FALSE(roundRobinReach(P, 1));
+  EXPECT_TRUE(roundRobinReach(P, 2));
+  // R rounds cover every run with at most R-1 context switches; the
+  // 2-switch witness is covered by rounds = 2 even though p0 appears in
+  // two segments.
+  EXPECT_FALSE(explicitReach(P, 1));
+  EXPECT_TRUE(explicitReach(P, 2));
+  EXPECT_TRUE(bmcCheck(P, 2).unsafe());
+}
+
+TEST(BmcConcurrentTest, AtomicSectionsExcludeInterleavings) {
+  Program P = parseOrDie(R"(
+    var x done0 done1;
+    proc a { reg r; atomic { r = x; x = r + 1; } done0 = 1; }
+    proc b { reg s; atomic { s = x; x = s + 1; } done1 = 1; }
+    proc check { reg d0 d1 c;
+      d0 = done0; assume(d0 == 1);
+      d1 = done1; assume(d1 == 1);
+      c = x; assert(c != 1); }
+  )");
+  // With atomic increments, both-done implies x == 2 (c could also read a
+  // stale... no: SC store is flat, c == 2 exactly). The assert c != 1 is
+  // safe.
+  EXPECT_TRUE(bmcCheck(P, 6).safe());
+
+  Program Racy = parseOrDie(R"(
+    var x done0 done1;
+    proc a { reg r; r = x; x = r + 1; done0 = 1; }
+    proc b { reg s; s = x; x = s + 1; done1 = 1; }
+    proc check { reg d0 d1 c;
+      d0 = done0; assume(d0 == 1);
+      d1 = done1; assume(d1 == 1);
+      c = x; assert(c != 1); }
+  )");
+  // Without atomicity the lost update makes c == 1 reachable.
+  EXPECT_TRUE(bmcCheck(Racy, 6).unsafe());
+}
+
+TEST(BmcConcurrentTest, BlockedCasFreezesProcess) {
+  Program P = parseOrDie(R"(
+    var x o;
+    proc a { reg r; cas(x, 5, 6); o = 1; }
+    proc b { reg s; s = o; assert(s == 0); }
+  )");
+  // x never becomes 5, so a can never set o: b always reads 0 and the
+  // assert never fails.
+  EXPECT_TRUE(bmcCheck(P, 3).safe());
+
+  Program Q = parseOrDie(R"(
+    var x o;
+    proc a { reg r; cas(x, 5, 6); o = 1; }
+    proc w { reg t; x = 5; }
+    proc b { reg s; s = o; assert(s == 0); }
+  )");
+  // Now the CAS can fire after w's write and b may observe o == 1.
+  EXPECT_TRUE(bmcCheck(Q, 4).unsafe());
+}
+
+TEST(BmcDifferentialTest, RandomProgramsAgreeWithExplorer) {
+  Rng R(4242);
+  testutil::RandomProgramOptions O;
+  O.NumVars = 2;
+  O.NumProcs = 2;
+  O.StmtsPerProc = 4;
+  O.CasPermille = 200;
+  int Count = 0;
+  for (int Iter = 0; Iter < 40; ++Iter) {
+    Program P = testutil::makeRandomProgram(R, O);
+    for (uint32_t CB : {0u, 2u}) {
+      // Exact agreement with the round-robin explorer at equal rounds.
+      bool RoundRobin = roundRobinReach(P, CB + 1);
+      BmcResult B = bmcCheck(P, CB);
+      ASSERT_TRUE(B.safe() || B.unsafe());
+      ASSERT_EQ(B.unsafe(), RoundRobin)
+          << "iter " << Iter << " CB=" << CB << "\n" << printProgram(P);
+      // Coverage direction: R rounds subsume any (R-1)-switch run.
+      if (explicitReach(P, CB))
+        ASSERT_TRUE(B.unsafe()) << "coverage hole, iter " << Iter;
+      ++Count;
+    }
+  }
+  EXPECT_EQ(Count, 80);
+}
+
+TEST(BmcEndToEndTest, VbmcSatBackendMatchesRaGroundTruth) {
+  const char *Sources[] = {
+      R"(var x y;
+         proc p0 { reg d; x = 1; y = 1; }
+         proc p1 { reg r1 r2; r1 = y; r2 = x;
+                   assert(!(r1 == 1 && r2 == 0)); })",
+      R"(var x y;
+         proc p0 { reg d; x = 1; y = 1; }
+         proc p1 { reg r1 r2; r1 = y; r2 = x;
+                   assert(!(r1 == 1 && r2 == 1)); })",
+      R"(var x y;
+         proc p0 { reg r0; x = 1; r0 = y; }
+         proc p1 { reg r1; y = 1; r1 = x; assert(!(r1 == 0)); })",
+  };
+  bool ExpectedUnsafe[] = {false, true, true};
+  for (int I = 0; I < 3; ++I) {
+    driver::VbmcOptions Opts;
+    Opts.K = 1;
+    Opts.CasAllowance = 2;
+    Opts.L = 2;
+    Opts.Backend = driver::BackendKind::Sat;
+    driver::VbmcResult R = driver::checkSource(Sources[I], Opts);
+    ASSERT_NE(R.Outcome, driver::Verdict::Unknown) << R.Note;
+    EXPECT_EQ(R.unsafe(), ExpectedUnsafe[I]) << Sources[I];
+  }
+}
+
+TEST(BmcEndToEndTest, SatAndExplicitBackendsAgreeOnRandomPrograms) {
+  Rng R(777);
+  testutil::RandomProgramOptions O;
+  O.NumVars = 2;
+  O.NumProcs = 2;
+  O.StmtsPerProc = 3;
+  O.CasPermille = 0;
+  for (int Iter = 0; Iter < 12; ++Iter) {
+    Program P = testutil::makeRandomProgram(R, O);
+    driver::VbmcOptions Explicit;
+    Explicit.K = 1;
+    Explicit.CasAllowance = 2;
+    Explicit.Backend = driver::BackendKind::Explicit;
+    Explicit.SwitchOnlyAfterWrite = false;
+    driver::VbmcOptions Sat = Explicit;
+    Sat.Backend = driver::BackendKind::Sat;
+    Sat.L = 2;
+    driver::VbmcResult RE = driver::checkProgram(P, Explicit);
+    driver::VbmcResult RS = driver::checkProgram(P, Sat);
+    ASSERT_NE(RE.Outcome, driver::Verdict::Unknown);
+    ASSERT_NE(RS.Outcome, driver::Verdict::Unknown) << RS.Note;
+    EXPECT_EQ(RE.unsafe(), RS.unsafe()) << "iter " << Iter << "\n"
+                                        << printProgram(P);
+  }
+}

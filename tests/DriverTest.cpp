@@ -1,0 +1,112 @@
+//===- DriverTest.cpp - iterative driver & witness reporting ---*- C++ -*-===//
+
+#include "bmc/Encoder.h"
+#include "ir/Parser.h"
+#include "vbmc/Vbmc.h"
+
+#include <gtest/gtest.h>
+
+using namespace vbmc;
+using namespace vbmc::ir;
+
+namespace {
+
+Program parseOrDie(const std::string &Src) {
+  auto P = parseProgram(Src);
+  EXPECT_TRUE(P) << (P ? "" : P.error().str());
+  return P.take();
+}
+
+} // namespace
+
+TEST(IterativeDriverTest, StopsAtSmallestBugK) {
+  // MP violation needs exactly one view switch.
+  Program P = parseOrDie(R"(
+    var x y;
+    proc p0 { reg d; x = 1; y = 1; }
+    proc p1 { reg r1 r2; r1 = y; r2 = x; assert(!(r1 == 1 && r2 == 1)); }
+  )");
+  driver::VbmcOptions O;
+  O.Backend = driver::BackendKind::Explicit;
+  O.CasAllowance = 2;
+  driver::IterativeResult R = driver::checkIterative(P, 4, O);
+  EXPECT_TRUE(R.unsafe());
+  EXPECT_EQ(R.KUsed, 1u);
+  ASSERT_EQ(R.Iterations.size(), 2u); // k=0 safe, k=1 unsafe.
+  EXPECT_EQ(R.Iterations[0].Outcome, driver::Verdict::Safe);
+  EXPECT_EQ(R.Iterations[1].Outcome, driver::Verdict::Unsafe);
+}
+
+TEST(IterativeDriverTest, SafeProgramExhaustsAllK) {
+  Program P = parseOrDie(R"(
+    var x y;
+    proc p0 { reg d; x = 1; y = 1; }
+    proc p1 { reg r1 r2; r1 = y; r2 = x; assert(!(r1 == 1 && r2 == 0)); }
+  )");
+  driver::VbmcOptions O;
+  O.Backend = driver::BackendKind::Explicit;
+  O.CasAllowance = 2;
+  driver::IterativeResult R = driver::checkIterative(P, 2, O);
+  EXPECT_EQ(R.Outcome, driver::Verdict::Safe);
+  EXPECT_EQ(R.Iterations.size(), 3u);
+}
+
+TEST(IterativeDriverTest, BudgetYieldsUnknown) {
+  Program P = parseOrDie(R"(
+    var x y;
+    proc p0 { reg d; x = 1; y = 1; }
+    proc p1 { reg r1 r2; r1 = y; r2 = x; assert(!(r1 == 1 && r2 == 0)); }
+  )");
+  driver::VbmcOptions O;
+  O.Backend = driver::BackendKind::Explicit;
+  O.BudgetSeconds = 1e-9;
+  driver::IterativeResult R = driver::checkIterative(P, 3, O);
+  EXPECT_EQ(R.Outcome, driver::Verdict::Unknown);
+}
+
+TEST(BmcWitnessTest, FailedAssertionNamed) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc good { reg a; a = 1; assert(a == 1); }
+    proc bad  { reg b; b = nondet(0, 3); assert(b != 2); }
+  )");
+  bmc::BmcOptions O;
+  O.ContextBound = 2;
+  O.UnrollBound = 1;
+  bmc::BmcResult R = bmc::checkBmc(P, O);
+  ASSERT_TRUE(R.unsafe());
+  ASSERT_FALSE(R.FailedAssertions.empty());
+  EXPECT_EQ(R.FailedAssertions[0], "bad: assert #0");
+}
+
+TEST(BmcWitnessTest, WitnessReachesDriverNote) {
+  driver::VbmcOptions O;
+  O.K = 1;
+  O.L = 1;
+  O.CasAllowance = 2;
+  O.Backend = driver::BackendKind::Sat;
+  driver::VbmcResult R = driver::checkSource(R"(
+    var x;
+    proc w { reg d; x = 1; }
+    proc r { reg a; a = x; assert(a == 0); }
+  )",
+                                             O);
+  ASSERT_TRUE(R.unsafe());
+  EXPECT_NE(R.Note.find("r: assert #0"), std::string::npos) << R.Note;
+}
+
+TEST(BmcWitnessTest, MultipleAssertsIndexedPerProcess) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc p { reg a; a = nondet(0, 1);
+             assert(a <= 1);
+             assert(a != 1); }
+  )");
+  bmc::BmcOptions O;
+  O.ContextBound = 1;
+  O.UnrollBound = 1;
+  bmc::BmcResult R = bmc::checkBmc(P, O);
+  ASSERT_TRUE(R.unsafe());
+  ASSERT_EQ(R.FailedAssertions.size(), 1u);
+  EXPECT_EQ(R.FailedAssertions[0], "p: assert #1");
+}

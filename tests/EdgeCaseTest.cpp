@@ -1,0 +1,334 @@
+//===- EdgeCaseTest.cpp - corner cases across modules -----------*- C++ -*-===//
+//
+// Focused corner-case coverage: lexer/parser trivia, flattener label
+// topology, RA step enumeration at the message level, SC atomic corner
+// cases, circuit folding identities, and solver edge inputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formula/BitVec.h"
+#include "ir/Eval.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ra/RaSemantics.h"
+#include "sat/Solver.h"
+#include "sc/ScSemantics.h"
+
+#include <gtest/gtest.h>
+
+using namespace vbmc;
+using namespace vbmc::ir;
+
+namespace {
+
+Program parseOrDie(const std::string &Src) {
+  auto P = parseProgram(Src);
+  EXPECT_TRUE(P) << (P ? "" : P.error().str());
+  return P.take();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lexer / parser corners
+//===----------------------------------------------------------------------===//
+
+TEST(ParserEdgeTest, EmptyProcessBody) {
+  Program P = parseOrDie("var x; proc p { reg r; }");
+  EXPECT_TRUE(P.Procs[0].Body.empty());
+  // Flattening still yields the implicit term.
+  FlatProgram FP = flatten(P);
+  ASSERT_EQ(FP.Procs[0].Instrs.size(), 1u);
+  EXPECT_EQ(FP.Procs[0].Instrs[0].K, Op::Term);
+}
+
+TEST(ParserEdgeTest, ProcessWithoutRegisters) {
+  Program P = parseOrDie("var x; proc p { x = 1; }");
+  EXPECT_EQ(P.numRegs(), 0u);
+}
+
+TEST(ParserEdgeTest, ProgramWithoutVariables) {
+  Program P = parseOrDie("proc p { reg r; r = 1; assert(r == 1); }");
+  EXPECT_EQ(P.numVars(), 0u);
+  ASSERT_TRUE(P.validate());
+}
+
+TEST(ParserEdgeTest, DeeplyNestedBlocks) {
+  std::string Src = "var x; proc p { reg r; ";
+  for (int I = 0; I < 20; ++I)
+    Src += "if (r == 0) { ";
+  Src += "x = 1; ";
+  for (int I = 0; I < 20; ++I)
+    Src += "} ";
+  Src += "}";
+  Program P = parseOrDie(Src);
+  FlatProgram FP = flatten(P);
+  EXPECT_GT(FP.Procs[0].Instrs.size(), 20u);
+}
+
+TEST(ParserEdgeTest, UnterminatedBlockComment) {
+  // The lexer tolerates EOF inside a block comment (consumes to end).
+  auto P = parseProgram("var x; proc p { reg r; } /* dangling");
+  EXPECT_TRUE(bool(P));
+}
+
+TEST(ParserEdgeTest, MissingSemicolonDiagnosed) {
+  auto P = parseProgram("var x; proc p { reg r; r = 1 }");
+  ASSERT_FALSE(P);
+  EXPECT_NE(P.error().message().find("expected"), std::string::npos);
+}
+
+TEST(ParserEdgeTest, EmptyElseRoundTrips) {
+  Program P = parseOrDie(
+      "var x; proc p { reg r; if (r == 0) { x = 1; } else { } }");
+  std::string Printed = printProgram(P);
+  Program P2 = parseOrDie(Printed);
+  EXPECT_EQ(printProgram(P2), Printed);
+}
+
+//===----------------------------------------------------------------------===//
+// Expression evaluation corners
+//===----------------------------------------------------------------------===//
+
+TEST(EvalEdgeTest, ChainedComparisonsViaParens) {
+  std::vector<Value> Regs = {5};
+  // (5 > 3) == 1.
+  ExprRef E = eqE(binE(BinaryOp::Gt, regE(0), constE(3)), constE(1));
+  EXPECT_EQ(evalExpr(*E, Regs), 1);
+}
+
+TEST(EvalEdgeTest, NegativeModulo) {
+  EXPECT_EQ(applyBinary(BinaryOp::Mod, -7, 3), -1);
+  EXPECT_EQ(applyBinary(BinaryOp::Mod, 7, -3), 1);
+  EXPECT_EQ(applyBinary(BinaryOp::Div, -7, 3), -2);
+}
+
+TEST(EvalEdgeTest, LogicNormalizesToZeroOne) {
+  EXPECT_EQ(applyBinary(BinaryOp::And, 7, -2), 1);
+  EXPECT_EQ(applyBinary(BinaryOp::Or, 0, 9), 1);
+  EXPECT_EQ(applyUnary(UnaryOp::Not, -5), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// RA semantics at the message level
+//===----------------------------------------------------------------------===//
+
+TEST(RaEdgeTest, ReadMergesFullView) {
+  // p0 writes x then y; p1 reading y=1 must pull x's timestamp along.
+  Program P = parseOrDie(R"(
+    var x y;
+    proc p0 { reg d; x = 1; y = 1; }
+    proc p1 { reg a; a = y; }
+  )");
+  FlatProgram FP = flatten(P);
+  ra::RaConfig C = ra::initialConfig(FP);
+  std::vector<ra::RaStep> Steps;
+  // Run p0 to completion deterministically (single insertion points).
+  for (int I = 0; I < 3; ++I) {
+    Steps.clear();
+    ra::enumerateStepsOf(FP, C, 0, Steps);
+    ASSERT_FALSE(Steps.empty());
+    C = Steps[0].Next;
+  }
+  // p1 reads y = 1.
+  Steps.clear();
+  ra::enumerateStepsOf(FP, C, 1, Steps);
+  ASSERT_EQ(Steps.size(), 2u); // y = 0 (init) or y = 1.
+  const ra::RaStep *Fresh = nullptr;
+  for (const auto &S : Steps)
+    if (S.Next.Regs[1] == 1)
+      Fresh = &S;
+  ASSERT_NE(Fresh, nullptr);
+  EXPECT_TRUE(Fresh->ViewSwitch);
+  // The merged view covers x's new message too.
+  EXPECT_EQ(Fresh->Next.Views[1][0], 1u);
+  EXPECT_EQ(Fresh->Next.Views[1][1], 1u);
+}
+
+TEST(RaEdgeTest, CasGluesAndBlocksMiddleInsertion) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc a { reg r; cas(x, 0, 7); }
+    proc b { reg s; x = 9; }
+  )");
+  FlatProgram FP = flatten(P);
+  ra::RaConfig C = ra::initialConfig(FP);
+  std::vector<ra::RaStep> Steps;
+  ra::enumerateStepsOf(FP, C, 0, Steps);
+  ASSERT_EQ(Steps.size(), 1u);
+  C = Steps[0].Next;
+  EXPECT_TRUE(C.Mem[0][0].GluedNext);
+  EXPECT_EQ(C.Mem[0][1].Val, 7);
+  // b's write may not split the glued pair: only position 2 remains.
+  Steps.clear();
+  ra::enumerateStepsOf(FP, C, 1, Steps);
+  ASSERT_EQ(Steps.size(), 1u);
+  EXPECT_EQ(Steps[0].Next.Mem[0].size(), 3u);
+  EXPECT_EQ(Steps[0].Next.Mem[0][2].Val, 9);
+}
+
+TEST(RaEdgeTest, SerializeDistinguishesGlue) {
+  Program P = parseOrDie("var x; proc a { reg r; cas(x, 0, 1); }");
+  FlatProgram FP = flatten(P);
+  ra::RaConfig C = ra::initialConfig(FP);
+  std::vector<uint32_t> K1, K2;
+  C.serialize(K1);
+  C.Mem[0][0].GluedNext = true;
+  C.serialize(K2);
+  EXPECT_NE(K1, K2);
+}
+
+TEST(RaEdgeTest, WriterRecordedInMessages) {
+  Program P = parseOrDie("var x; proc a { reg r; x = 5; }");
+  FlatProgram FP = flatten(P);
+  ra::RaConfig C = ra::initialConfig(FP);
+  std::vector<ra::RaStep> Steps;
+  ra::enumerateStepsOf(FP, C, 0, Steps);
+  ASSERT_EQ(Steps.size(), 1u);
+  EXPECT_EQ(Steps[0].Next.Mem[0][1].Writer, 0u);
+  EXPECT_EQ(Steps[0].Next.Mem[0][0].Writer, ra::InitialWriter);
+}
+
+//===----------------------------------------------------------------------===//
+// SC semantics corners
+//===----------------------------------------------------------------------===//
+
+TEST(ScEdgeTest, NestedAtomicSectionsReentrant) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc a { reg r; atomic { atomic { x = 1; } x = 2; } }
+    proc b { reg s; s = x; }
+  )");
+  FlatProgram FP = flatten(P);
+  sc::ScConfig C = sc::initialScConfig(FP);
+  std::vector<sc::ScStep> Steps;
+  // a enters the outer atomic (the parser wraps atomic blocks in a
+  // constant branch, so the begin is a couple of steps in).
+  for (int I = 0; I < 3 && C.AtomicDepth < 1; ++I) {
+    Steps.clear();
+    sc::enumerateScStepsOf(FP, C, 0, Steps);
+    ASSERT_FALSE(Steps.empty());
+    C = Steps[0].Next;
+  }
+  EXPECT_EQ(C.AtomicHolder, 0);
+  EXPECT_EQ(C.AtomicDepth, 1u);
+  // b is blocked while a holds the section.
+  Steps.clear();
+  sc::enumerateScStepsOf(FP, C, 1, Steps);
+  EXPECT_TRUE(Steps.empty());
+  // a re-enters (branch + inner begin may take a couple of steps).
+  for (int I = 0; I < 4 && C.AtomicDepth < 2; ++I) {
+    Steps.clear();
+    sc::enumerateScStepsOf(FP, C, 0, Steps);
+    ASSERT_FALSE(Steps.empty());
+    C = Steps[0].Next;
+  }
+  EXPECT_EQ(C.AtomicDepth, 2u);
+}
+
+TEST(ScEdgeTest, SerializeIncludesAtomicState) {
+  Program P = parseOrDie("var x; proc a { reg r; atomic { x = 1; } }");
+  FlatProgram FP = flatten(P);
+  sc::ScConfig C1 = sc::initialScConfig(FP);
+  sc::ScConfig C2 = C1;
+  C2.AtomicHolder = 0;
+  C2.AtomicDepth = 1;
+  std::vector<uint32_t> K1, K2;
+  C1.serialize(K1);
+  C2.serialize(K2);
+  EXPECT_NE(K1, K2);
+}
+
+//===----------------------------------------------------------------------===//
+// Circuit / solver corners
+//===----------------------------------------------------------------------===//
+
+TEST(CircuitEdgeTest, IteWithEqualArmsFoldsAway) {
+  formula::Circuit C;
+  formula::NodeRef A = C.mkInput();
+  formula::NodeRef Cond = C.mkInput();
+  uint32_t Before = C.numNodes();
+  formula::NodeRef R = C.mkIte(Cond, A, A);
+  EXPECT_EQ(R, A);
+  EXPECT_EQ(C.numNodes(), Before);
+}
+
+TEST(CircuitEdgeTest, XorIdentities) {
+  formula::Circuit C;
+  formula::NodeRef A = C.mkInput();
+  EXPECT_TRUE(C.isFalse(C.mkXor(A, A)));
+  EXPECT_TRUE(C.isTrue(C.mkXor(A, ~A)));
+  EXPECT_EQ(C.mkXor(A, C.falseRef()), A);
+  EXPECT_EQ(C.mkXor(A, C.trueRef()), ~A);
+}
+
+TEST(BitVecEdgeTest, WidthOneVectors) {
+  formula::Circuit C;
+  formula::BitVec A = formula::bvConst(C, 1, 1);
+  formula::BitVec B = formula::bvConst(C, 0, 1);
+  std::unordered_map<uint32_t, bool> None;
+  // Width-1 two's complement: 1 represents -1.
+  EXPECT_TRUE(C.evaluate(formula::bvSlt(C, A, B), None));  // -1 < 0
+  EXPECT_FALSE(C.evaluate(formula::bvUlt(C, A, B), None)); // 1 !< 0
+  EXPECT_TRUE(C.evaluate(formula::bvNonZero(C, A), None));
+}
+
+TEST(SatEdgeTest, DuplicateAndTautologicalClauses) {
+  sat::Solver S;
+  sat::Var A = S.newVar();
+  EXPECT_TRUE(S.addClause({sat::mkLit(A), sat::mkLit(A), sat::mkLit(A)}));
+  EXPECT_TRUE(S.addClause({sat::mkLit(A), ~sat::mkLit(A)}));
+  EXPECT_EQ(S.solve(), sat::SolveResult::Sat);
+}
+
+TEST(SatEdgeTest, SolveTwiceStable) {
+  sat::Solver S;
+  sat::Var A = S.newVar(), B = S.newVar();
+  S.addBinary(sat::mkLit(A), sat::mkLit(B));
+  EXPECT_EQ(S.solve(), sat::SolveResult::Sat);
+  EXPECT_EQ(S.solve(), sat::SolveResult::Sat);
+  EXPECT_TRUE(S.modelValue(A) || S.modelValue(B));
+}
+
+TEST(SatEdgeTest, ManyVariablesNoClauses) {
+  sat::Solver S;
+  for (int I = 0; I < 1000; ++I)
+    (void)S.newVar();
+  EXPECT_EQ(S.solve(), sat::SolveResult::Sat);
+}
+
+//===----------------------------------------------------------------------===//
+// Flattener label topology
+//===----------------------------------------------------------------------===//
+
+TEST(FlattenEdgeTest, WhileTrueBodyLoopsForever) {
+  Program P = parseOrDie(
+      "var x; proc p { reg r; while (1 == 1) { x = 1; } x = 2; }");
+  FlatProgram FP = flatten(P);
+  const auto &Is = FP.Procs[0].Instrs;
+  // branch(0) -> body(1) -> goto(2) -> 0; exit to 3.
+  EXPECT_EQ(Is[0].K, Op::Branch);
+  EXPECT_EQ(Is[2].K, Op::Goto);
+  EXPECT_EQ(Is[2].Next, 0u);
+}
+
+TEST(FlattenEdgeTest, IfInsideWhileTargets) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc p { reg r;
+      while (r < 2) {
+        if (r == 0) { x = 1; } else { x = 2; }
+        r = r + 1;
+      }
+    }
+  )");
+  FlatProgram FP = flatten(P);
+  const auto &Is = FP.Procs[0].Instrs;
+  // Every branch target must be a valid label or sentinel-free.
+  for (const auto &I : Is) {
+    if (I.K == Op::Branch) {
+      EXPECT_LE(I.TNext, Is.size());
+      EXPECT_LE(I.FNext, Is.size());
+    }
+  }
+}

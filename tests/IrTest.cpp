@@ -1,0 +1,317 @@
+//===- IrTest.cpp - unit tests for the IR, parser, printer ------*- C++ -*-===//
+
+#include "ir/Eval.h"
+#include "ir/Flatten.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace vbmc;
+using namespace vbmc::ir;
+
+namespace {
+
+Program parseOrDie(const std::string &Src) {
+  auto P = parseProgram(Src);
+  EXPECT_TRUE(P) << (P ? "" : P.error().str());
+  return P.take();
+}
+
+} // namespace
+
+TEST(ExprTest, EvalArithmetic) {
+  std::vector<Value> Regs = {7, -3};
+  ExprRef E = binE(BinaryOp::Add, regE(0), binE(BinaryOp::Mul, regE(1),
+                                                constE(2)));
+  EXPECT_EQ(evalExpr(*E, Regs), 1);
+}
+
+TEST(ExprTest, EvalComparisonsAndLogic) {
+  std::vector<Value> Regs = {5};
+  EXPECT_EQ(evalExpr(*eqE(regE(0), constE(5)), Regs), 1);
+  EXPECT_EQ(evalExpr(*neE(regE(0), constE(5)), Regs), 0);
+  EXPECT_EQ(evalExpr(*ltE(constE(4), regE(0)), Regs), 1);
+  EXPECT_EQ(evalExpr(*andE(constE(2), constE(0)), Regs), 0);
+  EXPECT_EQ(evalExpr(*orE(constE(0), constE(9)), Regs), 1);
+  EXPECT_EQ(evalExpr(*notE(constE(0)), Regs), 1);
+  EXPECT_EQ(evalExpr(*notE(constE(3)), Regs), 0);
+}
+
+TEST(ExprTest, DivisionByZeroIsTotal) {
+  EXPECT_EQ(applyBinary(BinaryOp::Div, 5, 0), 0);
+  EXPECT_EQ(applyBinary(BinaryOp::Mod, 5, 0), 0);
+  EXPECT_EQ(applyBinary(BinaryOp::Div, 9, 2), 4);
+  EXPECT_EQ(applyBinary(BinaryOp::Mod, 9, 2), 1);
+}
+
+TEST(ExprTest, HasNondetAndCollectRegs) {
+  ExprRef Plain = addE(regE(2), constE(1));
+  EXPECT_FALSE(Plain->hasNondet());
+  ExprRef WithN = addE(regE(0), nondetE(0, 3));
+  EXPECT_TRUE(WithN->hasNondet());
+  std::vector<RegId> Regs;
+  binE(BinaryOp::Sub, regE(4), notE(regE(1)))->collectRegs(Regs);
+  EXPECT_EQ(Regs, (std::vector<RegId>{4, 1}));
+}
+
+TEST(ParserTest, SimpleProgramStructure) {
+  Program P = parseOrDie(R"(
+    var x y;
+    proc p0 {
+      reg r1 r2;
+      r1 = x;         // read
+      y = r1 + 1;     // write
+      r2 = r1 * 2;    // assign
+      term;
+    }
+    proc p1 {
+      reg s;
+      s = y;
+    }
+  )");
+  EXPECT_EQ(P.numVars(), 2u);
+  EXPECT_EQ(P.numProcs(), 2u);
+  EXPECT_EQ(P.numRegs(), 3u);
+  ASSERT_EQ(P.Procs[0].Body.size(), 4u);
+  EXPECT_EQ(P.Procs[0].Body[0].Kind, StmtKind::Read);
+  EXPECT_EQ(P.Procs[0].Body[1].Kind, StmtKind::Write);
+  EXPECT_EQ(P.Procs[0].Body[2].Kind, StmtKind::Assign);
+  EXPECT_EQ(P.Procs[0].Body[3].Kind, StmtKind::Term);
+  EXPECT_EQ(P.Regs[2].Process, 1u);
+}
+
+TEST(ParserTest, ControlFlowAndSpecialStatements) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc p {
+      reg r;
+      r = nondet(0, 4);
+      if (r == 0) { x = 1; } else { x = 2; }
+      while (r < 4) { r = r + 1; }
+      cas(x, r, r + 1);
+      assume(r >= 4);
+      assert(r != 99);
+      fence;
+      term;
+    }
+  )");
+  const auto &B = P.Procs[0].Body;
+  ASSERT_EQ(B.size(), 8u);
+  EXPECT_EQ(B[0].Kind, StmtKind::Assign);
+  EXPECT_EQ(B[0].E->kind(), ExprKind::Nondet);
+  EXPECT_EQ(B[1].Kind, StmtKind::If);
+  EXPECT_EQ(B[1].Then.size(), 1u);
+  EXPECT_EQ(B[1].Else.size(), 1u);
+  EXPECT_EQ(B[2].Kind, StmtKind::While);
+  EXPECT_EQ(B[3].Kind, StmtKind::Cas);
+  EXPECT_EQ(B[4].Kind, StmtKind::Assume);
+  EXPECT_EQ(B[5].Kind, StmtKind::Assert);
+  EXPECT_EQ(B[6].Kind, StmtKind::Fence);
+  EXPECT_EQ(B[7].Kind, StmtKind::Term);
+}
+
+TEST(ParserTest, AtomicBlockDesugars) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc p {
+      reg r;
+      atomic { r = x; x = r + 1; }
+    }
+  )");
+  // atomic { B } becomes if (1) { atomic_begin; B; atomic_end }.
+  const auto &B = P.Procs[0].Body;
+  ASSERT_EQ(B.size(), 1u);
+  ASSERT_EQ(B[0].Kind, StmtKind::If);
+  ASSERT_EQ(B[0].Then.size(), 4u);
+  EXPECT_EQ(B[0].Then.front().Kind, StmtKind::AtomicBegin);
+  EXPECT_EQ(B[0].Then.back().Kind, StmtKind::AtomicEnd);
+}
+
+TEST(ParserTest, RejectsSharedVariableInExpression) {
+  auto P = parseProgram("var x; proc p { reg r; r = x + 1; }");
+  ASSERT_FALSE(P);
+  EXPECT_NE(P.error().message().find("shared variable"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsUnknownName) {
+  auto P = parseProgram("var x; proc p { reg r; r = zz; }");
+  ASSERT_FALSE(P);
+}
+
+TEST(ParserTest, RejectsRegisterShadowingVariable) {
+  auto P = parseProgram("var x; proc p { reg x; }");
+  ASSERT_FALSE(P);
+  EXPECT_NE(P.error().message().find("shadows"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsEmptyNondetRange) {
+  auto P = parseProgram("var x; proc p { reg r; r = nondet(5, 2); }");
+  ASSERT_FALSE(P);
+}
+
+TEST(ParserTest, RejectsRedeclaredVariable) {
+  auto P = parseProgram("var x x; proc p { reg r; }");
+  ASSERT_FALSE(P);
+}
+
+TEST(ParserTest, ReportsLineNumbers) {
+  auto P = parseProgram("var x;\nproc p {\n  reg r;\n  r = @;\n}");
+  ASSERT_FALSE(P);
+  EXPECT_EQ(P.error().location().Line, 4u);
+}
+
+TEST(ParserTest, CommentsAreSkipped) {
+  Program P = parseOrDie(R"(
+    // line comment
+    var x; /* block
+              comment */
+    proc p { reg r; r = 1; }
+  )");
+  EXPECT_EQ(P.numVars(), 1u);
+}
+
+TEST(ValidateTest, CrossProcessRegisterUseRejected) {
+  Program P;
+  VarId X = P.addVar("x");
+  uint32_t P0 = P.addProcess("p0");
+  uint32_t P1 = P.addProcess("p1");
+  RegId R0 = P.addReg(P0, "r0");
+  (void)P.addReg(P1, "r1");
+  P.Procs[P1].Body.push_back(Stmt::read(R0, X)); // wrong process's register
+  auto Check = P.validate();
+  ASSERT_FALSE(Check);
+  EXPECT_NE(Check.error().message().find("another process"),
+            std::string::npos);
+}
+
+TEST(ValidateTest, NondetOnlyAsFullAssignRhs) {
+  Program P;
+  VarId X = P.addVar("x");
+  uint32_t P0 = P.addProcess("p0");
+  (void)P.addReg(P0, "r");
+  P.Procs[P0].Body.push_back(Stmt::write(X, addE(nondetE(0, 1), constE(1))));
+  auto Check = P.validate();
+  ASSERT_FALSE(Check);
+}
+
+TEST(PrinterTest, RoundTripsThroughParser) {
+  std::string Src = R"(
+    var x y turn;
+    proc p0 {
+      reg r1 r2;
+      r1 = nondet(0, 3);
+      while (r1 != 0) {
+        x = r1;
+        r2 = x;
+        if (r2 == r1) { y = 1; } else { assume(r2 > 0); }
+        r1 = r1 - 1;
+      }
+      cas(turn, r1, r2 + 1);
+      assert(r2 >= 0);
+      term;
+    }
+    proc p1 {
+      reg s;
+      s = y;
+      fence;
+    }
+  )";
+  Program P1 = parseOrDie(Src);
+  std::string Printed1 = printProgram(P1);
+  Program P2 = parseOrDie(Printed1);
+  std::string Printed2 = printProgram(P2);
+  EXPECT_EQ(Printed1, Printed2);
+}
+
+TEST(FlattenTest, StraightLineLabels) {
+  Program P = parseOrDie("var x; proc p { reg r; r = x; x = r; term; }");
+  FlatProgram FP = flatten(P);
+  ASSERT_EQ(FP.Procs.size(), 1u);
+  const auto &Is = FP.Procs[0].Instrs;
+  // read, write, term, implicit term.
+  ASSERT_EQ(Is.size(), 4u);
+  EXPECT_EQ(Is[0].K, Op::Read);
+  EXPECT_EQ(Is[0].Next, 1u);
+  EXPECT_EQ(Is[1].K, Op::Write);
+  EXPECT_EQ(Is[2].K, Op::Term);
+}
+
+TEST(FlattenTest, IfElseBranchTargets) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc p {
+      reg r;
+      if (r == 0) { x = 1; } else { x = 2; }
+      x = 3;
+    }
+  )");
+  FlatProgram FP = flatten(P);
+  const auto &Is = FP.Procs[0].Instrs;
+  // 0: branch, 1: x=1, 2: goto, 3: x=2, 4: x=3, 5: term
+  ASSERT_GE(Is.size(), 6u);
+  EXPECT_EQ(Is[0].K, Op::Branch);
+  EXPECT_EQ(Is[0].TNext, 1u);
+  EXPECT_EQ(Is[0].FNext, 3u);
+  EXPECT_EQ(Is[2].K, Op::Goto);
+  EXPECT_EQ(Is[2].Next, 4u);
+}
+
+TEST(FlattenTest, WhileLoopBackEdge) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc p {
+      reg r;
+      while (r < 3) { r = r + 1; }
+      x = 9;
+    }
+  )");
+  FlatProgram FP = flatten(P);
+  const auto &Is = FP.Procs[0].Instrs;
+  // 0: branch, 1: r=r+1, 2: goto 0, 3: x=9, 4: term.
+  EXPECT_EQ(Is[0].K, Op::Branch);
+  EXPECT_EQ(Is[0].TNext, 1u);
+  EXPECT_EQ(Is[0].FNext, 3u);
+  EXPECT_EQ(Is[2].K, Op::Goto);
+  EXPECT_EQ(Is[2].Next, 0u);
+}
+
+TEST(FlattenTest, FenceBecomesCasOnFenceVariable) {
+  Program P = parseOrDie("var x; proc p { reg r; fence; }");
+  FlatProgram FP = flatten(P);
+  ASSERT_TRUE(FP.hasFenceVar());
+  EXPECT_EQ(FP.VarNames[FP.FenceVar], "__fence");
+  const auto &Is = FP.Procs[0].Instrs;
+  EXPECT_EQ(Is[0].K, Op::Cas);
+  EXPECT_EQ(Is[0].Var, FP.FenceVar);
+  EXPECT_EQ(Is[0].E->constValue(), 0);
+  EXPECT_EQ(Is[0].E2->constValue(), 0);
+}
+
+TEST(FlattenTest, NoFenceVariableWithoutFences) {
+  Program P = parseOrDie("var x; proc p { reg r; r = x; }");
+  FlatProgram FP = flatten(P);
+  EXPECT_FALSE(FP.hasFenceVar());
+  EXPECT_EQ(FP.numVars(), 1u);
+}
+
+TEST(FlattenTest, SentinelLabelsDistinct) {
+  Program P = parseOrDie("var x; proc p { reg r; assert(r == 0); }");
+  FlatProgram FP = flatten(P);
+  const auto &Proc = FP.Procs[0];
+  EXPECT_TRUE(FP.hasAsserts());
+  EXPECT_NE(Proc.doneLabel(), Proc.errorLabel());
+  EXPECT_TRUE(Proc.isFinal(Proc.doneLabel()));
+  EXPECT_TRUE(Proc.isFinal(Proc.errorLabel()));
+  EXPECT_FALSE(Proc.isFinal(0));
+}
+
+TEST(PrinterTest, FlatProgramRendering) {
+  Program P = parseOrDie(
+      "var x; proc p { reg r; r = x; if (r == 1) { x = 2; } term; }");
+  FlatProgram FP = flatten(P);
+  std::string S = printFlatProgram(FP);
+  EXPECT_NE(S.find("branch"), std::string::npos);
+  EXPECT_NE(S.find("<done>"), std::string::npos);
+  EXPECT_NE(S.find("<error>"), std::string::npos);
+}

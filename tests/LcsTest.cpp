@@ -1,0 +1,146 @@
+//===- LcsTest.cpp - tests for lossy channel systems ------------*- C++ -*-===//
+
+#include "lcs/Lcs.h"
+
+#include <gtest/gtest.h>
+
+using namespace vbmc;
+using namespace vbmc::lcs;
+
+namespace {
+
+/// 0 --c!a--> 1 --c?a--> 2 : target 2 coverable (message survives).
+Lcs sendRecv() {
+  Lcs L;
+  L.NumStates = 3;
+  L.Transitions = {
+      {0, 1, ChanOp::Send, 0, 0},
+      {1, 2, ChanOp::Recv, 0, 0},
+  };
+  return L;
+}
+
+/// 0 --c!a--> 1 --c?b--> 2 : target 2 NOT coverable (wrong symbol).
+Lcs sendRecvMismatch() {
+  Lcs L;
+  L.NumStates = 3;
+  L.Transitions = {
+      {0, 1, ChanOp::Send, 0, 0},
+      {1, 2, ChanOp::Recv, 0, 1},
+  };
+  return L;
+}
+
+/// A protocol that needs two specific messages in order: 0 -!a-> 1 -!b->
+/// 2 -?a-> 3 -?b-> 4.
+Lcs orderedPair() {
+  Lcs L;
+  L.NumStates = 5;
+  L.Transitions = {
+      {0, 1, ChanOp::Send, 0, 0},
+      {1, 2, ChanOp::Send, 0, 1},
+      {2, 3, ChanOp::Recv, 0, 0},
+      {3, 4, ChanOp::Recv, 0, 1},
+  };
+  return L;
+}
+
+} // namespace
+
+TEST(SubwordTest, BasicCases) {
+  EXPECT_TRUE(isSubword({}, {}));
+  EXPECT_TRUE(isSubword({}, {1, 2}));
+  EXPECT_TRUE(isSubword({1, 2}, {1, 3, 2}));
+  EXPECT_TRUE(isSubword({1, 1}, {1, 2, 1}));
+  EXPECT_FALSE(isSubword({2, 1}, {1, 2}));
+  EXPECT_FALSE(isSubword({1}, {}));
+  EXPECT_FALSE(isSubword({1, 1, 1}, {1, 1}));
+}
+
+TEST(LcsTest, ValidityChecks) {
+  Lcs L = sendRecv();
+  EXPECT_TRUE(L.valid());
+  L.Transitions.push_back({7, 0, ChanOp::Nop, 0, 0});
+  EXPECT_FALSE(L.valid());
+}
+
+TEST(LcsCoverabilityTest, SendThenReceive) {
+  CoverResult R = coverable(sendRecv(), 2);
+  EXPECT_TRUE(R.Coverable);
+  EXPECT_FALSE(coverable(sendRecvMismatch(), 2).Coverable);
+}
+
+TEST(LcsCoverabilityTest, IntermediateStatesCoverable) {
+  EXPECT_TRUE(coverable(sendRecv(), 0).Coverable);
+  EXPECT_TRUE(coverable(sendRecv(), 1).Coverable);
+}
+
+TEST(LcsCoverabilityTest, OrderedMessages) {
+  Lcs L = orderedPair();
+  EXPECT_TRUE(coverable(L, 4).Coverable);
+  // Swapping the receives breaks the order: ?b before ?a cannot fire
+  // because the channel holds "a b" and lossiness can only drop prefixes,
+  // not reorder.
+  Lcs Swapped = L;
+  Swapped.Transitions[2].Symbol = 1;
+  Swapped.Transitions[3].Symbol = 0;
+  EXPECT_TRUE(coverable(Swapped, 3).Coverable);  // drop a, receive b
+  EXPECT_FALSE(coverable(Swapped, 4).Coverable); // a was already lost
+}
+
+TEST(LcsCoverabilityTest, LossinessEnablesSkipping) {
+  // 0 -!a-> 1 -!b-> 2 -?b-> 3: the receive of b must skip the earlier a,
+  // which lossiness permits.
+  Lcs L;
+  L.NumStates = 4;
+  L.Transitions = {
+      {0, 1, ChanOp::Send, 0, 0},
+      {1, 2, ChanOp::Send, 0, 1},
+      {2, 3, ChanOp::Recv, 0, 1},
+  };
+  EXPECT_TRUE(coverable(L, 3).Coverable);
+  EXPECT_TRUE(forwardCoverable(L, 3, 4, 100000));
+}
+
+TEST(LcsCoverabilityTest, UnreachableControlState) {
+  Lcs L = sendRecv();
+  L.NumStates = 4; // State 3 has no incoming transitions.
+  EXPECT_FALSE(coverable(L, 3).Coverable);
+  EXPECT_FALSE(forwardCoverable(L, 3, 4, 100000));
+}
+
+TEST(LcsDifferentialTest, BackwardMatchesForwardOnRandomSystems) {
+  Rng R(1234);
+  int Coverables = 0;
+  for (int Iter = 0; Iter < 120; ++Iter) {
+    Lcs L = makeRandomLcs(R, /*States=*/4 + R.nextBelow(3), /*Channels=*/1,
+                          /*Alphabet=*/2, /*Transitions=*/6 + R.nextBelow(5));
+    ASSERT_TRUE(L.valid());
+    uint32_t Target = static_cast<uint32_t>(R.nextBelow(L.NumStates));
+    bool Backward = coverable(L, Target).Coverable;
+    // Forward search with generous channel bound: on these tiny systems
+    // a witness never needs more than a handful of in-flight messages.
+    bool Forward = forwardCoverable(L, Target, 6, 2000000);
+    ASSERT_EQ(Backward, Forward) << "iter " << Iter;
+    Coverables += Backward;
+  }
+  // The family must exercise both outcomes.
+  EXPECT_GT(Coverables, 10);
+  EXPECT_LT(Coverables, 120);
+}
+
+TEST(LcsCoverabilityTest, MultiChannel) {
+  // Two channels used in a handshake: 0 -c0!a-> 1 -c1!a-> 2 -c0?a-> 3
+  // -c1?a-> 4.
+  Lcs L;
+  L.NumStates = 5;
+  L.NumChannels = 2;
+  L.Transitions = {
+      {0, 1, ChanOp::Send, 0, 0},
+      {1, 2, ChanOp::Send, 1, 0},
+      {2, 3, ChanOp::Recv, 0, 0},
+      {3, 4, ChanOp::Recv, 1, 0},
+  };
+  EXPECT_TRUE(coverable(L, 4).Coverable);
+  EXPECT_TRUE(forwardCoverable(L, 4, 3, 100000));
+}

@@ -1,0 +1,226 @@
+//===- ParamSweepTest.cpp - parameterized property sweeps -------*- C++ -*-===//
+//
+// Property-style sweeps with TEST_P / INSTANTIATE_TEST_SUITE_P:
+//  * every protocol x fencing-version combination behaves as its table
+//    row claims (under SC and under bounded RA);
+//  * the translation theorem holds across a grid of (seed, K);
+//  * the classic litmus shapes agree between operational and axiomatic
+//    semantics one by one;
+//  * random CNF instances agree with brute force across seeds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Flatten.h"
+#include "ir/Printer.h"
+#include "litmus/Litmus.h"
+#include "protocols/Protocols.h"
+#include "bmc/Unroll.h"
+#include "ra/RaExplorer.h"
+#include "sat/Solver.h"
+#include "smc/Smc.h"
+#include "sc/ScExplorer.h"
+#include "translation/Translate.h"
+
+#include "RandomPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace vbmc;
+using namespace vbmc::ir;
+
+//===----------------------------------------------------------------------===//
+// Protocol grid: name x thread count.
+//===----------------------------------------------------------------------===//
+
+struct ProtocolCase {
+  const char *Name;   ///< Builder name ("peterson", ...).
+  uint32_t Threads;
+  bool HasRaOnlyBug;  ///< Unfenced version breaks under RA but not SC.
+};
+
+class ProtocolSweep : public ::testing::TestWithParam<ProtocolCase> {};
+
+namespace {
+
+ir::Program buildProtocol(const std::string &Name,
+                          const protocols::MutexOptions &O) {
+  using namespace protocols;
+  if (Name == "peterson")
+    return makePeterson(O);
+  if (Name == "szymanski")
+    return makeSzymanski(O);
+  if (Name == "dekker")
+    return makeDekker(O);
+  if (Name == "sim_dekker")
+    return makeSimplifiedDekker(O);
+  if (Name == "burns")
+    return makeBurns(O);
+  if (Name == "bakery")
+    return makeBakery(O);
+  if (Name == "lamport")
+    return makeLamportFast(O);
+  return makeTicketBarrier(O);
+}
+
+bool scHasBug(const ir::Program &P) {
+  sc::ScQuery Q;
+  Q.Goal = sc::ScGoalKind::AnyError;
+  sc::ScResult R = sc::exploreSc(flatten(P), Q);
+  EXPECT_TRUE(R.reached() || R.exhausted());
+  return R.reached();
+}
+
+bool raHasBugBounded(const ir::Program &P, uint32_t K) {
+  // Goal-directed stateless DFS with the view-switch budget: finds the
+  // shallow weak-memory bugs without materializing the BFS frontier.
+  smc::SmcOptions O;
+  O.Strategy = smc::SmcStrategy::Dpor;
+  O.BoundViewSwitches = true;
+  O.ViewSwitchBound = K;
+  O.BudgetSeconds = 60;
+  return smc::exploreSmc(flatten(bmc::unrollLoops(P, 2)), O).FoundBug;
+}
+
+} // namespace
+
+TEST_P(ProtocolSweep, CorrectVersionSafeUnderSc) {
+  const ProtocolCase &C = GetParam();
+  EXPECT_FALSE(scHasBug(buildProtocol(
+      C.Name, protocols::MutexOptions::unfenced(C.Threads))));
+}
+
+TEST_P(ProtocolSweep, BuggyVersionUnsafeUnderSc) {
+  const ProtocolCase &C = GetParam();
+  EXPECT_TRUE(scHasBug(buildProtocol(
+      C.Name, protocols::MutexOptions::fencedBuggy(C.Threads, 0))));
+  EXPECT_TRUE(scHasBug(buildProtocol(
+      C.Name,
+      protocols::MutexOptions::fencedBuggy(C.Threads, C.Threads - 1))));
+}
+
+TEST_P(ProtocolSweep, UnfencedRaBugWithinSmallK) {
+  const ProtocolCase &C = GetParam();
+  if (!C.HasRaOnlyBug)
+    GTEST_SKIP() << "protocol is RA-robust without fences";
+  EXPECT_TRUE(raHasBugBounded(
+      buildProtocol(C.Name, protocols::MutexOptions::unfenced(C.Threads)),
+      2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ProtocolSweep,
+    ::testing::Values(ProtocolCase{"peterson", 2, true},
+                      ProtocolCase{"peterson", 3, true},
+                      ProtocolCase{"szymanski", 2, true},
+                      ProtocolCase{"dekker", 2, true},
+                      ProtocolCase{"sim_dekker", 2, true},
+                      ProtocolCase{"burns", 2, true},
+                      ProtocolCase{"bakery", 2, true},
+                      ProtocolCase{"lamport", 2, true},
+                      ProtocolCase{"tbar", 2, false}),
+    [](const ::testing::TestParamInfo<ProtocolCase> &Info) {
+      return std::string(Info.param.Name) + "_" +
+             std::to_string(Info.param.Threads);
+    });
+
+//===----------------------------------------------------------------------===//
+// Translation theorem grid: seed x K.
+//===----------------------------------------------------------------------===//
+
+class TranslationTheoremSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(TranslationTheoremSweep, RaEqualsTranslatedSc) {
+  auto [Seed, K] = GetParam();
+  Rng R(Seed);
+  testutil::RandomProgramOptions O;
+  O.NumVars = 2;
+  O.NumProcs = 2;
+  O.StmtsPerProc = 3;
+  ir::Program P = testutil::makeRandomProgram(R, O);
+
+  ra::RaQuery RQ;
+  RQ.Goal = ra::GoalKind::AnyError;
+  RQ.ViewSwitchBound = K;
+  bool Ra = ra::exploreRa(flatten(P), RQ).reached();
+
+  translation::TranslationOptions TO;
+  TO.K = K;
+  TO.CasAllowance = 2;
+  auto TR = translation::translateToSc(P, TO);
+  sc::ScQuery SQ;
+  SQ.Goal = sc::ScGoalKind::AnyError;
+  SQ.ContextBound = TR.ContextBound;
+  bool Sc = sc::exploreSc(flatten(TR.Prog), SQ).reached();
+
+  EXPECT_EQ(Ra, Sc) << printProgram(P);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TranslationTheoremSweep,
+    ::testing::Combine(::testing::Values(11ull, 22ull, 33ull, 44ull, 55ull,
+                                         66ull, 77ull, 88ull),
+                       ::testing::Values(0u, 1u, 2u)));
+
+//===----------------------------------------------------------------------===//
+// Litmus shapes: operational == axiomatic, one test per shape.
+//===----------------------------------------------------------------------===//
+
+class LitmusShapeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LitmusShapeSweep, OperationalEqualsAxiomatic) {
+  auto Tests = litmus::classicTests();
+  ASSERT_LT(static_cast<size_t>(GetParam()), Tests.size());
+  const litmus::LitmusTest &T = Tests[GetParam()];
+  auto Operational = ra::collectTerminalRegs(flatten(T.Prog));
+  EXPECT_EQ(Operational, T.Expected) << T.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LitmusShapeSweep, ::testing::Range(0, 11),
+                         [](const ::testing::TestParamInfo<int> &Info) {
+                           auto Tests = litmus::classicTests();
+                           std::string N = Tests[Info.param].Name;
+                           for (char &C : N)
+                             if (!std::isalnum(static_cast<unsigned char>(C)))
+                               C = '_';
+                           return N;
+                         });
+
+//===----------------------------------------------------------------------===//
+// SAT vs brute force across seeds.
+//===----------------------------------------------------------------------===//
+
+class SatSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SatSeedSweep, AgreesWithBruteForce) {
+  Rng R(GetParam());
+  uint32_t NumVars = 5 + R.nextBelow(6);
+  uint32_t NumClauses = NumVars * 4;
+  sat::Solver S;
+  std::vector<std::vector<sat::Lit>> Clauses;
+  for (uint32_t V = 0; V < NumVars; ++V)
+    (void)S.newVar();
+  for (uint32_t I = 0; I < NumClauses; ++I) {
+    std::vector<sat::Lit> C;
+    for (int J = 0; J < 3; ++J)
+      C.push_back(sat::Lit(static_cast<sat::Var>(R.nextBelow(NumVars)),
+                           R.nextChance(1, 2)));
+    Clauses.push_back(C);
+    S.addClause(C);
+  }
+  bool Expected = false;
+  for (uint64_t Mask = 0; Mask < (1ULL << NumVars) && !Expected; ++Mask) {
+    bool All = true;
+    for (const auto &C : Clauses) {
+      bool Any = false;
+      for (sat::Lit L : C)
+        Any |= ((Mask >> L.var()) & 1) != L.negated();
+      All &= Any;
+    }
+    Expected = All;
+  }
+  EXPECT_EQ(S.solve() == sat::SolveResult::Sat, Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatSeedSweep,
+                         ::testing::Range(uint64_t(1000), uint64_t(1030)));

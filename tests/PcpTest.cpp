@@ -1,0 +1,140 @@
+//===- PcpTest.cpp - tests for the Theorem 4.1 construction -----*- C++ -*-===//
+
+#include "ir/Printer.h"
+#include "pcp/Pcp.h"
+
+#include <gtest/gtest.h>
+
+using namespace vbmc;
+using namespace vbmc::pcp;
+
+namespace {
+
+PcpInstance trivial() {
+  // (a, a): solution [1].
+  PcpInstance I;
+  I.Pairs.push_back({{1}, {1}});
+  return I;
+}
+
+PcpInstance twoStep() {
+  // (a, aa), (aa, a): solution [1, 2] -> "aaa" on both sides.
+  PcpInstance I;
+  I.Pairs.push_back({{1}, {1, 1}});
+  I.Pairs.push_back({{1, 1}, {1}});
+  return I;
+}
+
+PcpInstance unsolvable() {
+  // (a, b): no match ever.
+  PcpInstance I;
+  I.Pairs.push_back({{1}, {2}});
+  return I;
+}
+
+PcpInstance mismatchedIndices() {
+  // Words match as strings regardless of order, but only one pairing
+  // works: (ab, a) and (b, bb)? -> u: 12, v: 1 | u: 2, v: 22.
+  PcpInstance I;
+  I.Pairs.push_back({{1, 2}, {1}});
+  I.Pairs.push_back({{2}, {2, 2}});
+  return I;
+}
+
+} // namespace
+
+TEST(PcpSolverTest, SolvesTrivialInstance) {
+  auto Sol = solvePcp(trivial(), 3);
+  ASSERT_TRUE(Sol.has_value());
+  EXPECT_EQ(*Sol, (std::vector<uint32_t>{1}));
+}
+
+TEST(PcpSolverTest, SolvesTwoStepInstance) {
+  auto Sol = solvePcp(twoStep(), 4);
+  ASSERT_TRUE(Sol.has_value());
+  EXPECT_EQ(Sol->size(), 2u);
+  // Verify the solution by concatenation.
+  PcpInstance I = twoStep();
+  std::vector<int> U, V;
+  for (uint32_t Idx : *Sol) {
+    auto &[WU, WV] = I.Pairs[Idx - 1];
+    U.insert(U.end(), WU.begin(), WU.end());
+    V.insert(V.end(), WV.begin(), WV.end());
+  }
+  EXPECT_EQ(U, V);
+}
+
+TEST(PcpSolverTest, MismatchedIndicesSolvable) {
+  // [1, 2]: u = "ab"+"b" = abb; v = "a"+"bb" = abb.
+  auto Sol = solvePcp(mismatchedIndices(), 3);
+  ASSERT_TRUE(Sol.has_value());
+}
+
+TEST(PcpSolverTest, ReportsUnsolvable) {
+  EXPECT_FALSE(solvePcp(unsolvable(), 6).has_value());
+}
+
+TEST(PcpSolverTest, RespectsLengthBound) {
+  // twoStep's shortest solution has length 2.
+  EXPECT_FALSE(solvePcp(twoStep(), 1).has_value());
+  EXPECT_TRUE(solvePcp(twoStep(), 2).has_value());
+}
+
+TEST(PcpEncodingTest, ProgramShape) {
+  ir::Program P = encodePcp(twoStep(), 2);
+  auto Valid = P.validate();
+  ASSERT_TRUE(Valid) << Valid.error().str();
+  ASSERT_EQ(P.numProcs(), 4u);
+  EXPECT_EQ(P.Procs[0].Name, "p1");
+  EXPECT_EQ(P.Procs[3].Name, "p4");
+  EXPECT_EQ(P.numVars(), 8u);
+  // The construction uses CAS in the checkers.
+  std::string Text = ir::printProgram(P);
+  EXPECT_NE(Text.find("cas("), std::string::npos);
+}
+
+TEST(PcpEncodingTest, SolvableInstanceReachesAllTerm) {
+  ir::Program P = encodePcp(trivial(), 1);
+  EXPECT_TRUE(allTermReachable(P, 600000, 60));
+}
+
+TEST(PcpEncodingTest, UnsolvableInstanceNeverTerminates) {
+  ir::Program P = encodePcp(unsolvable(), 1);
+  // The bounded state space must exhaust without reaching all-term.
+  EXPECT_FALSE(allTermReachable(P, 600000, 60));
+}
+
+TEST(PcpEncodingTest, HintedUnsolvableStillUnreachable) {
+  // Even pinning the guessers to a bogus sequence cannot make the
+  // checkers terminate on a mismatching instance.
+  std::vector<uint32_t> Bogus = {1};
+  ir::Program P = encodePcp(unsolvable(), 1, &Bogus);
+  EXPECT_FALSE(allTermReachable(P, 600000, 60));
+}
+
+TEST(PcpEncodingTest, TwoStepSolutionFound) {
+  // The witness is ~60 interleaved steps deep; pin the guessers to the
+  // solver's index sequence (a subset of the full construction's runs,
+  // so reachability here witnesses reachability of Fig. 3 proper).
+  auto Hint = solvePcp(twoStep(), 2);
+  ASSERT_TRUE(Hint.has_value());
+  ir::Program P = encodePcp(twoStep(), 2, &*Hint);
+  EXPECT_TRUE(allTermReachable(P, 600000, 120));
+}
+
+TEST(PcpEncodingTest, ReductionAgreesWithSolverOnSmallInstances) {
+  // The reduction's soundness on a family of micro-instances: all-term
+  // reachability must match bounded PCP solvability. Solvable instances
+  // use the solver's sequence as a hint (restricting guesses preserves
+  // reachability one way and cannot create spurious terminations);
+  // unsolvable instances are explored unhinted and must exhaust.
+  std::vector<PcpInstance> Instances = {trivial(), unsolvable(),
+                                        mismatchedIndices()};
+  for (size_t I = 0; I < Instances.size(); ++I) {
+    auto Hint = solvePcp(Instances[I], 2);
+    ir::Program P =
+        encodePcp(Instances[I], 2, Hint ? &*Hint : nullptr);
+    bool Reached = allTermReachable(P, 600000, 120);
+    EXPECT_EQ(Hint.has_value(), Reached) << "instance " << I;
+  }
+}

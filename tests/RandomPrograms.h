@@ -1,0 +1,80 @@
+//===- RandomPrograms.h - random program generator for tests ----*- C++ -*-===//
+///
+/// \file
+/// Generates small random concurrent programs for the differential property
+/// tests (RA explorer vs translation+SC, operational vs axiomatic, DPOR vs
+/// naive enumeration). Programs are deliberately tiny so every engine can
+/// exhaust the state space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_TESTS_RANDOMPROGRAMS_H
+#define VBMC_TESTS_RANDOMPROGRAMS_H
+
+#include "ir/Program.h"
+#include "support/Rng.h"
+
+namespace vbmc::testutil {
+
+struct RandomProgramOptions {
+  uint32_t NumVars = 2;
+  uint32_t NumProcs = 2;
+  uint32_t StmtsPerProc = 3;
+  /// Permille chance a memory statement is a CAS.
+  uint32_t CasPermille = 150;
+  /// Permille chance of a trailing assert over the registers.
+  uint32_t AssertPermille = 700;
+  /// Value domain for written constants: {1 .. MaxValue}.
+  ir::Value MaxValue = 2;
+};
+
+/// Generates one random program. Each process gets two registers; memory
+/// statements are reads, constant writes, and (optionally) CAS; one process
+/// may end with an assert relating its registers.
+inline ir::Program makeRandomProgram(Rng &R,
+                                     const RandomProgramOptions &O = {}) {
+  using namespace ir;
+  Program P;
+  for (uint32_t X = 0; X < O.NumVars; ++X)
+    P.addVar("x" + std::to_string(X));
+  for (uint32_t PI = 0; PI < O.NumProcs; ++PI) {
+    uint32_t Proc = P.addProcess("p" + std::to_string(PI));
+    RegId A = P.addReg(Proc, "a" + std::to_string(PI));
+    RegId B = P.addReg(Proc, "b" + std::to_string(PI));
+    std::vector<Stmt> Body;
+    for (uint32_t S = 0; S < O.StmtsPerProc; ++S) {
+      VarId X = static_cast<VarId>(R.nextBelow(O.NumVars));
+      RegId Dst = R.nextChance(1, 2) ? A : B;
+      if (R.nextChance(O.CasPermille, 1000)) {
+        Value From = static_cast<Value>(R.nextInRange(0, O.MaxValue));
+        Value To = static_cast<Value>(R.nextInRange(1, O.MaxValue));
+        Body.push_back(Stmt::cas(X, constE(From), constE(To)));
+        continue;
+      }
+      if (R.nextChance(1, 2)) {
+        Body.push_back(Stmt::read(Dst, X));
+      } else {
+        Body.push_back(
+            Stmt::write(X, constE(static_cast<Value>(
+                               R.nextInRange(1, O.MaxValue)))));
+      }
+    }
+    if (PI + 1 == O.NumProcs && R.nextChance(O.AssertPermille, 1000)) {
+      // Assert some random relation between the two registers; both
+      // outcomes (holds / fails) are interesting for the differential
+      // comparison.
+      Value C = static_cast<Value>(R.nextInRange(0, O.MaxValue));
+      ExprRef Cond = R.nextChance(1, 2)
+                         ? neE(regE(A), constE(C))
+                         : notE(andE(eqE(regE(A), constE(C)),
+                                     eqE(regE(B), constE(C))));
+      Body.push_back(Stmt::assertThat(std::move(Cond)));
+    }
+    P.Procs[Proc].Body = std::move(Body);
+  }
+  return P;
+}
+
+} // namespace vbmc::testutil
+
+#endif // VBMC_TESTS_RANDOMPROGRAMS_H

@@ -1,0 +1,84 @@
+//===- RobustnessTest.cpp - RA-vs-SC robustness ------------------*- C++ -*-===//
+
+#include "bmc/Unroll.h"
+#include "ir/Parser.h"
+#include "protocols/Protocols.h"
+#include "vbmc/Robustness.h"
+
+#include <gtest/gtest.h>
+
+using namespace vbmc;
+using namespace vbmc::ir;
+using namespace vbmc::driver;
+
+namespace {
+
+Program parseOrDie(const std::string &Src) {
+  auto P = parseProgram(Src);
+  EXPECT_TRUE(P) << (P ? "" : P.error().str());
+  return P.take();
+}
+
+} // namespace
+
+TEST(RobustnessTest, StoreBufferingNotRobust) {
+  Program P = parseOrDie(R"(
+    var x y;
+    proc p0 { reg r0; x = 1; r0 = y; }
+    proc p1 { reg r1; y = 1; r1 = x; }
+  )");
+  RobustnessResult R = checkRobustness(P);
+  ASSERT_TRUE(R.Conclusive);
+  EXPECT_FALSE(R.Robust);
+  // The witness is the classic (0, 0) weak outcome.
+  EXPECT_EQ(R.WitnessOutcome, (std::vector<Value>{0, 0}));
+}
+
+TEST(RobustnessTest, FencedStoreBufferingRobust) {
+  Program P = parseOrDie(R"(
+    var x y;
+    proc p0 { reg r0; x = 1; fence; r0 = y; }
+    proc p1 { reg r1; y = 1; fence; r1 = x; }
+  )");
+  RobustnessResult R = checkRobustness(P);
+  ASSERT_TRUE(R.Conclusive);
+  EXPECT_TRUE(R.Robust);
+}
+
+TEST(RobustnessTest, MessagePassingIsRobust) {
+  // MP has no RA-only outcome: causality forbids the weak one.
+  Program P = parseOrDie(R"(
+    var x y;
+    proc p0 { reg d; x = 1; y = 1; }
+    proc p1 { reg r1 r2; r1 = y; r2 = x; }
+  )");
+  RobustnessResult R = checkRobustness(P);
+  ASSERT_TRUE(R.Conclusive);
+  EXPECT_TRUE(R.Robust) << R.Note;
+}
+
+TEST(RobustnessTest, FencedProtocolRobust) {
+  using namespace protocols;
+  Program P = bmc::unrollLoops(
+      makeSimplifiedDekker(MutexOptions::fencedAll(2)), 1);
+  RobustnessResult R = checkRobustness(P);
+  ASSERT_TRUE(R.Conclusive);
+  EXPECT_TRUE(R.Robust) << R.Note;
+}
+
+TEST(RobustnessTest, UnfencedProtocolNotRobust) {
+  using namespace protocols;
+  Program P = bmc::unrollLoops(
+      makeSimplifiedDekker(MutexOptions::unfenced(2)), 1);
+  RobustnessResult R = checkRobustness(P);
+  ASSERT_TRUE(R.Conclusive);
+  EXPECT_FALSE(R.Robust);
+  EXPECT_TRUE(R.RaOnlyAssertionFailure) << R.Note;
+}
+
+TEST(RobustnessTest, BudgetReportsInconclusive) {
+  using namespace protocols;
+  Program P = makeBakery(MutexOptions::unfenced(3));
+  RobustnessResult R = checkRobustness(P, /*MaxStates=*/100);
+  EXPECT_FALSE(R.Conclusive);
+}

@@ -1,0 +1,233 @@
+//===- SatTest.cpp - unit tests for the CDCL solver -------------*- C++ -*-===//
+
+#include "sat/Dimacs.h"
+#include "sat/Solver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace vbmc;
+using namespace vbmc::sat;
+
+namespace {
+
+/// Brute-force SAT check for tiny formulas.
+bool bruteForceSat(uint32_t NumVars,
+                   const std::vector<std::vector<Lit>> &Clauses) {
+  for (uint64_t Mask = 0; Mask < (1ULL << NumVars); ++Mask) {
+    bool All = true;
+    for (const auto &C : Clauses) {
+      bool Any = false;
+      for (Lit L : C)
+        Any |= ((Mask >> L.var()) & 1) != L.negated();
+      if (!Any) {
+        All = false;
+        break;
+      }
+    }
+    if (All)
+      return true;
+  }
+  return false;
+}
+
+/// Builds the pigeonhole principle PHP(Pigeons, Holes).
+void buildPigeonhole(Solver &S, uint32_t Pigeons, uint32_t Holes) {
+  std::vector<std::vector<Var>> P(Pigeons, std::vector<Var>(Holes));
+  for (auto &Row : P)
+    for (Var &V : Row)
+      V = S.newVar();
+  // Every pigeon sits somewhere.
+  for (uint32_t I = 0; I < Pigeons; ++I) {
+    std::vector<Lit> C;
+    for (uint32_t J = 0; J < Holes; ++J)
+      C.push_back(mkLit(P[I][J]));
+    S.addClause(C);
+  }
+  // No two pigeons share a hole.
+  for (uint32_t J = 0; J < Holes; ++J)
+    for (uint32_t I1 = 0; I1 < Pigeons; ++I1)
+      for (uint32_t I2 = I1 + 1; I2 < Pigeons; ++I2)
+        S.addBinary(~mkLit(P[I1][J]), ~mkLit(P[I2][J]));
+}
+
+} // namespace
+
+TEST(SatTest, TrivialSatAndModel) {
+  Solver S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addBinary(mkLit(A), mkLit(B));
+  S.addUnit(~mkLit(A));
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_FALSE(S.modelValue(A));
+  EXPECT_TRUE(S.modelValue(B));
+}
+
+TEST(SatTest, TrivialUnsat) {
+  Solver S;
+  Var A = S.newVar();
+  S.addUnit(mkLit(A));
+  EXPECT_FALSE(S.addUnit(~mkLit(A)));
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+  EXPECT_TRUE(S.inConflict());
+}
+
+TEST(SatTest, EmptyFormulaIsSat) {
+  Solver S;
+  (void)S.newVar();
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+}
+
+TEST(SatTest, PropagationChain) {
+  // a, a->b, b->c, ..., forced model all-true.
+  Solver S;
+  const int N = 50;
+  std::vector<Var> Vs;
+  for (int I = 0; I < N; ++I)
+    Vs.push_back(S.newVar());
+  S.addUnit(mkLit(Vs[0]));
+  for (int I = 0; I + 1 < N; ++I)
+    S.addBinary(~mkLit(Vs[I]), mkLit(Vs[I + 1]));
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  for (Var V : Vs)
+    EXPECT_TRUE(S.modelValue(V));
+}
+
+TEST(SatTest, PigeonholeSatWhenEnoughHoles) {
+  Solver S;
+  buildPigeonhole(S, 4, 4);
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+}
+
+TEST(SatTest, PigeonholeUnsat) {
+  Solver S;
+  buildPigeonhole(S, 5, 4);
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+  EXPECT_GT(S.stats().Conflicts, 0u);
+}
+
+TEST(SatTest, ConflictBudgetReturnsUnknown) {
+  Solver S;
+  buildPigeonhole(S, 9, 8); // Hard for CDCL.
+  EXPECT_EQ(S.solve({}, /*MaxConflicts=*/20), SolveResult::Unknown);
+}
+
+TEST(SatTest, AssumptionsBasic) {
+  Solver S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addBinary(~mkLit(A), mkLit(B)); // a -> b
+  EXPECT_EQ(S.solve({mkLit(A), ~mkLit(B)}), SolveResult::Unsat);
+  EXPECT_EQ(S.solve({mkLit(A), mkLit(B)}), SolveResult::Sat);
+  // The solver remains usable and consistent after assumption solving.
+  EXPECT_EQ(S.solve({~mkLit(A)}), SolveResult::Sat);
+  EXPECT_FALSE(S.modelValue(A));
+}
+
+TEST(SatTest, AssumptionsConflictViaPropagation) {
+  Solver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  S.addBinary(~mkLit(A), mkLit(B));
+  S.addBinary(~mkLit(B), mkLit(C));
+  S.addBinary(~mkLit(A), ~mkLit(C));
+  EXPECT_EQ(S.solve({mkLit(A)}), SolveResult::Unsat);
+  // Assuming b alone is satisfiable: {~a, b, c}.
+  ASSERT_EQ(S.solve({mkLit(B)}), SolveResult::Sat);
+  EXPECT_FALSE(S.modelValue(A));
+  EXPECT_EQ(S.solve({~mkLit(A)}), SolveResult::Sat);
+  // Without assumptions the formula is satisfiable (set a false).
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_FALSE(S.modelValue(A));
+}
+
+TEST(SatTest, RandomThreeSatAgainstBruteForce) {
+  Rng R(99);
+  for (int Round = 0; Round < 200; ++Round) {
+    uint32_t NumVars = 4 + R.nextBelow(7);           // 4..10
+    uint32_t NumClauses = NumVars * (3 + R.nextBelow(3)); // ~3n..5n
+    std::vector<std::vector<Lit>> Clauses;
+    Solver S;
+    for (uint32_t V = 0; V < NumVars; ++V)
+      (void)S.newVar();
+    for (uint32_t I = 0; I < NumClauses; ++I) {
+      std::vector<Lit> C;
+      for (int J = 0; J < 3; ++J)
+        C.push_back(Lit(static_cast<Var>(R.nextBelow(NumVars)),
+                        R.nextChance(1, 2)));
+      Clauses.push_back(C);
+      S.addClause(C);
+    }
+    bool Expected = bruteForceSat(NumVars, Clauses);
+    SolveResult Got = S.solve();
+    ASSERT_EQ(Got, Expected ? SolveResult::Sat : SolveResult::Unsat)
+        << "round " << Round;
+    if (Got == SolveResult::Sat) {
+      // The model must satisfy every clause.
+      for (const auto &C : Clauses) {
+        bool Any = false;
+        for (Lit L : C)
+          Any |= S.modelValue(L.var()) != L.negated();
+        EXPECT_TRUE(Any);
+      }
+    }
+  }
+}
+
+TEST(SatTest, IncrementalClauseAddition) {
+  Solver S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addBinary(mkLit(A), mkLit(B));
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  S.addUnit(~mkLit(A));
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_TRUE(S.modelValue(B));
+  S.addUnit(~mkLit(B));
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+}
+
+TEST(SatTest, LargeRandomSatisfiableInstance) {
+  // A planted-solution instance: every clause satisfied by the plant.
+  Rng R(7);
+  Solver S;
+  const uint32_t N = 300;
+  std::vector<bool> Plant;
+  for (uint32_t I = 0; I < N; ++I) {
+    (void)S.newVar();
+    Plant.push_back(R.nextChance(1, 2));
+  }
+  for (uint32_t I = 0; I < 4 * N; ++I) {
+    std::vector<Lit> C;
+    for (int J = 0; J < 3; ++J) {
+      Var V = static_cast<Var>(R.nextBelow(N));
+      C.push_back(Lit(V, R.nextChance(1, 2)));
+    }
+    // Force at least one literal to agree with the plant.
+    Var V = C[0].var();
+    C[0] = Lit(V, !Plant[V]);
+    S.addClause(C);
+  }
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+}
+
+TEST(DimacsTest, LoadAndSolve) {
+  Solver S;
+  auto N = loadDimacs("c comment\np cnf 3 3\n1 2 0\n-1 3 0\n-3 -2 1 0\n", S);
+  ASSERT_TRUE(N);
+  EXPECT_EQ(*N, 3u);
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+}
+
+TEST(DimacsTest, RejectsUnterminatedClause) {
+  Solver S;
+  auto N = loadDimacs("p cnf 2 1\n1 2\n", S);
+  EXPECT_FALSE(N);
+}
+
+TEST(DimacsTest, WriterFormats) {
+  DimacsWriter W;
+  W.addClause({Lit(0, false), Lit(1, true)});
+  W.addClause({Lit(2, false)});
+  std::string Out = W.str(3);
+  EXPECT_NE(Out.find("p cnf 3 2"), std::string::npos);
+  EXPECT_NE(Out.find("1 -2 0"), std::string::npos);
+  EXPECT_NE(Out.find("3 0"), std::string::npos);
+}

@@ -1,0 +1,219 @@
+//===- ScTest.cpp - unit tests for the SC semantics & explorer --*- C++ -*-===//
+
+#include "ir/Parser.h"
+#include "sc/ScExplorer.h"
+
+#include <gtest/gtest.h>
+
+using namespace vbmc;
+using namespace vbmc::ir;
+using namespace vbmc::sc;
+
+namespace {
+
+FlatProgram flattenSource(const std::string &Src) {
+  auto P = parseProgram(Src);
+  EXPECT_TRUE(P) << (P ? "" : P.error().str());
+  return flatten(*P);
+}
+
+} // namespace
+
+TEST(ScSemanticsTest, StoreBufferingForbiddenUnderSc) {
+  FlatProgram FP = flattenSource(R"(
+    var x y;
+    proc p0 { reg r0; x = 1; r0 = y; }
+    proc p1 { reg r1; y = 1; r1 = x; }
+  )");
+  auto Terminals = collectScTerminalRegs(FP);
+  std::set<std::vector<Value>> Expected = {{0, 1}, {1, 0}, {1, 1}};
+  EXPECT_EQ(Terminals, Expected);
+}
+
+TEST(ScSemanticsTest, ReadsSeeLatestStore) {
+  FlatProgram FP = flattenSource(R"(
+    var x;
+    proc p { reg a b; x = 5; a = x; x = 6; b = x; }
+  )");
+  auto Terminals = collectScTerminalRegs(FP);
+  ASSERT_EQ(Terminals.size(), 1u);
+  EXPECT_EQ(*Terminals.begin(), (std::vector<Value>{5, 6}));
+}
+
+TEST(ScSemanticsTest, CasBlocksUntilExpectedValue) {
+  FlatProgram FP = flattenSource(R"(
+    var x;
+    proc a { reg r; cas(x, 1, 2); }
+    proc b { reg s; x = 1; }
+  )");
+  ScQuery Q;
+  Q.Goal = ScGoalKind::AllDone;
+  EXPECT_TRUE(exploreSc(FP, Q).reached());
+
+  FlatProgram Stuck = flattenSource(R"(
+    var x;
+    proc a { reg r; cas(x, 1, 2); }
+  )");
+  EXPECT_TRUE(exploreSc(Stuck, Q).exhausted());
+}
+
+TEST(ScSemanticsTest, CasIsAtomicTestAndSet) {
+  FlatProgram FP = flattenSource(R"(
+    var x;
+    proc a { reg r; cas(x, 0, 1); }
+    proc b { reg s; cas(x, 0, 2); }
+  )");
+  ScQuery Q;
+  Q.Goal = ScGoalKind::AllDone;
+  // One CAS consumes the 0; the other blocks forever.
+  EXPECT_TRUE(exploreSc(FP, Q).exhausted());
+}
+
+TEST(ScAtomicTest, AtomicSectionPreventsLostUpdate) {
+  FlatProgram FP = flattenSource(R"(
+    var x;
+    proc a { reg r; atomic { r = x; x = r + 1; } }
+    proc b { reg s; atomic { s = x; x = s + 1; } }
+    proc check { reg c; c = x; assert(!(c == 2)); }
+  )");
+  // With atomic increments, x == 2 must be observable (assert fails).
+  ScQuery Q;
+  ASSERT_TRUE(exploreSc(FP, Q).reached());
+
+  FlatProgram Racy = flattenSource(R"(
+    var x done0 done1;
+    proc a { reg r; r = x; x = r + 1; done0 = 1; }
+    proc b { reg s; s = x; x = s + 1; done1 = 1; }
+    proc check { reg d0 d1 c;
+      d0 = done0; assume(d0 == 1);
+      d1 = done1; assume(d1 == 1);
+      c = x; assert(c == 2); }
+  )");
+  // Without atomicity the interleaved read-modify-write loses an update,
+  // so c == 1 is reachable and the assert can fail.
+  ASSERT_TRUE(exploreSc(Racy, Q).reached());
+}
+
+TEST(ScAtomicTest, AtomicHolderBlocksOthers) {
+  FlatProgram FP = flattenSource(R"(
+    var x;
+    proc a { reg r; atomic { x = 1; assume(r == 1); } }
+    proc b { reg s; s = x; }
+  )");
+  // Process a enters the atomic section and blocks on the assume; b can
+  // then never run, so AllDone is unreachable AND b never reads x == 1.
+  ScQuery Q;
+  Q.Goal = ScGoalKind::AllDone;
+  EXPECT_TRUE(exploreSc(FP, Q).exhausted());
+  auto Terminals = collectScTerminalRegs(FP);
+  EXPECT_TRUE(Terminals.empty());
+}
+
+TEST(ScContextBoundTest, PingPongNeedsTwoSwitches) {
+  FlatProgram FP = flattenSource(R"(
+    var x y;
+    proc p0 { reg r0; x = 1; r0 = y; assert(r0 != 1); }
+    proc p1 { reg a; a = x; y = a; }
+  )");
+  // Error trace: p0 writes x=1 | p1 copies x into y | p0 reads y=1.
+  ScQuery Q;
+  Q.ContextBound = 1;
+  EXPECT_TRUE(exploreSc(FP, Q).exhausted());
+  Q.ContextBound = 2;
+  ScResult R = exploreSc(FP, Q);
+  ASSERT_TRUE(R.reached());
+  EXPECT_EQ(R.ContextSwitchesUsed, 2u);
+}
+
+TEST(ScContextBoundTest, ZeroContextsRunSingleProcess) {
+  FlatProgram FP = flattenSource(R"(
+    var x;
+    proc a { reg r; x = 1; }
+    proc b { reg s; s = x; assert(s != 0); }
+  )");
+  // With 0 context switches only one process runs; b alone reads 0 and
+  // fails its assert immediately.
+  ScQuery Q;
+  Q.ContextBound = 0;
+  EXPECT_TRUE(exploreSc(FP, Q).reached());
+}
+
+TEST(ScContextBoundTest, BoundRestrictsTerminalValuations) {
+  FlatProgram FP = flattenSource(R"(
+    var x y;
+    proc p0 { reg r0; x = 1; r0 = y; }
+    proc p1 { reg r1; y = 1; r1 = x; }
+  )");
+  auto Bound1 = collectScTerminalRegs(FP, 1u);
+  // One switch: run one process fully, then the other: (0,1) or (1,0).
+  std::set<std::vector<Value>> Expected = {{0, 1}, {1, 0}};
+  EXPECT_EQ(Bound1, Expected);
+}
+
+TEST(ScSchedulingTest, SwitchOnlyAfterWriteStillFindsWriteRaces) {
+  FlatProgram FP = flattenSource(R"(
+    var x y;
+    proc p0 { reg r0; x = 1; r0 = y; assert(!(r0 == 1)); }
+    proc p1 { reg r1; y = 1; r1 = x; }
+  )");
+  ScQuery Q;
+  Q.SwitchOnlyAfterWrite = true;
+  ScResult R = exploreSc(FP, Q);
+  EXPECT_TRUE(R.reached());
+}
+
+TEST(ScSchedulingTest, SwitchOnlyAfterWriteAllowsLeavingBlockedProcess) {
+  FlatProgram FP = flattenSource(R"(
+    var x;
+    proc a { reg r; cas(x, 1, 2); }
+    proc b { reg s; x = 1; }
+  )");
+  ScQuery Q;
+  Q.Goal = ScGoalKind::AllDone;
+  Q.SwitchOnlyAfterWrite = true;
+  // a blocks on the CAS until b writes; the scheduler must be able to
+  // switch away from the blocked a even though it has not written.
+  EXPECT_TRUE(exploreSc(FP, Q).reached());
+}
+
+TEST(ScExplorerTest, NondetEnumerated) {
+  FlatProgram FP = flattenSource(R"(
+    var x;
+    proc a { reg r; r = nondet(2, 4); x = r; }
+    proc b { reg s; s = x; }
+  )");
+  auto Terminals = collectScTerminalRegs(FP);
+  std::set<Value> SeenR, SeenS;
+  for (const auto &T : Terminals) {
+    SeenR.insert(T[0]);
+    SeenS.insert(T[1]);
+  }
+  EXPECT_EQ(SeenR, (std::set<Value>{2, 3, 4}));
+  EXPECT_EQ(SeenS, (std::set<Value>{0, 2, 3, 4}));
+}
+
+TEST(ScExplorerTest, TraceReconstruction) {
+  FlatProgram FP = flattenSource(R"(
+    var x;
+    proc w { reg d; x = 1; }
+    proc r { reg a; a = x; assert(a == 0); }
+  )");
+  ScQuery Q;
+  ScResult R = exploreSc(FP, Q);
+  ASSERT_TRUE(R.reached());
+  ASSERT_FALSE(R.Trace.empty());
+  // The last step must be the failing assert in process r.
+  EXPECT_EQ(R.Trace.back().Proc, 1u);
+}
+
+TEST(ScExplorerTest, TimeoutStatus) {
+  FlatProgram FP = flattenSource(R"(
+    var x;
+    proc w { reg i; i = 0; while (i < 10000) { x = i; i = i + 1; } }
+    proc r { reg a; a = x; assert(a < 10000); }
+  )");
+  ScQuery Q;
+  Q.BudgetSeconds = 1e-9;
+  ScResult R = exploreSc(FP, Q);
+  EXPECT_EQ(R.Status, ScStatus::Timeout);
+}

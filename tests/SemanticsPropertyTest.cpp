@@ -1,0 +1,182 @@
+//===- SemanticsPropertyTest.cpp - cross-semantics invariants ---*- C++ -*-===//
+//
+// Property tests relating the three semantics of the same language:
+//  * SC executions are a subset of RA executions (every SC-reachable
+//    terminal register valuation is RA-reachable);
+//  * RA behaviours grow monotonically with the view-switch budget;
+//  * exploration is deterministic (canonical timestamps make the visited
+//    set exact, so repeated runs agree);
+//  * fences only remove RA behaviours, never add them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ra/RaExplorer.h"
+#include "sc/ScExplorer.h"
+
+#include "RandomPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace vbmc;
+using namespace vbmc::ir;
+
+namespace {
+
+bool isSubset(const std::set<std::vector<Value>> &A,
+              const std::set<std::vector<Value>> &B) {
+  return std::includes(B.begin(), B.end(), A.begin(), A.end());
+}
+
+} // namespace
+
+TEST(SemanticsInclusionTest, ScBehavioursSubsetOfRa) {
+  Rng R(555);
+  testutil::RandomProgramOptions O;
+  O.NumVars = 2;
+  O.NumProcs = 2;
+  O.StmtsPerProc = 4;
+  O.AssertPermille = 0; // Pure behaviour comparison.
+  for (int Iter = 0; Iter < 25; ++Iter) {
+    Program P = testutil::makeRandomProgram(R, O);
+    FlatProgram FP = flatten(P);
+    auto Sc = sc::collectScTerminalRegs(FP);
+    auto Ra = ra::collectTerminalRegs(FP);
+    ASSERT_TRUE(isSubset(Sc, Ra))
+        << "SC exhibits a behaviour RA forbids (iter " << Iter << ")\n"
+        << printProgram(P);
+  }
+}
+
+TEST(SemanticsInclusionTest, ViewBoundMonotone) {
+  Rng R(666);
+  testutil::RandomProgramOptions O;
+  O.NumVars = 2;
+  O.NumProcs = 2;
+  O.StmtsPerProc = 3;
+  O.AssertPermille = 0;
+  for (int Iter = 0; Iter < 15; ++Iter) {
+    Program P = testutil::makeRandomProgram(R, O);
+    FlatProgram FP = flatten(P);
+    auto Prev = ra::collectTerminalRegs(FP, 0u);
+    for (uint32_t K = 1; K <= 3; ++K) {
+      auto Cur = ra::collectTerminalRegs(FP, K);
+      ASSERT_TRUE(isSubset(Prev, Cur))
+          << "K=" << K << " lost behaviours (iter " << Iter << ")";
+      Prev = std::move(Cur);
+    }
+    // The unbounded set contains every bounded one.
+    auto Unbounded = ra::collectTerminalRegs(FP);
+    EXPECT_TRUE(isSubset(Prev, Unbounded));
+  }
+}
+
+TEST(SemanticsInclusionTest, ExplorationDeterministic) {
+  Program P = *parseProgram(R"(
+    var x y;
+    proc p0 { reg r0; x = 1; r0 = y; }
+    proc p1 { reg r1; y = 1; r1 = x; }
+  )");
+  FlatProgram FP = flatten(P);
+  auto A = ra::collectTerminalRegs(FP);
+  auto B = ra::collectTerminalRegs(FP);
+  EXPECT_EQ(A, B);
+  ra::RaQuery Q;
+  Q.Goal = ra::GoalKind::AllDone;
+  auto R1 = ra::exploreRa(FP, Q);
+  auto R2 = ra::exploreRa(FP, Q);
+  EXPECT_EQ(R1.StatesVisited, R2.StatesVisited);
+  EXPECT_EQ(R1.TransitionsExplored, R2.TransitionsExplored);
+}
+
+TEST(SemanticsInclusionTest, FencesOnlyRemoveBehaviours) {
+  // Compare SB with and without fences: the fenced outcome set must be a
+  // subset of the unfenced one (fences restrict, never add).
+  Program Unfenced = *parseProgram(R"(
+    var x y;
+    proc p0 { reg r0; x = 1; r0 = y; }
+    proc p1 { reg r1; y = 1; r1 = x; }
+  )");
+  Program Fenced = *parseProgram(R"(
+    var x y;
+    proc p0 { reg r0; x = 1; fence; r0 = y; }
+    proc p1 { reg r1; y = 1; fence; r1 = x; }
+  )");
+  auto U = ra::collectTerminalRegs(flatten(Unfenced));
+  auto F = ra::collectTerminalRegs(flatten(Fenced));
+  EXPECT_TRUE(isSubset(F, U));
+  EXPECT_LT(F.size(), U.size()); // (0,0) was removed.
+}
+
+TEST(SemanticsInclusionTest, FencedBehavioursContainSc) {
+  // Fully fenced programs still exhibit at least the SC behaviours.
+  Program Fenced = *parseProgram(R"(
+    var x y;
+    proc p0 { reg r0; x = 1; fence; r0 = y; }
+    proc p1 { reg r1; y = 1; fence; r1 = x; }
+  )");
+  Program Plain = *parseProgram(R"(
+    var x y;
+    proc p0 { reg r0; x = 1; r0 = y; }
+    proc p1 { reg r1; y = 1; r1 = x; }
+  )");
+  auto Sc = sc::collectScTerminalRegs(flatten(Plain));
+  auto F = ra::collectTerminalRegs(flatten(Fenced));
+  EXPECT_TRUE(isSubset(Sc, F));
+}
+
+TEST(ParserPrecedenceTest, ArithmeticBeforeComparisonBeforeLogic) {
+  Program P = *parseProgram(R"(
+    var x;
+    proc p { reg a b;
+      a = 1 + 2 * 3;
+      b = a == 7 && a > 2 * 3 || 0;
+      assert(b == 1);
+    }
+  )");
+  FlatProgram FP = flatten(P);
+  ra::RaQuery Q;
+  Q.Goal = ra::GoalKind::AnyError;
+  // assert passes: a = 7, (a==7 && a>6) || 0 = 1.
+  EXPECT_TRUE(ra::exploreRa(FP, Q).exhausted());
+}
+
+TEST(ParserPrecedenceTest, UnaryOperators) {
+  Program P = *parseProgram(R"(
+    var x;
+    proc p { reg a b;
+      a = -3 + 5;
+      b = !0 + !7;
+      assert(a == 2 && b == 1);
+    }
+  )");
+  FlatProgram FP = flatten(P);
+  ra::RaQuery Q;
+  Q.Goal = ra::GoalKind::AnyError;
+  EXPECT_TRUE(ra::exploreRa(FP, Q).exhausted());
+}
+
+TEST(TraceFormattingTest, DescribesAllOpKinds) {
+  Program P = *parseProgram(R"(
+    var x;
+    proc p { reg a;
+      a = x;
+      x = a + 1;
+      cas(x, a, a);
+      assume(a >= 0);
+      assert(a >= 0);
+      if (a == 0) { term; }
+      while (a > 100) { a = a - 1; }
+    }
+  )");
+  FlatProgram FP = flatten(P);
+  for (Label L = 0; L < FP.Procs[0].Instrs.size(); ++L) {
+    ra::RaStep S;
+    S.Proc = 0;
+    S.Instr = L;
+    EXPECT_FALSE(ra::describeStep(FP, S).empty());
+  }
+}

@@ -1,0 +1,237 @@
+//===- SmcTest.cpp - tests for the stateless baselines ----------*- C++ -*-===//
+
+#include "bmc/Unroll.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "protocols/Protocols.h"
+#include "ra/RaExplorer.h"
+#include "smc/Smc.h"
+
+#include "RandomPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace vbmc;
+using namespace vbmc::ir;
+using namespace vbmc::smc;
+
+namespace {
+
+FlatProgram unrolledFlat(const Program &P, uint32_t L) {
+  return flatten(bmc::unrollLoops(P, L));
+}
+
+Program parseOrDie(const std::string &Src) {
+  auto P = parseProgram(Src);
+  EXPECT_TRUE(P) << (P ? "" : P.error().str());
+  return P.take();
+}
+
+SmcResult runStrategy(const FlatProgram &FP, SmcStrategy S,
+                      double Budget = 30) {
+  SmcOptions O;
+  O.Strategy = S;
+  O.BudgetSeconds = Budget;
+  return exploreSmc(FP, O);
+}
+
+} // namespace
+
+TEST(SmcTest, AllStrategiesFindMessagePassingBug) {
+  Program P = parseOrDie(R"(
+    var x y;
+    proc p0 { reg d; x = 1; y = 1; }
+    proc p1 { reg r1 r2; r1 = y; r2 = x; assert(!(r1 == 1 && r2 == 1)); }
+  )");
+  FlatProgram FP = flatten(P);
+  for (SmcStrategy S :
+       {SmcStrategy::Naive, SmcStrategy::Dpor, SmcStrategy::Graph}) {
+    SmcResult R = runStrategy(FP, S);
+    EXPECT_TRUE(R.FoundBug) << static_cast<int>(S);
+  }
+}
+
+TEST(SmcTest, AllStrategiesAgreeOnSafety) {
+  Program P = parseOrDie(R"(
+    var x y;
+    proc p0 { reg d; x = 1; y = 1; }
+    proc p1 { reg r1 r2; r1 = y; r2 = x; assert(!(r1 == 1 && r2 == 0)); }
+  )");
+  FlatProgram FP = flatten(P);
+  for (SmcStrategy S :
+       {SmcStrategy::Naive, SmcStrategy::Dpor, SmcStrategy::Graph}) {
+    SmcResult R = runStrategy(FP, S);
+    EXPECT_FALSE(R.FoundBug) << static_cast<int>(S);
+    EXPECT_TRUE(R.Complete) << static_cast<int>(S);
+    EXPECT_GT(R.Executions, 0u);
+  }
+}
+
+TEST(SmcTest, VisibleGranularityExploresFewerExecutions) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc p0 { reg a b; a = 1; b = 2; a = a + b; x = a; }
+    proc p1 { reg c d; c = 3; d = 4; c = c + d; x = c; }
+  )");
+  FlatProgram FP = flatten(P);
+  SmcResult Naive = runStrategy(FP, SmcStrategy::Naive);
+  SmcResult Dpor = runStrategy(FP, SmcStrategy::Dpor);
+  ASSERT_TRUE(Naive.Complete);
+  ASSERT_TRUE(Dpor.Complete);
+  // Interleavings of the register computations are collapsed.
+  EXPECT_LT(Dpor.Executions, Naive.Executions);
+  EXPECT_LT(Dpor.Steps, Naive.Steps);
+}
+
+TEST(SmcTest, ExplorationOrderAffectsTimeToBug) {
+  // The bug sits in the *last* process: the descending (Graph) order
+  // reaches it with less work than the ascending (Dpor) order.
+  Program P = parseOrDie(R"(
+    var x;
+    proc p0 { reg a; a = x; a = x; a = x; }
+    proc p1 { reg b; b = x; b = x; b = x; }
+    proc p2 { reg c; x = 1; c = x; assert(c != 1); }
+  )");
+  FlatProgram FP = flatten(P);
+  SmcResult Asc = runStrategy(FP, SmcStrategy::Dpor);
+  SmcResult Desc = runStrategy(FP, SmcStrategy::Graph);
+  ASSERT_TRUE(Asc.FoundBug);
+  ASSERT_TRUE(Desc.FoundBug);
+  EXPECT_LT(Desc.Steps, Asc.Steps);
+}
+
+TEST(SmcTest, FindsUnfencedProtocolBugs) {
+  using namespace vbmc::protocols;
+  FlatProgram SimDekker =
+      unrolledFlat(makeSimplifiedDekker(MutexOptions::unfenced(2)), 2);
+  FlatProgram Peterson =
+      unrolledFlat(makePeterson(MutexOptions::unfenced(2)), 2);
+  for (SmcStrategy S : {SmcStrategy::Dpor, SmcStrategy::Graph}) {
+    EXPECT_TRUE(runStrategy(SimDekker, S).FoundBug);
+    EXPECT_TRUE(runStrategy(Peterson, S).FoundBug);
+  }
+}
+
+TEST(SmcTest, FencedSimDekkerSafe) {
+  using namespace vbmc::protocols;
+  FlatProgram FP =
+      unrolledFlat(makeSimplifiedDekker(MutexOptions::fencedAll(2)), 1);
+  SmcResult R = runStrategy(FP, SmcStrategy::Dpor);
+  EXPECT_FALSE(R.FoundBug);
+  EXPECT_TRUE(R.Complete);
+}
+
+TEST(SmcTest, BudgetYieldsTimeout) {
+  using namespace vbmc::protocols;
+  FlatProgram FP = unrolledFlat(makeBakery(MutexOptions::fencedAll(3)), 2);
+  SmcOptions O;
+  O.Strategy = SmcStrategy::Naive;
+  O.BudgetSeconds = 0.05;
+  SmcResult R = exploreSmc(FP, O);
+  EXPECT_TRUE(R.TimedOut || R.FoundBug || R.Complete);
+  EXPECT_FALSE(R.FoundBug) << "fenced bakery must not report a bug";
+}
+
+TEST(SmcTest, MatchesExhaustiveExplorerOnRandomPrograms) {
+  Rng R(31337);
+  testutil::RandomProgramOptions O;
+  O.NumVars = 2;
+  O.NumProcs = 2;
+  O.StmtsPerProc = 3;
+  for (int Iter = 0; Iter < 15; ++Iter) {
+    Program P = testutil::makeRandomProgram(R, O);
+    FlatProgram FP = flatten(P);
+    ra::RaQuery Q;
+    Q.Goal = ra::GoalKind::AnyError;
+    bool Truth = ra::exploreRa(FP, Q).reached();
+    for (SmcStrategy S :
+         {SmcStrategy::Naive, SmcStrategy::Dpor, SmcStrategy::Graph}) {
+      SmcResult SR = runStrategy(FP, S);
+      ASSERT_TRUE(SR.Complete || SR.FoundBug);
+      ASSERT_EQ(SR.FoundBug, Truth)
+          << "iter " << Iter << " strategy " << static_cast<int>(S) << "\n"
+          << printProgram(P);
+    }
+  }
+}
+
+TEST(SmcTest, ExecutionCapStopsSearch) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc p0 { reg a; x = 1; x = 2; x = 3; }
+    proc p1 { reg b; b = x; b = x; b = x; }
+  )");
+  FlatProgram FP = flatten(P);
+  SmcOptions O;
+  O.Strategy = SmcStrategy::Naive;
+  O.MaxExecutions = 3;
+  SmcResult R = exploreSmc(FP, O);
+  EXPECT_FALSE(R.Complete);
+  EXPECT_LE(R.Executions, 3u);
+}
+
+TEST(SmcTest, ViewSwitchBoundPrunes) {
+  // MP violation needs exactly one view switch: invisible at bound 0,
+  // found at bound 1.
+  Program P = parseOrDie(R"(
+    var x y;
+    proc p0 { reg d; x = 1; y = 1; }
+    proc p1 { reg r1 r2; r1 = y; r2 = x; assert(!(r1 == 1 && r2 == 1)); }
+  )");
+  FlatProgram FP = flatten(P);
+  SmcOptions O;
+  O.Strategy = SmcStrategy::Dpor;
+  O.BoundViewSwitches = true;
+  O.ViewSwitchBound = 0;
+  SmcResult R0 = exploreSmc(FP, O);
+  EXPECT_FALSE(R0.FoundBug);
+  O.ViewSwitchBound = 1;
+  SmcResult R1 = exploreSmc(FP, O);
+  EXPECT_TRUE(R1.FoundBug);
+}
+
+TEST(SmcTest, ViewSwitchBoundShrinksSearch) {
+  Program P = parseOrDie(R"(
+    var x y;
+    proc p0 { reg a b; x = 1; a = y; b = y; }
+    proc p1 { reg c d; y = 1; c = x; d = x; }
+  )");
+  FlatProgram FP = flatten(P);
+  SmcOptions Bounded;
+  Bounded.Strategy = SmcStrategy::Dpor;
+  Bounded.BoundViewSwitches = true;
+  Bounded.ViewSwitchBound = 1;
+  SmcOptions Free = Bounded;
+  Free.BoundViewSwitches = false;
+  SmcResult RB = exploreSmc(FP, Bounded);
+  SmcResult RF = exploreSmc(FP, Free);
+  EXPECT_TRUE(RB.Complete);
+  EXPECT_TRUE(RF.Complete);
+  EXPECT_LT(RB.Steps, RF.Steps);
+}
+
+TEST(SmcTest, AllDoneGoalRespectsBlockedCas) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc a { reg r; cas(x, 5, 6); }
+  )");
+  FlatProgram FP = flatten(P);
+  SmcOptions O;
+  O.Goal = SmcGoal::AllDone;
+  SmcResult R = exploreSmc(FP, O);
+  EXPECT_FALSE(R.FoundBug);
+  EXPECT_TRUE(R.Complete);
+}
+
+TEST(SmcTest, AllDoneGoalFindsTermination) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc a { reg r; x = 1; term; }
+    proc b { reg s; s = x; term; }
+  )");
+  FlatProgram FP = flatten(P);
+  SmcOptions O;
+  O.Goal = SmcGoal::AllDone;
+  SmcResult R = exploreSmc(FP, O);
+  EXPECT_TRUE(R.FoundBug) << "AllDone goal reports via FoundBug";
+}

@@ -1,0 +1,123 @@
+//===- SupportTest.cpp - unit tests for src/support -------------*- C++ -*-===//
+
+#include "support/Cli.h"
+#include "support/Diagnostics.h"
+#include "support/Rng.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace vbmc;
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng R(11);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(R.nextBelow(5));
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng R(3);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 500; ++I) {
+    int64_t V = R.nextInRange(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(RngTest, ReseedResetsStream) {
+  Rng R(9);
+  uint64_t First = R.next();
+  R.next();
+  R.reseed(9);
+  EXPECT_EQ(R.next(), First);
+}
+
+TEST(DiagnosticsTest, LocationRendering) {
+  EXPECT_EQ(SourceLoc{}.str(), "<unknown>");
+  SourceLoc L{3, 14};
+  EXPECT_EQ(L.str(), "3:14");
+  Diagnostic D("bad token", L);
+  EXPECT_EQ(D.str(), "3:14: bad token");
+  Diagnostic NoLoc("general failure");
+  EXPECT_EQ(NoLoc.str(), "general failure");
+}
+
+TEST(DiagnosticsTest, ErrorOrValueAndError) {
+  ErrorOr<int> Ok(5);
+  ASSERT_TRUE(Ok);
+  EXPECT_EQ(*Ok, 5);
+  ErrorOr<int> Bad(Diagnostic("nope"));
+  ASSERT_FALSE(Bad);
+  EXPECT_EQ(Bad.error().message(), "nope");
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table T({"Program", "VBMC", "Tracer"});
+  T.addRow({"bakery", "0.5", "0.01"});
+  T.addRow({"szymanski_0", "0.4", "0.03"});
+  std::string S = T.str();
+  EXPECT_NE(S.find("Program"), std::string::npos);
+  EXPECT_NE(S.find("szymanski_0"), std::string::npos);
+  // Every row has the same rendered width for the first column.
+  EXPECT_NE(S.find("bakery      "), std::string::npos);
+}
+
+TEST(TableTest, FormatSeconds) {
+  EXPECT_EQ(Table::formatSeconds(1.234567, false), "1.235");
+  EXPECT_EQ(Table::formatSeconds(123.4, false), "123.4");
+  EXPECT_EQ(Table::formatSeconds(5, true), "T.O");
+}
+
+TEST(CliTest, ParsesFlagsAndPositionals) {
+  const char *Argv[] = {"tool", "--k", "3",  "input.txt",
+                        "--l=2", "--verbose", "--name", "--x", "7"};
+  CommandLine CL = CommandLine::parse(9, Argv);
+  EXPECT_EQ(CL.getInt("k", 0), 3);
+  EXPECT_EQ(CL.getInt("l", 0), 2);
+  EXPECT_TRUE(CL.hasFlag("verbose"));
+  EXPECT_TRUE(CL.hasFlag("name"));
+  EXPECT_EQ(CL.getInt("x", 0), 7);
+  ASSERT_EQ(CL.positionals().size(), 1u);
+  EXPECT_EQ(CL.positionals()[0], "input.txt");
+  EXPECT_EQ(CL.getInt("absent", -1), -1);
+  EXPECT_EQ(CL.getString("absent", "d"), "d");
+}
+
+TEST(TimerTest, DeadlineExpires) {
+  Deadline Never;
+  EXPECT_FALSE(Never.expired());
+  Deadline Tiny(1e-9);
+  // Spin briefly.
+  volatile int X = 0;
+  for (int I = 0; I < 100000; ++I)
+    X = X + 1;
+  EXPECT_TRUE(Tiny.expired());
+}

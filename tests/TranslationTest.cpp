@@ -1,0 +1,373 @@
+//===- TranslationTest.cpp - tests for [[.]]_K ------------------*- C++ -*-===//
+//
+// Structural checks on the emitted instrumentation, end-to-end behaviour
+// checks through the explicit SC backend, and the central differential
+// property test: for every program P and bound K,
+//
+//   Reach_RA(P, K view switches)  ==  Reach_SC([[P]]_K, K+n contexts).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ra/RaExplorer.h"
+#include "translation/Translate.h"
+#include "vbmc/Vbmc.h"
+
+#include "RandomPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace vbmc;
+using namespace vbmc::ir;
+using namespace vbmc::translation;
+
+namespace {
+
+Program parseOrDie(const std::string &Src) {
+  auto P = parseProgram(Src);
+  EXPECT_TRUE(P) << (P ? "" : P.error().str());
+  return P.take();
+}
+
+/// RA-side k-bounded assertion reachability (ground truth).
+bool raReachable(const Program &P, uint32_t K) {
+  FlatProgram FP = flatten(P);
+  ra::RaQuery Q;
+  Q.Goal = ra::GoalKind::AnyError;
+  Q.ViewSwitchBound = K;
+  ra::RaResult R = ra::exploreRa(FP, Q);
+  EXPECT_TRUE(R.reached() || R.exhausted());
+  return R.reached();
+}
+
+/// Translation + context-bounded SC assertion reachability.
+bool scReachable(const Program &P, uint32_t K, uint32_t CasAllowance = 2,
+                 bool SwitchOnlyAfterWrite = false) {
+  TranslationOptions TO;
+  TO.K = K;
+  TO.CasAllowance = CasAllowance;
+  TranslationResult TR = translateToSc(P, TO);
+  FlatProgram FP = flatten(TR.Prog);
+  sc::ScQuery Q;
+  Q.Goal = sc::ScGoalKind::AnyError;
+  Q.ContextBound = TR.ContextBound;
+  Q.SwitchOnlyAfterWrite = SwitchOnlyAfterWrite;
+  sc::ScResult R = sc::exploreSc(FP, Q);
+  EXPECT_TRUE(R.reached() || R.exhausted());
+  return R.reached();
+}
+
+} // namespace
+
+TEST(TranslationStructureTest, SharedStateLayout) {
+  Program P = parseOrDie("var x y; proc p { reg r; r = x; y = 1; }");
+  TranslationOptions TO;
+  TO.K = 2;
+  TO.CasAllowance = 2;
+  TranslationResult TR = translateToSc(P, TO);
+  // Input vars kept, plus per-slot (1 + 3*|X|), msgs_used, s_ra, and
+  // |X| * T used-stamp variables with T = 2K + 2 = 6.
+  uint32_t ExpectedVars = 2 + 2 * (1 + 3 * 2) + 2 + 2 * 6;
+  EXPECT_EQ(TR.Prog.numVars(), ExpectedVars);
+  EXPECT_EQ(TR.ContextBound, 2u + 1u);
+  EXPECT_EQ(TR.InputVars, 2u);
+  ASSERT_TRUE(TR.Prog.validate());
+}
+
+TEST(TranslationStructureTest, RegistersExtendedPerProcess) {
+  Program P = parseOrDie(
+      "var x; proc a { reg r; r = x; } proc b { reg s; x = 1; }");
+  TranslationOptions TO;
+  TO.K = 1;
+  TranslationResult TR = translateToSc(P, TO);
+  // Original 2 registers + per process (3 view regs for x + 5 scratch).
+  EXPECT_EQ(TR.Prog.numRegs(), 2u + 2u * (3u + 5u));
+  // Original register ids preserved.
+  EXPECT_EQ(TR.Prog.Regs[0].Name, "r");
+  EXPECT_EQ(TR.Prog.Regs[1].Name, "s");
+}
+
+TEST(TranslationStructureTest, FencesDesugaredBeforeTranslation) {
+  Program P = parseOrDie("var x; proc p { reg r; fence; }");
+  Program D = desugarFences(P);
+  EXPECT_EQ(D.numVars(), 2u);
+  EXPECT_EQ(D.Vars[1], "__fence");
+  ASSERT_EQ(D.Procs[0].Body.size(), 1u);
+  EXPECT_EQ(D.Procs[0].Body[0].Kind, StmtKind::Cas);
+  // Idempotent when fence-free.
+  Program D2 = desugarFences(D);
+  EXPECT_EQ(D2.numVars(), 2u);
+}
+
+TEST(TranslationStructureTest, TranslatedProgramPrintsAndReparses) {
+  Program P = parseOrDie("var x; proc p { reg r; r = x; x = r + 1; }");
+  TranslationOptions TO;
+  TO.K = 1;
+  TO.CasAllowance = 1;
+  TranslationResult TR = translateToSc(P, TO);
+  std::string Printed = printProgram(TR.Prog);
+  EXPECT_NE(Printed.find("msgs_used"), std::string::npos);
+  EXPECT_NE(Printed.find("s_ra"), std::string::npos);
+  EXPECT_NE(Printed.find("nondet"), std::string::npos);
+}
+
+TEST(TranslationBehaviourTest, StoreBufferingUnsafeAtKZero) {
+  // The SB weak outcome reads only initial messages: no view switch needed.
+  Program P = parseOrDie(R"(
+    var x y;
+    proc p0 { reg r0; x = 1; r0 = y; }
+    proc p1 { reg r1; y = 1; r1 = x; assert(!(r1 == 0)); }
+  )");
+  EXPECT_TRUE(scReachable(P, 0));
+  EXPECT_TRUE(raReachable(P, 0));
+}
+
+TEST(TranslationBehaviourTest, MessagePassingNeedsOneSwitch) {
+  Program P = parseOrDie(R"(
+    var x y;
+    proc p0 { reg d; x = 1; y = 1; }
+    proc p1 { reg r1 r2; r1 = y; r2 = x; assert(!(r1 == 1 && r2 == 1)); }
+  )");
+  EXPECT_FALSE(scReachable(P, 0));
+  EXPECT_TRUE(scReachable(P, 1));
+}
+
+TEST(TranslationBehaviourTest, MessagePassingCausalityPreserved) {
+  // The RA-forbidden outcome r1 = 1, r2 = 0 must stay unreachable in the
+  // translated program for any K.
+  Program P = parseOrDie(R"(
+    var x y;
+    proc p0 { reg d; x = 1; y = 1; }
+    proc p1 { reg r1 r2; r1 = y; r2 = x; assert(!(r1 == 1 && r2 == 0)); }
+  )");
+  EXPECT_FALSE(scReachable(P, 0));
+  EXPECT_FALSE(scReachable(P, 1));
+  EXPECT_FALSE(scReachable(P, 2));
+}
+
+TEST(TranslationBehaviourTest, CoherencePreserved) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc w { reg d; x = 1; x = 2; }
+    proc r { reg a b; a = x; b = x; assert(!(a == 2 && b == 1)); }
+  )");
+  EXPECT_FALSE(scReachable(P, 2));
+}
+
+TEST(TranslationBehaviourTest, CasAtomicityPreserved) {
+  // Both CAS from 0 cannot succeed; flag both succeeding via shared cells.
+  Program P = parseOrDie(R"(
+    var x da db;
+    proc a { reg r; cas(x, 0, 1); da = 1; }
+    proc b { reg s; cas(x, 0, 2); db = 1; }
+    proc c { reg u v; u = da; v = db; assert(!(u == 1 && v == 1)); }
+  )");
+  EXPECT_FALSE(scReachable(P, 4, /*CasAllowance=*/4));
+  EXPECT_TRUE(raReachable(P, 4) == false);
+}
+
+TEST(TranslationBehaviourTest, CasSucceedsAndPublishes) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc a { reg r; cas(x, 0, 7); }
+    proc b { reg s; s = x; assert(s != 7); }
+  )");
+  // b can observe the CAS result with one view switch.
+  EXPECT_FALSE(scReachable(P, 0, 4));
+  EXPECT_TRUE(scReachable(P, 1, 4));
+  EXPECT_TRUE(raReachable(P, 1));
+}
+
+TEST(TranslationBehaviourTest, FenceVisibilityDifferential) {
+  // A fence pair transfers views through the fence variable's CAS chain:
+  // if p1's fence follows p0's, p1 must observe x = 1.
+  Program P = parseOrDie(R"(
+    var x;
+    proc p0 { reg a; x = 1; fence; }
+    proc p1 { reg b; fence; b = x; assert(b != 1); }
+  )");
+  for (uint32_t K = 0; K <= 2; ++K) {
+    bool Ra = raReachable(P, K);
+    bool Sc = scReachable(P, K, /*CasAllowance=*/4);
+    EXPECT_EQ(Ra, Sc) << "K=" << K;
+  }
+  // Observing x = 1 requires (at least) one view switch.
+  EXPECT_FALSE(raReachable(P, 0));
+  EXPECT_TRUE(raReachable(P, 1));
+}
+
+TEST(TranslationDifferentialTest, HandPickedProgramsAgree) {
+  const char *Sources[] = {
+      // Plain SB.
+      R"(var x y;
+         proc p0 { reg r0; x = 1; r0 = y; }
+         proc p1 { reg r1; y = 1; r1 = x; assert(!(r1 == 0)); })",
+      // MP with both polarities of the assert.
+      R"(var x y;
+         proc p0 { reg d; x = 1; y = 1; }
+         proc p1 { reg r1 r2; r1 = y; r2 = x;
+                   assert(!(r1 == 1 && r2 == 0)); })",
+      R"(var x y;
+         proc p0 { reg d; x = 1; y = 1; }
+         proc p1 { reg r1 r2; r1 = y; r2 = x;
+                   assert(!(r1 == 1 && r2 == 1)); })",
+      // Write-to-same-variable race.
+      R"(var x;
+         proc p0 { reg a; x = 1; a = x; assert(a == 1); }
+         proc p1 { reg b; x = 2; })",
+      // CAS handoff.
+      R"(var x;
+         proc p0 { reg a; cas(x, 0, 1); }
+         proc p1 { reg b; b = x; assert(b != 1); })",
+      // Read-from-middle (mo insertion).
+      R"(var x;
+         proc p0 { reg a; x = 1; x = 2; }
+         proc p1 { reg b c; b = x; c = x;
+                   assert(!(b == 2 && c == 2)); })",
+  };
+  for (const char *Src : Sources) {
+    Program P = parseOrDie(Src);
+    for (uint32_t K = 0; K <= 2; ++K) {
+      bool Ra = raReachable(P, K);
+      bool Sc = scReachable(P, K, /*CasAllowance=*/2);
+      EXPECT_EQ(Ra, Sc) << "K=" << K << "\n" << Src;
+    }
+  }
+}
+
+TEST(TranslationDifferentialTest, RandomProgramsAgree) {
+  Rng R(20260707);
+  testutil::RandomProgramOptions O;
+  O.NumVars = 2;
+  O.NumProcs = 2;
+  O.StmtsPerProc = 3;
+  int Checked = 0;
+  for (int Iter = 0; Iter < 30; ++Iter) {
+    Program P = testutil::makeRandomProgram(R, O);
+    ASSERT_TRUE(P.validate());
+    for (uint32_t K = 0; K <= 1; ++K) {
+      bool Ra = raReachable(P, K);
+      bool Sc = scReachable(P, K, /*CasAllowance=*/2);
+      ASSERT_EQ(Ra, Sc) << "seed iter " << Iter << " K=" << K << "\n"
+                        << printProgram(P);
+      ++Checked;
+    }
+  }
+  EXPECT_EQ(Checked, 60);
+}
+
+TEST(TranslationDifferentialTest, SchedulingReductionPreservesVerdict) {
+  // The Section 6 switch-only-after-write reduction must not change the
+  // verdict on the translated program.
+  Rng R(7);
+  testutil::RandomProgramOptions O;
+  O.NumVars = 2;
+  O.NumProcs = 2;
+  O.StmtsPerProc = 3;
+  O.CasPermille = 0;
+  for (int Iter = 0; Iter < 10; ++Iter) {
+    Program P = testutil::makeRandomProgram(R, O);
+    bool Plain = scReachable(P, 1, 2, /*SwitchOnlyAfterWrite=*/false);
+    bool Reduced = scReachable(P, 1, 2, /*SwitchOnlyAfterWrite=*/true);
+    EXPECT_EQ(Plain, Reduced) << printProgram(P);
+  }
+}
+
+TEST(VbmcDriverTest, EndToEndUnsafe) {
+  driver::VbmcOptions Opts;
+  Opts.K = 1;
+  Opts.CasAllowance = 2;
+  driver::VbmcResult R = driver::checkSource(R"(
+    var x y;
+    proc p0 { reg d; x = 1; y = 1; }
+    proc p1 { reg r1 r2; r1 = y; r2 = x; assert(!(r1 == 1 && r2 == 1)); }
+  )",
+                                             Opts);
+  EXPECT_TRUE(R.unsafe());
+  EXPECT_FALSE(R.Trace.empty());
+}
+
+TEST(VbmcDriverTest, EndToEndSafe) {
+  driver::VbmcOptions Opts;
+  Opts.K = 1;
+  Opts.CasAllowance = 2;
+  driver::VbmcResult R = driver::checkSource(R"(
+    var x y;
+    proc p0 { reg d; x = 1; y = 1; }
+    proc p1 { reg r1 r2; r1 = y; r2 = x; assert(!(r1 == 1 && r2 == 0)); }
+  )",
+                                             Opts);
+  EXPECT_TRUE(R.safe());
+}
+
+TEST(VbmcDriverTest, ParseErrorYieldsUnknown) {
+  driver::VbmcOptions Opts;
+  driver::VbmcResult R = driver::checkSource("var x; proc p { bogus }", Opts);
+  EXPECT_EQ(R.Outcome, driver::Verdict::Unknown);
+  EXPECT_NE(R.Note.find("parse error"), std::string::npos);
+}
+
+namespace {
+
+/// Counts statements recursively (size metric for the polynomiality test).
+size_t countStmts(const std::vector<Stmt> &Body) {
+  size_t N = 0;
+  for (const Stmt &S : Body)
+    N += 1 + countStmts(S.Then) + countStmts(S.Else);
+  return N;
+}
+
+size_t programSize(const Program &P) {
+  size_t N = 0;
+  for (const Process &Proc : P.Procs)
+    N += countStmts(Proc.Body);
+  return N;
+}
+
+} // namespace
+
+TEST(TranslationStructureTest, SizeGrowsPolynomiallyInK) {
+  // The paper: "the obtained program Prog' ... is polynomial in the size
+  // of Prog and K". With fixed CasAllowance the emitted if-chains are
+  // linear in K (message slots) and in T = 2K + C (stamp pool), so the
+  // statement count must grow at most quadratically in K; check the
+  // second difference stays bounded relative to the first growth step.
+  Program P = parseOrDie(R"(
+    var x y;
+    proc p0 { reg a; x = 1; a = y; cas(x, a, 1); }
+    proc p1 { reg b; b = x; y = b; }
+  )");
+  std::vector<size_t> Sizes;
+  for (uint32_t K = 1; K <= 6; ++K) {
+    TranslationOptions TO;
+    TO.K = K;
+    TO.CasAllowance = 2;
+    Sizes.push_back(programSize(translateToSc(P, TO).Prog));
+  }
+  for (size_t I = 0; I + 1 < Sizes.size(); ++I)
+    EXPECT_GT(Sizes[I + 1], Sizes[I]) << "translation must grow with K";
+  // Quadratic bound: size(K) <= size(1) * K^2 * constant.
+  for (size_t I = 0; I < Sizes.size(); ++I) {
+    uint32_t K = static_cast<uint32_t>(I) + 1;
+    EXPECT_LE(Sizes[I], Sizes[0] * K * K * 4)
+        << "superquadratic growth at K=" << K;
+  }
+}
+
+TEST(TranslationStructureTest, SizeLinearInProgramLength) {
+  // Doubling the input statement count roughly doubles the output.
+  auto Make = [&](int Repeats) {
+    std::string Body;
+    for (int I = 0; I < Repeats; ++I)
+      Body += "x = 1; a = y; ";
+    return parseOrDie("var x y; proc p { reg a; " + Body + "}");
+  };
+  TranslationOptions TO;
+  TO.K = 2;
+  TO.CasAllowance = 2;
+  size_t S1 = programSize(translateToSc(Make(4), TO).Prog);
+  size_t S2 = programSize(translateToSc(Make(8), TO).Prog);
+  EXPECT_GE(S2, S1 + S1 / 2);
+  EXPECT_LE(S2, S1 * 3);
+}
