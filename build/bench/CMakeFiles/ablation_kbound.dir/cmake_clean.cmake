@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kbound.dir/ablation_kbound.cpp.o"
+  "CMakeFiles/ablation_kbound.dir/ablation_kbound.cpp.o.d"
+  "ablation_kbound"
+  "ablation_kbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lcs.dir/bench_lcs.cpp.o"
+  "CMakeFiles/bench_lcs.dir/bench_lcs.cpp.o.d"
+  "bench_lcs"
+  "bench_lcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

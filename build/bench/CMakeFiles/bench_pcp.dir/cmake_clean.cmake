@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pcp.dir/bench_pcp.cpp.o"
+  "CMakeFiles/bench_pcp.dir/bench_pcp.cpp.o.d"
+  "bench_pcp"
+  "bench_pcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

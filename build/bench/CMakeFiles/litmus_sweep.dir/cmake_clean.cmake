@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_sweep.dir/litmus_sweep.cpp.o"
+  "CMakeFiles/litmus_sweep.dir/litmus_sweep.cpp.o.d"
+  "litmus_sweep"
+  "litmus_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

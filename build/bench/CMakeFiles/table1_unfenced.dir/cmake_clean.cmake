@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_unfenced.dir/table1_unfenced.cpp.o"
+  "CMakeFiles/table1_unfenced.dir/table1_unfenced.cpp.o.d"
+  "table1_unfenced"
+  "table1_unfenced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_unfenced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

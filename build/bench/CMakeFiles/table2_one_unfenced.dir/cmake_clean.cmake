@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_one_unfenced.dir/table2_one_unfenced.cpp.o"
+  "CMakeFiles/table2_one_unfenced.dir/table2_one_unfenced.cpp.o.d"
+  "table2_one_unfenced"
+  "table2_one_unfenced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_one_unfenced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_peterson3.dir/table4_peterson3.cpp.o"
+  "CMakeFiles/table4_peterson3.dir/table4_peterson3.cpp.o.d"
+  "table4_peterson3"
+  "table4_peterson3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_peterson3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

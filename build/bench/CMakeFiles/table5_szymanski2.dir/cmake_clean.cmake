@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_szymanski2.dir/table5_szymanski2.cpp.o"
+  "CMakeFiles/table5_szymanski2.dir/table5_szymanski2.cpp.o.d"
+  "table5_szymanski2"
+  "table5_szymanski2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_szymanski2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table678_safe.dir/table678_safe.cpp.o"
+  "CMakeFiles/table678_safe.dir/table678_safe.cpp.o.d"
+  "table678_safe"
+  "table678_safe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table678_safe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

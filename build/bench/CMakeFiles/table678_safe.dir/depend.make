@@ -1,0 +1,2 @@
+# Empty dependencies file for table678_safe.
+# This may be replaced when dependencies are built.

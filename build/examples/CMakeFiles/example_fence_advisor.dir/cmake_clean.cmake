@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fence_advisor.dir/fence_advisor.cpp.o"
+  "CMakeFiles/example_fence_advisor.dir/fence_advisor.cpp.o.d"
+  "example_fence_advisor"
+  "example_fence_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fence_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

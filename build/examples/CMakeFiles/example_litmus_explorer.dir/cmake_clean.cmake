@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_litmus_explorer.dir/litmus_explorer.cpp.o"
+  "CMakeFiles/example_litmus_explorer.dir/litmus_explorer.cpp.o.d"
+  "example_litmus_explorer"
+  "example_litmus_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_litmus_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

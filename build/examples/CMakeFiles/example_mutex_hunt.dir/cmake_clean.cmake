@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mutex_hunt.dir/mutex_hunt.cpp.o"
+  "CMakeFiles/example_mutex_hunt.dir/mutex_hunt.cpp.o.d"
+  "example_mutex_hunt"
+  "example_mutex_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mutex_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

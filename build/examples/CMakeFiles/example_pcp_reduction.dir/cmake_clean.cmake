@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pcp_reduction.dir/pcp_reduction.cpp.o"
+  "CMakeFiles/example_pcp_reduction.dir/pcp_reduction.cpp.o.d"
+  "example_pcp_reduction"
+  "example_pcp_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pcp_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

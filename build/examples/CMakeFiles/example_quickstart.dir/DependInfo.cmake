@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/example_quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/example_quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vbmc/CMakeFiles/vbmc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ra/CMakeFiles/vbmc_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/translation/CMakeFiles/vbmc_translation.dir/DependInfo.cmake"
+  "/root/repo/build/src/sc/CMakeFiles/vbmc_sc.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmc/CMakeFiles/vbmc_bmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/formula/CMakeFiles/vbmc_formula.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/vbmc_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/vbmc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vbmc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

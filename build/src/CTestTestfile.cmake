@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("ra")
+subdirs("sc")
+subdirs("sat")
+subdirs("formula")
+subdirs("translation")
+subdirs("bmc")
+subdirs("vbmc")
+subdirs("protocols")
+subdirs("smc")
+subdirs("axiomatic")
+subdirs("litmus")
+subdirs("pcp")
+subdirs("lcs")

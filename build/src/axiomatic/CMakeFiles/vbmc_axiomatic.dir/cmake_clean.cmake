@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbmc_axiomatic.dir/ExecutionGraph.cpp.o"
+  "CMakeFiles/vbmc_axiomatic.dir/ExecutionGraph.cpp.o.d"
+  "libvbmc_axiomatic.a"
+  "libvbmc_axiomatic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbmc_axiomatic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbmc_bmc.dir/Encoder.cpp.o"
+  "CMakeFiles/vbmc_bmc.dir/Encoder.cpp.o.d"
+  "CMakeFiles/vbmc_bmc.dir/Unroll.cpp.o"
+  "CMakeFiles/vbmc_bmc.dir/Unroll.cpp.o.d"
+  "libvbmc_bmc.a"
+  "libvbmc_bmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbmc_bmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

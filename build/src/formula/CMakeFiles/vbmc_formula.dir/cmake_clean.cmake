@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbmc_formula.dir/BitVec.cpp.o"
+  "CMakeFiles/vbmc_formula.dir/BitVec.cpp.o.d"
+  "CMakeFiles/vbmc_formula.dir/Circuit.cpp.o"
+  "CMakeFiles/vbmc_formula.dir/Circuit.cpp.o.d"
+  "libvbmc_formula.a"
+  "libvbmc_formula.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbmc_formula.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

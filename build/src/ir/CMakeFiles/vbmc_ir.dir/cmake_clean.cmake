@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbmc_ir.dir/Expr.cpp.o"
+  "CMakeFiles/vbmc_ir.dir/Expr.cpp.o.d"
+  "CMakeFiles/vbmc_ir.dir/Flatten.cpp.o"
+  "CMakeFiles/vbmc_ir.dir/Flatten.cpp.o.d"
+  "CMakeFiles/vbmc_ir.dir/Parser.cpp.o"
+  "CMakeFiles/vbmc_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/vbmc_ir.dir/Printer.cpp.o"
+  "CMakeFiles/vbmc_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/vbmc_ir.dir/Program.cpp.o"
+  "CMakeFiles/vbmc_ir.dir/Program.cpp.o.d"
+  "libvbmc_ir.a"
+  "libvbmc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbmc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

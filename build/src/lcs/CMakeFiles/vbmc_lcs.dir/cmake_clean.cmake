@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbmc_lcs.dir/Lcs.cpp.o"
+  "CMakeFiles/vbmc_lcs.dir/Lcs.cpp.o.d"
+  "libvbmc_lcs.a"
+  "libvbmc_lcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbmc_lcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vbmc_lcs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbmc_litmus.dir/Litmus.cpp.o"
+  "CMakeFiles/vbmc_litmus.dir/Litmus.cpp.o.d"
+  "libvbmc_litmus.a"
+  "libvbmc_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbmc_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbmc_pcp.dir/Pcp.cpp.o"
+  "CMakeFiles/vbmc_pcp.dir/Pcp.cpp.o.d"
+  "libvbmc_pcp.a"
+  "libvbmc_pcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbmc_pcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

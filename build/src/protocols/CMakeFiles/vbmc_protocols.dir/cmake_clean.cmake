@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbmc_protocols.dir/Protocols.cpp.o"
+  "CMakeFiles/vbmc_protocols.dir/Protocols.cpp.o.d"
+  "libvbmc_protocols.a"
+  "libvbmc_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbmc_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbmc_ra.dir/RaExplorer.cpp.o"
+  "CMakeFiles/vbmc_ra.dir/RaExplorer.cpp.o.d"
+  "CMakeFiles/vbmc_ra.dir/RaSemantics.cpp.o"
+  "CMakeFiles/vbmc_ra.dir/RaSemantics.cpp.o.d"
+  "libvbmc_ra.a"
+  "libvbmc_ra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbmc_ra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

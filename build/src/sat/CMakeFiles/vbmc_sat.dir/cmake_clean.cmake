@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbmc_sat.dir/Dimacs.cpp.o"
+  "CMakeFiles/vbmc_sat.dir/Dimacs.cpp.o.d"
+  "CMakeFiles/vbmc_sat.dir/Solver.cpp.o"
+  "CMakeFiles/vbmc_sat.dir/Solver.cpp.o.d"
+  "libvbmc_sat.a"
+  "libvbmc_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbmc_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

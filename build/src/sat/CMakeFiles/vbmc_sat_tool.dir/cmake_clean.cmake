@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbmc_sat_tool.dir/SatMain.cpp.o"
+  "CMakeFiles/vbmc_sat_tool.dir/SatMain.cpp.o.d"
+  "vbmc-sat"
+  "vbmc-sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbmc_sat_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

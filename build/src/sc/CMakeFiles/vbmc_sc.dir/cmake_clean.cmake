@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbmc_sc.dir/ScExplorer.cpp.o"
+  "CMakeFiles/vbmc_sc.dir/ScExplorer.cpp.o.d"
+  "CMakeFiles/vbmc_sc.dir/ScSemantics.cpp.o"
+  "CMakeFiles/vbmc_sc.dir/ScSemantics.cpp.o.d"
+  "libvbmc_sc.a"
+  "libvbmc_sc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbmc_sc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

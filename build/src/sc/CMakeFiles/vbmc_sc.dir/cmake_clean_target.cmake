@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvbmc_sc.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbmc_smc.dir/Smc.cpp.o"
+  "CMakeFiles/vbmc_smc.dir/Smc.cpp.o.d"
+  "libvbmc_smc.a"
+  "libvbmc_smc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbmc_smc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

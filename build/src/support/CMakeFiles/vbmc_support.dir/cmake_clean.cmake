@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbmc_support.dir/Cli.cpp.o"
+  "CMakeFiles/vbmc_support.dir/Cli.cpp.o.d"
+  "CMakeFiles/vbmc_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/vbmc_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/vbmc_support.dir/Table.cpp.o"
+  "CMakeFiles/vbmc_support.dir/Table.cpp.o.d"
+  "libvbmc_support.a"
+  "libvbmc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbmc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbmc_translation.dir/Translate.cpp.o"
+  "CMakeFiles/vbmc_translation.dir/Translate.cpp.o.d"
+  "libvbmc_translation.a"
+  "libvbmc_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbmc_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

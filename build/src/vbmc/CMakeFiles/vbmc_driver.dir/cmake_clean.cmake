@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbmc_driver.dir/Robustness.cpp.o"
+  "CMakeFiles/vbmc_driver.dir/Robustness.cpp.o.d"
+  "CMakeFiles/vbmc_driver.dir/SatBackend.cpp.o"
+  "CMakeFiles/vbmc_driver.dir/SatBackend.cpp.o.d"
+  "CMakeFiles/vbmc_driver.dir/Vbmc.cpp.o"
+  "CMakeFiles/vbmc_driver.dir/Vbmc.cpp.o.d"
+  "libvbmc_driver.a"
+  "libvbmc_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbmc_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

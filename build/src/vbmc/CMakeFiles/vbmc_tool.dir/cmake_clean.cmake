@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbmc_tool.dir/VbmcMain.cpp.o"
+  "CMakeFiles/vbmc_tool.dir/VbmcMain.cpp.o.d"
+  "vbmc"
+  "vbmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbmc_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

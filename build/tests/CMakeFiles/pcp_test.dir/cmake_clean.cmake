@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcp_test.dir/PcpTest.cpp.o"
+  "CMakeFiles/pcp_test.dir/PcpTest.cpp.o.d"
+  "pcp_test"
+  "pcp_test.pdb"
+  "pcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

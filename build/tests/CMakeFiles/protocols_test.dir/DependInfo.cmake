@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ProtocolsTest.cpp" "tests/CMakeFiles/protocols_test.dir/ProtocolsTest.cpp.o" "gcc" "tests/CMakeFiles/protocols_test.dir/ProtocolsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/vbmc_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/ra/CMakeFiles/vbmc_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/sc/CMakeFiles/vbmc_sc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/vbmc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vbmc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

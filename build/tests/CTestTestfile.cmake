@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/ra_test[1]_include.cmake")
+include("/root/repo/build/tests/sc_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/translation_test[1]_include.cmake")
+include("/root/repo/build/tests/sat_test[1]_include.cmake")
+include("/root/repo/build/tests/formula_test[1]_include.cmake")
+include("/root/repo/build/tests/bmc_test[1]_include.cmake")
+include("/root/repo/build/tests/protocols_test[1]_include.cmake")
+include("/root/repo/build/tests/smc_test[1]_include.cmake")
+include("/root/repo/build/tests/litmus_test[1]_include.cmake")
+include("/root/repo/build/tests/pcp_test[1]_include.cmake")
+include("/root/repo/build/tests/lcs_test[1]_include.cmake")
+include("/root/repo/build/tests/param_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_test[1]_include.cmake")
+include("/root/repo/build/tests/semantics_property_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_case_test[1]_include.cmake")
