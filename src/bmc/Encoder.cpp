@@ -6,6 +6,9 @@
 #include "formula/BitVec.h"
 #include "support/Diagnostics.h"
 
+#include <algorithm>
+#include <cmath>
+
 using namespace vbmc;
 using namespace vbmc::bmc;
 using namespace vbmc::formula;
@@ -31,19 +34,22 @@ public:
 
   BmcResult run() {
     Timer Watch;
+    Timer EncodeWatch;
     DL = Deadline(Opts.BudgetSeconds);
     buildStores();
     for (uint32_t PI = 0; PI < P.numProcs(); ++PI) {
       walkProcess(PI);
       // Encoding can dwarf solving on big instances; honor the budget and
       // a node cap during construction too (prevents OOM on huge inputs).
-      if (DL.expired() || C.numNodes() > MaxCircuitNodes) {
+      if (outOfBudget() || C.numNodes() > MaxCircuitNodes) {
         BmcResult R;
         R.Status = BmcStatus::Unknown;
-        R.Note = DL.expired() ? "encoding budget exhausted"
-                              : "circuit size cap exceeded";
+        R.Note = wasCancelled()  ? "cancelled"
+                 : outOfBudget() ? "encoding budget exhausted"
+                                 : "circuit size cap exceeded";
         R.CircuitNodes = C.numNodes();
         R.Seconds = Watch.elapsedSeconds();
+        recordEncodeStats(EncodeWatch.elapsedSeconds());
         return R;
       }
     }
@@ -59,15 +65,35 @@ public:
       // No assert is even reachable: trivially safe within bounds.
       R.Status = BmcStatus::Safe;
       R.Seconds = Watch.elapsedSeconds();
+      recordEncodeStats(EncodeWatch.elapsedSeconds());
       return R;
     }
 
+    // Tseitin conversion (bit-blast to CNF) counts as encoding time.
     Solver.addUnit(C.toLit(Solver, AnyError));
     for (NodeRef G : SideConstraints)
       Solver.addUnit(C.toLit(Solver, G));
+    recordEncodeStats(EncodeWatch.elapsedSeconds());
 
-    Deadline DL(Opts.BudgetSeconds);
-    sat::SolveResult SR = Solver.solve({}, Opts.MaxConflicts, DL);
+    // The solver gets whatever wall clock is left after encoding: the
+    // tighter of the local budget and the engine context's deadline.
+    double Remaining = DL.remainingSeconds();
+    if (Opts.Ctx)
+      Remaining =
+          std::min(Remaining, Opts.Ctx->deadline().remainingSeconds());
+    if (Remaining <= 0 || wasCancelled()) {
+      R.Status = BmcStatus::Unknown;
+      R.Note = wasCancelled() ? "cancelled" : "encoding budget exhausted";
+      R.Seconds = Watch.elapsedSeconds();
+      return R;
+    }
+    Deadline SolveDL =
+        std::isinf(Remaining) ? Deadline() : Deadline(Remaining);
+    Timer SolveWatch;
+    sat::SolveResult SR =
+        Solver.solve({}, Opts.MaxConflicts, SolveDL,
+                     Opts.Ctx ? &Opts.Ctx->token() : nullptr);
+    recordSolveStats(SolveWatch.elapsedSeconds());
     R.SolverConflicts = Solver.stats().Conflicts;
     R.SolverDecisions = Solver.stats().Decisions;
     switch (SR) {
@@ -89,7 +115,7 @@ public:
       break;
     case sat::SolveResult::Unknown:
       R.Status = BmcStatus::Unknown;
-      R.Note = "solver budget exhausted";
+      R.Note = wasCancelled() ? "cancelled" : "solver budget exhausted";
       break;
     }
     R.Seconds = Watch.elapsedSeconds();
@@ -153,9 +179,34 @@ private:
     assert(S.AtomicDepth == 0 && "unbalanced atomic section");
   }
 
+  /// True when encoding should stop: the local budget ran out, or the
+  /// engine context's (remaining) deadline expired, or it was cancelled.
+  bool outOfBudget() const {
+    return DL.expired() || (Opts.Ctx && Opts.Ctx->interrupted());
+  }
+
+  bool wasCancelled() const { return Opts.Ctx && Opts.Ctx->cancelled(); }
+
+  void recordEncodeStats(double Seconds) {
+    if (!Opts.Ctx)
+      return;
+    StatsRegistry &St = Opts.Ctx->stats();
+    St.addSeconds("sat.encode.seconds", Seconds);
+    St.addCount("sat.encode.nodes", C.numNodes());
+  }
+
+  void recordSolveStats(double Seconds) {
+    if (!Opts.Ctx)
+      return;
+    StatsRegistry &St = Opts.Ctx->stats();
+    St.addSeconds("sat.solve.seconds", Seconds);
+    St.addCount("sat.solve.conflicts", Solver.stats().Conflicts);
+    St.addCount("sat.solve.decisions", Solver.stats().Decisions);
+  }
+
   void walkBody(const std::vector<Stmt> &Body, ProcState &S) {
     for (const Stmt &St : Body) {
-      if (C.numNodes() > MaxCircuitNodes || DL.expired()) {
+      if (C.numNodes() > MaxCircuitNodes || outOfBudget()) {
         // Kill the walk cheaply; run() reports Unknown.
         S.Guard = C.falseRef();
         return;
@@ -374,7 +425,18 @@ private:
 } // namespace
 
 BmcResult vbmc::bmc::checkBmc(const Program &P, const BmcOptions &Opts) {
+  Timer UnrollWatch;
   Program Unrolled = unrollLoops(P, Opts.UnrollBound);
+  if (Opts.Ctx)
+    Opts.Ctx->stats().addSeconds("sat.unroll.seconds",
+                                 UnrollWatch.elapsedSeconds());
+  if (Opts.Ctx && Opts.Ctx->interrupted()) {
+    BmcResult R;
+    R.Status = BmcStatus::Unknown;
+    R.Note = Opts.Ctx->cancelled() ? "cancelled" : "budget exhausted";
+    R.Seconds = UnrollWatch.elapsedSeconds();
+    return R;
+  }
   auto Valid = Unrolled.validate();
   if (!Valid)
     reportFatalError("checkBmc: invalid program: " + Valid.error().str());

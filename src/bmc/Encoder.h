@@ -29,6 +29,7 @@
 #define VBMC_BMC_ENCODER_H
 
 #include "ir/Program.h"
+#include "support/CheckContext.h"
 #include "support/Timer.h"
 
 #include <cstdint>
@@ -49,6 +50,11 @@ struct BmcOptions {
   double BudgetSeconds = 0;
   /// Conflict budget for the solver (0 = unlimited).
   uint64_t MaxConflicts = 0;
+  /// Optional engine context. Its *remaining* deadline governs every
+  /// stage (unroll, encode, solve) — unlike BudgetSeconds, whose clock
+  /// starts inside checkBmc — its token cancels them cooperatively, and
+  /// sat.* stage stats are recorded into its registry.
+  const CheckContext *Ctx = nullptr;
 };
 
 enum class BmcStatus {

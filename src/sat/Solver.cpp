@@ -355,7 +355,8 @@ uint64_t Solver::luby(uint64_t I) {
 }
 
 SolveResult Solver::solve(const std::vector<Lit> &Assumptions,
-                          uint64_t MaxConflicts, Deadline DL) {
+                          uint64_t MaxConflicts, Deadline DL,
+                          const CancellationToken *Cancel) {
   if (Unsat)
     return SolveResult::Unsat;
   if (propagate() != InvalidClause) {
@@ -370,8 +371,13 @@ SolveResult Solver::solve(const std::vector<Lit> &Assumptions,
       Stats.Conflicts + RestartUnit * luby(RestartIdx);
   size_t MaxLearnts = 4096;
   std::vector<Lit> Learnt;
+  uint64_t Ticks = 0;
 
   for (;;) {
+    // Cheap cooperative abort: an atomic load every few hundred search
+    // loop iterations, independent of the conflict rate.
+    if ((++Ticks & 0xff) == 0 && Cancel && Cancel->cancelled())
+      return SolveResult::Unknown;
     ClauseRef Conflict = propagate();
     if (Conflict != InvalidClause) {
       ++Stats.Conflicts;

@@ -17,6 +17,7 @@
 #ifndef VBMC_SAT_SOLVER_H
 #define VBMC_SAT_SOLVER_H
 
+#include "support/CheckContext.h"
 #include "support/Timer.h"
 
 #include <cassert>
@@ -88,9 +89,12 @@ public:
   bool addTernary(Lit A, Lit B, Lit C) { return addClause({A, B, C}); }
 
   /// Solves the formula under \p Assumptions. \p MaxConflicts == 0 means
-  /// unbounded; \p DL is a wall-clock budget.
+  /// unbounded; \p DL is a wall-clock budget; \p Cancel, when non-null, is
+  /// polled cooperatively so a portfolio driver can abort a race loser
+  /// (returns Unknown).
   SolveResult solve(const std::vector<Lit> &Assumptions = {},
-                    uint64_t MaxConflicts = 0, Deadline DL = Deadline());
+                    uint64_t MaxConflicts = 0, Deadline DL = Deadline(),
+                    const CancellationToken *Cancel = nullptr);
 
   /// Value of \p V in the model found by the last Sat answer.
   bool modelValue(Var V) const {

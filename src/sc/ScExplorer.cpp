@@ -55,6 +55,21 @@ ScResult vbmc::sc::exploreSc(const FlatProgram &FP, const ScQuery &Q) {
   Deadline DL(Q.BudgetSeconds);
   ScResult Result;
 
+  // Single exit point: stamp the status/time and mirror the work counters
+  // into the shared registry, so even a cancelled or timed-out search
+  // reports what it cost.
+  auto finish = [&](ScStatus Status) -> ScResult & {
+    Result.Status = Status;
+    Result.Seconds = Watch.elapsedSeconds();
+    if (Q.Ctx) {
+      StatsRegistry &S = Q.Ctx->stats();
+      S.addSeconds("explicit.seconds", Result.Seconds);
+      S.addCount("explicit.states", Result.StatesVisited);
+      S.addCount("explicit.transitions", Result.TransitionsExplored);
+    }
+    return Result;
+  };
+
   std::vector<Node> Arena;
   std::deque<size_t> Frontier;
   std::unordered_set<std::vector<uint32_t>, KeyHash> Visited;
@@ -96,16 +111,14 @@ ScResult vbmc::sc::exploreSc(const FlatProgram &FP, const ScQuery &Q) {
 
   std::vector<ScStep> Steps;
   while (!Frontier.empty()) {
-    if (Q.MaxStates && Result.StatesVisited >= Q.MaxStates) {
-      Result.Status = ScStatus::StateLimit;
-      Result.Seconds = Watch.elapsedSeconds();
-      return Result;
-    }
-    if ((Result.StatesVisited & 0x3f) == 0 && DL.expired()) {
-      Result.Status = ScStatus::Timeout;
-      Result.Seconds = Watch.elapsedSeconds();
-      return Result;
-    }
+    if (Q.MaxStates && Result.StatesVisited >= Q.MaxStates)
+      return finish(ScStatus::StateLimit);
+    // Cancellation is an atomic load: poll it every state for promptness.
+    if (Q.Ctx && Q.Ctx->cancelled())
+      return finish(ScStatus::Cancelled);
+    if ((Result.StatesVisited & 0x3f) == 0 &&
+        (DL.expired() || (Q.Ctx && Q.Ctx->deadline().expired())))
+      return finish(ScStatus::Timeout);
 
     size_t Idx = Frontier.front();
     Frontier.pop_front();
@@ -118,11 +131,9 @@ ScResult vbmc::sc::exploreSc(const FlatProgram &FP, const ScQuery &Q) {
     const bool LastWrote = Arena[Idx].LastWrote;
 
     if (goalHolds(FP, Q, Arena[Idx].Config)) {
-      Result.Status = ScStatus::Reached;
       Result.ContextSwitchesUsed = BaseSwitches;
       Result.Trace = buildTrace(Idx);
-      Result.Seconds = Watch.elapsedSeconds();
-      return Result;
+      return finish(ScStatus::Reached);
     }
 
     if (RoundRobin) {
@@ -168,9 +179,7 @@ ScResult vbmc::sc::exploreSc(const FlatProgram &FP, const ScQuery &Q) {
     }
   }
 
-  Result.Status = ScStatus::Exhausted;
-  Result.Seconds = Watch.elapsedSeconds();
-  return Result;
+  return finish(ScStatus::Exhausted);
 }
 
 std::set<std::vector<Value>>

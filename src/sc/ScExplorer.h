@@ -12,6 +12,7 @@
 #define VBMC_SC_SCEXPLORER_H
 
 #include "sc/ScSemantics.h"
+#include "support/CheckContext.h"
 #include "support/Timer.h"
 
 #include <functional>
@@ -43,6 +44,11 @@ struct ScQuery {
   bool SwitchOnlyAfterWrite = false;
   uint64_t MaxStates = 0;
   double BudgetSeconds = 0;
+  /// Optional engine context: the explorer polls its deadline and
+  /// cancellation token (in addition to BudgetSeconds, which stays
+  /// supported for standalone queries) and records explicit.* stats into
+  /// its registry.
+  const CheckContext *Ctx = nullptr;
 };
 
 enum class ScStatus {
@@ -50,6 +56,7 @@ enum class ScStatus {
   Exhausted,
   StateLimit,
   Timeout,
+  Cancelled, ///< The query's CancellationToken was cancelled mid-search.
 };
 
 struct ScTraceStep {

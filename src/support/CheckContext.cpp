@@ -1,0 +1,76 @@
+//===- CheckContext.cpp - StatsRegistry implementation ----------*- C++ -*-===//
+
+#include "support/CheckContext.h"
+
+#include <cstdio>
+
+using namespace vbmc;
+
+void StatsRegistry::addCount(const std::string &Name, uint64_t Delta) {
+  std::lock_guard<std::mutex> L(M);
+  Counts[Name] += Delta;
+}
+
+void StatsRegistry::addSeconds(const std::string &Name, double S) {
+  std::lock_guard<std::mutex> L(M);
+  Times[Name] += S;
+}
+
+uint64_t StatsRegistry::count(const std::string &Name) const {
+  std::lock_guard<std::mutex> L(M);
+  auto It = Counts.find(Name);
+  return It == Counts.end() ? 0 : It->second;
+}
+
+double StatsRegistry::seconds(const std::string &Name) const {
+  std::lock_guard<std::mutex> L(M);
+  auto It = Times.find(Name);
+  return It == Times.end() ? 0 : It->second;
+}
+
+std::vector<StatsRegistry::Entry> StatsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> L(M);
+  std::vector<Entry> Out;
+  Out.reserve(Counts.size() + Times.size());
+  // Both maps are name-ordered; merge to keep the snapshot sorted.
+  auto CI = Counts.begin();
+  auto TI = Times.begin();
+  while (CI != Counts.end() || TI != Times.end()) {
+    bool TakeCount = TI == Times.end() ||
+                     (CI != Counts.end() && CI->first <= TI->first);
+    Entry E;
+    if (TakeCount) {
+      E.Name = CI->first;
+      E.IsCounter = true;
+      E.Count = CI->second;
+      ++CI;
+    } else {
+      E.Name = TI->first;
+      E.Seconds = TI->second;
+      ++TI;
+    }
+    Out.push_back(std::move(E));
+  }
+  return Out;
+}
+
+std::string StatsRegistry::format() const {
+  std::string Out;
+  char Buf[160];
+  for (const Entry &E : snapshot()) {
+    if (E.IsCounter)
+      std::snprintf(Buf, sizeof(Buf), "%-28s = %llu\n", E.Name.c_str(),
+                    static_cast<unsigned long long>(E.Count));
+    else
+      std::snprintf(Buf, sizeof(Buf), "%-28s = %.6fs\n", E.Name.c_str(),
+                    E.Seconds);
+    Out += Buf;
+  }
+  return Out;
+}
+
+void StatsRegistry::clear() {
+  std::lock_guard<std::mutex> L(M);
+  Counts.clear();
+  Times.clear();
+}

@@ -1,0 +1,175 @@
+//===- CheckContext.h - shared state of one verification run ----*- C++ -*-===//
+///
+/// \file
+/// The engine-wide context threaded through every stage of a verification
+/// run (translation, flatten, unroll, encode, SAT solve, explicit
+/// exploration). It bundles the three concerns each layer used to solve on
+/// its own with ad-hoc `BudgetSeconds`/`Seconds`/`Work` fields:
+///
+///  * a monotonic Deadline shared by all stages, so later stages see the
+///    *remaining* budget instead of restarting the clock;
+///  * a cooperative CancellationToken that concurrent drivers (portfolio
+///    racing, parallel K-deepening) use to stop a computation whose result
+///    is no longer needed — tokens chain to a parent, so cancelling a whole
+///    run also cancels every child;
+///  * a thread-safe StatsRegistry of named counters and stage timers that
+///    every layer records into, giving `--stats` a per-stage cost
+///    breakdown without widening each result struct.
+///
+/// Contexts are cheap to copy (the token and registry are shared); use
+/// child() to create a context that can be cancelled individually while
+/// still honoring the parent's deadline, cancellation, and registry.
+///
+/// Stat naming convention (dotted stage paths, lowercase):
+///   translate.seconds / translate.runs      the [[.]]_K translation
+///   flatten.seconds                         IR flattening (explicit path)
+///   explicit.{seconds,states,transitions}   explicit SC exploration
+///   sat.unroll.seconds                      loop unrolling
+///   sat.encode.{seconds,nodes}              symbolic execution + circuit
+///   sat.solve.{seconds,conflicts,decisions} the CDCL solver
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_SUPPORT_CHECKCONTEXT_H
+#define VBMC_SUPPORT_CHECKCONTEXT_H
+
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vbmc {
+
+/// A cooperative cancellation flag. Thread-safe; cancellation is sticky.
+/// A token constructed with a parent reports cancelled when either itself
+/// or any ancestor was cancelled.
+class CancellationToken {
+public:
+  CancellationToken() = default;
+  explicit CancellationToken(std::shared_ptr<const CancellationToken> Parent)
+      : Parent(std::move(Parent)) {}
+
+  void cancel() { Flag.store(true, std::memory_order_release); }
+
+  bool cancelled() const {
+    if (Flag.load(std::memory_order_acquire))
+      return true;
+    return Parent && Parent->cancelled();
+  }
+
+private:
+  std::atomic<bool> Flag{false};
+  std::shared_ptr<const CancellationToken> Parent;
+};
+
+/// A registry of named counters and accumulated stage times. All methods
+/// are thread-safe: portfolio backends on separate threads record into one
+/// shared registry.
+class StatsRegistry {
+public:
+  /// Adds \p Delta to counter \p Name (created at zero on first use).
+  void addCount(const std::string &Name, uint64_t Delta = 1);
+
+  /// Adds \p S seconds to stage timer \p Name.
+  void addSeconds(const std::string &Name, double S);
+
+  /// Current value of a counter (0 when never recorded).
+  uint64_t count(const std::string &Name) const;
+
+  /// Accumulated seconds of a stage timer (0 when never recorded).
+  double seconds(const std::string &Name) const;
+
+  struct Entry {
+    std::string Name;
+    bool IsCounter = false; ///< Counter vs. seconds entry.
+    uint64_t Count = 0;
+    double Seconds = 0;
+  };
+
+  /// All entries, sorted by name (counters and timers interleaved).
+  std::vector<Entry> snapshot() const;
+
+  /// Human-readable dump, one "name = value" line per entry.
+  std::string format() const;
+
+  void clear();
+
+private:
+  mutable std::mutex M;
+  std::map<std::string, uint64_t> Counts;
+  std::map<std::string, double> Times;
+};
+
+/// RAII timer adding its elapsed time to a StatsRegistry stage on scope
+/// exit (accumulating across multiple scopes of the same name).
+class ScopedStageTimer {
+public:
+  ScopedStageTimer(StatsRegistry &Registry, std::string Name)
+      : Registry(Registry), Name(std::move(Name)) {}
+  ScopedStageTimer(const ScopedStageTimer &) = delete;
+  ScopedStageTimer &operator=(const ScopedStageTimer &) = delete;
+  ~ScopedStageTimer() { Registry.addSeconds(Name, Watch.elapsedSeconds()); }
+
+private:
+  StatsRegistry &Registry;
+  std::string Name;
+  Timer Watch;
+};
+
+/// The shared per-run state: deadline + cancellation + statistics.
+class CheckContext {
+public:
+  /// Unlimited context: no deadline, fresh token and registry.
+  CheckContext()
+      : Tok(std::make_shared<CancellationToken>()),
+        Stats(std::make_shared<StatsRegistry>()) {}
+
+  /// Context whose deadline starts now and expires after \p BudgetSeconds
+  /// (non-positive = unlimited).
+  explicit CheckContext(double BudgetSeconds) : CheckContext() {
+    DL = Deadline(BudgetSeconds);
+  }
+
+  /// The run-wide monotonic deadline. Copies of this context (and
+  /// children) share its start time, so every stage observes the
+  /// remaining budget.
+  const Deadline &deadline() const { return DL; }
+
+  CancellationToken &token() const { return *Tok; }
+  StatsRegistry &stats() const { return *Stats; }
+
+  /// True when the computation should stop: cancelled or out of budget.
+  bool interrupted() const { return Tok->cancelled() || DL.expired(); }
+
+  /// True specifically because of cancellation (distinguishes the
+  /// "cancelled" from the "timeout" exit in result notes).
+  bool cancelled() const { return Tok->cancelled(); }
+
+  void cancel() const { Tok->cancel(); }
+
+  /// A child context sharing this deadline and registry but carrying its
+  /// own token (parented here): cancelling the child does not affect the
+  /// parent, cancelling the parent cancels the child.
+  CheckContext child() const {
+    CheckContext C;
+    C.DL = DL;
+    C.Tok = std::make_shared<CancellationToken>(
+        std::shared_ptr<const CancellationToken>(Tok));
+    C.Stats = Stats;
+    return C;
+  }
+
+private:
+  Deadline DL;
+  std::shared_ptr<CancellationToken> Tok;
+  std::shared_ptr<StatsRegistry> Stats;
+};
+
+} // namespace vbmc
+
+#endif // VBMC_SUPPORT_CHECKCONTEXT_H

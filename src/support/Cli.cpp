@@ -6,7 +6,8 @@
 
 using namespace vbmc;
 
-CommandLine CommandLine::parse(int Argc, const char *const *Argv) {
+CommandLine CommandLine::parse(int Argc, const char *const *Argv,
+                               const std::set<std::string> &BooleanFlags) {
   CommandLine CL;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -20,9 +21,10 @@ CommandLine CommandLine::parse(int Argc, const char *const *Argv) {
       CL.Flags[Body.substr(0, Eq)] = Body.substr(Eq + 1);
       continue;
     }
-    // "--name value" when the next token is not itself a flag; otherwise a
-    // bare boolean flag.
-    if (I + 1 < Argc && std::string(Argv[I + 1]).rfind("--", 0) != 0) {
+    // "--name value" when the next token is not itself a flag and the name
+    // is not a declared boolean; otherwise a bare boolean flag.
+    if (!BooleanFlags.count(Body) && I + 1 < Argc &&
+        std::string(Argv[I + 1]).rfind("--", 0) != 0) {
       CL.Flags[Body] = Argv[++I];
     } else {
       CL.Flags[Body] = "";

@@ -11,6 +11,7 @@
 #define VBMC_SUPPORT_CLI_H
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -21,7 +22,10 @@ class CommandLine {
 public:
   /// Parses argv. Unknown flags are retained; validation is the caller's
   /// concern (the binaries document their flags in --help text).
-  static CommandLine parse(int Argc, const char *const *Argv);
+  /// Names listed in \p BooleanFlags never consume the following token as
+  /// a value, so "--stats FILE" keeps FILE positional.
+  static CommandLine parse(int Argc, const char *const *Argv,
+                           const std::set<std::string> &BooleanFlags = {});
 
   bool hasFlag(const std::string &Name) const;
 

@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
 
 namespace vbmc {
 
@@ -44,6 +45,16 @@ public:
 
   bool expired() const {
     return BudgetSeconds > 0 && Watch.elapsedSeconds() >= BudgetSeconds;
+  }
+
+  /// Seconds left before expiry; +infinity when unlimited, clamped at 0
+  /// once expired. Lets a stage hand the *remaining* budget to a
+  /// sub-engine that takes a fresh Deadline.
+  double remainingSeconds() const {
+    if (BudgetSeconds <= 0)
+      return std::numeric_limits<double>::infinity();
+    double Left = BudgetSeconds - Watch.elapsedSeconds();
+    return Left > 0 ? Left : 0;
   }
 
   double budgetSeconds() const { return BudgetSeconds; }

@@ -379,11 +379,19 @@ Program vbmc::translation::desugarFences(const Program &P) {
 
 TranslationResult
 vbmc::translation::translateToSc(const Program &P,
-                                 const TranslationOptions &Opts) {
+                                 const TranslationOptions &Opts,
+                                 StatsRegistry *Stats) {
+  Timer Watch;
   Program Desugared = desugarFences(P);
   auto Valid = Desugared.validate();
   if (!Valid)
     reportFatalError("translateToSc: invalid input program: " +
                      Valid.error().str());
-  return Translator(Desugared, Opts).run();
+  TranslationResult TR = Translator(Desugared, Opts).run();
+  if (Stats) {
+    Stats->addSeconds("translate.seconds", Watch.elapsedSeconds());
+    Stats->addCount("translate.runs");
+    Stats->addCount("translate.out_vars", TR.Prog.numVars());
+  }
+  return TR;
 }

@@ -53,6 +53,7 @@
 #define VBMC_TRANSLATION_TRANSLATE_H
 
 #include "ir/Program.h"
+#include "support/CheckContext.h"
 
 #include <cstdint>
 
@@ -87,9 +88,11 @@ struct TranslationResult {
 /// translateToSc, exposed for tests.
 ir::Program desugarFences(const ir::Program &P);
 
-/// Applies [[.]]_K to \p P. \p P must validate.
+/// Applies [[.]]_K to \p P. \p P must validate. When \p Stats is given,
+/// records translate.* stage statistics into it.
 TranslationResult translateToSc(const ir::Program &P,
-                                const TranslationOptions &Opts);
+                                const TranslationOptions &Opts,
+                                StatsRegistry *Stats = nullptr);
 
 } // namespace vbmc::translation
 

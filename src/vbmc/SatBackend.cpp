@@ -65,12 +65,17 @@ uint32_t pickWidth(const ir::Program &P) {
 
 VbmcResult vbmc::driver::runSatBackend(const ir::Program &Translated,
                                        uint32_t ContextBound,
-                                       const VbmcOptions &Opts) {
+                                       const VbmcOptions &Opts,
+                                       const CheckContext *Ctx) {
   bmc::BmcOptions BO;
   BO.UnrollBound = Opts.L;
   BO.ContextBound = ContextBound;
   BO.ValueWidth = pickWidth(Translated);
   BO.BudgetSeconds = Opts.BudgetSeconds;
+  // The context's shared deadline already accounts for time spent in
+  // earlier stages (translation), so encoding and solving see only the
+  // *remaining* budget; its token makes the whole pipeline cancellable.
+  BO.Ctx = Ctx;
   bmc::BmcResult BR = bmc::checkBmc(Translated, BO);
 
   VbmcResult R;

@@ -1,4 +1,15 @@
-//===- Vbmc.cpp -----------------------------------------------*- C++ -*-===//
+//===- Vbmc.cpp - the staged verification engine ---------------*- C++ -*-===//
+//
+// The driver is organized as a staged pipeline over one shared
+// CheckContext: translate ([[.]]_K), flatten (explicit path only), then
+// decide with a backend. Every stage polls the context's deadline and
+// cancellation token and records its cost into the context's
+// StatsRegistry. On top of the single-backend pipeline sit two concurrent
+// drivers: checkPortfolio (race both backends, cancel the loser) and
+// checkParallelDeepening (explore several K values at once while keeping
+// the paper's smallest-K reporting guarantee).
+//
+//===----------------------------------------------------------------------===//
 
 #include "vbmc/Vbmc.h"
 
@@ -6,21 +17,30 @@
 #include "ir/Parser.h"
 #include "support/Timer.h"
 
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
 using namespace vbmc;
 using namespace vbmc::driver;
 
 namespace {
 
 VbmcResult runExplicit(const ir::Program &Translated, uint32_t ContextBound,
-                       const VbmcOptions &Opts) {
+                       const VbmcOptions &Opts, const CheckContext &Ctx) {
   VbmcResult R;
-  ir::FlatProgram FP = ir::flatten(Translated);
+  ir::FlatProgram FP;
+  {
+    ScopedStageTimer T(Ctx.stats(), "flatten.seconds");
+    FP = ir::flatten(Translated);
+  }
   sc::ScQuery Q;
   Q.Goal = sc::ScGoalKind::AnyError;
   Q.ContextBound = ContextBound;
   Q.SwitchOnlyAfterWrite = Opts.SwitchOnlyAfterWrite;
   Q.BudgetSeconds = Opts.BudgetSeconds;
   Q.MaxStates = Opts.MaxStates;
+  Q.Ctx = &Ctx;
   sc::ScResult SR = sc::exploreSc(FP, Q);
   R.Work = SR.StatesVisited;
   R.Seconds = SR.Seconds;
@@ -40,45 +60,145 @@ VbmcResult runExplicit(const ir::Program &Translated, uint32_t ContextBound,
     R.Outcome = Verdict::Unknown;
     R.Note = "timeout";
     break;
+  case sc::ScStatus::Cancelled:
+    R.Outcome = Verdict::Unknown;
+    R.Note = "cancelled";
+    break;
   }
   return R;
+}
+
+/// Stage 1 of the pipeline: [[.]]_K. Records translate.* stats.
+translation::TranslationResult translateStage(const ir::Program &P,
+                                              const VbmcOptions &Opts,
+                                              const CheckContext &Ctx) {
+  translation::TranslationOptions TO;
+  TO.K = Opts.K;
+  TO.CasAllowance = Opts.CasAllowance;
+  return translation::translateToSc(P, TO, &Ctx.stats());
+}
+
+/// Stage 2: decide the translated program with the selected backend.
+VbmcResult backendStage(const translation::TranslationResult &TR,
+                        const VbmcOptions &Opts, const CheckContext &Ctx) {
+  return Opts.Backend == BackendKind::Explicit
+             ? runExplicit(TR.Prog, TR.ContextBound, Opts, Ctx)
+             : runSatBackend(TR.Prog, TR.ContextBound, Opts, &Ctx);
 }
 
 } // namespace
 
 VbmcResult vbmc::driver::checkProgram(const ir::Program &P,
-                                      const VbmcOptions &Opts) {
-  Timer Watch;
-  translation::TranslationOptions TO;
-  TO.K = Opts.K;
-  TO.CasAllowance = Opts.CasAllowance;
-  translation::TranslationResult TR = translation::translateToSc(P, TO);
-
-  VbmcResult R = Opts.Backend == BackendKind::Explicit
-                     ? runExplicit(TR.Prog, TR.ContextBound, Opts)
-                     : runSatBackend(TR.Prog, TR.ContextBound, Opts);
-  R.Seconds = Watch.elapsedSeconds();
+                                      const VbmcOptions &Opts,
+                                      CheckContext &Ctx) {
+  Timer TranslateWatch;
+  translation::TranslationResult TR = translateStage(P, Opts, Ctx);
+  double TranslateSeconds = TranslateWatch.elapsedSeconds();
+  if (Ctx.interrupted()) {
+    VbmcResult R;
+    R.Outcome = Verdict::Unknown;
+    R.Note = Ctx.cancelled() ? "cancelled" : "budget exhausted";
+    R.TranslateSeconds = TranslateSeconds;
+    return R;
+  }
+  VbmcResult R = backendStage(TR, Opts, Ctx);
+  // Do NOT overwrite the backend-reported Seconds with a driver-side
+  // timer: translation cost is reported separately, both here and as the
+  // translate.seconds / backend stage entries in the StatsRegistry.
+  R.TranslateSeconds = TranslateSeconds;
   return R;
+}
+
+VbmcResult vbmc::driver::checkProgram(const ir::Program &P,
+                                      const VbmcOptions &Opts) {
+  CheckContext Ctx(Opts.BudgetSeconds);
+  return checkProgram(P, Opts, Ctx);
+}
+
+VbmcResult vbmc::driver::checkPortfolio(const ir::Program &P,
+                                        const VbmcOptions &Opts,
+                                        CheckContext &Ctx) {
+  // Translate once; both backends decide the same SC program.
+  Timer TranslateWatch;
+  translation::TranslationResult TR = translateStage(P, Opts, Ctx);
+  double TranslateSeconds = TranslateWatch.elapsedSeconds();
+  if (Ctx.interrupted()) {
+    VbmcResult R;
+    R.Outcome = Verdict::Unknown;
+    R.Note = Ctx.cancelled() ? "cancelled" : "budget exhausted";
+    R.TranslateSeconds = TranslateSeconds;
+    return R;
+  }
+
+  constexpr int NumRacers = 2;
+  const char *Names[NumRacers] = {"explicit", "sat"};
+  CheckContext Racers[NumRacers] = {Ctx.child(), Ctx.child()};
+  VbmcResult Results[NumRacers];
+  std::mutex M;
+  int Winner = -1;
+
+  auto race = [&](int Idx, BackendKind B) {
+    VbmcOptions O = Opts;
+    O.Backend = B;
+    VbmcResult R = backendStage(TR, O, Racers[Idx]);
+    std::lock_guard<std::mutex> L(M);
+    Results[Idx] = std::move(R);
+    // First conclusive verdict wins; cancel the other racer right away
+    // so it stops burning the machine.
+    if (Winner < 0 && Results[Idx].Outcome != Verdict::Unknown) {
+      Winner = Idx;
+      for (int J = 0; J < NumRacers; ++J)
+        if (J != Idx)
+          Racers[J].cancel();
+    }
+  };
+
+  std::thread ExplicitThread(race, 0, BackendKind::Explicit);
+  std::thread SatThread(race, 1, BackendKind::Sat);
+  ExplicitThread.join();
+  SatThread.join();
+
+  VbmcResult R;
+  if (Winner >= 0) {
+    R = std::move(Results[Winner]);
+    R.WinningBackend = Names[Winner];
+  } else {
+    // Both inconclusive: surface both notes.
+    R.Outcome = Verdict::Unknown;
+    R.Seconds = std::max(Results[0].Seconds, Results[1].Seconds);
+    R.Note = "portfolio inconclusive: explicit: " +
+             (Results[0].Note.empty() ? "unknown" : Results[0].Note) +
+             "; sat: " +
+             (Results[1].Note.empty() ? "unknown" : Results[1].Note);
+  }
+  R.TranslateSeconds = TranslateSeconds;
+  return R;
+}
+
+VbmcResult vbmc::driver::checkPortfolio(const ir::Program &P,
+                                        const VbmcOptions &Opts) {
+  CheckContext Ctx(Opts.BudgetSeconds);
+  return checkPortfolio(P, Opts, Ctx);
 }
 
 IterativeResult vbmc::driver::checkIterative(const ir::Program &P,
                                              uint32_t MaxK,
-                                             const VbmcOptions &BaseOpts) {
+                                             const VbmcOptions &BaseOpts,
+                                             CheckContext &Ctx) {
   Timer Watch;
   IterativeResult R;
   bool SawInconclusive = false;
   for (uint32_t K = 0; K <= MaxK; ++K) {
+    if (Ctx.interrupted()) {
+      SawInconclusive = true;
+      break;
+    }
     VbmcOptions Opts = BaseOpts;
     Opts.K = K;
-    if (BaseOpts.BudgetSeconds > 0) {
-      double Left = BaseOpts.BudgetSeconds - Watch.elapsedSeconds();
-      if (Left <= 0) {
-        SawInconclusive = true;
-        break;
-      }
-      Opts.BudgetSeconds = Left;
-    }
-    VbmcResult Step = checkProgram(P, Opts);
+    // The shared context's deadline already hands each iteration
+    // whatever wall clock is left; no per-iteration budget arithmetic.
+    Opts.BudgetSeconds = 0;
+    VbmcResult Step = checkProgram(P, Opts, Ctx);
     R.Iterations.push_back(IterationReport{K, Step.Outcome, Step.Seconds});
     if (Step.unsafe()) {
       R.Outcome = Verdict::Unsafe;
@@ -92,6 +212,105 @@ IterativeResult vbmc::driver::checkIterative(const ir::Program &P,
   R.KUsed = MaxK;
   R.Seconds = Watch.elapsedSeconds();
   return R;
+}
+
+IterativeResult vbmc::driver::checkIterative(const ir::Program &P,
+                                             uint32_t MaxK,
+                                             const VbmcOptions &BaseOpts) {
+  CheckContext Ctx(BaseOpts.BudgetSeconds);
+  return checkIterative(P, MaxK, BaseOpts, Ctx);
+}
+
+IterativeResult vbmc::driver::checkParallelDeepening(
+    const ir::Program &P, uint32_t MaxK, uint32_t Threads,
+    const VbmcOptions &BaseOpts, CheckContext &Ctx) {
+  Timer Watch;
+  const uint32_t NumK = MaxK + 1;
+  Threads = std::clamp(Threads, 1u, NumK);
+
+  // One cancellable child context per K, so an UNSAFE at K can stop every
+  // in-flight run of a *larger* K (their verdicts can no longer matter)
+  // while smaller Ks always run to completion: the paper's guarantee is
+  // UNSAFE for the smallest buggy K.
+  std::vector<CheckContext> KCtx;
+  KCtx.reserve(NumK);
+  for (uint32_t K = 0; K < NumK; ++K)
+    KCtx.push_back(Ctx.child());
+
+  std::vector<IterationReport> Reports(NumK);
+  std::vector<uint8_t> Ran(NumK, 0);
+  std::mutex M;
+  uint32_t NextK = 0;                 // Guarded by M.
+  uint32_t BestUnsafe = ~0u;          // Guarded by M.
+
+  auto worker = [&] {
+    for (;;) {
+      uint32_t K;
+      {
+        std::lock_guard<std::mutex> L(M);
+        // Claim the next K; skip values above a known-unsafe K.
+        do {
+          K = NextK++;
+        } while (K < NumK && K > BestUnsafe);
+        if (K >= NumK)
+          return;
+      }
+      VbmcOptions Opts = BaseOpts;
+      Opts.K = K;
+      Opts.BudgetSeconds = 0; // The shared deadline governs.
+      VbmcResult Step = checkProgram(P, Opts, KCtx[K]);
+      std::lock_guard<std::mutex> L(M);
+      Reports[K] = IterationReport{K, Step.Outcome, Step.Seconds};
+      Ran[K] = 1;
+      if (Step.unsafe() && K < BestUnsafe) {
+        BestUnsafe = K;
+        for (uint32_t J = K + 1; J < NumK; ++J)
+          KCtx[J].cancel();
+      }
+    }
+  };
+
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  for (uint32_t T = 0; T < Threads; ++T)
+    Pool.emplace_back(worker);
+  for (std::thread &T : Pool)
+    T.join();
+
+  IterativeResult R;
+  bool SawInconclusive = false;
+  bool AllSafe = true;
+  for (uint32_t K = 0; K < NumK; ++K) {
+    if (K > BestUnsafe)
+      break; // Cancelled/skipped tails are not part of the report.
+    if (!Ran[K]) {
+      SawInconclusive = true; // Preempted by the run-wide deadline.
+      AllSafe = false;
+      continue;
+    }
+    R.Iterations.push_back(Reports[K]);
+    SawInconclusive |= Reports[K].Outcome == Verdict::Unknown;
+    AllSafe &= Reports[K].Outcome == Verdict::Safe;
+  }
+  if (BestUnsafe != ~0u) {
+    R.Outcome = Verdict::Unsafe;
+    R.KUsed = BestUnsafe;
+  } else if (AllSafe && !SawInconclusive) {
+    R.Outcome = Verdict::Safe;
+    R.KUsed = MaxK;
+  } else {
+    R.Outcome = Verdict::Unknown;
+    R.KUsed = MaxK;
+  }
+  R.Seconds = Watch.elapsedSeconds();
+  return R;
+}
+
+IterativeResult vbmc::driver::checkParallelDeepening(
+    const ir::Program &P, uint32_t MaxK, uint32_t Threads,
+    const VbmcOptions &BaseOpts) {
+  CheckContext Ctx(BaseOpts.BudgetSeconds);
+  return checkParallelDeepening(P, MaxK, Threads, BaseOpts, Ctx);
 }
 
 VbmcResult vbmc::driver::checkSource(const std::string &Source,

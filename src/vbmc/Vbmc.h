@@ -23,6 +23,7 @@
 
 #include "ir/Program.h"
 #include "sc/ScExplorer.h"
+#include "support/CheckContext.h"
 #include "translation/Translate.h"
 
 #include <string>
@@ -58,20 +59,43 @@ enum class Verdict {
 
 struct VbmcResult {
   Verdict Outcome = Verdict::Unknown;
+  /// Backend time as reported by the backend itself. Translation time is
+  /// *not* folded in here; it is recorded separately (TranslateSeconds
+  /// and the translate.seconds stage in the context's StatsRegistry).
   double Seconds = 0;
+  /// Time spent in the [[.]]_K translation stage.
+  double TranslateSeconds = 0;
   /// Explicit backend: states visited. Sat backend: CNF clauses.
   uint64_t Work = 0;
   /// Counterexample schedule over the *translated* program, when UNSAFE
   /// and the explicit backend was used.
   std::vector<sc::ScTraceStep> Trace;
   std::string Note;
+  /// Portfolio mode: which backend produced the verdict ("explicit" or
+  /// "sat"); empty for single-backend runs.
+  std::string WinningBackend;
 
   bool unsafe() const { return Outcome == Verdict::Unsafe; }
   bool safe() const { return Outcome == Verdict::Safe; }
 };
 
-/// Runs the full VBMC pipeline on \p P.
+/// Runs the staged VBMC pipeline (translate, then one backend) on \p P,
+/// honoring \p Ctx: its deadline bounds every stage, its token cancels the
+/// run cooperatively, and every stage records into its StatsRegistry.
+VbmcResult checkProgram(const ir::Program &P, const VbmcOptions &Opts,
+                        CheckContext &Ctx);
+
+/// Convenience overload running under a private context built from
+/// Opts.BudgetSeconds.
 VbmcResult checkProgram(const ir::Program &P, const VbmcOptions &Opts);
+
+/// Races the Explicit and Sat backends on separate threads over one shared
+/// translation; the first conclusive (SAFE/UNSAFE) verdict wins and the
+/// loser is cancelled immediately. Unknown only when both backends are
+/// inconclusive. Opts.Backend is ignored.
+VbmcResult checkPortfolio(const ir::Program &P, const VbmcOptions &Opts,
+                          CheckContext &Ctx);
+VbmcResult checkPortfolio(const ir::Program &P, const VbmcOptions &Opts);
 
 /// Convenience: parse, then checkProgram; parse errors yield Unknown with
 /// the diagnostic in Note.
@@ -79,9 +103,11 @@ VbmcResult checkSource(const std::string &Source, const VbmcOptions &Opts);
 
 /// BMC backend entry point (defined in SatBackend.cpp): decides assertion
 /// reachability of the already-translated SC program \p Translated within
-/// \p ContextBound context switches by bounded model checking.
+/// \p ContextBound context switches by bounded model checking. \p Ctx,
+/// when non-null, carries the deadline/cancellation/stats of the run.
 VbmcResult runSatBackend(const ir::Program &Translated, uint32_t ContextBound,
-                         const VbmcOptions &Opts);
+                         const VbmcOptions &Opts,
+                         const CheckContext *Ctx = nullptr);
 
 /// One step of the paper's iterative workflow (Section 6: "This subset
 /// can be increased iteratively, by increasing K, to find bugs in real
@@ -104,10 +130,27 @@ struct IterativeResult {
 };
 
 /// Runs checkProgram for K = 0, 1, ..., MaxK, stopping at the first
-/// UNSAFE answer. The remaining wall-clock budget is split across the
-/// iterations (later iterations get whatever is left).
+/// UNSAFE answer. All iterations share \p Ctx, so its deadline naturally
+/// gives later iterations whatever wall clock is left.
+IterativeResult checkIterative(const ir::Program &P, uint32_t MaxK,
+                               const VbmcOptions &BaseOpts,
+                               CheckContext &Ctx);
 IterativeResult checkIterative(const ir::Program &P, uint32_t MaxK,
                                const VbmcOptions &BaseOpts);
+
+/// Parallel deepening: explores up to \p Threads values of K concurrently
+/// (K = 0..MaxK, each under a cancellable child context) while preserving
+/// the paper's iterative semantics: UNSAFE is reported for the *smallest*
+/// K that finds a bug (larger in-flight K runs are cancelled, smaller
+/// ones are always allowed to finish first), SAFE only when every
+/// K <= MaxK was conclusively exhausted, Unknown otherwise.
+IterativeResult checkParallelDeepening(const ir::Program &P, uint32_t MaxK,
+                                       uint32_t Threads,
+                                       const VbmcOptions &BaseOpts,
+                                       CheckContext &Ctx);
+IterativeResult checkParallelDeepening(const ir::Program &P, uint32_t MaxK,
+                                       uint32_t Threads,
+                                       const VbmcOptions &BaseOpts);
 
 } // namespace vbmc::driver
 

@@ -1,11 +1,17 @@
 //===- VbmcMain.cpp - the vbmc command-line tool ---------------*- C++ -*-===//
 //
 // Usage:
-//   vbmc [--k N] [--l N] [--backend explicit|sat] [--budget SECONDS]
-//        [--dump-translation] [--show-trace] [--ra-reference] FILE
+//   vbmc [--k N] [--l N] [--backend explicit|sat] [--portfolio]
+//        [--iterative [--parallel-deepening N]] [--budget SECONDS]
+//        [--stats] [--dump-translation] [--show-trace]
+//        [--ra-reference] FILE
 //
 // Reads a concurrent program in the Fig. 1 concrete syntax, translates it
-// with [[.]]_K and reports SAFE / UNSAFE / UNKNOWN. With --ra-reference the
+// with [[.]]_K and reports SAFE / UNSAFE / UNKNOWN. With --portfolio both
+// backends race on separate threads and the first conclusive verdict wins;
+// with --parallel-deepening N the iterative loop runs up to N values of K
+// concurrently (smallest buggy K still wins). --stats dumps the per-stage
+// counters recorded in the run's CheckContext. With --ra-reference the
 // query is answered by the exact RA explorer instead (no translation), for
 // cross-checking on small inputs.
 //
@@ -32,19 +38,53 @@ void printUsage() {
       "  --l N              loop unrolling bound for the sat backend "
       "(default 2)\n"
       "  --backend KIND     explicit | sat (default explicit)\n"
+      "  --portfolio        race both backends concurrently; first\n"
+      "                     conclusive verdict wins, loser is cancelled\n"
+      "  --parallel-deepening N\n"
+      "                     explore up to N values of K concurrently\n"
+      "                     (iterative semantics: smallest buggy K wins)\n"
       "  --budget SECONDS   wall-clock budget (default unlimited)\n"
       "  --max-states N     explicit-backend state cap\n"
+      "  --stats            dump per-stage counters/timers after the "
+      "verdict\n"
       "  --dump-translation print [[P]]_K and exit\n"
       "  --show-trace       print the counterexample schedule when UNSAFE\n"
       "  --ra-reference     answer with the exact RA explorer instead\n"
       "  --iterative        deepen K = 0.. until a bug is found\n"
-      "  --max-k N          iterative-mode ceiling (default 6)");
+      "  --max-k N          deepening-mode ceiling (default 6)");
+}
+
+const char *verdictName(driver::Verdict V) {
+  switch (V) {
+  case driver::Verdict::Unsafe:
+    return "UNSAFE";
+  case driver::Verdict::Safe:
+    return "SAFE";
+  case driver::Verdict::Unknown:
+    return "UNKNOWN";
+  }
+  return "UNKNOWN";
+}
+
+int verdictExitCode(driver::Verdict V) {
+  switch (V) {
+  case driver::Verdict::Unsafe:
+    return 1;
+  case driver::Verdict::Safe:
+    return 0;
+  case driver::Verdict::Unknown:
+    return 3;
+  }
+  return 3;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  CommandLine CL = CommandLine::parse(Argc, Argv);
+  CommandLine CL = CommandLine::parse(
+      Argc, Argv,
+      {"portfolio", "stats", "dump-translation", "show-trace",
+       "ra-reference", "iterative", "help"});
   if (CL.hasFlag("help") || CL.positionals().size() != 1) {
     printUsage();
     return CL.hasFlag("help") ? 0 : 2;
@@ -103,9 +143,24 @@ int main(int Argc, char **Argv) {
     return R.exhausted() ? 0 : 3;
   }
 
-  if (CL.hasFlag("iterative")) {
+  // The engine-wide context: one deadline for every stage, a cancellation
+  // root, and the per-stage statistics that --stats dumps.
+  CheckContext Ctx(Opts.BudgetSeconds);
+  const bool ShowStats = CL.hasFlag("stats");
+  auto dumpStats = [&] {
+    if (ShowStats)
+      std::fputs(Ctx.stats().format().c_str(), stdout);
+  };
+
+  uint32_t DeepeningThreads =
+      static_cast<uint32_t>(CL.getInt("parallel-deepening", 0));
+  if (CL.hasFlag("iterative") || DeepeningThreads > 0) {
     uint32_t MaxK = static_cast<uint32_t>(CL.getInt("max-k", 6));
-    driver::IterativeResult IR = driver::checkIterative(*Parsed, MaxK, Opts);
+    driver::IterativeResult IR =
+        DeepeningThreads > 0
+            ? driver::checkParallelDeepening(*Parsed, MaxK, DeepeningThreads,
+                                             Opts, Ctx)
+            : driver::checkIterative(*Parsed, MaxK, Opts, Ctx);
     for (const auto &Step : IR.Iterations)
       std::printf("  k=%u: %s (%.3fs)\n", Step.K,
                   Step.Outcome == driver::Verdict::Unsafe   ? "UNSAFE"
@@ -116,36 +171,38 @@ int main(int Argc, char **Argv) {
     case driver::Verdict::Unsafe:
       std::printf("UNSAFE (found at k=%u, %.3fs total)\n", IR.KUsed,
                   IR.Seconds);
-      return 1;
+      break;
     case driver::Verdict::Safe:
       std::printf("SAFE (k <= %u, %.3fs total)\n", IR.KUsed, IR.Seconds);
-      return 0;
+      break;
     case driver::Verdict::Unknown:
       std::printf("UNKNOWN (%.3fs total)\n", IR.Seconds);
-      return 3;
+      break;
     }
+    dumpStats();
+    return verdictExitCode(IR.Outcome);
   }
 
-  driver::VbmcResult R = driver::checkProgram(*Parsed, Opts);
-  switch (R.Outcome) {
-  case driver::Verdict::Unsafe:
-    std::printf("UNSAFE (k=%u, %.3fs)\n", Opts.K, R.Seconds);
-    if (CL.hasFlag("show-trace")) {
-      translation::TranslationOptions TO;
-      TO.K = Opts.K;
-      auto TR = translation::translateToSc(*Parsed, TO);
-      ir::FlatProgram FP = ir::flatten(TR.Prog);
-      for (const auto &Step : R.Trace)
-        std::printf("  %s@%u\n", FP.Procs[Step.Proc].Name.c_str(),
-                    Step.Instr);
-    }
-    return 1;
-  case driver::Verdict::Safe:
-    std::printf("SAFE (k=%u, %.3fs)\n", Opts.K, R.Seconds);
-    return 0;
-  case driver::Verdict::Unknown:
-    std::printf("UNKNOWN (%s, %.3fs)\n", R.Note.c_str(), R.Seconds);
-    return 3;
+  const bool Portfolio = CL.hasFlag("portfolio");
+  driver::VbmcResult R = Portfolio
+                             ? driver::checkPortfolio(*Parsed, Opts, Ctx)
+                             : driver::checkProgram(*Parsed, Opts, Ctx);
+  std::string Detail = "k=" + std::to_string(Opts.K);
+  if (!R.WinningBackend.empty())
+    Detail += ", " + R.WinningBackend + " backend won";
+  if (R.Outcome == driver::Verdict::Unknown && !R.Note.empty())
+    Detail += ", " + R.Note;
+  std::printf("%s (%s, %.3fs)\n", verdictName(R.Outcome), Detail.c_str(),
+              R.Seconds);
+  if (R.unsafe() && CL.hasFlag("show-trace") && !R.Trace.empty()) {
+    translation::TranslationOptions TO;
+    TO.K = Opts.K;
+    auto TR = translation::translateToSc(*Parsed, TO);
+    ir::FlatProgram FP = ir::flatten(TR.Prog);
+    for (const auto &Step : R.Trace)
+      std::printf("  %s@%u\n", FP.Procs[Step.Proc].Name.c_str(),
+                  Step.Instr);
   }
-  return 3;
+  dumpStats();
+  return verdictExitCode(R.Outcome);
 }

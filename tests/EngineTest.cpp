@@ -1,0 +1,317 @@
+//===- EngineTest.cpp - staged engine: cancellation, portfolio, ----------===//
+//===                   parallel deepening, per-stage statistics ---------===//
+//
+// Coverage for the concurrent verification engine built on CheckContext:
+//
+//  * cancellation: a mid-search ScExplorer run and a pre-cancelled
+//    pipeline both return Unknown promptly, never a bogus SAFE;
+//  * budgets: an exhausted deadline yields Unknown through every entry
+//    point, including during SAT *encoding* (not just the CDCL loop);
+//  * portfolio: verdict agreement with each single backend on a matrix
+//    of safe/unsafe instances;
+//  * parallel deepening: the paper's smallest-K reporting guarantee;
+//  * statistics: per-stage counters recorded for both backends.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Flatten.h"
+#include "ir/Parser.h"
+#include "protocols/Protocols.h"
+#include "sc/ScExplorer.h"
+#include "support/Timer.h"
+#include "translation/Translate.h"
+#include "vbmc/Vbmc.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+using namespace vbmc;
+using namespace vbmc::ir;
+
+namespace {
+
+Program parseOrDie(const std::string &Src) {
+  auto P = parseProgram(Src);
+  EXPECT_TRUE(P) << (P ? "" : P.error().str());
+  return P.take();
+}
+
+// Message passing with the classic RA violation: needs exactly one view
+// switch (bug at K = 1).
+const char *MpUnsafeSrc = R"(
+  var x y;
+  proc p0 { reg d; x = 1; y = 1; }
+  proc p1 { reg r1 r2; r1 = y; r2 = x; assert(!(r1 == 1 && r2 == 1)); }
+)";
+
+// The causal variant RA forbids: safe for every K.
+const char *MpSafeSrc = R"(
+  var x y;
+  proc p0 { reg d; x = 1; y = 1; }
+  proc p1 { reg r1 r2; r1 = y; r2 = x; assert(!(r1 == 1 && r2 == 0)); }
+)";
+
+driver::VbmcOptions smallOpts(driver::BackendKind B, uint32_t K) {
+  driver::VbmcOptions O;
+  O.Backend = B;
+  O.K = K;
+  O.L = 2;
+  O.CasAllowance = 2;
+  return O;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Cancellation
+//===----------------------------------------------------------------------===//
+
+TEST(EngineCancellationTest, PreCancelledContextReturnsUnknown) {
+  Program P = parseOrDie(MpUnsafeSrc);
+  CheckContext Ctx;
+  Ctx.cancel();
+  driver::VbmcResult R =
+      driver::checkProgram(P, smallOpts(driver::BackendKind::Explicit, 1),
+                           Ctx);
+  EXPECT_EQ(R.Outcome, driver::Verdict::Unknown);
+  EXPECT_EQ(R.Note, "cancelled");
+}
+
+TEST(EngineCancellationTest, ScExplorerCancelledMidSearchReturnsPromptly) {
+  // A search space far too large to exhaust in test time: fully fenced
+  // 3-thread Peterson (safe, so the goal is never reached) translated at
+  // K = 2. Without cancellation this BFS would run for a very long time.
+  Program P =
+      protocols::makePeterson(protocols::MutexOptions::fencedAll(3));
+  translation::TranslationOptions TO;
+  TO.K = 2;
+  TO.CasAllowance = 4;
+  translation::TranslationResult TR = translation::translateToSc(P, TO);
+  FlatProgram FP = flatten(TR.Prog);
+
+  CheckContext Ctx;
+  sc::ScQuery Q;
+  Q.Goal = sc::ScGoalKind::AnyError;
+  Q.ContextBound = TR.ContextBound;
+  Q.SwitchOnlyAfterWrite = true;
+  Q.Ctx = &Ctx;
+
+  sc::ScResult R;
+  Timer Watch;
+  std::thread Search([&] { R = sc::exploreSc(FP, Q); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Ctx.cancel();
+  Search.join();
+  EXPECT_EQ(R.Status, sc::ScStatus::Cancelled);
+  // "Promptly": the join returned long before any exhaustive search
+  // could, and the explorer did real work before being stopped.
+  EXPECT_LT(Watch.elapsedSeconds(), 30.0);
+  EXPECT_GT(R.StatesVisited, 0u);
+  EXPECT_GT(Ctx.stats().count("explicit.states"), 0u);
+}
+
+TEST(EngineCancellationTest, DriverMapsCancellationToUnknown) {
+  Program P =
+      protocols::makePeterson(protocols::MutexOptions::fencedAll(3));
+  CheckContext Ctx;
+  driver::VbmcResult R;
+  std::thread Run([&] {
+    R = driver::checkProgram(
+        P, smallOpts(driver::BackendKind::Explicit, 2), Ctx);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Ctx.cancel();
+  Run.join();
+  EXPECT_EQ(R.Outcome, driver::Verdict::Unknown);
+  EXPECT_EQ(R.Note, "cancelled");
+}
+
+//===----------------------------------------------------------------------===//
+// Budgets
+//===----------------------------------------------------------------------===//
+
+TEST(EngineBudgetTest, ExhaustedBudgetReportsUnknownNotSafe) {
+  Program P = parseOrDie(MpSafeSrc);
+  driver::VbmcOptions O = smallOpts(driver::BackendKind::Explicit, 2);
+  O.BudgetSeconds = 1e-9;
+  driver::IterativeResult R = driver::checkIterative(P, 3, O);
+  EXPECT_EQ(R.Outcome, driver::Verdict::Unknown);
+
+  CheckContext Ctx(1e-9);
+  driver::VbmcResult Single = driver::checkProgram(P, O, Ctx);
+  EXPECT_EQ(Single.Outcome, driver::Verdict::Unknown);
+}
+
+TEST(EngineBudgetTest, SatBackendHonorsDeadlineDuringEncoding) {
+  // A deliberately heavy encoding (3-thread Peterson, K = 3, L = 3) with
+  // a deadline that expires during construction: the backend must give up
+  // while encoding instead of bit-blasting the full circuit first.
+  Program P =
+      protocols::makePeterson(protocols::MutexOptions::unfenced(3));
+  driver::VbmcOptions O = smallOpts(driver::BackendKind::Sat, 3);
+  O.L = 3;
+  O.CasAllowance = 4;
+  CheckContext Ctx(0.05);
+  Timer Watch;
+  driver::VbmcResult R = driver::checkProgram(P, O, Ctx);
+  EXPECT_EQ(R.Outcome, driver::Verdict::Unknown);
+  // Generous bound: without the in-encoding deadline check this instance
+  // encodes and solves for much longer.
+  EXPECT_LT(Watch.elapsedSeconds(), 30.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Portfolio
+//===----------------------------------------------------------------------===//
+
+TEST(PortfolioTest, AgreesWithBothBackendsOnSafeUnsafeMatrix) {
+  struct Case {
+    const char *Name;
+    Program Prog;
+    uint32_t K;
+    driver::Verdict Expect;
+    // The explicit backend cannot exhaust protocol-sized instances in
+    // test time (that is what the portfolio is for), so its standalone
+    // run is only checked where it terminates quickly.
+    bool ExplicitFeasible;
+  };
+  std::vector<Case> Matrix;
+  Matrix.push_back({"mp_unsafe", parseOrDie(MpUnsafeSrc), 1,
+                    driver::Verdict::Unsafe, true});
+  Matrix.push_back({"mp_safe", parseOrDie(MpSafeSrc), 2,
+                    driver::Verdict::Safe, true});
+  Matrix.push_back({"sim_dekker_0",
+                    protocols::makeSimplifiedDekker(
+                        protocols::MutexOptions::unfenced(2)),
+                    2, driver::Verdict::Unsafe, false});
+
+  for (const Case &C : Matrix) {
+    if (C.ExplicitFeasible) {
+      driver::VbmcResult E = driver::checkProgram(
+          C.Prog, smallOpts(driver::BackendKind::Explicit, C.K));
+      EXPECT_EQ(E.Outcome, C.Expect) << C.Name << " (explicit)";
+    }
+    driver::VbmcResult S = driver::checkProgram(
+        C.Prog, smallOpts(driver::BackendKind::Sat, C.K));
+    CheckContext Ctx;
+    driver::VbmcResult Pf = driver::checkPortfolio(
+        C.Prog, smallOpts(driver::BackendKind::Explicit, C.K), Ctx);
+    EXPECT_EQ(S.Outcome, C.Expect) << C.Name << " (sat)";
+    EXPECT_EQ(Pf.Outcome, C.Expect) << C.Name << " (portfolio)";
+    EXPECT_TRUE(Pf.WinningBackend == "explicit" ||
+                Pf.WinningBackend == "sat")
+        << C.Name << " winner='" << Pf.WinningBackend << "'";
+  }
+}
+
+TEST(PortfolioTest, SurvivesOneBackendHittingItsLimit) {
+  // Cap the explicit backend at a handful of states: it returns Unknown,
+  // and the portfolio verdict must come from the SAT backend instead.
+  Program P = parseOrDie(MpUnsafeSrc);
+  driver::VbmcOptions O = smallOpts(driver::BackendKind::Explicit, 1);
+  O.MaxStates = 3;
+  CheckContext Ctx;
+  driver::VbmcResult R = driver::checkPortfolio(P, O, Ctx);
+  EXPECT_EQ(R.Outcome, driver::Verdict::Unsafe);
+  EXPECT_EQ(R.WinningBackend, "sat");
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel deepening
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelDeepeningTest, ReportsSmallestBuggyK) {
+  // The MP bug exists at every K >= 1; racing K = 0..4 concurrently must
+  // still attribute the bug to K = 1 even if a larger K finishes first.
+  Program P = parseOrDie(MpUnsafeSrc);
+  driver::IterativeResult R = driver::checkParallelDeepening(
+      P, 4, 5, smallOpts(driver::BackendKind::Explicit, 0));
+  EXPECT_EQ(R.Outcome, driver::Verdict::Unsafe);
+  EXPECT_EQ(R.KUsed, 1u);
+  // K = 0 must appear in the report (it ran to completion, safely).
+  ASSERT_FALSE(R.Iterations.empty());
+  EXPECT_EQ(R.Iterations[0].K, 0u);
+  EXPECT_EQ(R.Iterations[0].Outcome, driver::Verdict::Safe);
+}
+
+TEST(ParallelDeepeningTest, SafeOnlyWhenAllKExhausted) {
+  Program P = parseOrDie(MpSafeSrc);
+  driver::IterativeResult R = driver::checkParallelDeepening(
+      P, 2, 3, smallOpts(driver::BackendKind::Explicit, 0));
+  EXPECT_EQ(R.Outcome, driver::Verdict::Safe);
+  EXPECT_EQ(R.KUsed, 2u);
+  ASSERT_EQ(R.Iterations.size(), 3u);
+  for (const auto &Step : R.Iterations)
+    EXPECT_EQ(Step.Outcome, driver::Verdict::Safe);
+}
+
+TEST(ParallelDeepeningTest, MatchesSequentialWithSatBackend) {
+  Program P = parseOrDie(MpUnsafeSrc);
+  driver::VbmcOptions O = smallOpts(driver::BackendKind::Sat, 0);
+  driver::IterativeResult Seq = driver::checkIterative(P, 3, O);
+  driver::IterativeResult Par = driver::checkParallelDeepening(P, 3, 2, O);
+  EXPECT_EQ(Seq.Outcome, driver::Verdict::Unsafe);
+  EXPECT_EQ(Par.Outcome, Seq.Outcome);
+  EXPECT_EQ(Par.KUsed, Seq.KUsed);
+}
+
+TEST(ParallelDeepeningTest, ExhaustedBudgetReportsUnknown) {
+  Program P = parseOrDie(MpSafeSrc);
+  driver::VbmcOptions O = smallOpts(driver::BackendKind::Explicit, 0);
+  O.BudgetSeconds = 1e-9;
+  driver::IterativeResult R = driver::checkParallelDeepening(P, 3, 2, O);
+  EXPECT_EQ(R.Outcome, driver::Verdict::Unknown);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-stage statistics
+//===----------------------------------------------------------------------===//
+
+TEST(EngineStatsTest, ExplicitRunRecordsStages) {
+  Program P = parseOrDie(MpUnsafeSrc);
+  CheckContext Ctx;
+  driver::VbmcResult R = driver::checkProgram(
+      P, smallOpts(driver::BackendKind::Explicit, 1), Ctx);
+  EXPECT_EQ(R.Outcome, driver::Verdict::Unsafe);
+  StatsRegistry &S = Ctx.stats();
+  EXPECT_GT(S.seconds("translate.seconds"), 0.0);
+  EXPECT_EQ(S.count("translate.runs"), 1u);
+  EXPECT_GT(S.seconds("flatten.seconds"), 0.0);
+  EXPECT_GT(S.count("explicit.states"), 0u);
+  EXPECT_GT(S.seconds("explicit.seconds"), 0.0);
+  // Satellite fix: translation time is reported separately from backend
+  // time instead of being folded into one driver-side stopwatch.
+  EXPECT_GT(R.TranslateSeconds, 0.0);
+  EXPECT_GT(R.Seconds, 0.0);
+}
+
+TEST(EngineStatsTest, SatRunRecordsStages) {
+  Program P = parseOrDie(MpUnsafeSrc);
+  CheckContext Ctx;
+  driver::VbmcResult R = driver::checkProgram(
+      P, smallOpts(driver::BackendKind::Sat, 1), Ctx);
+  EXPECT_EQ(R.Outcome, driver::Verdict::Unsafe);
+  StatsRegistry &S = Ctx.stats();
+  EXPECT_GT(S.seconds("translate.seconds"), 0.0);
+  EXPECT_GE(S.seconds("sat.unroll.seconds"), 0.0);
+  EXPECT_GT(S.count("sat.encode.nodes"), 0u);
+  EXPECT_GT(S.seconds("sat.encode.seconds"), 0.0);
+  EXPECT_GT(S.seconds("sat.solve.seconds"), 0.0);
+}
+
+TEST(EngineStatsTest, PortfolioRecordsBothBackends) {
+  // Large enough that neither backend wins before the other has begun
+  // real work: both sides' stage counters must end up non-zero.
+  Program P = protocols::makeSimplifiedDekker(
+      protocols::MutexOptions::unfenced(2));
+  CheckContext Ctx;
+  driver::VbmcResult R = driver::checkPortfolio(
+      P, smallOpts(driver::BackendKind::Explicit, 2), Ctx);
+  EXPECT_EQ(R.Outcome, driver::Verdict::Unsafe);
+  StatsRegistry &S = Ctx.stats();
+  EXPECT_GT(S.seconds("translate.seconds"), 0.0);
+  EXPECT_GT(S.count("explicit.states"), 0u);
+  EXPECT_GT(S.count("sat.encode.nodes"), 0u);
+}

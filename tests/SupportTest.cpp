@@ -1,5 +1,6 @@
 //===- SupportTest.cpp - unit tests for src/support -------------*- C++ -*-===//
 
+#include "support/CheckContext.h"
 #include "support/Cli.h"
 #include "support/Diagnostics.h"
 #include "support/Rng.h"
@@ -8,7 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <memory>
 #include <set>
+#include <thread>
+#include <vector>
 
 using namespace vbmc;
 
@@ -111,6 +116,16 @@ TEST(CliTest, ParsesFlagsAndPositionals) {
   EXPECT_EQ(CL.getString("absent", "d"), "d");
 }
 
+TEST(CliTest, DeclaredBooleanFlagKeepsPositional) {
+  const char *Argv[] = {"tool", "--stats", "input.txt", "--k", "2"};
+  CommandLine CL =
+      CommandLine::parse(5, Argv, {"stats"});
+  EXPECT_TRUE(CL.hasFlag("stats"));
+  EXPECT_EQ(CL.getInt("k", 0), 2);
+  ASSERT_EQ(CL.positionals().size(), 1u);
+  EXPECT_EQ(CL.positionals()[0], "input.txt");
+}
+
 TEST(TimerTest, DeadlineExpires) {
   Deadline Never;
   EXPECT_FALSE(Never.expired());
@@ -120,4 +135,114 @@ TEST(TimerTest, DeadlineExpires) {
   for (int I = 0; I < 100000; ++I)
     X = X + 1;
   EXPECT_TRUE(Tiny.expired());
+}
+
+TEST(TimerTest, DeadlineRemainingSeconds) {
+  Deadline Never;
+  EXPECT_TRUE(std::isinf(Never.remainingSeconds()));
+  Deadline Generous(3600);
+  double Left = Generous.remainingSeconds();
+  EXPECT_GT(Left, 3500.0);
+  EXPECT_LE(Left, 3600.0);
+  Deadline Expired(1e-9);
+  volatile int X = 0;
+  for (int I = 0; I < 100000; ++I)
+    X = X + 1;
+  EXPECT_EQ(Expired.remainingSeconds(), 0.0);
+}
+
+TEST(CancellationTokenTest, StickyAndChainsToParent) {
+  auto Parent = std::make_shared<CancellationToken>();
+  CancellationToken Child{
+      std::shared_ptr<const CancellationToken>(Parent)};
+  EXPECT_FALSE(Parent->cancelled());
+  EXPECT_FALSE(Child.cancelled());
+
+  // Cancelling the child leaves the parent alone.
+  Child.cancel();
+  EXPECT_TRUE(Child.cancelled());
+  EXPECT_FALSE(Parent->cancelled());
+
+  // Cancelling the parent cancels every (other) child.
+  CancellationToken Sibling{
+      std::shared_ptr<const CancellationToken>(Parent)};
+  EXPECT_FALSE(Sibling.cancelled());
+  Parent->cancel();
+  EXPECT_TRUE(Sibling.cancelled());
+}
+
+TEST(CheckContextTest, ChildSharesDeadlineAndStats) {
+  CheckContext Ctx(3600);
+  CheckContext Child = Ctx.child();
+  // Same registry underneath.
+  Child.stats().addCount("x", 3);
+  EXPECT_EQ(Ctx.stats().count("x"), 3u);
+  // Child deadline carries the parent's budget (same start time).
+  EXPECT_EQ(Child.deadline().budgetSeconds(), 3600.0);
+  // Individual cancellation does not leak upward; parent cancellation
+  // interrupts the child.
+  Child.cancel();
+  EXPECT_TRUE(Child.interrupted());
+  EXPECT_FALSE(Ctx.interrupted());
+  CheckContext Child2 = Ctx.child();
+  Ctx.cancel();
+  EXPECT_TRUE(Child2.interrupted());
+  EXPECT_TRUE(Child2.cancelled());
+}
+
+TEST(StatsRegistryTest, CountersAndTimersAccumulate) {
+  StatsRegistry S;
+  EXPECT_EQ(S.count("a"), 0u);
+  EXPECT_EQ(S.seconds("t"), 0.0);
+  S.addCount("a");
+  S.addCount("a", 4);
+  S.addSeconds("t", 0.5);
+  S.addSeconds("t", 0.25);
+  EXPECT_EQ(S.count("a"), 5u);
+  EXPECT_DOUBLE_EQ(S.seconds("t"), 0.75);
+
+  auto Snap = S.snapshot();
+  ASSERT_EQ(Snap.size(), 2u);
+  EXPECT_EQ(Snap[0].Name, "a");
+  EXPECT_TRUE(Snap[0].IsCounter);
+  EXPECT_EQ(Snap[1].Name, "t");
+  EXPECT_FALSE(Snap[1].IsCounter);
+
+  std::string Dump = S.format();
+  EXPECT_NE(Dump.find("a"), std::string::npos);
+  EXPECT_NE(Dump.find("= 5"), std::string::npos);
+
+  S.clear();
+  EXPECT_EQ(S.count("a"), 0u);
+  EXPECT_TRUE(S.snapshot().empty());
+}
+
+TEST(StatsRegistryTest, ConcurrentRecordingIsLossless) {
+  StatsRegistry S;
+  constexpr int Threads = 8, PerThread = 1000;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&S] {
+      for (int I = 0; I < PerThread; ++I) {
+        S.addCount("shared.counter");
+        S.addSeconds("shared.seconds", 0.001);
+      }
+    });
+  for (auto &T : Pool)
+    T.join();
+  EXPECT_EQ(S.count("shared.counter"),
+            static_cast<uint64_t>(Threads) * PerThread);
+  EXPECT_NEAR(S.seconds("shared.seconds"), Threads * PerThread * 0.001,
+              1e-6);
+}
+
+TEST(ScopedStageTimerTest, RecordsOnScopeExit) {
+  StatsRegistry S;
+  {
+    ScopedStageTimer T(S, "stage");
+    volatile int X = 0;
+    for (int I = 0; I < 1000; ++I)
+      X = X + 1;
+  }
+  EXPECT_GT(S.seconds("stage"), 0.0);
 }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+#===- run_tsan.sh - race-check the threaded engine under TSan -----------===//
+#
+# Configures a build tree with -DVBMC_SANITIZE=thread, builds the engine
+# test binary, and runs the engine/support test suites (the code exercising
+# CheckContext, the portfolio racer, and parallel deepening) under
+# ThreadSanitizer. Registered as the `tsan_engine_job` ctest test so every
+# tier-1 run covers the concurrent drivers; also usable standalone:
+#
+#   tests/run_tsan.sh [build-dir]
+#
+#===----------------------------------------------------------------------===//
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-tsan}"
+
+cmake -B "$BUILD" -S "$ROOT" -DVBMC_SANITIZE=thread -DVBMC_TSAN_JOB=OFF \
+      > /dev/null
+cmake --build "$BUILD" --target engine_test support_test \
+      -j "$(nproc)" > /dev/null
+
+# TSan aborts with exit 66 on the first detected race.
+export TSAN_OPTIONS="halt_on_error=1 exitcode=66"
+"$BUILD/tests/engine_test" --gtest_brief=1
+"$BUILD/tests/support_test" --gtest_brief=1 \
+    --gtest_filter='CancellationTokenTest.*:CheckContextTest.*:StatsRegistryTest.*'
+echo "run_tsan.sh: no data races detected"
