@@ -3,6 +3,7 @@
 #include "axiomatic/ExecutionGraph.h"
 
 #include "ir/Eval.h"
+#include "support/FaultInjection.h"
 
 #include <algorithm>
 
@@ -121,16 +122,21 @@ bool vbmc::axiomatic::checkRaConsistent(const ExecutionGraph &G) {
   Eco.closeTransitively();
 
   // Coherence: no hb edge opposed by eco (together with hb irreflexivity
-  // this is irreflexive(hb ; eco^?)).
-  for (uint32_t A = 0; A < N; ++A)
-    for (uint32_t B = 0; B < N; ++B)
-      if (Hb.has(A, B) && Eco.has(B, A))
-        return false;
-  if (!Eco.irreflexive())
-    return false;
+  // this is irreflexive(hb ; eco^?)). The drop-coherence fault hook lets
+  // the fuzzing harness verify that a checker missing this axiom is
+  // caught by the operational/axiomatic differential.
+  if (!fault::enabled("axiomatic.drop-coherence")) {
+    for (uint32_t A = 0; A < N; ++A)
+      for (uint32_t B = 0; B < N; ++B)
+        if (Hb.has(A, B) && Eco.has(B, A))
+          return false;
+    if (!Eco.irreflexive())
+      return false;
+  }
 
   // Atomicity: an update is mo-adjacent to the write it reads.
-  for (uint32_t E = 0; E < N; ++E) {
+  const bool DropAtomicity = fault::enabled("axiomatic.drop-atomicity");
+  for (uint32_t E = 0; E < N && !DropAtomicity; ++E) {
     if (G.Events[E].Kind != EventKind::Update)
       continue;
     uint32_t W = G.Rf[E];
@@ -160,12 +166,15 @@ struct ThreadOp {
 /// Enumeration state for enumerateRaOutcomes.
 class OutcomeEnumerator {
 public:
-  explicit OutcomeEnumerator(const Program &P) : P(P) {}
+  OutcomeEnumerator(const Program &P, const CheckContext *Ctx)
+      : P(P), Ctx(Ctx) {}
 
   ErrorOr<std::set<std::vector<Value>>> run() {
     if (auto Err = buildSkeleton())
       return *Err;
     enumerateRf(0);
+    if (Interrupted)
+      return Diagnostic("interrupted");
     return std::move(Outcomes);
   }
 
@@ -233,6 +242,12 @@ private:
 
   /// Depth-first choice of a writer for each read event.
   void enumerateRf(size_t ReadIdx) {
+    if (Interrupted)
+      return;
+    if (Ctx && (++PollCounter & 0xff) == 0 && Ctx->interrupted()) {
+      Interrupted = true;
+      return;
+    }
     if (ReadIdx == ReadEvents.size()) {
       evaluateCandidate();
       return;
@@ -375,20 +390,24 @@ private:
   }
 
   const Program &P;
+  const CheckContext *Ctx;
   ExecutionGraph G;
   std::vector<std::vector<ThreadOp>> Threads;
   std::vector<uint32_t> ReadEvents;
   std::vector<std::optional<Value>> WrittenValue;
   std::set<std::vector<Value>> Outcomes;
+  uint64_t PollCounter = 0;
+  bool Interrupted = false;
 };
 
 } // namespace
 
 ErrorOr<std::set<std::vector<Value>>>
-vbmc::axiomatic::enumerateRaOutcomes(const Program &P) {
+vbmc::axiomatic::enumerateRaOutcomes(const Program &P,
+                                     const CheckContext *Ctx) {
   auto Valid = P.validate();
   if (!Valid)
     return Valid.error();
-  OutcomeEnumerator E(P);
+  OutcomeEnumerator E(P, Ctx);
   return E.run();
 }

@@ -26,6 +26,7 @@
 #define VBMC_AXIOMATIC_EXECUTIONGRAPH_H
 
 #include "ir/Program.h"
+#include "support/CheckContext.h"
 #include "support/Diagnostics.h"
 
 #include <cstdint>
@@ -72,7 +73,11 @@ struct ExecutionGraph {
   uint32_t numEvents() const { return static_cast<uint32_t>(Events.size()); }
 };
 
-/// Checks the RA axioms on \p G.
+/// Checks the RA axioms on \p G. The fault-injection hooks
+/// `axiomatic.drop-coherence` and `axiomatic.drop-atomicity` (see
+/// support/FaultInjection.h) suppress one axiom each; they exist solely
+/// so the differential fuzzing harness can prove it detects a broken
+/// checker.
 bool checkRaConsistent(const ExecutionGraph &G);
 
 /// Exhaustively enumerates consistent complete executions of the
@@ -80,8 +85,11 @@ bool checkRaConsistent(const ExecutionGraph &G);
 /// the caller or absent) and returns all final register valuations.
 /// Executions where an assume fails or a CAS never sees its expected
 /// value are incomplete and excluded, matching the operational
-/// AllDone-collection semantics.
-ErrorOr<std::set<std::vector<Value>>> enumerateRaOutcomes(const ir::Program &P);
+/// AllDone-collection semantics. When \p Ctx is given its deadline and
+/// cancellation are polled; an interrupted enumeration fails with the
+/// diagnostic "interrupted".
+ErrorOr<std::set<std::vector<Value>>>
+enumerateRaOutcomes(const ir::Program &P, const CheckContext *Ctx = nullptr);
 
 } // namespace vbmc::axiomatic
 

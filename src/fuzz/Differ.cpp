@@ -1,0 +1,315 @@
+//===- Differ.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "fuzz/Differ.h"
+
+#include "axiomatic/ExecutionGraph.h"
+#include "ir/Flatten.h"
+#include "ra/RaExplorer.h"
+#include "sc/ScExplorer.h"
+#include "smc/Smc.h"
+#include "translation/Translate.h"
+#include "vbmc/Vbmc.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace vbmc;
+using namespace vbmc::fuzz;
+using namespace vbmc::ir;
+
+const char *vbmc::fuzz::checkStatusName(CheckStatus S) {
+  switch (S) {
+  case CheckStatus::Pass:
+    return "pass";
+  case CheckStatus::Mismatch:
+    return "MISMATCH";
+  case CheckStatus::Skipped:
+    return "skipped";
+  case CheckStatus::Timeout:
+    return "timeout";
+  }
+  return "?";
+}
+
+bool DiffReport::mismatch() const { return firstMismatch() != nullptr; }
+
+const CheckOutcome *DiffReport::firstMismatch() const {
+  for (const CheckOutcome &O : Outcomes)
+    if (O.Status == CheckStatus::Mismatch)
+      return &O;
+  return nullptr;
+}
+
+std::string DiffReport::summary() const {
+  std::string Out;
+  for (const CheckOutcome &O : Outcomes) {
+    Out += O.Check + ": " + checkStatusName(O.Status);
+    if (!O.Detail.empty())
+      Out += " (" + O.Detail + ")";
+    Out += "\n";
+  }
+  return Out;
+}
+
+const std::vector<std::string> &vbmc::fuzz::allCheckNames() {
+  static const std::vector<std::string> Names = {
+      "sc-subset-ra", "ra-vs-translation", "explicit-vs-sat",
+      "operational-vs-axiomatic", "smc-vs-ra"};
+  return Names;
+}
+
+namespace {
+
+/// Remaining budget formatted for the engines' BudgetSeconds fields,
+/// where 0 means unlimited.
+double budgetLeft(const CheckContext &Ctx) {
+  double R = Ctx.deadline().remainingSeconds();
+  if (R == std::numeric_limits<double>::infinity())
+    return 0;
+  return R > 0 ? R : 1e-9;
+}
+
+/// Timeout when the context ran dry (the honest cause), Skipped when an
+/// engine bailed on a state cap with time to spare.
+CheckOutcome inconclusive(const std::string &Check, const CheckContext &Ctx,
+                          const std::string &What) {
+  CheckOutcome O;
+  O.Check = Check;
+  O.Status = Ctx.interrupted() ? CheckStatus::Timeout : CheckStatus::Skipped;
+  O.Detail = What;
+  return O;
+}
+
+CheckOutcome pass(const std::string &Check, std::string Detail = "") {
+  return CheckOutcome{Check, CheckStatus::Pass, std::move(Detail)};
+}
+
+CheckOutcome mismatch(const std::string &Check, std::string Detail) {
+  return CheckOutcome{Check, CheckStatus::Mismatch, std::move(Detail)};
+}
+
+std::string formatValuation(const std::vector<Value> &V) {
+  std::string S = "[";
+  for (size_t I = 0; I < V.size(); ++I)
+    S += (I ? " " : "") + std::to_string(V[I]);
+  return S + "]";
+}
+
+/// First element of A not in B, if any.
+const std::vector<Value> *firstNotIn(const std::set<std::vector<Value>> &A,
+                                     const std::set<std::vector<Value>> &B) {
+  for (const std::vector<Value> &V : A)
+    if (!B.count(V))
+      return &V;
+  return nullptr;
+}
+
+/// Counts CAS/fence statements; LoopDepth tracks whether any sits inside
+/// a while (where it may execute more than once).
+void countCasFence(const std::vector<Stmt> &Body, bool InLoop, uint32_t &N,
+                   bool &AnyInLoop) {
+  for (const Stmt &S : Body) {
+    if (S.Kind == StmtKind::Cas || S.Kind == StmtKind::Fence) {
+      ++N;
+      AnyInLoop |= InLoop;
+    }
+    countCasFence(S.Then, InLoop || S.Kind == StmtKind::While, N, AnyInLoop);
+    countCasFence(S.Else, InLoop, N, AnyInLoop);
+  }
+}
+
+CheckOutcome checkScSubsetRa(const Program &P, const DiffOptions &O,
+                             const CheckContext &Ctx) {
+  const std::string Name = "sc-subset-ra";
+  FlatProgram FP = flatten(P);
+  auto Ra = ra::collectTerminalRegsBounded(FP, std::nullopt, O.MaxStates, &Ctx);
+  if (!Ra.Complete)
+    return inconclusive(Name, Ctx, "RA enumeration truncated");
+  auto Sc = sc::collectScTerminalRegsBounded(FP, std::nullopt, O.MaxStates,
+                                             &Ctx);
+  if (!Sc.Complete)
+    return inconclusive(Name, Ctx, "SC enumeration truncated");
+  if (const std::vector<Value> *V = firstNotIn(Sc.Regs, Ra.Regs))
+    return mismatch(Name, "SC terminal valuation " + formatValuation(*V) +
+                              " is not RA-reachable");
+  return pass(Name, std::to_string(Sc.Regs.size()) + " sc / " +
+                        std::to_string(Ra.Regs.size()) + " ra behaviours");
+}
+
+CheckOutcome checkRaVsTranslation(const Program &P, const DiffOptions &O,
+                                  const CheckContext &Ctx) {
+  const std::string Name = "ra-vs-translation";
+  FlatProgram FP = flatten(P);
+  if (!FP.hasAsserts())
+    return pass(Name, "no asserts; both sides vacuously safe");
+
+  ra::RaQuery Q;
+  Q.Goal = ra::GoalKind::AnyError;
+  Q.ViewSwitchBound = O.K;
+  Q.MaxStates = O.MaxStates;
+  Q.BudgetSeconds = budgetLeft(Ctx);
+  ra::RaResult RaR = ra::exploreRa(FP, Q);
+  if (RaR.Status == ra::SearchStatus::StateLimit ||
+      RaR.Status == ra::SearchStatus::Timeout)
+    return inconclusive(Name, Ctx, "RA exploration truncated");
+
+  driver::VbmcOptions VO;
+  VO.K = O.K;
+  VO.L = O.L;
+  VO.CasAllowance = casAllowanceFor(P, O);
+  VO.Backend = driver::BackendKind::Explicit;
+  VO.MaxStates = O.MaxStates;
+  CheckContext Child = Ctx.child();
+  driver::VbmcResult VR = driver::checkProgram(P, VO, Child);
+  if (VR.Outcome == driver::Verdict::Unknown)
+    return inconclusive(Name, Ctx, "vbmc explicit inconclusive: " + VR.Note);
+
+  if (RaR.reached() != VR.unsafe())
+    return mismatch(Name,
+                    std::string("RA@K says ") +
+                        (RaR.reached() ? "unsafe" : "safe") +
+                        ", translation+SC says " +
+                        (VR.unsafe() ? "unsafe" : "safe") +
+                        " at K=" + std::to_string(O.K));
+  return pass(Name, RaR.reached() ? "both unsafe" : "both safe");
+}
+
+CheckOutcome checkExplicitVsSat(const Program &P, const DiffOptions &O,
+                                const CheckContext &Ctx) {
+  const std::string Name = "explicit-vs-sat";
+  FlatProgram FP = flatten(P);
+  if (!FP.hasAsserts())
+    return pass(Name, "no asserts; both sides vacuously safe");
+
+  driver::VbmcOptions VO;
+  VO.K = O.K;
+  VO.L = O.L;
+  VO.CasAllowance = casAllowanceFor(P, O);
+  VO.MaxStates = O.MaxStates;
+
+  VO.Backend = driver::BackendKind::Explicit;
+  CheckContext C1 = Ctx.child();
+  driver::VbmcResult Ex = driver::checkProgram(P, VO, C1);
+  if (Ex.Outcome == driver::Verdict::Unknown)
+    return inconclusive(Name, Ctx, "explicit inconclusive: " + Ex.Note);
+
+  VO.Backend = driver::BackendKind::Sat;
+  CheckContext C2 = Ctx.child();
+  driver::VbmcResult Sat = driver::checkProgram(P, VO, C2);
+  if (Sat.Outcome == driver::Verdict::Unknown)
+    return inconclusive(Name, Ctx, "sat inconclusive: " + Sat.Note);
+
+  if (Ex.unsafe() != Sat.unsafe())
+    return mismatch(Name, std::string("explicit says ") +
+                              (Ex.unsafe() ? "unsafe" : "safe") +
+                              ", sat says " +
+                              (Sat.unsafe() ? "unsafe" : "safe") +
+                              " at K=" + std::to_string(O.K) +
+                              " L=" + std::to_string(O.L));
+  return pass(Name, Ex.unsafe() ? "both unsafe" : "both safe");
+}
+
+CheckOutcome checkOperationalVsAxiomatic(const Program &P,
+                                         const DiffOptions &O,
+                                         const CheckContext &Ctx) {
+  const std::string Name = "operational-vs-axiomatic";
+  // The axiomatic oracle accepts the straight-line fragment only; desugar
+  // fences first (it handles the resulting CAS) and let it reject the
+  // rest — a rejection is "not applicable", not a failure.
+  Program D = translation::desugarFences(P);
+  auto Ax = axiomatic::enumerateRaOutcomes(D, &Ctx);
+  if (!Ax) {
+    if (Ax.error().str().find("interrupted") != std::string::npos)
+      return inconclusive(Name, Ctx, "axiomatic enumeration interrupted");
+    return CheckOutcome{Name, CheckStatus::Skipped, Ax.error().str()};
+  }
+  FlatProgram FP = flatten(D);
+  auto Op = ra::collectTerminalRegsBounded(FP, std::nullopt, O.MaxStates, &Ctx);
+  if (!Op.Complete)
+    return inconclusive(Name, Ctx, "operational enumeration truncated");
+  if (const std::vector<Value> *V = firstNotIn(Op.Regs, *Ax))
+    return mismatch(Name, "operational valuation " + formatValuation(*V) +
+                              " missing from axiomatic outcomes");
+  if (const std::vector<Value> *V = firstNotIn(*Ax, Op.Regs))
+    return mismatch(Name, "axiomatic valuation " + formatValuation(*V) +
+                              " not operationally reachable");
+  return pass(Name, std::to_string(Op.Regs.size()) + " behaviours agree");
+}
+
+CheckOutcome checkSmcVsRa(const Program &P, const DiffOptions &O,
+                          const CheckContext &Ctx) {
+  const std::string Name = "smc-vs-ra";
+  FlatProgram FP = flatten(P);
+  if (!FP.hasAsserts())
+    return pass(Name, "no asserts; nothing to find");
+
+  smc::SmcOptions SO;
+  SO.Strategy = smc::SmcStrategy::Dpor;
+  SO.BudgetSeconds = budgetLeft(Ctx);
+  SO.MaxExecutions = O.MaxStates;
+  smc::SmcResult SR = smc::exploreSmc(FP, SO);
+  if (!SR.FoundBug && !SR.Complete)
+    return inconclusive(Name, Ctx, "smc exploration truncated");
+
+  ra::RaQuery Q;
+  Q.Goal = ra::GoalKind::AnyError;
+  Q.MaxStates = O.MaxStates;
+  Q.BudgetSeconds = budgetLeft(Ctx);
+  ra::RaResult RaR = ra::exploreRa(FP, Q);
+  if (RaR.Status == ra::SearchStatus::StateLimit ||
+      RaR.Status == ra::SearchStatus::Timeout)
+    return inconclusive(Name, Ctx, "RA exploration truncated");
+
+  if (SR.FoundBug != RaR.reached())
+    return mismatch(Name, std::string("smc(dpor) says ") +
+                              (SR.FoundBug ? "bug" : "no bug") +
+                              ", RA explorer says " +
+                              (RaR.reached() ? "bug" : "no bug"));
+  return pass(Name, SR.FoundBug ? "both find the bug" : "both find none");
+}
+
+} // namespace
+
+uint32_t vbmc::fuzz::casAllowanceFor(const Program &P, const DiffOptions &O) {
+  if (O.CasAllowance > 0)
+    return O.CasAllowance;
+  uint32_t N = 0;
+  bool AnyInLoop = false;
+  for (const Process &Proc : P.Procs)
+    countCasFence(Proc.Body, false, N, AnyInLoop);
+  if (AnyInLoop)
+    return 8; // Trip counts are not syntactically evident; stay generous.
+  return N + 1; // +1: the guessed-stamp arm needs a nonempty domain.
+}
+
+CheckOutcome vbmc::fuzz::runCheck(const Program &P, const std::string &Check,
+                                  const DiffOptions &O,
+                                  const CheckContext &Ctx) {
+  if (Ctx.interrupted())
+    return CheckOutcome{Check, CheckStatus::Timeout, "budget exhausted"};
+  if (Check == "sc-subset-ra")
+    return checkScSubsetRa(P, O, Ctx);
+  if (Check == "ra-vs-translation")
+    return checkRaVsTranslation(P, O, Ctx);
+  if (Check == "explicit-vs-sat")
+    return checkExplicitVsSat(P, O, Ctx);
+  if (Check == "operational-vs-axiomatic")
+    return checkOperationalVsAxiomatic(P, O, Ctx);
+  if (Check == "smc-vs-ra")
+    return checkSmcVsRa(P, O, Ctx);
+  return CheckOutcome{Check, CheckStatus::Skipped, "unknown check"};
+}
+
+DiffReport vbmc::fuzz::runDifferential(const Program &P, const DiffOptions &O,
+                                       const CheckContext &Ctx) {
+  DiffReport Report;
+  for (const std::string &Check : allCheckNames()) {
+    if ((Check == "ra-vs-translation" && !O.WithTranslation) ||
+        (Check == "explicit-vs-sat" && !(O.WithTranslation && O.WithSat)) ||
+        (Check == "operational-vs-axiomatic" && !O.WithAxiomatic) ||
+        (Check == "smc-vs-ra" && !O.WithSmc))
+      continue;
+    Report.Outcomes.push_back(runCheck(P, Check, O, Ctx));
+  }
+  return Report;
+}

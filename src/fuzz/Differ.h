@@ -1,0 +1,117 @@
+//===- Differ.h - cross-backend differential checking -----------*- C++ -*-===//
+///
+/// \file
+/// The oracle of the differential fuzzing subsystem: runs one program
+/// through every *pair* of backends whose results are related by a theorem
+/// and reports any disagreement. The checks, each sound for the program
+/// shapes it accepts (inapplicable programs are Skipped, never force-fit):
+///
+///  * sc-subset-ra           SC terminal behaviours are a subset of RA
+///                           terminal behaviours (weakening only adds).
+///  * ra-vs-translation      K-view-bounded RA assertion reachability
+///                           equals reachability of [[P]]_K under
+///                           (K+n)-context-bounded SC (the paper's main
+///                           theorem), explicit backend.
+///  * explicit-vs-sat        The explicit and SAT backends agree on the
+///                           translated program. Sound only when every
+///                           loop runs at most L iterations (the unroll
+///                           is an under-approximation); the generator
+///                           guarantees this by construction.
+///  * operational-vs-axiomatic  Terminal behaviours of the operational
+///                           (Fig. 2) semantics equal the outcomes of the
+///                           axiomatic (Herd-style) enumeration, on the
+///                           straight-line fragment the oracle supports.
+///  * smc-vs-ra              The stateless (DPOR-style) checker finds a
+///                           bug iff unbounded RA exploration does.
+///
+/// Every check honors the caller's CheckContext: a program whose state
+/// space explodes is reported as Timeout (deadline) or Skipped (state
+/// cap), never hangs, and never counts as a discrepancy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_FUZZ_DIFFER_H
+#define VBMC_FUZZ_DIFFER_H
+
+#include "ir/Program.h"
+#include "support/CheckContext.h"
+
+#include <string>
+#include <vector>
+
+namespace vbmc::fuzz {
+
+enum class CheckStatus {
+  Pass,     ///< Both sides conclusive and in agreement.
+  Mismatch, ///< Both sides conclusive and in DISAGREEMENT — a real bug.
+  Skipped,  ///< Check not applicable or a state cap was hit.
+  Timeout,  ///< The per-program deadline expired mid-check.
+};
+
+const char *checkStatusName(CheckStatus S);
+
+struct CheckOutcome {
+  std::string Check;
+  CheckStatus Status = CheckStatus::Skipped;
+  /// Human-readable explanation (the disagreement for Mismatch, the
+  /// reason for Skipped/Timeout).
+  std::string Detail;
+};
+
+struct DiffOptions {
+  /// View-switch budget K for the bounded checks.
+  uint32_t K = 1;
+  /// Unroll bound for the SAT backend; must be >= the largest loop trip
+  /// count the program can take or explicit-vs-sat is unsound (the
+  /// fuzzer driver derives it from GeneratorOptions::LoopTripMax).
+  uint32_t L = 3;
+  /// Timestamp allowance for CAS/fence chains in the translation. Must
+  /// be generous: the translation *prunes* runs needing more stamps, so
+  /// an undersized allowance shows up as a (false) discrepancy. 0 = auto:
+  /// one stamp per CAS/fence statement of the program (each executes at
+  /// most once outside loops, and every executed CAS consumes exactly one
+  /// stamp), falling back to 8 when a CAS/fence sits inside a loop.
+  uint32_t CasAllowance = 0;
+  /// Per-engine state/execution cap; exceeding it Skips the check.
+  uint64_t MaxStates = 400000;
+  /// Enable the translation-based checks (ra-vs-translation and
+  /// explicit-vs-sat). These explore the instrumented program's SC state
+  /// space — orders of magnitude above the direct semantic checks.
+  bool WithTranslation = true;
+  /// Enable the SAT cross-check (the most expensive one).
+  bool WithSat = true;
+  bool WithAxiomatic = true;
+  bool WithSmc = true;
+};
+
+struct DiffReport {
+  std::vector<CheckOutcome> Outcomes;
+
+  bool mismatch() const;
+  /// First mismatching outcome, or nullptr.
+  const CheckOutcome *firstMismatch() const;
+  /// One line per outcome: "check: status (detail)".
+  std::string summary() const;
+};
+
+/// Names of all checks, in the order runDifferential runs them.
+const std::vector<std::string> &allCheckNames();
+
+/// Resolves DiffOptions::CasAllowance for \p P: the explicit value if
+/// nonzero, otherwise one stamp per CAS/fence statement (+1), falling
+/// back to 8 when a CAS/fence sits inside a loop.
+uint32_t casAllowanceFor(const ir::Program &P, const DiffOptions &O);
+
+/// Runs every enabled check on \p P under \p Ctx.
+DiffReport runDifferential(const ir::Program &P, const DiffOptions &O,
+                           const CheckContext &Ctx);
+
+/// Runs the single check named \p Check (one of allCheckNames()). The
+/// minimizer uses this as its replay predicate: a candidate reproducer
+/// must still fail the *same* check.
+CheckOutcome runCheck(const ir::Program &P, const std::string &Check,
+                      const DiffOptions &O, const CheckContext &Ctx);
+
+} // namespace vbmc::fuzz
+
+#endif // VBMC_FUZZ_DIFFER_H

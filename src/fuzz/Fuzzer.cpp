@@ -1,0 +1,319 @@
+//===- Fuzzer.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "vbmc/Vbmc.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+using namespace vbmc;
+using namespace vbmc::fuzz;
+using namespace vbmc::ir;
+
+namespace {
+
+DiffOptions lightweightOnly(DiffOptions O) {
+  // The translation-based checks explore the instrumented program's SC
+  // state space — orders of magnitude more states than the input. When
+  // HeavyEvery > 1 the off-cycle programs run the direct semantic
+  // checks only.
+  O.WithTranslation = false;
+  O.WithSat = false;
+  return O;
+}
+
+void tallyReport(const DiffReport &Rep, FuzzCampaignResult &R) {
+  for (const CheckOutcome &O : Rep.Outcomes) {
+    if (O.Status == CheckStatus::Skipped)
+      ++R.Skipped;
+    else if (O.Status == CheckStatus::Timeout)
+      ++R.Timeouts;
+  }
+}
+
+std::string reproducerText(const FuzzDiscrepancy &D, const FuzzOptions &O) {
+  std::ostringstream Out;
+  Out << "// vbmc-fuzz reproducer (minimized witness)\n";
+  Out << "// seed: " << D.Seed << " index: " << D.Index << "\n";
+  Out << "// check: " << D.Check << "\n";
+  Out << "// detail: " << D.Detail << "\n";
+  Out << "// replay: vbmc-fuzz --seed " << D.Seed << " --index " << D.Index
+      << " --max-k " << O.Diff.K << "\n";
+  Out << D.ProgramText;
+  return Out.str();
+}
+
+/// Runs one check under a fresh per-run budget; the minimizer predicate.
+bool stillFails(const Program &Candidate, const std::string &Check,
+                const DiffOptions &O, double PerRunSeconds) {
+  CheckContext Ctx(PerRunSeconds);
+  return runCheck(Candidate, Check, O, Ctx).Status == CheckStatus::Mismatch;
+}
+
+} // namespace
+
+Program vbmc::fuzz::regenerateProgram(const FuzzOptions &O, uint64_t Index) {
+  Rng R = Rng::derived(O.Seed, Index);
+  return makeRandomProgram(R, O.Gen);
+}
+
+FuzzCampaignResult vbmc::fuzz::runFuzzCampaign(const FuzzOptions &O,
+                                               std::ostream *Log) {
+  FuzzCampaignResult R;
+  CheckContext Campaign(O.BudgetSeconds);
+  DiffOptions Light = lightweightOnly(O.Diff);
+
+  for (uint64_t I = 0;; ++I) {
+    if (O.Count && I >= O.Count)
+      break;
+    if (Campaign.interrupted())
+      break;
+    if (!O.Count && O.BudgetSeconds <= 0)
+      break; // No stopping criterion at all; refuse to loop forever.
+
+    Rng Rand = Rng::derived(O.Seed, I);
+    Program P = makeRandomProgram(Rand, O.Gen);
+    bool Heavy = O.HeavyEvery <= 1 || (I % O.HeavyEvery) == 0;
+    const DiffOptions &DO = Heavy ? O.Diff : Light;
+
+    CheckContext PerProg = Campaign.childWithBudget(O.PerProgramSeconds);
+    DiffReport Rep = runDifferential(P, DO, PerProg);
+    ++R.Checked;
+    tallyReport(Rep, R);
+    if (!Rep.mismatch()) {
+      ++R.Passed;
+      continue;
+    }
+
+    const CheckOutcome &Bad = *Rep.firstMismatch();
+    FuzzDiscrepancy D;
+    D.Seed = O.Seed;
+    D.Index = I;
+    D.Check = Bad.Check;
+    D.Detail = Bad.Detail;
+
+    Program Witness = P;
+    if (O.Minimize) {
+      CheckContext MinCtx(O.MinimizeSeconds);
+      MinimizeResult MR = minimizeProgram(
+          P,
+          [&](const Program &Cand) {
+            return stillFails(Cand, Bad.Check, DO, O.PerProgramSeconds);
+          },
+          MinCtx);
+      Witness = std::move(MR.Prog);
+    }
+    D.ProgramText = printProgram(Witness);
+    D.Stmts = countStmts(Witness);
+
+    if (!O.CorpusDir.empty()) {
+      std::error_code Ec;
+      std::filesystem::create_directories(O.CorpusDir, Ec);
+      std::string Name = "repro_seed" + std::to_string(O.Seed) + "_i" +
+                         std::to_string(I) + "_" + Bad.Check + ".ra";
+      std::filesystem::path Path = std::filesystem::path(O.CorpusDir) / Name;
+      std::ofstream File(Path);
+      File << reproducerText(D, O);
+      D.Path = Path.string();
+    }
+
+    if (Log)
+      *Log << "DISCREPANCY seed=" << O.Seed << " index=" << I << " check="
+           << D.Check << " stmts=" << D.Stmts << "\n  " << D.Detail << "\n"
+           << (D.Path.empty() ? "" : "  written to " + D.Path + "\n");
+    R.Discrepancies.push_back(std::move(D));
+  }
+
+  if (Log)
+    *Log << "fuzz: " << R.Checked << " programs, " << R.Passed << " passed, "
+         << R.Discrepancies.size() << " discrepancies, " << R.Skipped
+         << " checks skipped, " << R.Timeouts << " checks timed out\n";
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus replay
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct ExpectDirective {
+  bool Unsafe = false;
+  uint32_t K = 0;
+};
+
+/// Scans `// expect: safe|unsafe k=<n>` lines. Also honors
+/// `// no-sat` (disable the SAT check for this file, e.g. loops whose
+/// trip count exceeds the default unroll bound).
+struct FileDirectives {
+  std::vector<ExpectDirective> Expects;
+  bool NoSat = false;
+  bool Malformed = false;
+  std::string Error;
+};
+
+FileDirectives parseDirectives(const std::string &Text) {
+  FileDirectives D;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t C = Line.find("//");
+    if (C == std::string::npos)
+      continue;
+    std::istringstream Toks(Line.substr(C + 2));
+    std::string Word;
+    Toks >> Word;
+    if (Word == "no-sat") {
+      D.NoSat = true;
+      continue;
+    }
+    if (Word != "expect:")
+      continue;
+    ExpectDirective E;
+    std::string Verdict, KTok;
+    Toks >> Verdict >> KTok;
+    if (Verdict == "unsafe")
+      E.Unsafe = true;
+    else if (Verdict != "safe") {
+      D.Malformed = true;
+      D.Error = "bad expect verdict '" + Verdict + "'";
+      return D;
+    }
+    if (KTok.rfind("k=", 0) != 0) {
+      D.Malformed = true;
+      D.Error = "expect directive needs k=<n>, got '" + KTok + "'";
+      return D;
+    }
+    E.K = static_cast<uint32_t>(std::stoul(KTok.substr(2)));
+    D.Expects.push_back(E);
+  }
+  return D;
+}
+
+ReplayFileResult replayFile(const std::string &Path, const FuzzOptions &O) {
+  ReplayFileResult R;
+  R.Path = Path;
+
+  std::ifstream In(Path);
+  if (!In) {
+    R.Message = "cannot open file";
+    return R;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Text = Buf.str();
+
+  FileDirectives Dir = parseDirectives(Text);
+  if (Dir.Malformed) {
+    R.Message = Dir.Error;
+    return R;
+  }
+
+  auto Parsed = parseProgram(Text);
+  if (!Parsed) {
+    R.Message = "parse error: " + Parsed.error().str();
+    return R;
+  }
+  Program P = Parsed.take();
+
+  // Cross-backend agreement on the file itself.
+  DiffOptions DO = O.Diff;
+  if (Dir.NoSat)
+    DO.WithSat = false;
+  CheckContext Ctx(O.PerProgramSeconds > 0 ? O.PerProgramSeconds * 10 : 0);
+  DiffReport Rep = runDifferential(P, DO, Ctx);
+  if (const CheckOutcome *Bad = Rep.firstMismatch()) {
+    R.Message = Bad->Check + ": " + Bad->Detail;
+    return R;
+  }
+
+  // Pinned verdicts at specific K. Every backend that completes must
+  // reproduce the verdict; a backend hitting its state cap or deadline is
+  // inconclusive (not a disagreement) and skipped, but at least one must
+  // confirm (heavy litmus files like IRIW exceed the explicit backend's
+  // state cap while the SAT backend answers instantly).
+  for (const ExpectDirective &E : Dir.Expects) {
+    driver::VbmcOptions VO;
+    VO.K = E.K;
+    VO.L = DO.L;
+    VO.CasAllowance = casAllowanceFor(P, DO);
+    VO.MaxStates = DO.MaxStates;
+    bool Confirmed = false;
+    std::string LastInconclusive;
+    for (driver::BackendKind B :
+         {driver::BackendKind::Explicit, driver::BackendKind::Sat}) {
+      if (B == driver::BackendKind::Sat && Dir.NoSat)
+        continue;
+      VO.Backend = B;
+      CheckContext C(O.PerProgramSeconds > 0 ? O.PerProgramSeconds * 10 : 0);
+      driver::VbmcResult VR = driver::checkProgram(P, VO, C);
+      bool Want = E.Unsafe;
+      const char *Backend =
+          B == driver::BackendKind::Explicit ? "explicit" : "sat";
+      if (VR.Outcome == driver::Verdict::Unknown) {
+        LastInconclusive = std::string(Backend) + ": " + VR.Note;
+        continue;
+      }
+      if (VR.unsafe() != Want) {
+        R.Message = std::string("expected ") +
+                    (Want ? "unsafe" : "safe") + " at k=" +
+                    std::to_string(E.K) + ", " + Backend + " backend says " +
+                    (VR.unsafe() ? "unsafe" : "safe");
+        return R;
+      }
+      Confirmed = true;
+    }
+    if (!Confirmed) {
+      R.Message = std::string("expect k=") + std::to_string(E.K) +
+                  ": no backend conclusive (" + LastInconclusive + ")";
+      return R;
+    }
+  }
+
+  R.Passed = true;
+  R.Message = "ok (" + std::to_string(Dir.Expects.size()) + " expects)";
+  return R;
+}
+
+} // namespace
+
+ReplayResult vbmc::fuzz::replayCorpus(const std::vector<std::string> &Paths,
+                                      const FuzzOptions &O,
+                                      std::ostream *Log) {
+  // Expand directories into their .ra files, deterministically sorted.
+  std::vector<std::string> Files;
+  for (const std::string &P : Paths) {
+    std::error_code Ec;
+    if (std::filesystem::is_directory(P, Ec)) {
+      std::vector<std::string> Dir;
+      for (const auto &Entry : std::filesystem::directory_iterator(P, Ec))
+        if (Entry.path().extension() == ".ra")
+          Dir.push_back(Entry.path().string());
+      std::sort(Dir.begin(), Dir.end());
+      Files.insert(Files.end(), Dir.begin(), Dir.end());
+    } else {
+      Files.push_back(P);
+    }
+  }
+
+  ReplayResult R;
+  for (const std::string &F : Files) {
+    ReplayFileResult FR = replayFile(F, O);
+    if (!FR.Passed)
+      ++R.Failures;
+    if (Log)
+      *Log << (FR.Passed ? "PASS " : "FAIL ") << F << ": " << FR.Message
+           << "\n";
+    R.Files.push_back(std::move(FR));
+  }
+  if (Log)
+    *Log << "corpus: " << R.Files.size() << " files, " << R.Failures
+         << " failures\n";
+  return R;
+}

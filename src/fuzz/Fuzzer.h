@@ -1,0 +1,107 @@
+//===- Fuzzer.h - differential fuzzing campaigns ----------------*- C++ -*-===//
+///
+/// \file
+/// The campaign layer of the fuzzing subsystem: generate program #i from
+/// Rng::derived(seed, i) — reproducible from (seed, i) alone — run the
+/// differential checks under a per-program slice of the campaign budget,
+/// and on discrepancy minimize the witness (Minimizer.h) and write a
+/// reproducer file into the corpus directory. Also the replay side: re-run
+/// checked-in corpus files (with optional `// expect:` verdict directives)
+/// against all backends, which is what the corpus_replay ctest job does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_FUZZ_FUZZER_H
+#define VBMC_FUZZ_FUZZER_H
+
+#include "fuzz/Differ.h"
+#include "fuzz/Generator.h"
+#include "fuzz/Minimizer.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vbmc::fuzz {
+
+struct FuzzOptions {
+  uint64_t Seed = 1;
+  /// Number of programs to check; 0 = run until the budget expires.
+  uint64_t Count = 0;
+  /// Campaign wall-clock budget in seconds (0 = unlimited; then Count
+  /// must be nonzero).
+  double BudgetSeconds = 60;
+  /// Budget slice for one generated program, clipped against what is
+  /// left of the campaign. Keeps one exploding program from starving
+  /// the rest of the run.
+  double PerProgramSeconds = 2;
+  /// Budget for minimizing one discrepancy (runs on its own clock so a
+  /// late find still gets minimized).
+  double MinimizeSeconds = 120;
+  /// Run the heavyweight checks (translation-based: ra-vs-translation,
+  /// explicit-vs-sat) only on every N-th program; 1 = always. The
+  /// lightweight semantic checks run on every program.
+  uint64_t HeavyEvery = 1;
+  /// Directory reproducers are written to; empty = don't write.
+  std::string CorpusDir;
+  /// Minimize discrepancies before reporting.
+  bool Minimize = true;
+
+  GeneratorOptions Gen;
+  DiffOptions Diff;
+};
+
+struct FuzzDiscrepancy {
+  uint64_t Seed = 0;
+  uint64_t Index = 0;
+  std::string Check;
+  std::string Detail;
+  /// Minimized (or original, when minimization is off) reproducer text.
+  std::string ProgramText;
+  /// Statement count of the reproducer.
+  uint64_t Stmts = 0;
+  /// Path the reproducer was written to ("" when CorpusDir is empty).
+  std::string Path;
+};
+
+struct FuzzCampaignResult {
+  uint64_t Checked = 0;   ///< Programs generated and run.
+  uint64_t Passed = 0;    ///< Programs with no mismatched check.
+  uint64_t Skipped = 0;   ///< Check outcomes skipped (inapplicable/caps).
+  uint64_t Timeouts = 0;  ///< Check outcomes cut by the deadline.
+  std::vector<FuzzDiscrepancy> Discrepancies;
+
+  bool clean() const { return Discrepancies.empty(); }
+};
+
+/// Runs a fuzzing campaign per \p O, logging one line per discrepancy
+/// (and a final summary) to \p Log when non-null.
+FuzzCampaignResult runFuzzCampaign(const FuzzOptions &O, std::ostream *Log);
+
+/// Regenerates program #\p Index of \p Seed exactly as the campaign
+/// would (for reproducing a logged discrepancy offline).
+ir::Program regenerateProgram(const FuzzOptions &O, uint64_t Index);
+
+struct ReplayFileResult {
+  std::string Path;
+  bool Passed = false;
+  std::string Message;
+};
+
+struct ReplayResult {
+  std::vector<ReplayFileResult> Files;
+  uint64_t Failures = 0;
+
+  bool clean() const { return Failures == 0; }
+};
+
+/// Replays corpus files: each is parsed, run through the differential
+/// checks (a mismatch fails the file), and checked against any
+/// `// expect: safe|unsafe k=<n>` directives via the vbmc driver.
+/// Directories are expanded to their *.ra files, sorted.
+ReplayResult replayCorpus(const std::vector<std::string> &Paths,
+                          const FuzzOptions &O, std::ostream *Log);
+
+} // namespace vbmc::fuzz
+
+#endif // VBMC_FUZZ_FUZZER_H

@@ -1,0 +1,103 @@
+//===- Generator.cpp ------------------------------------------*- C++ -*-===//
+
+#include "fuzz/Generator.h"
+
+using namespace vbmc;
+using namespace vbmc::fuzz;
+using namespace vbmc::ir;
+
+Program vbmc::fuzz::makeRandomProgram(Rng &R, const GeneratorOptions &O,
+                                      GeneratorStats *Stats) {
+  GeneratorStats Local;
+  GeneratorStats &St = Stats ? *Stats : Local;
+
+  Program P;
+  for (uint32_t X = 0; X < O.NumVars; ++X)
+    P.addVar("x" + std::to_string(X));
+  for (uint32_t PI = 0; PI < O.NumProcs; ++PI) {
+    uint32_t Proc = P.addProcess("p" + std::to_string(PI));
+    RegId A = P.addReg(Proc, "a" + std::to_string(PI));
+    RegId B = P.addReg(Proc, "b" + std::to_string(PI));
+    // The loop counter is a dedicated register never touched by body
+    // statements, so every generated loop provably runs at most
+    // LoopTripMax iterations (the engines need loop-bounded input).
+    RegId Ctr = O.usesLoops() ? P.addReg(Proc, "c" + std::to_string(PI)) : 0;
+
+    // One memory/compute statement in the legacy draw order (variable,
+    // destination, CAS?, read-vs-write). Used both at the top level and
+    // inside loop bodies.
+    auto emitMemStmt = [&](std::vector<Stmt> &Body) {
+      VarId X = static_cast<VarId>(R.nextBelow(O.NumVars));
+      RegId Dst = R.nextChance(1, 2) ? A : B;
+      if (R.nextChance(O.CasPermille, 1000)) {
+        Value From = static_cast<Value>(R.nextInRange(0, O.MaxValue));
+        Value To = static_cast<Value>(R.nextInRange(1, O.MaxValue));
+        Body.push_back(Stmt::cas(X, constE(From), constE(To)));
+        ++St.Cas;
+        return;
+      }
+      if (R.nextChance(1, 2)) {
+        Body.push_back(Stmt::read(Dst, X));
+        ++St.Reads;
+      } else {
+        Body.push_back(Stmt::write(
+            X, constE(static_cast<Value>(R.nextInRange(1, O.MaxValue)))));
+        ++St.Writes;
+      }
+    };
+
+    std::vector<Stmt> Body;
+    for (uint32_t S = 0; S < O.StmtsPerProc; ++S) {
+      // Extension draws happen only when the corresponding permille is
+      // nonzero: the `&&` short-circuit keeps the legacy Rng sequence
+      // untouched when the features are off.
+      if (O.FencePermille > 0 && R.nextChance(O.FencePermille, 1000)) {
+        Body.push_back(Stmt::fence());
+        ++St.Fences;
+        continue;
+      }
+      if (O.NondetPermille > 0 && R.nextChance(O.NondetPermille, 1000)) {
+        RegId Dst = R.nextChance(1, 2) ? A : B;
+        Body.push_back(Stmt::assign(Dst, nondetE(0, O.MaxValue)));
+        ++St.Nondets;
+        continue;
+      }
+      if (O.AssumePermille > 0 && R.nextChance(O.AssumePermille, 1000)) {
+        RegId Src = R.nextChance(1, 2) ? A : B;
+        Value C = static_cast<Value>(R.nextInRange(0, O.MaxValue));
+        Body.push_back(Stmt::assume(leE(regE(Src), constE(C))));
+        ++St.Assumes;
+        continue;
+      }
+      if (O.LoopPermille > 0 && R.nextChance(O.LoopPermille, 1000)) {
+        uint32_t TripMax = O.LoopTripMax < 1 ? 1 : O.LoopTripMax;
+        Value Trip = static_cast<Value>(R.nextInRange(1, TripMax));
+        std::vector<Stmt> LoopBody;
+        for (uint32_t LB = 0; LB < (O.LoopBodyStmts ? O.LoopBodyStmts : 1);
+             ++LB)
+          emitMemStmt(LoopBody);
+        LoopBody.push_back(Stmt::assign(Ctr, addE(regE(Ctr), constE(1))));
+        Body.push_back(Stmt::assign(Ctr, constE(0)));
+        Body.push_back(
+            Stmt::whileLoop(ltE(regE(Ctr), constE(Trip)), std::move(LoopBody)));
+        ++St.Loops;
+        continue;
+      }
+      emitMemStmt(Body);
+    }
+    if (PI + 1 == O.NumProcs && R.nextChance(O.AssertPermille, 1000)) {
+      // Assert some random relation between the two registers; both
+      // outcomes (holds / fails) are interesting for the differential
+      // comparison.
+      Value C = static_cast<Value>(R.nextInRange(0, O.MaxValue));
+      ExprRef Cond = R.nextChance(1, 2)
+                         ? neE(regE(A), constE(C))
+                         : notE(andE(eqE(regE(A), constE(C)),
+                                     eqE(regE(B), constE(C))));
+      Body.push_back(Stmt::assertThat(std::move(Cond)));
+      ++St.Asserts;
+    }
+    P.Procs[Proc].Body = std::move(Body);
+  }
+  return P;
+}

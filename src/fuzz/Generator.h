@@ -1,0 +1,89 @@
+//===- Generator.h - random program generation for fuzzing ------*- C++ -*-===//
+///
+/// \file
+/// Generates small random concurrent programs spanning the paper's Fig. 1
+/// grammar (reads, writes, CAS, fences, bounded nondet, short loops,
+/// assume, assert). Promoted from the test-only helper so both the
+/// differential property tests and the vbmc-fuzz campaign driver share one
+/// generator; programs are deliberately tiny so every engine can exhaust
+/// the state space.
+///
+/// Determinism contract: a program is a pure function of the Rng state and
+/// the options. With every extension permille at zero the draw sequence is
+/// bit-identical to the original test generator, so the seeded property
+/// tests that predate the fuzzing subsystem keep seeing the exact same
+/// programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_FUZZ_GENERATOR_H
+#define VBMC_FUZZ_GENERATOR_H
+
+#include "ir/Program.h"
+#include "support/Rng.h"
+
+namespace vbmc::fuzz {
+
+struct GeneratorOptions {
+  uint32_t NumVars = 2;
+  uint32_t NumProcs = 2;
+  uint32_t StmtsPerProc = 3;
+  /// Permille chance a memory statement is a CAS.
+  uint32_t CasPermille = 150;
+  /// Permille chance of a trailing assert over the registers.
+  uint32_t AssertPermille = 700;
+  /// Value domain for written constants: {1 .. MaxValue}.
+  ir::Value MaxValue = 2;
+
+  /// \name Grammar extensions (all off by default; see the determinism
+  /// contract in the file comment).
+  /// @{
+  /// Permille chance a statement slot is a fence.
+  uint32_t FencePermille = 0;
+  /// Permille chance a statement slot is `$r = nondet(0, MaxValue)`.
+  uint32_t NondetPermille = 0;
+  /// Permille chance a statement slot is a bounded while loop running a
+  /// dedicated counter register from 0 to a random trip count.
+  uint32_t LoopPermille = 0;
+  /// Permille chance a statement slot is `assume($r <= MaxValue)`-style
+  /// register constraint.
+  uint32_t AssumePermille = 0;
+  /// Largest loop trip count (loops run 1..LoopTripMax iterations). The
+  /// SAT cross-check requires the unroll bound L >= LoopTripMax.
+  uint32_t LoopTripMax = 2;
+  /// Statements inside a generated loop body.
+  uint32_t LoopBodyStmts = 1;
+  /// @}
+
+  bool usesLoops() const { return LoopPermille > 0; }
+};
+
+/// How many of each statement form one (or many) generator calls emitted;
+/// the distribution unit tests pin option permilles against these.
+struct GeneratorStats {
+  uint64_t Reads = 0;
+  uint64_t Writes = 0;
+  uint64_t Cas = 0;
+  uint64_t Fences = 0;
+  uint64_t Nondets = 0;
+  uint64_t Loops = 0;
+  uint64_t Assumes = 0;
+  uint64_t Asserts = 0;
+
+  /// Statement slots drawn (a loop counts as one slot).
+  uint64_t slots() const {
+    return Reads + Writes + Cas + Fences + Nondets + Loops + Assumes;
+  }
+};
+
+/// Generates one random program. Each process gets two general registers
+/// (plus a loop counter when loops are enabled); memory statements are
+/// reads, constant writes, and (optionally) CAS; one process may end with
+/// an assert relating its registers. When \p Stats is given, emitted
+/// statement kinds are accumulated into it.
+ir::Program makeRandomProgram(Rng &R, const GeneratorOptions &O = {},
+                              GeneratorStats *Stats = nullptr);
+
+} // namespace vbmc::fuzz
+
+#endif // VBMC_FUZZ_GENERATOR_H

@@ -1,0 +1,338 @@
+//===- Minimizer.cpp ------------------------------------------*- C++ -*-===//
+
+#include "fuzz/Minimizer.h"
+
+#include <set>
+
+using namespace vbmc;
+using namespace vbmc::fuzz;
+using namespace vbmc::ir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Statement traversal
+//===----------------------------------------------------------------------===//
+
+uint64_t countStmtsIn(const std::vector<Stmt> &Body) {
+  uint64_t N = 0;
+  for (const Stmt &S : Body)
+    N += 1 + countStmtsIn(S.Then) + countStmtsIn(S.Else);
+  return N;
+}
+
+/// Removes the \p N-th statement (preorder) from \p Body, counting nested
+/// bodies. Returns true once removed; otherwise decrements \p N by the
+/// number of positions passed.
+bool removeNth(std::vector<Stmt> &Body, uint64_t &N) {
+  for (size_t I = 0; I < Body.size(); ++I) {
+    if (N == 0) {
+      Body.erase(Body.begin() + static_cast<ptrdiff_t>(I));
+      return true;
+    }
+    --N;
+    if (removeNth(Body[I].Then, N) || removeNth(Body[I].Else, N))
+      return true;
+  }
+  return false;
+}
+
+/// Replaces the \p N-th compound statement (preorder over If/While only)
+/// with one of its bodies: Mode 0 = Then (While body), Mode 1 = Else.
+bool unwrapNth(std::vector<Stmt> &Body, uint64_t &N, int Mode) {
+  for (size_t I = 0; I < Body.size(); ++I) {
+    Stmt &S = Body[I];
+    bool Compound = S.Kind == StmtKind::If || S.Kind == StmtKind::While;
+    if (Compound && N == 0) {
+      std::vector<Stmt> Repl =
+          Mode == 0 ? std::move(S.Then) : std::move(S.Else);
+      Body.erase(Body.begin() + static_cast<ptrdiff_t>(I));
+      Body.insert(Body.begin() + static_cast<ptrdiff_t>(I),
+                  std::make_move_iterator(Repl.begin()),
+                  std::make_move_iterator(Repl.end()));
+      return true;
+    }
+    if (Compound)
+      --N;
+    if (unwrapNth(S.Then, N, Mode) || unwrapNth(S.Else, N, Mode))
+      return true;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Expression rewriting (expressions are immutable; rewrites rebuild)
+//===----------------------------------------------------------------------===//
+
+using ExprFn = std::function<ExprRef(const Expr &)>; // may return null
+
+ExprRef rewriteExpr(const ExprRef &E, const ExprFn &F) {
+  if (!E)
+    return E;
+  if (ExprRef R = F(*E))
+    return R;
+  switch (E->kind()) {
+  case ExprKind::Const:
+  case ExprKind::Reg:
+  case ExprKind::Nondet:
+    return E;
+  case ExprKind::Unary: {
+    ExprRef L = rewriteExpr(E->lhs(), F);
+    return L == E->lhs() ? E : Expr::makeUnary(E->unaryOp(), std::move(L));
+  }
+  case ExprKind::Binary: {
+    ExprRef L = rewriteExpr(E->lhs(), F);
+    ExprRef R = rewriteExpr(E->rhs(), F);
+    return (L == E->lhs() && R == E->rhs())
+               ? E
+               : Expr::makeBinary(E->binaryOp(), std::move(L), std::move(R));
+  }
+  }
+  return E;
+}
+
+void rewriteStmts(std::vector<Stmt> &Body, const ExprFn &F) {
+  for (Stmt &S : Body) {
+    S.E = rewriteExpr(S.E, F);
+    S.E2 = rewriteExpr(S.E2, F);
+    rewriteStmts(S.Then, F);
+    rewriteStmts(S.Else, F);
+  }
+}
+
+void rewriteProgram(Program &P, const ExprFn &F) {
+  for (Process &Proc : P.Procs)
+    rewriteStmts(Proc.Body, F);
+}
+
+void collectExprRegs(const ExprRef &E, std::set<RegId> &Out) {
+  if (!E)
+    return;
+  std::vector<RegId> Regs;
+  E->collectRegs(Regs);
+  Out.insert(Regs.begin(), Regs.end());
+}
+
+void collectStmtUses(const std::vector<Stmt> &Body, std::set<VarId> &Vars,
+                     std::set<RegId> &Regs) {
+  for (const Stmt &S : Body) {
+    switch (S.Kind) {
+    case StmtKind::Read:
+      Vars.insert(S.Var);
+      Regs.insert(S.Reg);
+      break;
+    case StmtKind::Write:
+    case StmtKind::Cas:
+      Vars.insert(S.Var);
+      break;
+    case StmtKind::Assign:
+      Regs.insert(S.Reg);
+      break;
+    default:
+      break;
+    }
+    collectExprRegs(S.E, Regs);
+    collectExprRegs(S.E2, Regs);
+    collectStmtUses(S.Then, Vars, Regs);
+    collectStmtUses(S.Else, Vars, Regs);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Index remapping (dropping a variable/register/process shifts ids)
+//===----------------------------------------------------------------------===//
+
+void remapVarsIn(std::vector<Stmt> &Body, VarId Removed) {
+  for (Stmt &S : Body) {
+    if ((S.Kind == StmtKind::Read || S.Kind == StmtKind::Write ||
+         S.Kind == StmtKind::Cas) &&
+        S.Var > Removed)
+      --S.Var;
+    remapVarsIn(S.Then, Removed);
+    remapVarsIn(S.Else, Removed);
+  }
+}
+
+void remapRegField(std::vector<Stmt> &Body, RegId Removed) {
+  for (Stmt &S : Body) {
+    if ((S.Kind == StmtKind::Read || S.Kind == StmtKind::Assign) &&
+        S.Reg > Removed)
+      --S.Reg;
+    remapRegField(S.Then, Removed);
+    remapRegField(S.Else, Removed);
+  }
+}
+
+/// Removes register \p R (which must be unused in expressions *and*
+/// statement destinations) from \p P, shifting higher ids down.
+void dropReg(Program &P, RegId R) {
+  P.Regs.erase(P.Regs.begin() + R);
+  for (Process &Proc : P.Procs)
+    remapRegField(Proc.Body, R);
+  rewriteProgram(P, [&](const Expr &E) -> ExprRef {
+    if (E.kind() == ExprKind::Reg && E.reg() > R)
+      return Expr::makeReg(E.reg() - 1);
+    return nullptr;
+  });
+}
+
+/// Removes unused shared variables and registers; always a semantic
+/// no-op, so no predicate call is needed.
+void dropUnusedDecls(Program &P) {
+  std::set<VarId> UsedVars;
+  std::set<RegId> UsedRegs;
+  for (const Process &Proc : P.Procs)
+    collectStmtUses(Proc.Body, UsedVars, UsedRegs);
+  for (VarId X = P.numVars(); X-- > 0;) {
+    if (UsedVars.count(X))
+      continue;
+    P.Vars.erase(P.Vars.begin() + X);
+    for (Process &Proc : P.Procs)
+      remapVarsIn(Proc.Body, X);
+  }
+  for (RegId R = P.numRegs(); R-- > 0;)
+    if (!UsedRegs.count(R))
+      dropReg(P, R);
+}
+
+/// Removes process \p PI and its registers.
+Program withoutProc(const Program &P, uint32_t PI) {
+  Program Q = P;
+  Q.Procs.erase(Q.Procs.begin() + PI);
+  for (RegDecl &R : Q.Regs)
+    if (R.Process > PI)
+      --R.Process;
+  // Registers owned by the removed process are now unused (their
+  // statements went with the process body).
+  dropUnusedDecls(Q);
+  return Q;
+}
+
+} // namespace
+
+uint64_t vbmc::fuzz::countStmts(const Program &P) {
+  uint64_t N = 0;
+  for (const Process &Proc : P.Procs)
+    N += countStmtsIn(Proc.Body);
+  return N;
+}
+
+MinimizeResult vbmc::fuzz::minimizeProgram(const Program &P,
+                                           const MinimizePredicate &StillFails,
+                                           const CheckContext &Ctx,
+                                           uint64_t MaxCandidates) {
+  MinimizeResult Result;
+  Result.Prog = P;
+
+  auto tryAccept = [&](Program Candidate) -> bool {
+    if (Result.CandidatesTried >= MaxCandidates || Ctx.interrupted()) {
+      Result.Truncated = true;
+      return false;
+    }
+    if (!Candidate.validate())
+      return false;
+    ++Result.CandidatesTried;
+    if (!StillFails(Candidate))
+      return false;
+    Result.Prog = std::move(Candidate);
+    ++Result.Reductions;
+    return true;
+  };
+
+  bool Progress = true;
+  while (Progress && !Result.Truncated) {
+    Progress = false;
+
+    // Pass 1: drop whole processes (the coarsest cut first).
+    for (uint32_t PI = 0; PI < Result.Prog.numProcs();) {
+      if (Result.Prog.numProcs() > 1 &&
+          tryAccept(withoutProc(Result.Prog, PI)))
+        Progress = true; // Same index now names the next process.
+      else
+        ++PI;
+      if (Result.Truncated)
+        break;
+    }
+
+    // Pass 2: drop single statements, preorder.
+    for (uint64_t N = 0; N < countStmts(Result.Prog);) {
+      Program Candidate = Result.Prog;
+      uint64_t Cursor = N;
+      bool Removed = false;
+      for (Process &Proc : Candidate.Procs)
+        if ((Removed = removeNth(Proc.Body, Cursor)))
+          break;
+      if (Removed && tryAccept(std::move(Candidate)))
+        Progress = true; // Position N now names the next statement.
+      else
+        ++N;
+      if (Result.Truncated)
+        break;
+    }
+
+    // Pass 3: unwrap if/while into their bodies.
+    for (int Mode = 0; Mode <= 1; ++Mode) {
+      for (uint64_t N = 0;;) {
+        Program Candidate = Result.Prog;
+        uint64_t Cursor = N;
+        bool Unwrapped = false;
+        for (Process &Proc : Candidate.Procs)
+          if ((Unwrapped = unwrapNth(Proc.Body, Cursor, Mode)))
+            break;
+        if (!Unwrapped)
+          break;
+        if (tryAccept(std::move(Candidate)))
+          Progress = true;
+        else
+          ++N;
+        if (Result.Truncated)
+          break;
+      }
+    }
+
+    // Pass 4: shrink constants toward 0 / 1 and nondets to their lower
+    // bound. Enumerate by rewrite position; stop when no node is hit.
+    // Shrinking must be monotone: the Target=1 pass only applies to
+    // constants that are neither 0 nor 1, otherwise a predicate that
+    // ignores values accepts 0->1 after 1->0 and the two passes
+    // oscillate forever (burning the candidate cap).
+    for (Value Target : {Value(0), Value(1)}) {
+      for (uint64_t N = 0;;) {
+        uint64_t Seen = 0;
+        bool Hit = false;
+        Program Candidate = Result.Prog;
+        rewriteProgram(Candidate, [&](const Expr &E) -> ExprRef {
+          if (Hit)
+            return nullptr;
+          bool Shrinkable =
+              (E.kind() == ExprKind::Const && E.constValue() != Target &&
+               (Target == Value(0) || E.constValue() != Value(0))) ||
+              (Target == Value(0) && E.kind() == ExprKind::Nondet &&
+               E.nondetLo() != E.nondetHi());
+          if (!Shrinkable)
+            return nullptr;
+          if (Seen++ != N)
+            return nullptr;
+          Hit = true;
+          if (E.kind() == ExprKind::Nondet)
+            return Expr::makeNondet(E.nondetLo(), E.nondetLo());
+          return Expr::makeConst(Target);
+        });
+        if (!Hit)
+          break;
+        if (tryAccept(std::move(Candidate)))
+          Progress = true; // The node at N changed; re-examine it.
+        else
+          ++N;
+        if (Result.Truncated)
+          break;
+      }
+    }
+
+    // Pass 5: garbage-collect declarations orphaned by the cuts above.
+    // Semantics-preserving, so applied unconditionally (no predicate
+    // call), but only counts as progress via the passes that ran.
+    dropUnusedDecls(Result.Prog);
+  }
+  return Result;
+}

@@ -1,0 +1,52 @@
+//===- Minimizer.h - delta-debugging witness minimization -------*- C++ -*-===//
+///
+/// \file
+/// Shrinks a discrepancy-producing program to a minimal reproducer by
+/// greedy delta debugging: repeatedly apply structural reductions (drop a
+/// statement, unwrap an if/while, drop a whole process, drop unused
+/// variables and registers, shrink constants and nondet ranges) and keep
+/// a reduction iff the caller's predicate still observes the *same*
+/// failure on the reduced program. Every kept candidate is structurally
+/// validated first, so the result is always a well-formed program the
+/// corpus can check in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_FUZZ_MINIMIZER_H
+#define VBMC_FUZZ_MINIMIZER_H
+
+#include "ir/Program.h"
+#include "support/CheckContext.h"
+
+#include <functional>
+
+namespace vbmc::fuzz {
+
+/// Returns true when the candidate still exhibits the original failure.
+/// The minimizer only keeps reductions this accepts.
+using MinimizePredicate = std::function<bool(const ir::Program &)>;
+
+struct MinimizeResult {
+  ir::Program Prog;
+  /// Candidate programs evaluated (predicate calls).
+  uint64_t CandidatesTried = 0;
+  /// Reductions accepted.
+  uint64_t Reductions = 0;
+  /// True when minimization stopped early (deadline or candidate cap).
+  bool Truncated = false;
+};
+
+/// Number of statements in \p P, counting nested bodies.
+uint64_t countStmts(const ir::Program &P);
+
+/// Minimizes \p P with respect to \p StillFails. \p Ctx bounds the whole
+/// minimization (each predicate call should impose its own per-run
+/// budget); \p MaxCandidates caps predicate calls as a safety net.
+MinimizeResult minimizeProgram(const ir::Program &P,
+                               const MinimizePredicate &StillFails,
+                               const CheckContext &Ctx,
+                               uint64_t MaxCandidates = 20000);
+
+} // namespace vbmc::fuzz
+
+#endif // VBMC_FUZZ_MINIMIZER_H

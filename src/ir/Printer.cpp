@@ -7,19 +7,22 @@ using namespace vbmc::ir;
 namespace {
 
 /// Renders an expression; non-leaf operands are parenthesized so the output
-/// re-parses to the same tree regardless of precedence subtleties.
+/// re-parses to the same tree regardless of precedence subtleties. The
+/// output is a *string* fixpoint of print . parse, not a tree fixpoint: a
+/// negative constant prints as `-5`, which re-parses as Neg(5), which
+/// prints as `-5` again.
 std::string printExprImpl(const Expr &E, const std::vector<RegDecl> &Regs) {
   auto Operand = [&](const Expr &Op) {
     std::string S = printExprImpl(Op, Regs);
-    if (Op.kind() == ExprKind::Unary || Op.kind() == ExprKind::Binary)
+    if (Op.kind() == ExprKind::Unary || Op.kind() == ExprKind::Binary ||
+        (Op.kind() == ExprKind::Const && Op.constValue() < 0))
       return "(" + S + ")";
     return S;
   };
   switch (E.kind()) {
   case ExprKind::Const:
     if (E.constValue() < 0)
-      return "(0 - " + std::to_string(-static_cast<int64_t>(E.constValue())) +
-             ")";
+      return "-" + std::to_string(-static_cast<int64_t>(E.constValue()));
     return std::to_string(E.constValue());
   case ExprKind::Reg:
     return Regs[E.reg()].Name;
@@ -35,11 +38,42 @@ std::string printExprImpl(const Expr &E, const std::vector<RegDecl> &Regs) {
   return "?";
 }
 
-void printStmts(const std::vector<Stmt> &Body, const Program &P,
+/// True iff \p S is the parser's encoding of `atomic { ... }`: an If with
+/// constant-true condition, no else, whose body is a balanced
+/// AtomicBegin ... AtomicEnd bracket pair.
+bool isAtomicSugar(const Stmt &S) {
+  if (S.Kind != StmtKind::If || !S.Else.empty() ||
+      S.E->kind() != ExprKind::Const || S.E->constValue() != 1 ||
+      S.Then.size() < 2 || S.Then.front().Kind != StmtKind::AtomicBegin ||
+      S.Then.back().Kind != StmtKind::AtomicEnd)
+    return false;
+  // The opening begin must not be closed before the final element; an
+  // early close means the markers are not one bracket pair.
+  int Depth = 0;
+  for (size_t I = 0; I < S.Then.size(); ++I) {
+    if (S.Then[I].Kind == StmtKind::AtomicBegin)
+      ++Depth;
+    else if (S.Then[I].Kind == StmtKind::AtomicEnd)
+      --Depth;
+    if (Depth == 0 && I + 1 != S.Then.size())
+      return false;
+  }
+  return Depth == 0;
+}
+
+void printStmts(const Stmt *B, const Stmt *E, const Program &P,
                 const std::vector<RegDecl> &Regs, int Indent,
                 std::string &Out) {
   std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
-  for (const Stmt &S : Body) {
+  for (const Stmt *SP = B; SP != E; ++SP) {
+    const Stmt &S = *SP;
+    if (isAtomicSugar(S)) {
+      Out += Pad + "atomic {\n";
+      printStmts(S.Then.data() + 1, S.Then.data() + S.Then.size() - 1, P,
+                 Regs, Indent + 1, Out);
+      Out += Pad + "}\n";
+      continue;
+    }
     switch (S.Kind) {
     case StmtKind::Read:
       Out += Pad + Regs[S.Reg].Name + " = " + P.Vars[S.Var] + ";\n";
@@ -63,16 +97,19 @@ void printStmts(const std::vector<Stmt> &Body, const Program &P,
       break;
     case StmtKind::If:
       Out += Pad + "if (" + printExprImpl(*S.E, Regs) + ") {\n";
-      printStmts(S.Then, P, Regs, Indent + 1, Out);
+      printStmts(S.Then.data(), S.Then.data() + S.Then.size(), P, Regs,
+                 Indent + 1, Out);
       if (!S.Else.empty()) {
         Out += Pad + "} else {\n";
-        printStmts(S.Else, P, Regs, Indent + 1, Out);
+        printStmts(S.Else.data(), S.Else.data() + S.Else.size(), P, Regs,
+                   Indent + 1, Out);
       }
       Out += Pad + "}\n";
       break;
     case StmtKind::While:
       Out += Pad + "while (" + printExprImpl(*S.E, Regs) + ") {\n";
-      printStmts(S.Then, P, Regs, Indent + 1, Out);
+      printStmts(S.Then.data(), S.Then.data() + S.Then.size(), P, Regs,
+                 Indent + 1, Out);
       Out += Pad + "}\n";
       break;
     case StmtKind::Term:
@@ -81,14 +118,38 @@ void printStmts(const std::vector<Stmt> &Body, const Program &P,
     case StmtKind::Fence:
       Out += Pad + "fence;\n";
       break;
-    case StmtKind::AtomicBegin:
-      Out += Pad + "/* atomic_begin */ atomic {\n";
+    case StmtKind::AtomicBegin: {
+      // Pair raw markers (as produced by the translation) back into an
+      // `atomic { ... }` block so the output re-parses.
+      const Stmt *M = SP + 1;
+      for (unsigned Depth = 1; M != E && Depth != 0; ++M) {
+        if (M->Kind == StmtKind::AtomicBegin)
+          ++Depth;
+        else if (M->Kind == StmtKind::AtomicEnd && --Depth == 0)
+          break;
+      }
+      if (M != E) {
+        Out += Pad + "atomic {\n";
+        printStmts(SP + 1, M, P, Regs, Indent + 1, Out);
+        Out += Pad + "}\n";
+        SP = M;
+        break;
+      }
+      // Unmatched marker: the program is invalid; keep a diagnostic marker.
+      Out += Pad + "/* atomic_begin */\n";
       break;
+    }
     case StmtKind::AtomicEnd:
-      Out += Pad + "} /* atomic_end */\n";
+      Out += Pad + "/* atomic_end */\n";
       break;
     }
   }
+}
+
+void printStmts(const std::vector<Stmt> &Body, const Program &P,
+                const std::vector<RegDecl> &Regs, int Indent,
+                std::string &Out) {
+  printStmts(Body.data(), Body.data() + Body.size(), P, Regs, Indent, Out);
 }
 
 } // namespace

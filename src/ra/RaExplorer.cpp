@@ -161,7 +161,16 @@ std::set<std::vector<Value>>
 vbmc::ra::collectTerminalRegs(const FlatProgram &FP,
                               std::optional<uint32_t> ViewSwitchBound,
                               uint64_t MaxStates) {
-  std::set<std::vector<Value>> Terminals;
+  return collectTerminalRegsBounded(FP, ViewSwitchBound, MaxStates, nullptr)
+      .Regs;
+}
+
+TerminalBehaviours
+vbmc::ra::collectTerminalRegsBounded(const FlatProgram &FP,
+                                     std::optional<uint32_t> ViewSwitchBound,
+                                     uint64_t MaxStates,
+                                     const CheckContext *Ctx) {
+  TerminalBehaviours Result;
   std::deque<std::pair<RaConfig, uint32_t>> Frontier;
   std::unordered_set<std::vector<uint32_t>, KeyHash> Visited;
   uint64_t Expanded = 0;
@@ -179,8 +188,15 @@ vbmc::ra::collectTerminalRegs(const FlatProgram &FP,
   tryEnqueue(initialConfig(FP), 0);
   std::vector<RaStep> Steps;
   while (!Frontier.empty()) {
-    if (MaxStates && ++Expanded > MaxStates)
+    ++Expanded;
+    if (MaxStates && Expanded > MaxStates) {
+      Result.Complete = false;
       break;
+    }
+    if (Ctx && (Expanded & 0x3ff) == 0 && Ctx->interrupted()) {
+      Result.Complete = false;
+      break;
+    }
     auto [C, Switches] = std::move(Frontier.front());
     Frontier.pop_front();
 
@@ -188,7 +204,7 @@ vbmc::ra::collectTerminalRegs(const FlatProgram &FP,
     for (uint32_t P = 0; P < FP.numProcs(); ++P)
       AllDone &= FP.Procs[P].isDone(C.Pc[P]);
     if (AllDone)
-      Terminals.insert(C.Regs);
+      Result.Regs.insert(C.Regs);
 
     Steps.clear();
     enumerateSteps(FP, C, Steps);
@@ -199,7 +215,7 @@ vbmc::ra::collectTerminalRegs(const FlatProgram &FP,
       tryEnqueue(std::move(S.Next), NewSwitches);
     }
   }
-  return Terminals;
+  return Result;
 }
 
 std::string vbmc::ra::formatTrace(const FlatProgram &FP,

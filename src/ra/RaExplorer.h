@@ -15,6 +15,7 @@
 #define VBMC_RA_RAEXPLORER_H
 
 #include "ra/RaSemantics.h"
+#include "support/CheckContext.h"
 #include "support/Rng.h"
 #include "support/Timer.h"
 
@@ -93,6 +94,24 @@ std::set<std::vector<Value>>
 collectTerminalRegs(const FlatProgram &FP,
                     std::optional<uint32_t> ViewSwitchBound = std::nullopt,
                     uint64_t MaxStates = 0);
+
+/// A terminal-behaviour set together with whether the enumeration ran to
+/// completion. When Complete is false (state cap hit, deadline expired,
+/// or cancellation) the set is a lower approximation and must not be
+/// used for equality or subset verdicts.
+struct TerminalBehaviours {
+  std::set<std::vector<Value>> Regs;
+  bool Complete = true;
+};
+
+/// Deadline-aware variant of collectTerminalRegs: polls \p Ctx (deadline
+/// and cancellation) when given, never asserts on truncation, and
+/// reports truncation in the result. The differential fuzzing harness
+/// runs every generated program through this under a per-program budget.
+TerminalBehaviours
+collectTerminalRegsBounded(const FlatProgram &FP,
+                           std::optional<uint32_t> ViewSwitchBound,
+                           uint64_t MaxStates, const CheckContext *Ctx);
 
 } // namespace vbmc::ra
 

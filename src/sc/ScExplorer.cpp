@@ -129,6 +129,7 @@ ScResult vbmc::sc::exploreSc(const FlatProgram &FP, const ScQuery &Q) {
     const int32_t LastProc = Arena[Idx].LastProc;
     const uint32_t BaseSwitches = Arena[Idx].Switches;
     const bool LastWrote = Arena[Idx].LastWrote;
+    const bool InAtomic = Arena[Idx].Config.AtomicDepth > 0;
 
     if (goalHolds(FP, Q, Arena[Idx].Config)) {
       Result.ContextSwitchesUsed = BaseSwitches;
@@ -173,8 +174,17 @@ ScResult vbmc::sc::exploreSc(const FlatProgram &FP, const ScQuery &Q) {
       uint32_t Switches = BaseSwitches + (SameProc ? 0 : 1);
       if (Q.ContextBound && Switches > *Q.ContextBound)
         continue;
+      // An atomic section is one indivisible action to the other
+      // processes: a shared write anywhere inside it makes the whole
+      // section a "write" for the Section 6 reduction, so keep the flag
+      // sticky until the section closes. Without this the legal switch
+      // point right after a writing section (its AtomicEnd) is lost, and
+      // a following section that blocks while holding the lock (e.g. a
+      // CAS whose expected value never shows up) walls off every run in
+      // which the other processes act in between.
+      bool Wrote = S.WroteShared || (SameProc && LastWrote && InAtomic);
       tryEnqueue(std::move(S.Next), static_cast<int32_t>(S.Proc), Switches,
-                 S.WroteShared, static_cast<int64_t>(Idx),
+                 Wrote, static_cast<int64_t>(Idx),
                  ScTraceStep{S.Proc, S.Instr});
     }
   }
@@ -186,7 +196,17 @@ std::set<std::vector<Value>>
 vbmc::sc::collectScTerminalRegs(const FlatProgram &FP,
                                 std::optional<uint32_t> ContextBound,
                                 uint64_t MaxStates) {
-  std::set<std::vector<Value>> Terminals;
+  return collectScTerminalRegsBounded(FP, ContextBound, MaxStates, nullptr)
+      .Regs;
+}
+
+ScTerminalBehaviours
+vbmc::sc::collectScTerminalRegsBounded(const FlatProgram &FP,
+                                       std::optional<uint32_t> ContextBound,
+                                       uint64_t MaxStates,
+                                       const CheckContext *Ctx) {
+  ScTerminalBehaviours Result;
+  std::set<std::vector<Value>> &Terminals = Result.Regs;
   // State: configuration + last active process + switches used.
   struct Item {
     ScConfig Config;
@@ -211,8 +231,15 @@ vbmc::sc::collectScTerminalRegs(const FlatProgram &FP,
   tryEnqueue(initialScConfig(FP), -1, 0);
   std::vector<ScStep> Steps;
   while (!Frontier.empty()) {
-    if (MaxStates && ++Expanded > MaxStates)
+    ++Expanded;
+    if (MaxStates && Expanded > MaxStates) {
+      Result.Complete = false;
       break;
+    }
+    if (Ctx && (Expanded & 0x3ff) == 0 && Ctx->interrupted()) {
+      Result.Complete = false;
+      break;
+    }
     Item It = std::move(Frontier.front());
     Frontier.pop_front();
 
@@ -233,5 +260,5 @@ vbmc::sc::collectScTerminalRegs(const FlatProgram &FP,
       tryEnqueue(std::move(S.Next), static_cast<int32_t>(S.Proc), Switches);
     }
   }
-  return Terminals;
+  return Result;
 }

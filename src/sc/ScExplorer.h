@@ -39,8 +39,10 @@ struct ScQuery {
   std::optional<uint32_t> RoundRobinRounds;
   /// Section 6 optimization: a context switch away from a process is only
   /// allowed right after it wrote a shared variable (or when it cannot
-  /// move). Off by default; the correctness tests exercise the unreduced
-  /// semantics.
+  /// move). A shared write inside an atomic section counts for every
+  /// later step of that section including its atomic_end — the section is
+  /// a single action to the other processes. Off by default; the
+  /// correctness tests exercise the unreduced semantics.
   bool SwitchOnlyAfterWrite = false;
   uint64_t MaxStates = 0;
   double BudgetSeconds = 0;
@@ -87,6 +89,19 @@ std::set<std::vector<Value>>
 collectScTerminalRegs(const FlatProgram &FP,
                       std::optional<uint32_t> ContextBound = std::nullopt,
                       uint64_t MaxStates = 0);
+
+/// SC terminal behaviours plus a completeness bit (see
+/// ra::TerminalBehaviours for the contract).
+struct ScTerminalBehaviours {
+  std::set<std::vector<Value>> Regs;
+  bool Complete = true;
+};
+
+/// Deadline-aware variant of collectScTerminalRegs polling \p Ctx.
+ScTerminalBehaviours
+collectScTerminalRegsBounded(const FlatProgram &FP,
+                             std::optional<uint32_t> ContextBound,
+                             uint64_t MaxStates, const CheckContext *Ctx);
 
 } // namespace vbmc::sc
 

@@ -37,6 +37,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -161,6 +162,22 @@ public:
     C.Tok = std::make_shared<CancellationToken>(
         std::shared_ptr<const CancellationToken>(Tok));
     C.Stats = Stats;
+    return C;
+  }
+
+  /// Like child(), but with a deadline of at most \p BudgetSeconds from
+  /// now (clipped against whatever this context has left). The fuzz
+  /// harness uses this to give every generated program its own slice of
+  /// the campaign budget, so one pathological program cannot starve the
+  /// rest of the run.
+  CheckContext childWithBudget(double BudgetSeconds) const {
+    CheckContext C = child();
+    double Remaining = DL.remainingSeconds();
+    double Budget = BudgetSeconds > 0 ? BudgetSeconds : Remaining;
+    if (Remaining < Budget)
+      Budget = Remaining;
+    if (Budget != std::numeric_limits<double>::infinity())
+      C.DL = Deadline(Budget > 0 ? Budget : 1e-9); // 1e-9: expire instantly.
     return C;
   }
 

@@ -50,6 +50,15 @@ int64_t CommandLine::getInt(const std::string &Name, int64_t Default) const {
   return std::strtoll(It->second.c_str(), nullptr, 10);
 }
 
+std::vector<std::string>
+CommandLine::unknownFlags(const std::set<std::string> &Known) const {
+  std::vector<std::string> Unknown;
+  for (const auto &[Name, Value] : Flags)
+    if (!Known.count(Name))
+      Unknown.push_back(Name);
+  return Unknown;
+}
+
 double CommandLine::getDouble(const std::string &Name, double Default) const {
   auto It = Flags.find(Name);
   if (It == Flags.end() || It->second.empty())

@@ -37,6 +37,12 @@ public:
 
   const std::vector<std::string> &positionals() const { return Positionals; }
 
+  /// Flags present on the command line but absent from \p Known, sorted.
+  /// Binaries that must not misinterpret a typo (a fuzzer ignoring
+  /// "--budgett 60" would run forever) reject these up front.
+  std::vector<std::string>
+  unknownFlags(const std::set<std::string> &Known) const;
+
 private:
   std::map<std::string, std::string> Flags;
   std::vector<std::string> Positionals;

@@ -1,0 +1,63 @@
+//===- FaultInjection.cpp -------------------------------------*- C++ -*-===//
+
+#include "support/FaultInjection.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <set>
+
+using namespace vbmc;
+
+namespace {
+
+std::mutex &registryMutex() {
+  static std::mutex M;
+  return M;
+}
+
+std::set<std::string> &registry() {
+  static std::set<std::string> Faults = [] {
+    std::set<std::string> Initial;
+    if (const char *Env = std::getenv("VBMC_FAULTS")) {
+      std::string S(Env);
+      size_t Pos = 0;
+      while (Pos <= S.size()) {
+        size_t Comma = S.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = S.size();
+        if (Comma > Pos)
+          Initial.insert(S.substr(Pos, Comma - Pos));
+        Pos = Comma + 1;
+      }
+    }
+    return Initial;
+  }();
+  return Faults;
+}
+
+} // namespace
+
+bool fault::enabled(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  return registry().count(Name) != 0;
+}
+
+void fault::enable(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  registry().insert(Name);
+}
+
+void fault::disable(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  registry().erase(Name);
+}
+
+void fault::clearAll() {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  registry().clear();
+}
+
+std::vector<std::string> fault::active() {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  return {registry().begin(), registry().end()};
+}

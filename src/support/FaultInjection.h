@@ -1,0 +1,66 @@
+//===- FaultInjection.h - named fault hooks for the fuzz harness -*- C++ -*-===//
+///
+/// \file
+/// A registry of named, deliberately-introduced bugs used to validate the
+/// differential fuzzing harness: enabling a fault makes exactly one
+/// backend subtly wrong, and the harness must detect the resulting
+/// cross-backend disagreement and minimize it to a small witness. Faults
+/// are disabled by default and cost a single branch on a cold path when
+/// queried, so production behaviour is unchanged.
+///
+/// Faults are enabled programmatically (tests) or through the
+/// `VBMC_FAULTS` environment variable (comma-separated names), which the
+/// hidden `--inject-fault` flag of `vbmc-fuzz` sets up. Known names:
+///
+///   axiomatic.drop-coherence   checkRaConsistent skips the hb;eco
+///                              coherence axiom, admitting executions the
+///                              operational semantics forbids (e.g. the
+///                              stale-read outcome of message passing);
+///   axiomatic.drop-atomicity   checkRaConsistent skips the CAS
+///                              mo-adjacency axiom;
+///   translation.drop-publish   [[.]]_K never emits the optional publish
+///                              step after a write, so the translated
+///                              program misses every cross-thread
+///                              behaviour that needs a message (direct RA
+///                              exploration disagrees at K >= 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_SUPPORT_FAULTINJECTION_H
+#define VBMC_SUPPORT_FAULTINJECTION_H
+
+#include <string>
+#include <vector>
+
+namespace vbmc::fault {
+
+/// True when fault \p Name was enabled via enable() or VBMC_FAULTS.
+bool enabled(const std::string &Name);
+
+void enable(const std::string &Name);
+void disable(const std::string &Name);
+
+/// Disables every programmatically enabled fault (VBMC_FAULTS re-applies
+/// on the next query).
+void clearAll();
+
+/// Names of the currently enabled faults, sorted.
+std::vector<std::string> active();
+
+/// RAII enabling of one fault for the duration of a scope (tests).
+class ScopedFault {
+public:
+  explicit ScopedFault(std::string Name) : Name(std::move(Name)) {
+    enable(this->Name);
+  }
+  ScopedFault(const ScopedFault &) = delete;
+  ScopedFault &operator=(const ScopedFault &) = delete;
+  ~ScopedFault() { disable(Name); }
+
+private:
+  std::string Name;
+};
+
+} // namespace vbmc::fault
+
+#endif // VBMC_SUPPORT_FAULTINJECTION_H

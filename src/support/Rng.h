@@ -69,6 +69,15 @@ public:
   /// Returns true with probability Num/Den.
   bool nextChance(uint64_t Num, uint64_t Den) { return nextBelow(Den) < Num; }
 
+  /// Derives an independent generator for stream \p Stream of seed
+  /// \p Seed, without consuming state: program #i of a fuzzing campaign
+  /// is reproducible from (seed, i) alone, no replay of programs 0..i-1
+  /// required. The two words are mixed through splitmix64 inside
+  /// reseed(), so nearby (seed, stream) pairs give unrelated sequences.
+  static Rng derived(uint64_t Seed, uint64_t Stream) {
+    return Rng(Seed ^ (0x9e3779b97f4a7c15ULL + Stream * 0xbf58476d1ce4e5b9ULL));
+  }
+
 private:
   static uint64_t rotl(uint64_t X, int K) {
     return (X << K) | (X >> (64 - K));

@@ -3,6 +3,7 @@
 #include "translation/Translate.h"
 
 #include "support/Diagnostics.h"
+#include "support/FaultInjection.h"
 
 using namespace vbmc;
 using namespace vbmc::ir;
@@ -303,7 +304,7 @@ private:
     Stamped.push_back(Stmt::assign(VwT[X], regE(GStamp)));
     Stamped.push_back(Stmt::assign(VwL[X], constE(1)));
     Stamped.push_back(Stmt::assign(VwV[X], E));
-    if (K > 0) {
+    if (K > 0 && !fault::enabled("translation.drop-publish")) {
       Stamped.push_back(Stmt::assign(GChoice, nondetE(0, 1)));
       std::vector<Stmt> Pub;
       emitPublish(X, Pub);
@@ -343,7 +344,7 @@ private:
     OutBody.push_back(Stmt::assign(VwT[X], regE(GStamp)));
     OutBody.push_back(Stmt::assign(VwV[X], New));
     OutBody.push_back(Stmt::assign(VwL[X], constE(1)));
-    if (K > 0) {
+    if (K > 0 && !fault::enabled("translation.drop-publish")) {
       OutBody.push_back(Stmt::assign(GChoice, nondetE(0, 1)));
       std::vector<Stmt> Pub;
       emitPublish(X, Pub);

@@ -14,7 +14,7 @@
 #include "sc/ScExplorer.h"
 #include "vbmc/Vbmc.h"
 
-#include "RandomPrograms.h"
+#include "fuzz/Generator.h"
 
 #include <gtest/gtest.h>
 
@@ -243,14 +243,14 @@ TEST(BmcConcurrentTest, BlockedCasFreezesProcess) {
 
 TEST(BmcDifferentialTest, RandomProgramsAgreeWithExplorer) {
   Rng R(4242);
-  testutil::RandomProgramOptions O;
+  fuzz::GeneratorOptions O;
   O.NumVars = 2;
   O.NumProcs = 2;
   O.StmtsPerProc = 4;
   O.CasPermille = 200;
   int Count = 0;
   for (int Iter = 0; Iter < 40; ++Iter) {
-    Program P = testutil::makeRandomProgram(R, O);
+    Program P = fuzz::makeRandomProgram(R, O);
     for (uint32_t CB : {0u, 2u}) {
       // Exact agreement with the round-robin explorer at equal rounds.
       bool RoundRobin = roundRobinReach(P, CB + 1);
@@ -296,13 +296,13 @@ TEST(BmcEndToEndTest, VbmcSatBackendMatchesRaGroundTruth) {
 
 TEST(BmcEndToEndTest, SatAndExplicitBackendsAgreeOnRandomPrograms) {
   Rng R(777);
-  testutil::RandomProgramOptions O;
+  fuzz::GeneratorOptions O;
   O.NumVars = 2;
   O.NumProcs = 2;
   O.StmtsPerProc = 3;
   O.CasPermille = 0;
   for (int Iter = 0; Iter < 12; ++Iter) {
-    Program P = testutil::makeRandomProgram(R, O);
+    Program P = fuzz::makeRandomProgram(R, O);
     driver::VbmcOptions Explicit;
     Explicit.K = 1;
     Explicit.CasAllowance = 2;

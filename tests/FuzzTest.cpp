@@ -1,0 +1,359 @@
+//===- FuzzTest.cpp - fuzzing subsystem unit tests --------------*- C++ -*-===//
+//
+// Covers the promoted generator (distribution options, determinism), the
+// printer/parser round-trip property the corpus format depends on, the
+// delta-debugging minimizer, the fault-injection detection loop (a
+// deliberately broken backend must be caught and shrunk to a tiny
+// witness), and the per-program deadline discipline (an exploding program
+// is reported as a timeout, never hangs the campaign).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Differ.h"
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Generator.h"
+#include "fuzz/Minimizer.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "support/FaultInjection.h"
+#include "support/Rng.h"
+#include "support/Timer.h"
+#include "translation/Translate.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+using namespace vbmc;
+using namespace vbmc::ir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Generator distribution
+//===----------------------------------------------------------------------===//
+
+fuzz::GeneratorStats statsOver(uint64_t Seed, uint32_t Programs,
+                               const fuzz::GeneratorOptions &O) {
+  fuzz::GeneratorStats Stats;
+  for (uint32_t I = 0; I < Programs; ++I) {
+    Rng R = Rng::derived(Seed, I);
+    Program P = fuzz::makeRandomProgram(R, O, &Stats);
+    EXPECT_TRUE(P.validate()) << "program " << I << " invalid";
+  }
+  return Stats;
+}
+
+TEST(GeneratorTest, ZeroPermillesEmitOnlyLegacyShapes) {
+  fuzz::GeneratorOptions O; // Extensions default to 0.
+  fuzz::GeneratorStats S = statsOver(1, 200, O);
+  EXPECT_EQ(S.Fences, 0u);
+  EXPECT_EQ(S.Nondets, 0u);
+  EXPECT_EQ(S.Loops, 0u);
+  EXPECT_EQ(S.Assumes, 0u);
+  // Every slot was a memory statement and nothing was dropped.
+  EXPECT_EQ(S.Reads + S.Writes + S.Cas, S.slots());
+  EXPECT_EQ(S.slots(),
+            static_cast<uint64_t>(200) * O.NumProcs * O.StmtsPerProc);
+}
+
+TEST(GeneratorTest, CasPermilleSaturates) {
+  fuzz::GeneratorOptions O;
+  O.CasPermille = 1000;
+  fuzz::GeneratorStats S = statsOver(2, 100, O);
+  EXPECT_EQ(S.Reads, 0u);
+  EXPECT_EQ(S.Writes, 0u);
+  EXPECT_EQ(S.Cas, S.slots());
+}
+
+TEST(GeneratorTest, FencePermilleSaturates) {
+  fuzz::GeneratorOptions O;
+  O.FencePermille = 1000;
+  fuzz::GeneratorStats S = statsOver(3, 100, O);
+  EXPECT_EQ(S.Fences, S.slots());
+  EXPECT_EQ(S.Reads + S.Writes + S.Cas, 0u);
+}
+
+TEST(GeneratorTest, NondetPermilleSaturates) {
+  fuzz::GeneratorOptions O;
+  O.NondetPermille = 1000;
+  fuzz::GeneratorStats S = statsOver(4, 100, O);
+  EXPECT_EQ(S.Nondets, S.slots());
+}
+
+TEST(GeneratorTest, LoopPermilleSaturatesAndValidates) {
+  fuzz::GeneratorOptions O;
+  O.LoopPermille = 1000;
+  fuzz::GeneratorStats S = statsOver(5, 100, O);
+  EXPECT_EQ(S.Loops, static_cast<uint64_t>(100) * O.NumProcs *
+                         O.StmtsPerProc);
+  // Loop bodies add their own memory-statement slots.
+  EXPECT_GT(S.Reads + S.Writes + S.Cas, 0u);
+}
+
+TEST(GeneratorTest, MidRangePermilleLandsNearRate) {
+  fuzz::GeneratorOptions O;
+  O.FencePermille = 200;
+  fuzz::GeneratorStats S = statsOver(6, 500, O);
+  double Rate = static_cast<double>(S.Fences) / static_cast<double>(S.slots());
+  // 3000 slots at p = 0.2: anything outside [0.15, 0.25] is a generator
+  // bug, not bad luck (12+ sigma).
+  EXPECT_GT(Rate, 0.15);
+  EXPECT_LT(Rate, 0.25);
+}
+
+TEST(GeneratorTest, DerivedStreamsAreReproducible) {
+  fuzz::FuzzOptions O;
+  O.Seed = 42;
+  O.Gen.FencePermille = 100;
+  O.Gen.NondetPermille = 100;
+  O.Gen.LoopPermille = 100;
+  std::string A = printProgram(fuzz::regenerateProgram(O, 17));
+  std::string B = printProgram(fuzz::regenerateProgram(O, 17));
+  EXPECT_EQ(A, B);
+  // Neighbouring streams must not collide.
+  EXPECT_NE(A, printProgram(fuzz::regenerateProgram(O, 18)));
+}
+
+//===----------------------------------------------------------------------===//
+// Printer <-> parser round-trip
+//===----------------------------------------------------------------------===//
+
+TEST(RoundTripTest, PrintParsePrintIsFixpointOnRandomPrograms) {
+  fuzz::GeneratorOptions O;
+  O.CasPermille = 300;
+  O.FencePermille = 150;
+  O.NondetPermille = 150;
+  O.LoopPermille = 150;
+  O.AssumePermille = 100;
+  for (uint32_t I = 0; I < 1000; ++I) {
+    Rng R = Rng::derived(99, I);
+    Program P = fuzz::makeRandomProgram(R, O);
+    std::string Once = printProgram(P);
+    auto Reparsed = parseProgram(Once);
+    ASSERT_TRUE(Reparsed) << "program " << I << " failed to reparse: "
+                          << Reparsed.error().str() << "\n"
+                          << Once;
+    EXPECT_EQ(Once, printProgram(*Reparsed)) << "program " << I;
+  }
+}
+
+TEST(RoundTripTest, TranslatedProgramsRoundTripThroughAtomicSugar) {
+  // The translation emits raw atomic_begin/atomic_end runs; the printer
+  // must pair them into `atomic { }` blocks the parser reads back.
+  fuzz::GeneratorOptions O;
+  O.CasPermille = 300;
+  for (uint32_t I = 0; I < 100; ++I) {
+    Rng R = Rng::derived(7, I);
+    Program P = fuzz::makeRandomProgram(R, O);
+    translation::TranslationOptions TO;
+    TO.K = 1;
+    TO.CasAllowance = 2;
+    Program T = translation::translateToSc(P, TO).Prog;
+    std::string Once = printProgram(T);
+    auto Reparsed = parseProgram(Once);
+    ASSERT_TRUE(Reparsed) << "translated program " << I
+                          << " failed to reparse: " << Reparsed.error().str();
+    EXPECT_EQ(Once, printProgram(*Reparsed)) << "translated program " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Minimizer
+//===----------------------------------------------------------------------===//
+
+/// Structural predicate: the candidate still writes to variable 0 and
+/// still asserts something. Cheap, so the minimizer unit tests do not
+/// depend on any engine.
+bool writesVar0AndAsserts(const Program &P) {
+  bool Writes = false, Asserts = false;
+  std::function<void(const std::vector<Stmt> &)> Scan =
+      [&](const std::vector<Stmt> &Body) {
+        for (const Stmt &S : Body) {
+          if (S.Kind == StmtKind::Write && S.Var == 0)
+            Writes = true;
+          if (S.Kind == StmtKind::Assert)
+            Asserts = true;
+          Scan(S.Then);
+          Scan(S.Else);
+        }
+      };
+  for (const auto &Proc : P.Procs)
+    Scan(Proc.Body);
+  return Writes && Asserts;
+}
+
+TEST(MinimizerTest, ShrinksToThePredicateCore) {
+  fuzz::GeneratorOptions O;
+  O.NumProcs = 3;
+  O.StmtsPerProc = 5;
+  O.AssertPermille = 1000;
+  Rng R = Rng::derived(11, 0);
+  Program P = fuzz::makeRandomProgram(R, O);
+  // Plant the statements the predicate demands.
+  P.Procs[0].Body.insert(P.Procs[0].Body.begin(),
+                         Stmt::write(0, constE(2)));
+  ASSERT_TRUE(writesVar0AndAsserts(P));
+  uint64_t Before = fuzz::countStmts(P);
+
+  CheckContext Ctx(30.0);
+  fuzz::MinimizeResult MR =
+      fuzz::minimizeProgram(P, writesVar0AndAsserts, Ctx);
+  EXPECT_FALSE(MR.Truncated);
+  EXPECT_TRUE(writesVar0AndAsserts(MR.Prog));
+  EXPECT_TRUE(MR.Prog.validate());
+  EXPECT_LT(fuzz::countStmts(MR.Prog), Before);
+  // One write + one assert is the minimum the predicate admits.
+  EXPECT_LE(fuzz::countStmts(MR.Prog), 2u);
+}
+
+TEST(MinimizerTest, ShrinksConstants) {
+  Program P;
+  P.addVar("x");
+  uint32_t Proc = P.addProcess("p0");
+  P.Procs[Proc].Body.push_back(Stmt::write(0, constE(7)));
+  P.Procs[Proc].Body.push_back(Stmt::assertThat(constE(1)));
+  ASSERT_TRUE(P.validate());
+
+  CheckContext Ctx(30.0);
+  fuzz::MinimizeResult MR =
+      fuzz::minimizeProgram(P, writesVar0AndAsserts, Ctx);
+  EXPECT_EQ(printProgram(MR.Prog).find("7"), std::string::npos)
+      << printProgram(MR.Prog);
+}
+
+TEST(MinimizerTest, ExpiredContextTruncates) {
+  fuzz::GeneratorOptions O;
+  Rng R = Rng::derived(12, 0);
+  Program P = fuzz::makeRandomProgram(R, O);
+  CheckContext Expired(1e-9);
+  fuzz::MinimizeResult MR = fuzz::minimizeProgram(
+      P, [](const Program &) { return true; }, Expired);
+  EXPECT_TRUE(MR.Truncated);
+  EXPECT_TRUE(MR.Prog.validate());
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injection: the harness must detect a deliberately broken backend
+// and shrink the disagreement to a tiny witness.
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjectionTest, DropCoherenceIsDetectedAndMinimized) {
+  fuzz::FuzzOptions O;
+  O.Seed = 7;
+  O.Count = 5; // Seed 7 trips the fault at index 1.
+  O.BudgetSeconds = 0;
+  O.PerProgramSeconds = 5;
+  O.Diff.WithSat = false;
+  O.Diff.WithTranslation = false;
+
+  fuzz::FuzzCampaignResult R;
+  {
+    fault::ScopedFault F("axiomatic.drop-coherence");
+    R = fuzz::runFuzzCampaign(O, nullptr);
+  }
+  ASSERT_FALSE(R.clean());
+  const fuzz::FuzzDiscrepancy &D = R.Discrepancies.front();
+  EXPECT_EQ(D.Check, "operational-vs-axiomatic");
+  EXPECT_LE(D.Stmts, 8u);
+
+  // With the fault gone the minimized witness must replay green.
+  auto Witness = parseProgram(D.ProgramText);
+  ASSERT_TRUE(Witness) << Witness.error().str();
+  CheckContext Ctx(30.0);
+  fuzz::CheckOutcome Fixed =
+      fuzz::runCheck(*Witness, D.Check, O.Diff, Ctx);
+  EXPECT_EQ(Fixed.Status, fuzz::CheckStatus::Pass) << Fixed.Detail;
+}
+
+TEST(FaultInjectionTest, DropPublishIsDetectedAndMinimized) {
+  fuzz::FuzzOptions O;
+  O.Seed = 7;
+  O.Count = 20; // Seed 7 trips the fault at index 18.
+  O.BudgetSeconds = 0;
+  O.PerProgramSeconds = 5;
+  O.Diff.WithSat = false;
+  O.Diff.WithAxiomatic = false;
+  O.Diff.WithSmc = false;
+
+  fuzz::FuzzCampaignResult R;
+  {
+    fault::ScopedFault F("translation.drop-publish");
+    R = fuzz::runFuzzCampaign(O, nullptr);
+  }
+  ASSERT_FALSE(R.clean());
+  const fuzz::FuzzDiscrepancy &D = R.Discrepancies.front();
+  EXPECT_EQ(D.Check, "ra-vs-translation");
+  EXPECT_LE(D.Stmts, 8u);
+
+  auto Witness = parseProgram(D.ProgramText);
+  ASSERT_TRUE(Witness) << Witness.error().str();
+  CheckContext Ctx(30.0);
+  fuzz::CheckOutcome Fixed =
+      fuzz::runCheck(*Witness, D.Check, O.Diff, Ctx);
+  EXPECT_EQ(Fixed.Status, fuzz::CheckStatus::Pass) << Fixed.Detail;
+}
+
+//===----------------------------------------------------------------------===//
+// Deadline discipline
+//===----------------------------------------------------------------------===//
+
+TEST(DeadlineTest, ExplodingProgramIsTimedOutNotHung) {
+  fuzz::FuzzOptions O;
+  O.Seed = 1;
+  O.Count = 3;
+  O.BudgetSeconds = 0;
+  O.PerProgramSeconds = 0.3;
+  // Programs big enough that no engine can exhaust them, and a state cap
+  // high enough that only the deadline can stop the exploration.
+  O.Gen.NumProcs = 5;
+  O.Gen.StmtsPerProc = 10;
+  O.Gen.NumVars = 3;
+  O.Diff.K = 2;
+  O.Diff.MaxStates = 4000000000ull;
+  O.Diff.WithSat = false;
+
+  Timer T;
+  fuzz::FuzzCampaignResult R = fuzz::runFuzzCampaign(O, nullptr);
+  EXPECT_EQ(R.Checked, 3u);
+  EXPECT_TRUE(R.clean());
+  EXPECT_GE(R.Timeouts, 1u);
+  // 3 programs x 0.3s slices plus slack; anywhere near the ctest timeout
+  // means a check ignored its deadline.
+  EXPECT_LT(T.elapsedSeconds(), 30.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus replay directives
+//===----------------------------------------------------------------------===//
+
+TEST(ReplayTest, ExpectDirectivesAreEnforced) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::path(::testing::TempDir()) / "vbmc_fuzz_replay";
+  fs::create_directories(Dir);
+
+  const char *Prog = "var x;\n\nproc p0 {\n  reg a0;\n  a0 = x;\n"
+                     "  assert(a0 == 0);\n}\n";
+  {
+    std::ofstream F(Dir / "good.ra");
+    F << "// expect: safe k=1\n" << Prog;
+  }
+  {
+    std::ofstream F(Dir / "bad.ra");
+    F << "// expect: unsafe k=1\n" << Prog;
+  }
+
+  fuzz::FuzzOptions O;
+  O.PerProgramSeconds = 5;
+  fuzz::ReplayResult R =
+      fuzz::replayCorpus({(Dir / "good.ra").string()}, O, nullptr);
+  EXPECT_TRUE(R.clean());
+
+  fuzz::ReplayResult Bad =
+      fuzz::replayCorpus({(Dir / "bad.ra").string()}, O, nullptr);
+  EXPECT_EQ(Bad.Failures, 1u);
+  fs::remove_all(Dir);
+}
+
+} // namespace

@@ -21,7 +21,7 @@
 #include "sc/ScExplorer.h"
 #include "translation/Translate.h"
 
-#include "RandomPrograms.h"
+#include "fuzz/Generator.h"
 
 #include <gtest/gtest.h>
 
@@ -133,11 +133,11 @@ class TranslationTheoremSweep
 TEST_P(TranslationTheoremSweep, RaEqualsTranslatedSc) {
   auto [Seed, K] = GetParam();
   Rng R(Seed);
-  testutil::RandomProgramOptions O;
+  fuzz::GeneratorOptions O;
   O.NumVars = 2;
   O.NumProcs = 2;
   O.StmtsPerProc = 3;
-  ir::Program P = testutil::makeRandomProgram(R, O);
+  ir::Program P = fuzz::makeRandomProgram(R, O);
 
   ra::RaQuery RQ;
   RQ.Goal = ra::GoalKind::AnyError;

@@ -15,7 +15,7 @@
 #include "ra/RaExplorer.h"
 #include "sc/ScExplorer.h"
 
-#include "RandomPrograms.h"
+#include "fuzz/Generator.h"
 
 #include <gtest/gtest.h>
 
@@ -35,13 +35,13 @@ bool isSubset(const std::set<std::vector<Value>> &A,
 
 TEST(SemanticsInclusionTest, ScBehavioursSubsetOfRa) {
   Rng R(555);
-  testutil::RandomProgramOptions O;
+  fuzz::GeneratorOptions O;
   O.NumVars = 2;
   O.NumProcs = 2;
   O.StmtsPerProc = 4;
   O.AssertPermille = 0; // Pure behaviour comparison.
   for (int Iter = 0; Iter < 25; ++Iter) {
-    Program P = testutil::makeRandomProgram(R, O);
+    Program P = fuzz::makeRandomProgram(R, O);
     FlatProgram FP = flatten(P);
     auto Sc = sc::collectScTerminalRegs(FP);
     auto Ra = ra::collectTerminalRegs(FP);
@@ -53,13 +53,13 @@ TEST(SemanticsInclusionTest, ScBehavioursSubsetOfRa) {
 
 TEST(SemanticsInclusionTest, ViewBoundMonotone) {
   Rng R(666);
-  testutil::RandomProgramOptions O;
+  fuzz::GeneratorOptions O;
   O.NumVars = 2;
   O.NumProcs = 2;
   O.StmtsPerProc = 3;
   O.AssertPermille = 0;
   for (int Iter = 0; Iter < 15; ++Iter) {
-    Program P = testutil::makeRandomProgram(R, O);
+    Program P = fuzz::makeRandomProgram(R, O);
     FlatProgram FP = flatten(P);
     auto Prev = ra::collectTerminalRegs(FP, 0u);
     for (uint32_t K = 1; K <= 3; ++K) {

@@ -7,7 +7,7 @@
 #include "ra/RaExplorer.h"
 #include "smc/Smc.h"
 
-#include "RandomPrograms.h"
+#include "fuzz/Generator.h"
 
 #include <gtest/gtest.h>
 
@@ -134,12 +134,12 @@ TEST(SmcTest, BudgetYieldsTimeout) {
 
 TEST(SmcTest, MatchesExhaustiveExplorerOnRandomPrograms) {
   Rng R(31337);
-  testutil::RandomProgramOptions O;
+  fuzz::GeneratorOptions O;
   O.NumVars = 2;
   O.NumProcs = 2;
   O.StmtsPerProc = 3;
   for (int Iter = 0; Iter < 15; ++Iter) {
-    Program P = testutil::makeRandomProgram(R, O);
+    Program P = fuzz::makeRandomProgram(R, O);
     FlatProgram FP = flatten(P);
     ra::RaQuery Q;
     Q.Goal = ra::GoalKind::AnyError;

@@ -14,7 +14,7 @@
 #include "translation/Translate.h"
 #include "vbmc/Vbmc.h"
 
-#include "RandomPrograms.h"
+#include "fuzz/Generator.h"
 
 #include <gtest/gtest.h>
 
@@ -238,13 +238,13 @@ TEST(TranslationDifferentialTest, HandPickedProgramsAgree) {
 
 TEST(TranslationDifferentialTest, RandomProgramsAgree) {
   Rng R(20260707);
-  testutil::RandomProgramOptions O;
+  fuzz::GeneratorOptions O;
   O.NumVars = 2;
   O.NumProcs = 2;
   O.StmtsPerProc = 3;
   int Checked = 0;
   for (int Iter = 0; Iter < 30; ++Iter) {
-    Program P = testutil::makeRandomProgram(R, O);
+    Program P = fuzz::makeRandomProgram(R, O);
     ASSERT_TRUE(P.validate());
     for (uint32_t K = 0; K <= 1; ++K) {
       bool Ra = raReachable(P, K);
@@ -261,13 +261,13 @@ TEST(TranslationDifferentialTest, SchedulingReductionPreservesVerdict) {
   // The Section 6 switch-only-after-write reduction must not change the
   // verdict on the translated program.
   Rng R(7);
-  testutil::RandomProgramOptions O;
+  fuzz::GeneratorOptions O;
   O.NumVars = 2;
   O.NumProcs = 2;
   O.StmtsPerProc = 3;
   O.CasPermille = 0;
   for (int Iter = 0; Iter < 10; ++Iter) {
-    Program P = testutil::makeRandomProgram(R, O);
+    Program P = fuzz::makeRandomProgram(R, O);
     bool Plain = scReachable(P, 1, 2, /*SwitchOnlyAfterWrite=*/false);
     bool Reduced = scReachable(P, 1, 2, /*SwitchOnlyAfterWrite=*/true);
     EXPECT_EQ(Plain, Reduced) << printProgram(P);
