@@ -13,7 +13,9 @@
 #include "sat/Solver.h"
 #include "sc/ScSemantics.h"
 #include "support/Rng.h"
+#include "support/Sandbox.h"
 #include "translation/Translate.h"
+#include "vbmc/Vbmc.h"
 
 #include <benchmark/benchmark.h>
 
@@ -137,6 +139,57 @@ void BM_SatPlanted3Sat(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_SatPlanted3Sat);
+
+// Raw cost of one sandboxed execution (fork + rlimits + pipe + waitpid)
+// with a trivial payload: the floor --isolate adds to every attempt.
+void BM_SandboxForkOverhead(benchmark::State &State) {
+  if (!sandbox::available()) {
+    State.SkipWithError("no process isolation on this platform");
+    return;
+  }
+  sandbox::SandboxOptions SO;
+  SO.MemLimitBytes = 256u << 20;
+  SO.TimeoutSeconds = 10;
+  for (auto _ : State) {
+    sandbox::SandboxOutcome Out =
+        sandbox::runInSandbox(SO, [] { return std::string("ok"); });
+    benchmark::DoNotOptimize(Out.Completed);
+  }
+}
+BENCHMARK(BM_SandboxForkOverhead);
+
+// End-to-end --isolate overhead on a real (small) verification query:
+// compare against BM_DriverCheckMpInProcess for the relative cost.
+void driverCheckMp(benchmark::State &State, bool Isolate) {
+  auto P = ir::parseProgram(R"(
+    var x y;
+    proc p0 { x = 1; y = 1; }
+    proc p1 { reg r1 r2; r1 = y; r2 = x; assert(!(r1 == 1 && r2 == 0)); }
+  )");
+  driver::VbmcOptions O;
+  O.K = 1;
+  O.Isolate = Isolate;
+  O.MemLimitBytes = 256u << 20;
+  for (auto _ : State) {
+    CheckContext Ctx(10);
+    driver::VbmcResult R = driver::checkProgram(*P, O, Ctx);
+    benchmark::DoNotOptimize(R.Outcome);
+  }
+}
+
+void BM_DriverCheckMpInProcess(benchmark::State &State) {
+  driverCheckMp(State, false);
+}
+BENCHMARK(BM_DriverCheckMpInProcess);
+
+void BM_DriverCheckMpIsolated(benchmark::State &State) {
+  if (!sandbox::available()) {
+    State.SkipWithError("no process isolation on this platform");
+    return;
+  }
+  driverCheckMp(State, true);
+}
+BENCHMARK(BM_DriverCheckMpIsolated);
 
 } // namespace
 

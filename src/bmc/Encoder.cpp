@@ -39,14 +39,26 @@ public:
     buildStores();
     for (uint32_t PI = 0; PI < P.numProcs(); ++PI) {
       walkProcess(PI);
-      // Encoding can dwarf solving on big instances; honor the budget and
-      // a node cap during construction too (prevents OOM on huge inputs).
-      if (outOfBudget() || C.numNodes() > MaxCircuitNodes) {
+      // Encoding can dwarf solving on big instances; honor the budget,
+      // a node cap, and the configured byte ceiling during construction
+      // too (graceful degradation instead of std::bad_alloc death).
+      if (outOfBudget() || resourceExceeded()) {
         BmcResult R;
         R.Status = BmcStatus::Unknown;
-        R.Note = wasCancelled()  ? "cancelled"
-                 : outOfBudget() ? "encoding budget exhausted"
-                                 : "circuit size cap exceeded";
+        if (wasCancelled()) {
+          R.Note = "cancelled";
+        } else if (outOfBudget()) {
+          R.Note = "encoding budget exhausted";
+        } else {
+          R.Failure = sandbox::FailureKind::OutOfMemory;
+          R.Note = memExceeded()
+                       ? "encoding memory ceiling exceeded (" +
+                             std::to_string(C.estimatedBytes() >> 10) +
+                             " KiB estimated, limit " +
+                             std::to_string(Opts.MemLimitBytes >> 10) +
+                             " KiB)"
+                       : "circuit size cap exceeded";
+        }
         R.CircuitNodes = C.numNodes();
         R.Seconds = Watch.elapsedSeconds();
         recordEncodeStats(EncodeWatch.elapsedSeconds());
@@ -187,12 +199,24 @@ private:
 
   bool wasCancelled() const { return Opts.Ctx && Opts.Ctx->cancelled(); }
 
+  /// Byte ceiling (configurable) exceeded by the circuit's footprint.
+  bool memExceeded() const {
+    return Opts.MemLimitBytes > 0 &&
+           C.estimatedBytes() > Opts.MemLimitBytes;
+  }
+
+  /// Any construction-side resource cap exceeded (nodes or bytes).
+  bool resourceExceeded() const {
+    return C.numNodes() > MaxCircuitNodes || memExceeded();
+  }
+
   void recordEncodeStats(double Seconds) {
     if (!Opts.Ctx)
       return;
     StatsRegistry &St = Opts.Ctx->stats();
     St.addSeconds("sat.encode.seconds", Seconds);
     St.addCount("sat.encode.nodes", C.numNodes());
+    St.addCount("sat.encode.bytes", C.estimatedBytes());
   }
 
   void recordSolveStats(double Seconds) {
@@ -206,7 +230,7 @@ private:
 
   void walkBody(const std::vector<Stmt> &Body, ProcState &S) {
     for (const Stmt &St : Body) {
-      if (C.numNodes() > MaxCircuitNodes || outOfBudget()) {
+      if (resourceExceeded() || outOfBudget()) {
         // Kill the walk cheaply; run() reports Unknown.
         S.Guard = C.falseRef();
         return;

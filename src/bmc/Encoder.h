@@ -30,6 +30,7 @@
 
 #include "ir/Program.h"
 #include "support/CheckContext.h"
+#include "support/Sandbox.h"
 #include "support/Timer.h"
 
 #include <cstdint>
@@ -50,6 +51,11 @@ struct BmcOptions {
   double BudgetSeconds = 0;
   /// Conflict budget for the solver (0 = unlimited).
   uint64_t MaxConflicts = 0;
+  /// Memory ceiling for the encoding in bytes (0 = unlimited): when the
+  /// circuit's estimated footprint exceeds it, encoding aborts cleanly
+  /// with Unknown + FailureKind::OutOfMemory instead of risking a
+  /// std::bad_alloc death on huge instances.
+  uint64_t MemLimitBytes = 0;
   /// Optional engine context. Its *remaining* deadline governs every
   /// stage (unroll, encode, solve) — unlike BudgetSeconds, whose clock
   /// starts inside checkBmc — its token cancels them cooperatively, and
@@ -65,6 +71,10 @@ enum class BmcStatus {
 
 struct BmcResult {
   BmcStatus Status = BmcStatus::Unknown;
+  /// For Unknown: the classified resource fault, when there is one
+  /// (OutOfMemory for the byte/node ceilings); None for cooperative
+  /// causes (deadline, cancellation, solver conflict budget).
+  sandbox::FailureKind Failure = sandbox::FailureKind::None;
   double Seconds = 0;
   uint64_t CircuitNodes = 0;
   uint64_t SolverConflicts = 0;

@@ -77,6 +77,19 @@ public:
 
   uint32_t numNodes() const { return static_cast<uint32_t>(Nodes.size()); }
 
+  /// Estimated heap footprint of the circuit in bytes: node storage plus
+  /// the amortized per-node cost of the structural-hashing cache and the
+  /// solver-variable map. The encoder polls this against its configured
+  /// memory ceiling so a blowing-up encoding aborts cleanly with an
+  /// OutOfMemory classification instead of dying on std::bad_alloc.
+  uint64_t estimatedBytes() const {
+    // sizeof(Node) for the vector slot; ~48 bytes for an unordered_map
+    // bucket+node of the AndCache; 4 for SatVarOf. Capacity (not size)
+    // would be tighter but size keeps the estimate monotone per mkAnd.
+    constexpr uint64_t BytesPerNode = sizeof(Node) + 48 + sizeof(uint32_t);
+    return static_cast<uint64_t>(Nodes.size()) * BytesPerNode;
+  }
+
   /// Returns (lazily creating) the SAT literal representing \p R in
   /// \p Solver, Tseitin-encoding the node's cone on first use. The circuit
   /// remembers the solver mapping, so all calls must use the same solver.

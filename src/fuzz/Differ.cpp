@@ -159,6 +159,7 @@ CheckOutcome checkRaVsTranslation(const Program &P, const DiffOptions &O,
   VO.CasAllowance = casAllowanceFor(P, O);
   VO.Backend = driver::BackendKind::Explicit;
   VO.MaxStates = O.MaxStates;
+  VO.MemLimitBytes = O.MemLimitBytes;
   CheckContext Child = Ctx.child();
   driver::VbmcResult VR = driver::checkProgram(P, VO, Child);
   if (VR.Outcome == driver::Verdict::Unknown)
@@ -186,6 +187,7 @@ CheckOutcome checkExplicitVsSat(const Program &P, const DiffOptions &O,
   VO.L = O.L;
   VO.CasAllowance = casAllowanceFor(P, O);
   VO.MaxStates = O.MaxStates;
+  VO.MemLimitBytes = O.MemLimitBytes;
 
   VO.Backend = driver::BackendKind::Explicit;
   CheckContext C1 = Ctx.child();

@@ -74,6 +74,10 @@ struct DiffOptions {
   uint32_t CasAllowance = 0;
   /// Per-engine state/execution cap; exceeding it Skips the check.
   uint64_t MaxStates = 400000;
+  /// Memory ceiling in bytes threaded into the vbmc driver's attempts
+  /// (the BMC encoder aborts cleanly at this ceiling and the driver may
+  /// retry at reduced bounds). 0 = unlimited.
+  uint64_t MemLimitBytes = 0;
   /// Enable the translation-based checks (ra-vs-translation and
   /// explicit-vs-sat). These explore the instrumented program's SC state
   /// space — orders of magnitude above the direct semantic checks.

@@ -12,8 +12,14 @@
 // whose state space explodes is reported as a timeout and skipped, never
 // hangs the campaign.
 //
+// With --isolate every per-program differential runs in a forked,
+// resource-governed child: a program that crashes or OOMs its check
+// process becomes a minimized, "crash"-tagged corpus witness and the
+// campaign keeps going.
+//
 // Exit codes: 0 = no discrepancies, 1 = discrepancy (or replay failure),
-// 2 = usage error.
+// 2 = usage error, 3 = internal failure (out of memory / escaped
+// exception in the harness itself).
 //
 //===----------------------------------------------------------------------===//
 
@@ -24,8 +30,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <iostream>
+#include <new>
 
 using namespace vbmc;
 
@@ -54,6 +62,11 @@ void printUsage() {
       "  --corpus DIR       write minimized reproducers into DIR\n"
       "  --no-minimize      report raw discrepancies unminimized\n"
       "  --no-sat           skip the SAT cross-check\n"
+      "  --isolate          fork each per-program check; a crashing or\n"
+      "                     OOMing program becomes a 'crash'-tagged\n"
+      "                     witness instead of killing the campaign\n"
+      "  --mem-limit-mb N   per-program memory ceiling (with --isolate\n"
+      "                     also the child's address-space headroom)\n"
       "  --quiet            summary line only\n"
       "replay (positional args are files or directories of .ra files):\n"
       "  each file is cross-checked and any '// expect: safe|unsafe k=N'\n"
@@ -63,11 +76,9 @@ void printUsage() {
       "FILE");
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
+int runMain(int Argc, char **Argv) {
   CommandLine CL = CommandLine::parse(
-      Argc, Argv, {"no-minimize", "no-sat", "quiet", "help"});
+      Argc, Argv, {"no-minimize", "no-sat", "isolate", "quiet", "help"});
   if (CL.hasFlag("help")) {
     printUsage();
     return 0;
@@ -79,7 +90,8 @@ int main(int Argc, char **Argv) {
        "stmts", "vars", "cas-permille", "fence-permille", "nondet-permille",
        "loop-permille", "assert-permille", "max-value", "heavy-every",
        "max-states", "cas-allowance", "corpus", "index", "repro",
-       "inject-fault", "no-minimize", "no-sat", "quiet", "help"});
+       "inject-fault", "no-minimize", "no-sat", "isolate", "mem-limit-mb",
+       "quiet", "help"});
   if (!Unknown.empty()) {
     for (const std::string &F : Unknown)
       std::fprintf(stderr, "vbmc-fuzz: unknown flag '--%s'\n", F.c_str());
@@ -100,6 +112,8 @@ int main(int Argc, char **Argv) {
   O.HeavyEvery = static_cast<uint64_t>(CL.getInt("heavy-every", 1));
   O.CorpusDir = CL.getString("corpus");
   O.Minimize = !CL.hasFlag("no-minimize");
+  O.Isolate = CL.hasFlag("isolate");
+  O.MemLimitMb = static_cast<uint64_t>(CL.getInt("mem-limit-mb", 0));
 
   O.Gen.NumProcs = static_cast<uint32_t>(CL.getInt("procs", 2));
   O.Gen.StmtsPerProc = static_cast<uint32_t>(CL.getInt("stmts", 3));
@@ -171,4 +185,21 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(R.Checked),
                 R.Discrepancies.size());
   return R.clean() ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // The campaign harness itself must never die with an unexplained abort:
+  // anything a sandboxed child can't absorb is classified here.
+  try {
+    return runMain(Argc, Argv);
+  } catch (const std::bad_alloc &) {
+    std::fprintf(stderr, "vbmc-fuzz: error: out of memory (failure=oom)\n");
+    return 3;
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "vbmc-fuzz: error: internal failure: %s\n",
+                 E.what());
+    return 3;
+  }
 }

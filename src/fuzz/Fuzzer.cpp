@@ -4,11 +4,13 @@
 
 #include "ir/Parser.h"
 #include "ir/Printer.h"
+#include "support/Sandbox.h"
 #include "vbmc/Vbmc.h"
 
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -26,6 +28,222 @@ DiffOptions lightweightOnly(DiffOptions O) {
   O.WithTranslation = false;
   O.WithSat = false;
   return O;
+}
+
+//===----------------------------------------------------------------------===//
+// Sandboxed ("governed") differentials
+//
+// With FuzzOptions::Isolate, every per-program differential runs in a
+// forked child under an RLIMIT_AS headroom and the program's budget slice
+// (support/Sandbox.h). The child serializes its DiffReport and stats over
+// the report pipe in the same line-based protocol the driver's Isolation
+// layer uses; the parent classifies child death instead of sharing it.
+//===----------------------------------------------------------------------===//
+
+std::string escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string unescape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (size_t I = 0; I < S.size(); ++I) {
+    if (S[I] != '\\' || I + 1 == S.size()) {
+      Out += S[I];
+      continue;
+    }
+    char N = S[++I];
+    Out += N == 't' ? '\t' : N == 'n' ? '\n' : N;
+  }
+  return Out;
+}
+
+std::vector<std::string> splitTabs(const std::string &Line) {
+  std::vector<std::string> Fields;
+  size_t Pos = 0;
+  while (Pos <= Line.size()) {
+    size_t Tab = Line.find('\t', Pos);
+    if (Tab == std::string::npos)
+      Tab = Line.size();
+    Fields.push_back(Line.substr(Pos, Tab - Pos));
+    Pos = Tab + 1;
+  }
+  return Fields;
+}
+
+CheckStatus statusFromName(const std::string &Name) {
+  if (Name == "pass")
+    return CheckStatus::Pass;
+  if (Name == "MISMATCH")
+    return CheckStatus::Mismatch;
+  if (Name == "timeout")
+    return CheckStatus::Timeout;
+  return CheckStatus::Skipped;
+}
+
+std::string serializeDiffReport(const DiffReport &Rep,
+                                const StatsRegistry &Stats) {
+  std::ostringstream Out;
+  Out.precision(17);
+  for (const CheckOutcome &O : Rep.Outcomes)
+    Out << "outcome\t" << escape(O.Check) << "\t" << checkStatusName(O.Status)
+        << "\t" << escape(O.Detail) << "\n";
+  for (const StatsRegistry::Entry &E : Stats.snapshot()) {
+    if (E.IsCounter)
+      Out << "stat.count\t" << escape(E.Name) << "\t" << E.Count << "\n";
+    else
+      Out << "stat.seconds\t" << escape(E.Name) << "\t" << E.Seconds << "\n";
+  }
+  Out << "end\t\n"; // Truncation sentinel: a cut-off pipe lacks it.
+  return Out.str();
+}
+
+/// Parses a child report; \p Truncated is set when the end sentinel is
+/// missing (child died mid-write — treat as a crash, not a clean report).
+DiffReport parseDiffReport(const std::string &Payload,
+                           StatsRegistry *MergeInto, bool &Truncated) {
+  DiffReport Rep;
+  std::istringstream In(Payload);
+  std::string Line;
+  bool SawEnd = false;
+  while (std::getline(In, Line)) {
+    std::vector<std::string> F = splitTabs(Line);
+    if (F.empty())
+      continue;
+    auto Field = [&](size_t I) -> std::string {
+      return I < F.size() ? F[I] : std::string();
+    };
+    if (F[0] == "outcome") {
+      CheckOutcome O;
+      O.Check = unescape(Field(1));
+      O.Status = statusFromName(Field(2));
+      O.Detail = unescape(Field(3));
+      Rep.Outcomes.push_back(std::move(O));
+    } else if (F[0] == "stat.count" && MergeInto) {
+      MergeInto->addCount(unescape(Field(1)),
+                          std::strtoull(Field(2).c_str(), nullptr, 10));
+    } else if (F[0] == "stat.seconds" && MergeInto) {
+      MergeInto->addSeconds(unescape(Field(1)),
+                            std::strtod(Field(2).c_str(), nullptr));
+    } else if (F[0] == "end") {
+      SawEnd = true;
+    }
+  }
+  Truncated = !SawEnd;
+  return Rep;
+}
+
+/// Result of one resource-governed per-program differential.
+struct GovernedDiff {
+  DiffReport Rep;
+  /// Non-None when the check process died (signal / OOM / bad exit);
+  /// the campaign turns this into a "crash"-tagged witness.
+  sandbox::FailureKind Fatal = sandbox::FailureKind::None;
+  std::string FatalDetail;
+  /// The campaign deadline (not the per-program slice) cut the run.
+  bool Cancelled = false;
+};
+
+bool isolating(const FuzzOptions &O) {
+  return O.Isolate && sandbox::available();
+}
+
+/// Runs the differential for one program, forked and resource-governed
+/// when \p O.Isolate is set. \p CampaignStats (may be null) receives the
+/// surviving child's stats and the parent-side sandbox.* counters.
+GovernedDiff runGovernedDifferential(const Program &P, const DiffOptions &DO,
+                                     const FuzzOptions &O,
+                                     const CheckContext &Ctx,
+                                     StatsRegistry *CampaignStats) {
+  GovernedDiff G;
+  if (!isolating(O)) {
+    G.Rep = runDifferential(P, DO, Ctx);
+    return G;
+  }
+
+  sandbox::SandboxOptions SO;
+  SO.MemLimitBytes = O.MemLimitMb << 20;
+  double Remaining = Ctx.deadline().remainingSeconds();
+  if (Remaining != std::numeric_limits<double>::infinity())
+    SO.TimeoutSeconds = Remaining > 0 ? Remaining : 1e-3;
+  SO.Cancel = &Ctx.token();
+
+  sandbox::SandboxOutcome Out = sandbox::runInSandbox(SO, [&]() {
+    // Fresh context: recording into the inherited parent registry would
+    // be invisible across the fork, and serializing it would double-count
+    // the parent's pre-fork entries.
+    CheckContext ChildCtx(SO.TimeoutSeconds);
+    DiffReport Rep = runDifferential(P, DO, ChildCtx);
+    return serializeDiffReport(Rep, ChildCtx.stats());
+  });
+
+  if (Out.Completed) {
+    bool Truncated = false;
+    G.Rep = parseDiffReport(Out.Payload, CampaignStats, Truncated);
+    if (Truncated) {
+      G.Fatal = sandbox::FailureKind::ExitFailure;
+      G.FatalDetail = "truncated report from check process";
+      if (CampaignStats)
+        CampaignStats->addCount("sandbox.crash");
+    }
+    return G;
+  }
+  if (Out.Cancelled) {
+    G.Cancelled = true;
+    return G;
+  }
+  if (Out.Failure == sandbox::FailureKind::Timeout) {
+    // The program's own budget slice expired — same bucket as an
+    // in-process check deadline, not a bug witness.
+    CheckOutcome TO;
+    TO.Check = "sandbox";
+    TO.Status = CheckStatus::Timeout;
+    TO.Detail = Out.Detail;
+    G.Rep.Outcomes.push_back(std::move(TO));
+    if (CampaignStats)
+      CampaignStats->addCount("sandbox.timeout");
+    return G;
+  }
+  G.Fatal = Out.Failure;
+  G.FatalDetail = Out.Detail;
+  if (CampaignStats)
+    CampaignStats->addCount(Out.Failure == sandbox::FailureKind::OutOfMemory
+                                ? "sandbox.oom"
+                                : "sandbox.crash");
+  return G;
+}
+
+/// Minimizer predicate for crash witnesses: the candidate must still kill
+/// a fresh sandboxed check process the same way (minimizing a SIGSEGV
+/// into an OOM would change the bug being witnessed).
+bool stillDies(const Program &Candidate, const DiffOptions &DO,
+               const FuzzOptions &O, sandbox::FailureKind Kind) {
+  sandbox::SandboxOptions SO;
+  SO.MemLimitBytes = O.MemLimitMb << 20;
+  SO.TimeoutSeconds = O.PerProgramSeconds;
+  sandbox::SandboxOutcome Out = sandbox::runInSandbox(SO, [&]() {
+    CheckContext Ctx(SO.TimeoutSeconds);
+    runDifferential(Candidate, DO, Ctx);
+    return std::string("ok");
+  });
+  return !Out.Completed && Out.Failure == Kind;
 }
 
 void tallyReport(const DiffReport &Rep, FuzzCampaignResult &R) {
@@ -67,7 +285,10 @@ FuzzCampaignResult vbmc::fuzz::runFuzzCampaign(const FuzzOptions &O,
                                                std::ostream *Log) {
   FuzzCampaignResult R;
   CheckContext Campaign(O.BudgetSeconds);
-  DiffOptions Light = lightweightOnly(O.Diff);
+  DiffOptions Heavy = O.Diff;
+  if (O.MemLimitMb && Heavy.MemLimitBytes == 0)
+    Heavy.MemLimitBytes = O.MemLimitMb << 20;
+  DiffOptions Light = lightweightOnly(Heavy);
 
   for (uint64_t I = 0;; ++I) {
     if (O.Count && I >= O.Count)
@@ -79,36 +300,58 @@ FuzzCampaignResult vbmc::fuzz::runFuzzCampaign(const FuzzOptions &O,
 
     Rng Rand = Rng::derived(O.Seed, I);
     Program P = makeRandomProgram(Rand, O.Gen);
-    bool Heavy = O.HeavyEvery <= 1 || (I % O.HeavyEvery) == 0;
-    const DiffOptions &DO = Heavy ? O.Diff : Light;
+    bool IsHeavy = O.HeavyEvery <= 1 || (I % O.HeavyEvery) == 0;
+    const DiffOptions &DO = IsHeavy ? Heavy : Light;
 
     CheckContext PerProg = Campaign.childWithBudget(O.PerProgramSeconds);
-    DiffReport Rep = runDifferential(P, DO, PerProg);
+    GovernedDiff G =
+        runGovernedDifferential(P, DO, O, PerProg, &Campaign.stats());
+    if (G.Cancelled)
+      break; // Campaign deadline, not this program's fault.
     ++R.Checked;
-    tallyReport(Rep, R);
-    if (!Rep.mismatch()) {
+    tallyReport(G.Rep, R);
+
+    FuzzDiscrepancy D;
+    D.Seed = O.Seed;
+    D.Index = I;
+    Program Witness = P;
+
+    if (sandbox::isFailure(G.Fatal)) {
+      // The check process died under this program: that is a bug in the
+      // engine regardless of what any backend would have answered. Tag
+      // the witness "crash" and carry the classified kind in the detail.
+      D.Check = "crash";
+      D.Detail = std::string(sandbox::failureKindName(G.Fatal)) +
+                 (G.FatalDetail.empty() ? "" : ": " + G.FatalDetail);
+      if (O.Minimize) {
+        CheckContext MinCtx(O.MinimizeSeconds);
+        MinimizeResult MR = minimizeProgram(
+            P,
+            [&](const Program &Cand) {
+              return stillDies(Cand, DO, O, G.Fatal);
+            },
+            MinCtx);
+        Witness = std::move(MR.Prog);
+      }
+    } else if (G.Rep.mismatch()) {
+      const CheckOutcome &Bad = *G.Rep.firstMismatch();
+      D.Check = Bad.Check;
+      D.Detail = Bad.Detail;
+      if (O.Minimize) {
+        CheckContext MinCtx(O.MinimizeSeconds);
+        MinimizeResult MR = minimizeProgram(
+            P,
+            [&](const Program &Cand) {
+              return stillFails(Cand, Bad.Check, DO, O.PerProgramSeconds);
+            },
+            MinCtx);
+        Witness = std::move(MR.Prog);
+      }
+    } else {
       ++R.Passed;
       continue;
     }
 
-    const CheckOutcome &Bad = *Rep.firstMismatch();
-    FuzzDiscrepancy D;
-    D.Seed = O.Seed;
-    D.Index = I;
-    D.Check = Bad.Check;
-    D.Detail = Bad.Detail;
-
-    Program Witness = P;
-    if (O.Minimize) {
-      CheckContext MinCtx(O.MinimizeSeconds);
-      MinimizeResult MR = minimizeProgram(
-          P,
-          [&](const Program &Cand) {
-            return stillFails(Cand, Bad.Check, DO, O.PerProgramSeconds);
-          },
-          MinCtx);
-      Witness = std::move(MR.Prog);
-    }
     D.ProgramText = printProgram(Witness);
     D.Stmts = countStmts(Witness);
 
@@ -116,7 +359,7 @@ FuzzCampaignResult vbmc::fuzz::runFuzzCampaign(const FuzzOptions &O,
       std::error_code Ec;
       std::filesystem::create_directories(O.CorpusDir, Ec);
       std::string Name = "repro_seed" + std::to_string(O.Seed) + "_i" +
-                         std::to_string(I) + "_" + Bad.Check + ".ra";
+                         std::to_string(I) + "_" + D.Check + ".ra";
       std::filesystem::path Path = std::filesystem::path(O.CorpusDir) / Name;
       std::ofstream File(Path);
       File << reproducerText(D, O);
@@ -130,10 +373,21 @@ FuzzCampaignResult vbmc::fuzz::runFuzzCampaign(const FuzzOptions &O,
     R.Discrepancies.push_back(std::move(D));
   }
 
-  if (Log)
+  const StatsRegistry &St = Campaign.stats();
+  R.SandboxCrashes = St.count("sandbox.crash");
+  R.SandboxOoms = St.count("sandbox.oom");
+  R.SandboxTimeouts = St.count("sandbox.timeout");
+  R.SandboxRetries = St.count("sandbox.retries");
+
+  if (Log) {
     *Log << "fuzz: " << R.Checked << " programs, " << R.Passed << " passed, "
          << R.Discrepancies.size() << " discrepancies, " << R.Skipped
          << " checks skipped, " << R.Timeouts << " checks timed out\n";
+    if (isolating(O))
+      *Log << "sandbox: " << R.SandboxCrashes << " crashes, " << R.SandboxOoms
+           << " oom kills, " << R.SandboxTimeouts << " timeouts, "
+           << R.SandboxRetries << " reduced-bound retries\n";
+  }
   return R;
 }
 
@@ -222,13 +476,23 @@ ReplayFileResult replayFile(const std::string &Path, const FuzzOptions &O) {
   }
   Program P = Parsed.take();
 
-  // Cross-backend agreement on the file itself.
+  // Cross-backend agreement on the file itself, sandboxed when isolating
+  // so a crashing corpus file fails its own replay instead of killing the
+  // whole replay run.
   DiffOptions DO = O.Diff;
+  if (O.MemLimitMb && DO.MemLimitBytes == 0)
+    DO.MemLimitBytes = O.MemLimitMb << 20;
   if (Dir.NoSat)
     DO.WithSat = false;
   CheckContext Ctx(O.PerProgramSeconds > 0 ? O.PerProgramSeconds * 10 : 0);
-  DiffReport Rep = runDifferential(P, DO, Ctx);
-  if (const CheckOutcome *Bad = Rep.firstMismatch()) {
+  GovernedDiff G = runGovernedDifferential(P, DO, O, Ctx, nullptr);
+  if (sandbox::isFailure(G.Fatal)) {
+    R.Message = std::string("check process died: ") +
+                sandbox::failureKindName(G.Fatal) +
+                (G.FatalDetail.empty() ? "" : " (" + G.FatalDetail + ")");
+    return R;
+  }
+  if (const CheckOutcome *Bad = G.Rep.firstMismatch()) {
     R.Message = Bad->Check + ": " + Bad->Detail;
     return R;
   }
@@ -244,6 +508,8 @@ ReplayFileResult replayFile(const std::string &Path, const FuzzOptions &O) {
     VO.L = DO.L;
     VO.CasAllowance = casAllowanceFor(P, DO);
     VO.MaxStates = DO.MaxStates;
+    VO.Isolate = O.Isolate;
+    VO.MemLimitBytes = DO.MemLimitBytes;
     bool Confirmed = false;
     std::string LastInconclusive;
     for (driver::BackendKind B :

@@ -46,6 +46,13 @@ struct FuzzOptions {
   std::string CorpusDir;
   /// Minimize discrepancies before reporting.
   bool Minimize = true;
+  /// Run every per-program differential in a forked, resource-governed
+  /// child (support/Sandbox.h): a check that segfaults or eats all RAM
+  /// becomes a crash-classified, minimized corpus witness and the
+  /// campaign continues instead of dying with it.
+  bool Isolate = false;
+  /// Sandbox memory headroom per program in MB (0 = unlimited).
+  uint64_t MemLimitMb = 0;
 
   GeneratorOptions Gen;
   DiffOptions Diff;
@@ -54,6 +61,9 @@ struct FuzzOptions {
 struct FuzzDiscrepancy {
   uint64_t Seed = 0;
   uint64_t Index = 0;
+  /// The differential check that mismatched, or "crash" when the program
+  /// killed its sandboxed check process (Detail then carries the
+  /// classified FailureKind: signal, oom, nonzero exit).
   std::string Check;
   std::string Detail;
   /// Minimized (or original, when minimization is off) reproducer text.
@@ -69,6 +79,14 @@ struct FuzzCampaignResult {
   uint64_t Passed = 0;    ///< Programs with no mismatched check.
   uint64_t Skipped = 0;   ///< Check outcomes skipped (inapplicable/caps).
   uint64_t Timeouts = 0;  ///< Check outcomes cut by the deadline.
+  /// Sandbox verdicts (only populated when FuzzOptions::Isolate): child
+  /// processes that died on a signal / ran out of memory / were killed on
+  /// their budget slice, plus reduced-bound retries inside surviving
+  /// children. Mirrored from the campaign's sandbox.* stats counters.
+  uint64_t SandboxCrashes = 0;
+  uint64_t SandboxOoms = 0;
+  uint64_t SandboxTimeouts = 0;
+  uint64_t SandboxRetries = 0;
   std::vector<FuzzDiscrepancy> Discrepancies;
 
   bool clean() const { return Discrepancies.empty(); }

@@ -24,6 +24,22 @@
 ///                              behaviour that needs a message (direct RA
 ///                              exploration disagrees at K >= 1).
 ///
+/// A second family validates the fault-tolerance layer (support/Sandbox.h)
+/// instead of the differential harness: these kill or bloat the backend
+/// stage so tests can prove the sandbox classifies every death mode.
+///
+///   backend.crash              the backend stage raises SIGSEGV before
+///                              solving;
+///   backend.hog-memory         the backend stage allocates until the
+///                              memory ceiling (or a 256 MB safety cap)
+///                              kills it with bad_alloc;
+///   backend.crash-odd          backend.crash, but only when the
+///                              translated program has an odd statement
+///                              count;
+///   backend.hog-even           backend.hog-memory for even counts — one
+///                              fixed-seed fuzz campaign then contains
+///                              both death modes deterministically.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VBMC_SUPPORT_FAULTINJECTION_H

@@ -1,0 +1,300 @@
+//===- Sandbox.cpp - fork/rlimit/pipe process isolation ---------*- C++ -*-===//
+
+#include "support/Sandbox.h"
+
+#include "support/CheckContext.h"
+#include "support/Timer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <new>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VBMC_SANDBOX_POSIX 1
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define VBMC_SANDBOX_POSIX 0
+#endif
+
+using namespace vbmc;
+using namespace vbmc::sandbox;
+
+const char *vbmc::sandbox::failureKindName(FailureKind K) {
+  switch (K) {
+  case FailureKind::None:
+    return "none";
+  case FailureKind::Crash:
+    return "crash";
+  case FailureKind::OutOfMemory:
+    return "oom";
+  case FailureKind::Timeout:
+    return "timeout";
+  case FailureKind::ExitFailure:
+    return "exit";
+  }
+  return "?";
+}
+
+#if VBMC_SANDBOX_POSIX
+
+namespace {
+
+/// Current address-space size in bytes (VmSize), or 0 when unreadable.
+/// The child's RLIMIT_AS is set to baseline + headroom: the fork inherits
+/// every parent mapping, so an absolute cap could be dead on arrival.
+uint64_t addressSpaceBytes() {
+  FILE *F = std::fopen("/proc/self/statm", "r");
+  if (!F)
+    return 0;
+  unsigned long long Pages = 0;
+  int Got = std::fscanf(F, "%llu", &Pages);
+  std::fclose(F);
+  if (Got != 1)
+    return 0;
+  return static_cast<uint64_t>(Pages) *
+         static_cast<uint64_t>(sysconf(_SC_PAGESIZE));
+}
+
+void applyChildLimits(const SandboxOptions &O, uint64_t Baseline) {
+  // No core dumps: a SIGSEGV child should die fast, not write gigabytes.
+  struct rlimit NoCore = {0, 0};
+  setrlimit(RLIMIT_CORE, &NoCore);
+
+  if (O.MemLimitBytes > 0) {
+    rlim_t Cap = static_cast<rlim_t>(Baseline + O.MemLimitBytes);
+    struct rlimit Mem = {Cap, Cap};
+    setrlimit(RLIMIT_AS, &Mem);
+  }
+
+  if (O.TimeoutSeconds > 0 && std::isfinite(O.TimeoutSeconds)) {
+    // Kernel backstop for a child spinning while the parent itself is
+    // wedged; the parent's SIGKILL on the wall clock is the primary
+    // enforcement, so leave generous slack.
+    rlim_t Cpu = static_cast<rlim_t>(O.TimeoutSeconds) + 10;
+    struct rlimit Lim = {Cpu, Cpu + 5};
+    setrlimit(RLIMIT_CPU, &Lim);
+  }
+}
+
+/// Writes the whole payload; the parent drains concurrently, so a write
+/// larger than the pipe buffer makes progress instead of deadlocking.
+void writeAll(int Fd, const std::string &S) {
+  size_t Off = 0;
+  while (Off < S.size()) {
+    ssize_t N = write(Fd, S.data() + Off, S.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      _exit(ExceptionExitCode); // Parent vanished; nothing to report to.
+    }
+    Off += static_cast<size_t>(N);
+  }
+}
+
+[[noreturn]] void runChild(int WriteFd, const SandboxOptions &O,
+                           uint64_t Baseline,
+                           const std::function<std::string()> &Fn) {
+  // An allocation failure anywhere (including inside operator new's
+  // internals, where no bad_alloc propagates) becomes the OOM exit code.
+  std::set_new_handler([] { _exit(OomExitCode); });
+  applyChildLimits(O, Baseline);
+  std::string Payload;
+  try {
+    Payload = Fn();
+  } catch (const std::bad_alloc &) {
+    _exit(OomExitCode);
+  } catch (...) {
+    _exit(ExceptionExitCode);
+  }
+  writeAll(WriteFd, Payload);
+  close(WriteFd);
+  _exit(0);
+}
+
+void drainPipe(int Fd, std::string &Out) {
+  char Buf[16384];
+  for (;;) {
+    ssize_t N = read(Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      Out.append(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return; // EOF, EAGAIN, or error: nothing more right now.
+  }
+}
+
+SandboxOutcome classify(int Status, bool KilledForTimeout,
+                        bool KilledForCancel, const SandboxOptions &O,
+                        std::string Payload) {
+  SandboxOutcome R;
+  R.Payload = std::move(Payload);
+  if (WIFEXITED(Status)) {
+    R.ExitCode = WEXITSTATUS(Status);
+    if (R.ExitCode == 0) {
+      R.Completed = true;
+      return R;
+    }
+    if (R.ExitCode == OomExitCode) {
+      R.Failure = FailureKind::OutOfMemory;
+      R.Detail = "out of memory";
+      if (O.MemLimitBytes > 0)
+        R.Detail +=
+            " (mem limit " + std::to_string(O.MemLimitBytes >> 20) + " MB)";
+      return R;
+    }
+    if (R.ExitCode == ExceptionExitCode) {
+      R.Failure = FailureKind::Crash;
+      R.Detail = "uncaught exception in child";
+      return R;
+    }
+    R.Failure = FailureKind::ExitFailure;
+    R.Detail = "child exited with code " + std::to_string(R.ExitCode) +
+               " without a report";
+    return R;
+  }
+  if (WIFSIGNALED(Status)) {
+    R.Signal = WTERMSIG(Status);
+    if (KilledForCancel) {
+      R.Cancelled = true;
+      R.Detail = "cancelled";
+      return R;
+    }
+    if (KilledForTimeout || R.Signal == SIGXCPU) {
+      R.Failure = FailureKind::Timeout;
+      R.Detail = "killed on budget";
+      if (O.TimeoutSeconds > 0 && std::isfinite(O.TimeoutSeconds)) {
+        char Buf[64];
+        std::snprintf(Buf, sizeof(Buf), " (%.1fs)", O.TimeoutSeconds);
+        R.Detail += Buf;
+      }
+      return R;
+    }
+    if (R.Signal == SIGKILL) {
+      // We did not send it and no deadline passed: almost certainly the
+      // kernel OOM killer.
+      R.Failure = FailureKind::OutOfMemory;
+      R.Detail = "killed by SIGKILL (likely the kernel OOM killer)";
+      return R;
+    }
+    R.Failure = FailureKind::Crash;
+    const char *Name = strsignal(R.Signal);
+    R.Detail = "child killed by signal " + std::to_string(R.Signal) +
+               (Name ? std::string(" (") + Name + ")" : "");
+    return R;
+  }
+  R.Failure = FailureKind::ExitFailure;
+  R.Detail = "child ended in an unrecognized wait status";
+  return R;
+}
+
+} // namespace
+
+bool vbmc::sandbox::available() { return true; }
+
+SandboxOutcome
+vbmc::sandbox::runInSandbox(const SandboxOptions &O,
+                            const std::function<std::string()> &Fn) {
+  int Fds[2];
+  if (pipe(Fds) != 0) {
+    SandboxOutcome R;
+    R.Failure = FailureKind::ExitFailure;
+    R.Detail = std::string("pipe: ") + std::strerror(errno);
+    return R;
+  }
+
+  // Buffered stdio would otherwise be flushed twice (once per process).
+  std::fflush(nullptr);
+  uint64_t Baseline = addressSpaceBytes();
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    close(Fds[0]);
+    close(Fds[1]);
+    SandboxOutcome R;
+    R.Failure = FailureKind::ExitFailure;
+    R.Detail = std::string("fork: ") + std::strerror(errno);
+    return R;
+  }
+  if (Pid == 0) {
+    close(Fds[0]);
+    runChild(Fds[1], O, Baseline, Fn); // Never returns.
+  }
+
+  close(Fds[1]);
+  fcntl(Fds[0], F_SETFL, O_NONBLOCK);
+
+  const bool HasDeadline =
+      O.TimeoutSeconds > 0 && std::isfinite(O.TimeoutSeconds);
+  Deadline DL = HasDeadline ? Deadline(O.TimeoutSeconds) : Deadline();
+  std::string Payload;
+  bool KilledForTimeout = false;
+  bool KilledForCancel = false;
+  int Status = 0;
+  for (;;) {
+    drainPipe(Fds[0], Payload);
+    pid_t Done = waitpid(Pid, &Status, WNOHANG);
+    if (Done == Pid)
+      break;
+    if (Done < 0 && errno != EINTR) {
+      // Should not happen; treat as a protocol failure.
+      Status = 0;
+      break;
+    }
+    bool Cancel = O.Cancel && O.Cancel->cancelled();
+    if ((HasDeadline && DL.expired()) || Cancel) {
+      KilledForTimeout = !Cancel;
+      KilledForCancel = Cancel;
+      kill(Pid, SIGKILL);
+      // Blocking wait: SIGKILL cannot be ignored, the child is gone soon.
+      while (waitpid(Pid, &Status, 0) < 0 && errno == EINTR) {
+      }
+      break;
+    }
+    struct timespec Ts = {0, 1000000}; // 1 ms.
+    nanosleep(&Ts, nullptr);
+  }
+  drainPipe(Fds[0], Payload);
+  close(Fds[0]);
+
+  SandboxOutcome R =
+      classify(Status, KilledForTimeout, KilledForCancel, O,
+               std::move(Payload));
+  if (R.Completed && R.Payload.empty()) {
+    // Exit 0 with no report is a broken protocol, not a success.
+    R.Completed = false;
+    R.Failure = FailureKind::ExitFailure;
+    R.Detail = "child exited cleanly but delivered no report";
+  }
+  return R;
+}
+
+#else // !VBMC_SANDBOX_POSIX
+
+bool vbmc::sandbox::available() { return false; }
+
+SandboxOutcome
+vbmc::sandbox::runInSandbox(const SandboxOptions &,
+                            const std::function<std::string()> &Fn) {
+  // No process isolation on this platform: run unprotected so callers
+  // still get an answer (they can check available() to warn).
+  SandboxOutcome R;
+  try {
+    R.Payload = Fn();
+    R.Completed = true;
+  } catch (const std::bad_alloc &) {
+    R.Failure = FailureKind::OutOfMemory;
+    R.Detail = "out of memory (in-process)";
+  } catch (const std::exception &E) {
+    R.Failure = FailureKind::ExitFailure;
+    R.Detail = std::string("exception: ") + E.what();
+  }
+  return R;
+}
+
+#endif // VBMC_SANDBOX_POSIX

@@ -1,0 +1,120 @@
+//===- Sandbox.h - process-isolated execution with resource caps -*- C++ -*-===//
+///
+/// \file
+/// Fault tolerance for verification attempts: run a unit of work in a
+/// forked child under kernel-enforced resource limits, and classify every
+/// way the child can die instead of letting it take the engine down.
+///
+/// The protocol is deliberately small:
+///
+///  * the parent forks; the child applies `setrlimit` caps (RLIMIT_AS for
+///    address space above the fork-time baseline, RLIMIT_CPU as a kernel
+///    backstop for runaway computation), runs the payload function, writes
+///    the payload's string result into a pipe, and `_exit(0)`s;
+///  * the parent drains the pipe while polling `waitpid`, enforcing the
+///    wall-clock deadline (and the caller's CancellationToken) itself with
+///    SIGKILL — a child stuck in a non-cooperative loop cannot outlive its
+///    budget;
+///  * child death is classified into a FailureKind: a signal is a Crash,
+///    an allocation failure (rlimit hit, `std::bad_alloc`, new-handler) is
+///    OutOfMemory, a parent- or kernel-delivered kill on budget is a
+///    Timeout, and a nonzero exit without a report is an ExitFailure.
+///
+/// FailureKind is also the engine-wide taxonomy for *in-process* graceful
+/// degradation: the BMC encoder reports OutOfMemory when its circuit
+/// exceeds the configured byte ceiling, without any fork involved. The
+/// verdict layer carries the kind alongside Verdict::Unknown so callers
+/// (CLI exit codes, the fuzz campaign, retry policies) can branch on the
+/// cause of an inconclusive answer.
+///
+/// Not related to src/vbmc/Robustness.h, which checks RA-vs-SC
+/// *robustness* of the input program — an unfortunate terminology clash;
+/// this file is about the tool surviving its own backends.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_SUPPORT_SANDBOX_H
+#define VBMC_SUPPORT_SANDBOX_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace vbmc {
+class CancellationToken;
+}
+
+namespace vbmc::sandbox {
+
+/// Why a verification attempt failed to produce a verdict. Carried next
+/// to Verdict::Unknown; None means the Unknown has a cooperative cause
+/// (deadline polled, state cap, cancellation) rather than a fault.
+enum class FailureKind {
+  None,        ///< No fault: completed, or cooperatively inconclusive.
+  Crash,       ///< Died on a signal (SIGSEGV, SIGABRT, ...).
+  OutOfMemory, ///< Allocation failure: rlimit, bad_alloc, byte ceiling.
+  Timeout,     ///< Killed on the wall-clock or CPU budget without a verdict.
+  ExitFailure, ///< Exited with a nonzero code and no report.
+};
+
+/// Short stable name: "none", "crash", "oom", "timeout", "exit".
+const char *failureKindName(FailureKind K);
+
+/// True for the kinds that count as faults (everything but None).
+inline bool isFailure(FailureKind K) { return K != FailureKind::None; }
+
+struct SandboxOptions {
+  /// Address-space headroom for the child in bytes, enforced with
+  /// RLIMIT_AS *above* the fork-time baseline (the child inherits the
+  /// parent's mappings, so an absolute cap below the baseline would fail
+  /// every allocation instantly). 0 = unlimited.
+  uint64_t MemLimitBytes = 0;
+  /// Wall-clock budget enforced by the parent via SIGKILL; also installs
+  /// an RLIMIT_CPU backstop slightly above it. 0/infinity = unlimited.
+  double TimeoutSeconds = 0;
+  /// Optional cooperative cancellation: when the token reports cancelled
+  /// the parent kills the child and the outcome is marked Cancelled (not
+  /// a failure).
+  const CancellationToken *Cancel = nullptr;
+};
+
+struct SandboxOutcome {
+  /// True when the child ran to completion and delivered its report.
+  bool Completed = false;
+  /// True when the child was killed because Options.Cancel fired; never
+  /// counted as a failure.
+  bool Cancelled = false;
+  FailureKind Failure = FailureKind::None;
+  /// Child exit code when it exited; the killing signal when it died on
+  /// one (see Failure for the classification).
+  int ExitCode = 0;
+  int Signal = 0;
+  /// The payload function's return value (complete only when Completed).
+  std::string Payload;
+  /// One-line human-readable classification of the failure.
+  std::string Detail;
+};
+
+/// True when process isolation is supported on this platform (POSIX).
+/// When false, runInSandbox degrades to calling the payload in-process
+/// with no resource governance (callers keep working, unprotected).
+bool available();
+
+/// Runs \p Fn in a forked child under \p O and returns the classified
+/// outcome. The payload's string return value is piped back verbatim;
+/// payloads larger than the pipe capacity are streamed (the parent drains
+/// while waiting). Thread-safe: concurrent callers fork independent
+/// children. The child never returns from this function.
+SandboxOutcome runInSandbox(const SandboxOptions &O,
+                            const std::function<std::string()> &Fn);
+
+/// Exit code the child uses to report an allocation failure (so the
+/// parent can classify OutOfMemory even when bad_alloc was thrown before
+/// the rlimit was reached). Also documented in docs/FAULT_TOLERANCE.md.
+constexpr int OomExitCode = 77;
+/// Exit code for a payload that died on an uncaught non-OOM exception.
+constexpr int ExceptionExitCode = 78;
+
+} // namespace vbmc::sandbox
+
+#endif // VBMC_SUPPORT_SANDBOX_H

@@ -1,0 +1,237 @@
+//===- Isolation.cpp - sandboxed verification attempts ----------*- C++ -*-===//
+//
+// One verification attempt = one forked child. The child re-runs the
+// plain in-process pipeline (translate + backend) under a fresh context
+// carrying the parent's *remaining* deadline, then writes a line-based
+// serialization of the VbmcResult and its StatsRegistry snapshot to the
+// report pipe. The parent classifies every way the child can die — exit
+// code, signal, OOM, wall-clock kill — into the FailureKind carried on
+// the result, so no backend misbehaviour can take the engine down.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vbmc/Isolation.h"
+
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+using namespace vbmc;
+using namespace vbmc::driver;
+
+namespace {
+
+/// Tab/newline-safe field escaping for the pipe protocol.
+std::string escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string unescape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (size_t I = 0; I < S.size(); ++I) {
+    if (S[I] != '\\' || I + 1 == S.size()) {
+      Out += S[I];
+      continue;
+    }
+    char N = S[++I];
+    Out += N == 't' ? '\t' : N == 'n' ? '\n' : N;
+  }
+  return Out;
+}
+
+std::vector<std::string> splitTabs(const std::string &Line) {
+  std::vector<std::string> Fields;
+  size_t Pos = 0;
+  while (Pos <= Line.size()) {
+    size_t Tab = Line.find('\t', Pos);
+    if (Tab == std::string::npos)
+      Tab = Line.size();
+    Fields.push_back(Line.substr(Pos, Tab - Pos));
+    Pos = Tab + 1;
+  }
+  return Fields;
+}
+
+sandbox::FailureKind failureFromName(const std::string &Name) {
+  using sandbox::FailureKind;
+  if (Name == "crash")
+    return FailureKind::Crash;
+  if (Name == "oom")
+    return FailureKind::OutOfMemory;
+  if (Name == "timeout")
+    return FailureKind::Timeout;
+  if (Name == "exit")
+    return FailureKind::ExitFailure;
+  return FailureKind::None;
+}
+
+Verdict verdictFromName(const std::string &Name) {
+  if (Name == "safe")
+    return Verdict::Safe;
+  if (Name == "unsafe")
+    return Verdict::Unsafe;
+  return Verdict::Unknown;
+}
+
+const char *verdictKey(Verdict V) {
+  switch (V) {
+  case Verdict::Safe:
+    return "safe";
+  case Verdict::Unsafe:
+    return "unsafe";
+  case Verdict::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+} // namespace
+
+std::string vbmc::driver::serializeResult(const VbmcResult &R,
+                                          const StatsRegistry &Stats) {
+  std::ostringstream Out;
+  Out.precision(17);
+  Out << "verdict\t" << verdictKey(R.Outcome) << "\n";
+  Out << "failure\t" << sandbox::failureKindName(R.Failure) << "\n";
+  Out << "seconds\t" << R.Seconds << "\n";
+  Out << "translate\t" << R.TranslateSeconds << "\n";
+  Out << "work\t" << R.Work << "\n";
+  if (!R.Note.empty())
+    Out << "note\t" << escape(R.Note) << "\n";
+  if (!R.WinningBackend.empty())
+    Out << "winner\t" << escape(R.WinningBackend) << "\n";
+  for (const sc::ScTraceStep &S : R.Trace)
+    Out << "trace\t" << S.Proc << "\t" << S.Instr << "\n";
+  for (const StatsRegistry::Entry &E : Stats.snapshot()) {
+    if (E.IsCounter)
+      Out << "stat.count\t" << escape(E.Name) << "\t" << E.Count << "\n";
+    else
+      Out << "stat.seconds\t" << escape(E.Name) << "\t" << E.Seconds << "\n";
+  }
+  Out << "end\t\n"; // Truncation sentinel: a cut-off pipe lacks it.
+  return Out.str();
+}
+
+VbmcResult vbmc::driver::parseResult(const std::string &Payload,
+                                     StatsRegistry *MergeInto) {
+  VbmcResult R;
+  std::istringstream In(Payload);
+  std::string Line;
+  bool SawEnd = false;
+  while (std::getline(In, Line)) {
+    std::vector<std::string> F = splitTabs(Line);
+    if (F.empty())
+      continue;
+    const std::string &Key = F[0];
+    auto Field = [&](size_t I) -> std::string {
+      return I < F.size() ? F[I] : std::string();
+    };
+    if (Key == "verdict")
+      R.Outcome = verdictFromName(Field(1));
+    else if (Key == "failure")
+      R.Failure = failureFromName(Field(1));
+    else if (Key == "seconds")
+      R.Seconds = std::strtod(Field(1).c_str(), nullptr);
+    else if (Key == "translate")
+      R.TranslateSeconds = std::strtod(Field(1).c_str(), nullptr);
+    else if (Key == "work")
+      R.Work = std::strtoull(Field(1).c_str(), nullptr, 10);
+    else if (Key == "note")
+      R.Note = unescape(Field(1));
+    else if (Key == "winner")
+      R.WinningBackend = unescape(Field(1));
+    else if (Key == "trace")
+      R.Trace.push_back(sc::ScTraceStep{
+          static_cast<uint32_t>(std::strtoul(Field(1).c_str(), nullptr, 10)),
+          static_cast<uint32_t>(
+              std::strtoul(Field(2).c_str(), nullptr, 10))});
+    else if (Key == "stat.count" && MergeInto)
+      MergeInto->addCount(unescape(Field(1)),
+                          std::strtoull(Field(2).c_str(), nullptr, 10));
+    else if (Key == "stat.seconds" && MergeInto)
+      MergeInto->addSeconds(unescape(Field(1)),
+                            std::strtod(Field(2).c_str(), nullptr));
+    else if (Key == "end")
+      SawEnd = true;
+  }
+  if (!SawEnd) {
+    // A truncated report means the child died mid-write; do not trust
+    // whatever prefix made it through.
+    VbmcResult Bad;
+    Bad.Outcome = Verdict::Unknown;
+    Bad.Failure = sandbox::FailureKind::ExitFailure;
+    Bad.Note = "truncated report from sandboxed child";
+    return Bad;
+  }
+  return R;
+}
+
+VbmcResult vbmc::driver::runIsolatedAttempt(const ir::Program &P,
+                                            const VbmcOptions &Opts,
+                                            CheckContext &Ctx) {
+  sandbox::SandboxOptions SO;
+  SO.MemLimitBytes = Opts.MemLimitBytes;
+  double Remaining = Ctx.deadline().remainingSeconds();
+  if (Remaining != std::numeric_limits<double>::infinity())
+    SO.TimeoutSeconds = Remaining > 0 ? Remaining : 1e-3;
+  SO.Cancel = &Ctx.token();
+
+  sandbox::SandboxOutcome Out = sandbox::runInSandbox(SO, [&]() {
+    // The child owns a fresh context: the parent registry object exists
+    // in the forked address space, but recording there would be invisible
+    // to the parent, and serializing it would double-count the parent's
+    // pre-fork entries.
+    CheckContext ChildCtx(SO.TimeoutSeconds);
+    VbmcOptions ChildOpts = Opts;
+    ChildOpts.Isolate = false;      // No recursive sandboxing.
+    ChildOpts.RetryReduced = false; // The parent owns the retry policy.
+    ChildOpts.BudgetSeconds = 0;    // ChildCtx's deadline governs.
+    VbmcResult R = checkProgram(P, ChildOpts, ChildCtx);
+    return serializeResult(R, ChildCtx.stats());
+  });
+
+  if (Out.Completed)
+    return parseResult(Out.Payload, &Ctx.stats());
+
+  VbmcResult R;
+  R.Outcome = Verdict::Unknown;
+  if (Out.Cancelled) {
+    R.Note = "cancelled";
+    return R;
+  }
+  R.Failure = Out.Failure;
+  R.Note = Out.Detail;
+  switch (Out.Failure) {
+  case sandbox::FailureKind::Crash:
+  case sandbox::FailureKind::ExitFailure:
+    Ctx.stats().addCount("sandbox.crash");
+    break;
+  case sandbox::FailureKind::OutOfMemory:
+    Ctx.stats().addCount("sandbox.oom");
+    break;
+  case sandbox::FailureKind::Timeout:
+    Ctx.stats().addCount("sandbox.timeout");
+    break;
+  case sandbox::FailureKind::None:
+    break;
+  }
+  return R;
+}

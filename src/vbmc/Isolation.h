@@ -1,0 +1,38 @@
+//===- Isolation.h - sandboxed verification attempts ------------*- C++ -*-===//
+///
+/// \file
+/// Internal glue between the driver pipeline (Vbmc.cpp) and the process
+/// sandbox (support/Sandbox.h): runs one checkProgram attempt in a forked
+/// child, serializes the VbmcResult and the child's StatsRegistry over the
+/// report pipe, and classifies child death into the result's FailureKind.
+/// Not part of the public driver API — the public entry points dispatch
+/// here when VbmcOptions::Isolate is set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_VBMC_ISOLATION_H
+#define VBMC_VBMC_ISOLATION_H
+
+#include "vbmc/Vbmc.h"
+
+#include <string>
+
+namespace vbmc::driver {
+
+/// Runs one single-backend checkProgram attempt for \p P in a sandboxed
+/// child (fresh address space, RLIMIT_AS headroom of Opts.MemLimitBytes,
+/// wall-clock kill at the context's remaining deadline). The child runs
+/// with Isolate and RetryReduced off — the parent owns the retry policy.
+/// On completion the child's stats are merged into \p Ctx's registry; on
+/// child death the result is Unknown with the classified FailureKind and
+/// the matching sandbox.{crash,oom,timeout} counter is bumped.
+VbmcResult runIsolatedAttempt(const ir::Program &P, const VbmcOptions &Opts,
+                              CheckContext &Ctx);
+
+/// Wire format helpers (exposed for SandboxTest round-trip coverage).
+std::string serializeResult(const VbmcResult &R, const StatsRegistry &Stats);
+VbmcResult parseResult(const std::string &Payload, StatsRegistry *MergeInto);
+
+} // namespace vbmc::driver
+
+#endif // VBMC_VBMC_ISOLATION_H

@@ -72,6 +72,11 @@ VbmcResult vbmc::driver::runSatBackend(const ir::Program &Translated,
   BO.ContextBound = ContextBound;
   BO.ValueWidth = pickWidth(Translated);
   BO.BudgetSeconds = Opts.BudgetSeconds;
+  // The engine's memory ceiling caps the encoding in-process: a circuit
+  // outgrowing it aborts with a classified OutOfMemory (no bad_alloc),
+  // which the driver's retry policy may then re-attempt at reduced
+  // bounds.
+  BO.MemLimitBytes = Opts.MemLimitBytes;
   // The context's shared deadline already accounts for time spent in
   // earlier stages (translation), so encoding and solving see only the
   // *remaining* budget; its token makes the whole pipeline cancellable.
@@ -92,6 +97,7 @@ VbmcResult vbmc::driver::runSatBackend(const ir::Program &Translated,
     break;
   case bmc::BmcStatus::Unknown:
     R.Outcome = Verdict::Unknown;
+    R.Failure = BR.Failure;
     R.Note = BR.Note;
     break;
   }

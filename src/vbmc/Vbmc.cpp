@@ -15,16 +15,72 @@
 
 #include "ir/Flatten.h"
 #include "ir/Parser.h"
+#include "support/FaultInjection.h"
 #include "support/Timer.h"
+#include "vbmc/Isolation.h"
 
 #include <algorithm>
+#include <csignal>
+#include <cstring>
+#include <memory>
 #include <mutex>
+#include <new>
 #include <thread>
 
 using namespace vbmc;
 using namespace vbmc::driver;
 
 namespace {
+
+//===----------------------------------------------------------------------===//
+// Fault injection (fault-tolerance self-tests)
+//===----------------------------------------------------------------------===//
+
+uint64_t countBodyStmts(const std::vector<ir::Stmt> &Body) {
+  uint64_t N = 0;
+  for (const ir::Stmt &S : Body)
+    N += 1 + countBodyStmts(S.Then) + countBodyStmts(S.Else);
+  return N;
+}
+
+uint64_t countProgramStmts(const ir::Program &P) {
+  uint64_t N = 0;
+  for (const ir::Process &Proc : P.Procs)
+    N += countBodyStmts(Proc.Body);
+  return N;
+}
+
+/// Deliberate allocation storm: grabs and touches memory until either a
+/// real std::bad_alloc (under an RLIMIT_AS sandbox) or a synthetic one at
+/// a 256 MB cap (so the un-sandboxed self-test cannot eat the machine).
+void allocationStorm() {
+  constexpr size_t Chunk = 1 << 20;
+  constexpr size_t Cap = 256u << 20;
+  std::vector<std::unique_ptr<char[]>> Hog;
+  for (size_t Total = 0;; Total += Chunk) {
+    if (Total >= Cap)
+      throw std::bad_alloc();
+    Hog.push_back(std::make_unique<char[]>(Chunk));
+    std::memset(Hog.back().get(), 0xAB, Chunk);
+  }
+}
+
+/// Backend-death faults for validating the sandbox: `backend.crash` dies
+/// on SIGSEGV, `backend.hog-memory` storms the allocator. The `-odd` /
+/// `-even` variants key deterministically on the translated program's
+/// statement-count parity, so one fixed-seed fuzz campaign exercises both
+/// death modes across its program stream.
+void maybeInjectBackendFault(const ir::Program &Translated) {
+  if (fault::enabled("backend.crash"))
+    raise(SIGSEGV);
+  if (fault::enabled("backend.hog-memory"))
+    allocationStorm();
+  uint64_t Parity = countProgramStmts(Translated) % 2;
+  if (fault::enabled("backend.crash-odd") && Parity == 1)
+    raise(SIGSEGV);
+  if (fault::enabled("backend.hog-even") && Parity == 0)
+    allocationStorm();
+}
 
 VbmcResult runExplicit(const ir::Program &Translated, uint32_t ContextBound,
                        const VbmcOptions &Opts, const CheckContext &Ctx) {
@@ -78,19 +134,29 @@ translation::TranslationResult translateStage(const ir::Program &P,
   return translation::translateToSc(P, TO, &Ctx.stats());
 }
 
-/// Stage 2: decide the translated program with the selected backend.
+/// Stage 2: decide the translated program with the selected backend. A
+/// std::bad_alloc from either backend degrades to a classified
+/// OutOfMemory Unknown instead of std::terminate — the in-process half of
+/// the fault-tolerance story (the sandbox is the out-of-process half).
 VbmcResult backendStage(const translation::TranslationResult &TR,
                         const VbmcOptions &Opts, const CheckContext &Ctx) {
-  return Opts.Backend == BackendKind::Explicit
-             ? runExplicit(TR.Prog, TR.ContextBound, Opts, Ctx)
-             : runSatBackend(TR.Prog, TR.ContextBound, Opts, &Ctx);
+  try {
+    maybeInjectBackendFault(TR.Prog);
+    return Opts.Backend == BackendKind::Explicit
+               ? runExplicit(TR.Prog, TR.ContextBound, Opts, Ctx)
+               : runSatBackend(TR.Prog, TR.ContextBound, Opts, &Ctx);
+  } catch (const std::bad_alloc &) {
+    VbmcResult R;
+    R.Outcome = Verdict::Unknown;
+    R.Failure = sandbox::FailureKind::OutOfMemory;
+    R.Note = "backend allocation failure (std::bad_alloc)";
+    return R;
+  }
 }
 
-} // namespace
-
-VbmcResult vbmc::driver::checkProgram(const ir::Program &P,
-                                      const VbmcOptions &Opts,
-                                      CheckContext &Ctx) {
+/// One in-process attempt: translate, then decide.
+VbmcResult runOnceInProcess(const ir::Program &P, const VbmcOptions &Opts,
+                            CheckContext &Ctx) {
   Timer TranslateWatch;
   translation::TranslationResult TR = translateStage(P, Opts, Ctx);
   double TranslateSeconds = TranslateWatch.elapsedSeconds();
@@ -109,6 +175,59 @@ VbmcResult vbmc::driver::checkProgram(const ir::Program &P,
   return R;
 }
 
+/// One attempt, sandboxed when the options ask for it (and the platform
+/// can): process isolation turns any backend death into a classified
+/// Unknown on the parent side.
+VbmcResult runOnce(const ir::Program &P, const VbmcOptions &Opts,
+                   CheckContext &Ctx) {
+  if (Opts.Isolate && sandbox::available())
+    return runIsolatedAttempt(P, Opts, Ctx);
+  return runOnceInProcess(P, Opts, Ctx);
+}
+
+/// The retry policy's reduced bounds: halve the unroll bound and the
+/// view-switch budget. The resulting verdict covers a smaller execution
+/// subset, which the driver flags in the result note.
+VbmcOptions reducedBounds(const VbmcOptions &O) {
+  VbmcOptions R = O;
+  R.L = std::max<uint32_t>(1, O.L / 2);
+  R.K = O.K / 2;
+  return R;
+}
+
+bool boundsReducible(const VbmcOptions &O) { return O.L > 1 || O.K > 0; }
+
+} // namespace
+
+VbmcResult vbmc::driver::checkProgram(const ir::Program &P,
+                                      const VbmcOptions &Opts,
+                                      CheckContext &Ctx) {
+  VbmcResult R = runOnce(P, Opts, Ctx);
+  // Retry policy: one re-attempt at reduced bounds after a memory kill
+  // (sandboxed or the encoder's in-process byte ceiling), while there is
+  // still budget to spend. Smaller bounds mean a smaller encoding / state
+  // space, so the retry frequently rescues a verdict the first attempt
+  // could not afford.
+  if (R.Failure == sandbox::FailureKind::OutOfMemory && Opts.RetryReduced &&
+      boundsReducible(Opts) && !Ctx.interrupted()) {
+    Ctx.stats().addCount("sandbox.retries");
+    VbmcOptions Red = reducedBounds(Opts);
+    Red.RetryReduced = false;
+    std::string Bounds =
+        "k=" + std::to_string(Red.K) + " l=" + std::to_string(Red.L);
+    VbmcResult Retry = runOnce(P, Red, Ctx);
+    if (Retry.Outcome != Verdict::Unknown) {
+      Retry.Note += (Retry.Note.empty() ? "" : "; ") +
+                    ("recovered at reduced bounds " + Bounds +
+                     " after memory kill");
+      return Retry;
+    }
+    R.Note += "; retry at reduced bounds " + Bounds + " also inconclusive" +
+              (Retry.Note.empty() ? "" : ": " + Retry.Note);
+  }
+  return R;
+}
+
 VbmcResult vbmc::driver::checkProgram(const ir::Program &P,
                                       const VbmcOptions &Opts) {
   CheckContext Ctx(Opts.BudgetSeconds);
@@ -118,16 +237,24 @@ VbmcResult vbmc::driver::checkProgram(const ir::Program &P,
 VbmcResult vbmc::driver::checkPortfolio(const ir::Program &P,
                                         const VbmcOptions &Opts,
                                         CheckContext &Ctx) {
-  // Translate once; both backends decide the same SC program.
-  Timer TranslateWatch;
-  translation::TranslationResult TR = translateStage(P, Opts, Ctx);
-  double TranslateSeconds = TranslateWatch.elapsedSeconds();
-  if (Ctx.interrupted()) {
-    VbmcResult R;
-    R.Outcome = Verdict::Unknown;
-    R.Note = Ctx.cancelled() ? "cancelled" : "budget exhausted";
-    R.TranslateSeconds = TranslateSeconds;
-    return R;
+  // With isolation, every arm runs the full pipeline in its own sandbox
+  // (translation included): a crashing or memory-eating arm dies alone
+  // and no longer loses the race for everyone. Without it, translate
+  // once and race the backends on the shared SC program.
+  const bool Isolated = Opts.Isolate && sandbox::available();
+  translation::TranslationResult TR;
+  double TranslateSeconds = 0;
+  if (!Isolated) {
+    Timer TranslateWatch;
+    TR = translateStage(P, Opts, Ctx);
+    TranslateSeconds = TranslateWatch.elapsedSeconds();
+    if (Ctx.interrupted()) {
+      VbmcResult R;
+      R.Outcome = Verdict::Unknown;
+      R.Note = Ctx.cancelled() ? "cancelled" : "budget exhausted";
+      R.TranslateSeconds = TranslateSeconds;
+      return R;
+    }
   }
 
   constexpr int NumRacers = 2;
@@ -140,7 +267,11 @@ VbmcResult vbmc::driver::checkPortfolio(const ir::Program &P,
   auto race = [&](int Idx, BackendKind B) {
     VbmcOptions O = Opts;
     O.Backend = B;
-    VbmcResult R = backendStage(TR, O, Racers[Idx]);
+    // checkProgram (not backendStage) in the isolated case: the child
+    // re-translates inside its own address space, and the arm keeps the
+    // per-arm retry policy.
+    VbmcResult R = Isolated ? checkProgram(P, O, Racers[Idx])
+                            : backendStage(TR, O, Racers[Idx]);
     std::lock_guard<std::mutex> L(M);
     Results[Idx] = std::move(R);
     // First conclusive verdict wins; cancel the other racer right away
@@ -163,15 +294,22 @@ VbmcResult vbmc::driver::checkPortfolio(const ir::Program &P,
     R = std::move(Results[Winner]);
     R.WinningBackend = Names[Winner];
   } else {
-    // Both inconclusive: surface both notes.
+    // Both inconclusive: surface both notes, and carry the first
+    // classified fault so exit codes / retry policies see it.
     R.Outcome = Verdict::Unknown;
     R.Seconds = std::max(Results[0].Seconds, Results[1].Seconds);
+    for (const VbmcResult &Arm : Results)
+      if (Arm.failed()) {
+        R.Failure = Arm.Failure;
+        break;
+      }
     R.Note = "portfolio inconclusive: explicit: " +
              (Results[0].Note.empty() ? "unknown" : Results[0].Note) +
              "; sat: " +
              (Results[1].Note.empty() ? "unknown" : Results[1].Note);
   }
-  R.TranslateSeconds = TranslateSeconds;
+  if (!Isolated)
+    R.TranslateSeconds = TranslateSeconds;
   return R;
 }
 
@@ -199,13 +337,16 @@ IterativeResult vbmc::driver::checkIterative(const ir::Program &P,
     // whatever wall clock is left; no per-iteration budget arithmetic.
     Opts.BudgetSeconds = 0;
     VbmcResult Step = checkProgram(P, Opts, Ctx);
-    R.Iterations.push_back(IterationReport{K, Step.Outcome, Step.Seconds});
+    R.Iterations.push_back(
+        IterationReport{K, Step.Outcome, Step.Failure, Step.Seconds});
     if (Step.unsafe()) {
       R.Outcome = Verdict::Unsafe;
       R.KUsed = K;
       R.Seconds = Watch.elapsedSeconds();
       return R;
     }
+    if (Step.failed() && !sandbox::isFailure(R.Failure))
+      R.Failure = Step.Failure;
     SawInconclusive |= Step.Outcome == Verdict::Unknown;
   }
   R.Outcome = SawInconclusive ? Verdict::Unknown : Verdict::Safe;
@@ -260,7 +401,7 @@ IterativeResult vbmc::driver::checkParallelDeepening(
       Opts.BudgetSeconds = 0; // The shared deadline governs.
       VbmcResult Step = checkProgram(P, Opts, KCtx[K]);
       std::lock_guard<std::mutex> L(M);
-      Reports[K] = IterationReport{K, Step.Outcome, Step.Seconds};
+      Reports[K] = IterationReport{K, Step.Outcome, Step.Failure, Step.Seconds};
       Ran[K] = 1;
       if (Step.unsafe() && K < BestUnsafe) {
         BestUnsafe = K;
@@ -291,6 +432,9 @@ IterativeResult vbmc::driver::checkParallelDeepening(
     R.Iterations.push_back(Reports[K]);
     SawInconclusive |= Reports[K].Outcome == Verdict::Unknown;
     AllSafe &= Reports[K].Outcome == Verdict::Safe;
+    if (sandbox::isFailure(Reports[K].Failure) &&
+        !sandbox::isFailure(R.Failure))
+      R.Failure = Reports[K].Failure;
   }
   if (BestUnsafe != ~0u) {
     R.Outcome = Verdict::Unsafe;

@@ -24,6 +24,7 @@
 #include "ir/Program.h"
 #include "sc/ScExplorer.h"
 #include "support/CheckContext.h"
+#include "support/Sandbox.h"
 #include "translation/Translate.h"
 
 #include <string>
@@ -49,6 +50,21 @@ struct VbmcOptions {
   double BudgetSeconds = 0;
   /// State cap for the explicit backend (0 = unlimited).
   uint64_t MaxStates = 0;
+  /// Run each verification attempt in a forked, resource-governed child
+  /// process (support/Sandbox.h): a crashing or memory-eating backend
+  /// yields a classified Unknown instead of killing the engine. Portfolio
+  /// and parallel-deepening arms each get their own sandbox.
+  bool Isolate = false;
+  /// Memory ceiling in bytes (0 = unlimited). Doubles as the sandbox's
+  /// RLIMIT_AS headroom (when Isolate) and as the BMC encoder's in-process
+  /// byte ceiling (always), so a huge encoding degrades to a classified
+  /// OutOfMemory rather than a std::bad_alloc abort.
+  uint64_t MemLimitBytes = 0;
+  /// Retry policy: re-attempt a memory-killed run once at reduced bounds
+  /// (L and K halved) before reporting the classified failure. The
+  /// reduced-bound verdict is flagged in the result note, since it covers
+  /// a smaller execution subset.
+  bool RetryReduced = true;
 };
 
 enum class Verdict {
@@ -59,6 +75,12 @@ enum class Verdict {
 
 struct VbmcResult {
   Verdict Outcome = Verdict::Unknown;
+  /// For Unknown: why no verdict exists, when the cause is a classified
+  /// fault (backend crash, OOM kill, sandbox timeout) rather than a
+  /// cooperative stop (deadline poll, state cap, cancellation — those
+  /// keep FailureKind::None and explain themselves in Note). Drives the
+  /// CLI's exit code 3 and the fuzz campaign's crash witnesses.
+  sandbox::FailureKind Failure = sandbox::FailureKind::None;
   /// Backend time as reported by the backend itself. Translation time is
   /// *not* folded in here; it is recorded separately (TranslateSeconds
   /// and the translate.seconds stage in the context's StatsRegistry).
@@ -77,6 +99,8 @@ struct VbmcResult {
 
   bool unsafe() const { return Outcome == Verdict::Unsafe; }
   bool safe() const { return Outcome == Verdict::Safe; }
+  /// True when the Unknown was caused by a classified fault.
+  bool failed() const { return sandbox::isFailure(Failure); }
 };
 
 /// Runs the staged VBMC pipeline (translate, then one backend) on \p P,
@@ -115,6 +139,7 @@ VbmcResult runSatBackend(const ir::Program &Translated, uint32_t ContextBound,
 struct IterationReport {
   uint32_t K = 0;
   Verdict Outcome = Verdict::Unknown;
+  sandbox::FailureKind Failure = sandbox::FailureKind::None;
   double Seconds = 0;
 };
 
@@ -122,6 +147,9 @@ struct IterativeResult {
   /// Final verdict: Unsafe as soon as some K finds a bug; Safe when every
   /// K up to MaxK was exhausted conclusively; Unknown otherwise.
   Verdict Outcome = Verdict::Unknown;
+  /// When Unknown: the first classified fault hit across the iterations
+  /// (None when every inconclusive step was cooperative).
+  sandbox::FailureKind Failure = sandbox::FailureKind::None;
   uint32_t KUsed = 0;
   std::vector<IterationReport> Iterations;
   double Seconds = 0;

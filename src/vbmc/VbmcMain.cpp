@@ -15,21 +15,36 @@
 // query is answered by the exact RA explorer instead (no translation), for
 // cross-checking on small inputs.
 //
+// Exit codes: 0 = SAFE, 1 = UNSAFE, 2 = UNKNOWN (inconclusive within
+// bounds/budget), 3 = resource or crash failure (a backend died, ran out
+// of memory, or was killed on its budget — see --isolate), 4 = usage or
+// input error.
+//
 //===----------------------------------------------------------------------===//
 
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ra/RaExplorer.h"
 #include "support/Cli.h"
+#include "support/Sandbox.h"
 #include "vbmc/Vbmc.h"
 
 #include <cstdio>
+#include <exception>
 #include <fstream>
+#include <new>
 #include <sstream>
 
 using namespace vbmc;
 
 namespace {
+
+// Documented exit codes (asserted by SandboxTest and CI).
+constexpr int ExitSafe = 0;
+constexpr int ExitUnsafe = 1;
+constexpr int ExitUnknown = 2;
+constexpr int ExitResourceFailure = 3;
+constexpr int ExitUsage = 4;
 
 void printUsage() {
   std::puts(
@@ -45,13 +60,23 @@ void printUsage() {
       "                     (iterative semantics: smallest buggy K wins)\n"
       "  --budget SECONDS   wall-clock budget (default unlimited)\n"
       "  --max-states N     explicit-backend state cap\n"
+      "  --isolate          run each verification attempt in a forked,\n"
+      "                     resource-governed child; a crashing backend\n"
+      "                     yields a classified UNKNOWN, not a dead tool\n"
+      "  --mem-limit-mb N   memory ceiling per attempt (encoder aborts\n"
+      "                     cleanly at it; with --isolate also the child's\n"
+      "                     address-space headroom). 0 = unlimited\n"
+      "  --no-retry         disable the one retry at reduced bounds after\n"
+      "                     a memory-killed attempt\n"
       "  --stats            dump per-stage counters/timers after the "
       "verdict\n"
       "  --dump-translation print [[P]]_K and exit\n"
       "  --show-trace       print the counterexample schedule when UNSAFE\n"
       "  --ra-reference     answer with the exact RA explorer instead\n"
       "  --iterative        deepen K = 0.. until a bug is found\n"
-      "  --max-k N          deepening-mode ceiling (default 6)");
+      "  --max-k N          deepening-mode ceiling (default 6)\n"
+      "exit codes: 0 safe, 1 unsafe, 2 unknown, 3 resource/crash failure,\n"
+      "            4 usage error");
 }
 
 const char *verdictName(driver::Verdict V) {
@@ -66,35 +91,36 @@ const char *verdictName(driver::Verdict V) {
   return "UNKNOWN";
 }
 
-int verdictExitCode(driver::Verdict V) {
+/// Maps a verdict plus its failure classification to the documented exit
+/// code: inconclusive-within-bounds (2) and died-on-resources (3) are
+/// different outcomes for scripting.
+int verdictExitCode(driver::Verdict V, sandbox::FailureKind F) {
   switch (V) {
   case driver::Verdict::Unsafe:
-    return 1;
+    return ExitUnsafe;
   case driver::Verdict::Safe:
-    return 0;
+    return ExitSafe;
   case driver::Verdict::Unknown:
-    return 3;
+    return sandbox::isFailure(F) ? ExitResourceFailure : ExitUnknown;
   }
-  return 3;
+  return ExitUnknown;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
+int runMain(int Argc, char **Argv) {
   CommandLine CL = CommandLine::parse(
       Argc, Argv,
       {"portfolio", "stats", "dump-translation", "show-trace",
-       "ra-reference", "iterative", "help"});
+       "ra-reference", "iterative", "isolate", "no-retry", "help"});
   if (CL.hasFlag("help") || CL.positionals().size() != 1) {
     printUsage();
-    return CL.hasFlag("help") ? 0 : 2;
+    return CL.hasFlag("help") ? 0 : ExitUsage;
   }
 
   std::ifstream File(CL.positionals()[0]);
   if (!File) {
     std::fprintf(stderr, "vbmc: cannot open '%s'\n",
                  CL.positionals()[0].c_str());
-    return 2;
+    return ExitUsage;
   }
   std::stringstream Buffer;
   Buffer << File.rdbuf();
@@ -103,7 +129,7 @@ int main(int Argc, char **Argv) {
   if (!Parsed) {
     std::fprintf(stderr, "vbmc: %s: %s\n", CL.positionals()[0].c_str(),
                  Parsed.error().str().c_str());
-    return 2;
+    return ExitUsage;
   }
 
   driver::VbmcOptions Opts;
@@ -114,6 +140,14 @@ int main(int Argc, char **Argv) {
   Opts.Backend = CL.getString("backend", "explicit") == "sat"
                      ? driver::BackendKind::Sat
                      : driver::BackendKind::Explicit;
+  Opts.Isolate = CL.hasFlag("isolate");
+  Opts.MemLimitBytes =
+      static_cast<uint64_t>(CL.getInt("mem-limit-mb", 0)) << 20;
+  Opts.RetryReduced = !CL.hasFlag("no-retry");
+  if (Opts.Isolate && !sandbox::available())
+    std::fprintf(stderr,
+                 "vbmc: --isolate unsupported on this platform; running "
+                 "in-process\n");
 
   if (CL.hasFlag("dump-translation")) {
     translation::TranslationOptions TO;
@@ -136,11 +170,11 @@ int main(int Argc, char **Argv) {
                   R.SwitchesUsed, R.Seconds);
       if (CL.hasFlag("show-trace"))
         std::fputs(ra::formatTrace(FP, R.Trace).c_str(), stdout);
-      return 1;
+      return ExitUnsafe;
     }
     std::printf("%s (ra-reference, %.3fs)\n",
                 R.exhausted() ? "SAFE" : "UNKNOWN", R.Seconds);
-    return R.exhausted() ? 0 : 3;
+    return R.exhausted() ? ExitSafe : ExitUnknown;
   }
 
   // The engine-wide context: one deadline for every stage, a cancellation
@@ -176,11 +210,15 @@ int main(int Argc, char **Argv) {
       std::printf("SAFE (k <= %u, %.3fs total)\n", IR.KUsed, IR.Seconds);
       break;
     case driver::Verdict::Unknown:
-      std::printf("UNKNOWN (%.3fs total)\n", IR.Seconds);
+      if (sandbox::isFailure(IR.Failure))
+        std::printf("UNKNOWN (failure=%s, %.3fs total)\n",
+                    sandbox::failureKindName(IR.Failure), IR.Seconds);
+      else
+        std::printf("UNKNOWN (%.3fs total)\n", IR.Seconds);
       break;
     }
     dumpStats();
-    return verdictExitCode(IR.Outcome);
+    return verdictExitCode(IR.Outcome, IR.Failure);
   }
 
   const bool Portfolio = CL.hasFlag("portfolio");
@@ -190,6 +228,8 @@ int main(int Argc, char **Argv) {
   std::string Detail = "k=" + std::to_string(Opts.K);
   if (!R.WinningBackend.empty())
     Detail += ", " + R.WinningBackend + " backend won";
+  if (R.failed())
+    Detail += std::string(", failure=") + sandbox::failureKindName(R.Failure);
   if (R.Outcome == driver::Verdict::Unknown && !R.Note.empty())
     Detail += ", " + R.Note;
   std::printf("%s (%s, %.3fs)\n", verdictName(R.Outcome), Detail.c_str(),
@@ -204,5 +244,21 @@ int main(int Argc, char **Argv) {
                   Step.Instr);
   }
   dumpStats();
-  return verdictExitCode(R.Outcome);
+  return verdictExitCode(R.Outcome, R.Failure);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // Last-resort classification: nothing escaping the engine may reach the
+  // default terminate handler and die with an unexplained abort.
+  try {
+    return runMain(Argc, Argv);
+  } catch (const std::bad_alloc &) {
+    std::fprintf(stderr, "vbmc: error: out of memory (failure=oom)\n");
+    return ExitResourceFailure;
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "vbmc: error: internal failure: %s\n", E.what());
+    return ExitResourceFailure;
+  }
 }

@@ -1,0 +1,485 @@
+//===- SandboxTest.cpp - fault tolerance layer tests ------------*- C++ -*-===//
+//
+// Covers the process sandbox (support/Sandbox.h), the driver's isolation
+// glue and retry policy (vbmc/Isolation.h), the encoder's in-process byte
+// ceiling, and the documented CLI exit codes of the vbmc tool — including
+// the headline claim: with --isolate an injected backend SIGSEGV yields a
+// classified failure report from a surviving parent, while without it the
+// same fault kills the tool.
+//
+// The fork-based tests here are deliberately NOT named Engine*/Portfolio*/
+// Deepening* so the TSan job (tests/run_tsan.sh) never picks them up:
+// fork() inside a TSan binary with live threads is undefined enough to
+// produce false positives.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bmc/Encoder.h"
+#include "fuzz/Fuzzer.h"
+#include "ir/Parser.h"
+#include "support/CheckContext.h"
+#include "support/FaultInjection.h"
+#include "support/Sandbox.h"
+#include "vbmc/Isolation.h"
+#include "vbmc/Vbmc.h"
+
+#include "gtest/gtest.h"
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace vbmc;
+using namespace vbmc::driver;
+
+namespace {
+
+ir::Program parse(const std::string &Text) {
+  auto P = ir::parseProgram(Text);
+  EXPECT_TRUE(static_cast<bool>(P)) << (P ? "" : P.error().str());
+  return P.take();
+}
+
+// Message passing with flipped reads: safe at k=0, unsafe at k=1.
+const char *MpStale = R"(
+var x f;
+proc p0 {
+  x = 1;
+  f = 1;
+}
+proc p1 {
+  reg a1 b1;
+  b1 = x;
+  a1 = f;
+  assert(!((a1 == 1) && (b1 == 0)));
+}
+)";
+
+// Bounded counter loop (trip count 2): safe at k=0, unsafe at k=1, and
+// big enough under --l unrolling that halving L visibly shrinks the SAT
+// encoding.
+const char *LoopCounter = R"(
+var x;
+proc p0 {
+  reg c0;
+  c0 = 0;
+  while (c0 < 2) {
+    x = 1;
+    c0 = c0 + 1;
+  }
+}
+proc p1 {
+  reg a1;
+  a1 = x;
+  assert(a1 != 1);
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// The sandbox primitive
+//===----------------------------------------------------------------------===//
+
+TEST(SandboxTest, CompletesAndDeliversPayload) {
+  if (!sandbox::available())
+    GTEST_SKIP() << "no process isolation on this platform";
+  sandbox::SandboxOptions SO;
+  sandbox::SandboxOutcome Out =
+      sandbox::runInSandbox(SO, [] { return std::string("payload-ok"); });
+  ASSERT_TRUE(Out.Completed) << Out.Detail;
+  EXPECT_EQ(Out.Failure, sandbox::FailureKind::None);
+  EXPECT_EQ(Out.Payload, "payload-ok");
+}
+
+TEST(SandboxTest, LargePayloadSurvivesPipeBuffer) {
+  if (!sandbox::available())
+    GTEST_SKIP();
+  // Far beyond the 64 KiB pipe capacity: proves the parent drains while
+  // the child writes instead of deadlocking on a full pipe.
+  std::string Big(4u << 20, 'x');
+  Big += "tail";
+  sandbox::SandboxOptions SO;
+  sandbox::SandboxOutcome Out =
+      sandbox::runInSandbox(SO, [&] { return Big; });
+  ASSERT_TRUE(Out.Completed) << Out.Detail;
+  EXPECT_EQ(Out.Payload.size(), Big.size());
+  EXPECT_EQ(Out.Payload, Big);
+}
+
+TEST(SandboxTest, ClassifiesSignalDeathAsCrash) {
+  if (!sandbox::available())
+    GTEST_SKIP();
+  sandbox::SandboxOptions SO;
+  sandbox::SandboxOutcome Out = sandbox::runInSandbox(SO, [] {
+    raise(SIGSEGV);
+    return std::string("unreachable");
+  });
+  EXPECT_FALSE(Out.Completed);
+  EXPECT_EQ(Out.Failure, sandbox::FailureKind::Crash);
+  EXPECT_EQ(Out.Signal, SIGSEGV);
+  EXPECT_NE(Out.Detail.find("signal"), std::string::npos) << Out.Detail;
+}
+
+TEST(SandboxTest, ClassifiesBadExitAsExitFailure) {
+  if (!sandbox::available())
+    GTEST_SKIP();
+  sandbox::SandboxOptions SO;
+  sandbox::SandboxOutcome Out = sandbox::runInSandbox(SO, [] {
+    _exit(5);
+    return std::string();
+  });
+  EXPECT_FALSE(Out.Completed);
+  EXPECT_EQ(Out.Failure, sandbox::FailureKind::ExitFailure);
+  EXPECT_EQ(Out.ExitCode, 5);
+}
+
+TEST(SandboxTest, ClassifiesAllocationStormAsOom) {
+  if (!sandbox::available())
+    GTEST_SKIP();
+  sandbox::SandboxOptions SO;
+  SO.MemLimitBytes = 64u << 20;
+  SO.TimeoutSeconds = 60;
+  sandbox::SandboxOutcome Out = sandbox::runInSandbox(SO, [] {
+    // Touch every chunk so the address space genuinely grows.
+    std::vector<std::unique_ptr<char[]>> Hog;
+    for (size_t Total = 0; Total < (512u << 20); Total += 1u << 20) {
+      Hog.push_back(std::make_unique<char[]>(1u << 20));
+      for (size_t I = 0; I < (1u << 20); I += 4096)
+        Hog.back()[I] = 1;
+    }
+    return std::string("survived");
+  });
+  EXPECT_FALSE(Out.Completed);
+  EXPECT_EQ(Out.Failure, sandbox::FailureKind::OutOfMemory) << Out.Detail;
+}
+
+TEST(SandboxTest, ClassifiesUncaughtExceptionAsCrash) {
+  if (!sandbox::available())
+    GTEST_SKIP();
+  sandbox::SandboxOptions SO;
+  sandbox::SandboxOutcome Out = sandbox::runInSandbox(SO, []() -> std::string {
+    throw std::runtime_error("backend bug");
+  });
+  EXPECT_FALSE(Out.Completed);
+  // An escaped exception is a bug in the payload, same bucket as a
+  // signal death; the dedicated exit code keeps the cause readable.
+  EXPECT_EQ(Out.Failure, sandbox::FailureKind::Crash);
+  EXPECT_EQ(Out.ExitCode, sandbox::ExceptionExitCode);
+  EXPECT_NE(Out.Detail.find("exception"), std::string::npos);
+}
+
+TEST(SandboxTest, ClassifiesDeadlineKillAsTimeout) {
+  if (!sandbox::available())
+    GTEST_SKIP();
+  sandbox::SandboxOptions SO;
+  SO.TimeoutSeconds = 0.2;
+  sandbox::SandboxOutcome Out = sandbox::runInSandbox(SO, [] {
+    for (;;)
+      usleep(10000); // Non-cooperative: never checks any deadline.
+    return std::string();
+  });
+  EXPECT_FALSE(Out.Completed);
+  EXPECT_EQ(Out.Failure, sandbox::FailureKind::Timeout) << Out.Detail;
+}
+
+TEST(SandboxTest, CancellationKillsChildWithoutFailure) {
+  if (!sandbox::available())
+    GTEST_SKIP();
+  CancellationToken Tok;
+  Tok.cancel();
+  sandbox::SandboxOptions SO;
+  SO.Cancel = &Tok;
+  sandbox::SandboxOutcome Out = sandbox::runInSandbox(SO, [] {
+    for (;;)
+      usleep(10000);
+    return std::string();
+  });
+  EXPECT_FALSE(Out.Completed);
+  EXPECT_TRUE(Out.Cancelled);
+}
+
+//===----------------------------------------------------------------------===//
+// The report pipe wire format
+//===----------------------------------------------------------------------===//
+
+TEST(IsolationProtocolTest, ResultRoundTripsWithStats) {
+  VbmcResult R;
+  R.Outcome = Verdict::Unsafe;
+  R.Note = "note with\ttab and\nnewline and back\\slash";
+  R.WinningBackend = "sat";
+  R.Seconds = 1.5;
+  R.TranslateSeconds = 0.25;
+  R.Work = 42;
+  R.Trace.push_back({1, 7});
+  R.Trace.push_back({0, 3});
+  StatsRegistry ChildStats;
+  ChildStats.addCount("sat.encode.bytes", 12345);
+  ChildStats.addSeconds("solve.seconds", 0.5);
+
+  StatsRegistry Merged;
+  VbmcResult P = parseResult(serializeResult(R, ChildStats), &Merged);
+  EXPECT_EQ(P.Outcome, Verdict::Unsafe);
+  EXPECT_EQ(P.Note, R.Note);
+  EXPECT_EQ(P.WinningBackend, "sat");
+  EXPECT_DOUBLE_EQ(P.Seconds, 1.5);
+  EXPECT_EQ(P.Work, 42u);
+  ASSERT_EQ(P.Trace.size(), 2u);
+  EXPECT_EQ(P.Trace[0].Proc, 1u);
+  EXPECT_EQ(P.Trace[0].Instr, 7u);
+  EXPECT_EQ(Merged.count("sat.encode.bytes"), 12345u);
+  EXPECT_DOUBLE_EQ(Merged.seconds("solve.seconds"), 0.5);
+}
+
+TEST(IsolationProtocolTest, TruncatedReportIsClassified) {
+  VbmcResult R;
+  R.Outcome = Verdict::Safe;
+  StatsRegistry St;
+  std::string Full = serializeResult(R, St);
+  // A child killed mid-write delivers a prefix without the end sentinel.
+  VbmcResult P = parseResult(Full.substr(0, Full.size() / 2), nullptr);
+  EXPECT_EQ(P.Outcome, Verdict::Unknown);
+  EXPECT_EQ(P.Failure, sandbox::FailureKind::ExitFailure);
+}
+
+//===----------------------------------------------------------------------===//
+// Isolated driver attempts with injected backend faults
+//===----------------------------------------------------------------------===//
+
+TEST(IsolatedDriverTest, InjectedCrashIsClassifiedAndParentSurvives) {
+  if (!sandbox::available())
+    GTEST_SKIP();
+  fault::ScopedFault F("backend.crash");
+  VbmcOptions O;
+  O.K = 1;
+  O.Isolate = true;
+  CheckContext Ctx(60);
+  VbmcResult R = checkProgram(parse(MpStale), O, Ctx);
+  // Reaching these asserts at all is the point: the SIGSEGV stayed in the
+  // child.
+  EXPECT_EQ(R.Outcome, Verdict::Unknown);
+  EXPECT_EQ(R.Failure, sandbox::FailureKind::Crash);
+  EXPECT_GE(Ctx.stats().count("sandbox.crash"), 1u);
+}
+
+TEST(IsolatedDriverTest, InjectedCrashWithoutIsolationKillsTheProcess) {
+  // The acceptance contrast: the identical fault without --isolate takes
+  // the whole process down.
+  EXPECT_DEATH(
+      {
+        fault::ScopedFault F("backend.crash");
+        VbmcOptions O;
+        O.K = 1;
+        CheckContext Ctx(60);
+        checkProgram(parse(MpStale), O, Ctx);
+      },
+      "");
+}
+
+TEST(IsolatedDriverTest, MemoryHogIsClassifiedOomAndRetriedOnce) {
+  if (!sandbox::available())
+    GTEST_SKIP();
+  fault::ScopedFault F("backend.hog-memory");
+  VbmcOptions O;
+  O.K = 1;
+  O.Isolate = true;
+  O.MemLimitBytes = 64u << 20;
+  CheckContext Ctx(120);
+  VbmcResult R = checkProgram(parse(MpStale), O, Ctx);
+  EXPECT_EQ(R.Outcome, Verdict::Unknown);
+  EXPECT_EQ(R.Failure, sandbox::FailureKind::OutOfMemory);
+  // The hog fires on the retry too, so both attempts die and the note
+  // records the failed rescue.
+  EXPECT_EQ(Ctx.stats().count("sandbox.retries"), 1u);
+  EXPECT_GE(Ctx.stats().count("sandbox.oom"), 2u);
+  EXPECT_NE(R.Note.find("also inconclusive"), std::string::npos) << R.Note;
+}
+
+TEST(IsolatedDriverTest, PortfolioSurvivesCrashingArms) {
+  if (!sandbox::available())
+    GTEST_SKIP();
+  fault::ScopedFault F("backend.crash");
+  VbmcOptions O;
+  O.K = 1;
+  O.Isolate = true;
+  CheckContext Ctx(120);
+  VbmcResult R = checkPortfolio(parse(MpStale), O, Ctx);
+  EXPECT_EQ(R.Outcome, Verdict::Unknown);
+  EXPECT_EQ(R.Failure, sandbox::FailureKind::Crash);
+  // Both racing arms died in their own sandboxes.
+  EXPECT_GE(Ctx.stats().count("sandbox.crash"), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// In-process degradation: encoder byte ceiling + retry at reduced bounds
+//===----------------------------------------------------------------------===//
+
+TEST(EncoderCeilingTest, ByteCeilingAbortsCleanlyInProcess) {
+  bmc::BmcOptions BO;
+  BO.UnrollBound = 3;
+  BO.ContextBound = 3;
+  BO.MemLimitBytes = 1024; // Trivially exceeded by any real encoding.
+  bmc::BmcResult BR = bmc::checkBmc(parse(LoopCounter), BO);
+  EXPECT_EQ(BR.Status, bmc::BmcStatus::Unknown);
+  EXPECT_EQ(BR.Failure, sandbox::FailureKind::OutOfMemory);
+  EXPECT_NE(BR.Note.find("memory ceiling"), std::string::npos) << BR.Note;
+}
+
+TEST(RetryPolicyTest, RecoversAtReducedBoundsAfterEncoderCeiling) {
+  ir::Program P = parse(LoopCounter);
+  VbmcOptions Base;
+  Base.Backend = BackendKind::Sat;
+  Base.K = 1;
+  Base.L = 6;
+
+  // Measure the encoding footprint at the full and the halved bounds so
+  // the ceiling can be pinned between them.
+  auto encodeBytes = [&](uint32_t K, uint32_t L) {
+    VbmcOptions O = Base;
+    O.K = K;
+    O.L = L;
+    O.RetryReduced = false;
+    CheckContext C(120);
+    checkProgram(P, O, C);
+    return C.stats().count("sat.encode.bytes");
+  };
+  uint64_t Full = encodeBytes(Base.K, Base.L);
+  uint64_t Half = encodeBytes(Base.K / 2, std::max(1u, Base.L / 2));
+  ASSERT_GT(Full, Half + 1) << "bounds halving must shrink the encoding";
+
+  VbmcOptions O = Base;
+  O.MemLimitBytes = (Full + Half) / 2;
+  O.RetryReduced = true;
+  CheckContext Ctx(120);
+  VbmcResult R = checkProgram(P, O, Ctx);
+  // Attempt 1 hits the ceiling; the retry at k=0 l=3 fits and delivers a
+  // verdict (safe at k=0) instead of a dead Unknown.
+  EXPECT_EQ(Ctx.stats().count("sandbox.retries"), 1u);
+  EXPECT_NE(R.Outcome, Verdict::Unknown) << R.Note;
+  EXPECT_EQ(R.Failure, sandbox::FailureKind::None);
+  EXPECT_NE(R.Note.find("recovered at reduced bounds"), std::string::npos)
+      << R.Note;
+}
+
+//===----------------------------------------------------------------------===//
+// Tool-level exit codes and the sandboxed fuzz campaign
+//===----------------------------------------------------------------------===//
+
+struct ToolRun {
+  int ExitCode = -1;    ///< WEXITSTATUS when the shell exited normally.
+  bool Exited = false;  ///< WIFEXITED of the shell status.
+  std::string Output;   ///< Combined stdout+stderr.
+};
+
+ToolRun runCommand(const std::string &Cmd) {
+  ToolRun R;
+  std::filesystem::path Out =
+      std::filesystem::temp_directory_path() /
+      ("vbmc_sandbox_test_" + std::to_string(getpid()) + ".out");
+  int Status = std::system((Cmd + " > " + Out.string() + " 2>&1").c_str());
+  R.Exited = WIFEXITED(Status);
+  if (R.Exited)
+    R.ExitCode = WEXITSTATUS(Status);
+  std::ifstream In(Out);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  R.Output = Buf.str();
+  std::filesystem::remove(Out);
+  return R;
+}
+
+class ToolExitCodeTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = std::filesystem::temp_directory_path() /
+          ("vbmc_sandbox_test_" + std::to_string(getpid()));
+    std::filesystem::create_directories(Dir);
+    write("safe.ra", "var x;\nproc p0 { x = 1; }\n");
+    write("unsafe.ra", MpStale);
+  }
+  void TearDown() override {
+    std::error_code Ec;
+    std::filesystem::remove_all(Dir, Ec);
+  }
+  void write(const std::string &Name, const std::string &Text) {
+    std::ofstream F(Dir / Name);
+    F << Text;
+  }
+  std::string file(const std::string &Name) { return (Dir / Name).string(); }
+  std::filesystem::path Dir;
+};
+
+TEST_F(ToolExitCodeTest, DocumentedVerdictAndUsageCodes) {
+  const std::string Tool = VBMC_TOOL_PATH;
+  EXPECT_EQ(runCommand(Tool + " " + file("safe.ra")).ExitCode, 0);
+  EXPECT_EQ(runCommand(Tool + " --k 1 " + file("unsafe.ra")).ExitCode, 1);
+  // A budget that is already expired forces a cooperative UNKNOWN.
+  EXPECT_EQ(
+      runCommand(Tool + " --budget 0.000000001 " + file("unsafe.ra")).ExitCode,
+      2);
+  EXPECT_EQ(runCommand(Tool).ExitCode, 4);
+  EXPECT_EQ(runCommand(Tool + " " + file("missing.ra")).ExitCode, 4);
+  EXPECT_EQ(runCommand(Tool + " --help").ExitCode, 0);
+}
+
+TEST_F(ToolExitCodeTest, IsolatedCrashIsExitThreeWithClassifiedReport) {
+  if (!sandbox::available())
+    GTEST_SKIP();
+  ToolRun R = runCommand("VBMC_FAULTS=backend.crash " +
+                         std::string(VBMC_TOOL_PATH) + " --isolate --k 1 " +
+                         file("unsafe.ra"));
+  EXPECT_EQ(R.ExitCode, 3) << R.Output;
+  EXPECT_NE(R.Output.find("UNKNOWN"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("failure=crash"), std::string::npos) << R.Output;
+}
+
+TEST_F(ToolExitCodeTest, UnisolatedCrashKillsTheTool) {
+  ToolRun R = runCommand("VBMC_FAULTS=backend.crash " +
+                         std::string(VBMC_TOOL_PATH) + " --k 1 " +
+                         file("unsafe.ra"));
+  // The shell reports a signal death as 128+signo — in any case nothing
+  // in the documented 0..4 range.
+  EXPECT_GT(R.ExitCode, 4) << R.Output;
+}
+
+TEST_F(ToolExitCodeTest, StatsReportEncodeBytes) {
+  ToolRun R = runCommand(std::string(VBMC_TOOL_PATH) +
+                         " --backend sat --k 1 --stats " + file("unsafe.ra"));
+  EXPECT_EQ(R.ExitCode, 1) << R.Output;
+  EXPECT_NE(R.Output.find("sat.encode.bytes"), std::string::npos) << R.Output;
+}
+
+TEST_F(ToolExitCodeTest, FuzzCampaignSurvivesCrashAndOomPrograms) {
+  if (!sandbox::available())
+    GTEST_SKIP();
+  // The parity-keyed faults make some of the fixed-seed programs SIGSEGV
+  // their check process and others allocate until the 64 MB ceiling: one
+  // deterministic campaign containing both death modes. It must run to
+  // completion, write crash-tagged minimized witnesses, and report the
+  // sandbox counters.
+  std::string Corpus = (Dir / "corpus").string();
+  ToolRun R = runCommand(
+      "VBMC_FAULTS=backend.crash-odd,backend.hog-even " +
+      std::string(VBMC_FUZZ_TOOL_PATH) +
+      " --seed 7 --count 8 --budget 300 --per-program 15 --isolate"
+      " --mem-limit-mb 64 --corpus " +
+      Corpus);
+  EXPECT_EQ(R.ExitCode, 1) << R.Output; // Discrepancies found, not a death.
+  EXPECT_NE(R.Output.find("check=crash"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("sandbox:"), std::string::npos) << R.Output;
+  // Both death modes observed and classified.
+  EXPECT_NE(R.Output.find("crash: "), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("oom"), std::string::npos) << R.Output;
+  // Crash-tagged witnesses landed in the corpus directory.
+  bool SawCrashWitness = false;
+  for (const auto &E : std::filesystem::directory_iterator(Corpus)) {
+    if (E.path().filename().string().find("_crash.ra") != std::string::npos)
+      SawCrashWitness = true;
+  }
+  EXPECT_TRUE(SawCrashWitness) << R.Output;
+}
+
+} // namespace
