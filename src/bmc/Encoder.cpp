@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <optional>
 
 using namespace vbmc;
 using namespace vbmc::bmc;
@@ -21,6 +23,12 @@ using ir::StmtKind;
 namespace {
 
 /// Symbolic execution of one (unrolled, loop-free) program.
+///
+/// The encoding and the solving halves are split so the incremental
+/// deepening engine can build the circuit/CNF once (encode()) and then
+/// re-solve the same persistent solver many times under different
+/// assumption sets (solveUnder()); the classic one-shot path is run() =
+/// encode() + a single unassumed solveUnder().
 class Encoder {
 public:
   Encoder(const Program &P, const BmcOptions &Opts)
@@ -30,10 +38,18 @@ public:
     while ((1u << RoundW) < Rounds)
       ++RoundW;
     ++RoundW; // Headroom so unsigned compares against Rounds are exact.
+    Monotone.assign(P.numVars(), false);
+    for (ir::VarId V : Opts.MonotoneVars)
+      if (V < Monotone.size())
+        Monotone[V] = true;
   }
 
-  BmcResult run() {
-    Timer Watch;
+  /// Builds the circuit and bit-blasts it into the solver. Returns true
+  /// when a final verdict was already reached during encoding — budget /
+  /// resource abort (Unknown) or no reachable assert (trivially Safe) —
+  /// with the verdict in encodeOutcome(). Returns false when the formula
+  /// is ready to solve.
+  bool encode() {
     Timer EncodeWatch;
     DL = Deadline(Opts.BudgetSeconds);
     buildStores();
@@ -43,26 +59,24 @@ public:
       // a node cap, and the configured byte ceiling during construction
       // too (graceful degradation instead of std::bad_alloc death).
       if (outOfBudget() || resourceExceeded()) {
-        BmcResult R;
-        R.Status = BmcStatus::Unknown;
+        EncodeOutcome.Status = BmcStatus::Unknown;
         if (wasCancelled()) {
-          R.Note = "cancelled";
+          EncodeOutcome.Note = "cancelled";
         } else if (outOfBudget()) {
-          R.Note = "encoding budget exhausted";
+          EncodeOutcome.Note = "encoding budget exhausted";
         } else {
-          R.Failure = sandbox::FailureKind::OutOfMemory;
-          R.Note = memExceeded()
-                       ? "encoding memory ceiling exceeded (" +
-                             std::to_string(C.estimatedBytes() >> 10) +
-                             " KiB estimated, limit " +
-                             std::to_string(Opts.MemLimitBytes >> 10) +
-                             " KiB)"
-                       : "circuit size cap exceeded";
+          EncodeOutcome.Failure = sandbox::FailureKind::OutOfMemory;
+          EncodeOutcome.Note =
+              memExceeded()
+                  ? "encoding memory ceiling exceeded (" +
+                        std::to_string(C.estimatedBytes() >> 10) +
+                        " KiB estimated, limit " +
+                        std::to_string(Opts.MemLimitBytes >> 10) + " KiB)"
+                  : "circuit size cap exceeded";
         }
-        R.CircuitNodes = C.numNodes();
-        R.Seconds = Watch.elapsedSeconds();
+        EncodeOutcome.CircuitNodes = C.numNodes();
         recordEncodeStats(EncodeWatch.elapsedSeconds());
-        return R;
+        return true;
       }
     }
     addChainConstraints();
@@ -71,14 +85,12 @@ public:
     for (NodeRef E : Errors)
       AnyError = C.mkOr(AnyError, E);
 
-    BmcResult R;
-    R.CircuitNodes = C.numNodes();
+    EncodeOutcome.CircuitNodes = C.numNodes();
     if (C.isFalse(AnyError)) {
       // No assert is even reachable: trivially safe within bounds.
-      R.Status = BmcStatus::Safe;
-      R.Seconds = Watch.elapsedSeconds();
+      EncodeOutcome.Status = BmcStatus::Safe;
       recordEncodeStats(EncodeWatch.elapsedSeconds());
-      return R;
+      return true;
     }
 
     // Tseitin conversion (bit-blast to CNF) counts as encoding time.
@@ -86,28 +98,35 @@ public:
     for (NodeRef G : SideConstraints)
       Solver.addUnit(C.toLit(Solver, G));
     recordEncodeStats(EncodeWatch.elapsedSeconds());
+    return false;
+  }
 
-    // The solver gets whatever wall clock is left after encoding: the
-    // tighter of the local budget and the engine context's deadline.
-    double Remaining = DL.remainingSeconds();
-    if (Opts.Ctx)
-      Remaining =
-          std::min(Remaining, Opts.Ctx->deadline().remainingSeconds());
-    if (Remaining <= 0 || wasCancelled()) {
-      R.Status = BmcStatus::Unknown;
-      R.Note = wasCancelled() ? "cancelled" : "encoding budget exhausted";
-      R.Seconds = Watch.elapsedSeconds();
-      return R;
-    }
-    Deadline SolveDL =
-        std::isinf(Remaining) ? Deadline() : Deadline(Remaining);
+  const BmcResult &encodeOutcome() const { return EncodeOutcome; }
+
+  /// One solver call under \p Assumptions. Records per-solve *deltas*
+  /// (SolverStats are solver-lifetime-cumulative) into \p Ctx's registry
+  /// and returns them in the result, so repeated calls on this persistent
+  /// solver report what each solve actually cost. R.Seconds covers just
+  /// this solve.
+  BmcResult solveUnder(const std::vector<sat::Lit> &Assumptions,
+                       const CheckContext *Ctx, Deadline SolveDL,
+                       uint64_t MaxConflicts) {
+    BmcResult R;
+    R.CircuitNodes = C.numNodes();
     Timer SolveWatch;
-    sat::SolveResult SR =
-        Solver.solve({}, Opts.MaxConflicts, SolveDL,
-                     Opts.Ctx ? &Opts.Ctx->token() : nullptr);
-    recordSolveStats(SolveWatch.elapsedSeconds());
-    R.SolverConflicts = Solver.stats().Conflicts;
-    R.SolverDecisions = Solver.stats().Decisions;
+    sat::SolverStats Before = Solver.stats();
+    sat::SolveResult SR = Solver.solve(Assumptions, MaxConflicts, SolveDL,
+                                       Ctx ? &Ctx->token() : nullptr);
+    double Seconds = SolveWatch.elapsedSeconds();
+    sat::SolverStats Delta = Solver.stats() - Before;
+    if (Ctx) {
+      StatsRegistry &St = Ctx->stats();
+      St.addSeconds("sat.solve.seconds", Seconds);
+      St.addCount("sat.solve.conflicts", Delta.Conflicts);
+      St.addCount("sat.solve.decisions", Delta.Decisions);
+    }
+    R.SolverConflicts = Delta.Conflicts;
+    R.SolverDecisions = Delta.Decisions;
     switch (SR) {
     case sat::SolveResult::Sat:
       R.Status = BmcStatus::Unsafe;
@@ -127,12 +146,86 @@ public:
       break;
     case sat::SolveResult::Unknown:
       R.Status = BmcStatus::Unknown;
-      R.Note = wasCancelled() ? "cancelled" : "solver budget exhausted";
+      R.Note = (Ctx && Ctx->cancelled()) ? "cancelled"
+                                         : "solver budget exhausted";
       break;
     }
+    R.Seconds = Seconds;
+    return R;
+  }
+
+  /// The one-shot path: encode, then a single unassumed solve under the
+  /// tighter of the local budget and the context deadline.
+  BmcResult run() {
+    Timer Watch;
+    if (encode()) {
+      BmcResult R = EncodeOutcome;
+      R.Seconds = Watch.elapsedSeconds();
+      return R;
+    }
+
+    // The solver gets whatever wall clock is left after encoding: the
+    // tighter of the local budget and the engine context's deadline.
+    double Remaining = DL.remainingSeconds();
+    if (Opts.Ctx)
+      Remaining =
+          std::min(Remaining, Opts.Ctx->deadline().remainingSeconds());
+    if (Remaining <= 0 || wasCancelled()) {
+      BmcResult R;
+      R.Status = BmcStatus::Unknown;
+      R.Note = wasCancelled() ? "cancelled" : "encoding budget exhausted";
+      R.CircuitNodes = C.numNodes();
+      R.Seconds = Watch.elapsedSeconds();
+      return R;
+    }
+    Deadline SolveDL =
+        std::isinf(Remaining) ? Deadline() : Deadline(Remaining);
+    BmcResult R = solveUnder({}, Opts.Ctx, SolveDL, Opts.MaxConflicts);
     R.Seconds = Watch.elapsedSeconds();
     return R;
   }
+
+  /// Assumption literal selecting exactly the executions a fresh
+  /// budget-\p K encoding admits: the final value of \p BudgetVar (the
+  /// monotone consumed-budget counter) is at most K, every guessed round
+  /// counter stays below K + BaseContexts + 1 rounds — the fresh
+  /// encoding's K + n context bound — and every variable in
+  /// \p MustEndZero finishes at 0 (the translation passes the stamp
+  /// markers above the fresh budget-K timestamp pool, which grows with
+  /// K). Tseitin clauses for the selector are root-level additions, so
+  /// all selectors must be built before the first solve; only the
+  /// returned literal is per-K.
+  sat::Lit selectorFor(uint32_t K, ir::VarId BudgetVar,
+                       uint32_t BaseContexts,
+                       const std::vector<ir::VarId> &MustEndZero) {
+    // The chain constraints thread each round's final store into the next
+    // round's guess, so the last round's cell holds the execution's final
+    // budget count even when upper rounds are inert. Values are small and
+    // non-negative (W has headroom), so the signed compare is exact.
+    BitVec Final = storeCell(Rounds - 1, BudgetVar);
+    NodeRef Sel = bvSle(C, Final, bvConst(C, K, W));
+    BitVec RoundCap = bvConst(C, K + BaseContexts + 1, RoundW);
+    for (const BitVec &G : RoundGuesses)
+      Sel = C.mkAnd(Sel, bvUlt(C, G, RoundCap));
+    BitVec Zero = bvConst(C, 0, W);
+    for (ir::VarId V : MustEndZero)
+      Sel = C.mkAnd(Sel, bvEq(C, storeCell(Rounds - 1, V), Zero));
+    return C.toLit(Solver, Sel);
+  }
+
+  /// Root-asserts cell(r-1, v) <= cell(r, v) for every monotone
+  /// instrumentation variable: redundant (implied by the transition
+  /// constraints, since these variables are only ever incremented or
+  /// set 0 -> 1), but they turn a selector's final-value bound into unit
+  /// propagation across all rounds. Must run before the first solve.
+  void assertMonotoneLemmas(const std::vector<ir::VarId> &Vars) {
+    for (ir::VarId V : Vars)
+      for (uint32_t R = 1; R < Rounds; ++R)
+        Solver.addUnit(C.toLit(
+            Solver, bvSle(C, storeCell(R - 1, V), storeCell(R, V))));
+  }
+
+  uint64_t numNodes() const { return C.numNodes(); }
 
 private:
   /// Store[r * numVars + x]: current symbolic value of x on round r's
@@ -171,11 +264,13 @@ private:
             bvEq(C, storeCell(R, X), StoreInit[(R + 1) * P.numVars() + X]));
   }
 
-  /// A fresh round value constrained to [Current, Rounds).
+  /// A fresh round value constrained to [Current, Rounds). Every guess is
+  /// also remembered so selectorFor can cap rounds per budget.
   BitVec advanceRound(const BitVec &Current) {
     BitVec Next = bvFresh(C, RoundW);
     SideConstraints.push_back(~bvUlt(C, Next, Current));
     SideConstraints.push_back(bvUlt(C, Next, bvConst(C, Rounds, RoundW)));
+    RoundGuesses.push_back(Next);
     return Next;
   }
 
@@ -219,15 +314,6 @@ private:
     St.addCount("sat.encode.bytes", C.estimatedBytes());
   }
 
-  void recordSolveStats(double Seconds) {
-    if (!Opts.Ctx)
-      return;
-    StatsRegistry &St = Opts.Ctx->stats();
-    St.addSeconds("sat.solve.seconds", Seconds);
-    St.addCount("sat.solve.conflicts", Solver.stats().Conflicts);
-    St.addCount("sat.solve.decisions", Solver.stats().Decisions);
-  }
-
   void walkBody(const std::vector<Stmt> &Body, ProcState &S) {
     for (const Stmt &St : Body) {
       if (resourceExceeded() || outOfBudget()) {
@@ -254,7 +340,17 @@ private:
     for (uint32_t R = 0; R < Rounds; ++R) {
       NodeRef Here =
           C.mkAnd(S.Guard, bvEq(C, S.Round, bvConst(C, R, RoundW)));
-      storeCell(R, X) = bvMux(C, Here, V, storeCell(R, X));
+      BitVec Old = storeCell(R, X);
+      storeCell(R, X) = bvMux(C, Here, V, Old);
+      if (Monotone[X]) {
+        // Redundant per-write lemmas for caller-declared monotone
+        // counters (see BmcOptions::MonotoneVars): true in every model,
+        // but they let an assumed final-value bound zero out the whole
+        // write chain by unit propagation instead of conflict analysis.
+        SideConstraints.push_back(bvSle(C, Old, storeCell(R, X)));
+        SideConstraints.push_back(
+            bvSle(C, bvConst(C, 0, W), storeCell(R, X)));
+      }
     }
   }
 
@@ -442,6 +538,10 @@ private:
   std::vector<NodeRef> Errors;
   std::vector<std::string> ErrorLabels;
   std::vector<NodeRef> SideConstraints;
+  /// Monotone[x]: writes to x get the redundant monotonicity lemmas.
+  std::vector<bool> Monotone;
+  std::vector<BitVec> RoundGuesses;
+  BmcResult EncodeOutcome;
   uint32_t CurrentProc = 0;
   uint32_t AssertCounter = 0;
 };
@@ -466,4 +566,124 @@ BmcResult vbmc::bmc::checkBmc(const Program &P, const BmcOptions &Opts) {
     reportFatalError("checkBmc: invalid program: " + Valid.error().str());
   Encoder E(Unrolled, Opts);
   return E.run();
+}
+
+//===----------------------------------------------------------------------===//
+// IncrementalBmc
+//===----------------------------------------------------------------------===//
+
+/// Owns the persistent pieces: the unrolled program and options the
+/// Encoder references, the Encoder itself (circuit + solver), and one
+/// precomputed selector literal per budget. Defined here so it can hold
+/// the internal-linkage Encoder.
+class vbmc::bmc::IncrementalBmc::Impl {
+public:
+  Impl(const Program &P, const BmcOptions &InOpts,
+       const IncrementalSpec &Spec)
+      : Opts(InOpts), Spec(Spec) {
+    Timer Watch;
+    Timer UnrollWatch;
+    Unrolled = unrollLoops(P, Opts.UnrollBound);
+    if (Opts.Ctx)
+      Opts.Ctx->stats().addSeconds("sat.unroll.seconds",
+                                   UnrollWatch.elapsedSeconds());
+    if (Opts.Ctx && Opts.Ctx->interrupted()) {
+      Outcome.Status = BmcStatus::Unknown;
+      Outcome.Note = Opts.Ctx->cancelled() ? "cancelled" : "budget exhausted";
+      Outcome.Seconds = Watch.elapsedSeconds();
+      Done = true;
+      Opts.Ctx = nullptr;
+      return;
+    }
+    auto Valid = Unrolled.validate();
+    if (!Valid)
+      reportFatalError("IncrementalBmc: invalid program: " +
+                       Valid.error().str());
+    // Per-write monotonicity lemmas (BmcOptions::MonotoneVars) come from
+    // the spec: shared VarIds survive unrolling, so the translation's
+    // counters name the same cells in the unrolled program.
+    Opts.MonotoneVars = Spec.MonotoneVars;
+    Enc.emplace(Unrolled, Opts);
+    Done = Enc->encode();
+    Outcome = Enc->encodeOutcome();
+    if (!Done) {
+      // All selectors are Tseitin'd before the first solve: clause
+      // additions are root-level, so interleaving them with solves would
+      // be fragile; building them up front keeps the solver's life simple
+      // (only the assumption set varies between solves).
+      Enc->assertMonotoneLemmas(Spec.MonotoneVars);
+      Selectors.reserve(Spec.MaxBudget + 1);
+      static const std::vector<ir::VarId> NoZeros;
+      for (uint32_t K = 0; K <= Spec.MaxBudget; ++K)
+        Selectors.push_back(Enc->selectorFor(
+            K, Spec.BudgetVar, Spec.BaseContexts,
+            K < Spec.ZeroFinalAtBudget.size() ? Spec.ZeroFinalAtBudget[K]
+                                              : NoZeros));
+      Outcome.CircuitNodes = Enc->numNodes();
+    }
+    Outcome.Seconds = Watch.elapsedSeconds();
+    // The construction context may die before the next solveBudget call;
+    // each solve brings its own.
+    Opts.Ctx = nullptr;
+  }
+
+  bool usable() const {
+    return !Done || Outcome.Status == BmcStatus::Safe;
+  }
+
+  BmcResult solveBudget(uint32_t K, const CheckContext *Ctx) {
+    if (Done)
+      return Outcome; // Trivially safe (or the encode failure, verbatim).
+    if (K > Spec.MaxBudget) {
+      BmcResult R;
+      R.Status = BmcStatus::Unknown;
+      R.Note = "budget " + std::to_string(K) +
+               " exceeds encoded maximum " + std::to_string(Spec.MaxBudget);
+      return R;
+    }
+    if (Ctx && Ctx->interrupted()) {
+      BmcResult R;
+      R.Status = BmcStatus::Unknown;
+      R.Note = Ctx->cancelled() ? "cancelled" : "budget exhausted";
+      return R;
+    }
+    double Remaining =
+        Ctx ? Ctx->deadline().remainingSeconds()
+            : std::numeric_limits<double>::infinity();
+    Deadline SolveDL =
+        std::isinf(Remaining) ? Deadline() : Deadline(Remaining);
+    BmcResult R =
+        Enc->solveUnder({Selectors[K]}, Ctx, SolveDL, Opts.MaxConflicts);
+    if (Ctx) {
+      StatsRegistry &St = Ctx->stats();
+      std::string Prefix = "sat.k" + std::to_string(K) + ".";
+      St.addCount(Prefix + "conflicts", R.SolverConflicts);
+      St.addCount(Prefix + "decisions", R.SolverDecisions);
+      St.addSeconds(Prefix + "seconds", R.Seconds);
+      St.addCount("sat.incremental.solves", 1);
+    }
+    return R;
+  }
+
+  BmcOptions Opts;
+  IncrementalSpec Spec;
+  Program Unrolled;
+  std::optional<Encoder> Enc;
+  std::vector<sat::Lit> Selectors;
+  BmcResult Outcome;
+  bool Done = false;
+};
+
+IncrementalBmc::IncrementalBmc(const Program &P, const BmcOptions &Opts,
+                               const IncrementalSpec &Spec)
+    : I(std::make_unique<Impl>(P, Opts, Spec)) {}
+
+IncrementalBmc::~IncrementalBmc() = default;
+
+bool IncrementalBmc::usable() const { return I->usable(); }
+
+const BmcResult &IncrementalBmc::encodeResult() const { return I->Outcome; }
+
+BmcResult IncrementalBmc::solveBudget(uint32_t K, const CheckContext *Ctx) {
+  return I->solveBudget(K, Ctx);
 }

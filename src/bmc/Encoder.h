@@ -34,6 +34,7 @@
 #include "support/Timer.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 namespace vbmc::bmc {
@@ -61,6 +62,15 @@ struct BmcOptions {
   /// starts inside checkBmc — its token cancels them cooperatively, and
   /// sat.* stage stats are recorded into its registry.
   const CheckContext *Ctx = nullptr;
+  /// Shared variables the CALLER guarantees are never written with a
+  /// value below their current one (monotone counters / 0 -> 1 flags).
+  /// The encoder asserts a redundant `old <= new` + `0 <= new` lemma at
+  /// every write site for them, turning final-value bounds (the
+  /// incremental selectors) into unit propagation across the whole
+  /// unrolling. Unsound if the guarantee is violated — leave empty
+  /// unless the program is instrumented (the [[.]]_K translation's
+  /// `s_ra` and stamp markers qualify).
+  std::vector<ir::VarId> MonotoneVars;
 };
 
 enum class BmcStatus {
@@ -91,6 +101,93 @@ struct BmcResult {
 
 /// Runs BMC on \p P (any SC program in the IR; atomic sections honored).
 BmcResult checkBmc(const ir::Program &P, const BmcOptions &Opts);
+
+/// What makes an encoding budget-deepenable: the shared variable whose
+/// final value counts the consumed budget units, and the budget range the
+/// one-time encoding must answer. For the paper's [[.]]_K translation the
+/// budget variable is `s_ra` (every view-altering read increments it), so
+/// budget k corresponds exactly to the fresh K=k translation's verdict.
+struct IncrementalSpec {
+  /// Shared variable (in the program handed to IncrementalBmc) counting
+  /// consumed budget units; monotonically non-decreasing along every
+  /// execution.
+  ir::VarId BudgetVar = 0;
+  /// Largest budget the encoding must answer; solveBudget accepts
+  /// K = 0..MaxBudget.
+  uint32_t MaxBudget = 0;
+  /// Context switches available at budget 0 (the translation's process
+  /// count n): budget k is checked under k + BaseContexts contexts, the
+  /// paper's K+n bound. Opts.ContextBound must equal
+  /// MaxBudget + BaseContexts.
+  uint32_t BaseContexts = 0;
+  /// ZeroFinalAtBudget[k] (when non-empty) lists shared variables whose
+  /// FINAL value must be zero for an execution to count as a budget-k
+  /// run. The translation uses this to shrink its abstract timestamp
+  /// domain per budget: stamp markers above the pool a fresh budget-k
+  /// encoding would have must stay untaken, otherwise the MaxBudget
+  /// encoding (whose domain grows with K) admits runs no fresh budget-k
+  /// encoding can represent and verdicts diverge. Size must be 0 or
+  /// MaxBudget + 1.
+  std::vector<std::vector<ir::VarId>> ZeroFinalAtBudget;
+  /// Shared instrumentation variables that never decrease along any
+  /// execution (the budget counter, the 0 -> 1 stamp markers). The
+  /// encoder asserts redundant per-round monotonicity lemmas
+  /// (cell(r-1) <= cell(r)) for them at root level: true in every model,
+  /// so they change nothing semantically, but they let a selector's
+  /// final-value bound propagate backward through the round chain
+  /// instead of being rediscovered by conflict analysis at every budget.
+  std::vector<ir::VarId> MonotoneVars;
+};
+
+/// Incremental budget deepening over ONE persistent encoding: unrolls,
+/// symbolically executes and bit-blasts the program once at the MaxBudget
+/// bounds, then answers each budget k <= MaxBudget by re-solving the same
+/// CDCL solver under a per-k assumption literal
+///
+///   Sel_k  =  (final BudgetVar <= k)
+///          /\ (every round guess < k + BaseContexts + 1)
+///          /\ (every var in ZeroFinalAtBudget[k] ends at 0)
+///
+/// so learned clauses, VSIDS activities and saved phases carry across
+/// budgets instead of being rebuilt per K. Verdicts match fresh-per-K
+/// runs: the selector restricts the MaxBudget encoding exactly to the
+/// executions the budget-k encoding admits (see docs/ALGORITHMS.md,
+/// "Incremental deepening").
+class IncrementalBmc {
+public:
+  /// Builds the one-time encoding. \p Opts is captured by value;
+  /// Opts.Ctx (deadline/cancellation/stats) governs construction only —
+  /// each solveBudget call takes its own context. On failure (budget,
+  /// memory or node ceiling during encoding) usable() is false and
+  /// encodeResult() carries the classified failure.
+  IncrementalBmc(const ir::Program &P, const BmcOptions &Opts,
+                 const IncrementalSpec &Spec);
+  ~IncrementalBmc();
+  IncrementalBmc(const IncrementalBmc &) = delete;
+  IncrementalBmc &operator=(const IncrementalBmc &) = delete;
+
+  /// True when the one-time encoding succeeded and solveBudget may be
+  /// called. False: encodeResult() explains why.
+  bool usable() const;
+
+  /// Outcome of the construction-time encoding phase. When the program is
+  /// trivially safe (no reachable assert), Status is already Safe here and
+  /// every solveBudget returns it unchanged.
+  const BmcResult &encodeResult() const;
+
+  /// Solves the persistent formula under budget \p K's selector literal.
+  /// \p Ctx, when non-null, bounds the solve (remaining deadline), cancels
+  /// it cooperatively, and receives per-solve *delta* statistics under
+  /// sat.k<K>.{conflicts,decisions,seconds} plus the running
+  /// sat.solve.* totals. The returned SolverConflicts/SolverDecisions are
+  /// this solve's deltas, not solver-lifetime totals.
+  BmcResult solveBudget(uint32_t K, const CheckContext *Ctx);
+
+  class Impl;
+
+private:
+  std::unique_ptr<Impl> I;
+};
 
 } // namespace vbmc::bmc
 

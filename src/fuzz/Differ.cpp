@@ -54,7 +54,7 @@ std::string DiffReport::summary() const {
 const std::vector<std::string> &vbmc::fuzz::allCheckNames() {
   static const std::vector<std::string> Names = {
       "sc-subset-ra", "ra-vs-translation", "explicit-vs-sat",
-      "operational-vs-axiomatic", "smc-vs-ra"};
+      "operational-vs-axiomatic", "smc-vs-ra", "incremental-vs-fresh"};
   return Names;
 }
 
@@ -270,6 +270,51 @@ CheckOutcome checkSmcVsRa(const Program &P, const DiffOptions &O,
   return pass(Name, SR.FoundBug ? "both find the bug" : "both find none");
 }
 
+CheckOutcome checkIncrementalVsFresh(const Program &P, const DiffOptions &O,
+                                     const CheckContext &Ctx) {
+  const std::string Name = "incremental-vs-fresh";
+  FlatProgram FP = flatten(P);
+  if (!FP.hasAsserts())
+    return pass(Name, "no asserts; both sweeps vacuously safe");
+
+  driver::CheckRequest Req;
+  Req.MaxK = O.K;
+  Req.Opts.L = O.L;
+  Req.Opts.CasAllowance = casAllowanceFor(P, O);
+  Req.Opts.Backend = driver::BackendKind::Sat;
+  Req.Opts.MaxStates = O.MaxStates;
+  Req.Opts.MemLimitBytes = O.MemLimitBytes;
+
+  driver::Engine E;
+
+  Req.Mode = driver::EngineMode::Iterative;
+  CheckContext C1 = Ctx.child();
+  driver::CheckReport Fresh = E.run(P, Req, C1);
+  if (Fresh.Outcome == driver::Verdict::Unknown)
+    return inconclusive(Name, Ctx, "fresh sweep inconclusive: " + Fresh.Note);
+
+  Req.Mode = driver::EngineMode::Incremental;
+  CheckContext C2 = Ctx.child();
+  driver::CheckReport Inc = E.run(P, Req, C2);
+  if (Inc.Outcome == driver::Verdict::Unknown)
+    return inconclusive(Name, Ctx,
+                        "incremental sweep inconclusive: " + Inc.Note);
+
+  if (Fresh.unsafe() != Inc.unsafe())
+    return mismatch(Name, std::string("fresh per-K says ") +
+                              (Fresh.unsafe() ? "unsafe" : "safe") +
+                              ", incremental says " +
+                              (Inc.unsafe() ? "unsafe" : "safe") +
+                              " at MaxK=" + std::to_string(O.K));
+  if (Fresh.unsafe() && Fresh.KUsed != Inc.KUsed)
+    return mismatch(Name, "both unsafe but minimal K differs: fresh k=" +
+                              std::to_string(Fresh.KUsed) +
+                              ", incremental k=" + std::to_string(Inc.KUsed));
+  return pass(Name, Fresh.unsafe()
+                        ? "both unsafe at k=" + std::to_string(Fresh.KUsed)
+                        : "both safe to MaxK=" + std::to_string(O.K));
+}
+
 } // namespace
 
 uint32_t vbmc::fuzz::casAllowanceFor(const Program &P, const DiffOptions &O) {
@@ -299,6 +344,8 @@ CheckOutcome vbmc::fuzz::runCheck(const Program &P, const std::string &Check,
     return checkOperationalVsAxiomatic(P, O, Ctx);
   if (Check == "smc-vs-ra")
     return checkSmcVsRa(P, O, Ctx);
+  if (Check == "incremental-vs-fresh")
+    return checkIncrementalVsFresh(P, O, Ctx);
   return CheckOutcome{Check, CheckStatus::Skipped, "unknown check"};
 }
 
@@ -308,6 +355,8 @@ DiffReport vbmc::fuzz::runDifferential(const Program &P, const DiffOptions &O,
   for (const std::string &Check : allCheckNames()) {
     if ((Check == "ra-vs-translation" && !O.WithTranslation) ||
         (Check == "explicit-vs-sat" && !(O.WithTranslation && O.WithSat)) ||
+        (Check == "incremental-vs-fresh" &&
+         !(O.WithTranslation && O.WithSat)) ||
         (Check == "operational-vs-axiomatic" && !O.WithAxiomatic) ||
         (Check == "smc-vs-ra" && !O.WithSmc))
       continue;

@@ -23,6 +23,11 @@
 ///                           straight-line fragment the oracle supports.
 ///  * smc-vs-ra              The stateless (DPOR-style) checker finds a
 ///                           bug iff unbounded RA exploration does.
+///  * incremental-vs-fresh   The incremental deepening engine (one MaxK
+///                           encoding, assumption-guarded budgets, one
+///                           persistent solver) reports the same verdict
+///                           AND the same minimal buggy K as solving each
+///                           budget with a fresh encoder.
 ///
 /// Every check honors the caller's CheckContext: a program whose state
 /// space explodes is reported as Timeout (deadline) or Skipped (state

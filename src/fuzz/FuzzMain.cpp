@@ -71,6 +71,9 @@ void printUsage() {
       "replay (positional args are files or directories of .ra files):\n"
       "  each file is cross-checked and any '// expect: safe|unsafe k=N'\n"
       "  directives are verified against both backends\n"
+      "  --incremental      additionally require the incremental deepening\n"
+      "                     engine to match fresh per-K solving (verdict\n"
+      "                     and minimal buggy K) at each expect directive\n"
       "reproduce:\n"
       "  --index I --repro FILE   regenerate program #I of --seed into "
       "FILE");
@@ -78,7 +81,8 @@ void printUsage() {
 
 int runMain(int Argc, char **Argv) {
   CommandLine CL = CommandLine::parse(
-      Argc, Argv, {"no-minimize", "no-sat", "isolate", "quiet", "help"});
+      Argc, Argv,
+      {"no-minimize", "no-sat", "isolate", "incremental", "quiet", "help"});
   if (CL.hasFlag("help")) {
     printUsage();
     return 0;
@@ -90,8 +94,8 @@ int runMain(int Argc, char **Argv) {
        "stmts", "vars", "cas-permille", "fence-permille", "nondet-permille",
        "loop-permille", "assert-permille", "max-value", "heavy-every",
        "max-states", "cas-allowance", "corpus", "index", "repro",
-       "inject-fault", "no-minimize", "no-sat", "isolate", "mem-limit-mb",
-       "quiet", "help"});
+       "inject-fault", "no-minimize", "no-sat", "isolate", "incremental",
+       "mem-limit-mb", "quiet", "help"});
   if (!Unknown.empty()) {
     for (const std::string &F : Unknown)
       std::fprintf(stderr, "vbmc-fuzz: unknown flag '--%s'\n", F.c_str());
@@ -113,6 +117,7 @@ int runMain(int Argc, char **Argv) {
   O.CorpusDir = CL.getString("corpus");
   O.Minimize = !CL.hasFlag("no-minimize");
   O.Isolate = CL.hasFlag("isolate");
+  O.IncrementalReplay = CL.hasFlag("incremental");
   O.MemLimitMb = static_cast<uint64_t>(CL.getInt("mem-limit-mb", 0));
 
   O.Gen.NumProcs = static_cast<uint32_t>(CL.getInt("procs", 2));

@@ -540,6 +540,24 @@ ReplayFileResult replayFile(const std::string &Path, const FuzzOptions &O) {
                   ": no backend conclusive (" + LastInconclusive + ")";
       return R;
     }
+
+    // Equivalence of the incremental deepening engine with fresh per-K
+    // solving at this directive's budget. An inconclusive sweep (budget,
+    // state cap) skips the comparison; a conclusive disagreement on the
+    // verdict or the minimal buggy K fails the file.
+    if (O.IncrementalReplay && !Dir.NoSat) {
+      DiffOptions IncDO = DO;
+      IncDO.K = E.K;
+      CheckContext IncCtx(O.PerProgramSeconds > 0 ? O.PerProgramSeconds * 10
+                                                  : 0);
+      CheckOutcome IncOut =
+          runCheck(P, "incremental-vs-fresh", IncDO, IncCtx);
+      if (IncOut.Status == CheckStatus::Mismatch) {
+        R.Message = "incremental-vs-fresh at k=" + std::to_string(E.K) +
+                    ": " + IncOut.Detail;
+        return R;
+      }
+    }
   }
 
   R.Passed = true;

@@ -53,6 +53,12 @@ struct FuzzOptions {
   bool Isolate = false;
   /// Sandbox memory headroom per program in MB (0 = unlimited).
   uint64_t MemLimitMb = 0;
+  /// During corpus replay, additionally run the incremental-vs-fresh
+  /// equivalence check at every `// expect:` directive's K: the
+  /// incremental deepening engine must report the same verdict and the
+  /// same minimal buggy K as fresh per-K solving. Skipped for files
+  /// marked `// no-sat`.
+  bool IncrementalReplay = false;
 
   GeneratorOptions Gen;
   DiffOptions Diff;

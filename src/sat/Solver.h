@@ -59,7 +59,10 @@ enum class SolveResult {
   Unknown, ///< Budget exhausted.
 };
 
-/// Solver statistics (cumulative over the solver lifetime).
+/// Solver statistics (cumulative over the solver lifetime). Callers that
+/// keep one solver alive across several solve() calls (the incremental
+/// deepening engine) snapshot stats() around each call and report the
+/// difference, so per-call numbers stay meaningful.
 struct SolverStats {
   uint64_t Conflicts = 0;
   uint64_t Decisions = 0;
@@ -68,6 +71,20 @@ struct SolverStats {
   uint64_t LearntLiterals = 0;
   uint64_t ClausesDeleted = 0;
 };
+
+/// Per-solve delta between two cumulative snapshots: \p After - \p Before,
+/// where \p Before was taken just before a solve() and \p After just after.
+inline SolverStats operator-(const SolverStats &After,
+                             const SolverStats &Before) {
+  SolverStats D;
+  D.Conflicts = After.Conflicts - Before.Conflicts;
+  D.Decisions = After.Decisions - Before.Decisions;
+  D.Propagations = After.Propagations - Before.Propagations;
+  D.Restarts = After.Restarts - Before.Restarts;
+  D.LearntLiterals = After.LearntLiterals - Before.LearntLiterals;
+  D.ClausesDeleted = After.ClausesDeleted - Before.ClausesDeleted;
+  return D;
+}
 
 /// The CDCL solver.
 class Solver {

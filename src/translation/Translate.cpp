@@ -45,6 +45,8 @@ public:
     R.Prog = std::move(Out);
     R.ContextBound = K + In.numProcs();
     R.InputVars = NV;
+    R.SRaVar = SRa;
+    R.UsedStampVars = UsedStamp;
     return R;
   }
 

@@ -81,6 +81,21 @@ struct TranslationResult {
   /// Number of shared variables of the *input* (after fence desugaring);
   /// useful for diagnostics.
   uint32_t InputVars = 0;
+  /// VarId (in Prog) of the translation's `s_ra` view-switch counter:
+  /// every view-altering read increments it under assume(s_ra < K), so
+  /// its final value counts exactly the view switches an execution
+  /// consumed. The incremental deepening engine keys its per-budget
+  /// assumption literals on this variable.
+  ir::VarId SRaVar = 0;
+  /// VarIds (in Prog) of the `used<x>_t<t>` stamp markers, indexed
+  /// [x][t-1] for input variable x and abstract timestamp t in
+  /// 1..timeBound(). Each is a monotone 0 -> 1 flag set exactly when
+  /// stamp t is consumed for x, so "final value 0" means the execution
+  /// never drew that stamp. The incremental deepening engine uses them
+  /// to shrink the timestamp domain per budget: a budget-k run may only
+  /// consume stamps <= 2k + max(CasAllowance, 1), matching the pool a
+  /// fresh budget-k translation would have.
+  std::vector<std::vector<ir::VarId>> UsedStampVars;
 };
 
 /// Replaces every `fence` statement by `cas(__fence, 0, 0)` on a fresh

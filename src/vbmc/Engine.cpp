@@ -1,0 +1,720 @@
+//===- Engine.cpp - the staged verification engine --------------*- C++ -*-===//
+//
+// The engine is organized as a staged pipeline over one shared
+// CheckContext: translate ([[.]]_K), flatten (explicit path only), then
+// decide with a backend. Every stage polls the context's deadline and
+// cancellation token and records its cost into the context's
+// StatsRegistry. On top of the single-backend pipeline sit the
+// multi-attempt modes: Iterative (fresh pipeline per K), Portfolio (race
+// both backends, cancel the loser), ParallelDeepening (several K at once
+// with the smallest-K reporting guarantee), and Incremental (translate and
+// encode once at MaxK, then deepen by re-solving the one persistent CDCL
+// solver under per-K assumption literals — see bmc::IncrementalBmc).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vbmc/Engine.h"
+
+#include "bmc/Encoder.h"
+#include "ir/Flatten.h"
+#include "ir/Printer.h"
+#include "support/FaultInjection.h"
+#include "support/Timer.h"
+#include "vbmc/Isolation.h"
+#include "vbmc/Vbmc.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <thread>
+
+using namespace vbmc;
+using namespace vbmc::driver;
+
+const char *vbmc::driver::engineModeName(EngineMode M) {
+  switch (M) {
+  case EngineMode::Single:
+    return "single";
+  case EngineMode::Iterative:
+    return "iterative";
+  case EngineMode::Portfolio:
+    return "portfolio";
+  case EngineMode::ParallelDeepening:
+    return "parallel-deepening";
+  case EngineMode::Incremental:
+    return "incremental";
+  }
+  return "single";
+}
+
+bool vbmc::driver::engineModeFromName(const std::string &Name,
+                                      EngineMode &M) {
+  if (Name == "single")
+    M = EngineMode::Single;
+  else if (Name == "iterative")
+    M = EngineMode::Iterative;
+  else if (Name == "portfolio")
+    M = EngineMode::Portfolio;
+  else if (Name == "parallel-deepening")
+    M = EngineMode::ParallelDeepening;
+  else if (Name == "incremental")
+    M = EngineMode::Incremental;
+  else
+    return false;
+  return true;
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Fault injection (fault-tolerance self-tests)
+//===----------------------------------------------------------------------===//
+
+uint64_t countBodyStmts(const std::vector<ir::Stmt> &Body) {
+  uint64_t N = 0;
+  for (const ir::Stmt &S : Body)
+    N += 1 + countBodyStmts(S.Then) + countBodyStmts(S.Else);
+  return N;
+}
+
+uint64_t countProgramStmts(const ir::Program &P) {
+  uint64_t N = 0;
+  for (const ir::Process &Proc : P.Procs)
+    N += countBodyStmts(Proc.Body);
+  return N;
+}
+
+/// Deliberate allocation storm: grabs and touches memory until either a
+/// real std::bad_alloc (under an RLIMIT_AS sandbox) or a synthetic one at
+/// a 256 MB cap (so the un-sandboxed self-test cannot eat the machine).
+void allocationStorm() {
+  constexpr size_t Chunk = 1 << 20;
+  constexpr size_t Cap = 256u << 20;
+  std::vector<std::unique_ptr<char[]>> Hog;
+  for (size_t Total = 0;; Total += Chunk) {
+    if (Total >= Cap)
+      throw std::bad_alloc();
+    Hog.push_back(std::make_unique<char[]>(Chunk));
+    std::memset(Hog.back().get(), 0xAB, Chunk);
+  }
+}
+
+/// Backend-death faults for validating the sandbox: `backend.crash` dies
+/// on SIGSEGV, `backend.hog-memory` storms the allocator. The `-odd` /
+/// `-even` variants key deterministically on the translated program's
+/// statement-count parity, so one fixed-seed fuzz campaign exercises both
+/// death modes across its program stream.
+void maybeInjectBackendFault(const ir::Program &Translated) {
+  if (fault::enabled("backend.crash"))
+    raise(SIGSEGV);
+  if (fault::enabled("backend.hog-memory"))
+    allocationStorm();
+  uint64_t Parity = countProgramStmts(Translated) % 2;
+  if (fault::enabled("backend.crash-odd") && Parity == 1)
+    raise(SIGSEGV);
+  if (fault::enabled("backend.hog-even") && Parity == 0)
+    allocationStorm();
+}
+
+CheckReport runExplicit(const ir::Program &Translated, uint32_t ContextBound,
+                        const VbmcOptions &Opts, const CheckContext &Ctx) {
+  CheckReport R;
+  ir::FlatProgram FP;
+  {
+    ScopedStageTimer T(Ctx.stats(), "flatten.seconds");
+    FP = ir::flatten(Translated);
+  }
+  sc::ScQuery Q;
+  Q.Goal = sc::ScGoalKind::AnyError;
+  Q.ContextBound = ContextBound;
+  Q.SwitchOnlyAfterWrite = Opts.SwitchOnlyAfterWrite;
+  Q.BudgetSeconds = Opts.BudgetSeconds;
+  Q.MaxStates = Opts.MaxStates;
+  Q.Ctx = &Ctx;
+  sc::ScResult SR = sc::exploreSc(FP, Q);
+  R.Work = SR.StatesVisited;
+  R.Seconds = SR.Seconds;
+  switch (SR.Status) {
+  case sc::ScStatus::Reached:
+    R.Outcome = Verdict::Unsafe;
+    R.Trace = std::move(SR.Trace);
+    break;
+  case sc::ScStatus::Exhausted:
+    R.Outcome = Verdict::Safe;
+    break;
+  case sc::ScStatus::StateLimit:
+    R.Outcome = Verdict::Unknown;
+    R.Note = "state limit exceeded";
+    break;
+  case sc::ScStatus::Timeout:
+    R.Outcome = Verdict::Unknown;
+    R.Note = "timeout";
+    break;
+  case sc::ScStatus::Cancelled:
+    R.Outcome = Verdict::Unknown;
+    R.Note = "cancelled";
+    break;
+  }
+  return R;
+}
+
+/// Stage 1 of the pipeline: [[.]]_K. Records translate.* stats.
+translation::TranslationResult translateStage(const ir::Program &P,
+                                              const VbmcOptions &Opts,
+                                              const CheckContext &Ctx) {
+  translation::TranslationOptions TO;
+  TO.K = Opts.K;
+  TO.CasAllowance = Opts.CasAllowance;
+  return translation::translateToSc(P, TO, &Ctx.stats());
+}
+
+/// Stage 2: decide the translated program with the selected backend. A
+/// std::bad_alloc from either backend degrades to a classified
+/// OutOfMemory Unknown instead of std::terminate — the in-process half of
+/// the fault-tolerance story (the sandbox is the out-of-process half).
+CheckReport backendStage(const translation::TranslationResult &TR,
+                         const VbmcOptions &Opts, const CheckContext &Ctx) {
+  try {
+    maybeInjectBackendFault(TR.Prog);
+    return Opts.Backend == BackendKind::Explicit
+               ? runExplicit(TR.Prog, TR.ContextBound, Opts, Ctx)
+               : runSatBackend(TR.Prog, TR.ContextBound, Opts, &Ctx);
+  } catch (const std::bad_alloc &) {
+    CheckReport R;
+    R.Outcome = Verdict::Unknown;
+    R.Failure = sandbox::FailureKind::OutOfMemory;
+    R.Note = "backend allocation failure (std::bad_alloc)";
+    return R;
+  }
+}
+
+/// One in-process attempt: translate, then decide.
+CheckReport runOnceInProcess(const ir::Program &P, const VbmcOptions &Opts,
+                             CheckContext &Ctx) {
+  Timer TranslateWatch;
+  translation::TranslationResult TR = translateStage(P, Opts, Ctx);
+  double TranslateSeconds = TranslateWatch.elapsedSeconds();
+  if (Ctx.interrupted()) {
+    CheckReport R;
+    R.Outcome = Verdict::Unknown;
+    R.Note = Ctx.cancelled() ? "cancelled" : "budget exhausted";
+    R.TranslateSeconds = TranslateSeconds;
+    return R;
+  }
+  CheckReport R = backendStage(TR, Opts, Ctx);
+  // Do NOT overwrite the backend-reported Seconds with a driver-side
+  // timer: translation cost is reported separately, both here and as the
+  // translate.seconds / backend stage entries in the StatsRegistry.
+  R.TranslateSeconds = TranslateSeconds;
+  return R;
+}
+
+/// One attempt, sandboxed when the options ask for it (and the platform
+/// can): process isolation turns any backend death into a classified
+/// Unknown on the parent side.
+CheckReport runOnce(const ir::Program &P, const VbmcOptions &Opts,
+                    CheckContext &Ctx) {
+  if (Opts.Isolate && sandbox::available())
+    return runIsolatedAttempt(P, Opts, Ctx);
+  return runOnceInProcess(P, Opts, Ctx);
+}
+
+/// The retry policy's reduced bounds: halve the unroll bound and the
+/// view-switch budget. The resulting verdict covers a smaller execution
+/// subset, which the driver flags in the result note.
+VbmcOptions reducedBounds(const VbmcOptions &O) {
+  VbmcOptions R = O;
+  R.L = std::max<uint32_t>(1, O.L / 2);
+  R.K = O.K / 2;
+  return R;
+}
+
+bool boundsReducible(const VbmcOptions &O) { return O.L > 1 || O.K > 0; }
+
+std::string joinNotes(std::string Base, const std::string &Extra) {
+  if (Extra.empty())
+    return Base;
+  if (!Base.empty())
+    Base += "; ";
+  return Base + Extra;
+}
+
+//===----------------------------------------------------------------------===//
+// Modes
+//===----------------------------------------------------------------------===//
+
+CheckReport runSingleMode(const ir::Program &P, const VbmcOptions &Opts,
+                          CheckContext &Ctx) {
+  CheckReport R = runOnce(P, Opts, Ctx);
+  // Retry policy: one re-attempt at reduced bounds after a memory kill
+  // (sandboxed or the encoder's in-process byte ceiling), while there is
+  // still budget to spend. Smaller bounds mean a smaller encoding / state
+  // space, so the retry frequently rescues a verdict the first attempt
+  // could not afford.
+  if (R.Failure == sandbox::FailureKind::OutOfMemory && Opts.RetryReduced &&
+      boundsReducible(Opts) && !Ctx.interrupted()) {
+    Ctx.stats().addCount("sandbox.retries");
+    VbmcOptions Red = reducedBounds(Opts);
+    Red.RetryReduced = false;
+    std::string Bounds =
+        "k=" + std::to_string(Red.K) + " l=" + std::to_string(Red.L);
+    CheckReport Retry = runOnce(P, Red, Ctx);
+    if (Retry.Outcome != Verdict::Unknown) {
+      Retry.Note += (Retry.Note.empty() ? "" : "; ") +
+                    ("recovered at reduced bounds " + Bounds +
+                     " after memory kill");
+      Retry.ModeRan = EngineMode::Single;
+      Retry.KUsed = Red.K;
+      if (Retry.Attempts.empty())
+        Retry.Attempts.push_back(
+            Attempt{Red.K, Retry.Outcome, Retry.Failure, Retry.Seconds});
+      return Retry;
+    }
+    R.Note += "; retry at reduced bounds " + Bounds + " also inconclusive" +
+              (Retry.Note.empty() ? "" : ": " + Retry.Note);
+  }
+  R.ModeRan = EngineMode::Single;
+  R.KUsed = Opts.K;
+  if (R.Attempts.empty())
+    R.Attempts.push_back(Attempt{Opts.K, R.Outcome, R.Failure, R.Seconds});
+  return R;
+}
+
+CheckReport runPortfolioMode(const ir::Program &P, const VbmcOptions &Opts,
+                             CheckContext &Ctx) {
+  // With isolation, every arm runs the full pipeline in its own sandbox
+  // (translation included): a crashing or memory-eating arm dies alone
+  // and no longer loses the race for everyone. Without it, translate
+  // once and race the backends on the shared SC program.
+  const bool Isolated = Opts.Isolate && sandbox::available();
+  translation::TranslationResult TR;
+  double TranslateSeconds = 0;
+  if (!Isolated) {
+    Timer TranslateWatch;
+    TR = translateStage(P, Opts, Ctx);
+    TranslateSeconds = TranslateWatch.elapsedSeconds();
+    if (Ctx.interrupted()) {
+      CheckReport R;
+      R.Outcome = Verdict::Unknown;
+      R.Note = Ctx.cancelled() ? "cancelled" : "budget exhausted";
+      R.TranslateSeconds = TranslateSeconds;
+      R.ModeRan = EngineMode::Portfolio;
+      R.KUsed = Opts.K;
+      return R;
+    }
+  }
+
+  constexpr int NumRacers = 2;
+  const char *Names[NumRacers] = {"explicit", "sat"};
+  CheckContext Racers[NumRacers] = {Ctx.child(), Ctx.child()};
+  CheckReport Results[NumRacers];
+  std::mutex M;
+  int Winner = -1;
+
+  auto race = [&](int Idx, BackendKind B) {
+    VbmcOptions O = Opts;
+    O.Backend = B;
+    // The full single-mode pipeline (not backendStage) in the isolated
+    // case: the child re-translates inside its own address space, and the
+    // arm keeps the per-arm retry policy.
+    CheckReport R = Isolated ? runSingleMode(P, O, Racers[Idx])
+                             : backendStage(TR, O, Racers[Idx]);
+    std::lock_guard<std::mutex> L(M);
+    Results[Idx] = std::move(R);
+    // First conclusive verdict wins; cancel the other racer right away
+    // so it stops burning the machine.
+    if (Winner < 0 && Results[Idx].Outcome != Verdict::Unknown) {
+      Winner = Idx;
+      for (int J = 0; J < NumRacers; ++J)
+        if (J != Idx)
+          Racers[J].cancel();
+    }
+  };
+
+  std::thread ExplicitThread(race, 0, BackendKind::Explicit);
+  std::thread SatThread(race, 1, BackendKind::Sat);
+  ExplicitThread.join();
+  SatThread.join();
+
+  CheckReport R;
+  if (Winner >= 0) {
+    R = std::move(Results[Winner]);
+    R.WinningBackend = Names[Winner];
+  } else {
+    // Both inconclusive: surface both notes, and carry the first
+    // classified fault so exit codes / retry policies see it.
+    R.Outcome = Verdict::Unknown;
+    R.Seconds = std::max(Results[0].Seconds, Results[1].Seconds);
+    for (const CheckReport &Arm : Results)
+      if (Arm.failed()) {
+        R.Failure = Arm.Failure;
+        break;
+      }
+    R.Note = "portfolio inconclusive: explicit: " +
+             (Results[0].Note.empty() ? "unknown" : Results[0].Note) +
+             "; sat: " +
+             (Results[1].Note.empty() ? "unknown" : Results[1].Note);
+  }
+  if (!Isolated)
+    R.TranslateSeconds = TranslateSeconds;
+  R.ModeRan = EngineMode::Portfolio;
+  R.KUsed = Opts.K;
+  R.Attempts.assign(1, Attempt{Opts.K, R.Outcome, R.Failure, R.Seconds});
+  return R;
+}
+
+CheckReport runIterativeMode(const ir::Program &P, uint32_t MaxK,
+                             const VbmcOptions &BaseOpts,
+                             CheckContext &Ctx) {
+  Timer Watch;
+  CheckReport R;
+  R.ModeRan = EngineMode::Iterative;
+  bool SawInconclusive = false;
+  for (uint32_t K = 0; K <= MaxK; ++K) {
+    if (Ctx.interrupted()) {
+      SawInconclusive = true;
+      break;
+    }
+    VbmcOptions Opts = BaseOpts;
+    Opts.K = K;
+    // The shared context's deadline already hands each iteration
+    // whatever wall clock is left; no per-iteration budget arithmetic.
+    Opts.BudgetSeconds = 0;
+    CheckReport Step = runSingleMode(P, Opts, Ctx);
+    R.Attempts.push_back(
+        Attempt{K, Step.Outcome, Step.Failure, Step.Seconds});
+    if (Step.unsafe()) {
+      R.Outcome = Verdict::Unsafe;
+      R.KUsed = K;
+      R.Note = Step.Note;
+      R.Trace = std::move(Step.Trace);
+      R.Work = Step.Work;
+      R.Seconds = Watch.elapsedSeconds();
+      return R;
+    }
+    if (Step.failed() && !sandbox::isFailure(R.Failure))
+      R.Failure = Step.Failure;
+    SawInconclusive |= Step.Outcome == Verdict::Unknown;
+  }
+  R.Outcome = SawInconclusive ? Verdict::Unknown : Verdict::Safe;
+  R.KUsed = MaxK;
+  R.Seconds = Watch.elapsedSeconds();
+  return R;
+}
+
+CheckReport runParallelMode(const ir::Program &P, uint32_t MaxK,
+                            uint32_t Threads, const VbmcOptions &BaseOpts,
+                            CheckContext &Ctx) {
+  Timer Watch;
+  const uint32_t NumK = MaxK + 1;
+  Threads = std::clamp(Threads, 1u, NumK);
+
+  // One cancellable child context per K, so an UNSAFE at K can stop every
+  // in-flight run of a *larger* K (their verdicts can no longer matter)
+  // while smaller Ks always run to completion: the paper's guarantee is
+  // UNSAFE for the smallest buggy K.
+  std::vector<CheckContext> KCtx;
+  KCtx.reserve(NumK);
+  for (uint32_t K = 0; K < NumK; ++K)
+    KCtx.push_back(Ctx.child());
+
+  std::vector<Attempt> Reports(NumK);
+  std::vector<uint8_t> Ran(NumK, 0);
+  std::mutex M;
+  uint32_t NextK = 0;        // Guarded by M.
+  uint32_t BestUnsafe = ~0u; // Guarded by M.
+
+  auto worker = [&] {
+    for (;;) {
+      uint32_t K;
+      {
+        std::lock_guard<std::mutex> L(M);
+        // Claim the next K; skip values above a known-unsafe K.
+        do {
+          K = NextK++;
+        } while (K < NumK && K > BestUnsafe);
+        if (K >= NumK)
+          return;
+      }
+      VbmcOptions Opts = BaseOpts;
+      Opts.K = K;
+      Opts.BudgetSeconds = 0; // The shared deadline governs.
+      CheckReport Step = runSingleMode(P, Opts, KCtx[K]);
+      std::lock_guard<std::mutex> L(M);
+      Reports[K] = Attempt{K, Step.Outcome, Step.Failure, Step.Seconds};
+      Ran[K] = 1;
+      if (Step.unsafe() && K < BestUnsafe) {
+        BestUnsafe = K;
+        for (uint32_t J = K + 1; J < NumK; ++J)
+          KCtx[J].cancel();
+      }
+    }
+  };
+
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  for (uint32_t T = 0; T < Threads; ++T)
+    Pool.emplace_back(worker);
+  for (std::thread &T : Pool)
+    T.join();
+
+  CheckReport R;
+  R.ModeRan = EngineMode::ParallelDeepening;
+  bool SawInconclusive = false;
+  bool AllSafe = true;
+  for (uint32_t K = 0; K < NumK; ++K) {
+    if (K > BestUnsafe)
+      break; // Cancelled/skipped tails are not part of the report.
+    if (!Ran[K]) {
+      SawInconclusive = true; // Preempted by the run-wide deadline.
+      AllSafe = false;
+      continue;
+    }
+    R.Attempts.push_back(Reports[K]);
+    SawInconclusive |= Reports[K].Outcome == Verdict::Unknown;
+    AllSafe &= Reports[K].Outcome == Verdict::Safe;
+    if (sandbox::isFailure(Reports[K].Failure) &&
+        !sandbox::isFailure(R.Failure))
+      R.Failure = Reports[K].Failure;
+  }
+  if (BestUnsafe != ~0u) {
+    R.Outcome = Verdict::Unsafe;
+    R.KUsed = BestUnsafe;
+  } else if (AllSafe && !SawInconclusive) {
+    R.Outcome = Verdict::Safe;
+    R.KUsed = MaxK;
+  } else {
+    R.Outcome = Verdict::Unknown;
+    R.KUsed = MaxK;
+  }
+  R.Seconds = Watch.elapsedSeconds();
+  return R;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Engine
+//===----------------------------------------------------------------------===//
+
+/// Holds the cross-run state: the persistent-encoding cache for
+/// incremental mode. Each entry keeps one bmc::IncrementalBmc (circuit +
+/// CDCL solver + per-budget selector literals) keyed by the program text
+/// and every knob that shapes the encoding.
+class vbmc::driver::Engine::Impl {
+public:
+  struct CacheEntry {
+    std::string Key;
+    std::unique_ptr<bmc::IncrementalBmc> Inc;
+    double TranslateSeconds = 0;
+  };
+
+  static std::string cacheKey(const ir::Program &P, const CheckRequest &Req) {
+    const VbmcOptions &O = Req.Opts;
+    return "maxk=" + std::to_string(Req.MaxK) +
+           "|l=" + std::to_string(O.L) +
+           "|cas=" + std::to_string(O.CasAllowance) +
+           "|mem=" + std::to_string(O.MemLimitBytes) + "|" +
+           ir::printProgram(P);
+  }
+
+  CheckReport runIncremental(const ir::Program &P, const CheckRequest &Req,
+                             CheckContext &Ctx);
+
+  /// Most-recently-built entries, newest last; bounded so a long-lived
+  /// Engine fuzzing thousands of programs does not hoard solvers.
+  static constexpr size_t MaxCacheEntries = 4;
+  std::vector<CacheEntry> Cache;
+};
+
+CheckReport
+vbmc::driver::Engine::Impl::runIncremental(const ir::Program &P,
+                                           const CheckRequest &Req,
+                                           CheckContext &Ctx) {
+  Timer Watch;
+  VbmcOptions Opts = Req.Opts;
+  // Incremental deepening is a Sat-backend strategy: the persistent
+  // object is a CDCL solver. The backend knob is ignored here.
+  Opts.Backend = BackendKind::Sat;
+
+  const std::string Key = cacheKey(P, Req);
+  CacheEntry *Entry = nullptr;
+  for (CacheEntry &E : Cache)
+    if (E.Key == Key)
+      Entry = &E;
+
+  std::string FallbackWhy;
+  double TranslateSeconds = 0;
+  if (Entry) {
+    Ctx.stats().addCount("engine.incremental.cache_hits");
+    TranslateSeconds = Entry->TranslateSeconds;
+  } else {
+    // Build the one-time encoding: translate at MaxK, encode at the
+    // matching context bound, precompute every budget selector.
+    try {
+      Timer TranslateWatch;
+      translation::TranslationOptions TO;
+      TO.K = Req.MaxK;
+      TO.CasAllowance = Opts.CasAllowance;
+      translation::TranslationResult TR =
+          translation::translateToSc(P, TO, &Ctx.stats());
+      TranslateSeconds = TranslateWatch.elapsedSeconds();
+      if (Ctx.interrupted()) {
+        CheckReport R;
+        R.Outcome = Verdict::Unknown;
+        R.Note = Ctx.cancelled() ? "cancelled" : "budget exhausted";
+        R.TranslateSeconds = TranslateSeconds;
+        R.ModeRan = EngineMode::Incremental;
+        R.KUsed = 0;
+        return R;
+      }
+      maybeInjectBackendFault(TR.Prog);
+
+      bmc::BmcOptions BO;
+      BO.UnrollBound = Opts.L;
+      BO.ContextBound = TR.ContextBound;
+      BO.ValueWidth = satValueWidth(TR.Prog);
+      BO.MemLimitBytes = Opts.MemLimitBytes;
+      BO.Ctx = &Ctx;
+      bmc::IncrementalSpec Spec;
+      Spec.BudgetVar = TR.SRaVar;
+      Spec.MaxBudget = Req.MaxK;
+      Spec.BaseContexts = TR.ContextBound - Req.MaxK;
+      // The translation's timestamp domain is {1 .. 2K + max(Cas, 1)},
+      // which GROWS with K: the MaxK encoding owns stamps a fresh
+      // budget-k translation (k < MaxK) never had. Cap each budget to
+      // the fresh pool by demanding that every stamp marker above
+      // 2k + max(Cas, 1) stays untaken, or Sel_k admits stamp-hungry
+      // runs fresh-k prunes and verdicts diverge.
+      Spec.ZeroFinalAtBudget.resize(Req.MaxK + 1);
+      uint32_t CasFloor = Opts.CasAllowance < 1 ? 1 : Opts.CasAllowance;
+      for (uint32_t K = 0; K <= Req.MaxK; ++K) {
+        uint32_t FreshPool = 2 * K + CasFloor;
+        for (const auto &PerVar : TR.UsedStampVars)
+          for (uint32_t T = FreshPool; T < PerVar.size(); ++T)
+            Spec.ZeroFinalAtBudget[K].push_back(PerVar[T]);
+      }
+      // Monotone instrumentation counters get redundant per-round
+      // monotonicity lemmas so the selectors' final-value bounds
+      // propagate instead of being re-derived by conflicts per budget.
+      Spec.MonotoneVars.push_back(TR.SRaVar);
+      for (const auto &PerVar : TR.UsedStampVars)
+        Spec.MonotoneVars.insert(Spec.MonotoneVars.end(), PerVar.begin(),
+                                 PerVar.end());
+      auto Inc =
+          std::make_unique<bmc::IncrementalBmc>(TR.Prog, BO, Spec);
+      Ctx.stats().addCount("engine.incremental.encodes");
+      if (!Inc->usable()) {
+        FallbackWhy = Inc->encodeResult().Note.empty()
+                          ? "incremental encoding failed"
+                          : Inc->encodeResult().Note;
+      } else {
+        if (Cache.size() >= MaxCacheEntries)
+          Cache.erase(Cache.begin());
+        Cache.push_back(
+            CacheEntry{Key, std::move(Inc), TranslateSeconds});
+        Entry = &Cache.back();
+      }
+    } catch (const std::bad_alloc &) {
+      FallbackWhy = "allocation failure during incremental encoding";
+    }
+  }
+
+  if (!Entry) {
+    // The one-time encoding could not be built (resource ceiling, huge
+    // circuit, injected fault): degrade to fresh per-K solving, which
+    // brings its own retry-at-reduced-bounds policy, and say so.
+    CheckReport FB = runIterativeMode(P, Req.MaxK, Opts, Ctx);
+    FB.Note = joinNotes(std::move(FB.Note),
+                        "incremental unavailable (" + FallbackWhy +
+                            "); ran fresh per-K");
+    return FB;
+  }
+
+  CheckReport R;
+  R.ModeRan = EngineMode::Incremental;
+  R.TranslateSeconds = TranslateSeconds;
+  bool SawInconclusive = false;
+  for (uint32_t K = 0; K <= Req.MaxK; ++K) {
+    if (Ctx.interrupted()) {
+      SawInconclusive = true;
+      break;
+    }
+    bmc::BmcResult BR;
+    try {
+      BR = Entry->Inc->solveBudget(K, &Ctx);
+    } catch (const std::bad_alloc &) {
+      // The persistent solver may be mid-flight inconsistent after an
+      // allocation failure: drop it from the cache and stop the sweep
+      // with a classified failure.
+      Cache.erase(Cache.begin() + (Entry - Cache.data()));
+      R.Failure = sandbox::FailureKind::OutOfMemory;
+      R.Attempts.push_back(Attempt{K, Verdict::Unknown,
+                                   sandbox::FailureKind::OutOfMemory, 0});
+      R.Note = joinNotes(std::move(R.Note),
+                         "incremental solve allocation failure at k=" +
+                             std::to_string(K));
+      SawInconclusive = true;
+      break;
+    }
+    Verdict V = BR.Status == bmc::BmcStatus::Unsafe  ? Verdict::Unsafe
+                : BR.Status == bmc::BmcStatus::Safe ? Verdict::Safe
+                                                    : Verdict::Unknown;
+    R.Attempts.push_back(Attempt{K, V, BR.Failure, BR.Seconds});
+    R.Work += BR.SolverConflicts;
+    if (V == Verdict::Unsafe) {
+      R.Outcome = Verdict::Unsafe;
+      R.KUsed = K;
+      for (const std::string &F : BR.FailedAssertions)
+        R.Note = joinNotes(std::move(R.Note), F);
+      R.Seconds = Watch.elapsedSeconds();
+      return R;
+    }
+    if (sandbox::isFailure(BR.Failure) && !sandbox::isFailure(R.Failure))
+      R.Failure = BR.Failure;
+    if (V == Verdict::Unknown) {
+      SawInconclusive = true;
+      if (!BR.Note.empty() && R.Note.empty())
+        R.Note = BR.Note;
+    }
+  }
+  R.Outcome = SawInconclusive ? Verdict::Unknown : Verdict::Safe;
+  R.KUsed = Req.MaxK;
+  R.Seconds = Watch.elapsedSeconds();
+  return R;
+}
+
+Engine::Engine() : I(std::make_unique<Impl>()) {}
+Engine::~Engine() = default;
+
+CheckReport Engine::run(const ir::Program &P, const CheckRequest &Req,
+                        CheckContext &Ctx) {
+  switch (Req.Mode) {
+  case EngineMode::Single:
+    return runSingleMode(P, Req.Opts, Ctx);
+  case EngineMode::Iterative:
+    return runIterativeMode(P, Req.MaxK, Req.Opts, Ctx);
+  case EngineMode::Portfolio:
+    return runPortfolioMode(P, Req.Opts, Ctx);
+  case EngineMode::ParallelDeepening:
+    return runParallelMode(P, Req.MaxK, Req.Threads, Req.Opts, Ctx);
+  case EngineMode::Incremental:
+    // One sandbox around the whole sweep: the persistent solver cannot
+    // survive per-K forks, so the child runs the full incremental mode
+    // and ships the attempt history back over the report pipe.
+    if (Req.Opts.Isolate && sandbox::available())
+      return runIsolatedRequest(P, Req, Ctx);
+    return I->runIncremental(P, Req, Ctx);
+  }
+  CheckReport R;
+  R.Note = "unknown engine mode";
+  return R;
+}
+
+CheckReport Engine::run(const ir::Program &P, const CheckRequest &Req) {
+  CheckContext Ctx(Req.Opts.BudgetSeconds);
+  return run(P, Req, Ctx);
+}

@@ -1,0 +1,202 @@
+//===- Engine.h - unified driver engine ---------------------------*- C++ -*-===//
+///
+/// \file
+/// The driver's single entry point: `Engine::run(CheckRequest)`. A request
+/// names a mode — single attempt, iterative deepening, backend portfolio,
+/// parallel deepening, or incremental deepening — plus the shared
+/// VbmcOptions knobs; the report carries the verdict, the per-K attempt
+/// history, and which mode actually ran.
+///
+/// The Engine is a *class* (not a free function) because incremental
+/// deepening needs state that outlives one call: it translates and encodes
+/// the program once at MaxK and then answers every budget k <= MaxK by
+/// re-solving the same persistent CDCL solver under a per-k assumption
+/// literal (learned clauses, VSIDS activities and saved phases carry
+/// across K). The Engine owns that persistent solver/encoding cache, so
+/// re-running a request on the same program reuses the encoding.
+///
+/// The historical free functions checkProgram / checkIterative /
+/// checkPortfolio / checkParallelDeepening (Vbmc.h) survive as thin
+/// deprecated wrappers that build a CheckRequest and delegate here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_VBMC_ENGINE_H
+#define VBMC_VBMC_ENGINE_H
+
+#include "ir/Program.h"
+#include "sc/ScExplorer.h"
+#include "support/CheckContext.h"
+#include "support/Sandbox.h"
+#include "translation/Translate.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vbmc::driver {
+
+enum class BackendKind {
+  Explicit, ///< Explicit-state context-bounded SC search.
+  Sat,      ///< BMC pipeline (unroll + sequentialize + CDCL SAT).
+};
+
+struct VbmcOptions {
+  /// View-switch budget K.
+  uint32_t K = 2;
+  /// Loop unrolling bound L (Sat backend; the explicit backend needs none).
+  uint32_t L = 2;
+  /// Extra abstract timestamps for CAS/fence chains.
+  uint32_t CasAllowance = 8;
+  BackendKind Backend = BackendKind::Explicit;
+  /// Section 6 scheduling optimization (explicit backend).
+  bool SwitchOnlyAfterWrite = true;
+  /// Wall-clock budget in seconds (0 = unlimited).
+  double BudgetSeconds = 0;
+  /// State cap for the explicit backend (0 = unlimited).
+  uint64_t MaxStates = 0;
+  /// Run each verification attempt in a forked, resource-governed child
+  /// process (support/Sandbox.h): a crashing or memory-eating backend
+  /// yields a classified Unknown instead of killing the engine. Portfolio
+  /// and parallel-deepening arms each get their own sandbox; an
+  /// incremental run sandboxes the whole sweep (the persistent solver
+  /// cannot survive per-K forks).
+  bool Isolate = false;
+  /// Memory ceiling in bytes (0 = unlimited). Doubles as the sandbox's
+  /// RLIMIT_AS headroom (when Isolate) and as the BMC encoder's in-process
+  /// byte ceiling (always), so a huge encoding degrades to a classified
+  /// OutOfMemory rather than a std::bad_alloc abort.
+  uint64_t MemLimitBytes = 0;
+  /// Retry policy: re-attempt a memory-killed run once at reduced bounds
+  /// (L and K halved) before reporting the classified failure. The
+  /// reduced-bound verdict is flagged in the result note, since it covers
+  /// a smaller execution subset.
+  bool RetryReduced = true;
+};
+
+enum class Verdict {
+  Safe,    ///< No assertion violation in the K-bounded subset.
+  Unsafe,  ///< Counterexample with at most K view switches found.
+  Unknown, ///< Resource limit hit before a conclusion.
+};
+
+/// How Engine::run decides. Single uses Opts.K as-is; the deepening modes
+/// sweep K = 0..MaxK; Portfolio races both backends at Opts.K.
+enum class EngineMode {
+  Single,            ///< One attempt at Opts.K with Opts.Backend.
+  Iterative,         ///< Fresh pipeline per K, smallest buggy K first.
+  Portfolio,         ///< Race Explicit vs Sat at Opts.K, cancel the loser.
+  ParallelDeepening, ///< Several K values concurrently, smallest-K verdict.
+  Incremental,       ///< Encode once at MaxK, re-solve under assumptions.
+};
+
+/// Canonical lowercase mode names used by `vbmc --mode=...`, the sandbox
+/// wire format, and diagnostics: "single", "iterative", "portfolio",
+/// "parallel-deepening", "incremental".
+const char *engineModeName(EngineMode M);
+
+/// Parses a canonical mode name; returns false (leaving \p M untouched)
+/// on anything else.
+bool engineModeFromName(const std::string &Name, EngineMode &M);
+
+/// One verification attempt at a specific K. Deepening modes record one
+/// per explored K (in K order); Single/Portfolio record exactly one.
+struct Attempt {
+  uint32_t K = 0;
+  Verdict Outcome = Verdict::Unknown;
+  sandbox::FailureKind Failure = sandbox::FailureKind::None;
+  double Seconds = 0;
+};
+
+/// The one report type for every mode (the former VbmcResult /
+/// IterativeResult split, collapsed; those names remain as aliases).
+struct CheckReport {
+  Verdict Outcome = Verdict::Unknown;
+  /// For Unknown: why no verdict exists, when the cause is a classified
+  /// fault (backend crash, OOM kill, sandbox timeout) rather than a
+  /// cooperative stop (deadline poll, state cap, cancellation — those
+  /// keep FailureKind::None and explain themselves in Note). Drives the
+  /// CLI's exit code 3 and the fuzz campaign's crash witnesses.
+  sandbox::FailureKind Failure = sandbox::FailureKind::None;
+  /// Backend time as reported by the backend itself (deepening modes: the
+  /// whole sweep). Translation time is *not* folded in here; it is
+  /// recorded separately (TranslateSeconds and the translate.seconds
+  /// stage in the context's StatsRegistry).
+  double Seconds = 0;
+  /// Time spent in the [[.]]_K translation stage.
+  double TranslateSeconds = 0;
+  /// Explicit backend: states visited. Sat backend: solver conflicts.
+  uint64_t Work = 0;
+  /// Counterexample schedule over the *translated* program, when UNSAFE
+  /// and the explicit backend was used.
+  std::vector<sc::ScTraceStep> Trace;
+  std::string Note;
+  /// Portfolio mode: which backend produced the verdict ("explicit" or
+  /// "sat"); empty otherwise.
+  std::string WinningBackend;
+  /// The mode that actually decided the request. Usually the requested
+  /// mode; an Incremental request that had to fall back to fresh per-K
+  /// solving reports Iterative here (with the reason in Note), and
+  /// sandboxed runs carry the child's value across the report pipe.
+  EngineMode ModeRan = EngineMode::Single;
+  /// The K the verdict speaks for: the smallest buggy K when Unsafe, the
+  /// deepest exhausted K (MaxK) when a sweep finishes, Opts.K for
+  /// Single/Portfolio.
+  uint32_t KUsed = 0;
+  /// Per-K history (see Attempt).
+  std::vector<Attempt> Attempts;
+
+  bool unsafe() const { return Outcome == Verdict::Unsafe; }
+  bool safe() const { return Outcome == Verdict::Safe; }
+  /// True when the Unknown was caused by a classified fault.
+  bool failed() const { return sandbox::isFailure(Failure); }
+};
+
+/// Everything Engine::run needs: the mode, the shared option knobs, and
+/// the deepening parameters.
+struct CheckRequest {
+  EngineMode Mode = EngineMode::Single;
+  VbmcOptions Opts;
+  /// Deepening modes: sweep K = 0..MaxK (Opts.K is ignored there).
+  uint32_t MaxK = 6;
+  /// ParallelDeepening: worker threads (clamped to [1, MaxK+1]).
+  uint32_t Threads = 2;
+};
+
+/// The unified driver. Thread-compatible, not thread-safe: share one
+/// Engine per thread, or guard run() externally.
+class Engine {
+public:
+  Engine();
+  ~Engine();
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  /// Decides \p Req for \p P under \p Ctx: the context's deadline bounds
+  /// every stage, its token cancels the run cooperatively, and every
+  /// stage records into its StatsRegistry. Incremental mode keeps the
+  /// encoding cached inside this Engine, so a later run on the same
+  /// program (and same L / MaxK / CasAllowance / memory ceiling) skips
+  /// translate+encode entirely (engine.incremental.cache_hits counts
+  /// these).
+  CheckReport run(const ir::Program &P, const CheckRequest &Req,
+                  CheckContext &Ctx);
+
+  /// Convenience overload running under a private context built from
+  /// Req.Opts.BudgetSeconds.
+  CheckReport run(const ir::Program &P, const CheckRequest &Req);
+
+  class Impl;
+
+private:
+  std::unique_ptr<Impl> I;
+};
+
+/// Bit width the Sat backend would pick for \p P (headroom-audited over
+/// every literal constant). Exposed so the incremental engine encodes at
+/// exactly the width fresh per-K runs use.
+uint32_t satValueWidth(const ir::Program &P);
+
+} // namespace vbmc::driver
+
+#endif // VBMC_VBMC_ENGINE_H

@@ -111,9 +111,14 @@ std::string vbmc::driver::serializeResult(const VbmcResult &R,
   Out.precision(17);
   Out << "verdict\t" << verdictKey(R.Outcome) << "\n";
   Out << "failure\t" << sandbox::failureKindName(R.Failure) << "\n";
+  Out << "mode\t" << engineModeName(R.ModeRan) << "\n";
+  Out << "kused\t" << R.KUsed << "\n";
   Out << "seconds\t" << R.Seconds << "\n";
   Out << "translate\t" << R.TranslateSeconds << "\n";
   Out << "work\t" << R.Work << "\n";
+  for (const Attempt &A : R.Attempts)
+    Out << "attempt\t" << A.K << "\t" << verdictKey(A.Outcome) << "\t"
+        << sandbox::failureKindName(A.Failure) << "\t" << A.Seconds << "\n";
   if (!R.Note.empty())
     Out << "note\t" << escape(R.Note) << "\n";
   if (!R.WinningBackend.empty())
@@ -148,6 +153,16 @@ VbmcResult vbmc::driver::parseResult(const std::string &Payload,
       R.Outcome = verdictFromName(Field(1));
     else if (Key == "failure")
       R.Failure = failureFromName(Field(1));
+    else if (Key == "mode")
+      engineModeFromName(Field(1), R.ModeRan); // Unknown names: keep default.
+    else if (Key == "kused")
+      R.KUsed =
+          static_cast<uint32_t>(std::strtoul(Field(1).c_str(), nullptr, 10));
+    else if (Key == "attempt")
+      R.Attempts.push_back(Attempt{
+          static_cast<uint32_t>(std::strtoul(Field(1).c_str(), nullptr, 10)),
+          verdictFromName(Field(2)), failureFromName(Field(3)),
+          std::strtod(Field(4).c_str(), nullptr)});
     else if (Key == "seconds")
       R.Seconds = std::strtod(Field(1).c_str(), nullptr);
     else if (Key == "translate")
@@ -184,11 +199,11 @@ VbmcResult vbmc::driver::parseResult(const std::string &Payload,
   return R;
 }
 
-VbmcResult vbmc::driver::runIsolatedAttempt(const ir::Program &P,
-                                            const VbmcOptions &Opts,
-                                            CheckContext &Ctx) {
+CheckReport vbmc::driver::runIsolatedRequest(const ir::Program &P,
+                                             const CheckRequest &Req,
+                                             CheckContext &Ctx) {
   sandbox::SandboxOptions SO;
-  SO.MemLimitBytes = Opts.MemLimitBytes;
+  SO.MemLimitBytes = Req.Opts.MemLimitBytes;
   double Remaining = Ctx.deadline().remainingSeconds();
   if (Remaining != std::numeric_limits<double>::infinity())
     SO.TimeoutSeconds = Remaining > 0 ? Remaining : 1e-3;
@@ -200,18 +215,20 @@ VbmcResult vbmc::driver::runIsolatedAttempt(const ir::Program &P,
     // to the parent, and serializing it would double-count the parent's
     // pre-fork entries.
     CheckContext ChildCtx(SO.TimeoutSeconds);
-    VbmcOptions ChildOpts = Opts;
-    ChildOpts.Isolate = false;      // No recursive sandboxing.
-    ChildOpts.RetryReduced = false; // The parent owns the retry policy.
-    ChildOpts.BudgetSeconds = 0;    // ChildCtx's deadline governs.
-    VbmcResult R = checkProgram(P, ChildOpts, ChildCtx);
+    CheckRequest ChildReq = Req;
+    ChildReq.Opts.Isolate = false;   // No recursive sandboxing.
+    ChildReq.Opts.BudgetSeconds = 0; // ChildCtx's deadline governs.
+    if (Req.Mode == EngineMode::Single)
+      ChildReq.Opts.RetryReduced = false; // The parent owns the retry policy.
+    Engine E;
+    CheckReport R = E.run(P, ChildReq, ChildCtx);
     return serializeResult(R, ChildCtx.stats());
   });
 
   if (Out.Completed)
     return parseResult(Out.Payload, &Ctx.stats());
 
-  VbmcResult R;
+  CheckReport R;
   R.Outcome = Verdict::Unknown;
   if (Out.Cancelled) {
     R.Note = "cancelled";
@@ -234,4 +251,13 @@ VbmcResult vbmc::driver::runIsolatedAttempt(const ir::Program &P,
     break;
   }
   return R;
+}
+
+VbmcResult vbmc::driver::runIsolatedAttempt(const ir::Program &P,
+                                            const VbmcOptions &Opts,
+                                            CheckContext &Ctx) {
+  CheckRequest Req;
+  Req.Mode = EngineMode::Single;
+  Req.Opts = Opts;
+  return runIsolatedRequest(P, Req, Ctx);
 }

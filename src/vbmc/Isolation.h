@@ -29,6 +29,15 @@ namespace vbmc::driver {
 VbmcResult runIsolatedAttempt(const ir::Program &P, const VbmcOptions &Opts,
                               CheckContext &Ctx);
 
+/// Runs one whole CheckRequest (any mode) in a sandboxed child: the child
+/// builds a fresh Engine, runs the request with isolation off, and ships
+/// the full CheckReport — including which mode ran, KUsed, and the per-K
+/// attempt history — over the report pipe. Incremental mode dispatches
+/// here because its persistent solver cannot survive per-K forks; the
+/// whole sweep shares one sandbox.
+CheckReport runIsolatedRequest(const ir::Program &P, const CheckRequest &Req,
+                               CheckContext &Ctx);
+
 /// Wire format helpers (exposed for SandboxTest round-trip coverage).
 std::string serializeResult(const VbmcResult &R, const StatsRegistry &Stats);
 VbmcResult parseResult(const std::string &Payload, StatsRegistry *MergeInto);

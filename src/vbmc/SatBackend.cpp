@@ -46,11 +46,15 @@ void auditBody(const std::vector<ir::Stmt> &Body, int64_t &MaxAbs) {
   }
 }
 
+} // namespace
+
 /// Picks a bit width with headroom: enough for every literal constant in
 /// the program times a safety factor for the +1 arithmetic the translation
 /// emits. Programs computing values far beyond their literals (long
 /// counter loops) should raise VbmcOptions-independent widths upstream.
-uint32_t pickWidth(const ir::Program &P) {
+/// Public (Engine.h) so incremental deepening encodes at exactly the
+/// width fresh per-K runs use.
+uint32_t vbmc::driver::satValueWidth(const ir::Program &P) {
   int64_t MaxAbs = 1;
   for (const ir::Process &Proc : P.Procs)
     auditBody(Proc.Body, MaxAbs);
@@ -61,8 +65,6 @@ uint32_t pickWidth(const ir::Program &P) {
   return std::max(8u, Bits + 3);
 }
 
-} // namespace
-
 VbmcResult vbmc::driver::runSatBackend(const ir::Program &Translated,
                                        uint32_t ContextBound,
                                        const VbmcOptions &Opts,
@@ -70,7 +72,7 @@ VbmcResult vbmc::driver::runSatBackend(const ir::Program &Translated,
   bmc::BmcOptions BO;
   BO.UnrollBound = Opts.L;
   BO.ContextBound = ContextBound;
-  BO.ValueWidth = pickWidth(Translated);
+  BO.ValueWidth = satValueWidth(Translated);
   BO.BudgetSeconds = Opts.BudgetSeconds;
   // The engine's memory ceiling caps the encoding in-process: a circuit
   // outgrowing it aborts with a classified OutOfMemory (no bad_alloc),

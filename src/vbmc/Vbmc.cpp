@@ -1,231 +1,38 @@
-//===- Vbmc.cpp - the staged verification engine ---------------*- C++ -*-===//
+//===- Vbmc.cpp - deprecated free-function driver API -----------*- C++ -*-===//
 //
-// The driver is organized as a staged pipeline over one shared
-// CheckContext: translate ([[.]]_K), flatten (explicit path only), then
-// decide with a backend. Every stage polls the context's deadline and
-// cancellation token and records its cost into the context's
-// StatsRegistry. On top of the single-backend pipeline sit two concurrent
-// drivers: checkPortfolio (race both backends, cancel the loser) and
-// checkParallelDeepening (explore several K values at once while keeping
-// the paper's smallest-K reporting guarantee).
+// The staged verification engine itself lives in Engine.cpp behind
+// Engine::run(CheckRequest). These wrappers keep the historical free
+// functions alive for one deprecation cycle: each builds the equivalent
+// CheckRequest and delegates to a fresh Engine (so none of them can reuse
+// a persistent encoding — construct an Engine directly for that).
 //
 //===----------------------------------------------------------------------===//
 
 #include "vbmc/Vbmc.h"
 
-#include "ir/Flatten.h"
 #include "ir/Parser.h"
-#include "support/FaultInjection.h"
-#include "support/Timer.h"
-#include "vbmc/Isolation.h"
-
-#include <algorithm>
-#include <csignal>
-#include <cstring>
-#include <memory>
-#include <mutex>
-#include <new>
-#include <thread>
 
 using namespace vbmc;
 using namespace vbmc::driver;
 
 namespace {
 
-//===----------------------------------------------------------------------===//
-// Fault injection (fault-tolerance self-tests)
-//===----------------------------------------------------------------------===//
-
-uint64_t countBodyStmts(const std::vector<ir::Stmt> &Body) {
-  uint64_t N = 0;
-  for (const ir::Stmt &S : Body)
-    N += 1 + countBodyStmts(S.Then) + countBodyStmts(S.Else);
-  return N;
+CheckRequest makeRequest(EngineMode Mode, const VbmcOptions &Opts,
+                         uint32_t MaxK = 0, uint32_t Threads = 1) {
+  CheckRequest Req;
+  Req.Mode = Mode;
+  Req.Opts = Opts;
+  Req.MaxK = MaxK;
+  Req.Threads = Threads;
+  return Req;
 }
-
-uint64_t countProgramStmts(const ir::Program &P) {
-  uint64_t N = 0;
-  for (const ir::Process &Proc : P.Procs)
-    N += countBodyStmts(Proc.Body);
-  return N;
-}
-
-/// Deliberate allocation storm: grabs and touches memory until either a
-/// real std::bad_alloc (under an RLIMIT_AS sandbox) or a synthetic one at
-/// a 256 MB cap (so the un-sandboxed self-test cannot eat the machine).
-void allocationStorm() {
-  constexpr size_t Chunk = 1 << 20;
-  constexpr size_t Cap = 256u << 20;
-  std::vector<std::unique_ptr<char[]>> Hog;
-  for (size_t Total = 0;; Total += Chunk) {
-    if (Total >= Cap)
-      throw std::bad_alloc();
-    Hog.push_back(std::make_unique<char[]>(Chunk));
-    std::memset(Hog.back().get(), 0xAB, Chunk);
-  }
-}
-
-/// Backend-death faults for validating the sandbox: `backend.crash` dies
-/// on SIGSEGV, `backend.hog-memory` storms the allocator. The `-odd` /
-/// `-even` variants key deterministically on the translated program's
-/// statement-count parity, so one fixed-seed fuzz campaign exercises both
-/// death modes across its program stream.
-void maybeInjectBackendFault(const ir::Program &Translated) {
-  if (fault::enabled("backend.crash"))
-    raise(SIGSEGV);
-  if (fault::enabled("backend.hog-memory"))
-    allocationStorm();
-  uint64_t Parity = countProgramStmts(Translated) % 2;
-  if (fault::enabled("backend.crash-odd") && Parity == 1)
-    raise(SIGSEGV);
-  if (fault::enabled("backend.hog-even") && Parity == 0)
-    allocationStorm();
-}
-
-VbmcResult runExplicit(const ir::Program &Translated, uint32_t ContextBound,
-                       const VbmcOptions &Opts, const CheckContext &Ctx) {
-  VbmcResult R;
-  ir::FlatProgram FP;
-  {
-    ScopedStageTimer T(Ctx.stats(), "flatten.seconds");
-    FP = ir::flatten(Translated);
-  }
-  sc::ScQuery Q;
-  Q.Goal = sc::ScGoalKind::AnyError;
-  Q.ContextBound = ContextBound;
-  Q.SwitchOnlyAfterWrite = Opts.SwitchOnlyAfterWrite;
-  Q.BudgetSeconds = Opts.BudgetSeconds;
-  Q.MaxStates = Opts.MaxStates;
-  Q.Ctx = &Ctx;
-  sc::ScResult SR = sc::exploreSc(FP, Q);
-  R.Work = SR.StatesVisited;
-  R.Seconds = SR.Seconds;
-  switch (SR.Status) {
-  case sc::ScStatus::Reached:
-    R.Outcome = Verdict::Unsafe;
-    R.Trace = std::move(SR.Trace);
-    break;
-  case sc::ScStatus::Exhausted:
-    R.Outcome = Verdict::Safe;
-    break;
-  case sc::ScStatus::StateLimit:
-    R.Outcome = Verdict::Unknown;
-    R.Note = "state limit exceeded";
-    break;
-  case sc::ScStatus::Timeout:
-    R.Outcome = Verdict::Unknown;
-    R.Note = "timeout";
-    break;
-  case sc::ScStatus::Cancelled:
-    R.Outcome = Verdict::Unknown;
-    R.Note = "cancelled";
-    break;
-  }
-  return R;
-}
-
-/// Stage 1 of the pipeline: [[.]]_K. Records translate.* stats.
-translation::TranslationResult translateStage(const ir::Program &P,
-                                              const VbmcOptions &Opts,
-                                              const CheckContext &Ctx) {
-  translation::TranslationOptions TO;
-  TO.K = Opts.K;
-  TO.CasAllowance = Opts.CasAllowance;
-  return translation::translateToSc(P, TO, &Ctx.stats());
-}
-
-/// Stage 2: decide the translated program with the selected backend. A
-/// std::bad_alloc from either backend degrades to a classified
-/// OutOfMemory Unknown instead of std::terminate — the in-process half of
-/// the fault-tolerance story (the sandbox is the out-of-process half).
-VbmcResult backendStage(const translation::TranslationResult &TR,
-                        const VbmcOptions &Opts, const CheckContext &Ctx) {
-  try {
-    maybeInjectBackendFault(TR.Prog);
-    return Opts.Backend == BackendKind::Explicit
-               ? runExplicit(TR.Prog, TR.ContextBound, Opts, Ctx)
-               : runSatBackend(TR.Prog, TR.ContextBound, Opts, &Ctx);
-  } catch (const std::bad_alloc &) {
-    VbmcResult R;
-    R.Outcome = Verdict::Unknown;
-    R.Failure = sandbox::FailureKind::OutOfMemory;
-    R.Note = "backend allocation failure (std::bad_alloc)";
-    return R;
-  }
-}
-
-/// One in-process attempt: translate, then decide.
-VbmcResult runOnceInProcess(const ir::Program &P, const VbmcOptions &Opts,
-                            CheckContext &Ctx) {
-  Timer TranslateWatch;
-  translation::TranslationResult TR = translateStage(P, Opts, Ctx);
-  double TranslateSeconds = TranslateWatch.elapsedSeconds();
-  if (Ctx.interrupted()) {
-    VbmcResult R;
-    R.Outcome = Verdict::Unknown;
-    R.Note = Ctx.cancelled() ? "cancelled" : "budget exhausted";
-    R.TranslateSeconds = TranslateSeconds;
-    return R;
-  }
-  VbmcResult R = backendStage(TR, Opts, Ctx);
-  // Do NOT overwrite the backend-reported Seconds with a driver-side
-  // timer: translation cost is reported separately, both here and as the
-  // translate.seconds / backend stage entries in the StatsRegistry.
-  R.TranslateSeconds = TranslateSeconds;
-  return R;
-}
-
-/// One attempt, sandboxed when the options ask for it (and the platform
-/// can): process isolation turns any backend death into a classified
-/// Unknown on the parent side.
-VbmcResult runOnce(const ir::Program &P, const VbmcOptions &Opts,
-                   CheckContext &Ctx) {
-  if (Opts.Isolate && sandbox::available())
-    return runIsolatedAttempt(P, Opts, Ctx);
-  return runOnceInProcess(P, Opts, Ctx);
-}
-
-/// The retry policy's reduced bounds: halve the unroll bound and the
-/// view-switch budget. The resulting verdict covers a smaller execution
-/// subset, which the driver flags in the result note.
-VbmcOptions reducedBounds(const VbmcOptions &O) {
-  VbmcOptions R = O;
-  R.L = std::max<uint32_t>(1, O.L / 2);
-  R.K = O.K / 2;
-  return R;
-}
-
-bool boundsReducible(const VbmcOptions &O) { return O.L > 1 || O.K > 0; }
 
 } // namespace
 
 VbmcResult vbmc::driver::checkProgram(const ir::Program &P,
                                       const VbmcOptions &Opts,
                                       CheckContext &Ctx) {
-  VbmcResult R = runOnce(P, Opts, Ctx);
-  // Retry policy: one re-attempt at reduced bounds after a memory kill
-  // (sandboxed or the encoder's in-process byte ceiling), while there is
-  // still budget to spend. Smaller bounds mean a smaller encoding / state
-  // space, so the retry frequently rescues a verdict the first attempt
-  // could not afford.
-  if (R.Failure == sandbox::FailureKind::OutOfMemory && Opts.RetryReduced &&
-      boundsReducible(Opts) && !Ctx.interrupted()) {
-    Ctx.stats().addCount("sandbox.retries");
-    VbmcOptions Red = reducedBounds(Opts);
-    Red.RetryReduced = false;
-    std::string Bounds =
-        "k=" + std::to_string(Red.K) + " l=" + std::to_string(Red.L);
-    VbmcResult Retry = runOnce(P, Red, Ctx);
-    if (Retry.Outcome != Verdict::Unknown) {
-      Retry.Note += (Retry.Note.empty() ? "" : "; ") +
-                    ("recovered at reduced bounds " + Bounds +
-                     " after memory kill");
-      return Retry;
-    }
-    R.Note += "; retry at reduced bounds " + Bounds + " also inconclusive" +
-              (Retry.Note.empty() ? "" : ": " + Retry.Note);
-  }
-  return R;
+  return Engine().run(P, makeRequest(EngineMode::Single, Opts), Ctx);
 }
 
 VbmcResult vbmc::driver::checkProgram(const ir::Program &P,
@@ -237,80 +44,7 @@ VbmcResult vbmc::driver::checkProgram(const ir::Program &P,
 VbmcResult vbmc::driver::checkPortfolio(const ir::Program &P,
                                         const VbmcOptions &Opts,
                                         CheckContext &Ctx) {
-  // With isolation, every arm runs the full pipeline in its own sandbox
-  // (translation included): a crashing or memory-eating arm dies alone
-  // and no longer loses the race for everyone. Without it, translate
-  // once and race the backends on the shared SC program.
-  const bool Isolated = Opts.Isolate && sandbox::available();
-  translation::TranslationResult TR;
-  double TranslateSeconds = 0;
-  if (!Isolated) {
-    Timer TranslateWatch;
-    TR = translateStage(P, Opts, Ctx);
-    TranslateSeconds = TranslateWatch.elapsedSeconds();
-    if (Ctx.interrupted()) {
-      VbmcResult R;
-      R.Outcome = Verdict::Unknown;
-      R.Note = Ctx.cancelled() ? "cancelled" : "budget exhausted";
-      R.TranslateSeconds = TranslateSeconds;
-      return R;
-    }
-  }
-
-  constexpr int NumRacers = 2;
-  const char *Names[NumRacers] = {"explicit", "sat"};
-  CheckContext Racers[NumRacers] = {Ctx.child(), Ctx.child()};
-  VbmcResult Results[NumRacers];
-  std::mutex M;
-  int Winner = -1;
-
-  auto race = [&](int Idx, BackendKind B) {
-    VbmcOptions O = Opts;
-    O.Backend = B;
-    // checkProgram (not backendStage) in the isolated case: the child
-    // re-translates inside its own address space, and the arm keeps the
-    // per-arm retry policy.
-    VbmcResult R = Isolated ? checkProgram(P, O, Racers[Idx])
-                            : backendStage(TR, O, Racers[Idx]);
-    std::lock_guard<std::mutex> L(M);
-    Results[Idx] = std::move(R);
-    // First conclusive verdict wins; cancel the other racer right away
-    // so it stops burning the machine.
-    if (Winner < 0 && Results[Idx].Outcome != Verdict::Unknown) {
-      Winner = Idx;
-      for (int J = 0; J < NumRacers; ++J)
-        if (J != Idx)
-          Racers[J].cancel();
-    }
-  };
-
-  std::thread ExplicitThread(race, 0, BackendKind::Explicit);
-  std::thread SatThread(race, 1, BackendKind::Sat);
-  ExplicitThread.join();
-  SatThread.join();
-
-  VbmcResult R;
-  if (Winner >= 0) {
-    R = std::move(Results[Winner]);
-    R.WinningBackend = Names[Winner];
-  } else {
-    // Both inconclusive: surface both notes, and carry the first
-    // classified fault so exit codes / retry policies see it.
-    R.Outcome = Verdict::Unknown;
-    R.Seconds = std::max(Results[0].Seconds, Results[1].Seconds);
-    for (const VbmcResult &Arm : Results)
-      if (Arm.failed()) {
-        R.Failure = Arm.Failure;
-        break;
-      }
-    R.Note = "portfolio inconclusive: explicit: " +
-             (Results[0].Note.empty() ? "unknown" : Results[0].Note) +
-             "; sat: " +
-             (Results[1].Note.empty() ? "unknown" : Results[1].Note);
-  }
-  if (!Isolated)
-    R.TranslateSeconds = TranslateSeconds;
-  return R;
+  return Engine().run(P, makeRequest(EngineMode::Portfolio, Opts), Ctx);
 }
 
 VbmcResult vbmc::driver::checkPortfolio(const ir::Program &P,
@@ -323,36 +57,8 @@ IterativeResult vbmc::driver::checkIterative(const ir::Program &P,
                                              uint32_t MaxK,
                                              const VbmcOptions &BaseOpts,
                                              CheckContext &Ctx) {
-  Timer Watch;
-  IterativeResult R;
-  bool SawInconclusive = false;
-  for (uint32_t K = 0; K <= MaxK; ++K) {
-    if (Ctx.interrupted()) {
-      SawInconclusive = true;
-      break;
-    }
-    VbmcOptions Opts = BaseOpts;
-    Opts.K = K;
-    // The shared context's deadline already hands each iteration
-    // whatever wall clock is left; no per-iteration budget arithmetic.
-    Opts.BudgetSeconds = 0;
-    VbmcResult Step = checkProgram(P, Opts, Ctx);
-    R.Iterations.push_back(
-        IterationReport{K, Step.Outcome, Step.Failure, Step.Seconds});
-    if (Step.unsafe()) {
-      R.Outcome = Verdict::Unsafe;
-      R.KUsed = K;
-      R.Seconds = Watch.elapsedSeconds();
-      return R;
-    }
-    if (Step.failed() && !sandbox::isFailure(R.Failure))
-      R.Failure = Step.Failure;
-    SawInconclusive |= Step.Outcome == Verdict::Unknown;
-  }
-  R.Outcome = SawInconclusive ? Verdict::Unknown : Verdict::Safe;
-  R.KUsed = MaxK;
-  R.Seconds = Watch.elapsedSeconds();
-  return R;
+  return Engine().run(P, makeRequest(EngineMode::Iterative, BaseOpts, MaxK),
+                      Ctx);
 }
 
 IterativeResult vbmc::driver::checkIterative(const ir::Program &P,
@@ -365,89 +71,9 @@ IterativeResult vbmc::driver::checkIterative(const ir::Program &P,
 IterativeResult vbmc::driver::checkParallelDeepening(
     const ir::Program &P, uint32_t MaxK, uint32_t Threads,
     const VbmcOptions &BaseOpts, CheckContext &Ctx) {
-  Timer Watch;
-  const uint32_t NumK = MaxK + 1;
-  Threads = std::clamp(Threads, 1u, NumK);
-
-  // One cancellable child context per K, so an UNSAFE at K can stop every
-  // in-flight run of a *larger* K (their verdicts can no longer matter)
-  // while smaller Ks always run to completion: the paper's guarantee is
-  // UNSAFE for the smallest buggy K.
-  std::vector<CheckContext> KCtx;
-  KCtx.reserve(NumK);
-  for (uint32_t K = 0; K < NumK; ++K)
-    KCtx.push_back(Ctx.child());
-
-  std::vector<IterationReport> Reports(NumK);
-  std::vector<uint8_t> Ran(NumK, 0);
-  std::mutex M;
-  uint32_t NextK = 0;                 // Guarded by M.
-  uint32_t BestUnsafe = ~0u;          // Guarded by M.
-
-  auto worker = [&] {
-    for (;;) {
-      uint32_t K;
-      {
-        std::lock_guard<std::mutex> L(M);
-        // Claim the next K; skip values above a known-unsafe K.
-        do {
-          K = NextK++;
-        } while (K < NumK && K > BestUnsafe);
-        if (K >= NumK)
-          return;
-      }
-      VbmcOptions Opts = BaseOpts;
-      Opts.K = K;
-      Opts.BudgetSeconds = 0; // The shared deadline governs.
-      VbmcResult Step = checkProgram(P, Opts, KCtx[K]);
-      std::lock_guard<std::mutex> L(M);
-      Reports[K] = IterationReport{K, Step.Outcome, Step.Failure, Step.Seconds};
-      Ran[K] = 1;
-      if (Step.unsafe() && K < BestUnsafe) {
-        BestUnsafe = K;
-        for (uint32_t J = K + 1; J < NumK; ++J)
-          KCtx[J].cancel();
-      }
-    }
-  };
-
-  std::vector<std::thread> Pool;
-  Pool.reserve(Threads);
-  for (uint32_t T = 0; T < Threads; ++T)
-    Pool.emplace_back(worker);
-  for (std::thread &T : Pool)
-    T.join();
-
-  IterativeResult R;
-  bool SawInconclusive = false;
-  bool AllSafe = true;
-  for (uint32_t K = 0; K < NumK; ++K) {
-    if (K > BestUnsafe)
-      break; // Cancelled/skipped tails are not part of the report.
-    if (!Ran[K]) {
-      SawInconclusive = true; // Preempted by the run-wide deadline.
-      AllSafe = false;
-      continue;
-    }
-    R.Iterations.push_back(Reports[K]);
-    SawInconclusive |= Reports[K].Outcome == Verdict::Unknown;
-    AllSafe &= Reports[K].Outcome == Verdict::Safe;
-    if (sandbox::isFailure(Reports[K].Failure) &&
-        !sandbox::isFailure(R.Failure))
-      R.Failure = Reports[K].Failure;
-  }
-  if (BestUnsafe != ~0u) {
-    R.Outcome = Verdict::Unsafe;
-    R.KUsed = BestUnsafe;
-  } else if (AllSafe && !SawInconclusive) {
-    R.Outcome = Verdict::Safe;
-    R.KUsed = MaxK;
-  } else {
-    R.Outcome = Verdict::Unknown;
-    R.KUsed = MaxK;
-  }
-  R.Seconds = Watch.elapsedSeconds();
-  return R;
+  return Engine().run(
+      P, makeRequest(EngineMode::ParallelDeepening, BaseOpts, MaxK, Threads),
+      Ctx);
 }
 
 IterativeResult vbmc::driver::checkParallelDeepening(

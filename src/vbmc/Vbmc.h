@@ -16,96 +16,37 @@
 /// K-view-switch under-approximation; SAFE means no assertion fails in that
 /// subset of executions (not full safety).
 ///
+/// The driver API lives in Engine.h (`Engine::run(CheckRequest)`); this
+/// header keeps the historical free-function entry points as thin
+/// deprecated wrappers, each building the equivalent CheckRequest and
+/// delegating to a fresh Engine. New code should construct an Engine
+/// directly — besides the unified mode selection it also unlocks the
+/// persistent-encoding reuse the wrappers (by being stateless) cannot
+/// offer.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VBMC_VBMC_VBMC_H
 #define VBMC_VBMC_VBMC_H
 
-#include "ir/Program.h"
-#include "sc/ScExplorer.h"
-#include "support/CheckContext.h"
-#include "support/Sandbox.h"
-#include "translation/Translate.h"
+#include "vbmc/Engine.h"
 
 #include <string>
 
 namespace vbmc::driver {
 
-enum class BackendKind {
-  Explicit, ///< Explicit-state context-bounded SC search.
-  Sat,      ///< BMC pipeline (unroll + sequentialize + CDCL SAT).
-};
-
-struct VbmcOptions {
-  /// View-switch budget K.
-  uint32_t K = 2;
-  /// Loop unrolling bound L (Sat backend; the explicit backend needs none).
-  uint32_t L = 2;
-  /// Extra abstract timestamps for CAS/fence chains.
-  uint32_t CasAllowance = 8;
-  BackendKind Backend = BackendKind::Explicit;
-  /// Section 6 scheduling optimization (explicit backend).
-  bool SwitchOnlyAfterWrite = true;
-  /// Wall-clock budget in seconds (0 = unlimited).
-  double BudgetSeconds = 0;
-  /// State cap for the explicit backend (0 = unlimited).
-  uint64_t MaxStates = 0;
-  /// Run each verification attempt in a forked, resource-governed child
-  /// process (support/Sandbox.h): a crashing or memory-eating backend
-  /// yields a classified Unknown instead of killing the engine. Portfolio
-  /// and parallel-deepening arms each get their own sandbox.
-  bool Isolate = false;
-  /// Memory ceiling in bytes (0 = unlimited). Doubles as the sandbox's
-  /// RLIMIT_AS headroom (when Isolate) and as the BMC encoder's in-process
-  /// byte ceiling (always), so a huge encoding degrades to a classified
-  /// OutOfMemory rather than a std::bad_alloc abort.
-  uint64_t MemLimitBytes = 0;
-  /// Retry policy: re-attempt a memory-killed run once at reduced bounds
-  /// (L and K halved) before reporting the classified failure. The
-  /// reduced-bound verdict is flagged in the result note, since it covers
-  /// a smaller execution subset.
-  bool RetryReduced = true;
-};
-
-enum class Verdict {
-  Safe,    ///< No assertion violation in the K-bounded subset.
-  Unsafe,  ///< Counterexample with at most K view switches found.
-  Unknown, ///< Resource limit hit before a conclusion.
-};
-
-struct VbmcResult {
-  Verdict Outcome = Verdict::Unknown;
-  /// For Unknown: why no verdict exists, when the cause is a classified
-  /// fault (backend crash, OOM kill, sandbox timeout) rather than a
-  /// cooperative stop (deadline poll, state cap, cancellation — those
-  /// keep FailureKind::None and explain themselves in Note). Drives the
-  /// CLI's exit code 3 and the fuzz campaign's crash witnesses.
-  sandbox::FailureKind Failure = sandbox::FailureKind::None;
-  /// Backend time as reported by the backend itself. Translation time is
-  /// *not* folded in here; it is recorded separately (TranslateSeconds
-  /// and the translate.seconds stage in the context's StatsRegistry).
-  double Seconds = 0;
-  /// Time spent in the [[.]]_K translation stage.
-  double TranslateSeconds = 0;
-  /// Explicit backend: states visited. Sat backend: CNF clauses.
-  uint64_t Work = 0;
-  /// Counterexample schedule over the *translated* program, when UNSAFE
-  /// and the explicit backend was used.
-  std::vector<sc::ScTraceStep> Trace;
-  std::string Note;
-  /// Portfolio mode: which backend produced the verdict ("explicit" or
-  /// "sat"); empty for single-backend runs.
-  std::string WinningBackend;
-
-  bool unsafe() const { return Outcome == Verdict::Unsafe; }
-  bool safe() const { return Outcome == Verdict::Safe; }
-  /// True when the Unknown was caused by a classified fault.
-  bool failed() const { return sandbox::isFailure(Failure); }
-};
+/// Deprecated aliases from the pre-Engine API: VbmcResult and
+/// IterativeResult were two near-identical result structs; both are now
+/// the single CheckReport (IterativeResult's `Iterations` member is
+/// CheckReport's `Attempts`).
+using VbmcResult = CheckReport;
+using IterativeResult = CheckReport;
+using IterationReport = Attempt;
 
 /// Runs the staged VBMC pipeline (translate, then one backend) on \p P,
 /// honoring \p Ctx: its deadline bounds every stage, its token cancels the
 /// run cooperatively, and every stage records into its StatsRegistry.
+/// Deprecated wrapper for Engine::run with EngineMode::Single.
 VbmcResult checkProgram(const ir::Program &P, const VbmcOptions &Opts,
                         CheckContext &Ctx);
 
@@ -116,7 +57,8 @@ VbmcResult checkProgram(const ir::Program &P, const VbmcOptions &Opts);
 /// Races the Explicit and Sat backends on separate threads over one shared
 /// translation; the first conclusive (SAFE/UNSAFE) verdict wins and the
 /// loser is cancelled immediately. Unknown only when both backends are
-/// inconclusive. Opts.Backend is ignored.
+/// inconclusive. Opts.Backend is ignored. Deprecated wrapper for
+/// Engine::run with EngineMode::Portfolio.
 VbmcResult checkPortfolio(const ir::Program &P, const VbmcOptions &Opts,
                           CheckContext &Ctx);
 VbmcResult checkPortfolio(const ir::Program &P, const VbmcOptions &Opts);
@@ -133,33 +75,10 @@ VbmcResult runSatBackend(const ir::Program &Translated, uint32_t ContextBound,
                          const VbmcOptions &Opts,
                          const CheckContext *Ctx = nullptr);
 
-/// One step of the paper's iterative workflow (Section 6: "This subset
-/// can be increased iteratively, by increasing K, to find bugs in real
-/// world programs").
-struct IterationReport {
-  uint32_t K = 0;
-  Verdict Outcome = Verdict::Unknown;
-  sandbox::FailureKind Failure = sandbox::FailureKind::None;
-  double Seconds = 0;
-};
-
-struct IterativeResult {
-  /// Final verdict: Unsafe as soon as some K finds a bug; Safe when every
-  /// K up to MaxK was exhausted conclusively; Unknown otherwise.
-  Verdict Outcome = Verdict::Unknown;
-  /// When Unknown: the first classified fault hit across the iterations
-  /// (None when every inconclusive step was cooperative).
-  sandbox::FailureKind Failure = sandbox::FailureKind::None;
-  uint32_t KUsed = 0;
-  std::vector<IterationReport> Iterations;
-  double Seconds = 0;
-
-  bool unsafe() const { return Outcome == Verdict::Unsafe; }
-};
-
 /// Runs checkProgram for K = 0, 1, ..., MaxK, stopping at the first
 /// UNSAFE answer. All iterations share \p Ctx, so its deadline naturally
-/// gives later iterations whatever wall clock is left.
+/// gives later iterations whatever wall clock is left. Deprecated wrapper
+/// for Engine::run with EngineMode::Iterative.
 IterativeResult checkIterative(const ir::Program &P, uint32_t MaxK,
                                const VbmcOptions &BaseOpts,
                                CheckContext &Ctx);
@@ -171,7 +90,8 @@ IterativeResult checkIterative(const ir::Program &P, uint32_t MaxK,
 /// the paper's iterative semantics: UNSAFE is reported for the *smallest*
 /// K that finds a bug (larger in-flight K runs are cancelled, smaller
 /// ones are always allowed to finish first), SAFE only when every
-/// K <= MaxK was conclusively exhausted, Unknown otherwise.
+/// K <= MaxK was conclusively exhausted, Unknown otherwise. Deprecated
+/// wrapper for Engine::run with EngineMode::ParallelDeepening.
 IterativeResult checkParallelDeepening(const ir::Program &P, uint32_t MaxK,
                                        uint32_t Threads,
                                        const VbmcOptions &BaseOpts,

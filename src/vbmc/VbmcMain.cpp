@@ -1,19 +1,19 @@
 //===- VbmcMain.cpp - the vbmc command-line tool ---------------*- C++ -*-===//
 //
 // Usage:
-//   vbmc [--k N] [--l N] [--backend explicit|sat] [--portfolio]
-//        [--iterative [--parallel-deepening N]] [--budget SECONDS]
+//   vbmc [--mode single|iterative|portfolio|parallel-deepening|incremental]
+//        [--k N] [--l N] [--backend explicit|sat] [--budget SECONDS]
 //        [--stats] [--dump-translation] [--show-trace]
 //        [--ra-reference] FILE
 //
 // Reads a concurrent program in the Fig. 1 concrete syntax, translates it
-// with [[.]]_K and reports SAFE / UNSAFE / UNKNOWN. With --portfolio both
-// backends race on separate threads and the first conclusive verdict wins;
-// with --parallel-deepening N the iterative loop runs up to N values of K
-// concurrently (smallest buggy K still wins). --stats dumps the per-stage
-// counters recorded in the run's CheckContext. With --ra-reference the
-// query is answered by the exact RA explorer instead (no translation), for
-// cross-checking on small inputs.
+// with [[.]]_K and reports SAFE / UNSAFE / UNKNOWN. --mode is the
+// canonical selector for the engine's five strategies; the historical
+// flags (--portfolio, --iterative, --parallel-deepening N, --incremental)
+// are kept and map onto it. --stats dumps the per-stage counters recorded
+// in the run's CheckContext. With --ra-reference the query is answered by
+// the exact RA explorer instead (no translation), for cross-checking on
+// small inputs.
 //
 // Exit codes: 0 = SAFE, 1 = UNSAFE, 2 = UNKNOWN (inconclusive within
 // bounds/budget), 3 = resource or crash failure (a backend died, ran out
@@ -49,15 +49,21 @@ constexpr int ExitUsage = 4;
 void printUsage() {
   std::puts(
       "usage: vbmc [options] FILE\n"
+      "  --mode MODE        single | iterative | portfolio |\n"
+      "                     parallel-deepening | incremental (default\n"
+      "                     single). The canonical strategy selector:\n"
+      "                       single             one attempt at --k\n"
+      "                       iterative          fresh pipeline per k=0..max-k\n"
+      "                       portfolio          race both backends at --k\n"
+      "                       parallel-deepening several k concurrently\n"
+      "                       incremental        encode once at max-k, deepen\n"
+      "                                          by re-solving one persistent\n"
+      "                                          solver under assumptions\n"
       "  --k N              view-switch budget (default 2)\n"
       "  --l N              loop unrolling bound for the sat backend "
       "(default 2)\n"
-      "  --backend KIND     explicit | sat (default explicit)\n"
-      "  --portfolio        race both backends concurrently; first\n"
-      "                     conclusive verdict wins, loser is cancelled\n"
-      "  --parallel-deepening N\n"
-      "                     explore up to N values of K concurrently\n"
-      "                     (iterative semantics: smallest buggy K wins)\n"
+      "  --backend KIND     explicit | sat (default explicit; incremental\n"
+      "                     mode always uses sat)\n"
       "  --budget SECONDS   wall-clock budget (default unlimited)\n"
       "  --max-states N     explicit-backend state cap\n"
       "  --isolate          run each verification attempt in a forked,\n"
@@ -73,8 +79,16 @@ void printUsage() {
       "  --dump-translation print [[P]]_K and exit\n"
       "  --show-trace       print the counterexample schedule when UNSAFE\n"
       "  --ra-reference     answer with the exact RA explorer instead\n"
-      "  --iterative        deepen K = 0.. until a bug is found\n"
       "  --max-k N          deepening-mode ceiling (default 6)\n"
+      "  --threads N        parallel-deepening worker threads (default 2)\n"
+      "legacy flags, mapped onto --mode (which wins when both are given):\n"
+      "  --portfolio        = --mode portfolio\n"
+      "  --iterative        = --mode iterative\n"
+      "  --parallel-deepening N\n"
+      "                     = --mode parallel-deepening --threads N\n"
+      "  --incremental      = --mode incremental\n"
+      "  --no-incremental   force fresh per-K solving: demotes an\n"
+      "                     incremental mode selection to iterative\n"
       "exit codes: 0 safe, 1 unsafe, 2 unknown, 3 resource/crash failure,\n"
       "            4 usage error");
 }
@@ -110,7 +124,8 @@ int runMain(int Argc, char **Argv) {
   CommandLine CL = CommandLine::parse(
       Argc, Argv,
       {"portfolio", "stats", "dump-translation", "show-trace",
-       "ra-reference", "iterative", "isolate", "no-retry", "help"});
+       "ra-reference", "iterative", "incremental", "no-incremental",
+       "isolate", "no-retry", "help"});
   if (CL.hasFlag("help") || CL.positionals().size() != 1) {
     printUsage();
     return CL.hasFlag("help") ? 0 : ExitUsage;
@@ -186,45 +201,72 @@ int runMain(int Argc, char **Argv) {
       std::fputs(Ctx.stats().format().c_str(), stdout);
   };
 
+  // Mode resolution: the legacy flags each imply a mode; an explicit
+  // --mode is canonical and wins; --no-incremental demotes an incremental
+  // selection back to fresh per-K solving.
   uint32_t DeepeningThreads =
       static_cast<uint32_t>(CL.getInt("parallel-deepening", 0));
-  if (CL.hasFlag("iterative") || DeepeningThreads > 0) {
-    uint32_t MaxK = static_cast<uint32_t>(CL.getInt("max-k", 6));
-    driver::IterativeResult IR =
-        DeepeningThreads > 0
-            ? driver::checkParallelDeepening(*Parsed, MaxK, DeepeningThreads,
-                                             Opts, Ctx)
-            : driver::checkIterative(*Parsed, MaxK, Opts, Ctx);
-    for (const auto &Step : IR.Iterations)
+  driver::EngineMode Mode = driver::EngineMode::Single;
+  if (CL.hasFlag("portfolio"))
+    Mode = driver::EngineMode::Portfolio;
+  if (CL.hasFlag("iterative"))
+    Mode = driver::EngineMode::Iterative;
+  if (DeepeningThreads > 0)
+    Mode = driver::EngineMode::ParallelDeepening;
+  if (CL.hasFlag("incremental"))
+    Mode = driver::EngineMode::Incremental;
+  std::string ModeName = CL.getString("mode", "");
+  if (!ModeName.empty() && !driver::engineModeFromName(ModeName, Mode)) {
+    std::fprintf(stderr, "vbmc: unknown --mode '%s'\n", ModeName.c_str());
+    printUsage();
+    return ExitUsage;
+  }
+  if (CL.hasFlag("no-incremental") &&
+      Mode == driver::EngineMode::Incremental)
+    Mode = driver::EngineMode::Iterative;
+
+  driver::CheckRequest Req;
+  Req.Mode = Mode;
+  Req.Opts = Opts;
+  Req.MaxK = static_cast<uint32_t>(CL.getInt("max-k", 6));
+  Req.Threads = DeepeningThreads > 0
+                    ? DeepeningThreads
+                    : static_cast<uint32_t>(CL.getInt("threads", 2));
+
+  const bool Deepening = Mode == driver::EngineMode::Iterative ||
+                         Mode == driver::EngineMode::ParallelDeepening ||
+                         Mode == driver::EngineMode::Incremental;
+  driver::Engine Engine;
+  driver::CheckReport R = Engine.run(*Parsed, Req, Ctx);
+
+  if (Deepening) {
+    for (const auto &Step : R.Attempts)
       std::printf("  k=%u: %s (%.3fs)\n", Step.K,
                   Step.Outcome == driver::Verdict::Unsafe   ? "UNSAFE"
                   : Step.Outcome == driver::Verdict::Safe   ? "safe"
                                                             : "unknown",
                   Step.Seconds);
-    switch (IR.Outcome) {
+    switch (R.Outcome) {
     case driver::Verdict::Unsafe:
-      std::printf("UNSAFE (found at k=%u, %.3fs total)\n", IR.KUsed,
-                  IR.Seconds);
+      std::printf("UNSAFE (found at k=%u, %s, %.3fs total)\n", R.KUsed,
+                  driver::engineModeName(R.ModeRan), R.Seconds);
       break;
     case driver::Verdict::Safe:
-      std::printf("SAFE (k <= %u, %.3fs total)\n", IR.KUsed, IR.Seconds);
+      std::printf("SAFE (k <= %u, %s, %.3fs total)\n", R.KUsed,
+                  driver::engineModeName(R.ModeRan), R.Seconds);
       break;
     case driver::Verdict::Unknown:
-      if (sandbox::isFailure(IR.Failure))
+      if (sandbox::isFailure(R.Failure))
         std::printf("UNKNOWN (failure=%s, %.3fs total)\n",
-                    sandbox::failureKindName(IR.Failure), IR.Seconds);
+                    sandbox::failureKindName(R.Failure), R.Seconds);
       else
-        std::printf("UNKNOWN (%.3fs total)\n", IR.Seconds);
+        std::printf("UNKNOWN (%.3fs total)\n", R.Seconds);
       break;
     }
     dumpStats();
-    return verdictExitCode(IR.Outcome, IR.Failure);
+    return verdictExitCode(R.Outcome, R.Failure);
   }
 
-  const bool Portfolio = CL.hasFlag("portfolio");
-  driver::VbmcResult R = Portfolio
-                             ? driver::checkPortfolio(*Parsed, Opts, Ctx)
-                             : driver::checkProgram(*Parsed, Opts, Ctx);
   std::string Detail = "k=" + std::to_string(Opts.K);
   if (!R.WinningBackend.empty())
     Detail += ", " + R.WinningBackend + " backend won";

@@ -32,9 +32,9 @@ TEST(IterativeDriverTest, StopsAtSmallestBugK) {
   driver::IterativeResult R = driver::checkIterative(P, 4, O);
   EXPECT_TRUE(R.unsafe());
   EXPECT_EQ(R.KUsed, 1u);
-  ASSERT_EQ(R.Iterations.size(), 2u); // k=0 safe, k=1 unsafe.
-  EXPECT_EQ(R.Iterations[0].Outcome, driver::Verdict::Safe);
-  EXPECT_EQ(R.Iterations[1].Outcome, driver::Verdict::Unsafe);
+  ASSERT_EQ(R.Attempts.size(), 2u); // k=0 safe, k=1 unsafe.
+  EXPECT_EQ(R.Attempts[0].Outcome, driver::Verdict::Safe);
+  EXPECT_EQ(R.Attempts[1].Outcome, driver::Verdict::Unsafe);
 }
 
 TEST(IterativeDriverTest, SafeProgramExhaustsAllK) {
@@ -48,7 +48,7 @@ TEST(IterativeDriverTest, SafeProgramExhaustsAllK) {
   O.CasAllowance = 2;
   driver::IterativeResult R = driver::checkIterative(P, 2, O);
   EXPECT_EQ(R.Outcome, driver::Verdict::Safe);
-  EXPECT_EQ(R.Iterations.size(), 3u);
+  EXPECT_EQ(R.Attempts.size(), 3u);
 }
 
 TEST(IterativeDriverTest, BudgetYieldsUnknown) {

@@ -231,9 +231,9 @@ TEST(ParallelDeepeningTest, ReportsSmallestBuggyK) {
   EXPECT_EQ(R.Outcome, driver::Verdict::Unsafe);
   EXPECT_EQ(R.KUsed, 1u);
   // K = 0 must appear in the report (it ran to completion, safely).
-  ASSERT_FALSE(R.Iterations.empty());
-  EXPECT_EQ(R.Iterations[0].K, 0u);
-  EXPECT_EQ(R.Iterations[0].Outcome, driver::Verdict::Safe);
+  ASSERT_FALSE(R.Attempts.empty());
+  EXPECT_EQ(R.Attempts[0].K, 0u);
+  EXPECT_EQ(R.Attempts[0].Outcome, driver::Verdict::Safe);
 }
 
 TEST(ParallelDeepeningTest, SafeOnlyWhenAllKExhausted) {
@@ -242,8 +242,8 @@ TEST(ParallelDeepeningTest, SafeOnlyWhenAllKExhausted) {
       P, 2, 3, smallOpts(driver::BackendKind::Explicit, 0));
   EXPECT_EQ(R.Outcome, driver::Verdict::Safe);
   EXPECT_EQ(R.KUsed, 2u);
-  ASSERT_EQ(R.Iterations.size(), 3u);
-  for (const auto &Step : R.Iterations)
+  ASSERT_EQ(R.Attempts.size(), 3u);
+  for (const auto &Step : R.Attempts)
     EXPECT_EQ(Step.Outcome, driver::Verdict::Safe);
 }
 
