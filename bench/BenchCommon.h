@@ -11,6 +11,10 @@
 ///   --full          run the full row set of the paper's table (defaults
 ///                   keep a representative subset so the whole bench suite
 ///                   finishes in CI time)
+///   --json FILE     also write the cells as machine-readable telemetry
+///                   ("vbmc-bench/v1": one record per program x tool with
+///                   verdict, seconds, timeout/wrong-verdict flags) so CI
+///                   can archive and diff bench runs across commits
 ///
 /// Timeouts are printed as T.O like the paper. Verdict sanity (UNSAFE
 /// rows must not come back SAFE and vice versa) is checked and flagged.
@@ -25,13 +29,29 @@
 #include "protocols/Protocols.h"
 #include "smc/Smc.h"
 #include "support/Cli.h"
+#include "support/Json.h"
 #include "support/Table.h"
 #include "vbmc/Vbmc.h"
 
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
 namespace vbmc::bench {
+
+/// One telemetry record: a single (program, tool) cell of a bench table.
+struct BenchRecord {
+  std::string Program;
+  std::string Tool;
+  std::string Verdict; // "safe" | "unsafe" | "unknown"
+  uint32_t K = 0;
+  uint32_t L = 0;
+  double Seconds = 0;
+  bool TimedOut = false;
+  bool WrongVerdict = false;
+};
 
 struct BenchConfig {
   double VbmcBudget = 10;
@@ -39,6 +59,11 @@ struct BenchConfig {
   bool Full = false;
   uint32_t K = 2;
   uint32_t L = 2;
+  std::string JsonPath;
+  /// Shared so that recording works through the const refs the row
+  /// helpers take.
+  std::shared_ptr<std::vector<BenchRecord>> Records =
+      std::make_shared<std::vector<BenchRecord>>();
 
   static BenchConfig fromArgs(int Argc, char **Argv) {
     CommandLine CL = CommandLine::parse(Argc, Argv);
@@ -46,7 +71,44 @@ struct BenchConfig {
     C.VbmcBudget = CL.getDouble("budget", 10);
     C.SmcBudget = CL.getDouble("smc-budget", C.VbmcBudget);
     C.Full = CL.hasFlag("full");
+    C.JsonPath = CL.getString("json", "");
     return C;
+  }
+
+  void record(BenchRecord R) const { Records->push_back(std::move(R)); }
+
+  /// Writes the collected records as a "vbmc-bench/v1" document when
+  /// --json was given; a no-op otherwise. Call once at the end of main.
+  void writeJson(const char *BenchName) const {
+    if (JsonPath.empty())
+      return;
+    json::JsonWriter W;
+    W.beginObject();
+    W.key("schema").value("vbmc-bench/v1");
+    W.key("bench").value(BenchName);
+    W.key("budget_vbmc").value(VbmcBudget);
+    W.key("budget_smc").value(SmcBudget);
+    W.key("full").value(Full);
+    W.key("rows").beginArray();
+    for (const BenchRecord &R : *Records) {
+      W.beginObject();
+      W.key("program").value(R.Program);
+      W.key("tool").value(R.Tool);
+      W.key("verdict").value(R.Verdict);
+      W.key("k").value(static_cast<uint64_t>(R.K));
+      W.key("l").value(static_cast<uint64_t>(R.L));
+      W.key("seconds").value(R.Seconds);
+      W.key("timed_out").value(R.TimedOut);
+      W.key("wrong_verdict").value(R.WrongVerdict);
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+    std::ofstream Out(JsonPath);
+    Out << W.str() << '\n';
+    if (!Out)
+      std::fprintf(stderr, "bench: cannot write telemetry to '%s'\n",
+                   JsonPath.c_str());
   }
 };
 
@@ -55,6 +117,7 @@ struct CellResult {
   double Seconds = 0;
   bool TimedOut = false;
   bool WrongVerdict = false;
+  std::string Verdict = "unknown";
 
   std::string str() const {
     std::string S = Table::formatSeconds(Seconds, TimedOut);
@@ -92,6 +155,7 @@ inline CellResult runVbmc(const ir::Program &P, uint32_t K, uint32_t L,
   CellResult C;
   C.Seconds = R.Seconds;
   C.TimedOut = R.Outcome == driver::Verdict::Unknown;
+  C.Verdict = driver::verdictName(R.Outcome);
   if (!C.TimedOut)
     C.WrongVerdict = R.unsafe() != ExpectBug;
   return C;
@@ -108,9 +172,26 @@ inline CellResult runSmc(const ir::Program &P, smc::SmcStrategy Strategy,
   CellResult C;
   C.Seconds = R.Seconds;
   C.TimedOut = R.TimedOut || (!R.FoundBug && !R.Complete);
+  C.Verdict = R.FoundBug ? "unsafe" : R.Complete ? "safe" : "unknown";
   if (!C.TimedOut)
     C.WrongVerdict = R.FoundBug != ExpectBug;
   return C;
+}
+
+/// Folds one finished cell into the telemetry collector.
+inline void recordCell(const BenchConfig &Cfg, const std::string &Program,
+                       const char *Tool, const CellResult &C, uint32_t K,
+                       uint32_t L) {
+  BenchRecord R;
+  R.Program = Program;
+  R.Tool = Tool;
+  R.Verdict = C.Verdict;
+  R.K = K;
+  R.L = L;
+  R.Seconds = C.Seconds;
+  R.TimedOut = C.TimedOut;
+  R.WrongVerdict = C.WrongVerdict;
+  Cfg.record(std::move(R));
 }
 
 /// Runs the standard four-tool row of the paper's tables.
@@ -125,6 +206,10 @@ inline std::vector<std::string> toolRow(const std::string &Name,
       runSmc(P, smc::SmcStrategy::Naive, L, Cfg.SmcBudget, ExpectBug);
   CellResult Rcmc =
       runSmc(P, smc::SmcStrategy::Graph, L, Cfg.SmcBudget, ExpectBug);
+  recordCell(Cfg, Name, "vbmc", Vbmc, K, L);
+  recordCell(Cfg, Name, "tracer", Tracer, K, L);
+  recordCell(Cfg, Name, "cdsc", Cdsc, K, L);
+  recordCell(Cfg, Name, "rcmc", Rcmc, K, L);
   return {Name, Vbmc.str(), Tracer.str(), Cdsc.str(), Rcmc.str()};
 }
 

@@ -29,30 +29,33 @@ driver::VbmcOptions makeOpts(driver::BackendKind B, uint32_t K, uint32_t L,
   return O;
 }
 
-std::string formatRun(const driver::VbmcResult &R, double WallSeconds,
-                      bool ExpectBug) {
-  bool TO = R.Outcome == driver::Verdict::Unknown;
-  std::string S = Table::formatSeconds(WallSeconds, TO);
-  if (!TO && R.unsafe() != ExpectBug)
-    S += "!";
-  return S;
+CellResult cellFor(const driver::VbmcResult &R, double WallSeconds,
+                   bool ExpectBug) {
+  CellResult C;
+  C.Seconds = WallSeconds;
+  C.TimedOut = R.Outcome == driver::Verdict::Unknown;
+  C.Verdict = driver::verdictName(R.Outcome);
+  if (!C.TimedOut)
+    C.WrongVerdict = R.unsafe() != ExpectBug;
+  return C;
 }
 
-std::string runBackend(const ir::Program &P, driver::BackendKind B,
-                       uint32_t K, uint32_t L, double Budget,
-                       bool ExpectBug) {
+CellResult runBackend(const ir::Program &P, driver::BackendKind B,
+                      uint32_t K, uint32_t L, double Budget,
+                      bool ExpectBug) {
   driver::VbmcResult R = driver::checkProgram(P, makeOpts(B, K, L, Budget));
-  return formatRun(R, R.Seconds, ExpectBug);
+  return cellFor(R, R.Seconds, ExpectBug);
 }
 
 /// Portfolio row: both backends race; report wall-clock time (which should
 /// track the faster backend, never the slower one) and tag the winner.
 std::string runPortfolio(const ir::Program &P, uint32_t K, uint32_t L,
-                         double Budget, bool ExpectBug) {
+                         double Budget, bool ExpectBug, CellResult &Cell) {
   Timer Watch;
   driver::VbmcResult R = driver::checkPortfolio(
       P, makeOpts(driver::BackendKind::Explicit, K, L, Budget));
-  std::string S = formatRun(R, Watch.elapsedSeconds(), ExpectBug);
+  Cell = cellFor(R, Watch.elapsedSeconds(), ExpectBug);
+  std::string S = Cell.str();
   if (!R.WinningBackend.empty())
     S += " (" + R.WinningBackend.substr(0, 1) + ")";
   return S;
@@ -87,14 +90,20 @@ int main(int Argc, char **Argv) {
 
   Table T({"Program", "explicit", "sat", "portfolio"});
   for (Row &R : Rows) {
-    T.addRow({R.Name,
-              runBackend(R.Prog, driver::BackendKind::Explicit, R.K, 2,
-                         Cfg.VbmcBudget, R.ExpectBug),
-              runBackend(R.Prog, driver::BackendKind::Sat, R.K, 2,
-                         Cfg.VbmcBudget, R.ExpectBug),
-              runPortfolio(R.Prog, R.K, 2, Cfg.VbmcBudget, R.ExpectBug)});
+    CellResult Explicit = runBackend(R.Prog, driver::BackendKind::Explicit,
+                                     R.K, 2, Cfg.VbmcBudget, R.ExpectBug);
+    CellResult Sat = runBackend(R.Prog, driver::BackendKind::Sat, R.K, 2,
+                                Cfg.VbmcBudget, R.ExpectBug);
+    CellResult Portfolio;
+    std::string PortfolioStr = runPortfolio(R.Prog, R.K, 2, Cfg.VbmcBudget,
+                                            R.ExpectBug, Portfolio);
+    recordCell(Cfg, R.Name, "explicit", Explicit, R.K, 2);
+    recordCell(Cfg, R.Name, "sat", Sat, R.K, 2);
+    recordCell(Cfg, R.Name, "portfolio", Portfolio, R.K, 2);
+    T.addRow({R.Name, Explicit.str(), Sat.str(), PortfolioStr});
   }
   std::fputs(T.str().c_str(), stdout);
+  Cfg.writeJson("ablation_backend");
   std::puts("\nthe explicit backend enumerates the translation's stamp "
             "guesses\nstate-by-state and collapses on small programs "
             "only; the paper's\nchoice of a BMC backend is what makes "

@@ -41,5 +41,6 @@ int main(int Argc, char **Argv) {
             "\n(Tracer/Cdsc time out from szymanski_1(8), Rcmc from"
             "\nszymanski_1(6)); the view-bounded search is less sensitive"
             "\nto the thread count.");
+  Cfg.writeJson("table2_one_unfenced");
   return 0;
 }

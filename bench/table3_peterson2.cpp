@@ -33,5 +33,6 @@ int main(int Argc, char **Argv) {
                      Cfg.L, Cfg, /*ExpectBug=*/true));
   }
   std::fputs(T.str().c_str(), stdout);
+  Cfg.writeJson("table3_peterson2");
   return 0;
 }

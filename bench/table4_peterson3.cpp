@@ -31,5 +31,6 @@ int main(int Argc, char **Argv) {
   std::fputs(T.str().c_str(), stdout);
   std::puts("\npaper shape: the bug's position flips which search order"
             "\nwins; VBMC is unaffected by the placement.");
+  Cfg.writeJson("table4_peterson3");
   return 0;
 }

@@ -28,5 +28,6 @@ int main(int Argc, char **Argv) {
                      Cfg.L, Cfg, /*ExpectBug=*/true));
   }
   std::fputs(T.str().c_str(), stdout);
+  Cfg.writeJson("table5_szymanski2");
   return 0;
 }

@@ -67,5 +67,6 @@ int main(int Argc, char **Argv) {
             "an UNSAT proof, the hardest part for our from-scratch CDCL -- "
             "T.O entries here reflect the prototype solver, not the "
             "method (the paper used CBMC).");
+  Cfg.writeJson("table678_safe");
   return 0;
 }

@@ -124,6 +124,7 @@ public:
       St.addSeconds("sat.solve.seconds", Seconds);
       St.addCount("sat.solve.conflicts", Delta.Conflicts);
       St.addCount("sat.solve.decisions", Delta.Decisions);
+      Ctx->trace().recordElapsed("sat.solve", "sat", Seconds);
     }
     R.SolverConflicts = Delta.Conflicts;
     R.SolverDecisions = Delta.Decisions;
@@ -312,6 +313,7 @@ private:
     St.addSeconds("sat.encode.seconds", Seconds);
     St.addCount("sat.encode.nodes", C.numNodes());
     St.addCount("sat.encode.bytes", C.estimatedBytes());
+    Opts.Ctx->trace().recordElapsed("sat.encode", "sat", Seconds);
   }
 
   void walkBody(const std::vector<Stmt> &Body, ProcState &S) {
@@ -551,9 +553,11 @@ private:
 BmcResult vbmc::bmc::checkBmc(const Program &P, const BmcOptions &Opts) {
   Timer UnrollWatch;
   Program Unrolled = unrollLoops(P, Opts.UnrollBound);
-  if (Opts.Ctx)
-    Opts.Ctx->stats().addSeconds("sat.unroll.seconds",
-                                 UnrollWatch.elapsedSeconds());
+  if (Opts.Ctx) {
+    double UnrollSeconds = UnrollWatch.elapsedSeconds();
+    Opts.Ctx->stats().addSeconds("sat.unroll.seconds", UnrollSeconds);
+    Opts.Ctx->trace().recordElapsed("sat.unroll", "sat", UnrollSeconds);
+  }
   if (Opts.Ctx && Opts.Ctx->interrupted()) {
     BmcResult R;
     R.Status = BmcStatus::Unknown;
@@ -584,9 +588,11 @@ public:
     Timer Watch;
     Timer UnrollWatch;
     Unrolled = unrollLoops(P, Opts.UnrollBound);
-    if (Opts.Ctx)
-      Opts.Ctx->stats().addSeconds("sat.unroll.seconds",
-                                   UnrollWatch.elapsedSeconds());
+    if (Opts.Ctx) {
+      double UnrollSeconds = UnrollWatch.elapsedSeconds();
+      Opts.Ctx->stats().addSeconds("sat.unroll.seconds", UnrollSeconds);
+      Opts.Ctx->trace().recordElapsed("sat.unroll", "sat", UnrollSeconds);
+    }
     if (Opts.Ctx && Opts.Ctx->interrupted()) {
       Outcome.Status = BmcStatus::Unknown;
       Outcome.Note = Opts.Ctx->cancelled() ? "cancelled" : "budget exhausted";

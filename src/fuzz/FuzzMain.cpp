@@ -27,6 +27,7 @@
 #include "ir/Printer.h"
 #include "support/Cli.h"
 #include "support/FaultInjection.h"
+#include "support/Json.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -67,6 +68,9 @@ void printUsage() {
       "                     witness instead of killing the campaign\n"
       "  --mem-limit-mb N   per-program memory ceiling (with --isolate\n"
       "                     also the child's address-space headroom)\n"
+      "  --json FILE        write a machine-readable campaign summary\n"
+      "                     (\"vbmc-fuzz/v1\": counts, sandbox verdicts,\n"
+      "                     one record per discrepancy) to FILE\n"
       "  --quiet            summary line only\n"
       "replay (positional args are files or directories of .ra files):\n"
       "  each file is cross-checked and any '// expect: safe|unsafe k=N'\n"
@@ -95,7 +99,7 @@ int runMain(int Argc, char **Argv) {
        "loop-permille", "assert-permille", "max-value", "heavy-every",
        "max-states", "cas-allowance", "corpus", "index", "repro",
        "inject-fault", "no-minimize", "no-sat", "isolate", "incremental",
-       "mem-limit-mb", "quiet", "help"});
+       "mem-limit-mb", "json", "quiet", "help"});
   if (!Unknown.empty()) {
     for (const std::string &F : Unknown)
       std::fprintf(stderr, "vbmc-fuzz: unknown flag '--%s'\n", F.c_str());
@@ -189,6 +193,43 @@ int runMain(int Argc, char **Argv) {
     std::printf("fuzz: %llu programs, %zu discrepancies\n",
                 static_cast<unsigned long long>(R.Checked),
                 R.Discrepancies.size());
+
+  // Machine-readable campaign summary for CI artifacts.
+  std::string JsonPath = CL.getString("json", "");
+  if (!JsonPath.empty()) {
+    json::JsonWriter W;
+    W.beginObject();
+    W.key("schema").value("vbmc-fuzz/v1");
+    W.key("seed").value(O.Seed);
+    W.key("checked").value(R.Checked);
+    W.key("passed").value(R.Passed);
+    W.key("skipped").value(R.Skipped);
+    W.key("timeouts").value(R.Timeouts);
+    W.key("sandbox").beginObject();
+    W.key("crashes").value(R.SandboxCrashes);
+    W.key("ooms").value(R.SandboxOoms);
+    W.key("timeouts").value(R.SandboxTimeouts);
+    W.key("retries").value(R.SandboxRetries);
+    W.endObject();
+    W.key("discrepancies").beginArray();
+    for (const fuzz::FuzzDiscrepancy &D : R.Discrepancies) {
+      W.beginObject();
+      W.key("seed").value(D.Seed);
+      W.key("index").value(D.Index);
+      W.key("check").value(D.Check);
+      W.key("detail").value(D.Detail);
+      W.key("stmts").value(D.Stmts);
+      W.key("path").value(D.Path);
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+    std::ofstream Out(JsonPath);
+    Out << W.str() << '\n';
+    if (!Out)
+      std::fprintf(stderr, "vbmc-fuzz: cannot write summary to '%s'\n",
+                   JsonPath.c_str());
+  }
   return R.clean() ? 0 : 1;
 }
 

@@ -36,8 +36,25 @@ std::vector<StatsRegistry::Entry> StatsRegistry::snapshot() const {
   auto CI = Counts.begin();
   auto TI = Times.begin();
   while (CI != Counts.end() || TI != Times.end()) {
+    // A name registered as both a counter and a timer would emit two
+    // entries with the same key; disambiguate the timer's serialized
+    // name (".seconds" suffix) and advance past both.
+    if (CI != Counts.end() && TI != Times.end() && CI->first == TI->first) {
+      Entry C;
+      C.Name = CI->first;
+      C.IsCounter = true;
+      C.Count = CI->second;
+      Out.push_back(std::move(C));
+      Entry S;
+      S.Name = TI->first + ".seconds";
+      S.Seconds = TI->second;
+      Out.push_back(std::move(S));
+      ++CI;
+      ++TI;
+      continue;
+    }
     bool TakeCount = TI == Times.end() ||
-                     (CI != Counts.end() && CI->first <= TI->first);
+                     (CI != Counts.end() && CI->first < TI->first);
     Entry E;
     if (TakeCount) {
       E.Name = CI->first;

@@ -34,6 +34,7 @@
 #define VBMC_SUPPORT_CHECKCONTEXT_H
 
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <atomic>
 #include <cstdint>
@@ -92,7 +93,12 @@ public:
     double Seconds = 0;
   };
 
-  /// All entries, sorted by name (counters and timers interleaved).
+  /// All entries, sorted by name (counters and timers interleaved). A
+  /// name registered as BOTH a counter and a timer would otherwise yield
+  /// two indistinguishable entries (and an ambiguous key in serialized
+  /// reports), so on collision the timer's serialized name is
+  /// disambiguated with a ".seconds" suffix; the counter keeps the plain
+  /// name. count()/seconds() lookups are unaffected.
   std::vector<Entry> snapshot() const;
 
   /// Human-readable dump, one "name = value" line per entry.
@@ -125,10 +131,11 @@ private:
 /// The shared per-run state: deadline + cancellation + statistics.
 class CheckContext {
 public:
-  /// Unlimited context: no deadline, fresh token and registry.
+  /// Unlimited context: no deadline, fresh token, registry and tracer.
   CheckContext()
       : Tok(std::make_shared<CancellationToken>()),
-        Stats(std::make_shared<StatsRegistry>()) {}
+        Stats(std::make_shared<StatsRegistry>()),
+        Tr(std::make_shared<TraceRecorder>()) {}
 
   /// Context whose deadline starts now and expires after \p BudgetSeconds
   /// (non-positive = unlimited).
@@ -143,6 +150,10 @@ public:
 
   CancellationToken &token() const { return *Tok; }
   StatsRegistry &stats() const { return *Stats; }
+
+  /// The shared span tracer. Disabled (and near-free) unless something —
+  /// `vbmc --trace-out` — calls trace().enable() before the run.
+  TraceRecorder &trace() const { return *Tr; }
 
   /// True when the computation should stop: cancelled or out of budget.
   bool interrupted() const { return Tok->cancelled() || DL.expired(); }
@@ -162,6 +173,7 @@ public:
     C.Tok = std::make_shared<CancellationToken>(
         std::shared_ptr<const CancellationToken>(Tok));
     C.Stats = Stats;
+    C.Tr = Tr;
     return C;
   }
 
@@ -185,6 +197,7 @@ private:
   Deadline DL;
   std::shared_ptr<CancellationToken> Tok;
   std::shared_ptr<StatsRegistry> Stats;
+  std::shared_ptr<TraceRecorder> Tr;
 };
 
 } // namespace vbmc

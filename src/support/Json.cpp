@@ -1,0 +1,406 @@
+//===- Json.cpp - minimal JSON emission and parsing --------------*- C++ -*-===//
+
+#include "support/Json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+using namespace vbmc;
+using namespace vbmc::json;
+
+std::string vbmc::json::formatDouble(double V) {
+  if (!std::isfinite(V))
+    return "null";
+  char Buf[64];
+  auto R = std::to_chars(Buf, Buf + sizeof(Buf), V);
+  std::string S(Buf, R.ptr);
+  // to_chars emits integral doubles without a decimal point ("3"); that
+  // is valid JSON, but keeping ".0" preserves the number's double-ness
+  // for schema checks and human readers.
+  if (S.find_first_of(".eE") == std::string::npos)
+    S += ".0";
+  return S;
+}
+
+bool vbmc::json::parseDouble(const std::string &S, double &Out) {
+  if (S.empty())
+    return false;
+  double V = 0;
+  auto R = std::from_chars(S.data(), S.data() + S.size(), V);
+  if (R.ec != std::errc() || R.ptr != S.data() + S.size())
+    return false;
+  Out = V;
+  return true;
+}
+
+bool vbmc::json::parseUint(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  uint64_t V = 0;
+  auto R = std::from_chars(S.data(), S.data() + S.size(), V);
+  if (R.ec != std::errc() || R.ptr != S.data() + S.size())
+    return false;
+  Out = V;
+  return true;
+}
+
+std::string vbmc::json::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// JsonWriter
+//===----------------------------------------------------------------------===//
+
+void JsonWriter::separate() {
+  if (AfterKey) {
+    AfterKey = false;
+    return;
+  }
+  if (!NeedComma.empty()) {
+    if (NeedComma.back())
+      Out += ',';
+    NeedComma.back() = true;
+  }
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  separate();
+  Out += '{';
+  NeedComma.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  Out += '}';
+  NeedComma.pop_back();
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  separate();
+  Out += '[';
+  NeedComma.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  Out += ']';
+  NeedComma.pop_back();
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(const std::string &K) {
+  separate();
+  Out += '"';
+  Out += escape(K);
+  Out += "\":";
+  AfterKey = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(const std::string &V) {
+  separate();
+  Out += '"';
+  Out += escape(V);
+  Out += '"';
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(const char *V) {
+  return value(std::string(V));
+}
+
+JsonWriter &JsonWriter::value(double V) {
+  separate();
+  Out += formatDouble(V);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(uint64_t V) {
+  separate();
+  Out += std::to_string(V);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(int64_t V) {
+  separate();
+  Out += std::to_string(V);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(bool V) {
+  separate();
+  Out += V ? "true" : "false";
+  return *this;
+}
+
+JsonWriter &JsonWriter::null() {
+  separate();
+  Out += "null";
+  return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+const Value *Value::get(const std::string &Key) const {
+  for (const auto &M : Obj)
+    if (M.first == Key)
+      return &M.second;
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text, std::string *Err) : T(Text), Err(Err) {}
+
+  bool run(Value &Out) {
+    skipWs();
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    if (Pos != T.size())
+      return fail("trailing characters after JSON value");
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Why) {
+    if (Err)
+      *Err = Why + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < T.size() && (T[Pos] == ' ' || T[Pos] == '\t' ||
+                              T[Pos] == '\n' || T[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Lit) {
+    size_t N = std::strlen(Lit);
+    if (T.compare(Pos, N, Lit) != 0)
+      return fail(std::string("expected '") + Lit + "'");
+    Pos += N;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (Pos >= T.size() || T[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    Out.clear();
+    while (Pos < T.size() && T[Pos] != '"') {
+      char C = T[Pos];
+      if (C != '\\') {
+        Out += C;
+        ++Pos;
+        continue;
+      }
+      if (Pos + 1 >= T.size())
+        return fail("unterminated escape");
+      char E = T[Pos + 1];
+      Pos += 2;
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > T.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        auto R = std::from_chars(T.data() + Pos, T.data() + Pos + 4, Code, 16);
+        if (R.ec != std::errc() || R.ptr != T.data() + Pos + 4)
+          return fail("bad \\u escape");
+        Pos += 4;
+        // Minimal UTF-8 encoding; surrogate pairs are not recombined
+        // (the writer never emits them).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    if (Pos >= T.size())
+      return fail("unterminated string");
+    ++Pos; // Closing quote.
+    return true;
+  }
+
+  bool parseValue(Value &Out) {
+    skipWs();
+    if (Pos >= T.size())
+      return fail("unexpected end of input");
+    char C = T[Pos];
+    if (C == '{') {
+      ++Pos;
+      Out.K = Value::Kind::Object;
+      skipWs();
+      if (Pos < T.size() && T[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      for (;;) {
+        skipWs();
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipWs();
+        if (Pos >= T.size() || T[Pos] != ':')
+          return fail("expected ':'");
+        ++Pos;
+        Value V;
+        if (!parseValue(V))
+          return false;
+        Out.Obj.emplace_back(std::move(Key), std::move(V));
+        skipWs();
+        if (Pos < T.size() && T[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Pos < T.size() && T[Pos] == '}') {
+          ++Pos;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      Out.K = Value::Kind::Array;
+      skipWs();
+      if (Pos < T.size() && T[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      for (;;) {
+        Value V;
+        if (!parseValue(V))
+          return false;
+        Out.Arr.push_back(std::move(V));
+        skipWs();
+        if (Pos < T.size() && T[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Pos < T.size() && T[Pos] == ']') {
+          ++Pos;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (C == '"') {
+      Out.K = Value::Kind::String;
+      return parseString(Out.Str);
+    }
+    if (C == 't') {
+      Out.K = Value::Kind::Bool;
+      Out.B = true;
+      return literal("true");
+    }
+    if (C == 'f') {
+      Out.K = Value::Kind::Bool;
+      Out.B = false;
+      return literal("false");
+    }
+    if (C == 'n') {
+      Out.K = Value::Kind::Null;
+      return literal("null");
+    }
+    // Number.
+    size_t End = Pos;
+    while (End < T.size() &&
+           (std::isdigit(static_cast<unsigned char>(T[End])) ||
+            T[End] == '-' || T[End] == '+' || T[End] == '.' ||
+            T[End] == 'e' || T[End] == 'E'))
+      ++End;
+    double V = 0;
+    auto R = std::from_chars(T.data() + Pos, T.data() + End, V);
+    if (R.ec != std::errc() || R.ptr != T.data() + End || End == Pos)
+      return fail("bad number");
+    Out.K = Value::Kind::Number;
+    Out.Num = V;
+    Pos = End;
+    return true;
+  }
+
+  const std::string &T;
+  std::string *Err;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool vbmc::json::parse(const std::string &Text, Value &Out,
+                       std::string *Err) {
+  return Parser(Text, Err).run(Out);
+}

@@ -1,0 +1,116 @@
+//===- Json.h - minimal JSON emission and parsing ----------------*- C++ -*-===//
+///
+/// \file
+/// The observability layer's JSON substrate: locale-independent number
+/// formatting/parsing (std::to_chars / std::from_chars — the global C or
+/// C++ locale never leaks into machine-readable output, see the Isolation
+/// wire-format bug this fixed), a small streaming writer used by the run
+/// report, the Chrome trace export and the bench telemetry, and a tiny
+/// recursive-descent parser used by the schema-check tests and by anything
+/// consuming the reports.
+///
+/// Deliberately not a general-purpose JSON library: no comments, no
+/// NaN/Infinity extensions (non-finite doubles serialize as null), object
+/// keys keep insertion order on parse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_SUPPORT_JSON_H
+#define VBMC_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vbmc::json {
+
+/// Shortest round-trippable decimal form of \p V, always with a '.' or
+/// exponent decimal syntax independent of any locale ("1.5", never "1,5").
+/// Non-finite values render as "null" (JSON has no NaN/Infinity).
+std::string formatDouble(double V);
+
+/// Locale-independent strict parses: the whole string must be consumed.
+/// Return false (leaving \p Out untouched) on empty, trailing garbage, or
+/// out-of-range input — the silent-zero failure mode of strtod("") is
+/// exactly what these exist to prevent.
+bool parseDouble(const std::string &S, double &Out);
+bool parseUint(const std::string &S, uint64_t &Out);
+
+/// JSON string escaping (quotes not included): ", \, control characters.
+std::string escape(const std::string &S);
+
+/// A streaming JSON writer with just enough state to place commas. Usage:
+///   JsonWriter W;
+///   W.beginObject().key("verdict").value("safe").endObject();
+///   file << W.str();
+/// Keys and values must alternate correctly inside objects; the writer
+/// does not validate, it only punctuates.
+class JsonWriter {
+public:
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+  JsonWriter &key(const std::string &K);
+  JsonWriter &value(const std::string &V);
+  JsonWriter &value(const char *V);
+  JsonWriter &value(double V);
+  JsonWriter &value(uint64_t V);
+  JsonWriter &value(int64_t V);
+  JsonWriter &value(uint32_t V) { return value(static_cast<uint64_t>(V)); }
+  JsonWriter &value(bool V);
+  JsonWriter &null();
+
+  const std::string &str() const { return Out; }
+
+private:
+  void separate();
+  std::string Out;
+  /// One entry per open container: whether the next element needs a comma.
+  std::vector<bool> NeedComma;
+  bool AfterKey = false;
+};
+
+/// A parsed JSON value tree.
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return B; }
+  double asNumber() const { return Num; }
+  const std::string &asString() const { return Str; }
+  const std::vector<Value> &array() const { return Arr; }
+  /// Members in source order (duplicate keys kept verbatim).
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Obj;
+  }
+
+  /// First member named \p Key, or nullptr. Only meaningful on objects.
+  const Value *get(const std::string &Key) const;
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj;
+};
+
+/// Parses \p Text into \p Out. The whole input (modulo trailing
+/// whitespace) must be one JSON value. On failure returns false and, when
+/// \p Err is non-null, a one-line diagnostic with the byte offset.
+bool parse(const std::string &Text, Value &Out, std::string *Err = nullptr);
+
+} // namespace vbmc::json
+
+#endif // VBMC_SUPPORT_JSON_H

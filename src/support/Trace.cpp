@@ -1,0 +1,88 @@
+//===- Trace.cpp - nestable span tracing -------------------------*- C++ -*-===//
+
+#include "support/Trace.h"
+
+#include "support/Json.h"
+
+#include <algorithm>
+
+using namespace vbmc;
+
+void TraceRecorder::record(std::string Name, std::string Category,
+                           double StartMicros, double DurationMicros) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> L(M);
+  if (Spans.size() >= MaxSpans) {
+    ++Dropped;
+    return;
+  }
+  auto It = ThreadIds.find(std::this_thread::get_id());
+  if (It == ThreadIds.end())
+    It = ThreadIds.emplace(std::this_thread::get_id(), NextThreadId++).first;
+  Spans.push_back(TraceSpan{std::move(Name), std::move(Category),
+                            StartMicros, DurationMicros, It->second});
+}
+
+void TraceRecorder::merge(const std::vector<TraceSpan> &InSpans,
+                          double OffsetMicros) {
+  if (!enabled() || InSpans.empty())
+    return;
+  std::lock_guard<std::mutex> L(M);
+  // Remap each distinct child thread id to a fresh id in this recorder;
+  // the child's ids are only unique within its own recorder.
+  std::map<uint32_t, uint32_t> Remap;
+  for (const TraceSpan &S : InSpans) {
+    if (Spans.size() >= MaxSpans) {
+      ++Dropped;
+      continue;
+    }
+    auto It = Remap.find(S.ThreadId);
+    if (It == Remap.end())
+      It = Remap.emplace(S.ThreadId, NextThreadId++).first;
+    TraceSpan Copy = S;
+    Copy.StartMicros += OffsetMicros;
+    Copy.ThreadId = It->second;
+    Spans.push_back(std::move(Copy));
+  }
+}
+
+std::vector<TraceSpan> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> L(M);
+  return Spans;
+}
+
+uint64_t TraceRecorder::droppedSpans() const {
+  std::lock_guard<std::mutex> L(M);
+  return Dropped;
+}
+
+size_t TraceRecorder::spanCount() const {
+  std::lock_guard<std::mutex> L(M);
+  return Spans.size();
+}
+
+std::string TraceRecorder::formatChromeTrace() const {
+  std::vector<TraceSpan> Sorted = snapshot();
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const TraceSpan &A, const TraceSpan &B) {
+              if (A.StartMicros != B.StartMicros)
+                return A.StartMicros < B.StartMicros;
+              return A.DurationMicros > B.DurationMicros;
+            });
+  json::JsonWriter W;
+  W.beginArray();
+  for (const TraceSpan &S : Sorted) {
+    W.beginObject();
+    W.key("name").value(S.Name);
+    W.key("cat").value(S.Category);
+    W.key("ph").value("X");
+    W.key("ts").value(S.StartMicros);
+    W.key("dur").value(S.DurationMicros);
+    W.key("pid").value(uint64_t{0});
+    W.key("tid").value(static_cast<uint64_t>(S.ThreadId));
+    W.endObject();
+  }
+  W.endArray();
+  return W.str();
+}

@@ -1,0 +1,133 @@
+//===- Trace.h - nestable span tracing ---------------------------*- C++ -*-===//
+///
+/// \file
+/// The engine's span tracer: a thread-safe recorder of named, nested time
+/// spans hung off CheckContext next to the StatsRegistry. Every engine
+/// stage (translate, flatten, unroll, encode, per-budget solves, portfolio
+/// arms, sandboxed children) opens a ScopedSpan; the recorder stays
+/// disabled (near-zero cost: one relaxed atomic load per span site) until
+/// something asks for a trace — `vbmc --trace-out f.json` — and the
+/// collected spans export as Chrome trace_event JSON ("X" complete
+/// events), which loads directly in Perfetto (ui.perfetto.dev) or
+/// chrome://tracing.
+///
+/// Timestamps are microseconds relative to the recorder's construction.
+/// Thread ids are small dense integers assigned in first-record order, not
+/// OS tids — stable across runs, and sandboxed children's spans merge into
+/// the parent recorder under fresh ids (shifted by the fork time) so one
+/// trace shows the whole process tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_SUPPORT_TRACE_H
+#define VBMC_SUPPORT_TRACE_H
+
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace vbmc {
+
+/// One completed span. Start/Duration are microseconds relative to the
+/// owning recorder's epoch (its construction time).
+struct TraceSpan {
+  std::string Name;
+  std::string Category;
+  double StartMicros = 0;
+  double DurationMicros = 0;
+  uint32_t ThreadId = 0;
+};
+
+/// Thread-safe span collector. Recording is off until enable(); span
+/// sites are expected to exist unconditionally (ScopedSpan no-ops when
+/// the recorder is disabled). The span buffer is capped so a long-lived
+/// context (a fuzz campaign tracing thousands of programs) cannot grow
+/// without bound; droppedSpans() reports the overflow.
+class TraceRecorder {
+public:
+  void enable() { Enabled.store(true, std::memory_order_relaxed); }
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Microseconds elapsed since this recorder's construction.
+  double nowMicros() const { return Epoch.elapsedSeconds() * 1e6; }
+
+  /// Records one completed span on the calling thread. No-op while
+  /// disabled.
+  void record(std::string Name, std::string Category, double StartMicros,
+              double DurationMicros);
+
+  /// Records a span of \p Seconds that ends now — for call sites that
+  /// already hold a measured duration (the stage-timer pattern) instead
+  /// of a ScopedSpan. No-op while disabled.
+  void recordElapsed(std::string Name, std::string Category, double Seconds) {
+    if (!enabled())
+      return;
+    double Micros = Seconds * 1e6;
+    record(std::move(Name), std::move(Category), nowMicros() - Micros,
+           Micros);
+  }
+
+  /// Merges spans exported by a sandboxed child's recorder: every span is
+  /// shifted by \p OffsetMicros (the parent-clock time the child started)
+  /// and each distinct child thread id is remapped to a fresh id here, so
+  /// child and parent timelines interleave without colliding.
+  void merge(const std::vector<TraceSpan> &Spans, double OffsetMicros);
+
+  std::vector<TraceSpan> snapshot() const;
+  uint64_t droppedSpans() const;
+  size_t spanCount() const;
+
+  /// Chrome trace_event JSON: a top-level array of "X" (complete) events
+  /// with ts/dur in microseconds, sorted by ts (duration-descending on
+  /// ties, so parents precede their children). Loads in Perfetto.
+  std::string formatChromeTrace() const;
+
+  /// Span-buffer cap; further records bump droppedSpans() instead.
+  static constexpr size_t MaxSpans = 1u << 20;
+
+private:
+  std::atomic<bool> Enabled{false};
+  Timer Epoch;
+  mutable std::mutex M;
+  std::vector<TraceSpan> Spans;
+  std::map<std::thread::id, uint32_t> ThreadIds;
+  uint32_t NextThreadId = 0;
+  uint64_t Dropped = 0;
+};
+
+/// RAII span: opens at construction, records into the recorder at scope
+/// exit. All cost is skipped while the recorder is disabled.
+class ScopedSpan {
+public:
+  ScopedSpan(TraceRecorder &Recorder, std::string Name, std::string Category)
+      : R(Recorder.enabled() ? &Recorder : nullptr) {
+    if (R) {
+      this->Name = std::move(Name);
+      this->Category = std::move(Category);
+      StartMicros = R->nowMicros();
+    }
+  }
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+  ~ScopedSpan() {
+    if (R)
+      R->record(std::move(Name), std::move(Category), StartMicros,
+                R->nowMicros() - StartMicros);
+  }
+
+private:
+  TraceRecorder *R;
+  std::string Name;
+  std::string Category;
+  double StartMicros = 0;
+};
+
+} // namespace vbmc
+
+#endif // VBMC_SUPPORT_TRACE_H

@@ -67,6 +67,26 @@ bool vbmc::driver::engineModeFromName(const std::string &Name,
   return true;
 }
 
+const char *vbmc::driver::verdictName(Verdict V) {
+  switch (V) {
+  case Verdict::Safe:
+    return "safe";
+  case Verdict::Unsafe:
+    return "unsafe";
+  case Verdict::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+Verdict vbmc::driver::verdictFromName(const std::string &Name) {
+  if (Name == "safe")
+    return Verdict::Safe;
+  if (Name == "unsafe")
+    return Verdict::Unsafe;
+  return Verdict::Unknown;
+}
+
 namespace {
 
 //===----------------------------------------------------------------------===//
@@ -125,6 +145,7 @@ CheckReport runExplicit(const ir::Program &Translated, uint32_t ContextBound,
   ir::FlatProgram FP;
   {
     ScopedStageTimer T(Ctx.stats(), "flatten.seconds");
+    ScopedSpan Span(Ctx.trace(), "flatten", "engine");
     FP = ir::flatten(Translated);
   }
   sc::ScQuery Q;
@@ -165,6 +186,7 @@ CheckReport runExplicit(const ir::Program &Translated, uint32_t ContextBound,
 translation::TranslationResult translateStage(const ir::Program &P,
                                               const VbmcOptions &Opts,
                                               const CheckContext &Ctx) {
+  ScopedSpan Span(Ctx.trace(), "translate", "engine");
   translation::TranslationOptions TO;
   TO.K = Opts.K;
   TO.CasAllowance = Opts.CasAllowance;
@@ -177,6 +199,10 @@ translation::TranslationResult translateStage(const ir::Program &P,
 /// the fault-tolerance story (the sandbox is the out-of-process half).
 CheckReport backendStage(const translation::TranslationResult &TR,
                          const VbmcOptions &Opts, const CheckContext &Ctx) {
+  ScopedSpan Span(Ctx.trace(),
+                  Opts.Backend == BackendKind::Explicit ? "backend.explicit"
+                                                        : "backend.sat",
+                  "engine");
   try {
     maybeInjectBackendFault(TR.Prog);
     return Opts.Backend == BackendKind::Explicit
@@ -217,6 +243,8 @@ CheckReport runOnceInProcess(const ir::Program &P, const VbmcOptions &Opts,
 /// Unknown on the parent side.
 CheckReport runOnce(const ir::Program &P, const VbmcOptions &Opts,
                     CheckContext &Ctx) {
+  ScopedSpan Span(Ctx.trace(), "attempt.k" + std::to_string(Opts.K),
+                  "engine");
   if (Opts.Isolate && sandbox::available())
     return runIsolatedAttempt(P, Opts, Ctx);
   return runOnceInProcess(P, Opts, Ctx);
@@ -315,6 +343,8 @@ CheckReport runPortfolioMode(const ir::Program &P, const VbmcOptions &Opts,
   int Winner = -1;
 
   auto race = [&](int Idx, BackendKind B) {
+    ScopedSpan Span(Ctx.trace(), std::string("portfolio.") + Names[Idx],
+                    "engine");
     VbmcOptions O = Opts;
     O.Backend = B;
     // The full single-mode pipeline (not backendStage) in the isolated
@@ -555,6 +585,7 @@ vbmc::driver::Engine::Impl::runIncremental(const ir::Program &P,
     // Build the one-time encoding: translate at MaxK, encode at the
     // matching context bound, precompute every budget selector.
     try {
+      ScopedSpan EncodeSpan(Ctx.trace(), "incremental.encode", "engine");
       Timer TranslateWatch;
       translation::TranslationOptions TO;
       TO.K = Req.MaxK;
@@ -645,6 +676,9 @@ vbmc::driver::Engine::Impl::runIncremental(const ir::Program &P,
     }
     bmc::BmcResult BR;
     try {
+      ScopedSpan SolveSpan(Ctx.trace(),
+                           "incremental.solve.k" + std::to_string(K),
+                           "engine");
       BR = Entry->Inc->solveBudget(K, &Ctx);
     } catch (const std::bad_alloc &) {
       // The persistent solver may be mid-flight inconsistent after an
@@ -692,6 +726,9 @@ Engine::~Engine() = default;
 
 CheckReport Engine::run(const ir::Program &P, const CheckRequest &Req,
                         CheckContext &Ctx) {
+  ScopedSpan ModeSpan(Ctx.trace(),
+                      std::string("engine.") + engineModeName(Req.Mode),
+                      "engine");
   switch (Req.Mode) {
   case EngineMode::Single:
     return runSingleMode(P, Req.Opts, Ctx);

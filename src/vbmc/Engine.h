@@ -99,6 +99,14 @@ const char *engineModeName(EngineMode M);
 /// on anything else.
 bool engineModeFromName(const std::string &Name, EngineMode &M);
 
+/// Canonical lowercase verdict names used by the CLI output, the sandbox
+/// wire format, and the JSON run report: "safe", "unsafe", "unknown".
+const char *verdictName(Verdict V);
+
+/// Parses a canonical verdict name; anything unrecognized is Unknown (the
+/// wire format's conservative default).
+Verdict verdictFromName(const std::string &Name);
+
 /// One verification attempt at a specific K. Deepening modes record one
 /// per explored K (in K order); Single/Portfolio record exactly one.
 struct Attempt {

@@ -8,11 +8,19 @@
 // code, signal, OOM, wall-clock kill — into the FailureKind carried on
 // the result, so no backend misbehaviour can take the engine down.
 //
+// Wire-format numbers are emitted and parsed with std::to_chars /
+// std::from_chars (support/Json.h): iostream formatting honors the global
+// C++ locale and strtod the C locale, so a host/app locale with a ','
+// decimal separator used to corrupt child timing stats across the pipe.
+// Parsing is strict — a short or unparseable line is reported in the
+// result note instead of silently reading as zero.
+//
 //===----------------------------------------------------------------------===//
 
 #include "vbmc/Isolation.h"
 
-#include <cstdlib>
+#include "support/Json.h"
+
 #include <limits>
 #include <sstream>
 
@@ -83,64 +91,67 @@ sandbox::FailureKind failureFromName(const std::string &Name) {
   return FailureKind::None;
 }
 
-Verdict verdictFromName(const std::string &Name) {
-  if (Name == "safe")
-    return Verdict::Safe;
-  if (Name == "unsafe")
-    return Verdict::Unsafe;
-  return Verdict::Unknown;
-}
-
-const char *verdictKey(Verdict V) {
-  switch (V) {
-  case Verdict::Safe:
-    return "safe";
-  case Verdict::Unsafe:
-    return "unsafe";
-  case Verdict::Unknown:
-    return "unknown";
-  }
-  return "unknown";
-}
-
 } // namespace
 
 std::string vbmc::driver::serializeResult(const VbmcResult &R,
-                                          const StatsRegistry &Stats) {
+                                          const StatsRegistry &Stats,
+                                          const TraceRecorder *Trace) {
   std::ostringstream Out;
-  Out.precision(17);
-  Out << "verdict\t" << verdictKey(R.Outcome) << "\n";
+  Out << "verdict\t" << verdictName(R.Outcome) << "\n";
   Out << "failure\t" << sandbox::failureKindName(R.Failure) << "\n";
   Out << "mode\t" << engineModeName(R.ModeRan) << "\n";
-  Out << "kused\t" << R.KUsed << "\n";
-  Out << "seconds\t" << R.Seconds << "\n";
-  Out << "translate\t" << R.TranslateSeconds << "\n";
-  Out << "work\t" << R.Work << "\n";
+  Out << "kused\t" << std::to_string(R.KUsed) << "\n";
+  Out << "seconds\t" << json::formatDouble(R.Seconds) << "\n";
+  Out << "translate\t" << json::formatDouble(R.TranslateSeconds) << "\n";
+  Out << "work\t" << std::to_string(R.Work) << "\n";
   for (const Attempt &A : R.Attempts)
-    Out << "attempt\t" << A.K << "\t" << verdictKey(A.Outcome) << "\t"
-        << sandbox::failureKindName(A.Failure) << "\t" << A.Seconds << "\n";
+    Out << "attempt\t" << std::to_string(A.K) << "\t"
+        << verdictName(A.Outcome) << "\t"
+        << sandbox::failureKindName(A.Failure) << "\t"
+        << json::formatDouble(A.Seconds) << "\n";
   if (!R.Note.empty())
     Out << "note\t" << escape(R.Note) << "\n";
   if (!R.WinningBackend.empty())
     Out << "winner\t" << escape(R.WinningBackend) << "\n";
   for (const sc::ScTraceStep &S : R.Trace)
-    Out << "trace\t" << S.Proc << "\t" << S.Instr << "\n";
+    Out << "trace\t" << std::to_string(S.Proc) << "\t"
+        << std::to_string(S.Instr) << "\n";
   for (const StatsRegistry::Entry &E : Stats.snapshot()) {
     if (E.IsCounter)
-      Out << "stat.count\t" << escape(E.Name) << "\t" << E.Count << "\n";
+      Out << "stat.count\t" << escape(E.Name) << "\t"
+          << std::to_string(E.Count) << "\n";
     else
-      Out << "stat.seconds\t" << escape(E.Name) << "\t" << E.Seconds << "\n";
+      Out << "stat.seconds\t" << escape(E.Name) << "\t"
+          << json::formatDouble(E.Seconds) << "\n";
   }
+  if (Trace && Trace->enabled())
+    for (const TraceSpan &S : Trace->snapshot())
+      Out << "span\t" << escape(S.Name) << "\t" << escape(S.Category)
+          << "\t" << json::formatDouble(S.StartMicros) << "\t"
+          << json::formatDouble(S.DurationMicros) << "\t"
+          << std::to_string(S.ThreadId) << "\n";
   Out << "end\t\n"; // Truncation sentinel: a cut-off pipe lacks it.
   return Out.str();
 }
 
 VbmcResult vbmc::driver::parseResult(const std::string &Payload,
-                                     StatsRegistry *MergeInto) {
+                                     StatsRegistry *MergeInto,
+                                     std::vector<TraceSpan> *SpansOut) {
   VbmcResult R;
   std::istringstream In(Payload);
   std::string Line;
   bool SawEnd = false;
+  uint64_t Malformed = 0;
+  std::string FirstBadLine;
+  // A line whose key is recognized but whose payload fields are missing
+  // or unparseable is *rejected*, not absorbed as zeros: strtod("") and
+  // strtoul("") silently yield 0, which used to turn a truncated
+  // "attempt" line still preceding the end sentinel into a phantom
+  // k=0/0s record.
+  auto bad = [&](const std::string &L) {
+    if (Malformed++ == 0)
+      FirstBadLine = L.substr(0, 64);
+  };
   while (std::getline(In, Line)) {
     std::vector<std::string> F = splitTabs(Line);
     if (F.empty())
@@ -149,43 +160,96 @@ VbmcResult vbmc::driver::parseResult(const std::string &Payload,
     auto Field = [&](size_t I) -> std::string {
       return I < F.size() ? F[I] : std::string();
     };
-    if (Key == "verdict")
-      R.Outcome = verdictFromName(Field(1));
-    else if (Key == "failure")
-      R.Failure = failureFromName(Field(1));
-    else if (Key == "mode")
-      engineModeFromName(Field(1), R.ModeRan); // Unknown names: keep default.
-    else if (Key == "kused")
-      R.KUsed =
-          static_cast<uint32_t>(std::strtoul(Field(1).c_str(), nullptr, 10));
-    else if (Key == "attempt")
-      R.Attempts.push_back(Attempt{
-          static_cast<uint32_t>(std::strtoul(Field(1).c_str(), nullptr, 10)),
-          verdictFromName(Field(2)), failureFromName(Field(3)),
-          std::strtod(Field(4).c_str(), nullptr)});
-    else if (Key == "seconds")
-      R.Seconds = std::strtod(Field(1).c_str(), nullptr);
-    else if (Key == "translate")
-      R.TranslateSeconds = std::strtod(Field(1).c_str(), nullptr);
-    else if (Key == "work")
-      R.Work = std::strtoull(Field(1).c_str(), nullptr, 10);
-    else if (Key == "note")
+    auto fieldDouble = [&](size_t I, double &Out) {
+      return json::parseDouble(Field(I), Out);
+    };
+    auto fieldUint = [&](size_t I, uint64_t &Out) {
+      return json::parseUint(Field(I), Out);
+    };
+    uint64_t U0 = 0, U1 = 0;
+    double D0 = 0;
+    if (Key == "verdict") {
+      if (F.size() < 2)
+        bad(Line);
+      else
+        R.Outcome = verdictFromName(Field(1));
+    } else if (Key == "failure") {
+      if (F.size() < 2)
+        bad(Line);
+      else
+        R.Failure = failureFromName(Field(1));
+    } else if (Key == "mode") {
+      if (F.size() < 2)
+        bad(Line);
+      else
+        engineModeFromName(Field(1), R.ModeRan); // Unknown: keep default.
+    } else if (Key == "kused") {
+      if (fieldUint(1, U0))
+        R.KUsed = static_cast<uint32_t>(U0);
+      else
+        bad(Line);
+    } else if (Key == "attempt") {
+      if (F.size() >= 5 && fieldUint(1, U0) && fieldDouble(4, D0))
+        R.Attempts.push_back(Attempt{static_cast<uint32_t>(U0),
+                                     verdictFromName(Field(2)),
+                                     failureFromName(Field(3)), D0});
+      else
+        bad(Line);
+    } else if (Key == "seconds") {
+      if (fieldDouble(1, D0))
+        R.Seconds = D0;
+      else
+        bad(Line);
+    } else if (Key == "translate") {
+      if (fieldDouble(1, D0))
+        R.TranslateSeconds = D0;
+      else
+        bad(Line);
+    } else if (Key == "work") {
+      if (fieldUint(1, U0))
+        R.Work = U0;
+      else
+        bad(Line);
+    } else if (Key == "note") {
       R.Note = unescape(Field(1));
-    else if (Key == "winner")
+    } else if (Key == "winner") {
       R.WinningBackend = unescape(Field(1));
-    else if (Key == "trace")
-      R.Trace.push_back(sc::ScTraceStep{
-          static_cast<uint32_t>(std::strtoul(Field(1).c_str(), nullptr, 10)),
-          static_cast<uint32_t>(
-              std::strtoul(Field(2).c_str(), nullptr, 10))});
-    else if (Key == "stat.count" && MergeInto)
-      MergeInto->addCount(unescape(Field(1)),
-                          std::strtoull(Field(2).c_str(), nullptr, 10));
-    else if (Key == "stat.seconds" && MergeInto)
-      MergeInto->addSeconds(unescape(Field(1)),
-                            std::strtod(Field(2).c_str(), nullptr));
-    else if (Key == "end")
+    } else if (Key == "trace") {
+      if (fieldUint(1, U0) && fieldUint(2, U1))
+        R.Trace.push_back(sc::ScTraceStep{static_cast<uint32_t>(U0),
+                                          static_cast<uint32_t>(U1)});
+      else
+        bad(Line);
+    } else if (Key == "stat.count") {
+      if (F.size() >= 3 && fieldUint(2, U0)) {
+        if (MergeInto)
+          MergeInto->addCount(unescape(Field(1)), U0);
+      } else {
+        bad(Line);
+      }
+    } else if (Key == "stat.seconds") {
+      if (F.size() >= 3 && fieldDouble(2, D0)) {
+        if (MergeInto)
+          MergeInto->addSeconds(unescape(Field(1)), D0);
+      } else {
+        bad(Line);
+      }
+    } else if (Key == "span") {
+      double Start = 0, Dur = 0;
+      if (F.size() >= 6 && fieldDouble(3, Start) && fieldDouble(4, Dur) &&
+          fieldUint(5, U0)) {
+        if (SpansOut)
+          SpansOut->push_back(TraceSpan{unescape(Field(1)),
+                                        unescape(Field(2)), Start, Dur,
+                                        static_cast<uint32_t>(U0)});
+      } else {
+        bad(Line);
+      }
+    } else if (Key == "end") {
       SawEnd = true;
+    }
+    // Unrecognized keys are skipped silently: a newer child may emit
+    // lines an older parent does not know.
   }
   if (!SawEnd) {
     // A truncated report means the child died mid-write; do not trust
@@ -196,12 +260,20 @@ VbmcResult vbmc::driver::parseResult(const std::string &Payload,
     Bad.Note = "truncated report from sandboxed child";
     return Bad;
   }
+  if (Malformed > 0) {
+    std::string Warn = std::to_string(Malformed) +
+                       " malformed report line(s) from sandboxed child "
+                       "(first: \"" +
+                       FirstBadLine + "\")";
+    R.Note += (R.Note.empty() ? "" : "; ") + Warn;
+  }
   return R;
 }
 
 CheckReport vbmc::driver::runIsolatedRequest(const ir::Program &P,
                                              const CheckRequest &Req,
                                              CheckContext &Ctx) {
+  ScopedSpan SandboxSpan(Ctx.trace(), "sandbox.child", "sandbox");
   sandbox::SandboxOptions SO;
   SO.MemLimitBytes = Req.Opts.MemLimitBytes;
   double Remaining = Ctx.deadline().remainingSeconds();
@@ -209,12 +281,20 @@ CheckReport vbmc::driver::runIsolatedRequest(const ir::Program &P,
     SO.TimeoutSeconds = Remaining > 0 ? Remaining : 1e-3;
   SO.Cancel = &Ctx.token();
 
+  // Child spans are timestamped against the child recorder's own epoch
+  // (the fork); remember where that epoch sits on the parent clock so the
+  // merged spans land at the right wall-clock offset.
+  const bool Tracing = Ctx.trace().enabled();
+  double ForkOffsetMicros = Tracing ? Ctx.trace().nowMicros() : 0;
+
   sandbox::SandboxOutcome Out = sandbox::runInSandbox(SO, [&]() {
     // The child owns a fresh context: the parent registry object exists
     // in the forked address space, but recording there would be invisible
     // to the parent, and serializing it would double-count the parent's
     // pre-fork entries.
     CheckContext ChildCtx(SO.TimeoutSeconds);
+    if (Tracing)
+      ChildCtx.trace().enable();
     CheckRequest ChildReq = Req;
     ChildReq.Opts.Isolate = false;   // No recursive sandboxing.
     ChildReq.Opts.BudgetSeconds = 0; // ChildCtx's deadline governs.
@@ -222,11 +302,17 @@ CheckReport vbmc::driver::runIsolatedRequest(const ir::Program &P,
       ChildReq.Opts.RetryReduced = false; // The parent owns the retry policy.
     Engine E;
     CheckReport R = E.run(P, ChildReq, ChildCtx);
-    return serializeResult(R, ChildCtx.stats());
+    return serializeResult(R, ChildCtx.stats(), &ChildCtx.trace());
   });
 
-  if (Out.Completed)
-    return parseResult(Out.Payload, &Ctx.stats());
+  if (Out.Completed) {
+    std::vector<TraceSpan> ChildSpans;
+    CheckReport R = parseResult(Out.Payload, &Ctx.stats(),
+                                Tracing ? &ChildSpans : nullptr);
+    if (Tracing)
+      Ctx.trace().merge(ChildSpans, ForkOffsetMicros);
+    return R;
+  }
 
   CheckReport R;
   R.Outcome = Verdict::Unknown;

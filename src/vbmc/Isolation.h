@@ -39,8 +39,20 @@ CheckReport runIsolatedRequest(const ir::Program &P, const CheckRequest &Req,
                                CheckContext &Ctx);
 
 /// Wire format helpers (exposed for SandboxTest round-trip coverage).
-std::string serializeResult(const VbmcResult &R, const StatsRegistry &Stats);
-VbmcResult parseResult(const std::string &Payload, StatsRegistry *MergeInto);
+/// Numbers cross the pipe in locale-independent form (std::to_chars /
+/// std::from_chars via support/Json.h) — the global C or C++ locale of
+/// either side never shapes the format, so a host locale with a ','
+/// decimal separator cannot corrupt child timing stats. \p Trace, when
+/// non-null and enabled, appends the child recorder's spans so the parent
+/// can merge them into its own timeline.
+std::string serializeResult(const VbmcResult &R, const StatsRegistry &Stats,
+                            const TraceRecorder *Trace = nullptr);
+/// Parses a child report. Malformed lines (missing fields, unparseable
+/// numbers — the silent-zero strtod("") failure mode) are never absorbed
+/// as zeros: the field is skipped and the damage is surfaced in the
+/// result's Note. \p SpansOut, when non-null, receives any span lines.
+VbmcResult parseResult(const std::string &Payload, StatsRegistry *MergeInto,
+                       std::vector<TraceSpan> *SpansOut = nullptr);
 
 } // namespace vbmc::driver
 

@@ -1,0 +1,62 @@
+//===- Report.cpp - structured JSON run reports ------------------*- C++ -*-===//
+
+#include "vbmc/Report.h"
+
+#include "support/Json.h"
+
+using namespace vbmc;
+using namespace vbmc::driver;
+
+std::string vbmc::driver::formatRunReport(const CheckReport &R,
+                                          const ReportInfo &Info,
+                                          const StatsRegistry &Stats,
+                                          const TraceRecorder *Trace) {
+  json::JsonWriter W;
+  W.beginObject();
+  W.key("schema").value("vbmc-run-report/v1");
+  W.key("file").value(Info.File);
+  W.key("mode_requested").value(engineModeName(Info.RequestedMode));
+  W.key("mode_ran").value(engineModeName(R.ModeRan));
+  W.key("k").value(static_cast<uint64_t>(Info.K));
+  W.key("l").value(static_cast<uint64_t>(Info.L));
+  W.key("max_k").value(static_cast<uint64_t>(Info.MaxK));
+  W.key("threads").value(static_cast<uint64_t>(Info.Threads));
+  W.key("backend").value(Info.Backend == BackendKind::Explicit ? "explicit"
+                                                               : "sat");
+  W.key("isolate").value(Info.Isolate);
+  W.key("verdict").value(verdictName(R.Outcome));
+  W.key("failure").value(sandbox::failureKindName(R.Failure));
+  W.key("k_used").value(static_cast<uint64_t>(R.KUsed));
+  W.key("seconds").value(R.Seconds);
+  W.key("translate_seconds").value(R.TranslateSeconds);
+  W.key("work").value(R.Work);
+  W.key("note").value(R.Note);
+  W.key("winning_backend").value(R.WinningBackend);
+  W.key("attempts").beginArray();
+  for (const Attempt &A : R.Attempts) {
+    W.beginObject();
+    W.key("k").value(static_cast<uint64_t>(A.K));
+    W.key("verdict").value(verdictName(A.Outcome));
+    W.key("failure").value(sandbox::failureKindName(A.Failure));
+    W.key("seconds").value(A.Seconds);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("stats").beginObject();
+  for (const StatsRegistry::Entry &E : Stats.snapshot()) {
+    W.key(E.Name);
+    if (E.IsCounter)
+      W.value(E.Count);
+    else
+      W.value(E.Seconds);
+  }
+  W.endObject();
+  if (Trace) {
+    W.key("trace").beginObject();
+    W.key("spans").value(static_cast<uint64_t>(Trace->spanCount()));
+    W.key("dropped").value(Trace->droppedSpans());
+    W.endObject();
+  }
+  W.endObject();
+  return W.str();
+}

@@ -1,0 +1,66 @@
+//===- Report.h - structured JSON run reports --------------------*- C++ -*-===//
+///
+/// \file
+/// The machine-readable side of a verification run: `vbmc --report-json`
+/// emits one JSON object per run carrying the verdict, the mode that ran,
+/// KUsed, the per-attempt history, the failure classification, and the
+/// full StatsRegistry snapshot — everything the human-readable output
+/// prints, in a form a benchmark harness can diff across commits. With
+/// `--isolate`, the sandboxed child's stats and spans have already been
+/// merged into the parent context by the time the report is built, so one
+/// document covers the whole process tree.
+///
+/// Schema (all keys always present unless noted):
+///   schema               "vbmc-run-report/v1"
+///   file                 input path as given on the command line
+///   mode_requested       the CheckRequest mode
+///   mode_ran             the mode that actually decided (fallbacks differ)
+///   k, l, max_k, threads the request's bound knobs
+///   backend              "explicit" | "sat"
+///   isolate              bool
+///   verdict              "safe" | "unsafe" | "unknown"
+///   failure              "none" | "crash" | "oom" | "timeout" | "exit"
+///   k_used               the K the verdict speaks for
+///   seconds              backend-reported time
+///   translate_seconds    [[.]]_K translation time
+///   work                 states visited (explicit) / conflicts (sat)
+///   note                 free-form detail ("" when none)
+///   winning_backend      portfolio winner ("" otherwise)
+///   attempts             [{k, verdict, failure, seconds}] in K order
+///   stats                {name: number} — counters as integers, timers
+///                        as seconds; a name registered as both carries
+///                        the timer under "<name>.seconds"
+///   trace                {spans, dropped} — only when a tracer was given
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_VBMC_REPORT_H
+#define VBMC_VBMC_REPORT_H
+
+#include "vbmc/Engine.h"
+
+#include <string>
+
+namespace vbmc::driver {
+
+/// Request-side facts the CheckReport does not carry.
+struct ReportInfo {
+  std::string File;
+  EngineMode RequestedMode = EngineMode::Single;
+  uint32_t K = 0;
+  uint32_t L = 0;
+  uint32_t MaxK = 0;
+  uint32_t Threads = 0;
+  BackendKind Backend = BackendKind::Explicit;
+  bool Isolate = false;
+};
+
+/// Renders the run report document described above. \p Trace may be null
+/// (the "trace" member is then omitted).
+std::string formatRunReport(const CheckReport &R, const ReportInfo &Info,
+                            const StatsRegistry &Stats,
+                            const TraceRecorder *Trace = nullptr);
+
+} // namespace vbmc::driver
+
+#endif // VBMC_VBMC_REPORT_H

@@ -3,8 +3,8 @@
 // Usage:
 //   vbmc [--mode single|iterative|portfolio|parallel-deepening|incremental]
 //        [--k N] [--l N] [--backend explicit|sat] [--budget SECONDS]
-//        [--stats] [--dump-translation] [--show-trace]
-//        [--ra-reference] FILE
+//        [--stats] [--report-json FILE|-] [--trace-out FILE]
+//        [--dump-translation] [--show-trace] [--ra-reference] FILE
 //
 // Reads a concurrent program in the Fig. 1 concrete syntax, translates it
 // with [[.]]_K and reports SAFE / UNSAFE / UNKNOWN. --mode is the
@@ -27,6 +27,7 @@
 #include "ra/RaExplorer.h"
 #include "support/Cli.h"
 #include "support/Sandbox.h"
+#include "vbmc/Report.h"
 #include "vbmc/Vbmc.h"
 
 #include <cstdio>
@@ -76,6 +77,16 @@ void printUsage() {
       "                     a memory-killed attempt\n"
       "  --stats            dump per-stage counters/timers after the "
       "verdict\n"
+      "  --report-json F    write a structured JSON run report (verdict,\n"
+      "                     mode, k_used, per-attempt history, failure\n"
+      "                     classification, full stats snapshot) to F;\n"
+      "                     '-' = stdout. With --isolate the sandboxed\n"
+      "                     child's stats merge into the same report\n"
+      "  --trace-out F      record per-stage spans (translate, flatten,\n"
+      "                     unroll, encode, per-budget solves, portfolio\n"
+      "                     arms, sandboxed children) and write Chrome\n"
+      "                     trace_event JSON to F; view at\n"
+      "                     ui.perfetto.dev or chrome://tracing\n"
       "  --dump-translation print [[P]]_K and exit\n"
       "  --show-trace       print the counterexample schedule when UNSAFE\n"
       "  --ra-reference     answer with the exact RA explorer instead\n"
@@ -93,7 +104,7 @@ void printUsage() {
       "            4 usage error");
 }
 
-const char *verdictName(driver::Verdict V) {
+const char *verdictUpper(driver::Verdict V) {
   switch (V) {
   case driver::Verdict::Unsafe:
     return "UNSAFE";
@@ -201,6 +212,27 @@ int runMain(int Argc, char **Argv) {
       std::fputs(Ctx.stats().format().c_str(), stdout);
   };
 
+  const std::string ReportPath = CL.getString("report-json", "");
+  const std::string TracePath = CL.getString("trace-out", "");
+  if (!TracePath.empty())
+    Ctx.trace().enable();
+
+  // Writes one observability document; '-' means stdout. A write failure
+  // is reported but never masks the verdict's exit code.
+  auto emitJson = [](const std::string &Path, const std::string &Text,
+                     const char *What) {
+    if (Path == "-") {
+      std::fputs(Text.c_str(), stdout);
+      std::fputc('\n', stdout);
+      return;
+    }
+    std::ofstream Out(Path);
+    Out << Text << '\n';
+    if (!Out)
+      std::fprintf(stderr, "vbmc: cannot write %s to '%s'\n", What,
+                   Path.c_str());
+  };
+
   // Mode resolution: the legacy flags each imply a mode; an explicit
   // --mode is canonical and wins; --no-incremental demotes an incremental
   // selection back to fresh per-K solving.
@@ -239,6 +271,27 @@ int runMain(int Argc, char **Argv) {
   driver::Engine Engine;
   driver::CheckReport R = Engine.run(*Parsed, Req, Ctx);
 
+  auto emitObservability = [&] {
+    if (!ReportPath.empty()) {
+      driver::ReportInfo Info;
+      Info.File = CL.positionals()[0];
+      Info.RequestedMode = Mode;
+      Info.K = Opts.K;
+      Info.L = Opts.L;
+      Info.MaxK = Req.MaxK;
+      Info.Threads = Req.Threads;
+      Info.Backend = Opts.Backend;
+      Info.Isolate = Opts.Isolate;
+      emitJson(ReportPath,
+               driver::formatRunReport(
+                   R, Info, Ctx.stats(),
+                   Ctx.trace().enabled() ? &Ctx.trace() : nullptr),
+               "run report");
+    }
+    if (!TracePath.empty())
+      emitJson(TracePath, Ctx.trace().formatChromeTrace(), "trace");
+  };
+
   if (Deepening) {
     for (const auto &Step : R.Attempts)
       std::printf("  k=%u: %s (%.3fs)\n", Step.K,
@@ -263,6 +316,7 @@ int runMain(int Argc, char **Argv) {
         std::printf("UNKNOWN (%.3fs total)\n", R.Seconds);
       break;
     }
+    emitObservability();
     dumpStats();
     return verdictExitCode(R.Outcome, R.Failure);
   }
@@ -274,7 +328,7 @@ int runMain(int Argc, char **Argv) {
     Detail += std::string(", failure=") + sandbox::failureKindName(R.Failure);
   if (R.Outcome == driver::Verdict::Unknown && !R.Note.empty())
     Detail += ", " + R.Note;
-  std::printf("%s (%s, %.3fs)\n", verdictName(R.Outcome), Detail.c_str(),
+  std::printf("%s (%s, %.3fs)\n", verdictUpper(R.Outcome), Detail.c_str(),
               R.Seconds);
   if (R.unsafe() && CL.hasFlag("show-trace") && !R.Trace.empty()) {
     translation::TranslationOptions TO;
@@ -285,6 +339,7 @@ int runMain(int Argc, char **Argv) {
       std::printf("  %s@%u\n", FP.Procs[Step.Proc].Name.c_str(),
                   Step.Instr);
   }
+  emitObservability();
   dumpStats();
   return verdictExitCode(R.Outcome, R.Failure);
 }

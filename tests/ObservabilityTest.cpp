@@ -1,0 +1,331 @@
+//===- ObservabilityTest.cpp - schema checks for the JSON outputs -*- C++ -*-===//
+//
+// End-to-end validation of the structured observability surface: the
+// `vbmc --report-json` run report, the `--trace-out` Chrome trace (shape
+// checks strong enough that Perfetto will load it: a top-level array of
+// "X" events with monotone timestamps and properly nested spans per
+// thread), and the bench binaries' `--json` telemetry. Everything here
+// spawns the real tools on real corpus programs and parses the documents
+// with the in-repo JSON parser — the same consumer path a CI harness
+// would use.
+//
+// Like SandboxTest, the fork-/exec-heavy tests are deliberately NOT
+// named Engine*/Portfolio*/Deepening* so the TSan job never picks them
+// up.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+#include "support/Sandbox.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace vbmc;
+
+namespace {
+
+// Message passing with flipped reads: safe at k=0, unsafe at k=1.
+const char *MpStale = R"(
+var x f;
+proc p0 {
+  x = 1;
+  f = 1;
+}
+proc p1 {
+  reg a1 b1;
+  b1 = x;
+  a1 = f;
+  assert(!((a1 == 1) && (b1 == 0)));
+}
+)";
+
+struct ToolRun {
+  int ExitCode = -1;
+  std::string Output; ///< Combined stdout+stderr.
+};
+
+ToolRun runCommand(const std::string &Cmd) {
+  ToolRun R;
+  std::filesystem::path Out =
+      std::filesystem::temp_directory_path() /
+      ("vbmc_obs_test_" + std::to_string(getpid()) + ".out");
+  int Status = std::system((Cmd + " > " + Out.string() + " 2>&1").c_str());
+  if (WIFEXITED(Status))
+    R.ExitCode = WEXITSTATUS(Status);
+  std::ifstream In(Out);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  R.Output = Buf.str();
+  std::filesystem::remove(Out);
+  return R;
+}
+
+std::string readFile(const std::filesystem::path &P) {
+  std::ifstream In(P);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+/// Parses \p Text (a whole file or a tool's stdout) into a JSON value;
+/// for stdout captures, the document is the first line starting with '{'
+/// or '['.
+json::Value parseJson(const std::string &Text) {
+  std::string Doc = Text;
+  if (!Text.empty() && Text[0] != '{' && Text[0] != '[') {
+    std::istringstream In(Text);
+    std::string Line;
+    Doc.clear();
+    while (std::getline(In, Line))
+      if (!Line.empty() && (Line[0] == '{' || Line[0] == '[')) {
+        Doc = Line;
+        break;
+      }
+  }
+  json::Value V;
+  std::string Err;
+  EXPECT_TRUE(json::parse(Doc, V, &Err))
+      << Err << "\nin document:\n"
+      << Doc.substr(0, 400);
+  return V;
+}
+
+/// Asserts the run-report invariants shared by every vbmc --report-json
+/// document, returning the parsed tree for caller-specific checks.
+json::Value checkRunReport(const std::string &Text) {
+  json::Value V = parseJson(Text);
+  EXPECT_TRUE(V.isObject());
+  for (const char *Key :
+       {"schema", "file", "mode_requested", "mode_ran", "k", "l", "max_k",
+        "threads", "backend", "isolate", "verdict", "failure", "k_used",
+        "seconds", "translate_seconds", "work", "note", "winning_backend",
+        "attempts", "stats"})
+    EXPECT_NE(V.get(Key), nullptr) << "missing key: " << Key;
+  EXPECT_EQ(V.get("schema")->asString(), "vbmc-run-report/v1");
+  const std::string &Verdict = V.get("verdict")->asString();
+  EXPECT_TRUE(Verdict == "safe" || Verdict == "unsafe" ||
+              Verdict == "unknown")
+      << Verdict;
+  EXPECT_TRUE(V.get("attempts")->isArray());
+  for (const json::Value &A : V.get("attempts")->array())
+    for (const char *Key : {"k", "verdict", "failure", "seconds"})
+      EXPECT_NE(A.get(Key), nullptr) << "missing attempt key: " << Key;
+  EXPECT_TRUE(V.get("stats")->isObject());
+  return V;
+}
+
+class ObservabilityTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = std::filesystem::temp_directory_path() /
+          ("vbmc_obs_test_" + std::to_string(getpid()));
+    std::filesystem::create_directories(Dir);
+    write("safe.ra", "var x;\nproc p0 { x = 1; }\n");
+    write("unsafe.ra", MpStale);
+  }
+  void TearDown() override {
+    std::error_code Ec;
+    std::filesystem::remove_all(Dir, Ec);
+  }
+  void write(const std::string &Name, const std::string &Text) {
+    std::ofstream F(Dir / Name);
+    F << Text;
+  }
+  std::string file(const std::string &Name) { return (Dir / Name).string(); }
+  std::filesystem::path Dir;
+};
+
+TEST_F(ObservabilityTest, RunReportSchemaOnSafeProgram) {
+  std::string Report = file("report.json");
+  ToolRun R = runCommand(std::string(VBMC_TOOL_PATH) + " --report-json " +
+                         Report + " " + file("safe.ra"));
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  json::Value V = checkRunReport(readFile(Report));
+  EXPECT_EQ(V.get("verdict")->asString(), "safe");
+  EXPECT_EQ(V.get("failure")->asString(), "none");
+  EXPECT_EQ(V.get("isolate")->asBool(), false);
+  ASSERT_EQ(V.get("attempts")->array().size(), 1u);
+  // A run without --trace-out carries no trace member.
+  EXPECT_EQ(V.get("trace"), nullptr);
+}
+
+TEST_F(ObservabilityTest, RunReportSchemaOnUnsafeDeepeningRunToStdout) {
+  ToolRun R = runCommand(std::string(VBMC_TOOL_PATH) +
+                         " --mode iterative --max-k 3 --report-json - " +
+                         file("unsafe.ra"));
+  ASSERT_EQ(R.ExitCode, 1) << R.Output;
+  json::Value V = checkRunReport(R.Output);
+  EXPECT_EQ(V.get("verdict")->asString(), "unsafe");
+  EXPECT_EQ(V.get("mode_requested")->asString(), "iterative");
+  EXPECT_EQ(V.get("k_used")->asNumber(), 1); // MpStale needs one switch.
+  // The attempt history matches the human-readable per-k lines: safe at
+  // k=0, unsafe at k=1.
+  const auto &Attempts = V.get("attempts")->array();
+  ASSERT_EQ(Attempts.size(), 2u);
+  EXPECT_EQ(Attempts[0].get("k")->asNumber(), 0);
+  EXPECT_EQ(Attempts[0].get("verdict")->asString(), "safe");
+  EXPECT_EQ(Attempts[1].get("k")->asNumber(), 1);
+  EXPECT_EQ(Attempts[1].get("verdict")->asString(), "unsafe");
+  // The same k=1 lines the human output shows must be present too — the
+  // JSON is additive, not a replacement.
+  EXPECT_NE(R.Output.find("UNSAFE"), std::string::npos) << R.Output;
+}
+
+TEST_F(ObservabilityTest, IsolatedChildStatsAndSpansReachParentReport) {
+  if (!sandbox::available())
+    GTEST_SKIP() << "no process isolation on this platform";
+  std::string Report = file("report.json");
+  std::string Trace = file("trace.json");
+  ToolRun R = runCommand(std::string(VBMC_TOOL_PATH) +
+                         " --isolate --backend sat --k 1 --report-json " +
+                         Report + " --trace-out " + Trace + " " +
+                         file("unsafe.ra"));
+  ASSERT_EQ(R.ExitCode, 1) << R.Output;
+  json::Value V = checkRunReport(readFile(Report));
+  EXPECT_EQ(V.get("verdict")->asString(), "unsafe");
+  EXPECT_EQ(V.get("isolate")->asBool(), true);
+  // The SAT pipeline ran only inside the forked child; its stats can be
+  // in the parent's report only via the wire-format merge.
+  const json::Value *Stats = V.get("stats");
+  ASSERT_NE(Stats, nullptr);
+  EXPECT_NE(Stats->get("sat.encode.bytes"), nullptr)
+      << "child stats missing from parent report";
+  EXPECT_NE(Stats->get("sat.solve.seconds"), nullptr);
+  // With --trace-out the report carries the span census...
+  ASSERT_NE(V.get("trace"), nullptr);
+  EXPECT_GT(V.get("trace")->get("spans")->asNumber(), 0);
+  // ...and the trace file holds both the parent's sandbox.child span and
+  // the child's own engine spans, merged across the fork.
+  json::Value T = parseJson(readFile(Trace));
+  ASSERT_TRUE(T.isArray());
+  bool SawSandbox = false, SawChildEngine = false;
+  for (const json::Value &E : T.array()) {
+    const std::string &Name = E.get("name")->asString();
+    SawSandbox |= Name == "sandbox.child";
+    SawChildEngine |= Name == "sat.solve";
+  }
+  EXPECT_TRUE(SawSandbox);
+  EXPECT_TRUE(SawChildEngine) << "child spans did not merge into parent";
+}
+
+TEST_F(ObservabilityTest, TraceOutIsPerfettoShaped) {
+  std::string Trace = file("trace.json");
+  ToolRun R = runCommand(std::string(VBMC_TOOL_PATH) +
+                         " --mode iterative --max-k 3 --backend sat "
+                         "--trace-out " +
+                         Trace + " " + file("unsafe.ra"));
+  ASSERT_EQ(R.ExitCode, 1) << R.Output;
+  json::Value T = parseJson(readFile(Trace));
+  ASSERT_TRUE(T.isArray());
+  ASSERT_GT(T.array().size(), 3u) << "expected spans from every stage";
+
+  // Every event is a complete ("X") event with the Chrome trace_event
+  // required keys, and timestamps are monotone across the array.
+  double LastTs = -1;
+  std::vector<std::string> Names;
+  for (const json::Value &E : T.array()) {
+    ASSERT_TRUE(E.isObject());
+    for (const char *Key : {"name", "cat", "ph", "ts", "dur", "pid", "tid"})
+      ASSERT_NE(E.get(Key), nullptr) << "missing key: " << Key;
+    EXPECT_EQ(E.get("ph")->asString(), "X");
+    EXPECT_GE(E.get("dur")->asNumber(), 0);
+    EXPECT_GE(E.get("ts")->asNumber(), LastTs);
+    LastTs = E.get("ts")->asNumber();
+    Names.push_back(E.get("name")->asString());
+  }
+
+  // Spans on one thread must nest like a call tree — Perfetto renders
+  // partially-overlapping same-track slices wrong. Sorted by ts (longer
+  // first on ties), a stack check catches any partial overlap. The 5 us
+  // epsilon absorbs clock skew between stage timers and the recorder.
+  constexpr double Eps = 5.0;
+  std::map<double, std::vector<const json::Value *>> PerTid;
+  for (const json::Value &E : T.array())
+    PerTid[E.get("tid")->asNumber()].push_back(&E);
+  for (auto &[Tid, Events] : PerTid) {
+    std::vector<double> EndStack;
+    for (const json::Value *E : Events) {
+      double Ts = E->get("ts")->asNumber();
+      double End = Ts + E->get("dur")->asNumber();
+      while (!EndStack.empty() && EndStack.back() <= Ts + Eps)
+        EndStack.pop_back();
+      if (!EndStack.empty())
+        EXPECT_LE(End, EndStack.back() + Eps)
+            << "span " << E->get("name")->asString() << " on tid " << Tid
+            << " partially overlaps its enclosing span";
+      EndStack.push_back(End);
+    }
+  }
+
+  // The advertised stage coverage: deepening mode shows the engine span,
+  // per-k attempts, and the sat stages.
+  auto has = [&](const std::string &N) {
+    for (const std::string &Name : Names)
+      if (Name == N)
+        return true;
+    return false;
+  };
+  EXPECT_TRUE(has("engine.iterative")) << "engine span missing";
+  EXPECT_TRUE(has("attempt.k0"));
+  EXPECT_TRUE(has("attempt.k1"));
+  EXPECT_TRUE(has("translate"));
+  EXPECT_TRUE(has("sat.encode"));
+  EXPECT_TRUE(has("sat.solve"));
+}
+
+TEST_F(ObservabilityTest, BenchTelemetrySchema) {
+  std::string Json = file("bench.json");
+  // Tiny budgets: the verdicts don't matter here, only the document
+  // shape; every cell still emits a record.
+  ToolRun R = runCommand(std::string(VBMC_BENCH_TOOL_PATH) +
+                         " --budget 2 --smc-budget 1 --json " + Json);
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  json::Value V = parseJson(readFile(Json));
+  ASSERT_TRUE(V.isObject());
+  for (const char *Key :
+       {"schema", "bench", "budget_vbmc", "budget_smc", "full", "rows"})
+    EXPECT_NE(V.get(Key), nullptr) << "missing key: " << Key;
+  EXPECT_EQ(V.get("schema")->asString(), "vbmc-bench/v1");
+  ASSERT_TRUE(V.get("rows")->isArray());
+  ASSERT_FALSE(V.get("rows")->array().empty());
+  for (const json::Value &Row : V.get("rows")->array()) {
+    for (const char *Key : {"program", "tool", "verdict", "k", "l",
+                            "seconds", "timed_out", "wrong_verdict"})
+      ASSERT_NE(Row.get(Key), nullptr) << "missing row key: " << Key;
+    const std::string &Verdict = Row.get("verdict")->asString();
+    EXPECT_TRUE(Verdict == "safe" || Verdict == "unsafe" ||
+                Verdict == "unknown")
+        << Verdict;
+    EXPECT_GE(Row.get("seconds")->asNumber(), 0);
+  }
+}
+
+TEST_F(ObservabilityTest, FuzzCampaignSummarySchema) {
+  std::string Json = file("fuzz.json");
+  ToolRun R = runCommand(std::string(VBMC_FUZZ_TOOL_PATH) +
+                         " --seed 3 --count 4 --quiet --json " + Json);
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  json::Value V = parseJson(readFile(Json));
+  ASSERT_TRUE(V.isObject());
+  for (const char *Key : {"schema", "seed", "checked", "passed", "skipped",
+                          "timeouts", "sandbox", "discrepancies"})
+    EXPECT_NE(V.get(Key), nullptr) << "missing key: " << Key;
+  EXPECT_EQ(V.get("schema")->asString(), "vbmc-fuzz/v1");
+  EXPECT_EQ(V.get("checked")->asNumber(), 4);
+  ASSERT_TRUE(V.get("sandbox")->isObject());
+  for (const char *Key : {"crashes", "ooms", "timeouts", "retries"})
+    EXPECT_NE(V.get("sandbox")->get(Key), nullptr) << Key;
+  EXPECT_TRUE(V.get("discrepancies")->isArray());
+}
+
+} // namespace

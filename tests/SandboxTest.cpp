@@ -29,6 +29,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <locale>
 #include <sstream>
 #include <string>
 #include <sys/wait.h>
@@ -243,6 +244,131 @@ TEST(IsolationProtocolTest, TruncatedReportIsClassified) {
   VbmcResult P = parseResult(Full.substr(0, Full.size() / 2), nullptr);
   EXPECT_EQ(P.Outcome, Verdict::Unknown);
   EXPECT_EQ(P.Failure, sandbox::FailureKind::ExitFailure);
+}
+
+/// A numpunct facet with a ',' decimal point — the shape of da_DK / de_DE
+/// without needing any locale installed on the host.
+struct CommaDecimal : std::numpunct<char> {
+  char do_decimal_point() const override { return ','; }
+};
+
+/// Installs a comma-decimal global C++ locale for one scope.
+struct ScopedCommaLocale {
+  ScopedCommaLocale()
+      : Old(std::locale::global(
+            std::locale(std::locale::classic(), new CommaDecimal))) {}
+  ~ScopedCommaLocale() { std::locale::global(Old); }
+  std::locale Old;
+};
+
+// Regression for the wire-format locale bug: serializeResult used
+// ostringstream for doubles (honors the global C++ locale, so 1.5
+// rendered as "1,5" under a comma-decimal locale) and parseResult used
+// strtod (honors the C locale, so "1,5" read back as 1.0). Round-trip
+// fractional values with such a locale installed; this fails against the
+// pre-fix serializer and pins the to_chars/from_chars replacement.
+TEST(IsolationProtocolTest, WireFormatSurvivesCommaDecimalLocale) {
+  ScopedCommaLocale Locale;
+
+  VbmcResult R;
+  R.Outcome = Verdict::Unsafe;
+  R.Seconds = 1.5;
+  R.TranslateSeconds = 0.125;
+  R.Attempts.push_back(
+      Attempt{1, Verdict::Unsafe, sandbox::FailureKind::None, 0.75});
+  StatsRegistry ChildStats;
+  ChildStats.addSeconds("solve.seconds", 2.5);
+
+  // The stream-locale trap the fix removed: an ostringstream created now
+  // really does render fractions with a comma.
+  std::ostringstream Probe;
+  Probe << 1.5;
+  ASSERT_EQ(Probe.str(), "1,5") << "global locale not in effect";
+
+  StatsRegistry Merged;
+  VbmcResult P = parseResult(serializeResult(R, ChildStats), &Merged);
+  EXPECT_EQ(P.Outcome, Verdict::Unsafe);
+  EXPECT_DOUBLE_EQ(P.Seconds, 1.5);
+  EXPECT_DOUBLE_EQ(P.TranslateSeconds, 0.125);
+  ASSERT_EQ(P.Attempts.size(), 1u);
+  EXPECT_DOUBLE_EQ(P.Attempts[0].Seconds, 0.75);
+  EXPECT_DOUBLE_EQ(Merged.seconds("solve.seconds"), 2.5);
+  // The fixed serializer must not have leaked a comma into the payload.
+  EXPECT_EQ(P.Note.find("malformed"), std::string::npos) << P.Note;
+}
+
+// strtod("") / strtoul("abc") silently yield 0; the strict parser must
+// reject such lines and surface them in the note instead of absorbing
+// phantom zero values.
+TEST(IsolationProtocolTest, MalformedNumericLinesAreRejectedAndSurfaced) {
+  std::string Payload = "verdict\tunsafe\n"
+                        "seconds\t\n"              // Empty number.
+                        "kused\tabc\n"             // Non-numeric.
+                        "attempt\t2\tunsafe\tnone\t\n" // Empty seconds.
+                        "work\t7\n"
+                        "end\t\n";
+  VbmcResult P = parseResult(Payload, nullptr);
+  EXPECT_EQ(P.Outcome, Verdict::Unsafe);
+  EXPECT_EQ(P.Work, 7u);
+  EXPECT_EQ(P.KUsed, 0u);
+  EXPECT_DOUBLE_EQ(P.Seconds, 0.0);
+  EXPECT_TRUE(P.Attempts.empty());
+  EXPECT_NE(P.Note.find("3 malformed report line(s)"), std::string::npos)
+      << P.Note;
+  // The first offender is quoted for debugging.
+  EXPECT_NE(P.Note.find("seconds"), std::string::npos) << P.Note;
+}
+
+TEST(IsolationProtocolTest, MalformedStatLinesDoNotCorruptRegistry) {
+  std::string Payload = "verdict\tsafe\n"
+                        "stat.count\tsat.encode.bytes\n"     // Missing value.
+                        "stat.seconds\tsolve.seconds\tx,y\n" // Unparseable.
+                        "stat.count\tok.counter\t3\n"
+                        "end\t\n";
+  StatsRegistry Merged;
+  VbmcResult P = parseResult(Payload, &Merged);
+  EXPECT_EQ(P.Outcome, Verdict::Safe);
+  EXPECT_EQ(Merged.count("sat.encode.bytes"), 0u);
+  EXPECT_DOUBLE_EQ(Merged.seconds("solve.seconds"), 0.0);
+  EXPECT_EQ(Merged.count("ok.counter"), 3u);
+  EXPECT_NE(P.Note.find("2 malformed report line(s)"), std::string::npos)
+      << P.Note;
+}
+
+// Unknown keys must parse as forward-compatible no-ops (a newer child
+// against an older parent), not as malformed lines.
+TEST(IsolationProtocolTest, UnknownKeysAreSkippedSilently) {
+  std::string Payload = "verdict\tsafe\n"
+                        "frobnicate\t1\t2\t3\n"
+                        "end\t\n";
+  VbmcResult P = parseResult(Payload, nullptr);
+  EXPECT_EQ(P.Outcome, Verdict::Safe);
+  EXPECT_TRUE(P.Note.empty()) << P.Note;
+}
+
+TEST(IsolationProtocolTest, TraceSpansCrossTheWire) {
+  VbmcResult R;
+  R.Outcome = Verdict::Safe;
+  StatsRegistry St;
+  TraceRecorder Tr;
+  Tr.enable();
+  Tr.record("attempt.k1", "engine", 12.5, 100.25);
+  Tr.record("sat.solve", "sat", 20, 50);
+
+  std::vector<TraceSpan> Spans;
+  VbmcResult P = parseResult(serializeResult(R, St, &Tr), nullptr, &Spans);
+  EXPECT_EQ(P.Outcome, Verdict::Safe);
+  ASSERT_EQ(Spans.size(), 2u);
+  EXPECT_EQ(Spans[0].Name, "attempt.k1");
+  EXPECT_EQ(Spans[0].Category, "engine");
+  EXPECT_DOUBLE_EQ(Spans[0].StartMicros, 12.5);
+  EXPECT_DOUBLE_EQ(Spans[0].DurationMicros, 100.25);
+  EXPECT_EQ(Spans[1].Name, "sat.solve");
+  // A disabled recorder contributes no span lines at all.
+  TraceRecorder Off;
+  std::vector<TraceSpan> None;
+  parseResult(serializeResult(R, St, &Off), nullptr, &None);
+  EXPECT_TRUE(None.empty());
 }
 
 //===----------------------------------------------------------------------===//

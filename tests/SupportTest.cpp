@@ -3,9 +3,11 @@
 #include "support/CheckContext.h"
 #include "support/Cli.h"
 #include "support/Diagnostics.h"
+#include "support/Json.h"
 #include "support/Rng.h"
 #include "support/Table.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <gtest/gtest.h>
 
@@ -245,4 +247,244 @@ TEST(ScopedStageTimerTest, RecordsOnScopeExit) {
       X = X + 1;
   }
   EXPECT_GT(S.seconds("stage"), 0.0);
+}
+
+// A name registered as BOTH a counter and a timer used to yield two
+// snapshot entries under the same name — an ambiguous key once the
+// snapshot is serialized into a wire payload or a JSON report. Pin the
+// disambiguation: the counter keeps the plain name, the timer's
+// serialized name gains a ".seconds" suffix, and point lookups are
+// unaffected.
+TEST(StatsRegistryTest, CounterTimerNameCollisionDisambiguated) {
+  StatsRegistry S;
+  S.addCount("work", 7);
+  S.addSeconds("work", 0.5);
+  S.addCount("plain", 1);
+  S.addSeconds("timer.only", 0.25);
+
+  EXPECT_EQ(S.count("work"), 7u);
+  EXPECT_DOUBLE_EQ(S.seconds("work"), 0.5);
+
+  auto Snap = S.snapshot();
+  ASSERT_EQ(Snap.size(), 4u);
+  int PlainWork = 0, SuffixedWork = 0;
+  for (const StatsRegistry::Entry &E : Snap) {
+    if (E.Name == "work") {
+      ++PlainWork;
+      EXPECT_TRUE(E.IsCounter);
+      EXPECT_EQ(E.Count, 7u);
+    }
+    if (E.Name == "work.seconds") {
+      ++SuffixedWork;
+      EXPECT_FALSE(E.IsCounter);
+      EXPECT_DOUBLE_EQ(E.Seconds, 0.5);
+    }
+    // Non-colliding names are never rewritten.
+    EXPECT_NE(E.Name, "timer.only.seconds");
+  }
+  EXPECT_EQ(PlainWork, 1);
+  EXPECT_EQ(SuffixedWork, 1);
+}
+
+// An existing ".seconds" sibling must not collide with a rewritten timer:
+// "x" (timer) serializes as "x.seconds" only when a counter "x" exists,
+// and a genuine "x.seconds" entry keeps its own identity.
+TEST(StatsRegistryTest, CollisionSuffixCoexistsWithExplicitName) {
+  StatsRegistry S;
+  S.addCount("x", 1);
+  S.addSeconds("x", 0.5);
+  S.addSeconds("x.seconds", 0.25);
+  auto Snap = S.snapshot();
+  int Named = 0;
+  double Total = 0;
+  for (const auto &E : Snap)
+    if (E.Name == "x.seconds") {
+      ++Named;
+      Total += E.Seconds;
+    }
+  // Both timers serialize under "x.seconds" (2 entries); their identity
+  // is preserved even if the key repeats.
+  EXPECT_EQ(Named, 2);
+  EXPECT_DOUBLE_EQ(Total, 0.75);
+}
+
+TEST(JsonTest, FormatDoubleIsLocaleIndependentAndRoundTrips) {
+  EXPECT_EQ(json::formatDouble(1.5), "1.5");
+  EXPECT_EQ(json::formatDouble(0), "0.0");
+  EXPECT_EQ(json::formatDouble(-2), "-2.0");
+  // Non-finite values have no JSON spelling.
+  EXPECT_EQ(json::formatDouble(std::nan("")), "null");
+  EXPECT_EQ(json::formatDouble(INFINITY), "null");
+  for (double V : {0.1, 1.0 / 3.0, 6.02e23, -1e-300, 123456.789}) {
+    double Back = 0;
+    ASSERT_TRUE(json::parseDouble(json::formatDouble(V), Back));
+    EXPECT_EQ(Back, V);
+  }
+}
+
+TEST(JsonTest, StrictParsersRejectSilentZeroInputs) {
+  double D = 42;
+  uint64_t U = 42;
+  // strtod("") and strtoul("junk") both silently yield 0 — the parsers
+  // these replaced must reject instead.
+  EXPECT_FALSE(json::parseDouble("", D));
+  EXPECT_FALSE(json::parseDouble("abc", D));
+  EXPECT_FALSE(json::parseDouble("1.5x", D));
+  EXPECT_FALSE(json::parseUint("", U));
+  EXPECT_FALSE(json::parseUint("-3", U));
+  EXPECT_FALSE(json::parseUint("12q", U));
+  EXPECT_EQ(D, 42.0);
+  EXPECT_EQ(U, 42u);
+  ASSERT_TRUE(json::parseDouble("-0.125", D));
+  EXPECT_EQ(D, -0.125);
+  ASSERT_TRUE(json::parseUint("18446744073709551615", U));
+  EXPECT_EQ(U, UINT64_MAX);
+}
+
+TEST(JsonTest, WriterPunctuatesNestedContainers) {
+  json::JsonWriter W;
+  W.beginObject();
+  W.key("s").value("a\"b\n");
+  W.key("n").value(1.5);
+  W.key("i").value(static_cast<uint64_t>(7));
+  W.key("b").value(true);
+  W.key("z").null();
+  W.key("arr").beginArray();
+  W.value(static_cast<uint64_t>(1));
+  W.beginObject().key("k").value("v").endObject();
+  W.endArray();
+  W.endObject();
+  EXPECT_EQ(W.str(), "{\"s\":\"a\\\"b\\n\",\"n\":1.5,\"i\":7,\"b\":true,"
+                     "\"z\":null,\"arr\":[1,{\"k\":\"v\"}]}");
+}
+
+TEST(JsonTest, ParserRoundTripsWriterOutput) {
+  json::JsonWriter W;
+  W.beginObject();
+  W.key("verdict").value("unsafe");
+  W.key("seconds").value(0.25);
+  W.key("attempts").beginArray();
+  W.beginObject().key("k").value(static_cast<uint64_t>(2)).endObject();
+  W.endArray();
+  W.endObject();
+
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(W.str(), V, &Err)) << Err;
+  ASSERT_TRUE(V.isObject());
+  ASSERT_NE(V.get("verdict"), nullptr);
+  EXPECT_EQ(V.get("verdict")->asString(), "unsafe");
+  EXPECT_DOUBLE_EQ(V.get("seconds")->asNumber(), 0.25);
+  ASSERT_TRUE(V.get("attempts")->isArray());
+  ASSERT_EQ(V.get("attempts")->array().size(), 1u);
+  EXPECT_DOUBLE_EQ(V.get("attempts")->array()[0].get("k")->asNumber(), 2);
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput) {
+  json::Value V;
+  std::string Err;
+  EXPECT_FALSE(json::parse("", V, &Err));
+  EXPECT_FALSE(json::parse("{\"a\":}", V, &Err));
+  EXPECT_FALSE(json::parse("[1,2", V, &Err));
+  EXPECT_FALSE(json::parse("{} trailing", V, &Err));
+  EXPECT_FALSE(json::parse("{'a':1}", V, &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(TraceTest, DisabledRecorderStaysEmpty) {
+  TraceRecorder R;
+  EXPECT_FALSE(R.enabled());
+  R.record("x", "c", 0, 1);
+  { ScopedSpan S(R, "scoped", "c"); }
+  EXPECT_EQ(R.spanCount(), 0u);
+  EXPECT_EQ(R.droppedSpans(), 0u);
+}
+
+TEST(TraceTest, RecordsAndSnapshotsSpans) {
+  TraceRecorder R;
+  R.enable();
+  R.record("outer", "engine", 10, 100);
+  R.record("inner", "engine", 20, 30);
+  auto Spans = R.snapshot();
+  ASSERT_EQ(Spans.size(), 2u);
+  EXPECT_EQ(Spans[0].Name, "outer");
+  EXPECT_DOUBLE_EQ(Spans[0].StartMicros, 10);
+  EXPECT_DOUBLE_EQ(Spans[0].DurationMicros, 100);
+  // Same thread: same dense id.
+  EXPECT_EQ(Spans[0].ThreadId, Spans[1].ThreadId);
+}
+
+TEST(TraceTest, ThreadsGetDenseDistinctIds) {
+  TraceRecorder R;
+  R.enable();
+  R.record("main", "c", 0, 1);
+  std::thread([&R] { R.record("worker", "c", 1, 1); }).join();
+  auto Spans = R.snapshot();
+  ASSERT_EQ(Spans.size(), 2u);
+  EXPECT_NE(Spans[0].ThreadId, Spans[1].ThreadId);
+  EXPECT_LT(Spans[0].ThreadId, 2u);
+  EXPECT_LT(Spans[1].ThreadId, 2u);
+}
+
+TEST(TraceTest, MergeShiftsAndRemapsChildSpans) {
+  TraceRecorder Parent;
+  Parent.enable();
+  Parent.record("parent", "engine", 0, 500);
+
+  std::vector<TraceSpan> Child;
+  TraceSpan S;
+  S.Name = "child";
+  S.Category = "sandbox";
+  S.StartMicros = 5;
+  S.DurationMicros = 10;
+  S.ThreadId = 0; // The child's own thread 0 must not collide with ours.
+  Child.push_back(S);
+  Parent.merge(Child, 100);
+
+  auto Spans = Parent.snapshot();
+  ASSERT_EQ(Spans.size(), 2u);
+  const TraceSpan &Merged = Spans[1];
+  EXPECT_EQ(Merged.Name, "child");
+  EXPECT_DOUBLE_EQ(Merged.StartMicros, 105);
+  EXPECT_DOUBLE_EQ(Merged.DurationMicros, 10);
+  EXPECT_NE(Merged.ThreadId, Spans[0].ThreadId);
+}
+
+TEST(TraceTest, ChromeExportIsValidSortedJson) {
+  TraceRecorder R;
+  R.enable();
+  R.record("late", "c", 50, 5);
+  R.record("early", "c", 1, 100);
+  R.record("early.child", "c", 1, 10); // Same ts: longer span first.
+
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(R.formatChromeTrace(), V, &Err)) << Err;
+  ASSERT_TRUE(V.isArray());
+  ASSERT_EQ(V.array().size(), 3u);
+  double LastTs = -1;
+  for (const json::Value &E : V.array()) {
+    ASSERT_TRUE(E.isObject());
+    EXPECT_EQ(E.get("ph")->asString(), "X");
+    for (const char *Key : {"name", "cat", "ts", "dur", "pid", "tid"})
+      EXPECT_NE(E.get(Key), nullptr) << Key;
+    EXPECT_GE(E.get("ts")->asNumber(), LastTs);
+    LastTs = E.get("ts")->asNumber();
+  }
+  EXPECT_EQ(V.array()[0].get("name")->asString(), "early");
+  EXPECT_EQ(V.array()[1].get("name")->asString(), "early.child");
+  EXPECT_EQ(V.array()[2].get("name")->asString(), "late");
+}
+
+TEST(TraceTest, RecordElapsedEndsNow) {
+  TraceRecorder R;
+  R.enable();
+  R.recordElapsed("stage", "sat", 0.001);
+  auto Spans = R.snapshot();
+  ASSERT_EQ(Spans.size(), 1u);
+  EXPECT_DOUBLE_EQ(Spans[0].DurationMicros, 1000);
+  // The span ends (approximately) at the record call, so it starts in the
+  // recorder's past, never its future.
+  EXPECT_LE(Spans[0].StartMicros + Spans[0].DurationMicros,
+            R.nowMicros() + 1);
 }
