@@ -5,76 +5,78 @@
 // returned by VBMC matches the ones returned by the Herd tool together
 // with the RA-axioms provided in [24]."
 //
-// Two sweeps:
-//  1. operational-vs-axiomatic on a large generated family (the two
+// A farm client: the sweep runs through src/farm's sharded worker pool,
+// so it is the same deterministic universe `vbmc-farm --universe litmus`
+// runs — this binary just picks bench-sized defaults and prints the
+// table-style summary. Two checks ride in one pass:
+//  1. operational-vs-axiomatic on every universe index (the two
 //     independent RA implementations must agree on every test);
 //  2. the full VBMC pipeline (translate + SAT) against the axiomatic
-//     oracle on the classic shapes plus a family subset.
+//     oracle on every --vbmc-every'th index.
 //
-// Flags: --family N (default 400; the paper had 4004 curated files),
-//        --vbmc-tests N (default 6), --budget S.
+// Flags: --family N (default 400; the paper had 4004 curated files — use
+//        --family 4004 or `vbmc-farm` for the full volume),
+//        --vbmc-every N (default 100), --budget S (per VBMC query),
+//        --workers N, --json FILE.
 //
 //===----------------------------------------------------------------------===//
 
-#include "litmus/Litmus.h"
+#include "farm/Farm.h"
 #include "support/Cli.h"
-#include "support/Timer.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <thread>
 
 using namespace vbmc;
-using namespace vbmc::litmus;
+using namespace vbmc::farm;
 
 int main(int Argc, char **Argv) {
   CommandLine CL = CommandLine::parse(Argc, Argv);
-  uint32_t FamilyCount = static_cast<uint32_t>(CL.getInt("family", 300));
-  uint32_t VbmcTests = static_cast<uint32_t>(CL.getInt("vbmc-tests", 3));
-  double Budget = CL.getDouble("budget", 45);
+
+  FarmOptions O;
+  O.Universe = UniverseKind::Litmus;
+  O.Litmus.Seed = static_cast<uint64_t>(CL.getInt("seed", 4004));
+  O.Litmus.Tests = static_cast<uint64_t>(CL.getInt("family", 400));
+  O.Litmus.VbmcEvery = static_cast<uint64_t>(CL.getInt("vbmc-every", 100));
+  O.Litmus.VbmcBudgetSeconds = CL.getDouble("budget", 45);
+  O.Workers = static_cast<uint32_t>(CL.getInt("workers", 0));
 
   std::puts("== litmus sweep (PLDI'19 Section 7, litmus paragraph) ==\n");
 
-  Timer Watch;
-  auto Classics = classicTests();
-  Rng R(4004);
-  FamilyOptions FO;
-  FO.Count = FamilyCount;
-  auto Family = generateFamily(R, FO);
-  std::printf("generated %zu classic + %u random tests in %.1fs\n",
-              Classics.size(), FamilyCount, Watch.elapsedSeconds());
+  FarmSummary S = runFarm(O, &std::cout);
 
-  // Sweep 1: operational vs axiomatic on everything.
-  Watch.restart();
-  auto All = Classics;
-  All.insert(All.end(), Family.begin(), Family.end());
-  SweepResult Op = runOperationalSweep(All);
-  std::printf("operational vs axiomatic: %u/%u agree (%.1fs)\n",
-              Op.Agreements, Op.TestsRun, Watch.elapsedSeconds());
-  for (const auto &M : Op.Mismatches)
-    std::printf("  MISMATCH: %s\n", M.c_str());
+  std::printf("\noperational vs axiomatic + VBMC spot checks: %llu/%llu "
+              "queries agree, %llu inconclusive (budget), %zu "
+              "contradictions over %llu tests (%.1fs)\n",
+              static_cast<unsigned long long>(S.Agreements),
+              static_cast<unsigned long long>(S.Queries),
+              static_cast<unsigned long long>(S.Inconclusive),
+              S.Mismatches.size(),
+              static_cast<unsigned long long>(S.Tests), S.Seconds);
+  for (const MismatchRecord &M : S.Mismatches)
+    std::printf("  MISMATCH: u%llu %s [%s]: %s\n",
+                static_cast<unsigned long long>(M.Index), M.Name.c_str(),
+                M.Check.c_str(), M.Detail.c_str());
+  for (const WitnessRecord &W : S.Witnesses)
+    std::printf("  WITNESS: u%llu [%s/%s]: %s\n",
+                static_cast<unsigned long long>(W.Index), W.Check.c_str(),
+                W.Failure.c_str(), W.Detail.c_str());
 
-  // Sweep 2: the full VBMC pipeline on the classics + family head.
-  std::vector<LitmusTest> VbmcSet;
-  for (auto &T : Classics)
-    if (T.Prog.numProcs() <= 2 && VbmcSet.size() < VbmcTests)
-      VbmcSet.push_back(T);
-  for (auto &T : Family)
-    if (T.Prog.numProcs() <= 2 && VbmcSet.size() < VbmcTests)
-      VbmcSet.push_back(T);
-  Watch.restart();
-  SweepOptions SO;
-  SO.BudgetSeconds = Budget;
-  SO.MaxPositiveQueriesPerTest = 2;
-  SweepResult Vb = runVbmcSweep(VbmcSet, SO);
-  std::printf("VBMC (translate + SAT) vs axiomatic: %u agree, %u "
-              "inconclusive (budget), %zu contradictions over %u queries "
-              "(%.1fs)\n",
-              Vb.Agreements, Vb.Inconclusive, Vb.Mismatches.size(),
-              Vb.QueriesRun, Watch.elapsedSeconds());
-  for (const auto &M : Vb.Mismatches)
-    std::printf("  MISMATCH: %s\n", M.c_str());
+  std::string JsonPath = CL.getString("json", "");
+  if (!JsonPath.empty()) {
+    uint32_t Workers =
+        O.Workers ? O.Workers : std::max(1u, std::thread::hardware_concurrency());
+    std::ofstream Out(JsonPath);
+    Out << formatFarmSummary(S, O, Workers) << '\n';
+    if (!Out)
+      std::fprintf(stderr, "litmus_sweep: cannot write '%s'\n",
+                   JsonPath.c_str());
+  }
 
-  bool Ok = Op.allAgree() && Vb.allAgree();
   std::printf("\nresult: %s (paper: all 4004 matched Herd)\n",
-              Ok ? "all verdicts agree" : "DISAGREEMENT FOUND");
-  return Ok ? 0 : 1;
+              S.clean() ? "all verdicts agree" : "DISAGREEMENT FOUND");
+  return S.clean() ? 0 : 1;
 }

@@ -66,10 +66,9 @@ int main(int Argc, char **Argv) {
   std::printf("== random family sweep (%u tests): operational vs "
               "axiomatic ==\n",
               FamilyCount);
-  Rng R(7);
   FamilyOptions FO;
   FO.Count = FamilyCount;
-  auto Tests = generateFamily(R, FO);
+  auto Tests = generateFamily(7, FO);
   SweepResult SR = runOperationalSweep(Tests);
   std::printf("  %u/%u tests agree\n", SR.Agreements, SR.TestsRun);
   for (const std::string &M : SR.Mismatches)

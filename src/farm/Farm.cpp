@@ -1,0 +1,667 @@
+//===- Farm.cpp - sharded litmus/fuzz worker-pool farm ----------*- C++ -*-===//
+
+#include "farm/Farm.h"
+
+#include "ir/Printer.h"
+#include "support/CheckContext.h"
+#include "support/FaultInjection.h"
+#include "support/Sandbox.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <csignal>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+using namespace vbmc;
+using namespace vbmc::farm;
+
+const char *vbmc::farm::universeKindName(UniverseKind K) {
+  return K == UniverseKind::Litmus ? "litmus" : "fuzz";
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+vbmc::farm::planShards(uint64_t Size, uint32_t Shards) {
+  std::vector<std::pair<uint64_t, uint64_t>> Plan;
+  if (Size == 0)
+    return Plan;
+  uint64_t N = std::max<uint64_t>(1, std::min<uint64_t>(Shards, Size));
+  uint64_t Base = Size / N, Extra = Size % N;
+  uint64_t Lo = 0;
+  for (uint64_t I = 0; I < N; ++I) {
+    uint64_t Hi = Lo + Base + (I < Extra ? 1 : 0);
+    Plan.push_back({Lo, Hi});
+    Lo = Hi;
+  }
+  return Plan;
+}
+
+//===----------------------------------------------------------------------===//
+// The worker payload
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+uint64_t universeSize(const FarmOptions &O) {
+  return O.Universe == UniverseKind::Litmus ? litmusUniverseSize(O.Litmus)
+                                            : O.Fuzz.Count;
+}
+
+void runLitmusShard(const FarmOptions &O, uint64_t Lo, uint64_t Hi,
+                    ShardResult &R) {
+  for (uint64_t Index = Lo; Index < Hi; ++Index) {
+    // Fault hook for the crash-recovery tests: universe index 3 kills its
+    // worker, and the farm's binary range descent must converge on it.
+    if (fault::enabled("farm.worker-crash") && Index == 3)
+      std::raise(SIGSEGV);
+    litmus::LitmusTest T = litmusTestAt(O.Litmus, Index);
+    litmus::SweepResult Op = litmus::runOperationalSweep({T});
+    ++R.Tests;
+    R.Queries += Op.QueriesRun;
+    R.Agreements += Op.Agreements;
+    R.Inconclusive += Op.Inconclusive;
+    for (const std::string &M : Op.Mismatches) {
+      MismatchRecord Rec;
+      Rec.Index = Index;
+      Rec.Name = T.Name;
+      Rec.Check = "operational-vs-axiomatic";
+      Rec.Detail = M;
+      R.Mismatches.push_back(std::move(Rec));
+    }
+    if (O.Litmus.VbmcEvery && Index % O.Litmus.VbmcEvery == 0) {
+      litmus::SweepOptions SO;
+      SO.BudgetSeconds = O.Litmus.VbmcBudgetSeconds;
+      SO.MaxPositiveQueriesPerTest = 2;
+      litmus::SweepResult Vb = litmus::runVbmcSweep({T}, SO);
+      R.Queries += Vb.QueriesRun;
+      R.Agreements += Vb.Agreements;
+      R.Inconclusive += Vb.Inconclusive;
+      for (const std::string &M : Vb.Mismatches) {
+        MismatchRecord Rec;
+        Rec.Index = Index;
+        Rec.Name = T.Name;
+        Rec.Check = "vbmc-vs-oracle";
+        Rec.Detail = M;
+        R.Mismatches.push_back(std::move(Rec));
+      }
+      R.StatCounts["farm.vbmc.queries"] += Vb.QueriesRun;
+    }
+  }
+  R.StatCounts["farm.litmus.tests"] += R.Tests;
+}
+
+void runFuzzShard(const FarmOptions &O, uint64_t Lo, uint64_t Hi,
+                  ShardResult &R) {
+  if (fault::enabled("farm.worker-crash") && Lo <= 3 && 3 < Hi)
+    std::raise(SIGSEGV);
+  fuzz::FuzzOptions FO = fuzzShardOptions(O.Fuzz, Lo, Hi);
+  fuzz::FuzzCampaignResult C = fuzz::runFuzzCampaign(FO, nullptr);
+  R.Checked += C.Checked;
+  R.Passed += C.Passed;
+  R.Skipped += C.Skipped;
+  R.Timeouts += C.Timeouts;
+  for (const fuzz::FuzzDiscrepancy &D : C.Discrepancies) {
+    WitnessRecord W;
+    W.Index = D.Index;
+    W.Check = D.Check;
+    W.Detail = D.Detail;
+    W.Stmts = D.Stmts;
+    W.ProgramText = D.ProgramText;
+    R.Witnesses.push_back(std::move(W));
+  }
+  R.StatCounts["farm.fuzz.programs"] += C.Checked;
+  R.StatCounts["sandbox.crash"] += C.SandboxCrashes;
+  R.StatCounts["sandbox.oom"] += C.SandboxOoms;
+  R.StatCounts["sandbox.timeout"] += C.SandboxTimeouts;
+  R.StatCounts["sandbox.retries"] += C.SandboxRetries;
+}
+
+/// The program at universe index \p Index, regenerated generator-only (no
+/// oracle, no backends) — safe to run in the farm parent even when the
+/// index kills a worker.
+ir::Program programAt(const FarmOptions &O, uint64_t Index) {
+  if (O.Universe == UniverseKind::Litmus)
+    return litmusProgramAt(O.Litmus, Index);
+  fuzz::FuzzOptions FO = fuzzShardOptions(O.Fuzz, Index, Index + 1);
+  return fuzz::regenerateProgram(FO, Index);
+}
+
+void writeStatMaps(json::JsonWriter &W, const ShardResult &R) {
+  W.key("stats").beginObject();
+  for (const auto &[Name, Count] : R.StatCounts)
+    W.key(Name).value(Count);
+  W.endObject();
+  W.key("stats_seconds").beginObject();
+  for (const auto &[Name, Secs] : R.StatSeconds)
+    W.key(Name).value(Secs);
+  W.endObject();
+}
+
+} // namespace
+
+ShardResult vbmc::farm::runShardInProcess(const FarmOptions &O, uint64_t Lo,
+                                          uint64_t Hi) {
+  ShardResult R;
+  R.Lo = Lo;
+  R.Hi = Hi;
+  Timer Watch;
+  if (O.Universe == UniverseKind::Litmus)
+    runLitmusShard(O, Lo, Hi, R);
+  else
+    runFuzzShard(O, Lo, Hi, R);
+  R.Seconds = Watch.elapsedSeconds();
+  R.StatSeconds["farm.shard"] += R.Seconds;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// vbmc-farm-shard/v1 wire format
+//===----------------------------------------------------------------------===//
+
+std::string vbmc::farm::formatShardResult(const ShardResult &R,
+                                          const FarmOptions &O) {
+  json::JsonWriter W;
+  W.beginObject();
+  W.key("schema").value("vbmc-farm-shard/v1");
+  W.key("universe").value(universeKindName(O.Universe));
+  W.key("lo").value(R.Lo);
+  W.key("hi").value(R.Hi);
+  W.key("tests").value(R.Tests);
+  W.key("queries").value(R.Queries);
+  W.key("agreements").value(R.Agreements);
+  W.key("inconclusive").value(R.Inconclusive);
+  W.key("checked").value(R.Checked);
+  W.key("passed").value(R.Passed);
+  W.key("skipped").value(R.Skipped);
+  W.key("timeouts").value(R.Timeouts);
+  W.key("mismatches").beginArray();
+  for (const MismatchRecord &M : R.Mismatches) {
+    W.beginObject();
+    W.key("index").value(M.Index);
+    W.key("name").value(M.Name);
+    W.key("check").value(M.Check);
+    W.key("detail").value(M.Detail);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("witnesses").beginArray();
+  for (const WitnessRecord &Wit : R.Witnesses) {
+    W.beginObject();
+    W.key("index").value(Wit.Index);
+    W.key("check").value(Wit.Check);
+    W.key("failure").value(Wit.Failure);
+    W.key("detail").value(Wit.Detail);
+    W.key("stmts").value(Wit.Stmts);
+    W.key("program").value(Wit.ProgramText);
+    W.endObject();
+  }
+  W.endArray();
+  writeStatMaps(W, R);
+  W.key("seconds").value(R.Seconds);
+  W.endObject();
+  return W.str();
+}
+
+namespace {
+
+bool getUint(const json::Value &Doc, const char *Key, uint64_t &Out) {
+  const json::Value *V = Doc.get(Key);
+  if (!V || !V->isNumber() || V->asNumber() < 0)
+    return false;
+  Out = static_cast<uint64_t>(V->asNumber());
+  return true;
+}
+
+bool getString(const json::Value &Doc, const char *Key, std::string &Out) {
+  const json::Value *V = Doc.get(Key);
+  if (!V || !V->isString())
+    return false;
+  Out = V->asString();
+  return true;
+}
+
+} // namespace
+
+bool vbmc::farm::parseShardResult(const json::Value &Doc, ShardResult &R,
+                                  std::string *Err) {
+  auto Fail = [&](const char *What) {
+    if (Err)
+      *Err = std::string("vbmc-farm-shard/v1: bad or missing '") + What + "'";
+    return false;
+  };
+  std::string Schema;
+  if (!getString(Doc, "schema", Schema) || Schema != "vbmc-farm-shard/v1")
+    return Fail("schema");
+  ShardResult Out;
+  if (!getUint(Doc, "lo", Out.Lo) || !getUint(Doc, "hi", Out.Hi))
+    return Fail("lo/hi");
+  if (!getUint(Doc, "tests", Out.Tests) ||
+      !getUint(Doc, "queries", Out.Queries) ||
+      !getUint(Doc, "agreements", Out.Agreements) ||
+      !getUint(Doc, "inconclusive", Out.Inconclusive) ||
+      !getUint(Doc, "checked", Out.Checked) ||
+      !getUint(Doc, "passed", Out.Passed) ||
+      !getUint(Doc, "skipped", Out.Skipped) ||
+      !getUint(Doc, "timeouts", Out.Timeouts))
+    return Fail("tallies");
+  const json::Value *Mis = Doc.get("mismatches");
+  if (!Mis || !Mis->isArray())
+    return Fail("mismatches");
+  for (const json::Value &M : Mis->array()) {
+    MismatchRecord Rec;
+    if (!getUint(M, "index", Rec.Index) || !getString(M, "name", Rec.Name) ||
+        !getString(M, "check", Rec.Check) ||
+        !getString(M, "detail", Rec.Detail))
+      return Fail("mismatches[]");
+    Out.Mismatches.push_back(std::move(Rec));
+  }
+  const json::Value *Wits = Doc.get("witnesses");
+  if (!Wits || !Wits->isArray())
+    return Fail("witnesses");
+  for (const json::Value &V : Wits->array()) {
+    WitnessRecord Rec;
+    if (!getUint(V, "index", Rec.Index) || !getString(V, "check", Rec.Check) ||
+        !getString(V, "failure", Rec.Failure) ||
+        !getString(V, "detail", Rec.Detail) ||
+        !getUint(V, "stmts", Rec.Stmts) ||
+        !getString(V, "program", Rec.ProgramText))
+      return Fail("witnesses[]");
+    Out.Witnesses.push_back(std::move(Rec));
+  }
+  if (const json::Value *St = Doc.get("stats"); St && St->isObject())
+    for (const auto &[Name, V] : St->members())
+      if (V.isNumber())
+        Out.StatCounts[Name] = static_cast<uint64_t>(V.asNumber());
+  if (const json::Value *St = Doc.get("stats_seconds"); St && St->isObject())
+    for (const auto &[Name, V] : St->members())
+      if (V.isNumber())
+        Out.StatSeconds[Name] = V.asNumber();
+  if (const json::Value *S = Doc.get("seconds"); S && S->isNumber())
+    Out.Seconds = S->asNumber();
+  R = std::move(Out);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Merging and the run artifact
+//===----------------------------------------------------------------------===//
+
+void vbmc::farm::mergeShardResult(FarmSummary &S, const ShardResult &R) {
+  S.Tests += R.Tests;
+  S.Queries += R.Queries;
+  S.Agreements += R.Agreements;
+  S.Inconclusive += R.Inconclusive;
+  S.Checked += R.Checked;
+  S.Passed += R.Passed;
+  S.Skipped += R.Skipped;
+  S.Timeouts += R.Timeouts;
+  S.Mismatches.insert(S.Mismatches.end(), R.Mismatches.begin(),
+                      R.Mismatches.end());
+  S.Witnesses.insert(S.Witnesses.end(), R.Witnesses.begin(),
+                     R.Witnesses.end());
+  for (const auto &[Name, Count] : R.StatCounts)
+    S.StatCounts[Name] += Count;
+  for (const auto &[Name, Secs] : R.StatSeconds)
+    S.StatSeconds[Name] += Secs;
+}
+
+void vbmc::farm::finalizeSummary(FarmSummary &S,
+                                 const std::string &CorpusDir) {
+  std::sort(S.Mismatches.begin(), S.Mismatches.end(),
+            [](const MismatchRecord &A, const MismatchRecord &B) {
+              return std::tie(A.Index, A.Check, A.Detail) <
+                     std::tie(B.Index, B.Check, B.Detail);
+            });
+  // Dedup witnesses across shards by (check, program), keeping the lowest
+  // index — a crashing program regenerated by a split half or found by
+  // several fuzz shards' minimizers is one witness, not many.
+  std::sort(S.Witnesses.begin(), S.Witnesses.end(),
+            [](const WitnessRecord &A, const WitnessRecord &B) {
+              return std::tie(A.Check, A.ProgramText, A.Index) <
+                     std::tie(B.Check, B.ProgramText, B.Index);
+            });
+  std::vector<WitnessRecord> Unique;
+  for (WitnessRecord &W : S.Witnesses) {
+    if (!Unique.empty() && Unique.back().Check == W.Check &&
+        Unique.back().ProgramText == W.ProgramText) {
+      ++S.DedupedWitnesses;
+      continue;
+    }
+    Unique.push_back(std::move(W));
+  }
+  S.Witnesses = std::move(Unique);
+  std::sort(S.Witnesses.begin(), S.Witnesses.end(),
+            [](const WitnessRecord &A, const WitnessRecord &B) {
+              return std::tie(A.Index, A.Check) < std::tie(B.Index, B.Check);
+            });
+  std::sort(S.ShardRecords.begin(), S.ShardRecords.end(),
+            [](const ShardRecord &A, const ShardRecord &B) {
+              return std::tie(A.Lo, A.Hi, A.Outcome) <
+                     std::tie(B.Lo, B.Hi, B.Outcome);
+            });
+  if (!CorpusDir.empty() && !S.Witnesses.empty()) {
+    std::error_code Ec;
+    std::filesystem::create_directories(CorpusDir, Ec);
+    for (WitnessRecord &W : S.Witnesses) {
+      std::string Name = "farm_u" + std::to_string(W.Index) + "_" + W.Check +
+                         ".ra";
+      std::filesystem::path Path = std::filesystem::path(CorpusDir) / Name;
+      std::ofstream File(Path);
+      File << "// vbmc-farm witness\n"
+           << "// index: " << W.Index << " check: " << W.Check << "\n"
+           << (W.Failure.empty() ? "" : "// failure: " + W.Failure + "\n")
+           << "// detail: " << W.Detail << "\n"
+           << W.ProgramText;
+      if (File)
+        W.Path = Path.string();
+    }
+  }
+}
+
+void vbmc::farm::writeFarmResults(json::JsonWriter &W, const FarmSummary &S) {
+  W.beginObject();
+  W.key("universe_size").value(S.UniverseSize);
+  W.key("tests").value(S.Tests);
+  W.key("queries").value(S.Queries);
+  W.key("agreements").value(S.Agreements);
+  W.key("inconclusive").value(S.Inconclusive);
+  W.key("checked").value(S.Checked);
+  W.key("passed").value(S.Passed);
+  W.key("skipped").value(S.Skipped);
+  W.key("timeouts").value(S.Timeouts);
+  W.key("mismatches").beginArray();
+  for (const MismatchRecord &M : S.Mismatches) {
+    W.beginObject();
+    W.key("index").value(M.Index);
+    W.key("name").value(M.Name);
+    W.key("check").value(M.Check);
+    W.key("detail").value(M.Detail);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("witnesses").beginArray();
+  for (const WitnessRecord &Wit : S.Witnesses) {
+    W.beginObject();
+    W.key("index").value(Wit.Index);
+    W.key("check").value(Wit.Check);
+    W.key("failure").value(Wit.Failure);
+    W.key("detail").value(Wit.Detail);
+    W.key("stmts").value(Wit.Stmts);
+    W.key("program").value(Wit.ProgramText);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("clean").value(S.clean());
+  W.endObject();
+}
+
+std::string vbmc::farm::formatFarmSummary(const FarmSummary &S,
+                                          const FarmOptions &O,
+                                          uint32_t WorkersUsed) {
+  json::JsonWriter W;
+  W.beginObject();
+  W.key("schema").value("vbmc-farm/v1");
+  W.key("universe").value(universeKindName(O.Universe));
+  W.key("workers").value(WorkersUsed);
+  W.key("shards_planned").value(S.ShardsPlanned);
+  W.key("spec").beginObject();
+  if (O.Universe == UniverseKind::Litmus) {
+    W.key("seed").value(O.Litmus.Seed);
+    W.key("tests").value(O.Litmus.Tests);
+    W.key("include_classics").value(O.Litmus.IncludeClassics);
+    W.key("vbmc_every").value(O.Litmus.VbmcEvery);
+  } else {
+    W.key("seed").value(O.Fuzz.Seed);
+    W.key("count").value(O.Fuzz.Count);
+    W.key("per_program_seconds").value(O.Fuzz.PerProgramSeconds);
+  }
+  W.endObject();
+  W.key("results");
+  writeFarmResults(W, S);
+  W.key("shard_records").beginArray();
+  for (const ShardRecord &R : S.ShardRecords) {
+    W.beginObject();
+    W.key("lo").value(R.Lo);
+    W.key("hi").value(R.Hi);
+    W.key("outcome").value(R.Outcome);
+    W.key("detail").value(R.Detail);
+    W.key("seconds").value(R.Seconds);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("worker_failures").value(S.WorkerFailures);
+  W.key("deduped_witnesses").value(S.DedupedWitnesses);
+  W.key("stats").beginObject();
+  for (const auto &[Name, Count] : S.StatCounts)
+    W.key(Name).value(Count);
+  for (const auto &[Name, Secs] : S.StatSeconds)
+    W.key(Name + ".seconds").value(Secs);
+  W.endObject();
+  W.key("seconds").value(S.Seconds);
+  W.endObject();
+  return W.str();
+}
+
+//===----------------------------------------------------------------------===//
+// The farm scheduler
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+uint32_t defaultShardCount(const FarmOptions &O, uint64_t Size) {
+  // One shard per ~256 litmus tests / ~16 fuzz programs: large enough to
+  // amortize the fork, small enough that a lost shard re-runs cheaply and
+  // the pool stays load-balanced.
+  uint64_t Per = O.Universe == UniverseKind::Litmus ? 256 : 16;
+  return static_cast<uint32_t>(
+      std::max<uint64_t>(1, (Size + Per - 1) / Per));
+}
+
+struct FarmState {
+  std::mutex M;
+  std::condition_variable CV;
+  std::deque<std::pair<uint64_t, uint64_t>> Queue;
+  uint32_t Active = 0;
+  FarmSummary Summary;
+  StatsRegistry Stats;
+  std::ostream *Log = nullptr;
+};
+
+void logLine(FarmState &St, const std::string &Line) {
+  // Callers hold St.M, so shard-completion lines never interleave.
+  if (St.Log)
+    *St.Log << Line << '\n';
+}
+
+void writeShardFile(const FarmOptions &O, uint64_t Lo, uint64_t Hi,
+                    const std::string &Doc) {
+  if (O.ShardDir.empty())
+    return;
+  std::error_code Ec;
+  std::filesystem::create_directories(O.ShardDir, Ec);
+  std::filesystem::path Path =
+      std::filesystem::path(O.ShardDir) /
+      ("shard_" + std::to_string(Lo) + "_" + std::to_string(Hi) + ".json");
+  std::ofstream File(Path);
+  File << Doc << '\n';
+}
+
+void workerLoop(const FarmOptions &O, const Deadline &FarmDeadline,
+                FarmState &St) {
+  for (;;) {
+    uint64_t Lo, Hi;
+    {
+      std::unique_lock<std::mutex> Lock(St.M);
+      St.CV.wait(Lock,
+                 [&] { return !St.Queue.empty() || St.Active == 0; });
+      if (St.Queue.empty())
+        return; // Active == 0: nobody can requeue anything; drain done.
+      std::tie(Lo, Hi) = St.Queue.front();
+      St.Queue.pop_front();
+      ++St.Active;
+    }
+
+    Timer Watch;
+    ShardRecord Rec;
+    Rec.Lo = Lo;
+    Rec.Hi = Hi;
+
+    if (FarmDeadline.expired()) {
+      Rec.Outcome = "skipped";
+      Rec.Detail = "farm budget exhausted before the shard ran";
+      std::lock_guard<std::mutex> Lock(St.M);
+      St.Summary.ShardRecords.push_back(std::move(Rec));
+      St.Stats.addCount("farm.shards.skipped");
+      --St.Active;
+      St.CV.notify_all();
+      continue;
+    }
+
+    sandbox::SandboxOptions SO;
+    SO.MemLimitBytes = O.MemLimitMb << 20;
+    SO.TimeoutSeconds = O.ShardTimeoutSeconds;
+    sandbox::SandboxOutcome Out = sandbox::runInSandbox(SO, [&] {
+      return formatShardResult(runShardInProcess(O, Lo, Hi), O);
+    });
+    Rec.Seconds = Watch.elapsedSeconds();
+
+    ShardResult R;
+    bool Usable = false;
+    std::string ParseErr;
+    if (Out.Completed) {
+      json::Value Doc;
+      Usable = json::parse(Out.Payload, Doc, &ParseErr) &&
+               parseShardResult(Doc, R, &ParseErr);
+      if (!Usable) {
+        // A completed child whose report does not parse is as dead as a
+        // crashed one: classify and descend on the range.
+        Out.Failure = sandbox::FailureKind::ExitFailure;
+        Out.Detail = "unparseable shard report: " + ParseErr;
+      }
+    }
+
+    std::lock_guard<std::mutex> Lock(St.M);
+    if (Usable) {
+      Rec.Outcome = "ok";
+      mergeShardResult(St.Summary, R);
+      writeShardFile(O, Lo, Hi, Out.Payload);
+      St.Stats.addCount("farm.shards.ok");
+      St.Stats.addCount("farm.tests.done", R.Tests + R.Checked);
+      St.Stats.addCount("farm.mismatches", R.Mismatches.size());
+      St.Stats.addCount("farm.witnesses", R.Witnesses.size());
+      St.Stats.addSeconds("farm.worker", R.Seconds);
+      logLine(St, "shard [" + std::to_string(Lo) + ", " +
+                      std::to_string(Hi) + ") ok: " +
+                      std::to_string(R.Tests + R.Checked) + " tests, " +
+                      std::to_string(R.Mismatches.size() +
+                                     R.Witnesses.size()) +
+                      " findings");
+    } else if (Hi - Lo > 1) {
+      // The worker died somewhere in [Lo, Hi): split and requeue both
+      // halves. The descent isolates the killing index in log2(|range|)
+      // re-runs while every innocent index still gets processed.
+      uint64_t Mid = Lo + (Hi - Lo) / 2;
+      Rec.Outcome = "split";
+      Rec.Detail = Out.Detail;
+      St.Queue.push_back({Lo, Mid});
+      St.Queue.push_back({Mid, Hi});
+      St.Stats.addCount("farm.shards.split");
+      logLine(St, "shard [" + std::to_string(Lo) + ", " +
+                      std::to_string(Hi) + ") " +
+                      sandbox::failureKindName(Out.Failure) +
+                      ", split and requeued");
+    } else {
+      // A single universe index kills its worker: that is a finding, not
+      // a farm failure. Materialize the program generator-only (running
+      // the oracle here could take the parent down with the same bug).
+      Rec.Outcome = sandbox::failureKindName(Out.Failure);
+      Rec.Detail = Out.Detail;
+      WitnessRecord W;
+      W.Index = Lo;
+      W.Check = "crash";
+      W.Failure = sandbox::failureKindName(Out.Failure);
+      W.Detail = "worker died on universe index " + std::to_string(Lo) +
+                 (Out.Detail.empty() ? "" : ": " + Out.Detail);
+      W.ProgramText = ir::printProgram(programAt(O, Lo));
+      W.Stmts = 0;
+      // Witnessed failures get a shard document too: a --shard-dir
+      // reassembled by `vbmc-report merge` must not lose the crash
+      // findings that only the parent-side descent discovered.
+      ShardResult Failed;
+      Failed.Lo = Lo;
+      Failed.Hi = Hi;
+      Failed.Seconds = Rec.Seconds;
+      Failed.Witnesses.push_back(W);
+      writeShardFile(O, Lo, Hi, formatShardResult(Failed, O));
+      St.Summary.Witnesses.push_back(std::move(W));
+      ++St.Summary.WorkerFailures;
+      St.Stats.addCount("farm.worker.failures");
+      logLine(St, "shard [" + std::to_string(Lo) + ", " +
+                      std::to_string(Hi) + ") WORKER " +
+                      std::string(sandbox::failureKindName(Out.Failure)) +
+                      " at index " + std::to_string(Lo) + " (witnessed)");
+    }
+    St.Summary.ShardRecords.push_back(std::move(Rec));
+    --St.Active;
+    St.CV.notify_all();
+  }
+}
+
+} // namespace
+
+FarmSummary vbmc::farm::runFarm(const FarmOptions &O, std::ostream *Log) {
+  Timer Watch;
+  FarmState St;
+  St.Log = Log;
+
+  uint64_t Size = universeSize(O);
+  St.Summary.UniverseSize = Size;
+  uint32_t Shards = O.Shards ? O.Shards : defaultShardCount(O, Size);
+  auto Plan = planShards(Size, Shards);
+  St.Summary.ShardsPlanned = Plan.size();
+  for (const auto &P : Plan)
+    St.Queue.push_back(P);
+
+  uint32_t Workers = O.Workers ? O.Workers
+                               : std::max(1u, std::thread::hardware_concurrency());
+  if (Plan.size() && Workers > Plan.size())
+    Workers = static_cast<uint32_t>(Plan.size());
+  Workers = std::max(1u, Workers);
+
+  if (Log)
+    *Log << "farm: universe " << universeKindName(O.Universe) << ", "
+         << Size << " tests, " << Plan.size() << " shards, " << Workers
+         << " workers\n";
+
+  Deadline FarmDeadline(O.BudgetSeconds); // Non-positive = unlimited.
+
+  std::vector<std::thread> Pool;
+  Pool.reserve(Workers);
+  for (uint32_t I = 0; I < Workers; ++I)
+    Pool.emplace_back(
+        [&] { workerLoop(O, FarmDeadline, St); });
+  for (std::thread &T : Pool)
+    T.join();
+
+  finalizeSummary(St.Summary, O.CorpusDir);
+  for (const StatsRegistry::Entry &E : St.Stats.snapshot()) {
+    if (E.IsCounter)
+      St.Summary.StatCounts[E.Name] += E.Count;
+    else
+      St.Summary.StatSeconds[E.Name] += E.Seconds;
+  }
+  St.Summary.Seconds = Watch.elapsedSeconds();
+  if (Log)
+    *Log << "farm: " << (St.Summary.Tests + St.Summary.Checked)
+         << " tests done, " << St.Summary.Mismatches.size()
+         << " mismatches, " << St.Summary.Witnesses.size() << " witnesses ("
+         << St.Summary.DedupedWitnesses << " duplicates dropped), "
+         << St.Summary.WorkerFailures << " worker failures\n";
+  return St.Summary;
+}

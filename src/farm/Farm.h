@@ -1,0 +1,189 @@
+//===- Farm.h - sharded litmus/fuzz worker-pool farm -------------*- C++ -*-===//
+///
+/// \file
+/// The process-pool work scheduler behind `vbmc-farm`: shards a
+/// deterministic work universe (Universe.h) across N sandboxed workers
+/// and stitches the per-shard results into one summary.
+///
+///  * Shard planning is a pure function of (universe size, shard count):
+///    contiguous, balanced index ranges. Workers pull shards from a
+///    queue, so scheduling order never affects which tests run or what
+///    any test contains — merged results are bit-identical across worker
+///    counts (the shard-invariance property FarmTest pins).
+///  * Every shard runs in a forked, resource-governed child
+///    (support/Sandbox.h). A worker that crashes, OOMs, or hangs is
+///    classified, its range is split in half and requeued, and the
+///    binary descent converges on the single universe index that kills a
+///    worker — recorded as a corpus witness (with the offending program
+///    materialized generator-only in the parent) while the run completes.
+///  * Shard results travel over the sandbox pipe as `vbmc-farm-shard/v1`
+///    JSON (support/Json); the parent merges them under a lock, dedups
+///    witnesses across shards by (check, program), and folds worker
+///    stats into the farm's StatsRegistry for live progress counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_FARM_FARM_H
+#define VBMC_FARM_FARM_H
+
+#include "farm/Universe.h"
+#include "support/Json.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vbmc::farm {
+
+enum class UniverseKind { Litmus, Fuzz };
+
+const char *universeKindName(UniverseKind K); // "litmus" | "fuzz"
+
+struct FarmOptions {
+  UniverseKind Universe = UniverseKind::Litmus;
+  /// Worker processes; 0 = hardware concurrency.
+  uint32_t Workers = 0;
+  /// Shards the universe is cut into; 0 = auto (one shard per ~256
+  /// litmus tests / ~16 fuzz programs). Deterministic given the spec —
+  /// never derived from Workers.
+  uint32_t Shards = 0;
+  LitmusUniverseSpec Litmus;
+  FuzzUniverseSpec Fuzz;
+  /// Whole-farm wall clock (0 = unlimited). Shards still pending when it
+  /// expires are recorded as skipped, not silently dropped.
+  double BudgetSeconds = 0;
+  /// Per-shard sandbox deadline.
+  double ShardTimeoutSeconds = 600;
+  /// Address-space headroom per worker in MB (0 = unlimited).
+  uint64_t MemLimitMb = 0;
+  /// Directory deduped witnesses are written to; empty = don't write.
+  std::string CorpusDir;
+  /// Directory per-shard vbmc-farm-shard/v1 documents are written to
+  /// (the inputs `vbmc-report merge` reassembles); empty = don't write.
+  std::string ShardDir;
+};
+
+/// One oracle/pipeline disagreement (the farm's reason to exist: there
+/// must be none).
+struct MismatchRecord {
+  uint64_t Index = 0;
+  std::string Name;
+  std::string Check;
+  std::string Detail;
+};
+
+/// One fuzz discrepancy or worker-death witness.
+struct WitnessRecord {
+  uint64_t Index = 0;
+  std::string Check;   ///< Differential check name, or "crash".
+  std::string Failure; ///< FailureKind name for worker deaths, "" else.
+  std::string Detail;
+  uint64_t Stmts = 0;
+  std::string ProgramText; ///< Minimized reproducer (dedup key).
+  std::string Path;        ///< Written corpus file ("" when not written).
+};
+
+/// How one scheduled shard (or split half) ended.
+struct ShardRecord {
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+  /// "ok", "split" (died, range split and requeued), "crash"/"oom"/
+  /// "timeout"/"exit" (single-index death, witnessed), or "skipped"
+  /// (farm budget exhausted before it ran).
+  std::string Outcome;
+  std::string Detail;
+  double Seconds = 0;
+};
+
+/// What one shard worker reports back over the pipe.
+struct ShardResult {
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+  // Litmus sweep tallies.
+  uint64_t Tests = 0;
+  uint64_t Queries = 0;
+  uint64_t Agreements = 0;
+  uint64_t Inconclusive = 0;
+  // Fuzz campaign tallies.
+  uint64_t Checked = 0;
+  uint64_t Passed = 0;
+  uint64_t Skipped = 0;
+  uint64_t Timeouts = 0;
+  std::vector<MismatchRecord> Mismatches;
+  std::vector<WitnessRecord> Witnesses;
+  std::map<std::string, uint64_t> StatCounts;
+  std::map<std::string, double> StatSeconds;
+  double Seconds = 0;
+};
+
+struct FarmSummary {
+  uint64_t UniverseSize = 0;
+  uint64_t ShardsPlanned = 0;
+  // Aggregated tallies (field meanings as in ShardResult).
+  uint64_t Tests = 0;
+  uint64_t Queries = 0;
+  uint64_t Agreements = 0;
+  uint64_t Inconclusive = 0;
+  uint64_t Checked = 0;
+  uint64_t Passed = 0;
+  uint64_t Skipped = 0;
+  uint64_t Timeouts = 0;
+  /// Sorted by index.
+  std::vector<MismatchRecord> Mismatches;
+  /// Sorted by index, deduped across shards by (Check, ProgramText).
+  std::vector<WitnessRecord> Witnesses;
+  /// Duplicate witnesses dropped by the dedup.
+  uint64_t DedupedWitnesses = 0;
+  /// Sorted by (Lo, Hi); every scheduled shard and split half appears.
+  std::vector<ShardRecord> ShardRecords;
+  /// Classified worker deaths (after splitting bottomed out).
+  uint64_t WorkerFailures = 0;
+  std::map<std::string, uint64_t> StatCounts;
+  std::map<std::string, double> StatSeconds;
+  double Seconds = 0;
+
+  /// No mismatches and no witnesses.
+  bool clean() const { return Mismatches.empty() && Witnesses.empty(); }
+};
+
+/// Contiguous balanced shard plan: \p Shards ranges covering [0, Size)
+/// exactly once, sizes differing by at most one.
+std::vector<std::pair<uint64_t, uint64_t>> planShards(uint64_t Size,
+                                                      uint32_t Shards);
+
+/// Runs the whole farm per \p O, logging one line per finished shard to
+/// \p Log when non-null.
+FarmSummary runFarm(const FarmOptions &O, std::ostream *Log);
+
+/// Runs the index range [Lo, Hi) in-process — the worker payload, also
+/// the `--index` single-test reproduction path.
+ShardResult runShardInProcess(const FarmOptions &O, uint64_t Lo,
+                              uint64_t Hi);
+
+/// vbmc-farm-shard/v1: the per-shard wire document.
+std::string formatShardResult(const ShardResult &R, const FarmOptions &O);
+bool parseShardResult(const json::Value &Doc, ShardResult &R,
+                      std::string *Err = nullptr);
+
+/// Folds one shard's result into \p S (no sorting/dedup — see
+/// finalizeSummary).
+void mergeShardResult(FarmSummary &S, const ShardResult &R);
+
+/// Sorts mismatches/witnesses/records, dedups witnesses across shards,
+/// and (when \p CorpusDir is non-empty) writes deduped witness files.
+void finalizeSummary(FarmSummary &S, const std::string &CorpusDir);
+
+/// The deterministic "results" object shared by the vbmc-farm/v1 summary
+/// and `vbmc-report merge`: identical across worker counts and shard
+/// schedules for the same universe (no timing, no stats).
+void writeFarmResults(json::JsonWriter &W, const FarmSummary &S);
+
+/// vbmc-farm/v1: the merged run artifact.
+std::string formatFarmSummary(const FarmSummary &S, const FarmOptions &O,
+                              uint32_t WorkersUsed);
+
+} // namespace vbmc::farm
+
+#endif // VBMC_FARM_FARM_H

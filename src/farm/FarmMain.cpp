@@ -1,0 +1,209 @@
+//===- FarmMain.cpp - the vbmc-farm command-line tool -----------*- C++ -*-===//
+//
+// Usage:
+//   vbmc-farm [options]             run a sharded sweep over a universe
+//   vbmc-farm --index I [options]   re-run one universe index in-process
+//
+// Shards a deterministic work universe — the litmus family grid (the
+// Section 7 volume) or a fuzz campaign's seed range — across N sandboxed
+// worker processes. The set of tests run, and every test's generated
+// program, is a pure function of the universe spec: worker count, shard
+// count and scheduling order never change what runs, so merged results are
+// bit-identical across --workers values. A worker that crashes, OOMs or
+// hangs has its range split and requeued until the killing index is
+// isolated and recorded as a corpus witness; the run always completes.
+//
+// Exit codes: 0 = clean sweep, 1 = mismatches or witnesses found,
+// 2 = usage error, 3 = internal failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "farm/Farm.h"
+#include "ir/Printer.h"
+#include "support/Cli.h"
+#include "support/FaultInjection.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <thread>
+
+using namespace vbmc;
+using namespace vbmc::farm;
+
+namespace {
+
+void printUsage() {
+  std::puts(
+      "usage: vbmc-farm [options]\n"
+      "  --universe litmus|fuzz  work universe (default litmus)\n"
+      "  --workers N        worker processes (default: hardware cores)\n"
+      "  --shards N         shards the universe is cut into (default:\n"
+      "                     auto; deterministic, never derived from\n"
+      "                     --workers)\n"
+      "  --seed N           universe seed (default 4004 litmus / 1 fuzz)\n"
+      "litmus universe:\n"
+      "  --tests N          generated family members (default 4004, the\n"
+      "                     paper's Section 7 volume; classics on top)\n"
+      "  --no-classics      family members only\n"
+      "  --vbmc-every N     every Nth index also runs the full VBMC\n"
+      "                     pipeline (translate + SAT) against the oracle\n"
+      "                     (default 0 = oracle sweep only)\n"
+      "  --vbmc-budget SEC  per-query budget for those runs (default 10)\n"
+      "fuzz universe:\n"
+      "  --count N          programs in the universe (default 256)\n"
+      "  --per-program SEC  budget slice per program (default 2)\n"
+      "farm governance:\n"
+      "  --budget SEC       whole-farm wall clock (default 0 = unlimited;\n"
+      "                     shards still pending at expiry are recorded\n"
+      "                     as skipped)\n"
+      "  --shard-timeout S  per-shard sandbox deadline (default 600)\n"
+      "  --mem-limit-mb N   address-space headroom per worker (default 0)\n"
+      "outputs:\n"
+      "  --json FILE|-      write the merged vbmc-farm/v1 artifact\n"
+      "  --shard-dir DIR    write each shard's vbmc-farm-shard/v1 document\n"
+      "                     (the inputs `vbmc-report merge` reassembles)\n"
+      "  --corpus DIR       write deduped witness reproducers into DIR\n"
+      "  --quiet            summary line only\n"
+      "reproduce:\n"
+      "  --index I          run universe index I in-process and print the\n"
+      "                     test, its program and the verdicts (the path\n"
+      "                     from a farm artifact back to one failure)");
+}
+
+FarmOptions optionsFromArgs(const CommandLine &CL, bool &Ok) {
+  Ok = true;
+  FarmOptions O;
+  std::string U = CL.getString("universe", "litmus");
+  if (U == "litmus") {
+    O.Universe = UniverseKind::Litmus;
+  } else if (U == "fuzz") {
+    O.Universe = UniverseKind::Fuzz;
+  } else {
+    std::fprintf(stderr, "vbmc-farm: unknown universe '%s'\n", U.c_str());
+    Ok = false;
+    return O;
+  }
+  O.Workers = static_cast<uint32_t>(CL.getInt("workers", 0));
+  O.Shards = static_cast<uint32_t>(CL.getInt("shards", 0));
+  O.Litmus.Seed = static_cast<uint64_t>(CL.getInt("seed", 4004));
+  O.Litmus.Tests = static_cast<uint64_t>(CL.getInt("tests", 4004));
+  O.Litmus.IncludeClassics = !CL.hasFlag("no-classics");
+  O.Litmus.VbmcEvery = static_cast<uint64_t>(CL.getInt("vbmc-every", 0));
+  O.Litmus.VbmcBudgetSeconds = CL.getDouble("vbmc-budget", 10);
+  O.Fuzz.Seed = static_cast<uint64_t>(CL.getInt("seed", 1));
+  O.Fuzz.Count = static_cast<uint64_t>(CL.getInt("count", 256));
+  O.Fuzz.PerProgramSeconds = CL.getDouble("per-program", 2);
+  O.Fuzz.MemLimitMb = static_cast<uint64_t>(CL.getInt("mem-limit-mb", 0));
+  O.BudgetSeconds = CL.getDouble("budget", 0);
+  O.ShardTimeoutSeconds = CL.getDouble("shard-timeout", 600);
+  O.MemLimitMb = static_cast<uint64_t>(CL.getInt("mem-limit-mb", 0));
+  O.CorpusDir = CL.getString("corpus");
+  O.ShardDir = CL.getString("shard-dir");
+  return O;
+}
+
+/// The --index reproduction path: run one universe index in-process (no
+/// sandbox, no pool) and print everything a bug report needs.
+int runSingleIndex(const FarmOptions &O, uint64_t Index) {
+  uint64_t Size = O.Universe == UniverseKind::Litmus
+                      ? litmusUniverseSize(O.Litmus)
+                      : O.Fuzz.Count;
+  if (Index >= Size) {
+    std::fprintf(stderr,
+                 "vbmc-farm: index %llu outside the universe [0, %llu)\n",
+                 static_cast<unsigned long long>(Index),
+                 static_cast<unsigned long long>(Size));
+    return 2;
+  }
+  if (O.Universe == UniverseKind::Litmus) {
+    litmus::LitmusTest T = litmusTestAt(O.Litmus, Index);
+    std::printf("universe index %llu: %s\n",
+                static_cast<unsigned long long>(Index), T.Name.c_str());
+    std::printf("%s\n", ir::printProgram(T.Prog).c_str());
+  }
+  ShardResult R = runShardInProcess(O, Index, Index + 1);
+  std::printf("%s\n", formatShardResult(R, O).c_str());
+  return R.Mismatches.empty() && R.Witnesses.empty() ? 0 : 1;
+}
+
+int runMain(int Argc, char **Argv) {
+  CommandLine CL = CommandLine::parse(Argc, Argv,
+                                      {"no-classics", "quiet", "help"});
+  if (CL.hasFlag("help")) {
+    printUsage();
+    return 0;
+  }
+  std::vector<std::string> Unknown = CL.unknownFlags(
+      {"universe", "workers", "shards", "seed", "tests", "no-classics",
+       "vbmc-every", "vbmc-budget", "count", "per-program", "budget",
+       "shard-timeout", "mem-limit-mb", "json", "shard-dir", "corpus",
+       "index", "inject-fault", "quiet", "help"});
+  if (!Unknown.empty() || !CL.positionals().empty()) {
+    for (const std::string &F : Unknown)
+      std::fprintf(stderr, "vbmc-farm: unknown flag '--%s'\n", F.c_str());
+    for (const std::string &P : CL.positionals())
+      std::fprintf(stderr, "vbmc-farm: unexpected argument '%s'\n",
+                   P.c_str());
+    printUsage();
+    return 2;
+  }
+
+  // Hidden self-test hook (see support/FaultInjection.h): lets CI prove
+  // the farm survives a crashing worker.
+  if (CL.hasFlag("inject-fault"))
+    fault::enable(CL.getString("inject-fault"));
+
+  bool Ok = false;
+  FarmOptions O = optionsFromArgs(CL, Ok);
+  if (!Ok)
+    return 2;
+
+  if (CL.hasFlag("index"))
+    return runSingleIndex(O, static_cast<uint64_t>(CL.getInt("index", 0)));
+
+  const bool Quiet = CL.hasFlag("quiet");
+  FarmSummary S = runFarm(O, Quiet ? nullptr : &std::cout);
+  if (Quiet)
+    std::printf("farm: %llu tests, %zu mismatches, %zu witnesses\n",
+                static_cast<unsigned long long>(S.Tests + S.Checked),
+                S.Mismatches.size(), S.Witnesses.size());
+
+  std::string JsonPath = CL.getString("json", "");
+  if (!JsonPath.empty()) {
+    uint32_t WorkersUsed = O.Workers
+                               ? O.Workers
+                               : std::max(1u, std::thread::hardware_concurrency());
+    std::string Doc = formatFarmSummary(S, O, WorkersUsed);
+    if (JsonPath == "-") {
+      std::printf("%s\n", Doc.c_str());
+    } else {
+      std::ofstream Out(JsonPath);
+      Out << Doc << '\n';
+      if (!Out) {
+        std::fprintf(stderr, "vbmc-farm: cannot write summary to '%s'\n",
+                     JsonPath.c_str());
+        return 3;
+      }
+    }
+  }
+  return S.clean() ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  try {
+    return runMain(Argc, Argv);
+  } catch (const std::bad_alloc &) {
+    std::fprintf(stderr, "vbmc-farm: error: out of memory (failure=oom)\n");
+    return 3;
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "vbmc-farm: error: internal failure: %s\n",
+                 E.what());
+    return 3;
+  }
+}

@@ -1,0 +1,188 @@
+//===- ReportMain.cpp - the vbmc-report command-line tool -------*- C++ -*-===//
+//
+// Usage:
+//   vbmc-report merge [--out FILE|-] [--trace-out FILE] FILE...
+//
+// Aggregates any mix of VBMC JSON artifacts — run reports
+// (vbmc-run-report/v1), bench telemetry (vbmc-bench/v1), fuzz summaries
+// (vbmc-fuzz/v1), farm shard documents (vbmc-farm-shard/v1) and Chrome
+// trace exports — into one vbmc-report-merged/v1 document, plus one
+// combined Chrome trace when trace inputs were present. Farm shards are
+// folded through the farm library's own merge/finalize path, so the
+// "farm" section of the merged artifact is bit-identical to the results
+// object `vbmc-farm --json` writes for the same universe.
+//
+// Exit codes: 0 = merged, 1 = an input could not be read or parsed,
+// 2 = usage error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "farm/Farm.h"
+#include "support/Cli.h"
+#include "vbmc/ReportMerge.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace vbmc;
+
+namespace {
+
+void printUsage() {
+  std::puts(
+      "usage: vbmc-report merge [options] FILE...\n"
+      "  --out FILE|-       merged vbmc-report-merged/v1 artifact\n"
+      "                     (default: stdout)\n"
+      "  --trace-out FILE   combined Chrome trace (requires at least one\n"
+      "                     trace input)\n"
+      "  --quiet            no per-input progress lines\n"
+      "inputs: vbmc-run-report/v1, vbmc-bench/v1, vbmc-fuzz/v1,\n"
+      "        vbmc-farm-shard/v1, Chrome trace arrays");
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+bool writeOutput(const std::string &Path, const std::string &Doc) {
+  if (Path == "-") {
+    std::printf("%s\n", Doc.c_str());
+    return true;
+  }
+  std::ofstream Out(Path);
+  Out << Doc << '\n';
+  return static_cast<bool>(Out);
+}
+
+int runMerge(const CommandLine &CL,
+             const std::vector<std::string> &Inputs) {
+  const bool Quiet = CL.hasFlag("quiet");
+  report::Merger M;
+
+  // Farm shards fold through the farm library so the merged "farm"
+  // section matches what vbmc-farm itself would have written.
+  farm::FarmSummary FS;
+  uint64_t ShardDocs = 0;
+
+  int Rc = 0;
+  for (const std::string &Path : Inputs) {
+    std::string Text;
+    if (!readFile(Path, Text)) {
+      std::fprintf(stderr, "vbmc-report: cannot read '%s'\n", Path.c_str());
+      Rc = 1;
+      continue;
+    }
+    std::string Err;
+    json::Value Doc;
+    if (!json::parse(Text, Doc, &Err)) {
+      std::fprintf(stderr, "vbmc-report: '%s': %s\n", Path.c_str(),
+                   Err.c_str());
+      Rc = 1;
+      continue;
+    }
+    std::string Schema = report::schemaOf(Doc);
+    if (Schema == "vbmc-farm-shard/v1") {
+      farm::ShardResult R;
+      if (!farm::parseShardResult(Doc, R, &Err)) {
+        std::fprintf(stderr, "vbmc-report: '%s': %s\n", Path.c_str(),
+                     Err.c_str());
+        Rc = 1;
+        continue;
+      }
+      farm::mergeShardResult(FS, R);
+      FS.UniverseSize = std::max(FS.UniverseSize, R.Hi);
+      ++FS.ShardsPlanned;
+      ++ShardDocs;
+      M.noteSource(Path, Schema);
+    } else if (!M.add(Path, Doc, &Err)) {
+      std::fprintf(stderr, "vbmc-report: '%s': %s\n", Path.c_str(),
+                   Err.c_str());
+      Rc = 1;
+      continue;
+    }
+    if (!Quiet)
+      std::fprintf(stderr, "vbmc-report: folded '%s' (%s)\n", Path.c_str(),
+                   Schema.c_str());
+  }
+
+  if (ShardDocs) {
+    // Same sort/dedup pass the farm parent runs, so reassembling shard
+    // files reproduces `vbmc-farm --json`'s results object exactly.
+    farm::finalizeSummary(FS, "");
+    json::JsonWriter W;
+    farm::writeFarmResults(W, FS);
+    M.setSection("farm", W.str());
+  }
+
+  if (!writeOutput(CL.getString("out", "-"), M.formatArtifact())) {
+    std::fprintf(stderr, "vbmc-report: cannot write merged artifact\n");
+    return 1;
+  }
+
+  std::string TracePath = CL.getString("trace-out", "");
+  if (!TracePath.empty()) {
+    if (!M.hasTrace()) {
+      std::fprintf(stderr,
+                   "vbmc-report: --trace-out given but no trace inputs\n");
+      return 1;
+    }
+    if (!writeOutput(TracePath, M.formatChromeTrace())) {
+      std::fprintf(stderr, "vbmc-report: cannot write trace to '%s'\n",
+                   TracePath.c_str());
+      return 1;
+    }
+  }
+  return Rc;
+}
+
+int runMain(int Argc, char **Argv) {
+  CommandLine CL = CommandLine::parse(Argc, Argv, {"quiet", "help"});
+  if (CL.hasFlag("help")) {
+    printUsage();
+    return 0;
+  }
+  std::vector<std::string> Unknown =
+      CL.unknownFlags({"out", "trace-out", "quiet", "help"});
+  if (!Unknown.empty()) {
+    for (const std::string &F : Unknown)
+      std::fprintf(stderr, "vbmc-report: unknown flag '--%s'\n", F.c_str());
+    printUsage();
+    return 2;
+  }
+  const std::vector<std::string> &Pos = CL.positionals();
+  if (Pos.empty() || Pos.front() != "merge") {
+    std::fprintf(stderr, "vbmc-report: expected the 'merge' subcommand\n");
+    printUsage();
+    return 2;
+  }
+  std::vector<std::string> Inputs(Pos.begin() + 1, Pos.end());
+  if (Inputs.empty()) {
+    std::fprintf(stderr, "vbmc-report: no input files\n");
+    printUsage();
+    return 2;
+  }
+  return runMerge(CL, Inputs);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  try {
+    return runMain(Argc, Argv);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "vbmc-report: error: internal failure: %s\n",
+                 E.what());
+    return 1;
+  }
+}

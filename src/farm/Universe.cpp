@@ -1,0 +1,102 @@
+//===- Universe.cpp - deterministic work universes --------------*- C++ -*-===//
+
+#include "farm/Universe.h"
+
+#include <algorithm>
+
+using namespace vbmc;
+using namespace vbmc::farm;
+
+const std::vector<FamilyCell> &vbmc::farm::litmusFamilyGrid() {
+  static const std::vector<FamilyCell> Grid = [] {
+    std::vector<FamilyCell> G;
+    for (uint32_t Threads : {2u, 3u})
+      for (uint32_t Vars : {1u, 2u})
+        for (uint32_t Ops : {2u, 3u})
+          for (uint32_t Cas : {0u, 120u}) {
+            FamilyCell C;
+            C.Name = "t" + std::to_string(Threads) + "v" +
+                     std::to_string(Vars) + "o" + std::to_string(Ops) +
+                     (Cas ? "c" : "");
+            C.Opts.MaxThreads = Threads;
+            C.Opts.MaxVars = Vars;
+            C.Opts.MaxOpsPerThread = Ops;
+            C.Opts.CasPermille = Cas;
+            G.push_back(std::move(C));
+          }
+    return G;
+  }();
+  return Grid;
+}
+
+namespace {
+
+/// Classic shapes, built once (the oracle runs are milliseconds each).
+const std::vector<litmus::LitmusTest> &classics() {
+  static const std::vector<litmus::LitmusTest> C = litmus::classicTests();
+  return C;
+}
+
+} // namespace
+
+uint64_t vbmc::farm::litmusUniverseSize(const LitmusUniverseSpec &S) {
+  return S.Tests + (S.IncludeClassics ? classics().size() : 0);
+}
+
+litmus::LitmusTest vbmc::farm::litmusTestAt(const LitmusUniverseSpec &S,
+                                            uint64_t Index) {
+  uint64_t G = Index;
+  if (S.IncludeClassics) {
+    const auto &C = classics();
+    if (Index < C.size())
+      return C[Index];
+    G -= C.size();
+  }
+  const auto &Grid = litmusFamilyGrid();
+  const FamilyCell &Cell = Grid[G % Grid.size()];
+  litmus::LitmusTest T = litmus::generateFamilyTest(S.Seed, G, Cell.Opts);
+  T.Name = "u" + std::to_string(Index) + "." + Cell.Name;
+  return T;
+}
+
+ir::Program vbmc::farm::litmusProgramAt(const LitmusUniverseSpec &S,
+                                        uint64_t Index) {
+  uint64_t G = Index;
+  if (S.IncludeClassics) {
+    const auto &C = classics();
+    if (Index < C.size())
+      return C[Index].Prog;
+    G -= C.size();
+  }
+  const auto &Grid = litmusFamilyGrid();
+  return litmus::generateFamilyProgram(S.Seed, G,
+                                       Grid[G % Grid.size()].Opts);
+}
+
+FuzzUniverseSpec::FuzzUniverseSpec() {
+  // The vbmc-fuzz CLI defaults: full grammar, SAT unroll bound covering
+  // the largest generated loop trip count.
+  Gen.CasPermille = 150;
+  Gen.AssertPermille = 700;
+  Gen.FencePermille = 50;
+  Gen.NondetPermille = 50;
+  Gen.LoopPermille = 30;
+  Diff.K = 1;
+  Diff.L = std::max(3u, Gen.LoopTripMax + 1);
+  Diff.CasAllowance = 0; // auto-size per program
+}
+
+fuzz::FuzzOptions vbmc::farm::fuzzShardOptions(const FuzzUniverseSpec &S,
+                                               uint64_t Lo, uint64_t Hi) {
+  fuzz::FuzzOptions O;
+  O.Seed = S.Seed;
+  O.StartIndex = Lo;
+  O.Count = Hi - Lo;
+  O.BudgetSeconds = 0; // The shard sandbox's deadline governs the slice.
+  O.PerProgramSeconds = S.PerProgramSeconds;
+  O.Isolate = S.Isolate;
+  O.MemLimitMb = S.MemLimitMb;
+  O.Gen = S.Gen;
+  O.Diff = S.Diff;
+  return O;
+}

@@ -1,0 +1,102 @@
+//===- Universe.h - deterministic litmus/fuzz work universes ----*- C++ -*-===//
+///
+/// \file
+/// The farm's work universes: pure-function enumerations of every test a
+/// sweep will run, indexable by a single integer so the universe can be
+/// sharded arbitrarily. The determinism contract is the whole point —
+///
+///   * the set of tests, and each test's generated program, is a function
+///     of the universe spec alone (seed, size, family grid), never of the
+///     worker count, the shard count, or scheduling order;
+///   * test #i can be rebuilt in isolation (to reproduce a failing index
+///     from a farm artifact) and is bit-identical to what any shard ran.
+///
+/// Two universes exist:
+///
+///   * litmus — the Section 7 volume: the classic named shapes followed
+///     by generated family members drawn round-robin from a grid of
+///     family shapes (thread counts x variable counts x ops per thread x
+///     CAS rates), so every prefix of the universe covers every shape;
+///   * fuzz — a differential-fuzzing campaign's program stream, sliced by
+///     index range (program #i is a pure function of (seed, i) already).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_FARM_UNIVERSE_H
+#define VBMC_FARM_UNIVERSE_H
+
+#include "fuzz/Fuzzer.h"
+#include "litmus/Litmus.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vbmc::farm {
+
+/// One cell of the litmus family grid: a named family shape.
+struct FamilyCell {
+  std::string Name;
+  litmus::FamilyOptions Opts;
+};
+
+/// The family grid expanding the generator's ingredients the way the
+/// paper's 4004 curated files vary theirs: thread counts {2,3} x shared
+/// variables {1,2} x ops per thread {2,3} x CAS rates {0, 120 permille}.
+/// Generated universe index g maps to cell g % size() — round-robin, so
+/// any prefix (and any shard) samples every shape.
+const std::vector<FamilyCell> &litmusFamilyGrid();
+
+struct LitmusUniverseSpec {
+  uint64_t Seed = 4004;
+  /// Generated family members; the classic shapes come on top when
+  /// IncludeClassics (universe size = Tests + #classics).
+  uint64_t Tests = 4004;
+  bool IncludeClassics = true;
+  /// Every Nth universe index additionally runs the full VBMC pipeline
+  /// (translate + SAT) against the oracle, not just the cheap
+  /// operational-vs-axiomatic agreement check. 0 = oracle sweep only.
+  uint64_t VbmcEvery = 0;
+  /// Per-query budget for those VBMC runs.
+  double VbmcBudgetSeconds = 10;
+};
+
+uint64_t litmusUniverseSize(const LitmusUniverseSpec &S);
+
+/// Test #Index with oracle outcomes: classics first, then grid members.
+/// Generated members are renamed "u<Index>.<cell>" so a mismatch record
+/// names both its universe index and its family shape.
+litmus::LitmusTest litmusTestAt(const LitmusUniverseSpec &S, uint64_t Index);
+
+/// Program-only variant: skips the axiomatic oracle enumeration. The farm
+/// parent uses this to materialize a crash witness for an index whose
+/// worker died — re-running the (possibly crashing) oracle in the parent
+/// would take the whole farm down with it.
+ir::Program litmusProgramAt(const LitmusUniverseSpec &S, uint64_t Index);
+
+struct FuzzUniverseSpec {
+  uint64_t Seed = 1;
+  /// Programs in the universe (indices 0..Count-1).
+  uint64_t Count = 256;
+  double PerProgramSeconds = 2;
+  /// Fork each per-program differential inside the shard worker too
+  /// (sandbox-in-sandbox): a crashing program becomes a classified,
+  /// minimized witness inside its shard instead of killing the shard.
+  bool Isolate = true;
+  uint64_t MemLimitMb = 0;
+  fuzz::GeneratorOptions Gen;
+  fuzz::DiffOptions Diff;
+
+  /// Mirrors the vbmc-fuzz CLI defaults (grammar extensions on, SAT
+  /// unroll bound covering the largest generated loop).
+  FuzzUniverseSpec();
+};
+
+/// Campaign options for the index slice [Lo, Hi) of the fuzz universe —
+/// exactly that slice of the full campaign (FuzzOptions::StartIndex).
+fuzz::FuzzOptions fuzzShardOptions(const FuzzUniverseSpec &S, uint64_t Lo,
+                                   uint64_t Hi);
+
+} // namespace vbmc::farm
+
+#endif // VBMC_FARM_UNIVERSE_H

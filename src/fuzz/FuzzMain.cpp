@@ -47,6 +47,9 @@ void printUsage() {
       "  --seed N           campaign seed (default 1); program #i is\n"
       "                     reproducible from (seed, i) alone\n"
       "  --count N          stop after N programs (default: until budget)\n"
+      "  --start-index N    first program index (default 0); a campaign\n"
+      "                     over [N, N+count) is exactly that slice of\n"
+      "                     the full seed universe (farm shard slicing)\n"
       "  --budget SEC       campaign wall-clock budget (default 60)\n"
       "  --per-program SEC  budget slice per generated program (default 2)\n"
       "  --max-k N          view-switch budget K for bounded checks "
@@ -94,7 +97,8 @@ int runMain(int Argc, char **Argv) {
   // A typo like --budgett would otherwise be silently ignored and the
   // campaign would run with defaults; reject unknown flags up front.
   std::vector<std::string> Unknown = CL.unknownFlags(
-      {"seed", "count", "budget", "per-program", "max-k", "l", "procs",
+      {"seed", "count", "start-index", "budget", "per-program", "max-k",
+       "l", "procs",
        "stmts", "vars", "cas-permille", "fence-permille", "nondet-permille",
        "loop-permille", "assert-permille", "max-value", "heavy-every",
        "max-states", "cas-allowance", "corpus", "index", "repro",
@@ -115,6 +119,7 @@ int runMain(int Argc, char **Argv) {
   fuzz::FuzzOptions O;
   O.Seed = static_cast<uint64_t>(CL.getInt("seed", 1));
   O.Count = static_cast<uint64_t>(CL.getInt("count", 0));
+  O.StartIndex = static_cast<uint64_t>(CL.getInt("start-index", 0));
   O.BudgetSeconds = CL.getDouble("budget", 60);
   O.PerProgramSeconds = CL.getDouble("per-program", 2);
   O.HeavyEvery = static_cast<uint64_t>(CL.getInt("heavy-every", 1));

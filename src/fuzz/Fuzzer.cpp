@@ -290,8 +290,8 @@ FuzzCampaignResult vbmc::fuzz::runFuzzCampaign(const FuzzOptions &O,
     Heavy.MemLimitBytes = O.MemLimitMb << 20;
   DiffOptions Light = lightweightOnly(Heavy);
 
-  for (uint64_t I = 0;; ++I) {
-    if (O.Count && I >= O.Count)
+  for (uint64_t I = O.StartIndex;; ++I) {
+    if (O.Count && I >= O.StartIndex + O.Count)
       break;
     if (Campaign.interrupted())
       break;

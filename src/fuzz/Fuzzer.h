@@ -26,6 +26,11 @@ namespace vbmc::fuzz {
 
 struct FuzzOptions {
   uint64_t Seed = 1;
+  /// First program index to check. Program #i is a pure function of
+  /// (Seed, i), so a campaign over [StartIndex, StartIndex + Count) is
+  /// exactly that slice of the full campaign — the farm shards one seed's
+  /// universe across workers by handing each a disjoint index range.
+  uint64_t StartIndex = 0;
   /// Number of programs to check; 0 = run until the budget expires.
   uint64_t Count = 0;
   /// Campaign wall-clock budget in seconds (0 = unlimited; then Count

@@ -6,6 +6,7 @@
 #include "ir/Flatten.h"
 #include "ra/RaExplorer.h"
 #include "support/Diagnostics.h"
+#include "support/Rng.h"
 #include "vbmc/Vbmc.h"
 
 using namespace vbmc;
@@ -201,33 +202,45 @@ std::vector<LitmusTest> vbmc::litmus::classicTests() {
   return Tests;
 }
 
-std::vector<LitmusTest>
-vbmc::litmus::generateFamily(Rng &R, const FamilyOptions &O) {
-  std::vector<LitmusTest> Tests;
-  Tests.reserve(O.Count);
-  for (uint32_t I = 0; I < O.Count; ++I) {
-    uint32_t Threads = 2 + R.nextBelow(O.MaxThreads - 1);
-    uint32_t Vars = 1 + R.nextBelow(O.MaxVars);
-    Builder B(Vars);
-    for (uint32_t T = 0; T < Threads; ++T) {
-      B.thread();
-      uint32_t Ops = 1 + R.nextBelow(O.MaxOpsPerThread);
-      for (uint32_t K = 0; K < Ops; ++K) {
-        uint32_t X = static_cast<uint32_t>(R.nextBelow(Vars));
-        if (R.nextChance(O.CasPermille, 1000)) {
-          B.u(X, static_cast<Value>(R.nextBelow(2)),
-              static_cast<Value>(1 + R.nextBelow(2)));
-        } else if (R.nextChance(1, 2)) {
-          RegId Reg = B.reg("r" + std::to_string(T) + std::to_string(K));
-          B.r(Reg, X);
-        } else {
-          B.w(X, static_cast<Value>(1 + R.nextBelow(2)));
-        }
+Program vbmc::litmus::generateFamilyProgram(uint64_t Seed, uint64_t Index,
+                                            const FamilyOptions &O) {
+  // One derived stream per index: the program depends only on
+  // (Seed, Index, O), never on how many members were generated before it.
+  Rng R = Rng::derived(Seed, Index);
+  uint32_t Threads = 2 + R.nextBelow(O.MaxThreads - 1);
+  uint32_t Vars = 1 + R.nextBelow(O.MaxVars);
+  Builder B(Vars);
+  for (uint32_t T = 0; T < Threads; ++T) {
+    B.thread();
+    uint32_t Ops = 1 + R.nextBelow(O.MaxOpsPerThread);
+    for (uint32_t K = 0; K < Ops; ++K) {
+      uint32_t X = static_cast<uint32_t>(R.nextBelow(Vars));
+      if (R.nextChance(O.CasPermille, 1000)) {
+        B.u(X, static_cast<Value>(R.nextBelow(2)),
+            static_cast<Value>(1 + R.nextBelow(2)));
+      } else if (R.nextChance(1, 2)) {
+        RegId Reg = B.reg("r" + std::to_string(T) + std::to_string(K));
+        B.r(Reg, X);
+      } else {
+        B.w(X, static_cast<Value>(1 + R.nextBelow(2)));
       }
     }
-    Tests.push_back(
-        withOracle("rand" + std::to_string(I), std::move(B.P)));
   }
+  return std::move(B.P);
+}
+
+LitmusTest vbmc::litmus::generateFamilyTest(uint64_t Seed, uint64_t Index,
+                                            const FamilyOptions &O) {
+  return withOracle("rand" + std::to_string(Index),
+                    generateFamilyProgram(Seed, Index, O));
+}
+
+std::vector<LitmusTest>
+vbmc::litmus::generateFamily(uint64_t Seed, const FamilyOptions &O) {
+  std::vector<LitmusTest> Tests;
+  Tests.reserve(O.Count);
+  for (uint32_t I = 0; I < O.Count; ++I)
+    Tests.push_back(generateFamilyTest(Seed, I, O));
   return Tests;
 }
 

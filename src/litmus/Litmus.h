@@ -26,8 +26,9 @@
 #define VBMC_LITMUS_LITMUS_H
 
 #include "ir/Program.h"
-#include "support/Rng.h"
 #include "support/Timer.h"
+
+#include <cstdint>
 
 #include <set>
 #include <string>
@@ -56,9 +57,22 @@ struct FamilyOptions {
   uint32_t CasPermille = 80;
 };
 
-/// Deterministically generates \p O.Count random litmus tests with oracle
-/// outcomes.
-std::vector<LitmusTest> generateFamily(Rng &R, const FamilyOptions &O);
+/// The program of family member #\p Index of (\p Seed, \p O) — a pure
+/// function of those three values alone. The generator draws from
+/// Rng::derived(Seed, Index), never from a shared sequential stream, so
+/// any subset or shard of the family is bit-identical to the same indices
+/// of a full run (the farm's shard-invariance property) and a single
+/// failing index reproduces without regenerating its predecessors.
+ir::Program generateFamilyProgram(uint64_t Seed, uint64_t Index,
+                                  const FamilyOptions &O);
+
+/// Family member #\p Index with its oracle outcomes filled in (named
+/// "rand<Index>").
+LitmusTest generateFamilyTest(uint64_t Seed, uint64_t Index,
+                              const FamilyOptions &O);
+
+/// Deterministically generates family members 0..O.Count-1 of \p Seed.
+std::vector<LitmusTest> generateFamily(uint64_t Seed, const FamilyOptions &O);
 
 /// Builds the observer program asking whether \p Outcome (a full register
 /// valuation of Test.Prog) is reachable: UNSAFE iff reachable.

@@ -39,6 +39,12 @@
 ///   backend.hog-even           backend.hog-memory for even counts — one
 ///                              fixed-seed fuzz campaign then contains
 ///                              both death modes deterministically.
+///   farm.worker-crash          a farm shard worker (src/farm) raises
+///                              SIGSEGV when it reaches universe index 3,
+///                              so tests can prove the farm's split-and-
+///                              requeue descent converges on the killing
+///                              index and witnesses it while the run
+///                              completes.
 ///
 //===----------------------------------------------------------------------===//
 

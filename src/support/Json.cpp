@@ -178,6 +178,12 @@ JsonWriter &JsonWriter::null() {
   return *this;
 }
 
+JsonWriter &JsonWriter::raw(const std::string &Json) {
+  separate();
+  Out += Json;
+  return *this;
+}
+
 //===----------------------------------------------------------------------===//
 // Parser
 //===----------------------------------------------------------------------===//
@@ -403,4 +409,52 @@ private:
 bool vbmc::json::parse(const std::string &Text, Value &Out,
                        std::string *Err) {
   return Parser(Text, Err).run(Out);
+}
+
+namespace {
+
+void writeValue(JsonWriter &W, const Value &V) {
+  switch (V.kind()) {
+  case Value::Kind::Null:
+    W.null();
+    break;
+  case Value::Kind::Bool:
+    W.value(V.asBool());
+    break;
+  case Value::Kind::Number: {
+    // Integral numbers round-trip without the ".0" formatDouble appends;
+    // uint64 covers every counter the reports emit.
+    double N = V.asNumber();
+    if (N >= 0 && N == static_cast<double>(static_cast<uint64_t>(N)))
+      W.value(static_cast<uint64_t>(N));
+    else
+      W.value(N);
+    break;
+  }
+  case Value::Kind::String:
+    W.value(V.asString());
+    break;
+  case Value::Kind::Array:
+    W.beginArray();
+    for (const Value &E : V.array())
+      writeValue(W, E);
+    W.endArray();
+    break;
+  case Value::Kind::Object:
+    W.beginObject();
+    for (const auto &[K, E] : V.members()) {
+      W.key(K);
+      writeValue(W, E);
+    }
+    W.endObject();
+    break;
+  }
+}
+
+} // namespace
+
+std::string vbmc::json::format(const Value &V) {
+  JsonWriter W;
+  writeValue(W, V);
+  return W.str();
 }

@@ -63,6 +63,13 @@ public:
   JsonWriter &value(bool V);
   JsonWriter &null();
 
+  /// Emits \p Json verbatim in value position (punctuation still handled
+  /// by the writer). The caller vouches that the text is one well-formed
+  /// JSON value — the report merger uses this to embed a pre-rendered
+  /// section (e.g. the farm's deterministic results object) without
+  /// round-tripping it through the parser.
+  JsonWriter &raw(const std::string &Json);
+
   const std::string &str() const { return Out; }
 
 private:
@@ -110,6 +117,11 @@ public:
 /// whitespace) must be one JSON value. On failure returns false and, when
 /// \p Err is non-null, a one-line diagnostic with the byte offset.
 bool parse(const std::string &Text, Value &Out, std::string *Err = nullptr);
+
+/// Re-serializes a parsed \p V (member order preserved). parse(format(V))
+/// is the identity on the tree; the report merger uses this to carry
+/// records from input documents into the merged artifact verbatim.
+std::string format(const Value &V);
 
 } // namespace vbmc::json
 

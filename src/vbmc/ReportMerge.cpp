@@ -1,0 +1,268 @@
+//===- ReportMerge.cpp - cross-document report aggregation -------*- C++ -*-===//
+
+#include "vbmc/ReportMerge.h"
+
+#include <algorithm>
+
+using namespace vbmc;
+using namespace vbmc::report;
+
+namespace {
+
+/// Emits a summed number: integral sums render as integers (counters),
+/// everything else keeps its decimal (timer seconds). Mirrors what the
+/// original writers emitted so merging does not change a value's shape.
+void writeNumber(json::JsonWriter &W, double V) {
+  if (V >= 0 && V == static_cast<double>(static_cast<uint64_t>(V)))
+    W.value(static_cast<uint64_t>(V));
+  else
+    W.value(V);
+}
+
+const json::Value *member(const json::Value &Doc, const char *Key) {
+  return Doc.isObject() ? Doc.get(Key) : nullptr;
+}
+
+std::string stringOr(const json::Value &Doc, const char *Key,
+                     const std::string &Default = "") {
+  const json::Value *V = member(Doc, Key);
+  return V && V->isString() ? V->asString() : Default;
+}
+
+double numberOr(const json::Value &Doc, const char *Key, double Default = 0) {
+  const json::Value *V = member(Doc, Key);
+  return V && V->isNumber() ? V->asNumber() : Default;
+}
+
+} // namespace
+
+std::string vbmc::report::schemaOf(const json::Value &Doc) {
+  if (Doc.isArray())
+    return "chrome-trace";
+  if (const json::Value *S = member(Doc, "schema"); S && S->isString())
+    return S->asString();
+  return "";
+}
+
+void Merger::noteSource(const std::string &Path, const std::string &Schema) {
+  ++Inputs;
+  Sources.emplace_back(Path, Schema);
+}
+
+void Merger::setSection(const std::string &Key, std::string RawJson) {
+  for (auto &S : Sections)
+    if (S.first == Key) {
+      S.second = std::move(RawJson);
+      return;
+    }
+  Sections.emplace_back(Key, std::move(RawJson));
+}
+
+bool Merger::add(const std::string &Path, const json::Value &Doc,
+                 std::string *Err) {
+  std::string Schema = schemaOf(Doc);
+  bool Ok;
+  if (Schema == "vbmc-run-report/v1")
+    Ok = addRunReport(Path, Doc, Err);
+  else if (Schema == "vbmc-bench/v1")
+    Ok = addBench(Path, Doc, Err);
+  else if (Schema == "vbmc-fuzz/v1")
+    Ok = addFuzz(Path, Doc, Err);
+  else if (Schema == "chrome-trace")
+    Ok = addChromeTrace(Doc, Err);
+  else {
+    if (Err)
+      *Err = Schema.empty()
+                 ? "document has no schema member and is not a trace array"
+                 : "unsupported schema '" + Schema + "'";
+    return false;
+  }
+  if (Ok)
+    noteSource(Path, Schema);
+  return Ok;
+}
+
+bool Merger::addRunReport(const std::string &Path, const json::Value &Doc,
+                          std::string *Err) {
+  (void)Err;
+  ++RunCount;
+  std::string Verdict = stringOr(Doc, "verdict", "unknown");
+  ++RunVerdicts[Verdict];
+  std::string Failure = stringOr(Doc, "failure", "none");
+  ++RunFailures[Failure];
+
+  // The condensed per-run record: the fields a cross-commit diff reads.
+  // The full per-run stats fold into the summed pool below instead of
+  // being repeated here.
+  json::JsonWriter W;
+  W.beginObject();
+  W.key("source").value(Path);
+  W.key("file").value(stringOr(Doc, "file"));
+  W.key("verdict").value(Verdict);
+  W.key("mode_ran").value(stringOr(Doc, "mode_ran"));
+  W.key("backend").value(stringOr(Doc, "backend"));
+  W.key("k_used").value(static_cast<uint64_t>(numberOr(Doc, "k_used")));
+  W.key("seconds").value(numberOr(Doc, "seconds"));
+  W.key("failure").value(Failure);
+  W.endObject();
+  RunRecords.push_back(W.str());
+
+  if (const json::Value *Stats = member(Doc, "stats"); Stats)
+    for (const auto &[Key, V] : Stats->members())
+      if (V.isNumber())
+        RunStats[Key] += V.asNumber();
+  return true;
+}
+
+bool Merger::addBench(const std::string &Path, const json::Value &Doc,
+                      std::string *Err) {
+  const json::Value *Rows = member(Doc, "rows");
+  if (!Rows || !Rows->isArray()) {
+    if (Err)
+      *Err = "vbmc-bench/v1 document has no rows array";
+    return false;
+  }
+  std::string BenchName = stringOr(Doc, "bench");
+  for (const json::Value &Row : Rows->array()) {
+    ++BenchRows;
+    // Each row is carried verbatim, prefixed with where it came from.
+    json::JsonWriter W;
+    W.beginObject();
+    W.key("bench").value(BenchName);
+    W.key("source").value(Path);
+    if (Row.isObject())
+      for (const auto &[Key, V] : Row.members())
+        W.key(Key).raw(json::format(V));
+    W.endObject();
+    BenchRecords.push_back(W.str());
+  }
+  return true;
+}
+
+bool Merger::addFuzz(const std::string &Path, const json::Value &Doc,
+                     std::string *Err) {
+  (void)Path;
+  (void)Err;
+  ++FuzzCampaigns;
+  for (const char *Key : {"checked", "passed", "skipped", "timeouts"})
+    FuzzCounts[Key] += numberOr(Doc, Key);
+  if (const json::Value *SB = member(Doc, "sandbox"); SB)
+    for (const char *Key : {"crashes", "ooms", "timeouts", "retries"})
+      FuzzCounts[std::string("sandbox.") + Key] += numberOr(*SB, Key);
+  if (const json::Value *Ds = member(Doc, "discrepancies"); Ds && Ds->isArray())
+    for (const json::Value &D : Ds->array())
+      FuzzDiscrepancies.push_back(json::format(D));
+  return true;
+}
+
+bool Merger::addChromeTrace(const json::Value &Doc, std::string *Err) {
+  std::vector<TraceSpan> Spans;
+  double End = 0;
+  for (const json::Value &Ev : Doc.array()) {
+    // Only "X" (complete) events are spans; the exporter emits nothing
+    // else, but a hand-edited trace may.
+    if (stringOr(Ev, "ph") != "X")
+      continue;
+    TraceSpan S;
+    S.Name = stringOr(Ev, "name");
+    S.Category = stringOr(Ev, "cat");
+    S.StartMicros = numberOr(Ev, "ts");
+    S.DurationMicros = numberOr(Ev, "dur");
+    S.ThreadId = static_cast<uint32_t>(numberOr(Ev, "tid"));
+    End = std::max(End, S.StartMicros + S.DurationMicros);
+    Spans.push_back(std::move(S));
+  }
+  if (Spans.empty()) {
+    if (Err)
+      *Err = "trace array contains no complete ('X') events";
+    return false;
+  }
+  // Lane-shift: fresh thread ids, timeline appended after the previous
+  // input so the merged trace reads as one contiguous run.
+  Recorder.merge(Spans, TraceEndMicros);
+  TraceEndMicros += End;
+  return true;
+}
+
+std::string Merger::formatArtifact() const {
+  json::JsonWriter W;
+  W.beginObject();
+  W.key("schema").value("vbmc-report-merged/v1");
+  W.key("inputs").value(Inputs);
+  W.key("sources").beginArray();
+  for (const auto &[Path, Schema] : Sources) {
+    W.beginObject();
+    W.key("path").value(Path);
+    W.key("schema").value(Schema);
+    W.endObject();
+  }
+  W.endArray();
+
+  if (RunCount) {
+    W.key("runs").beginObject();
+    W.key("count").value(RunCount);
+    W.key("verdicts").beginObject();
+    for (const auto &[Verdict, N] : RunVerdicts)
+      W.key(Verdict).value(N);
+    W.endObject();
+    W.key("failures").beginObject();
+    for (const auto &[Failure, N] : RunFailures)
+      W.key(Failure).value(N);
+    W.endObject();
+    W.key("records").beginArray();
+    for (const std::string &R : RunRecords)
+      W.raw(R);
+    W.endArray();
+    W.key("stats").beginObject();
+    for (const auto &[Key, V] : RunStats) {
+      W.key(Key);
+      writeNumber(W, V);
+    }
+    W.endObject();
+    W.endObject();
+  }
+
+  if (BenchRows) {
+    W.key("bench").beginObject();
+    W.key("rows").value(BenchRows);
+    W.key("records").beginArray();
+    for (const std::string &R : BenchRecords)
+      W.raw(R);
+    W.endArray();
+    W.endObject();
+  }
+
+  if (FuzzCampaigns) {
+    W.key("fuzz").beginObject();
+    W.key("campaigns").value(FuzzCampaigns);
+    for (const char *Key : {"checked", "passed", "skipped", "timeouts"}) {
+      auto It = FuzzCounts.find(Key);
+      W.key(Key);
+      writeNumber(W, It == FuzzCounts.end() ? 0 : It->second);
+    }
+    W.key("sandbox").beginObject();
+    for (const char *Key : {"crashes", "ooms", "timeouts", "retries"}) {
+      auto It = FuzzCounts.find(std::string("sandbox.") + Key);
+      W.key(Key);
+      writeNumber(W, It == FuzzCounts.end() ? 0 : It->second);
+    }
+    W.endObject();
+    W.key("discrepancies").beginArray();
+    for (const std::string &D : FuzzDiscrepancies)
+      W.raw(D);
+    W.endArray();
+    W.endObject();
+  }
+
+  if (Recorder.spanCount()) {
+    W.key("trace").beginObject();
+    W.key("spans").value(static_cast<uint64_t>(Recorder.spanCount()));
+    W.key("dropped").value(Recorder.droppedSpans() + TraceDropped);
+    W.endObject();
+  }
+
+  for (const auto &[Key, Raw] : Sections)
+    W.key(Key).raw(Raw);
+  W.endObject();
+  return W.str();
+}

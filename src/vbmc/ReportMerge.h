@@ -1,0 +1,122 @@
+//===- ReportMerge.h - cross-document report aggregation ---------*- C++ -*-===//
+///
+/// \file
+/// The aggregation side of the observability layer: a Merger that folds
+/// any number of machine-readable VBMC artifacts — run reports
+/// (vbmc-run-report/v1), bench telemetry (vbmc-bench/v1), fuzz campaign
+/// summaries (vbmc-fuzz/v1) and Chrome trace exports — into one merged
+/// document (vbmc-report-merged/v1) plus, when trace inputs were present,
+/// one combined Chrome trace. This is what `vbmc-report merge` runs; the
+/// farm uses it to reassemble a sharded sweep's per-shard documents into a
+/// single CI artifact.
+///
+/// Merging is commutative where the data is (counters and timer sums) and
+/// order-preserving where it is not (records are concatenated in add()
+/// order, so callers that want determinism sort their input paths).
+/// Chrome trace inputs are replayed through a TraceRecorder via its
+/// merge() lane-shifting: each input's thread ids are remapped to fresh
+/// lanes and its timeline is offset past the previous input's end, so the
+/// combined trace shows the whole farm as one process tree.
+///
+/// Schema of the merged artifact (members only present when fed):
+///   schema     "vbmc-report-merged/v1"
+///   inputs     number of documents folded
+///   sources    [{path, schema}] in add() order
+///   runs       {count, verdicts{...}, failures{...}, records[...], stats}
+///   bench      {rows, records[...]} — rows annotated with their bench name
+///   fuzz       {campaigns, checked, passed, skipped, timeouts,
+///               sandbox{crashes,ooms,timeouts,retries}, discrepancies[...]}
+///   trace      {spans, dropped}
+///   <section>  any extra section installed via setSection() (the farm
+///              installs its deterministic results object under "farm")
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_VBMC_REPORTMERGE_H
+#define VBMC_VBMC_REPORTMERGE_H
+
+#include "support/Json.h"
+#include "support/Trace.h"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vbmc::report {
+
+/// Identifies which writer produced \p Doc: the value of its "schema"
+/// member, "chrome-trace" for a top-level array (the trace export has no
+/// envelope), or "" when the document carries no recognizable mark.
+std::string schemaOf(const json::Value &Doc);
+
+/// Folds VBMC JSON artifacts into one merged document. See file comment.
+class Merger {
+public:
+  Merger() { Recorder.enable(); }
+
+  /// Classifies \p Doc by schemaOf() and folds it. Returns false (with
+  /// \p Err set) for unknown or malformed documents — including
+  /// vbmc-farm-shard/v1, whose semantics belong to the farm library; the
+  /// vbmc-report tool routes those itself and registers them here via
+  /// noteSource(). \p Path is only recorded for the source list.
+  bool add(const std::string &Path, const json::Value &Doc, std::string *Err);
+
+  /// Records a source that was folded externally (e.g. a farm shard) so
+  /// the artifact's source list stays complete.
+  void noteSource(const std::string &Path, const std::string &Schema);
+
+  /// Installs a pre-rendered JSON value as a top-level member of the
+  /// artifact. The caller vouches the text is one well-formed JSON value.
+  /// Setting the same key twice replaces the value.
+  void setSection(const std::string &Key, std::string RawJson);
+
+  uint64_t inputCount() const { return Inputs; }
+  bool hasTrace() const { return Recorder.spanCount() > 0; }
+
+  /// The vbmc-report-merged/v1 document.
+  std::string formatArtifact() const;
+
+  /// The combined Chrome trace (only meaningful when hasTrace()).
+  std::string formatChromeTrace() const { return Recorder.formatChromeTrace(); }
+
+private:
+  bool addRunReport(const std::string &Path, const json::Value &Doc,
+                    std::string *Err);
+  bool addBench(const std::string &Path, const json::Value &Doc,
+                std::string *Err);
+  bool addFuzz(const std::string &Path, const json::Value &Doc,
+               std::string *Err);
+  bool addChromeTrace(const json::Value &Doc, std::string *Err);
+
+  uint64_t Inputs = 0;
+  std::vector<std::pair<std::string, std::string>> Sources;
+
+  // Run reports.
+  uint64_t RunCount = 0;
+  std::map<std::string, uint64_t> RunVerdicts;
+  std::map<std::string, uint64_t> RunFailures;
+  std::vector<std::string> RunRecords; ///< Pre-rendered condensed objects.
+  std::map<std::string, double> RunStats;
+
+  // Bench telemetry.
+  uint64_t BenchRows = 0;
+  std::vector<std::string> BenchRecords; ///< Rows + their bench name.
+
+  // Fuzz campaigns.
+  uint64_t FuzzCampaigns = 0;
+  std::map<std::string, double> FuzzCounts; ///< checked/passed/... sums.
+  std::vector<std::string> FuzzDiscrepancies; ///< Carried verbatim.
+
+  // Chrome traces, lane-shifted into one recorder.
+  TraceRecorder Recorder;
+  double TraceEndMicros = 0; ///< Max end across inputs: next input's offset.
+  uint64_t TraceDropped = 0;
+
+  // Extra sections (insertion order preserved).
+  std::vector<std::pair<std::string, std::string>> Sections;
+};
+
+} // namespace vbmc::report
+
+#endif // VBMC_VBMC_REPORTMERGE_H

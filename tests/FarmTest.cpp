@@ -1,0 +1,413 @@
+//===- FarmTest.cpp - the sharded litmus/fuzz farm ---------------*- C++ -*-===//
+//
+// The farm's contract, pinned:
+//
+//  * shard planning is a pure, covering, balanced function of
+//    (size, shards);
+//  * shard invariance: the merged deterministic results object is
+//    bit-identical across worker counts (the whole point of sharding a
+//    pure work universe);
+//  * crash recovery: a worker killed by one universe index is split,
+//    requeued and converged on — the index is witnessed and classified
+//    while every other index still runs;
+//  * the vbmc-farm-shard/v1 wire format round-trips;
+//  * `vbmc-report merge` over shard files reproduces `vbmc-farm --json`'s
+//    results object exactly (spawns the real tools).
+//
+// Like SandboxTest, the fork-heavy tests are deliberately NOT named
+// Engine*/Portfolio*/Deepening* so the TSan job never picks them up.
+//
+//===----------------------------------------------------------------------===//
+
+#include "farm/Farm.h"
+#include "support/FaultInjection.h"
+#include "support/Json.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace vbmc;
+using namespace vbmc::farm;
+
+namespace {
+
+struct ToolRun {
+  int ExitCode = -1;
+  std::string Output; ///< Combined stdout+stderr.
+};
+
+ToolRun runCommand(const std::string &Cmd) {
+  ToolRun R;
+  std::filesystem::path Out =
+      std::filesystem::temp_directory_path() /
+      ("vbmc_farm_test_" + std::to_string(getpid()) + ".out");
+  int Status = std::system((Cmd + " > " + Out.string() + " 2>&1").c_str());
+  if (WIFEXITED(Status))
+    R.ExitCode = WEXITSTATUS(Status);
+  std::ifstream In(Out);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  R.Output = Buf.str();
+  std::filesystem::remove(Out);
+  return R;
+}
+
+std::string readFile(const std::filesystem::path &P) {
+  std::ifstream In(P);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+json::Value parseOrFail(const std::string &Text) {
+  json::Value V;
+  std::string Err;
+  EXPECT_TRUE(json::parse(Text, V, &Err)) << Err;
+  return V;
+}
+
+/// A scratch directory removed at scope exit.
+struct TempDir {
+  std::filesystem::path Path;
+  explicit TempDir(const std::string &Tag) {
+    Path = std::filesystem::temp_directory_path() /
+           (Tag + "_" + std::to_string(getpid()));
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~TempDir() {
+    std::error_code Ec;
+    std::filesystem::remove_all(Path, Ec);
+  }
+};
+
+/// The deterministic results object for \p S (what must be worker-count
+/// invariant).
+std::string resultsString(const FarmSummary &S) {
+  json::JsonWriter W;
+  writeFarmResults(W, S);
+  return W.str();
+}
+
+/// A small litmus farm configuration used by most tests here.
+FarmOptions smallLitmusFarm(uint64_t Tests, uint32_t Workers,
+                            uint32_t Shards) {
+  FarmOptions O;
+  O.Universe = UniverseKind::Litmus;
+  O.Litmus.Tests = Tests;
+  O.Workers = Workers;
+  O.Shards = Shards;
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// Shard planning
+//===----------------------------------------------------------------------===//
+
+TEST(PlanShards, CoversTheUniverseExactlyOnceBalanced) {
+  for (uint64_t Size : {1u, 7u, 64u, 100u, 4015u}) {
+    for (uint32_t Shards : {1u, 2u, 3u, 16u, 61u}) {
+      auto Plan = planShards(Size, Shards);
+      ASSERT_FALSE(Plan.empty());
+      EXPECT_EQ(Plan.size(), std::min<uint64_t>(std::max(1u, Shards), Size));
+      uint64_t Expect = 0, MinSize = Size, MaxSize = 0;
+      for (const auto &[Lo, Hi] : Plan) {
+        EXPECT_EQ(Lo, Expect) << "shards must be contiguous";
+        ASSERT_LT(Lo, Hi);
+        MinSize = std::min(MinSize, Hi - Lo);
+        MaxSize = std::max(MaxSize, Hi - Lo);
+        Expect = Hi;
+      }
+      EXPECT_EQ(Expect, Size) << "shards must cover [0, size)";
+      EXPECT_LE(MaxSize - MinSize, 1u) << "shard sizes differ by at most 1";
+    }
+  }
+}
+
+TEST(PlanShards, EmptyUniverseYieldsNoShards) {
+  EXPECT_TRUE(planShards(0, 4).empty());
+}
+
+TEST(PlanShards, ZeroShardsIsClampedToOne) {
+  auto Plan = planShards(10, 0);
+  ASSERT_EQ(Plan.size(), 1u);
+  EXPECT_EQ(Plan[0], (std::pair<uint64_t, uint64_t>{0, 10}));
+}
+
+//===----------------------------------------------------------------------===//
+// Shard invariance
+//===----------------------------------------------------------------------===//
+
+TEST(FarmRun, ResultsAreBitIdenticalAcrossWorkerCounts) {
+  FarmSummary One = runFarm(smallLitmusFarm(120, 1, 6), nullptr);
+  FarmSummary Four = runFarm(smallLitmusFarm(120, 4, 6), nullptr);
+  EXPECT_EQ(One.UniverseSize, Four.UniverseSize);
+  EXPECT_EQ(One.Tests, Four.Tests);
+  EXPECT_EQ(One.Tests, One.UniverseSize) << "every index must run";
+  EXPECT_EQ(resultsString(One), resultsString(Four));
+  EXPECT_TRUE(One.clean()) << "the litmus universe has no real mismatches";
+}
+
+TEST(FarmRun, ResultsAreInvariantUnderShardCount) {
+  // Different shard geometries — same universe, same merged results.
+  FarmSummary Coarse = runFarm(smallLitmusFarm(90, 2, 2), nullptr);
+  FarmSummary Fine = runFarm(smallLitmusFarm(90, 2, 13), nullptr);
+  EXPECT_EQ(resultsString(Coarse), resultsString(Fine));
+}
+
+//===----------------------------------------------------------------------===//
+// Crash recovery
+//===----------------------------------------------------------------------===//
+
+TEST(FarmRun, WorkerDeathIsIsolatedWitnessedAndSurvived) {
+  fault::ScopedFault Crash("farm.worker-crash");
+  FarmOptions O = smallLitmusFarm(40, 2, 4);
+  FarmSummary S = runFarm(O, nullptr);
+
+  // Index 3 kills its worker; everything else must still have run.
+  EXPECT_EQ(S.WorkerFailures, 1u);
+  EXPECT_EQ(S.Tests, S.UniverseSize - 1);
+  ASSERT_EQ(S.Witnesses.size(), 1u);
+  EXPECT_EQ(S.Witnesses[0].Index, 3u);
+  EXPECT_EQ(S.Witnesses[0].Check, "crash");
+  EXPECT_EQ(S.Witnesses[0].Failure, "crash");
+  EXPECT_FALSE(S.Witnesses[0].ProgramText.empty())
+      << "the killing program must be materialized generator-only";
+  EXPECT_FALSE(S.clean());
+
+  // The binary descent leaves a trail: at least one split record, and a
+  // single-index "crash" record for index 3 itself.
+  uint64_t Splits = 0, CrashRecords = 0;
+  for (const ShardRecord &R : S.ShardRecords) {
+    if (R.Outcome == "split")
+      ++Splits;
+    if (R.Outcome == "crash") {
+      ++CrashRecords;
+      EXPECT_EQ(R.Lo, 3u);
+      EXPECT_EQ(R.Hi, 4u);
+    }
+  }
+  EXPECT_GE(Splits, 1u);
+  EXPECT_EQ(CrashRecords, 1u);
+}
+
+TEST(FarmRun, CrashWitnessIsWrittenToTheCorpusDir) {
+  fault::ScopedFault Crash("farm.worker-crash");
+  TempDir Corpus("vbmc_farm_corpus");
+  FarmOptions O = smallLitmusFarm(20, 2, 4);
+  O.CorpusDir = Corpus.Path.string();
+  FarmSummary S = runFarm(O, nullptr);
+  ASSERT_EQ(S.Witnesses.size(), 1u);
+  ASSERT_FALSE(S.Witnesses[0].Path.empty());
+  std::string Text = readFile(S.Witnesses[0].Path);
+  EXPECT_NE(Text.find("vbmc-farm witness"), std::string::npos);
+  EXPECT_NE(Text.find(S.Witnesses[0].ProgramText), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// The wire format
+//===----------------------------------------------------------------------===//
+
+TEST(ShardWire, FormatParseRoundTripsEveryField) {
+  ShardResult R;
+  R.Lo = 7;
+  R.Hi = 21;
+  R.Tests = 14;
+  R.Queries = 40;
+  R.Agreements = 39;
+  R.Inconclusive = 1;
+  R.Checked = 3;
+  R.Passed = 2;
+  R.Skipped = 1;
+  R.Timeouts = 2;
+  R.Mismatches.push_back({9, "rand9", "operational-vs-axiomatic", "d\"x\n"});
+  R.Witnesses.push_back(
+      {11, "vbmc-vs-oracle", "crash", "detail", 5, "var x;\n", ""});
+  R.StatCounts["farm.litmus.tests"] = 14;
+  R.StatSeconds["farm.shard"] = 1.25;
+  R.Seconds = 1.5;
+
+  FarmOptions O;
+  std::string Doc = formatShardResult(R, O);
+  json::Value V = parseOrFail(Doc);
+  ASSERT_TRUE(V.isObject());
+  EXPECT_EQ(V.get("schema")->asString(), "vbmc-farm-shard/v1");
+
+  ShardResult Back;
+  std::string Err;
+  ASSERT_TRUE(parseShardResult(V, Back, &Err)) << Err;
+  EXPECT_EQ(Back.Lo, R.Lo);
+  EXPECT_EQ(Back.Hi, R.Hi);
+  EXPECT_EQ(Back.Tests, R.Tests);
+  EXPECT_EQ(Back.Queries, R.Queries);
+  EXPECT_EQ(Back.Agreements, R.Agreements);
+  EXPECT_EQ(Back.Inconclusive, R.Inconclusive);
+  EXPECT_EQ(Back.Checked, R.Checked);
+  EXPECT_EQ(Back.Passed, R.Passed);
+  EXPECT_EQ(Back.Skipped, R.Skipped);
+  EXPECT_EQ(Back.Timeouts, R.Timeouts);
+  ASSERT_EQ(Back.Mismatches.size(), 1u);
+  EXPECT_EQ(Back.Mismatches[0].Index, 9u);
+  EXPECT_EQ(Back.Mismatches[0].Name, "rand9");
+  EXPECT_EQ(Back.Mismatches[0].Detail, "d\"x\n");
+  ASSERT_EQ(Back.Witnesses.size(), 1u);
+  EXPECT_EQ(Back.Witnesses[0].Index, 11u);
+  EXPECT_EQ(Back.Witnesses[0].ProgramText, "var x;\n");
+  EXPECT_EQ(Back.StatCounts.at("farm.litmus.tests"), 14u);
+  EXPECT_DOUBLE_EQ(Back.StatSeconds.at("farm.shard"), 1.25);
+  EXPECT_DOUBLE_EQ(Back.Seconds, 1.5);
+}
+
+TEST(ShardWire, RejectsWrongSchemaAndMissingFields) {
+  ShardResult R;
+  std::string Err;
+  EXPECT_FALSE(parseShardResult(parseOrFail("{\"schema\":\"nope\"}"), R, &Err));
+  EXPECT_NE(Err.find("schema"), std::string::npos);
+  EXPECT_FALSE(parseShardResult(
+      parseOrFail("{\"schema\":\"vbmc-farm-shard/v1\",\"lo\":0}"), R, &Err));
+}
+
+TEST(ShardWire, MergeIsCommutativeOnTallies) {
+  ShardResult A, B;
+  A.Tests = 3;
+  A.Queries = 5;
+  A.StatCounts["c"] = 1;
+  B.Tests = 4;
+  B.Queries = 6;
+  B.StatCounts["c"] = 2;
+  FarmSummary AB, BA;
+  mergeShardResult(AB, A);
+  mergeShardResult(AB, B);
+  mergeShardResult(BA, B);
+  mergeShardResult(BA, A);
+  EXPECT_EQ(AB.Tests, BA.Tests);
+  EXPECT_EQ(AB.Queries, BA.Queries);
+  EXPECT_EQ(AB.StatCounts.at("c"), BA.StatCounts.at("c"));
+}
+
+TEST(FinalizeSummary, DedupsWitnessesAcrossShardsByCheckAndProgram) {
+  FarmSummary S;
+  S.Witnesses.push_back({9, "ra-vs-sat", "", "later dup", 3, "prog A", ""});
+  S.Witnesses.push_back({4, "ra-vs-sat", "", "first", 3, "prog A", ""});
+  S.Witnesses.push_back({4, "other-check", "", "same text", 3, "prog A", ""});
+  finalizeSummary(S, "");
+  ASSERT_EQ(S.Witnesses.size(), 2u);
+  EXPECT_EQ(S.DedupedWitnesses, 1u);
+  // Lowest index survives; sorted by (index, check).
+  EXPECT_EQ(S.Witnesses[0].Index, 4u);
+  EXPECT_EQ(S.Witnesses[0].Check, "other-check");
+  EXPECT_EQ(S.Witnesses[1].Index, 4u);
+  EXPECT_EQ(S.Witnesses[1].Check, "ra-vs-sat");
+  EXPECT_EQ(S.Witnesses[1].Detail, "first");
+}
+
+//===----------------------------------------------------------------------===//
+// The tools: vbmc-farm --json / --shard-dir and vbmc-report merge
+//===----------------------------------------------------------------------===//
+
+TEST(FarmTools, MergeReassemblesShardFilesBitIdentically) {
+  TempDir Dir("vbmc_farm_tools");
+  std::string FarmJson = (Dir.Path / "farm.json").string();
+  std::string ShardDir = (Dir.Path / "shards").string();
+  std::string MergedJson = (Dir.Path / "merged.json").string();
+
+  ToolRun Farm = runCommand(std::string(VBMC_FARM_TOOL_PATH) +
+                            " --universe litmus --tests 64 --workers 2"
+                            " --shards 4 --quiet --json " +
+                            FarmJson + " --shard-dir " + ShardDir);
+  ASSERT_EQ(Farm.ExitCode, 0) << Farm.Output;
+
+  ToolRun Merge = runCommand(std::string(VBMC_REPORT_TOOL_PATH) +
+                             " merge --quiet --out " + MergedJson + " " +
+                             ShardDir + "/*.json");
+  ASSERT_EQ(Merge.ExitCode, 0) << Merge.Output;
+
+  json::Value FarmDoc = parseOrFail(readFile(FarmJson));
+  json::Value MergedDoc = parseOrFail(readFile(MergedJson));
+  ASSERT_TRUE(FarmDoc.isObject());
+  ASSERT_TRUE(MergedDoc.isObject());
+  EXPECT_EQ(MergedDoc.get("schema")->asString(), "vbmc-report-merged/v1");
+  EXPECT_EQ(MergedDoc.get("inputs")->asNumber(), 4);
+
+  // The merged "farm" section must reproduce the farm's own results
+  // object exactly — same sort, same dedup, same serialization.
+  const json::Value *FromFarm = FarmDoc.get("results");
+  const json::Value *FromMerge = MergedDoc.get("farm");
+  ASSERT_NE(FromFarm, nullptr);
+  ASSERT_NE(FromMerge, nullptr);
+  EXPECT_EQ(json::format(*FromFarm), json::format(*FromMerge));
+}
+
+TEST(FarmTools, MergePreservesCrashWitnessesFromShardDocs) {
+  // A witnessed worker death is parent-side knowledge: the killed child
+  // never reported. The descent writes a shard document for the failed
+  // single-index range, so reassembling --shard-dir loses nothing — the
+  // merged farm section still matches the sweep's results bit for bit.
+  TempDir Dir("vbmc_farm_crash_merge");
+  std::string FarmJson = (Dir.Path / "farm.json").string();
+  std::string ShardDir = (Dir.Path / "shards").string();
+  std::string MergedJson = (Dir.Path / "merged.json").string();
+
+  ToolRun Farm = runCommand(std::string(VBMC_FARM_TOOL_PATH) +
+                            " --universe litmus --tests 40 --workers 2"
+                            " --shards 4 --inject-fault farm.worker-crash"
+                            " --quiet --json " +
+                            FarmJson + " --shard-dir " + ShardDir);
+  ASSERT_EQ(Farm.ExitCode, 1) << Farm.Output; // The witness is a finding.
+
+  ToolRun Merge = runCommand(std::string(VBMC_REPORT_TOOL_PATH) +
+                             " merge --quiet --out " + MergedJson + " " +
+                             ShardDir + "/*.json");
+  ASSERT_EQ(Merge.ExitCode, 0) << Merge.Output;
+
+  json::Value FarmDoc = parseOrFail(readFile(FarmJson));
+  json::Value MergedDoc = parseOrFail(readFile(MergedJson));
+  const json::Value *FromFarm = FarmDoc.get("results");
+  const json::Value *FromMerge = MergedDoc.get("farm");
+  ASSERT_NE(FromFarm, nullptr);
+  ASSERT_NE(FromMerge, nullptr);
+  const json::Value *Wits = FromMerge->get("witnesses");
+  ASSERT_NE(Wits, nullptr);
+  ASSERT_EQ(Wits->array().size(), 1u);
+  const json::Value *Check = Wits->array()[0].get("check");
+  ASSERT_NE(Check, nullptr);
+  EXPECT_EQ(Check->asString(), "crash");
+  const json::Value *Clean = FromMerge->get("clean");
+  ASSERT_NE(Clean, nullptr);
+  EXPECT_FALSE(Clean->asBool());
+  EXPECT_EQ(json::format(*FromFarm), json::format(*FromMerge));
+}
+
+TEST(FarmTools, SingleIndexReproPrintsTheProgram) {
+  ToolRun R = runCommand(std::string(VBMC_FARM_TOOL_PATH) +
+                         " --index 5 --tests 50");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("universe index 5"), std::string::npos);
+  EXPECT_NE(R.Output.find("proc p0"), std::string::npos);
+  EXPECT_NE(R.Output.find("vbmc-farm-shard/v1"), std::string::npos);
+}
+
+TEST(FarmTools, UnknownFlagIsRejected) {
+  ToolRun R = runCommand(std::string(VBMC_FARM_TOOL_PATH) + " --testss 10");
+  EXPECT_EQ(R.ExitCode, 2);
+  ToolRun M = runCommand(std::string(VBMC_REPORT_TOOL_PATH) + " merge --outt x");
+  EXPECT_EQ(M.ExitCode, 2);
+}
+
+TEST(FarmTools, MergeRejectsUnknownDocuments) {
+  TempDir Dir("vbmc_farm_badmerge");
+  std::filesystem::path Bad = Dir.Path / "bad.json";
+  std::ofstream(Bad) << "{\"schema\":\"who-knows/v9\"}\n";
+  ToolRun R = runCommand(std::string(VBMC_REPORT_TOOL_PATH) +
+                         " merge --quiet --out - " + Bad.string());
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Output.find("unsupported schema"), std::string::npos);
+}
+
+} // namespace

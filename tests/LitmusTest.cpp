@@ -9,6 +9,7 @@
 
 #include "axiomatic/ExecutionGraph.h"
 #include "ir/Parser.h"
+#include "ir/Printer.h"
 #include "litmus/Litmus.h"
 #include "ra/RaExplorer.h"
 
@@ -130,14 +131,36 @@ TEST(LitmusSweepTest, OperationalMatchesAxiomaticOnClassics) {
 }
 
 TEST(LitmusSweepTest, OperationalMatchesAxiomaticOnRandomFamily) {
-  Rng R(2026);
   FamilyOptions FO;
   FO.Count = 60;
-  auto Tests = generateFamily(R, FO);
+  auto Tests = generateFamily(2026, FO);
   SweepResult SR = runOperationalSweep(Tests);
   EXPECT_TRUE(SR.allAgree())
       << SR.Mismatches.size() << " mismatches, first: "
       << SR.Mismatches.front();
+}
+
+TEST(LitmusSweepTest, FamilyMemberDependsOnlyOnItsIndex) {
+  // The shard-invariance contract of the farm: member #i of a family is a
+  // pure function of (seed, i, options) — generating it alone, or as part
+  // of any subset, yields the same program and oracle outcomes as the
+  // full sequential run. A sequentially-threaded Rng would break this:
+  // member #17 would depend on how many draws members 0..16 consumed.
+  FamilyOptions FO;
+  FO.Count = 30;
+  auto Full = generateFamily(2026, FO);
+  ASSERT_EQ(Full.size(), 30u);
+  for (uint64_t I : {0u, 5u, 17u, 29u}) {
+    LitmusTest Solo = generateFamilyTest(2026, I, FO);
+    EXPECT_EQ(Solo.Name, Full[I].Name);
+    EXPECT_EQ(ir::printProgram(Solo.Prog), ir::printProgram(Full[I].Prog))
+        << "member " << I << " diverges when generated in isolation";
+    EXPECT_EQ(Solo.Expected, Full[I].Expected);
+    EXPECT_EQ(ir::printProgram(generateFamilyProgram(2026, I, FO)),
+              ir::printProgram(Solo.Prog));
+  }
+  // Different indices produce different streams (no accidental aliasing).
+  EXPECT_NE(ir::printProgram(Full[0].Prog), ir::printProgram(Full[1].Prog));
 }
 
 TEST(LitmusSweepTest, ObserverProgramReflectsOutcome) {
