@@ -1,0 +1,183 @@
+//===- serve_throughput.cpp - warm daemon vs cold process -----------------===//
+//
+// The serving layer's reason to exist, measured: request throughput of a
+// warm vbmc-serve worker pool (persistent processes, the Engine's LRU
+// encoding cache hot across requests) against the cold-process baseline
+// (one fresh sandboxed process and one fresh encoding per request — what
+// a shell loop over `vbmc --isolate` does). Same request mix on both
+// sides: the litmus classics as incremental-mode checks, round-robin.
+//
+//   --requests N   requests per side (default 30)
+//   --budget S     per-request budget in seconds (default 10)
+//   --json FILE    vbmc-bench/v1 telemetry
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "ir/Parser.h"
+#include "serve/Client.h"
+#include "serve/Serve.h"
+#include "support/Timer.h"
+#include "vbmc/Isolation.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+using namespace vbmc;
+
+namespace {
+
+struct NamedProgram {
+  const char *Name;
+  const char *Text;
+};
+
+// Message passing, its stale-read variant, and store buffering: small,
+// fast to solve, distinct encodings — the cache must hold all three for
+// the warm side to stop re-encoding after the first round.
+const NamedProgram Programs[] = {
+    {"mp",
+     "var x f;\n"
+     "proc p0 { x = 1; f = 1; }\n"
+     "proc p1 { reg a1 b1; a1 = f; b1 = x;\n"
+     "  assert(!((a1 == 1) && (b1 == 0))); }\n"},
+    {"mp_stale",
+     "var x f;\n"
+     "proc p0 { x = 1; f = 1; }\n"
+     "proc p1 { reg a1 b1; b1 = x; a1 = f;\n"
+     "  assert(!((a1 == 1) && (b1 == 0))); }\n"},
+    {"sb",
+     "var x y;\n"
+     "proc p0 { reg a0; x = 1; a0 = y; assert(!(a0 == 2)); }\n"
+     "proc p1 { reg a1; y = 1; a1 = x; assert(!(a1 == 2)); }\n"},
+};
+constexpr size_t NumPrograms = sizeof(Programs) / sizeof(Programs[0]);
+
+driver::CheckRequest benchRequest() {
+  driver::CheckRequest Req;
+  Req.Mode = driver::EngineMode::Incremental;
+  Req.MaxK = 2;
+  Req.Opts.Backend = driver::BackendKind::Sat;
+  return Req;
+}
+
+/// One fresh sandboxed process + fresh Engine per request.
+double runColdSide(uint64_t Requests, double Budget) {
+  std::vector<ir::Program> Parsed;
+  for (const NamedProgram &P : Programs)
+    Parsed.push_back(*ir::parseProgram(P.Text));
+  driver::CheckRequest Req = benchRequest();
+  Timer Watch;
+  for (uint64_t I = 0; I < Requests; ++I) {
+    CheckContext Ctx(Budget);
+    driver::CheckReport R =
+        driver::runIsolatedRequest(Parsed[I % NumPrograms], Req, Ctx);
+    if (R.failed())
+      std::fprintf(stderr, "cold request %llu failed: %s\n",
+                   static_cast<unsigned long long>(I), R.Note.c_str());
+  }
+  return Watch.elapsedSeconds();
+}
+
+/// One persistent worker serving the whole mix over the daemon protocol.
+double runWarmSide(uint64_t Requests, double Budget, bool &Ok) {
+  Ok = false;
+  serve::ServerOptions O;
+  O.SocketPath = (std::filesystem::temp_directory_path() /
+                  ("serve-bench." + std::to_string(::getpid()) + ".sock"))
+                     .string();
+  O.Workers = 1; // One Engine, so every program stays cache-resident.
+  O.QueueCap = Requests + 8;
+  O.DefaultDeadlineSeconds = Budget;
+  serve::Server S(O);
+  std::string Err;
+  if (!S.start(&Err)) {
+    std::fprintf(stderr, "serve start failed: %s\n", Err.c_str());
+    return 0;
+  }
+  std::thread Waiter([&] { S.wait(); });
+
+  serve::Client C;
+  if (!C.connect(O.SocketPath, 10, &Err)) {
+    std::fprintf(stderr, "connect failed: %s\n", Err.c_str());
+    S.requestDrain("bench-error");
+    Waiter.join();
+    return 0;
+  }
+  Timer Watch;
+  serve::Request R;
+  R.Check = benchRequest();
+  for (uint64_t I = 0; I < Requests; ++I) {
+    const NamedProgram &P = Programs[I % NumPrograms];
+    R.Id = std::string(P.Name) + "#" + std::to_string(I);
+    R.Program = P.Text;
+    if (!C.send(R)) {
+      std::fprintf(stderr, "send failed\n");
+      break;
+    }
+  }
+  uint64_t Answered = 0;
+  serve::Response Resp;
+  while (Answered < Requests && C.receive(Resp, Budget * 4 + 30, &Err))
+    if (Resp.Status == "ok")
+      ++Answered;
+  double Seconds = Watch.elapsedSeconds();
+  C.close();
+  S.requestDrain("bench-done");
+  Waiter.join();
+  if (Answered != Requests) {
+    std::fprintf(stderr, "warm side answered %llu/%llu (%s)\n",
+                 static_cast<unsigned long long>(Answered),
+                 static_cast<unsigned long long>(Requests), Err.c_str());
+    return 0;
+  }
+  Ok = true;
+  return Seconds;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bench::BenchConfig Cfg = bench::BenchConfig::fromArgs(Argc, Argv);
+  CommandLine CL = CommandLine::parse(Argc, Argv);
+  uint64_t Requests = static_cast<uint64_t>(CL.getInt("requests", 30));
+
+  std::printf("== serve_throughput ==\n");
+  std::printf("request mix: %zu litmus classics round-robin, incremental "
+              "mode, %llu requests per side\n\n",
+              NumPrograms, static_cast<unsigned long long>(Requests));
+
+  double ColdSeconds = runColdSide(Requests, Cfg.VbmcBudget);
+  bool WarmOk = false;
+  double WarmSeconds = runWarmSide(Requests, Cfg.VbmcBudget, WarmOk);
+
+  double ColdRps = ColdSeconds > 0 ? double(Requests) / ColdSeconds : 0;
+  double WarmRps =
+      WarmOk && WarmSeconds > 0 ? double(Requests) / WarmSeconds : 0;
+  std::printf("cold-process: %6.2f req/s  (%.2fs total)\n", ColdRps,
+              ColdSeconds);
+  std::printf("serve-warm:   %6.2f req/s  (%.2fs total)\n", WarmRps,
+              WarmSeconds);
+  if (ColdRps > 0 && WarmRps > 0)
+    std::printf("speedup:      %6.2fx\n", WarmRps / ColdRps);
+
+  bench::BenchRecord Cold;
+  Cold.Program = "litmus-mix";
+  Cold.Tool = "cold-process";
+  Cold.Verdict = "safe";
+  Cold.K = 2;
+  Cold.Seconds = ColdSeconds;
+  Cfg.record(Cold);
+  bench::BenchRecord Warm;
+  Warm.Program = "litmus-mix";
+  Warm.Tool = "serve-warm";
+  Warm.Verdict = WarmOk ? "safe" : "unknown";
+  Warm.K = 2;
+  Warm.Seconds = WarmSeconds;
+  Warm.TimedOut = !WarmOk;
+  Cfg.record(Warm);
+  Cfg.writeJson("serve_throughput");
+  return WarmOk ? 0 : 1;
+}

@@ -6,6 +6,7 @@
 #include "support/CheckContext.h"
 #include "support/FaultInjection.h"
 #include "support/Sandbox.h"
+#include "support/Signals.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -512,9 +513,15 @@ void workerLoop(const FarmOptions &O, const Deadline &FarmDeadline,
     Rec.Lo = Lo;
     Rec.Hi = Hi;
 
-    if (FarmDeadline.expired()) {
+    // A delivered SIGTERM/SIGINT drains exactly like an exhausted budget:
+    // in-flight shards finish, pending shards are recorded as skipped, and
+    // the merged artifact is written through the normal exit path.
+    if (FarmDeadline.expired() || signals::drainRequested()) {
       Rec.Outcome = "skipped";
-      Rec.Detail = "farm budget exhausted before the shard ran";
+      Rec.Detail = signals::drainRequested()
+                       ? "farm drained on a termination signal before the "
+                         "shard ran"
+                       : "farm budget exhausted before the shard ran";
       std::lock_guard<std::mutex> Lock(St.M);
       St.Summary.ShardRecords.push_back(std::move(Rec));
       St.Stats.addCount("farm.shards.skipped");

@@ -22,6 +22,7 @@
 #include "ir/Printer.h"
 #include "support/Cli.h"
 #include "support/FaultInjection.h"
+#include "support/Signals.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -161,6 +162,11 @@ int runMain(int Argc, char **Argv) {
   FarmOptions O = optionsFromArgs(CL, Ok);
   if (!Ok)
     return 2;
+
+  // SIGTERM/SIGINT drain instead of killing the farm mid-write: pending
+  // shards are skipped, in-flight shards finish, and the merged JSON
+  // artifact still goes out through the normal exit path.
+  signals::installDrainHandlers();
 
   if (CL.hasFlag("index"))
     return runSingleIndex(O, static_cast<uint64_t>(CL.getInt("index", 0)));

@@ -28,6 +28,7 @@
 #include "support/Cli.h"
 #include "support/FaultInjection.h"
 #include "support/Json.h"
+#include "support/Signals.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -192,6 +193,10 @@ int runMain(int Argc, char **Argv) {
                  "vbmc-fuzz: need --count or a positive --budget\n");
     return 2;
   }
+
+  // SIGTERM/SIGINT stop the campaign at the next program boundary and
+  // still write the --json summary and corpus files; never die mid-write.
+  signals::installDrainHandlers();
 
   fuzz::FuzzCampaignResult R = fuzz::runFuzzCampaign(O, Log);
   if (Quiet)

@@ -5,6 +5,7 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "support/Sandbox.h"
+#include "support/Signals.h"
 #include "vbmc/Vbmc.h"
 
 #include <algorithm>
@@ -294,6 +295,10 @@ FuzzCampaignResult vbmc::fuzz::runFuzzCampaign(const FuzzOptions &O,
     if (O.Count && I >= O.StartIndex + O.Count)
       break;
     if (Campaign.interrupted())
+      break;
+    // SIGTERM/SIGINT: stop generating, keep everything already found, and
+    // let the campaign exit through the normal artifact-writing path.
+    if (signals::drainRequested())
       break;
     if (!O.Count && O.BudgetSeconds <= 0)
       break; // No stopping criterion at all; refuse to loop forever.

@@ -1,0 +1,44 @@
+//===- Client.cpp - talking to a running vbmc-serve daemon ----------------===//
+
+#include "serve/Client.h"
+
+namespace vbmc::serve {
+
+bool Client::connect(const std::string &SocketPath, double TimeoutSeconds,
+                     std::string *Err) {
+  sockets::Fd F = sockets::connectUnix(SocketPath, TimeoutSeconds, Err);
+  if (!F.valid())
+    return false;
+  Chan = sockets::LineChannel(std::move(F));
+  return true;
+}
+
+bool Client::send(const Request &R) {
+  return Chan.writeLine(formatRequestLine(R));
+}
+
+bool Client::sendLine(const std::string &Line) {
+  return Chan.writeLine(Line);
+}
+
+bool Client::finishSending() { return Chan.shutdownWrite(); }
+
+bool Client::receive(Response &Out, double TimeoutSeconds, std::string *Err) {
+  std::string Line;
+  // Responses are run reports plus framing; allow generous lines.
+  sockets::ReadStatus St = Chan.readLine(Line, 16u << 20, TimeoutSeconds);
+  if (St != sockets::ReadStatus::Line) {
+    if (Err)
+      *Err = sockets::readStatusName(St);
+    return false;
+  }
+  std::string PErr;
+  if (!parseResponseLine(Line, Out, PErr)) {
+    if (Err)
+      *Err = "malformed response: " + PErr;
+    return false;
+  }
+  return true;
+}
+
+} // namespace vbmc::serve

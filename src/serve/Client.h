@@ -1,0 +1,53 @@
+//===- Client.h - talking to a running vbmc-serve daemon ---------*- C++ -*-===//
+///
+/// \file
+/// A thin client for the vbmc-serve line protocol: connect, send request
+/// lines, receive response lines. Backs `vbmc-serve --connect` and the
+/// serve tests/benches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_SERVE_CLIENT_H
+#define VBMC_SERVE_CLIENT_H
+
+#include "serve/Serve.h"
+#include "support/Socket.h"
+
+#include <string>
+
+namespace vbmc::serve {
+
+class Client {
+public:
+  Client() = default;
+
+  /// Connects to the daemon at \p SocketPath, waiting up to
+  /// \p TimeoutSeconds for it to come up. False with \p Err on failure.
+  bool connect(const std::string &SocketPath, double TimeoutSeconds,
+               std::string *Err);
+
+  bool connected() const { return Chan.valid(); }
+
+  /// Sends one request. False on a write error (daemon gone).
+  bool send(const Request &R);
+
+  /// Sends a raw line verbatim (tests exercising malformed input).
+  bool sendLine(const std::string &Line);
+
+  /// Half-closes the write side: "no more requests", keep reading.
+  bool finishSending();
+
+  /// Receives the next response line, waiting up to \p TimeoutSeconds
+  /// (<= 0 = forever). False on EOF/timeout/error or a malformed line,
+  /// with the reason in \p Err.
+  bool receive(Response &Out, double TimeoutSeconds, std::string *Err);
+
+  void close() { Chan.close(); }
+
+private:
+  sockets::LineChannel Chan;
+};
+
+} // namespace vbmc::serve
+
+#endif // VBMC_SERVE_CLIENT_H

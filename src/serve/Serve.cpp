@@ -1,0 +1,1079 @@
+//===- Serve.cpp - the crash-tolerant verification daemon -----------------===//
+//
+// Process shape: the daemon parent never runs a check itself. It forks
+// one persistent worker process per pool slot at startup; each worker
+// owns a driver::Engine whose LRU encoding cache warms across the
+// requests that worker serves, and talks to its slot thread over an
+// anonymous socketpair speaking the same newline-delimited JSON as the
+// client protocol. The parent supervises: it enforces per-request
+// deadlines with SIGKILL, classifies worker death from the wait status
+// (mirroring support/Sandbox.h), retries the victim request once at
+// halved bounds after an exponential backoff, and respawns the worker —
+// unless the slot keeps dying without serving anything, in which case a
+// circuit breaker disables it instead of fork-bombing the host.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Serve.h"
+
+#include "ir/Parser.h"
+#include "support/FaultInjection.h"
+#include "support/Json.h"
+#include "support/Signals.h"
+#include "support/Socket.h"
+#include "vbmc/Report.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VBMC_SERVE_POSIX 1
+#include <dirent.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define VBMC_SERVE_POSIX 0
+#endif
+
+using namespace vbmc;
+using namespace vbmc::serve;
+
+//===----------------------------------------------------------------------===//
+// Wire format
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const std::set<std::string> &knownRequestKeys() {
+  static const std::set<std::string> Keys = {
+      "schema",        "id",          "program",       "mode",
+      "backend",       "k",           "l",             "max_k",
+      "threads",       "cas_allowance", "mem_limit_mb", "max_states",
+      "deadline_seconds", "priority"};
+  return Keys;
+}
+
+bool readUint(const json::Value &V, const char *Key, uint64_t Max,
+              uint64_t &Out, std::string &Err) {
+  if (!V.isNumber() || V.asNumber() < 0 ||
+      V.asNumber() != static_cast<double>(static_cast<uint64_t>(V.asNumber())) ||
+      static_cast<uint64_t>(V.asNumber()) > Max) {
+    Err = std::string("field '") + Key +
+          "' must be a non-negative integer <= " + std::to_string(Max);
+    return false;
+  }
+  Out = static_cast<uint64_t>(V.asNumber());
+  return true;
+}
+
+} // namespace
+
+std::string vbmc::serve::formatRequestLine(const Request &R) {
+  json::JsonWriter W;
+  W.beginObject();
+  W.key("schema").value(RequestSchema);
+  W.key("id").value(R.Id);
+  W.key("mode").value(driver::engineModeName(R.Check.Mode));
+  W.key("backend").value(
+      R.Check.Opts.Backend == driver::BackendKind::Sat ? "sat" : "explicit");
+  W.key("k").value(R.Check.Opts.K);
+  W.key("l").value(R.Check.Opts.L);
+  W.key("max_k").value(R.Check.MaxK);
+  W.key("threads").value(R.Check.Threads);
+  W.key("cas_allowance").value(R.Check.Opts.CasAllowance);
+  W.key("mem_limit_mb").value(R.Check.Opts.MemLimitBytes >> 20);
+  W.key("max_states").value(R.Check.Opts.MaxStates);
+  W.key("deadline_seconds").value(R.DeadlineSeconds);
+  W.key("priority").value(static_cast<int64_t>(R.Priority));
+  W.key("program").value(R.Program);
+  W.endObject();
+  return W.str();
+}
+
+bool vbmc::serve::parseRequestLine(const std::string &Line, Request &R,
+                                   std::string &Err, std::string *IdOut) {
+  json::Value V;
+  std::string JErr;
+  if (!json::parse(Line, V, &JErr)) {
+    Err = "bad JSON: " + JErr;
+    return false;
+  }
+  if (!V.isObject()) {
+    Err = "request must be a JSON object";
+    return false;
+  }
+  if (const json::Value *Id = V.get("id"); Id && Id->isString() && IdOut)
+    *IdOut = Id->asString();
+  // Reject unknown keys outright: a typoed "deadine_seconds" silently
+  // ignored would run the request with no deadline at all.
+  for (const auto &KV : V.members())
+    if (!knownRequestKeys().count(KV.first)) {
+      Err = "unknown key '" + KV.first + "'";
+      return false;
+    }
+
+  Request Out;
+  Out.Check.Mode = driver::EngineMode::Incremental;
+  Out.Check.Opts.Backend = driver::BackendKind::Sat;
+
+  if (const json::Value *S = V.get("schema")) {
+    if (!S->isString() || S->asString() != RequestSchema) {
+      Err = std::string("schema must be \"") + RequestSchema + "\"";
+      return false;
+    }
+  }
+  const json::Value *Id = V.get("id");
+  if (!Id || !Id->isString() || Id->asString().empty()) {
+    Err = "missing or empty 'id' (required string)";
+    return false;
+  }
+  Out.Id = Id->asString();
+  const json::Value *Prog = V.get("program");
+  if (!Prog || !Prog->isString() || Prog->asString().empty()) {
+    Err = "missing or empty 'program' (required string)";
+    return false;
+  }
+  Out.Program = Prog->asString();
+
+  if (const json::Value *M = V.get("mode")) {
+    if (!M->isString() ||
+        !driver::engineModeFromName(M->asString(), Out.Check.Mode)) {
+      Err = "unknown mode '" + (M->isString() ? M->asString() : "") + "'";
+      return false;
+    }
+  }
+  if (const json::Value *B = V.get("backend")) {
+    if (!B->isString() ||
+        (B->asString() != "sat" && B->asString() != "explicit")) {
+      Err = "backend must be \"explicit\" or \"sat\"";
+      return false;
+    }
+    Out.Check.Opts.Backend = B->asString() == "sat"
+                                 ? driver::BackendKind::Sat
+                                 : driver::BackendKind::Explicit;
+  }
+
+  uint64_t N = 0;
+  if (const json::Value *F = V.get("k")) {
+    if (!readUint(*F, "k", 64, N, Err))
+      return false;
+    Out.Check.Opts.K = static_cast<uint32_t>(N);
+  }
+  if (const json::Value *F = V.get("l")) {
+    if (!readUint(*F, "l", 64, N, Err))
+      return false;
+    Out.Check.Opts.L = static_cast<uint32_t>(N);
+  }
+  if (const json::Value *F = V.get("max_k")) {
+    if (!readUint(*F, "max_k", 64, N, Err))
+      return false;
+    Out.Check.MaxK = static_cast<uint32_t>(N);
+  }
+  if (const json::Value *F = V.get("threads")) {
+    if (!readUint(*F, "threads", 64, N, Err))
+      return false;
+    Out.Check.Threads = static_cast<uint32_t>(N ? N : 1);
+  }
+  if (const json::Value *F = V.get("cas_allowance")) {
+    if (!readUint(*F, "cas_allowance", 1024, N, Err))
+      return false;
+    Out.Check.Opts.CasAllowance = static_cast<uint32_t>(N);
+  }
+  if (const json::Value *F = V.get("mem_limit_mb")) {
+    if (!readUint(*F, "mem_limit_mb", 1u << 20, N, Err))
+      return false;
+    Out.Check.Opts.MemLimitBytes = N << 20;
+  }
+  if (const json::Value *F = V.get("max_states")) {
+    if (!readUint(*F, "max_states", std::numeric_limits<int64_t>::max(), N,
+                  Err))
+      return false;
+    Out.Check.Opts.MaxStates = N;
+  }
+  if (const json::Value *F = V.get("deadline_seconds")) {
+    if (!F->isNumber() || F->asNumber() < 0) {
+      Err = "deadline_seconds must be a non-negative number";
+      return false;
+    }
+    Out.DeadlineSeconds = F->asNumber();
+  }
+  if (const json::Value *F = V.get("priority")) {
+    if (!F->isNumber()) {
+      Err = "priority must be a number";
+      return false;
+    }
+    Out.Priority = static_cast<int64_t>(F->asNumber());
+  }
+  R = std::move(Out);
+  return true;
+}
+
+bool vbmc::serve::parseResponseLine(const std::string &Line, Response &Out,
+                                    std::string &Err) {
+  json::Value V;
+  if (!json::parse(Line, V, &Err))
+    return false;
+  if (!V.isObject()) {
+    Err = "response must be a JSON object";
+    return false;
+  }
+  Response R;
+  if (const json::Value *F = V.get("id"); F && F->isString())
+    R.Id = F->asString();
+  if (const json::Value *F = V.get("status"); F && F->isString())
+    R.Status = F->asString();
+  if (R.Status.empty()) {
+    Err = "response carries no status";
+    return false;
+  }
+  if (const json::Value *F = V.get("error"); F && F->isString())
+    R.Error = F->asString();
+  if (const json::Value *F = V.get("retry_after_seconds");
+      F && F->isNumber())
+    R.RetryAfterSeconds = F->asNumber();
+  if (const json::Value *F = V.get("retries"); F && F->isNumber())
+    R.Retries = static_cast<uint64_t>(F->asNumber());
+  if (const json::Value *Rep = V.get("report"); Rep && Rep->isObject()) {
+    R.ReportJson = json::format(*Rep);
+    if (const json::Value *F = Rep->get("verdict"); F && F->isString())
+      R.Verdict = F->asString();
+    if (const json::Value *F = Rep->get("failure"); F && F->isString())
+      R.Failure = F->asString();
+  }
+  Out = std::move(R);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Server
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string formatResponseLine(const std::string &Id,
+                               const std::string &Status,
+                               const std::string &Error, double RetryAfter,
+                               uint64_t Retries,
+                               const std::string *ReportJson) {
+  json::JsonWriter W;
+  W.beginObject();
+  W.key("schema").value(ResponseSchema);
+  W.key("id").value(Id);
+  W.key("status").value(Status);
+  if (!Error.empty())
+    W.key("error").value(Error);
+  if (Status == "shed")
+    W.key("retry_after_seconds").value(RetryAfter);
+  if (ReportJson) {
+    W.key("retries").value(Retries);
+    W.key("report").raw(*ReportJson);
+  }
+  W.endObject();
+  return W.str();
+}
+
+void sleepSeconds(double S) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(S));
+}
+
+} // namespace
+
+#if VBMC_SERVE_POSIX
+
+namespace {
+
+/// The "died mid-write never happens" invariant does not extend to
+/// inherited descriptors: a forked worker holding copies of the listener
+/// and of client connections would keep those sockets alive after the
+/// parent closes them, so clients would never see EOF. Close everything
+/// except the worker's own channel.
+void closeInheritedFds(int Keep) {
+  std::vector<int> ToClose;
+  if (DIR *D = opendir("/proc/self/fd")) {
+    while (dirent *E = readdir(D)) {
+      int F = std::atoi(E->d_name);
+      if (F > 2 && F != Keep && F != dirfd(D) &&
+          E->d_name[0] >= '0' && E->d_name[0] <= '9')
+        ToClose.push_back(F);
+    }
+    closedir(D);
+  } else {
+    for (int F = 3; F < 4096; ++F)
+      if (F != Keep)
+        ToClose.push_back(F);
+  }
+  for (int F : ToClose)
+    ::close(F);
+}
+
+/// serve.hog-memory: allocate until bad_alloc, capped so an un-limited
+/// host is never eaten (mirrors the engine's backend.hog-memory fault).
+void hogMemoryFault() {
+  constexpr size_t Chunk = 1 << 20;
+  constexpr size_t Cap = 256u << 20;
+  std::vector<std::unique_ptr<char[]>> Hog;
+  for (size_t Total = 0;; Total += Chunk) {
+    if (Total >= Cap)
+      throw std::bad_alloc();
+    Hog.push_back(std::make_unique<char[]>(Chunk));
+    std::memset(Hog.back().get(), 0xAB, Chunk);
+  }
+}
+
+/// Builds a run-report document for a request the worker could not (or
+/// did not) answer: classified failures the supervisor synthesizes, and
+/// worker-side parse errors.
+std::string failureReportLine(const Request &R, driver::Verdict V,
+                              sandbox::FailureKind Kind,
+                              const std::string &Note) {
+  driver::CheckReport Rep;
+  Rep.Outcome = V;
+  Rep.Failure = Kind;
+  Rep.Note = Note;
+  Rep.ModeRan = R.Check.Mode;
+  driver::ReportInfo Info;
+  Info.File = "<serve:" + R.Id + ">";
+  Info.RequestedMode = R.Check.Mode;
+  Info.K = R.Check.Opts.K;
+  Info.L = R.Check.Opts.L;
+  Info.MaxK = R.Check.MaxK;
+  Info.Threads = R.Check.Threads;
+  Info.Backend = R.Check.Opts.Backend;
+  StatsRegistry Empty;
+  return driver::formatRunReport(Rep, Info, Empty);
+}
+
+/// The worker process: one Engine, one request at a time over the
+/// socketpair, EOF = clean shutdown. Never returns.
+[[noreturn]] void workerMain(sockets::Fd Sock, const ServerOptions &O) {
+  // Drain is parent-driven (channel EOF); a group-delivered SIGTERM or
+  // Ctrl-C must not kill a worker mid-solve and surface as a spurious
+  // classified crash.
+  std::signal(SIGTERM, SIG_IGN);
+  std::signal(SIGINT, SIG_IGN);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  sockets::LineChannel Chan(std::move(Sock));
+  driver::Engine Eng;
+  Eng.setEncodingCacheCapacity(O.CacheEntries);
+  uint64_t Served = 0;
+  std::string Line;
+  for (;;) {
+    sockets::ReadStatus St =
+        Chan.readLine(Line, O.MaxLineBytes * 2, /*TimeoutSeconds=*/-1);
+    if (St != sockets::ReadStatus::Line)
+      ::_exit(0);
+    ++Served;
+    try {
+      if (fault::enabled("serve.worker-crash") && Served == 3)
+        std::raise(SIGSEGV);
+      if (fault::enabled("serve.hog-memory"))
+        hogMemoryFault();
+      if (fault::enabled("serve.slow-request"))
+        sleepSeconds(1.5);
+
+      Request R;
+      std::string Err, Out;
+      if (!parseRequestLine(Line, R, Err)) {
+        // The supervisor validates before queueing; reaching this means
+        // the parent/worker wire itself is damaged. Still answer.
+        R.Id = "?";
+        Out = failureReportLine(R, driver::Verdict::Unknown,
+                                sandbox::FailureKind::None,
+                                "malformed worker wire request: " + Err);
+      } else {
+        auto Parsed = ir::parseProgram(R.Program);
+        if (!Parsed) {
+          Out = failureReportLine(R, driver::Verdict::Unknown,
+                                  sandbox::FailureKind::None,
+                                  "program parse error: " +
+                                      Parsed.error().str());
+        } else {
+          CheckContext Ctx(R.DeadlineSeconds);
+          driver::CheckReport Rep = Eng.run(*Parsed, R.Check, Ctx);
+          driver::ReportInfo Info;
+          Info.File = "<serve:" + R.Id + ">";
+          Info.RequestedMode = R.Check.Mode;
+          Info.K = R.Check.Opts.K;
+          Info.L = R.Check.Opts.L;
+          Info.MaxK = R.Check.MaxK;
+          Info.Threads = R.Check.Threads;
+          Info.Backend = R.Check.Opts.Backend;
+          Out = driver::formatRunReport(Rep, Info, Ctx.stats());
+        }
+      }
+      if (!Chan.writeLine(Out))
+        ::_exit(0);
+    } catch (const std::bad_alloc &) {
+      ::_exit(sandbox::OomExitCode);
+    } catch (...) {
+      ::_exit(sandbox::ExceptionExitCode);
+    }
+  }
+}
+
+} // namespace
+
+/// One client connection: the channel plus a write lock (slot threads
+/// and the reader thread interleave responses) and the count of accepted
+/// requests still owed a response.
+struct Connection {
+  sockets::LineChannel Chan;
+  std::mutex WriteM;
+  std::atomic<uint64_t> Pending{0};
+
+  bool write(const std::string &Line) {
+    std::lock_guard<std::mutex> L(WriteM);
+    return Chan.writeLine(Line);
+  }
+};
+
+class vbmc::serve::Server::Impl {
+public:
+  explicit Impl(ServerOptions Opts) : O(std::move(Opts)) {
+    if (O.Workers < 1)
+      O.Workers = 1;
+    if (O.EnableTrace)
+      Tr.enable();
+  }
+
+  struct Job {
+    uint64_t Seq = 0;
+    Request Req;
+    Deadline DL;
+    std::shared_ptr<Connection> Client;
+  };
+
+  /// Max-heap order: priority, then least remaining deadline, then FIFO.
+  struct JobOrder {
+    bool operator()(const Job &A, const Job &B) const {
+      if (A.Req.Priority != B.Req.Priority)
+        return A.Req.Priority < B.Req.Priority;
+      double Ra = A.DL.remainingSeconds(), Rb = B.DL.remainingSeconds();
+      if (Ra != Rb)
+        return Ra > Rb;
+      return A.Seq > B.Seq;
+    }
+  };
+
+  struct Slot {
+    pid_t Pid = -1;
+    sockets::LineChannel Chan;
+    uint64_t ServedSinceSpawn = 0;
+    unsigned ConsecutiveDeaths = 0;
+    bool Broken = false;
+  };
+
+  ServerOptions O;
+  StatsRegistry Stats;
+  TraceRecorder Tr;
+  Timer Uptime;
+  sockets::UnixListener Listener;
+
+  std::atomic<bool> Started{false};
+  std::atomic<bool> Draining{false};
+  std::atomic<bool> DrainComplete{false};
+  std::mutex DrainM;
+  std::string DrainReason;
+
+  std::mutex QueueM;
+  std::condition_variable QueueCv;
+  std::vector<Job> Queue; // heap under JobOrder
+  uint64_t NextSeq = 0;
+  uint64_t QueuePeak = 0;
+
+  std::atomic<uint64_t> Received{0}, Accepted{0}, Answered{0}, Rejected{0},
+      Shed{0}, Retries{0}, Restarts{0}, BreakerTrips{0};
+  std::atomic<uint64_t> InFlight{0};
+  std::mutex PeakM;
+  uint64_t InFlightPeak = 0;
+
+  std::mutex TallyM;
+  std::map<std::string, uint64_t> Verdicts, Failures;
+
+  std::vector<Slot> Slots;
+  std::thread AcceptThread;
+  std::vector<std::thread> SlotThreads;
+  std::mutex ConnM;
+  std::vector<std::shared_ptr<Connection>> Conns;
+  std::vector<std::thread> ReaderThreads;
+
+  ServerSummary Sum;
+  bool SummaryReady = false;
+
+  //===--------------------------------------------------------------------===//
+
+  bool spawnWorker(Slot &S, std::string *Err) {
+    sockets::Fd ParentEnd, ChildEnd;
+    if (!sockets::socketPair(ParentEnd, ChildEnd, Err))
+      return false;
+    pid_t Pid = ::fork();
+    if (Pid < 0) {
+      if (Err)
+        *Err = std::string("fork: ") + std::strerror(errno);
+      return false;
+    }
+    if (Pid == 0) {
+      ParentEnd.reset();
+      closeInheritedFds(ChildEnd.get());
+      workerMain(std::move(ChildEnd), O); // never returns
+    }
+    S.Pid = Pid;
+    S.Chan = sockets::LineChannel(std::move(ParentEnd));
+    S.ServedSinceSpawn = 0;
+    return true;
+  }
+
+  /// Reaps a dead worker and classifies the death, mirroring the
+  /// sandbox: signal = crash (unexplained SIGKILL = the kernel's OOM
+  /// killer), exit 77 = oom, exit 78 = crash, any other exit without a
+  /// response = exit failure.
+  sandbox::FailureKind reapWorker(Slot &S, bool DeadlineKill) {
+    S.Chan.close();
+    int Status = 0;
+    if (S.Pid > 0)
+      while (::waitpid(S.Pid, &Status, 0) < 0 && errno == EINTR) {
+      }
+    S.Pid = -1;
+    Restarts.fetch_add(1);
+    Stats.addCount("serve.worker_restarts");
+    if (DeadlineKill)
+      return sandbox::FailureKind::Timeout;
+    // Breaker accounting: a slot that keeps dying without ever serving a
+    // request is not going to heal by forking harder.
+    if (S.ServedSinceSpawn == 0) {
+      if (++S.ConsecutiveDeaths >= O.BreakerThreshold && !S.Broken) {
+        S.Broken = true;
+        BreakerTrips.fetch_add(1);
+        Stats.addCount("serve.breaker_trips");
+      }
+    } else {
+      S.ConsecutiveDeaths = 1;
+    }
+    if (WIFSIGNALED(Status))
+      return WTERMSIG(Status) == SIGKILL ? sandbox::FailureKind::OutOfMemory
+                                         : sandbox::FailureKind::Crash;
+    if (WIFEXITED(Status)) {
+      if (WEXITSTATUS(Status) == sandbox::OomExitCode)
+        return sandbox::FailureKind::OutOfMemory;
+      if (WEXITSTATUS(Status) == sandbox::ExceptionExitCode)
+        return sandbox::FailureKind::Crash;
+    }
+    return sandbox::FailureKind::ExitFailure;
+  }
+
+  void killWorker(Slot &S) {
+    if (S.Pid > 0)
+      ::kill(S.Pid, SIGKILL);
+  }
+
+  //===--------------------------------------------------------------------===//
+
+  void tally(const std::string &Verdict, const std::string &Failure) {
+    std::lock_guard<std::mutex> L(TallyM);
+    if (!Verdict.empty())
+      ++Verdicts[Verdict];
+    if (!Failure.empty() && Failure != "none")
+      ++Failures[Failure];
+  }
+
+  /// Final answer for an accepted job; counts toward drain completion
+  /// even when the client already hung up (the write failure is theirs).
+  void answer(Job &J, const std::string &Line) {
+    J.Client->write(Line);
+    J.Client->Pending.fetch_sub(1);
+    Answered.fetch_add(1);
+    Stats.addCount("serve.answered");
+  }
+
+  void answerFailure(Job &J, sandbox::FailureKind Kind,
+                     const std::string &Note, uint64_t RetriesUsed) {
+    std::string Report = failureReportLine(J.Req, driver::Verdict::Unknown,
+                                           Kind, Note);
+    tally("unknown", sandbox::failureKindName(Kind));
+    answer(J, formatResponseLine(J.Req.Id, "ok", "", 0, RetriesUsed,
+                                 &Report));
+  }
+
+  void runJob(Slot &S, Job &J) {
+    const unsigned MaxAttempts = O.Retry ? 2 : 1;
+    for (unsigned Attempt = 0;; ++Attempt) {
+      if (S.Broken) {
+        answerFailure(J, sandbox::FailureKind::Crash,
+                      "worker slot disabled by the restart-storm circuit "
+                      "breaker",
+                      Attempt);
+        return;
+      }
+      double Remaining = J.DL.remainingSeconds();
+      if (Remaining <= 0) {
+        answerFailure(J, sandbox::FailureKind::Timeout,
+                      "deadline expired before the check could run",
+                      Attempt);
+        return;
+      }
+      if (!S.Chan.valid()) {
+        if (S.ConsecutiveDeaths > 0) {
+          unsigned Shift = std::min(S.ConsecutiveDeaths - 1, 6u);
+          sleepSeconds(std::min(O.BackoffSeconds * double(1u << Shift),
+                                std::min(2.0, Remaining)));
+        }
+        std::string Err;
+        if (!spawnWorker(S, &Err)) {
+          answerFailure(J, sandbox::FailureKind::ExitFailure,
+                        "cannot spawn worker: " + Err, Attempt);
+          return;
+        }
+      }
+      Request Wire = J.Req;
+      Wire.DeadlineSeconds =
+          Remaining == std::numeric_limits<double>::infinity() ? 0
+                                                               : Remaining;
+      std::string Out;
+      sockets::ReadStatus St = sockets::ReadStatus::Error;
+      if (S.Chan.writeLine(formatRequestLine(Wire)))
+        St = S.Chan.readLine(
+            Out, O.MaxLineBytes * 4,
+            Wire.DeadlineSeconds > 0 ? Wire.DeadlineSeconds + 0.5 : -1);
+
+      if (St == sockets::ReadStatus::Line) {
+        ++S.ServedSinceSpawn;
+        S.ConsecutiveDeaths = 0;
+        json::Value Rep;
+        std::string JErr;
+        if (!json::parse(Out, Rep, &JErr) || !Rep.isObject()) {
+          answerFailure(J, sandbox::FailureKind::ExitFailure,
+                        "malformed worker report: " + JErr, Attempt);
+          return;
+        }
+        std::string Verdict, Failure;
+        if (const json::Value *F = Rep.get("verdict"); F && F->isString())
+          Verdict = F->asString();
+        if (const json::Value *F = Rep.get("failure"); F && F->isString())
+          Failure = F->asString();
+        tally(Verdict, Failure);
+        answer(J, formatResponseLine(J.Req.Id, "ok", "", 0, Attempt, &Out));
+        return;
+      }
+      if (St == sockets::ReadStatus::Timeout) {
+        // The worker outlived the request's deadline: kill, classify,
+        // respawn lazily. No retry — the budget is gone.
+        killWorker(S);
+        reapWorker(S, /*DeadlineKill=*/true);
+        answerFailure(J, sandbox::FailureKind::Timeout,
+                      "killed on the request deadline", Attempt);
+        return;
+      }
+      // EOF / error: the worker died underneath the request.
+      sandbox::FailureKind Kind = reapWorker(S, /*DeadlineKill=*/false);
+      if (Attempt + 1 < MaxAttempts && J.DL.remainingSeconds() > 0 &&
+          !S.Broken) {
+        Retries.fetch_add(1);
+        Stats.addCount("serve.retries");
+        // Halved bounds: the retry must be cheaper than the attempt that
+        // killed the worker, or it just kills the next one.
+        J.Req.Check.Opts.K = std::max(1u, J.Req.Check.Opts.K / 2);
+        J.Req.Check.Opts.L = std::max(1u, J.Req.Check.Opts.L / 2);
+        J.Req.Check.MaxK = std::max(1u, J.Req.Check.MaxK / 2);
+        continue;
+      }
+      answerFailure(J,
+                    Kind,
+                    std::string("worker died (") +
+                        sandbox::failureKindName(Kind) + ")",
+                    Attempt);
+      return;
+    }
+  }
+
+  void slotLoop(unsigned Idx) {
+    Slot &S = Slots[Idx];
+    for (;;) {
+      Job J;
+      {
+        std::unique_lock<std::mutex> L(QueueM);
+        QueueCv.wait(L, [&] {
+          return !Queue.empty() || DrainComplete.load();
+        });
+        if (Queue.empty())
+          return;
+        std::pop_heap(Queue.begin(), Queue.end(), JobOrder());
+        J = std::move(Queue.back());
+        Queue.pop_back();
+      }
+      InFlight.fetch_add(1);
+      {
+        std::lock_guard<std::mutex> L(PeakM);
+        InFlightPeak = std::max(InFlightPeak, InFlight.load());
+      }
+      {
+        ScopedSpan Span(Tr, "serve.request:" + J.Req.Id, "serve");
+        runJob(S, J);
+      }
+      InFlight.fetch_sub(1);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+
+  void handleRequestLine(const std::shared_ptr<Connection> &C,
+                         const std::string &Line) {
+    Received.fetch_add(1);
+    Stats.addCount("serve.requests");
+    Request R;
+    std::string Err, Id;
+    if (!parseRequestLine(Line, R, Err, &Id)) {
+      Rejected.fetch_add(1);
+      Stats.addCount("serve.rejected");
+      C->write(formatResponseLine(Id, "rejected", Err, 0, 0, nullptr));
+      return;
+    }
+    auto Parsed = ir::parseProgram(R.Program);
+    if (!Parsed) {
+      Rejected.fetch_add(1);
+      Stats.addCount("serve.rejected");
+      C->write(formatResponseLine(R.Id, "rejected",
+                                  "program parse error: " +
+                                      Parsed.error().str(),
+                                  0, 0, nullptr));
+      return;
+    }
+    if (Draining.load()) {
+      Shed.fetch_add(1);
+      Stats.addCount("serve.shed");
+      C->write(
+          formatResponseLine(R.Id, "shed", "draining", 1.0, 0, nullptr));
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> L(QueueM);
+      if (Queue.size() >= O.QueueCap) {
+        Shed.fetch_add(1);
+        Stats.addCount("serve.shed");
+        // Retry-after: how long the backlog takes to clear if every
+        // queued request used ~a quarter second — a hint, not a promise.
+        double Hint =
+            0.1 + 0.25 * double(Queue.size()) / double(O.Workers);
+        C->write(formatResponseLine(R.Id, "shed", "queue full", Hint, 0,
+                                    nullptr));
+        return;
+      }
+      Job J;
+      J.Seq = NextSeq++;
+      J.DL = Deadline(R.DeadlineSeconds > 0 ? R.DeadlineSeconds
+                                            : O.DefaultDeadlineSeconds);
+      J.Req = std::move(R);
+      J.Client = C;
+      C->Pending.fetch_add(1);
+      Accepted.fetch_add(1);
+      Stats.addCount("serve.accepted");
+      Queue.push_back(std::move(J));
+      std::push_heap(Queue.begin(), Queue.end(), JobOrder());
+      QueuePeak = std::max(QueuePeak, (uint64_t)Queue.size());
+    }
+    QueueCv.notify_one();
+  }
+
+  void readerLoop(std::shared_ptr<Connection> C) {
+    std::string Line;
+    for (;;) {
+      sockets::ReadStatus St =
+          C->Chan.readLine(Line, O.MaxLineBytes, 0.25);
+      switch (St) {
+      case sockets::ReadStatus::Line:
+        handleRequestLine(C, Line);
+        break;
+      case sockets::ReadStatus::Timeout:
+        if (DrainComplete.load())
+          return;
+        break;
+      case sockets::ReadStatus::Oversize:
+        Received.fetch_add(1);
+        Rejected.fetch_add(1);
+        Stats.addCount("serve.requests");
+        Stats.addCount("serve.rejected");
+        C->write(formatResponseLine(
+            "", "rejected",
+            "request line exceeds " + std::to_string(O.MaxLineBytes) +
+                " bytes",
+            0, 0, nullptr));
+        break;
+      case sockets::ReadStatus::Eof:
+      case sockets::ReadStatus::Error:
+        return; // Pending responses still flow from the slot threads.
+      }
+    }
+  }
+
+  void adoptConnection(sockets::Fd F) {
+    auto C = std::make_shared<Connection>();
+    C->Chan = sockets::LineChannel(std::move(F));
+    std::lock_guard<std::mutex> L(ConnM);
+    Conns.push_back(C);
+    ReaderThreads.emplace_back([this, C] { readerLoop(C); });
+  }
+
+  void acceptLoop() {
+    for (;;) {
+      bool TimedOut = false;
+      sockets::Fd F = Listener.accept(0.2, TimedOut);
+      if (F.valid())
+        adoptConnection(std::move(F));
+      else if (!TimedOut)
+        sleepSeconds(0.05); // Transient accept error; don't spin.
+      if (Draining.load()) {
+        // Sweep the backlog before closing the listener: a connection
+        // the kernel completed just before the drain deserves shed
+        // responses from a reader, not a reset.
+        for (;;) {
+          bool BacklogEmpty = false;
+          sockets::Fd G = Listener.accept(0.05, BacklogEmpty);
+          if (!G.valid())
+            break;
+          adoptConnection(std::move(G));
+        }
+        return;
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+
+  bool start(std::string *Err) {
+    if (!sockets::available()) {
+      if (Err)
+        *Err = "unix sockets are not supported on this platform";
+      return false;
+    }
+    if (!Listener.listen(O.SocketPath, Err))
+      return false;
+    Slots.resize(O.Workers);
+    for (Slot &S : Slots)
+      if (!spawnWorker(S, Err)) {
+        for (Slot &T : Slots)
+          if (T.Pid > 0) {
+            killWorker(T);
+            reapWorker(T, true);
+          }
+        Listener.close();
+        return false;
+      }
+    Restarts.store(0); // Initial spawns are not restarts.
+    Stats.addCount("serve.worker_restarts", 0);
+    AcceptThread = std::thread([this] { acceptLoop(); });
+    for (unsigned I = 0; I < O.Workers; ++I)
+      SlotThreads.emplace_back([this, I] { slotLoop(I); });
+    Started.store(true);
+    return true;
+  }
+
+  void requestDrain(const std::string &Reason) {
+    {
+      std::lock_guard<std::mutex> L(DrainM);
+      if (Draining.load())
+        return;
+      DrainReason = Reason;
+    }
+    Draining.store(true);
+    QueueCv.notify_all();
+  }
+
+  int wait() {
+    if (!Started.load())
+      return 1;
+    // This thread is the drain monitor: watch for the process-wide
+    // signal flag and the drain-after trigger until a drain starts.
+    while (!Draining.load()) {
+      if (signals::drainRequested())
+        requestDrain(signals::drainSignal() == SIGINT ? "sigint"
+                                                      : "sigterm");
+      else if (O.DrainAfterRequests &&
+               Answered.load() >= O.DrainAfterRequests)
+        requestDrain("drain-after");
+      else
+        sleepSeconds(0.03);
+    }
+    AcceptThread.join();
+    Listener.close(); // Unlink the path; further connects fail fast.
+    // Every accepted request is answered — finished or deadline-outed by
+    // the slot threads — before anything is torn down. Requests already
+    // in a connection's kernel buffer when the drain fired deserve their
+    // shed response too, so teardown additionally waits for the readers
+    // to go quiet (no new request line for a full grace round), bounded
+    // so a client that never stops sending cannot wedge the drain.
+    Timer Grace;
+    uint64_t LastReceived = ~0ull;
+    for (;;) {
+      uint64_t Rv = Received.load();
+      bool Quiet = Rv == LastReceived;
+      LastReceived = Rv;
+      if (Quiet && Answered.load() >= Accepted.load())
+        break;
+      if (Grace.elapsedSeconds() > 5.0 &&
+          Answered.load() >= Accepted.load())
+        break;
+      sleepSeconds(0.15);
+    }
+    DrainComplete.store(true);
+    QueueCv.notify_all();
+    for (std::thread &T : SlotThreads)
+      T.join();
+    {
+      // Readers poll DrainComplete at their read timeout; join before
+      // closing channels so no close races a concurrent read.
+      std::lock_guard<std::mutex> L(ConnM);
+      for (std::thread &T : ReaderThreads)
+        T.join();
+      for (auto &C : Conns)
+        C->Chan.close();
+    }
+    // EOF tells each worker to exit cleanly; reap with a short grace,
+    // then escalate.
+    for (Slot &S : Slots)
+      S.Chan.close();
+    for (Slot &S : Slots) {
+      if (S.Pid <= 0)
+        continue;
+      bool Reaped = false;
+      for (int I = 0; I < 100 && !Reaped; ++I) {
+        int Status = 0;
+        pid_t R = ::waitpid(S.Pid, &Status, WNOHANG);
+        if (R == S.Pid || (R < 0 && errno != EINTR))
+          Reaped = true;
+        else
+          sleepSeconds(0.01);
+      }
+      if (!Reaped) {
+        ::kill(S.Pid, SIGKILL);
+        int Status = 0;
+        while (::waitpid(S.Pid, &Status, 0) < 0 && errno == EINTR) {
+        }
+      }
+      S.Pid = -1;
+    }
+    buildSummary();
+    return Sum.Answered == Sum.Accepted ? 0 : 1;
+  }
+
+  void buildSummary() {
+    Sum.Received = Received.load();
+    Sum.Accepted = Accepted.load();
+    Sum.Answered = Answered.load();
+    Sum.Rejected = Rejected.load();
+    Sum.Shed = Shed.load();
+    Sum.Retries = Retries.load();
+    Sum.WorkerRestarts = Restarts.load();
+    Sum.BreakerTrips = BreakerTrips.load();
+    {
+      std::lock_guard<std::mutex> L(QueueM);
+      Sum.QueuePeak = QueuePeak;
+    }
+    {
+      std::lock_guard<std::mutex> L(PeakM);
+      Sum.InFlightPeak = InFlightPeak;
+    }
+    {
+      std::lock_guard<std::mutex> L(TallyM);
+      Sum.Verdicts = Verdicts;
+      Sum.Failures = Failures;
+    }
+    Sum.DrainRequested = Draining.load();
+    {
+      std::lock_guard<std::mutex> L(DrainM);
+      Sum.DrainReason = DrainReason;
+    }
+    Sum.UptimeSeconds = Uptime.elapsedSeconds();
+    Stats.addCount("serve.queue_depth_peak", Sum.QueuePeak);
+    Stats.addCount("serve.in_flight_peak", Sum.InFlightPeak);
+    SummaryReady = true;
+  }
+
+  std::string formatSummaryJson() const {
+    json::JsonWriter W;
+    W.beginObject();
+    W.key("schema").value(SummarySchema);
+    W.key("socket").value(O.SocketPath);
+    W.key("workers").value(static_cast<uint64_t>(O.Workers));
+    W.key("queue_cap").value(static_cast<uint64_t>(O.QueueCap));
+    W.key("received").value(Sum.Received);
+    W.key("accepted").value(Sum.Accepted);
+    W.key("answered").value(Sum.Answered);
+    W.key("rejected").value(Sum.Rejected);
+    W.key("shed").value(Sum.Shed);
+    W.key("retries").value(Sum.Retries);
+    W.key("worker_restarts").value(Sum.WorkerRestarts);
+    W.key("breaker_trips").value(Sum.BreakerTrips);
+    W.key("queue_depth_peak").value(Sum.QueuePeak);
+    W.key("in_flight_peak").value(Sum.InFlightPeak);
+    W.key("drain").beginObject();
+    W.key("requested").value(Sum.DrainRequested);
+    W.key("reason").value(Sum.DrainReason);
+    W.endObject();
+    W.key("uptime_seconds").value(Sum.UptimeSeconds);
+    W.key("verdicts").beginObject();
+    for (const auto &KV : Sum.Verdicts)
+      W.key(KV.first).value(KV.second);
+    W.endObject();
+    W.key("failures").beginObject();
+    for (const auto &KV : Sum.Failures)
+      W.key(KV.first).value(KV.second);
+    W.endObject();
+    W.key("stats").beginObject();
+    for (const StatsRegistry::Entry &E : Stats.snapshot()) {
+      W.key(E.Name);
+      if (E.IsCounter)
+        W.value(E.Count);
+      else
+        W.value(E.Seconds);
+    }
+    W.endObject();
+    W.endObject();
+    return W.str();
+  }
+};
+
+#else // !VBMC_SERVE_POSIX
+
+class vbmc::serve::Server::Impl {
+public:
+  explicit Impl(ServerOptions Opts) : O(std::move(Opts)) {}
+  ServerOptions O;
+  StatsRegistry Stats;
+  TraceRecorder Tr;
+  ServerSummary Sum;
+  bool start(std::string *Err) {
+    if (Err)
+      *Err = "vbmc-serve requires POSIX process and socket support";
+    return false;
+  }
+  void requestDrain(const std::string &) {}
+  int wait() { return 1; }
+  std::string formatSummaryJson() const { return "{}"; }
+};
+
+#endif // VBMC_SERVE_POSIX
+
+Server::Server(ServerOptions O) : I(std::make_unique<Impl>(std::move(O))) {}
+Server::~Server() = default;
+
+bool Server::start(std::string *Err) { return I->start(Err); }
+void Server::requestDrain(const std::string &Reason) {
+  I->requestDrain(Reason);
+}
+int Server::wait() { return I->wait(); }
+const ServerSummary &Server::summary() const { return I->Sum; }
+std::string Server::formatSummaryJson() const {
+  return I->formatSummaryJson();
+}
+StatsRegistry &Server::stats() { return I->Stats; }
+TraceRecorder &Server::trace() { return I->Tr; }

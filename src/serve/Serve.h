@@ -1,0 +1,189 @@
+//===- Serve.h - the crash-tolerant verification daemon ----------*- C++ -*-===//
+///
+/// \file
+/// `vbmc-serve`: a long-running verification service. Clients connect to
+/// a unix-domain socket and exchange newline-delimited JSON — one
+/// `vbmc-serve-request/v1` object per line in, one
+/// `vbmc-serve-response/v1` object per line out (responses stream back as
+/// they complete, matched by id, possibly out of order). See
+/// docs/SERVING.md for the full protocol.
+///
+/// Robustness model:
+///
+///  * requests pass admission control: malformed lines (bad JSON,
+///    unknown keys, oversize) are rejected per-line without poisoning
+///    the connection; a full queue sheds with a retry-after hint
+///    instead of queueing unboundedly;
+///  * accepted requests carry a deadline and a priority; the scheduler
+///    serves highest priority first (earliest deadline breaking ties)
+///    and deadline-outs work it can no longer finish in time;
+///  * checks run on a pool of persistent sandboxed worker *processes*
+///    (one Engine each, its LRU encoding cache warming across the
+///    requests it serves); a worker crash/OOM/kill is classified via the
+///    sandbox::FailureKind taxonomy, the request is retried once at
+///    halved bounds after an exponential backoff, and the supervisor
+///    respawns the worker — a restart-storm circuit breaker stops
+///    respawning a slot that dies repeatedly without serving anything;
+///  * SIGTERM/SIGINT drain gracefully: stop admitting, answer every
+///    accepted request (finishing or deadline-outing it), flush, exit 0.
+///    Every accepted request is answered — with a verdict or a
+///    classified failure — never dropped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_SERVE_SERVE_H
+#define VBMC_SERVE_SERVE_H
+
+#include "support/CheckContext.h"
+#include "vbmc/Engine.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace vbmc::serve {
+
+inline constexpr const char *RequestSchema = "vbmc-serve-request/v1";
+inline constexpr const char *ResponseSchema = "vbmc-serve-response/v1";
+inline constexpr const char *SummarySchema = "vbmc-serve-summary/v1";
+
+/// One check request as it crosses the wire. Defaults mirror the vbmc
+/// CLI's; Id and Program are the only required fields.
+struct Request {
+  std::string Id;
+  std::string Program; ///< Program text in the Fig. 1 concrete syntax.
+  driver::CheckRequest Check;
+  /// Wall-clock budget for this request, measured from admission
+  /// (0 = the server's default). Covers queueing AND solving: a request
+  /// that waits too long is answered with a classified timeout.
+  double DeadlineSeconds = 0;
+  /// Higher runs first; ties go to the earlier deadline, then FIFO.
+  int64_t Priority = 0;
+};
+
+/// Renders \p R as one normalized request line (every field explicit).
+std::string formatRequestLine(const Request &R);
+
+/// Parses and validates one request line. False on bad JSON, a non-object,
+/// a wrong schema value, an unknown key, a missing/empty id or program, or
+/// an ill-typed field — with a one-line reason in \p Err. \p IdOut (when
+/// non-null) receives the id if one was readable, so rejections can still
+/// be matched by the client. Does NOT parse the program text; the server
+/// does that at admission so parse errors reject before queueing.
+bool parseRequestLine(const std::string &Line, Request &R, std::string &Err,
+                      std::string *IdOut = nullptr);
+
+/// A parsed response line (the client-side view).
+struct Response {
+  std::string Id;
+  /// "ok" (report present), "rejected" (bad request; Error says why), or
+  /// "shed" (admission refused; RetryAfterSeconds hints when to retry).
+  std::string Status;
+  std::string Error;
+  double RetryAfterSeconds = 0;
+  uint64_t Retries = 0;
+  /// From the embedded report: "safe" | "unsafe" | "unknown" ("" unless ok).
+  std::string Verdict;
+  /// From the embedded report: "none" | "crash" | "oom" | "timeout" | "exit".
+  std::string Failure;
+  /// The embedded vbmc-run-report/v1 document, verbatim ("" unless ok).
+  std::string ReportJson;
+};
+
+/// Parses one response line; false with \p Err on malformed input.
+bool parseResponseLine(const std::string &Line, Response &Out,
+                       std::string &Err);
+
+struct ServerOptions {
+  std::string SocketPath;
+  /// Persistent worker processes (= max in-flight checks).
+  unsigned Workers = 2;
+  /// Bounded admission queue; a request arriving with the queue full is
+  /// shed with a retry-after hint.
+  size_t QueueCap = 64;
+  /// Per-line byte ceiling; longer request lines are rejected.
+  size_t MaxLineBytes = 1u << 20;
+  /// Deadline for requests that do not bring one (0 = unlimited).
+  double DefaultDeadlineSeconds = 30;
+  /// Retry a worker-death-classified request once at halved bounds.
+  bool Retry = true;
+  /// Base of the exponential respawn/retry backoff.
+  double BackoffSeconds = 0.05;
+  /// Circuit breaker: consecutive worker deaths on one slot with no
+  /// request served in between before the slot stops respawning.
+  unsigned BreakerThreshold = 5;
+  /// Encoding-cache capacity of each worker's Engine.
+  size_t CacheEntries = 16;
+  /// Drain automatically once this many accepted requests were answered
+  /// (0 = only on request; used by tests and benches).
+  uint64_t DrainAfterRequests = 0;
+  /// Record serve.request spans (the daemon's --trace-out).
+  bool EnableTrace = false;
+};
+
+/// Counters the summary document reports (the StatsRegistry carries the
+/// same values under serve.*).
+struct ServerSummary {
+  uint64_t Received = 0;    ///< Parseable or not, every request line.
+  uint64_t Accepted = 0;    ///< Admitted to the queue.
+  uint64_t Answered = 0;    ///< Accepted requests answered (== Accepted
+                            ///< after a clean drain).
+  uint64_t Rejected = 0;    ///< Malformed / invalid requests.
+  uint64_t Shed = 0;        ///< Refused by admission control.
+  uint64_t Retries = 0;     ///< Halved-bounds re-runs after worker death.
+  uint64_t WorkerRestarts = 0;
+  uint64_t BreakerTrips = 0;
+  uint64_t QueuePeak = 0;
+  uint64_t InFlightPeak = 0;
+  std::map<std::string, uint64_t> Verdicts; ///< verdict name -> count.
+  std::map<std::string, uint64_t> Failures; ///< failure name -> count (faults only).
+  bool DrainRequested = false;
+  std::string DrainReason; ///< "sigterm", "sigint", "api", "drain-after".
+  double UptimeSeconds = 0;
+};
+
+/// The daemon. start() binds the socket and spawns the pool; wait()
+/// blocks until a drain completes. Drains come from requestDrain() (the
+/// test path), from the process-wide signals::drainRequested() flag (the
+/// SIGTERM/SIGINT path), or from DrainAfterRequests.
+class Server {
+public:
+  explicit Server(ServerOptions O);
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the socket and brings up workers and service threads. False
+  /// with \p Err on failure (no partial daemon is left behind).
+  bool start(std::string *Err);
+
+  /// Stops admission; accepted work is finished or deadline-outed,
+  /// responses flush, then wait() returns. Idempotent, thread-safe.
+  void requestDrain(const std::string &Reason = "api");
+
+  /// Blocks until drained and torn down. 0 on a clean drain (every
+  /// accepted request answered).
+  int wait();
+
+  /// Valid after wait() returned.
+  const ServerSummary &summary() const;
+
+  /// The vbmc-serve-summary/v1 document (valid after wait()).
+  std::string formatSummaryJson() const;
+
+  /// The server-global registry (serve.* counters). Thread-safe.
+  StatsRegistry &stats();
+
+  /// The server's span recorder (serve.request spans when EnableTrace).
+  TraceRecorder &trace();
+
+  class Impl;
+
+private:
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace vbmc::serve
+
+#endif // VBMC_SERVE_SERVE_H

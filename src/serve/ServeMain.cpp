@@ -1,0 +1,337 @@
+//===- ServeMain.cpp - the vbmc-serve command-line tool ---------*- C++ -*-===//
+//
+// Usage:
+//   vbmc-serve --socket PATH [options]      run the daemon
+//   vbmc-serve --connect PATH FILE...       submit checks to a daemon
+//
+// The daemon accepts newline-delimited vbmc-serve-request/v1 objects over
+// a unix-domain socket, schedules them over a pool of persistent worker
+// processes and streams vbmc-serve-response/v1 lines back; SIGTERM/SIGINT
+// drain gracefully (see docs/SERVING.md). The client mode submits each
+// FILE as one request and prints every response line.
+//
+// Daemon exit codes: 0 = clean drain (every accepted request answered),
+// 1 = unclean shutdown, 2 = usage/startup error.
+// Client exit codes: 0 = every submitted request answered, 1 = responses
+// missing (daemon died mid-batch), 2 = usage/connect error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+#include "serve/Serve.h"
+#include "support/Cli.h"
+#include "support/FaultInjection.h"
+#include "support/Signals.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <map>
+#include <new>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace vbmc;
+using namespace vbmc::serve;
+
+namespace {
+
+void printUsage() {
+  std::puts(
+      "usage: vbmc-serve --socket PATH [options]     run the daemon\n"
+      "       vbmc-serve --connect PATH FILE...      submit checks\n"
+      "daemon:\n"
+      "  --socket PATH       unix-domain socket to listen on (required)\n"
+      "  --workers N         persistent worker processes (default 2)\n"
+      "  --queue-cap N       admission queue bound; beyond it requests\n"
+      "                      are shed with a retry-after hint (default 64)\n"
+      "  --default-deadline S  deadline for requests without one\n"
+      "                      (default 30; 0 = unlimited)\n"
+      "  --max-line-bytes N  request line ceiling (default 1048576)\n"
+      "  --no-retry          do not retry after a worker death\n"
+      "  --backoff S         respawn backoff base (default 0.05)\n"
+      "  --breaker N         consecutive no-progress deaths before a\n"
+      "                      slot's circuit breaker trips (default 5)\n"
+      "  --cache-entries N   per-worker Engine encoding-cache capacity\n"
+      "                      (default 16)\n"
+      "  --drain-after N     drain once N requests were answered\n"
+      "                      (default 0 = only on signal; for tests)\n"
+      "  --report-json FILE|-  write the vbmc-serve-summary/v1 document\n"
+      "                      on shutdown\n"
+      "  --trace-out FILE    record serve.request spans (Chrome trace)\n"
+      "  --quiet             no startup/shutdown chatter on stderr\n"
+      "client:\n"
+      "  --connect PATH      daemon socket to connect to\n"
+      "  --connect-timeout S wait for the daemon to come up (default 10)\n"
+      "  --mode M            engine mode for every request (default\n"
+      "                      incremental)\n"
+      "  --k N --l N --max-k N --threads N   bounds (vbmc defaults)\n"
+      "  --deadline S        per-request deadline (default 0 = server's)\n"
+      "  --priority N        scheduling priority (default 0)\n"
+      "  --repeat N          submit each FILE N times (default 1)\n"
+      "  --timeout S         wait for responses (default 300)\n"
+      "  --max-shed-retries N  resubmits per shed request, honoring the\n"
+      "                      daemon's retry-after hint (default 32)");
+}
+
+int runDaemon(const CommandLine &CL) {
+  ServerOptions O;
+  O.SocketPath = CL.getString("socket");
+  O.Workers = static_cast<unsigned>(CL.getInt("workers", 2));
+  O.QueueCap = static_cast<size_t>(CL.getInt("queue-cap", 64));
+  O.MaxLineBytes =
+      static_cast<size_t>(CL.getInt("max-line-bytes", 1 << 20));
+  O.DefaultDeadlineSeconds = CL.getDouble("default-deadline", 30);
+  O.Retry = !CL.hasFlag("no-retry");
+  O.BackoffSeconds = CL.getDouble("backoff", 0.05);
+  O.BreakerThreshold = static_cast<unsigned>(CL.getInt("breaker", 5));
+  O.CacheEntries = static_cast<size_t>(CL.getInt("cache-entries", 16));
+  O.DrainAfterRequests =
+      static_cast<uint64_t>(CL.getInt("drain-after", 0));
+  std::string TracePath = CL.getString("trace-out");
+  O.EnableTrace = !TracePath.empty();
+  const bool Quiet = CL.hasFlag("quiet");
+
+  signals::installDrainHandlers();
+  Server S(O);
+  std::string Err;
+  if (!S.start(&Err)) {
+    std::fprintf(stderr, "vbmc-serve: %s\n", Err.c_str());
+    return 2;
+  }
+  if (!Quiet)
+    std::fprintf(stderr, "vbmc-serve: listening on %s (%u workers)\n",
+                 O.SocketPath.c_str(), O.Workers);
+  int Rc = S.wait();
+  if (!Quiet) {
+    const ServerSummary &Sum = S.summary();
+    std::fprintf(stderr,
+                 "vbmc-serve: drained (%s): %llu accepted, %llu answered, "
+                 "%llu shed, %llu restarts\n",
+                 Sum.DrainReason.c_str(),
+                 static_cast<unsigned long long>(Sum.Accepted),
+                 static_cast<unsigned long long>(Sum.Answered),
+                 static_cast<unsigned long long>(Sum.Shed),
+                 static_cast<unsigned long long>(Sum.WorkerRestarts));
+  }
+
+  std::string JsonPath = CL.getString("report-json");
+  if (!JsonPath.empty()) {
+    std::string Doc = S.formatSummaryJson();
+    if (JsonPath == "-") {
+      std::printf("%s\n", Doc.c_str());
+    } else {
+      std::ofstream Out(JsonPath);
+      Out << Doc << '\n';
+      if (!Out) {
+        std::fprintf(stderr, "vbmc-serve: cannot write summary to '%s'\n",
+                     JsonPath.c_str());
+        return Rc ? Rc : 1;
+      }
+    }
+  }
+  if (!TracePath.empty()) {
+    std::ofstream Out(TracePath);
+    Out << S.trace().formatChromeTrace() << '\n';
+  }
+  return Rc;
+}
+
+int runClient(const CommandLine &CL) {
+  std::string Sock = CL.getString("connect");
+  const std::vector<std::string> &Files = CL.positionals();
+  if (Files.empty()) {
+    std::fprintf(stderr, "vbmc-serve: --connect needs FILE arguments\n");
+    return 2;
+  }
+
+  Request Base;
+  Base.Check.Mode = driver::EngineMode::Incremental;
+  std::string Mode = CL.getString("mode", "incremental");
+  if (!driver::engineModeFromName(Mode, Base.Check.Mode)) {
+    std::fprintf(stderr, "vbmc-serve: unknown mode '%s'\n", Mode.c_str());
+    return 2;
+  }
+  Base.Check.Opts.K = static_cast<uint32_t>(CL.getInt("k", Base.Check.Opts.K));
+  Base.Check.Opts.L = static_cast<uint32_t>(CL.getInt("l", Base.Check.Opts.L));
+  Base.Check.MaxK = static_cast<uint32_t>(CL.getInt("max-k", Base.Check.MaxK));
+  Base.Check.Threads =
+      static_cast<uint32_t>(CL.getInt("threads", Base.Check.Threads));
+  Base.DeadlineSeconds = CL.getDouble("deadline", 0);
+  Base.Priority = CL.getInt("priority", 0);
+  uint64_t Repeat = static_cast<uint64_t>(CL.getInt("repeat", 1));
+  if (Repeat < 1)
+    Repeat = 1;
+  double RecvTimeout = CL.getDouble("timeout", 300);
+
+  Client C;
+  std::string Err;
+  if (!C.connect(Sock, CL.getDouble("connect-timeout", 10), &Err)) {
+    std::fprintf(stderr, "vbmc-serve: %s\n", Err.c_str());
+    return 2;
+  }
+
+  std::map<std::string, Request> Pending;
+  for (uint64_t Round = 0; Round < Repeat; ++Round) {
+    for (size_t F = 0; F < Files.size(); ++F) {
+      const std::string &File = Files[F];
+      std::ifstream In(File);
+      if (!In) {
+        std::fprintf(stderr, "vbmc-serve: cannot read '%s'\n", File.c_str());
+        return 2;
+      }
+      std::ostringstream Text;
+      Text << In.rdbuf();
+      Request R = Base;
+      R.Program = Text.str();
+      R.Id = File + "#" + std::to_string(Round) + "." + std::to_string(F);
+      Pending[R.Id] = R;
+    }
+  }
+  const uint64_t Sent = Pending.size();
+  for (const auto &KV : Pending)
+    if (!C.send(KV.second)) {
+      std::fprintf(stderr, "vbmc-serve: daemon went away mid-send\n");
+      return 1;
+    }
+
+  // Shed responses are not final: honor the daemon's retry-after hint and
+  // resubmit, bounded per request so a daemon stuck in drain cannot loop
+  // the batch forever. Resubmits are queued with a due time rather than
+  // slept on inline, so a burst of sheds never stalls the receive loop.
+  const uint64_t MaxShedRetries =
+      static_cast<uint64_t>(CL.getInt("max-shed-retries", 32));
+  std::map<std::string, uint64_t> ShedRetries;
+  std::vector<std::pair<std::chrono::steady_clock::time_point, std::string>>
+      Resubmit;
+  const auto Start = std::chrono::steady_clock::now();
+  auto secondsLeft = [&] {
+    return RecvTimeout - std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - Start)
+                             .count();
+  };
+  uint64_t Got = 0, NotOk = 0;
+  Response R;
+  while (Got < Sent) {
+    // Fire every resubmit that has come due.
+    const auto Now = std::chrono::steady_clock::now();
+    bool SendFailed = false;
+    for (size_t I = 0; I < Resubmit.size();) {
+      if (Resubmit[I].first > Now) {
+        ++I;
+        continue;
+      }
+      auto It = Pending.find(Resubmit[I].second);
+      if (It == Pending.end() || !C.send(It->second))
+        SendFailed = true;
+      Resubmit[I] = Resubmit.back();
+      Resubmit.pop_back();
+    }
+    double Left = secondsLeft();
+    if (Left <= 0 || SendFailed)
+      break;
+    double Poll = std::min(Left, 0.25);
+    if (!C.receive(R, Poll, &Err)) {
+      if (Err == "timeout")
+        continue;
+      if (!Resubmit.empty()) {
+        // Connection is unhealthy but resubmits are queued; give them a
+        // chance to fire (their send failing ends the loop).
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      break;
+    }
+    if (R.Status == "shed" && ShedRetries[R.Id]++ < MaxShedRetries &&
+        Pending.count(R.Id)) {
+      double Wait = std::min(std::max(R.RetryAfterSeconds, 0.01), 5.0);
+      Resubmit.emplace_back(std::chrono::steady_clock::now() +
+                                std::chrono::duration_cast<
+                                    std::chrono::steady_clock::duration>(
+                                    std::chrono::duration<double>(Wait)),
+                            R.Id);
+      continue;
+    }
+    ++Got;
+    if (R.Status != "ok")
+      ++NotOk;
+    std::printf("%s\t%s\t%s%s%s\n", R.Id.c_str(), R.Status.c_str(),
+                R.Status == "ok" ? R.Verdict.c_str() : R.Error.c_str(),
+                R.Failure.empty() || R.Failure == "none" ? "" : "\tfailure=",
+                R.Failure.empty() || R.Failure == "none" ? ""
+                                                         : R.Failure.c_str());
+  }
+  if (Got < Sent) {
+    std::fprintf(stderr,
+                 "vbmc-serve: %llu of %llu responses missing (last: %s)\n",
+                 static_cast<unsigned long long>(Sent - Got),
+                 static_cast<unsigned long long>(Sent), Err.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "vbmc-serve: %llu responses (%llu not ok)\n",
+               static_cast<unsigned long long>(Got),
+               static_cast<unsigned long long>(NotOk));
+  return 0;
+}
+
+int runMain(int Argc, char **Argv) {
+  CommandLine CL =
+      CommandLine::parse(Argc, Argv, {"no-retry", "quiet", "help"});
+  if (CL.hasFlag("help")) {
+    printUsage();
+    return 0;
+  }
+  std::vector<std::string> Unknown = CL.unknownFlags(
+      {"socket", "workers", "queue-cap", "max-line-bytes",
+       "default-deadline", "no-retry", "backoff", "breaker", "cache-entries",
+       "drain-after", "report-json", "trace-out", "quiet", "connect",
+       "connect-timeout", "mode", "k", "l", "max-k", "threads", "deadline",
+       "priority", "repeat", "timeout", "max-shed-retries", "inject-fault",
+       "help"});
+  if (!Unknown.empty()) {
+    for (const std::string &F : Unknown)
+      std::fprintf(stderr, "vbmc-serve: unknown flag '--%s'\n", F.c_str());
+    printUsage();
+    return 2;
+  }
+
+  // Hidden self-test hook (see support/FaultInjection.h): workers inherit
+  // the programmatic fault state across fork, so CI can prove the pool
+  // self-heals around a crashing worker.
+  if (CL.hasFlag("inject-fault"))
+    fault::enable(CL.getString("inject-fault"));
+
+  if (CL.hasFlag("connect"))
+    return runClient(CL);
+  if (!CL.hasFlag("socket") || CL.getString("socket").empty()) {
+    std::fprintf(stderr, "vbmc-serve: --socket PATH is required\n");
+    printUsage();
+    return 2;
+  }
+  if (!CL.positionals().empty()) {
+    std::fprintf(stderr, "vbmc-serve: unexpected argument '%s'\n",
+                 CL.positionals().front().c_str());
+    return 2;
+  }
+  return runDaemon(CL);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  try {
+    return runMain(Argc, Argv);
+  } catch (const std::bad_alloc &) {
+    std::fprintf(stderr, "vbmc-serve: error: out of memory (failure=oom)\n");
+    return 2;
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "vbmc-serve: error: internal failure: %s\n",
+                 E.what());
+    return 2;
+  }
+}

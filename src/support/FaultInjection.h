@@ -46,6 +46,23 @@
 ///                              index and witnesses it while the run
 ///                              completes.
 ///
+/// A third family targets the serving layer (src/serve); serve workers
+/// inherit programmatically enabled faults across fork, so enabling one
+/// in the daemon process arms every worker.
+///
+///   serve.worker-crash         a serve worker raises SIGSEGV on the 3rd
+///                              request it serves, so tests can prove the
+///                              supervisor classifies the death, retries
+///                              the victim request and respawns the slot;
+///   serve.hog-memory           a serve worker allocates until bad_alloc
+///                              (256 MB cap) before solving, exiting with
+///                              the OOM marker code — the oom
+///                              classification path;
+///   serve.slow-request         a serve worker sleeps ~1.5s before
+///                              solving, so short-deadline requests
+///                              deterministically deadline-out and the
+///                              supervisor's kill-on-deadline path runs.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VBMC_SUPPORT_FAULTINJECTION_H

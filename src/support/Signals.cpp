@@ -1,0 +1,51 @@
+//===- Signals.cpp - cooperative drain on SIGTERM/SIGINT --------*- C++ -*-===//
+
+#include "support/Signals.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace {
+
+// Plain atomics only: everything the handler touches must be
+// async-signal-safe. sig_atomic_t would do for the flag; std::atomic<int>
+// carries the signal number too and is lock-free on every platform we
+// build for.
+std::atomic<int> DrainSig{0};
+std::atomic<bool> Installed{false};
+
+extern "C" void drainHandler(int Sig) {
+  int Expected = 0;
+  if (!DrainSig.compare_exchange_strong(Expected, Sig)) {
+    // Second delivery: the drain is taking too long for the caller's
+    // taste. Restore the default disposition and re-raise so the process
+    // dies with the conventional signal status. std::signal and raise
+    // are async-signal-safe.
+    std::signal(Sig, SIG_DFL);
+    std::raise(Sig);
+  }
+}
+
+} // namespace
+
+void vbmc::signals::installDrainHandlers() {
+  if (Installed.exchange(true))
+    return;
+  std::signal(SIGTERM, drainHandler);
+  std::signal(SIGINT, drainHandler);
+}
+
+bool vbmc::signals::drainRequested() {
+  return DrainSig.load(std::memory_order_acquire) != 0;
+}
+
+int vbmc::signals::drainSignal() {
+  return DrainSig.load(std::memory_order_acquire);
+}
+
+void vbmc::signals::requestDrain() {
+  int Expected = 0;
+  DrainSig.compare_exchange_strong(Expected, SIGTERM);
+}
+
+void vbmc::signals::resetForTesting() { DrainSig.store(0); }

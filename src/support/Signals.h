@@ -1,0 +1,45 @@
+//===- Signals.h - cooperative drain on SIGTERM/SIGINT ----------*- C++ -*-===//
+///
+/// \file
+/// Shared graceful-shutdown plumbing for the long-running drivers
+/// (`vbmc-serve`, `vbmc-farm`, `vbmc-fuzz`). A termination signal must
+/// never kill a driver mid-write — truncated JSON artifacts and corpus
+/// files are worse than no artifact — so the handler only sets a sticky
+/// process-wide flag; the drivers poll it at their loop boundaries, stop
+/// admitting new work, finish (or deadline-out) what is in flight, flush
+/// their artifacts, and exit through the normal path.
+///
+/// A second delivery of the same signal restores the default disposition
+/// and re-raises it: a wedged drain can always be escaped by signalling
+/// twice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_SUPPORT_SIGNALS_H
+#define VBMC_SUPPORT_SIGNALS_H
+
+namespace vbmc::signals {
+
+/// Installs the SIGTERM/SIGINT drain handlers. Idempotent; call once at
+/// tool startup, before any worker threads or children exist (forked
+/// children inherit the handler, which is harmless — a group-delivered
+/// signal makes them drain too).
+void installDrainHandlers();
+
+/// True once SIGTERM or SIGINT was delivered. Sticky; async-signal-safe
+/// to query from any thread.
+bool drainRequested();
+
+/// The signal that requested the drain (SIGTERM/SIGINT), or 0.
+int drainSignal();
+
+/// Programmatic drain request (the serve daemon's tests use this instead
+/// of raising a real signal in a multi-threaded gtest binary).
+void requestDrain();
+
+/// Clears the flag (tests only — real drains are one-way).
+void resetForTesting();
+
+} // namespace vbmc::signals
+
+#endif // VBMC_SUPPORT_SIGNALS_H

@@ -1,0 +1,338 @@
+//===- Socket.cpp - unix sockets and the newline-delimited protocol -------===//
+
+#include "support/Socket.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VBMC_SOCKETS_POSIX 1
+#else
+#define VBMC_SOCKETS_POSIX 0
+#endif
+
+#if VBMC_SOCKETS_POSIX
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace vbmc::sockets {
+
+const char *readStatusName(ReadStatus S) {
+  switch (S) {
+  case ReadStatus::Line:
+    return "line";
+  case ReadStatus::Eof:
+    return "eof";
+  case ReadStatus::Timeout:
+    return "timeout";
+  case ReadStatus::Oversize:
+    return "oversize";
+  case ReadStatus::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+#if VBMC_SOCKETS_POSIX
+
+bool available() { return true; }
+
+void Fd::reset() {
+  if (Raw >= 0)
+    ::close(Raw);
+  Raw = -1;
+}
+
+namespace {
+
+double monotonicNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Waits until the fd is ready for the given poll events or the deadline
+// passes. Returns 1 ready, 0 timeout, -1 error. DeadlineAt <= 0 waits
+// forever.
+int waitReady(int RawFd, short Events, double DeadlineAt) {
+  for (;;) {
+    int TimeoutMs = -1;
+    if (DeadlineAt > 0) {
+      double Left = DeadlineAt - monotonicNow();
+      if (Left <= 0)
+        return 0;
+      // Round up so a sub-millisecond remainder does not spin.
+      TimeoutMs = static_cast<int>(Left * 1000.0) + 1;
+    }
+    struct pollfd P;
+    P.fd = RawFd;
+    P.events = Events;
+    P.revents = 0;
+    int R = ::poll(&P, 1, TimeoutMs);
+    if (R > 0)
+      return 1;
+    if (R == 0)
+      return 0;
+    if (errno == EINTR)
+      continue;
+    return -1;
+  }
+}
+
+double deadlineFromTimeout(double TimeoutSeconds) {
+  return TimeoutSeconds > 0 ? monotonicNow() + TimeoutSeconds : 0.0;
+}
+
+} // namespace
+
+ReadStatus LineChannel::readLine(std::string &Out, size_t MaxBytes,
+                                 double TimeoutSeconds) {
+  Out.clear();
+  if (!Sock.valid())
+    return ReadStatus::Error;
+  double DeadlineAt = deadlineFromTimeout(TimeoutSeconds);
+  for (;;) {
+    // Drain whatever is buffered first: a previous recv may have
+    // delivered several lines at once.
+    while (!Buf.empty()) {
+      size_t Nl = Buf.find('\n');
+      if (Discard > 0) {
+        // Oversize mode: throw bytes away until the newline resyncs us.
+        if (Nl == std::string::npos) {
+          Discard += Buf.size();
+          Buf.clear();
+          break;
+        }
+        Buf.erase(0, Nl + 1);
+        Discard = 0;
+        return ReadStatus::Oversize;
+      }
+      if (Nl != std::string::npos) {
+        if (Nl > MaxBytes) {
+          Buf.erase(0, Nl + 1);
+          return ReadStatus::Oversize;
+        }
+        Out.assign(Buf, 0, Nl);
+        Buf.erase(0, Nl + 1);
+        return ReadStatus::Line;
+      }
+      if (Buf.size() > MaxBytes) {
+        Discard = Buf.size();
+        Buf.clear();
+        break;
+      }
+      break;
+    }
+    if (SawEof)
+      return ReadStatus::Eof;
+
+    int Ready = waitReady(Sock.get(), POLLIN, DeadlineAt);
+    if (Ready == 0)
+      return ReadStatus::Timeout;
+    if (Ready < 0)
+      return ReadStatus::Error;
+
+    char Chunk[4096];
+    ssize_t N = ::recv(Sock.get(), Chunk, sizeof(Chunk), 0);
+    if (N > 0) {
+      Buf.append(Chunk, static_cast<size_t>(N));
+      continue;
+    }
+    if (N == 0) {
+      SawEof = true;
+      continue;
+    }
+    if (errno == EINTR)
+      continue;
+    return ReadStatus::Error;
+  }
+}
+
+bool LineChannel::writeLine(const std::string &Line) {
+  if (!Sock.valid())
+    return false;
+  std::string Frame = Line;
+  Frame.push_back('\n');
+  size_t Off = 0;
+  while (Off < Frame.size()) {
+    ssize_t N = ::send(Sock.get(), Frame.data() + Off, Frame.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N > 0) {
+      Off += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EINTR || errno == EAGAIN))
+      continue;
+    return false;
+  }
+  return true;
+}
+
+bool LineChannel::shutdownWrite() {
+  return Sock.valid() && ::shutdown(Sock.get(), SHUT_WR) == 0;
+}
+
+UnixListener::~UnixListener() { close(); }
+
+void UnixListener::close() {
+  if (Sock.valid())
+    Sock.reset();
+  if (!Path.empty()) {
+    ::unlink(Path.c_str());
+    Path.clear();
+  }
+}
+
+bool UnixListener::listen(const std::string &SockPath, std::string *Err) {
+  close();
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  if (SockPath.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "socket path too long (" + std::to_string(SockPath.size()) +
+             " bytes; limit is " + std::to_string(sizeof(Addr.sun_path) - 1) +
+             "): " + SockPath;
+    return false;
+  }
+  int Raw = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Raw < 0) {
+    if (Err)
+      *Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  Fd Owned(Raw);
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, SockPath.c_str(), SockPath.size() + 1);
+  // A stale file from a crashed daemon would make bind fail forever.
+  ::unlink(SockPath.c_str());
+  if (::bind(Raw, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    if (Err)
+      *Err = "bind " + SockPath + ": " + std::strerror(errno);
+    return false;
+  }
+  if (::listen(Raw, 64) < 0) {
+    if (Err)
+      *Err = "listen " + SockPath + ": " + std::strerror(errno);
+    ::unlink(SockPath.c_str());
+    return false;
+  }
+  Sock = std::move(Owned);
+  Path = SockPath;
+  return true;
+}
+
+Fd UnixListener::accept(double TimeoutSeconds, bool &TimedOut) {
+  TimedOut = false;
+  if (!Sock.valid())
+    return Fd();
+  double DeadlineAt = deadlineFromTimeout(TimeoutSeconds);
+  for (;;) {
+    int Ready = waitReady(Sock.get(), POLLIN, DeadlineAt);
+    if (Ready == 0) {
+      TimedOut = true;
+      return Fd();
+    }
+    if (Ready < 0)
+      return Fd();
+    int Conn = ::accept(Sock.get(), nullptr, nullptr);
+    if (Conn >= 0)
+      return Fd(Conn);
+    if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED)
+      continue;
+    return Fd();
+  }
+}
+
+Fd connectUnix(const std::string &Path, double TimeoutSeconds,
+               std::string *Err) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "socket path too long: " + Path;
+    return Fd();
+  }
+  double DeadlineAt = deadlineFromTimeout(TimeoutSeconds);
+  for (;;) {
+    int Raw = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Raw < 0) {
+      if (Err)
+        *Err = std::string("socket: ") + std::strerror(errno);
+      return Fd();
+    }
+    Fd Owned(Raw);
+    Addr.sun_family = AF_UNIX;
+    std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+    if (::connect(Raw, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
+        0)
+      return Owned;
+    // The daemon may still be binding its socket; retry until the
+    // caller's deadline instead of failing the first connect.
+    bool Retryable = errno == ENOENT || errno == ECONNREFUSED ||
+                     errno == EINTR || errno == EAGAIN;
+    if (!Retryable || (DeadlineAt > 0 && monotonicNow() >= DeadlineAt)) {
+      if (Err)
+        *Err = "connect " + Path + ": " + std::strerror(errno);
+      return Fd();
+    }
+    ::usleep(20 * 1000);
+  }
+}
+
+bool socketPair(Fd &A, Fd &B, std::string *Err) {
+  int Raw[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Raw) < 0) {
+    if (Err)
+      *Err = std::string("socketpair: ") + std::strerror(errno);
+    return false;
+  }
+  A = Fd(Raw[0]);
+  B = Fd(Raw[1]);
+  return true;
+}
+
+#else // !VBMC_SOCKETS_POSIX
+
+bool available() { return false; }
+
+void Fd::reset() { Raw = -1; }
+
+ReadStatus LineChannel::readLine(std::string &, size_t, double) {
+  return ReadStatus::Error;
+}
+
+bool LineChannel::writeLine(const std::string &) { return false; }
+
+bool LineChannel::shutdownWrite() { return false; }
+
+UnixListener::~UnixListener() {}
+void UnixListener::close() {}
+bool UnixListener::listen(const std::string &, std::string *Err) {
+  if (Err)
+    *Err = "unix sockets are not supported on this platform";
+  return false;
+}
+Fd UnixListener::accept(double, bool &TimedOut) {
+  TimedOut = false;
+  return Fd();
+}
+
+Fd connectUnix(const std::string &, double, std::string *Err) {
+  if (Err)
+    *Err = "unix sockets are not supported on this platform";
+  return Fd();
+}
+
+bool socketPair(Fd &, Fd &, std::string *Err) {
+  if (Err)
+    *Err = "unix sockets are not supported on this platform";
+  return false;
+}
+
+#endif // VBMC_SOCKETS_POSIX
+
+} // namespace vbmc::sockets

@@ -1,0 +1,157 @@
+//===- Socket.h - unix sockets and the newline-delimited protocol -*- C++ -*-===//
+///
+/// \file
+/// The transport substrate of the serving layer (`src/serve`): RAII file
+/// descriptors, unix-domain stream sockets (listener + connect), anonymous
+/// socket pairs for parent/worker links, and a buffered line reader for
+/// the newline-delimited JSON protocol.
+///
+/// Design points the serve layer leans on:
+///
+///  * every read path takes a wall-clock timeout (poll + monotonic
+///    Deadline), so a stalled peer can never wedge a server thread — the
+///    caller classifies the timeout itself;
+///  * the line reader enforces a caller-chosen byte ceiling and reports
+///    oversize lines as a distinct outcome (the admission layer's
+///    oversize-request rejection), resynchronizing at the next newline so
+///    one hostile line does not poison the connection;
+///  * writes use MSG_NOSIGNAL (no SIGPIPE: a client that disconnects
+///    mid-response must surface as an error return, not kill the daemon).
+///
+/// POSIX-only, like support/Sandbox.h; sockets::available() reports
+/// support, and the serve layer degrades to a clear startup error where
+/// it is absent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_SUPPORT_SOCKET_H
+#define VBMC_SUPPORT_SOCKET_H
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+namespace vbmc::sockets {
+
+/// True when unix-domain sockets are supported on this platform.
+bool available();
+
+/// An owned file descriptor (closed on destruction, move-only).
+class Fd {
+public:
+  Fd() = default;
+  explicit Fd(int RawFd) : Raw(RawFd) {}
+  Fd(Fd &&O) noexcept : Raw(O.Raw) { O.Raw = -1; }
+  Fd &operator=(Fd &&O) noexcept {
+    if (this != &O) {
+      reset();
+      Raw = O.Raw;
+      O.Raw = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd &) = delete;
+  Fd &operator=(const Fd &) = delete;
+  ~Fd() { reset(); }
+
+  int get() const { return Raw; }
+  bool valid() const { return Raw >= 0; }
+  /// Closes the descriptor now (no-op when invalid).
+  void reset();
+  /// Releases ownership without closing.
+  int release() {
+    int R = Raw;
+    Raw = -1;
+    return R;
+  }
+
+private:
+  int Raw = -1;
+};
+
+/// Outcome of one timed line read.
+enum class ReadStatus {
+  Line,     ///< A complete line was delivered (without the newline).
+  Eof,      ///< Orderly shutdown from the peer; no partial line pending.
+  Timeout,  ///< The deadline passed before a full line arrived.
+  Oversize, ///< The line exceeded the byte ceiling; it was discarded and
+            ///< the stream resynchronized at the next newline.
+  Error,    ///< Socket error (peer reset, bad fd, ...).
+};
+
+const char *readStatusName(ReadStatus S);
+
+/// A buffered reader/writer for newline-delimited protocols over one
+/// stream socket. Not thread-safe; the serve layer guards each
+/// connection's writer with its own mutex.
+class LineChannel {
+public:
+  LineChannel() = default;
+  explicit LineChannel(Fd Sock) : Sock(std::move(Sock)) {}
+
+  int fd() const { return Sock.get(); }
+  bool valid() const { return Sock.valid(); }
+  void close() { Sock.reset(); }
+
+  /// Reads the next line into \p Out (newline stripped). Waits at most
+  /// \p TimeoutSeconds (<= 0 = wait forever). \p MaxBytes bounds the line
+  /// length; longer lines are consumed and reported as Oversize.
+  ReadStatus readLine(std::string &Out, size_t MaxBytes,
+                      double TimeoutSeconds);
+
+  /// Writes \p Line plus a trailing newline, retrying partial writes.
+  /// False on any socket error (EPIPE included — never a signal).
+  bool writeLine(const std::string &Line);
+
+  /// Half-closes the write side (a client saying "no more requests"
+  /// while still reading responses). False on error.
+  bool shutdownWrite();
+
+private:
+  Fd Sock;
+  std::string Buf;      ///< Bytes received but not yet returned.
+  size_t Discard = 0;   ///< Oversize mode: bytes to drop until newline.
+  bool SawEof = false;
+};
+
+/// A bound, listening unix-domain socket. The path is unlinked first
+/// (stale socket files from a crashed daemon would otherwise block every
+/// restart) and again on destruction.
+class UnixListener {
+public:
+  UnixListener() = default;
+  ~UnixListener();
+  UnixListener(UnixListener &&) = default;
+  UnixListener &operator=(UnixListener &&) = default;
+
+  /// Binds and listens on \p Path. False (with \p Err) on failure —
+  /// including a path longer than sockaddr_un::sun_path allows.
+  bool listen(const std::string &Path, std::string *Err);
+
+  /// Accepts one connection, waiting at most \p TimeoutSeconds (<= 0 =
+  /// forever). An invalid Fd on timeout or error; \p TimedOut
+  /// distinguishes the two.
+  Fd accept(double TimeoutSeconds, bool &TimedOut);
+
+  bool listening() const { return Sock.valid(); }
+  const std::string &path() const { return Path; }
+  void close();
+
+private:
+  Fd Sock;
+  std::string Path;
+};
+
+/// Connects to the unix-domain socket at \p Path, waiting up to
+/// \p TimeoutSeconds for the connect to complete. Invalid Fd + \p Err on
+/// failure.
+Fd connectUnix(const std::string &Path, double TimeoutSeconds,
+               std::string *Err);
+
+/// An anonymous, connected socket pair (the parent/worker link). False on
+/// failure.
+bool socketPair(Fd &A, Fd &B, std::string *Err);
+
+} // namespace vbmc::sockets
+
+#endif // VBMC_SUPPORT_SOCKET_H

@@ -26,10 +26,13 @@
 #include <algorithm>
 #include <csignal>
 #include <cstring>
+#include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <new>
 #include <thread>
+#include <unordered_map>
 
 using namespace vbmc;
 using namespace vbmc::driver;
@@ -534,6 +537,13 @@ CheckReport runParallelMode(const ir::Program &P, uint32_t MaxK,
 /// incremental mode. Each entry keeps one bmc::IncrementalBmc (circuit +
 /// CDCL solver + per-budget selector literals) keyed by the program text
 /// and every knob that shapes the encoding.
+///
+/// The cache is a hash-keyed LRU: a list ordered most-recently-used
+/// first, plus a multimap from the key's hash to the list node (multimap
+/// because distinct keys may collide on the hash; the full key is
+/// compared before a hit counts). Lookups touch the entry to the front;
+/// capacity pressure evicts from the back, so a serve worker cycling
+/// over a handful of hot programs never drops the one it needs next.
 class vbmc::driver::Engine::Impl {
 public:
   struct CacheEntry {
@@ -541,6 +551,7 @@ public:
     std::unique_ptr<bmc::IncrementalBmc> Inc;
     double TranslateSeconds = 0;
   };
+  using CacheList = std::list<CacheEntry>;
 
   static std::string cacheKey(const ir::Program &P, const CheckRequest &Req) {
     const VbmcOptions &O = Req.Opts;
@@ -551,13 +562,63 @@ public:
            ir::printProgram(P);
   }
 
+  /// Finds and touches the entry for \p Key; null on miss. The returned
+  /// pointer stays valid until the entry is evicted (list nodes never
+  /// move).
+  CacheEntry *lookup(const std::string &Key) {
+    auto Range = Index.equal_range(std::hash<std::string>{}(Key));
+    for (auto It = Range.first; It != Range.second; ++It)
+      if (It->second->Key == Key) {
+        Cache.splice(Cache.begin(), Cache, It->second);
+        return &*It->second;
+      }
+    return nullptr;
+  }
+
+  /// Inserts \p E as the most-recent entry, evicting from the LRU end
+  /// to stay within capacity (evictions are counted into \p Stats).
+  CacheEntry *insert(CacheEntry E, StatsRegistry &Stats) {
+    while (Cache.size() >= Capacity) {
+      removeByKey(Cache.back().Key);
+      Stats.addCount("engine.incremental.cache_evictions");
+    }
+    Cache.push_front(std::move(E));
+    Index.emplace(std::hash<std::string>{}(Cache.front().Key),
+                  Cache.begin());
+    return &Cache.front();
+  }
+
+  /// Drops the entry for \p Key (no-op when absent). Used when a
+  /// persistent solver is left mid-flight inconsistent by an allocation
+  /// failure.
+  void removeByKey(const std::string &Key) {
+    auto Range = Index.equal_range(std::hash<std::string>{}(Key));
+    for (auto It = Range.first; It != Range.second; ++It)
+      if (It->second->Key == Key) {
+        Cache.erase(It->second);
+        Index.erase(It);
+        return;
+      }
+  }
+
+  void setCapacity(size_t Entries) {
+    Capacity = Entries < 1 ? 1 : Entries;
+    // Shrinking drops the least-recently-used overflow now; these are
+    // reconfigurations, not capacity-pressure evictions, so they are
+    // not counted.
+    while (Cache.size() > Capacity)
+      removeByKey(Cache.back().Key);
+  }
+
   CheckReport runIncremental(const ir::Program &P, const CheckRequest &Req,
                              CheckContext &Ctx);
 
-  /// Most-recently-built entries, newest last; bounded so a long-lived
-  /// Engine fuzzing thousands of programs does not hoard solvers.
-  static constexpr size_t MaxCacheEntries = 4;
-  std::vector<CacheEntry> Cache;
+  /// Bounded so a long-lived Engine fuzzing thousands of programs does
+  /// not hoard solvers; serve workers resize via --cache-entries.
+  static constexpr size_t DefaultCacheCapacity = 4;
+  size_t Capacity = DefaultCacheCapacity;
+  CacheList Cache; ///< Most-recently-used first.
+  std::unordered_multimap<uint64_t, CacheList::iterator> Index;
 };
 
 CheckReport
@@ -571,10 +632,7 @@ vbmc::driver::Engine::Impl::runIncremental(const ir::Program &P,
   Opts.Backend = BackendKind::Sat;
 
   const std::string Key = cacheKey(P, Req);
-  CacheEntry *Entry = nullptr;
-  for (CacheEntry &E : Cache)
-    if (E.Key == Key)
-      Entry = &E;
+  CacheEntry *Entry = lookup(Key);
 
   std::string FallbackWhy;
   double TranslateSeconds = 0;
@@ -582,6 +640,7 @@ vbmc::driver::Engine::Impl::runIncremental(const ir::Program &P,
     Ctx.stats().addCount("engine.incremental.cache_hits");
     TranslateSeconds = Entry->TranslateSeconds;
   } else {
+    Ctx.stats().addCount("engine.incremental.cache_misses");
     // Build the one-time encoding: translate at MaxK, encode at the
     // matching context bound, precompute every budget selector.
     try {
@@ -643,11 +702,8 @@ vbmc::driver::Engine::Impl::runIncremental(const ir::Program &P,
                           ? "incremental encoding failed"
                           : Inc->encodeResult().Note;
       } else {
-        if (Cache.size() >= MaxCacheEntries)
-          Cache.erase(Cache.begin());
-        Cache.push_back(
-            CacheEntry{Key, std::move(Inc), TranslateSeconds});
-        Entry = &Cache.back();
+        Entry = insert(CacheEntry{Key, std::move(Inc), TranslateSeconds},
+                       Ctx.stats());
       }
     } catch (const std::bad_alloc &) {
       FallbackWhy = "allocation failure during incremental encoding";
@@ -684,7 +740,7 @@ vbmc::driver::Engine::Impl::runIncremental(const ir::Program &P,
       // The persistent solver may be mid-flight inconsistent after an
       // allocation failure: drop it from the cache and stop the sweep
       // with a classified failure.
-      Cache.erase(Cache.begin() + (Entry - Cache.data()));
+      removeByKey(Key);
       R.Failure = sandbox::FailureKind::OutOfMemory;
       R.Attempts.push_back(Attempt{K, Verdict::Unknown,
                                    sandbox::FailureKind::OutOfMemory, 0});
@@ -723,6 +779,12 @@ vbmc::driver::Engine::Impl::runIncremental(const ir::Program &P,
 
 Engine::Engine() : I(std::make_unique<Impl>()) {}
 Engine::~Engine() = default;
+
+void Engine::setEncodingCacheCapacity(size_t Entries) {
+  I->setCapacity(Entries);
+}
+
+size_t Engine::encodingCacheCapacity() const { return I->Capacity; }
 
 CheckReport Engine::run(const ir::Program &P, const CheckRequest &Req,
                         CheckContext &Ctx) {

@@ -194,6 +194,15 @@ public:
   /// Req.Opts.BudgetSeconds.
   CheckReport run(const ir::Program &P, const CheckRequest &Req);
 
+  /// Resizes the hash-keyed LRU encoding cache (default 4 entries;
+  /// clamped to at least 1). Shrinking evicts least-recently-used
+  /// entries immediately. A serve worker answering a narrow request mix
+  /// raises this so every distinct program it sees stays warm;
+  /// cache_hits / cache_misses / cache_evictions counters under
+  /// engine.incremental.* report how well the size fits the traffic.
+  void setEncodingCacheCapacity(size_t Entries);
+  size_t encodingCacheCapacity() const;
+
   class Impl;
 
 private:

@@ -92,6 +92,9 @@ void printUsage() {
       "  --ra-reference     answer with the exact RA explorer instead\n"
       "  --max-k N          deepening-mode ceiling (default 6)\n"
       "  --threads N        parallel-deepening worker threads (default 2)\n"
+      "  --cache-entries N  incremental-mode encoding-cache capacity\n"
+      "                     (default 4; matters only when one process\n"
+      "                     checks several programs, e.g. vbmc-serve)\n"
       "legacy flags, mapped onto --mode (which wins when both are given):\n"
       "  --portfolio        = --mode portfolio\n"
       "  --iterative        = --mode iterative\n"
@@ -269,6 +272,9 @@ int runMain(int Argc, char **Argv) {
                          Mode == driver::EngineMode::ParallelDeepening ||
                          Mode == driver::EngineMode::Incremental;
   driver::Engine Engine;
+  if (CL.hasFlag("cache-entries"))
+    Engine.setEncodingCacheCapacity(
+        static_cast<size_t>(CL.getInt("cache-entries", 4)));
   driver::CheckReport R = Engine.run(*Parsed, Req, Ctx);
 
   auto emitObservability = [&] {

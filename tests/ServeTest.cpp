@@ -1,0 +1,646 @@
+//===- ServeTest.cpp - the crash-tolerant verification service ------------===//
+//
+// The serving layer end to end: wire-format validation, round trips
+// through an in-process daemon, admission control (malformed requests,
+// oversize lines, queue-full shedding), deadline expiry mid-solve,
+// injected worker crash/OOM classification with retry and respawn,
+// graceful drain under load with zero dropped requests, and the warm
+// encoding cache across identical requests. The SIGTERM suite at the
+// bottom runs the real vbmc-serve / vbmc-farm / vbmc-fuzz binaries and
+// pins the signal-drain contract: a mid-run termination signal yields a
+// clean exit and a valid JSON artifact, never a truncated one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+#include "serve/Serve.h"
+#include "support/FaultInjection.h"
+#include "support/Json.h"
+#include "support/Signals.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <sys/wait.h>
+#include <thread>
+
+using namespace vbmc;
+using namespace vbmc::serve;
+
+namespace {
+
+// Message passing and its stale-read variant (tests/corpus/mp*.ra): one
+// program safe at every K, one unsafe at K >= 1.
+const char *SafeProg = R"(
+var x f;
+proc p0 { x = 1; f = 1; }
+proc p1 {
+  reg a1 b1;
+  a1 = f;
+  b1 = x;
+  assert(!((a1 == 1) && (b1 == 0)));
+}
+)";
+
+const char *UnsafeProg = R"(
+var x f;
+proc p0 { x = 1; f = 1; }
+proc p1 {
+  reg a1 b1;
+  b1 = x;
+  a1 = f;
+  assert(!((a1 == 1) && (b1 == 0)));
+}
+)";
+
+std::filesystem::path uniquePath(const std::string &Stem) {
+  static std::atomic<unsigned> Counter{0};
+  return std::filesystem::temp_directory_path() /
+         (Stem + "." + std::to_string(::getpid()) + "." +
+          std::to_string(Counter.fetch_add(1)));
+}
+
+Request makeRequest(const std::string &Id, const char *Prog) {
+  Request R;
+  R.Id = Id;
+  R.Program = Prog;
+  R.Check.Mode = driver::EngineMode::Incremental;
+  R.Check.MaxK = 2;
+  return R;
+}
+
+/// An in-process daemon on a unique socket plus its wait() thread.
+/// Tests drive a Client against it, then drain() and assert on the
+/// summary.
+class TestServer {
+public:
+  explicit TestServer(ServerOptions O) : Opts(std::move(O)) {
+    if (Opts.SocketPath.empty())
+      Opts.SocketPath = uniquePath("vbmc-serve-test.sock").string();
+  }
+  ~TestServer() {
+    drain();
+    std::filesystem::remove(Opts.SocketPath);
+  }
+
+  bool start() {
+    S = std::make_unique<Server>(Opts);
+    std::string Err;
+    if (!S->start(&Err)) {
+      ADD_FAILURE() << "server start failed: " << Err;
+      return false;
+    }
+    Waiter = std::thread([this] { Rc.store(S->wait()); });
+    return true;
+  }
+
+  int drain() {
+    if (!Waiter.joinable())
+      return Rc.load();
+    S->requestDrain("test");
+    Waiter.join();
+    return Rc.load();
+  }
+
+  Server &server() { return *S; }
+  const std::string &socket() const { return Opts.SocketPath; }
+
+private:
+  ServerOptions Opts;
+  std::unique_ptr<Server> S;
+  std::thread Waiter;
+  std::atomic<int> Rc{-1};
+};
+
+/// Receives exactly \p N responses, keyed by id.
+std::map<std::string, Response> receiveAll(Client &C, size_t N,
+                                           double Timeout = 120) {
+  std::map<std::string, Response> Out;
+  for (size_t I = 0; I < N; ++I) {
+    Response R;
+    std::string Err;
+    if (!C.receive(R, Timeout, &Err)) {
+      ADD_FAILURE() << "receive " << I << "/" << N << " failed: " << Err;
+      break;
+    }
+    Out[R.Id] = R;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Wire format
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocol, RequestRoundTrip) {
+  Request R = makeRequest("req-1", SafeProg);
+  R.Check.Opts.K = 3;
+  R.Check.Opts.L = 4;
+  R.Check.MaxK = 5;
+  R.DeadlineSeconds = 7.5;
+  R.Priority = -2;
+
+  Request Back;
+  std::string Err;
+  ASSERT_TRUE(parseRequestLine(formatRequestLine(R), Back, Err)) << Err;
+  EXPECT_EQ(Back.Id, "req-1");
+  EXPECT_EQ(Back.Program, R.Program);
+  EXPECT_EQ(Back.Check.Mode, driver::EngineMode::Incremental);
+  EXPECT_EQ(Back.Check.Opts.K, 3u);
+  EXPECT_EQ(Back.Check.Opts.L, 4u);
+  EXPECT_EQ(Back.Check.MaxK, 5u);
+  EXPECT_DOUBLE_EQ(Back.DeadlineSeconds, 7.5);
+  EXPECT_EQ(Back.Priority, -2);
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests) {
+  Request R;
+  std::string Err;
+  // Bad JSON.
+  EXPECT_FALSE(parseRequestLine("{nope", R, Err));
+  EXPECT_NE(Err.find("bad JSON"), std::string::npos) << Err;
+  // Not an object.
+  EXPECT_FALSE(parseRequestLine("[1,2]", R, Err));
+  // Unknown key (a typoed field must not be silently ignored).
+  EXPECT_FALSE(parseRequestLine(
+      R"({"id":"a","program":"var x;","deadine_seconds":1})", R, Err));
+  EXPECT_NE(Err.find("unknown key"), std::string::npos) << Err;
+  // Missing id / program.
+  EXPECT_FALSE(parseRequestLine(R"({"program":"var x;"})", R, Err));
+  EXPECT_FALSE(parseRequestLine(R"({"id":"a"})", R, Err));
+  // Wrong schema.
+  EXPECT_FALSE(parseRequestLine(
+      R"({"schema":"nope/v9","id":"a","program":"var x;"})", R, Err));
+  // Ill-typed fields.
+  EXPECT_FALSE(parseRequestLine(
+      R"({"id":"a","program":"var x;","k":"three"})", R, Err));
+  EXPECT_FALSE(parseRequestLine(
+      R"({"id":"a","program":"var x;","deadline_seconds":-1})", R, Err));
+  EXPECT_FALSE(parseRequestLine(
+      R"({"id":"a","program":"var x;","mode":"warp"})", R, Err));
+  // The id is still surfaced for rejections when readable.
+  std::string Id;
+  EXPECT_FALSE(parseRequestLine(
+      R"({"id":"req-9","program":"var x;","bogus":1})", R, Err, &Id));
+  EXPECT_EQ(Id, "req-9");
+}
+
+//===----------------------------------------------------------------------===//
+// Round trips
+//===----------------------------------------------------------------------===//
+
+TEST(ServeServer, RoundTripVerdicts) {
+  TestServer T({});
+  ASSERT_TRUE(T.start());
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(T.socket(), 10, &Err)) << Err;
+  ASSERT_TRUE(C.send(makeRequest("safe", SafeProg)));
+  ASSERT_TRUE(C.send(makeRequest("unsafe", UnsafeProg)));
+  auto Got = receiveAll(C, 2);
+  ASSERT_EQ(Got.size(), 2u);
+  EXPECT_EQ(Got["safe"].Status, "ok");
+  EXPECT_EQ(Got["safe"].Verdict, "safe");
+  EXPECT_EQ(Got["unsafe"].Status, "ok");
+  EXPECT_EQ(Got["unsafe"].Verdict, "unsafe");
+  // Responses embed complete vbmc-run-report/v1 documents.
+  json::Value Rep;
+  ASSERT_TRUE(json::parse(Got["safe"].ReportJson, Rep, &Err)) << Err;
+  ASSERT_TRUE(Rep.isObject());
+  ASSERT_NE(Rep.get("schema"), nullptr);
+  EXPECT_EQ(Rep.get("schema")->asString(), "vbmc-run-report/v1");
+
+  EXPECT_EQ(T.drain(), 0);
+  const ServerSummary &Sum = T.server().summary();
+  EXPECT_EQ(Sum.Accepted, 2u);
+  EXPECT_EQ(Sum.Answered, 2u);
+  EXPECT_EQ(Sum.Verdicts.at("safe"), 1u);
+  EXPECT_EQ(Sum.Verdicts.at("unsafe"), 1u);
+  // The summary document is valid JSON carrying the same counts.
+  json::Value Doc;
+  ASSERT_TRUE(json::parse(T.server().formatSummaryJson(), Doc, &Err)) << Err;
+  EXPECT_EQ(Doc.get("schema")->asString(), SummarySchema);
+  EXPECT_EQ(Doc.get("answered")->asNumber(), 2);
+}
+
+TEST(ServeServer, MalformedLinesRejectedWithoutPoisoningConnection) {
+  TestServer T({});
+  ASSERT_TRUE(T.start());
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(T.socket(), 10, &Err)) << Err;
+  ASSERT_TRUE(C.sendLine("{this is not json"));
+  ASSERT_TRUE(C.sendLine(R"({"id":"u","program":"var x;","nope":1})"));
+  ASSERT_TRUE(C.sendLine(R"({"id":"p","program":"not a program at all"})"));
+  ASSERT_TRUE(C.send(makeRequest("good", SafeProg)));
+
+  auto Got = receiveAll(C, 4);
+  ASSERT_EQ(Got.size(), 4u);
+  // Bad JSON carries no readable id; it keys as "".
+  EXPECT_EQ(Got[""].Status, "rejected");
+  EXPECT_EQ(Got["u"].Status, "rejected");
+  EXPECT_NE(Got["u"].Error.find("unknown key"), std::string::npos);
+  EXPECT_EQ(Got["p"].Status, "rejected");
+  EXPECT_NE(Got["p"].Error.find("parse error"), std::string::npos);
+  // The connection survived three bad lines.
+  EXPECT_EQ(Got["good"].Status, "ok");
+  EXPECT_EQ(Got["good"].Verdict, "safe");
+
+  EXPECT_EQ(T.drain(), 0);
+  EXPECT_EQ(T.server().summary().Rejected, 3u);
+  EXPECT_EQ(T.server().summary().Answered, 1u);
+}
+
+TEST(ServeServer, OversizeLineRejected) {
+  ServerOptions O;
+  O.MaxLineBytes = 4096;
+  TestServer T(O);
+  ASSERT_TRUE(T.start());
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(T.socket(), 10, &Err)) << Err;
+  ASSERT_TRUE(C.sendLine(std::string(64 * 1024, 'x')));
+  ASSERT_TRUE(C.send(makeRequest("after", SafeProg)));
+
+  auto Got = receiveAll(C, 2);
+  ASSERT_EQ(Got.size(), 2u);
+  EXPECT_EQ(Got[""].Status, "rejected");
+  EXPECT_NE(Got[""].Error.find("exceeds"), std::string::npos);
+  // The stream resynchronized at the newline; the next request worked.
+  EXPECT_EQ(Got["after"].Status, "ok");
+  EXPECT_EQ(T.drain(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Deadlines, shedding, priorities
+//===----------------------------------------------------------------------===//
+
+TEST(ServeServer, DeadlineExpiryMidSolveClassifiedTimeout) {
+  fault::ScopedFault Slow("serve.slow-request"); // Worker sleeps ~1.5s.
+  ServerOptions O;
+  O.Workers = 1;
+  O.Retry = false;
+  TestServer T(O);
+  ASSERT_TRUE(T.start());
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(T.socket(), 10, &Err)) << Err;
+  Request R = makeRequest("doomed", SafeProg);
+  R.DeadlineSeconds = 0.4; // Expires inside the worker's sleep.
+  ASSERT_TRUE(C.send(R));
+  auto Got = receiveAll(C, 1, 30);
+  ASSERT_EQ(Got.size(), 1u);
+  // Answered, not dropped: a classified timeout failure.
+  EXPECT_EQ(Got["doomed"].Status, "ok");
+  EXPECT_EQ(Got["doomed"].Verdict, "unknown");
+  EXPECT_EQ(Got["doomed"].Failure, "timeout");
+
+  EXPECT_EQ(T.drain(), 0);
+  EXPECT_EQ(T.server().summary().Failures.at("timeout"), 1u);
+  // The hung worker was killed and the slot respawned.
+  EXPECT_GE(T.server().summary().WorkerRestarts, 1u);
+}
+
+TEST(ServeServer, QueueFullSheds) {
+  fault::ScopedFault Slow("serve.slow-request"); // Make the queue back up.
+  ServerOptions O;
+  O.Workers = 1;
+  O.QueueCap = 1;
+  TestServer T(O);
+  ASSERT_TRUE(T.start());
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(T.socket(), 10, &Err)) << Err;
+  const size_t N = 6;
+  for (size_t I = 0; I < N; ++I)
+    ASSERT_TRUE(C.send(makeRequest("q" + std::to_string(I), SafeProg)));
+
+  auto Got = receiveAll(C, N, 60);
+  ASSERT_EQ(Got.size(), N);
+  size_t Ok = 0, ShedCount = 0;
+  for (const auto &KV : Got) {
+    if (KV.second.Status == "ok") {
+      ++Ok;
+    } else {
+      ASSERT_EQ(KV.second.Status, "shed");
+      EXPECT_GT(KV.second.RetryAfterSeconds, 0.0);
+      ++ShedCount;
+    }
+  }
+  // One in flight plus one queued can be admitted at a time; with six
+  // arriving at once at least one must shed, and nothing may be dropped.
+  EXPECT_GE(ShedCount, 1u);
+  EXPECT_EQ(Ok + ShedCount, N);
+
+  EXPECT_EQ(T.drain(), 0);
+  const ServerSummary &Sum = T.server().summary();
+  EXPECT_EQ(Sum.Shed, ShedCount);
+  EXPECT_EQ(Sum.Answered, Sum.Accepted);
+}
+
+//===----------------------------------------------------------------------===//
+// Worker death classification, retry, breaker
+//===----------------------------------------------------------------------===//
+
+TEST(ServeServer, InjectedCrashClassifiedAndRetried) {
+  fault::ScopedFault Crash("serve.worker-crash"); // SIGSEGV on 3rd request.
+  ServerOptions O;
+  O.Workers = 1;
+  TestServer T(O);
+  ASSERT_TRUE(T.start());
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(T.socket(), 10, &Err)) << Err;
+  const size_t N = 4;
+  for (size_t I = 0; I < N; ++I)
+    ASSERT_TRUE(C.send(makeRequest("c" + std::to_string(I), SafeProg)));
+
+  auto Got = receiveAll(C, N, 120);
+  ASSERT_EQ(Got.size(), N);
+  // The crash victim was retried on a fresh worker and still answered
+  // with a verdict; everything else was untouched.
+  uint64_t TotalRetries = 0;
+  for (const auto &KV : Got) {
+    EXPECT_EQ(KV.second.Status, "ok") << KV.first;
+    EXPECT_EQ(KV.second.Verdict, "safe") << KV.first;
+    TotalRetries += KV.second.Retries;
+  }
+  EXPECT_GE(TotalRetries, 1u);
+
+  EXPECT_EQ(T.drain(), 0);
+  const ServerSummary &Sum = T.server().summary();
+  EXPECT_EQ(Sum.Answered, N);
+  EXPECT_GE(Sum.WorkerRestarts, 1u);
+  EXPECT_GE(Sum.Retries, 1u);
+  EXPECT_EQ(Sum.BreakerTrips, 0u); // Progress resets the breaker.
+}
+
+TEST(ServeServer, InjectedCrashWithoutRetryClassified) {
+  fault::ScopedFault Crash("serve.worker-crash");
+  ServerOptions O;
+  O.Workers = 1;
+  O.Retry = false;
+  TestServer T(O);
+  ASSERT_TRUE(T.start());
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(T.socket(), 10, &Err)) << Err;
+  for (size_t I = 0; I < 3; ++I)
+    ASSERT_TRUE(C.send(makeRequest("c" + std::to_string(I), SafeProg)));
+
+  auto Got = receiveAll(C, 3, 120);
+  ASSERT_EQ(Got.size(), 3u);
+  size_t Crashed = 0;
+  for (const auto &KV : Got)
+    if (KV.second.Failure == "crash")
+      ++Crashed;
+  EXPECT_EQ(Crashed, 1u); // Exactly the 3rd-served request.
+  EXPECT_EQ(T.drain(), 0);
+  EXPECT_EQ(T.server().summary().Failures.at("crash"), 1u);
+}
+
+TEST(ServeServer, InjectedOomClassified) {
+  fault::ScopedFault Hog("serve.hog-memory"); // Every request OOMs.
+  ServerOptions O;
+  O.Workers = 1;
+  O.Retry = false;
+  TestServer T(O);
+  ASSERT_TRUE(T.start());
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(T.socket(), 10, &Err)) << Err;
+  ASSERT_TRUE(C.send(makeRequest("hog", SafeProg)));
+  auto Got = receiveAll(C, 1, 120);
+  ASSERT_EQ(Got.size(), 1u);
+  EXPECT_EQ(Got["hog"].Status, "ok");
+  EXPECT_EQ(Got["hog"].Verdict, "unknown");
+  EXPECT_EQ(Got["hog"].Failure, "oom");
+  EXPECT_EQ(T.drain(), 0);
+  EXPECT_EQ(T.server().summary().Failures.at("oom"), 1u);
+}
+
+TEST(ServeServer, RestartStormTripsBreaker) {
+  fault::ScopedFault Hog("serve.hog-memory"); // Dies on every request.
+  ServerOptions O;
+  O.Workers = 1;
+  O.Retry = false;
+  O.BreakerThreshold = 2;
+  O.BackoffSeconds = 0.01;
+  TestServer T(O);
+  ASSERT_TRUE(T.start());
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(T.socket(), 10, &Err)) << Err;
+  const size_t N = 5;
+  for (size_t I = 0; I < N; ++I)
+    ASSERT_TRUE(C.send(makeRequest("b" + std::to_string(I), SafeProg)));
+  auto Got = receiveAll(C, N, 120);
+  ASSERT_EQ(Got.size(), N);
+  // Every request is still answered — first ones as oom, later ones
+  // refused by the tripped breaker, all classified, none dropped.
+  for (const auto &KV : Got) {
+    EXPECT_EQ(KV.second.Status, "ok");
+    EXPECT_EQ(KV.second.Verdict, "unknown");
+  }
+  EXPECT_EQ(T.drain(), 0);
+  const ServerSummary &Sum = T.server().summary();
+  EXPECT_EQ(Sum.Answered, N);
+  EXPECT_GE(Sum.BreakerTrips, 1u);
+  // The breaker capped the respawn storm: at most threshold restarts.
+  EXPECT_LE(Sum.WorkerRestarts, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Drain under load
+//===----------------------------------------------------------------------===//
+
+TEST(ServeServer, GracefulDrainUnderLoadDropsNothing) {
+  ServerOptions O;
+  O.Workers = 2;
+  TestServer T(O);
+  ASSERT_TRUE(T.start());
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(T.socket(), 10, &Err)) << Err;
+  const size_t N = 16;
+  for (size_t I = 0; I < N; ++I)
+    ASSERT_TRUE(C.send(makeRequest(
+        "d" + std::to_string(I), I % 2 ? UnsafeProg : SafeProg)));
+  // Drain while most of the batch is still queued.
+  T.server().requestDrain("test-under-load");
+
+  auto Got = receiveAll(C, N, 120);
+  ASSERT_EQ(Got.size(), N);
+  size_t Ok = 0, ShedCount = 0;
+  for (const auto &KV : Got) {
+    if (KV.second.Status == "ok")
+      ++Ok;
+    else if (KV.second.Status == "shed")
+      ++ShedCount;
+  }
+  EXPECT_EQ(Ok + ShedCount, N); // Every request answered or shed.
+
+  EXPECT_EQ(T.drain(), 0);
+  const ServerSummary &Sum = T.server().summary();
+  EXPECT_EQ(Sum.Answered, Sum.Accepted); // Zero dropped.
+  EXPECT_EQ(Sum.Accepted, Ok);
+  EXPECT_TRUE(Sum.DrainRequested);
+}
+
+//===----------------------------------------------------------------------===//
+// The warm encoding cache
+//===----------------------------------------------------------------------===//
+
+TEST(ServeServer, EncodingCacheWarmAcrossIdenticalRequests) {
+  ServerOptions O;
+  O.Workers = 1; // Both requests land on the same worker Engine.
+  TestServer T(O);
+  ASSERT_TRUE(T.start());
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(T.socket(), 10, &Err)) << Err;
+  ASSERT_TRUE(C.send(makeRequest("first", SafeProg)));
+  ASSERT_TRUE(C.send(makeRequest("second", SafeProg)));
+  auto Got = receiveAll(C, 2);
+  ASSERT_EQ(Got.size(), 2u);
+  ASSERT_EQ(Got["first"].Verdict, "safe");
+  ASSERT_EQ(Got["second"].Verdict, "safe");
+
+  // The embedded run reports carry the worker Engine's cache counters:
+  // the identical second request must reuse the first's encoding.
+  auto statOf = [&](const std::string &Id, const std::string &Name) {
+    json::Value Rep;
+    std::string E;
+    EXPECT_TRUE(json::parse(Got[Id].ReportJson, Rep, &E)) << E;
+    const json::Value *Stats = Rep.get("stats");
+    EXPECT_NE(Stats, nullptr);
+    const json::Value *V = Stats ? Stats->get(Name) : nullptr;
+    return V ? V->asNumber() : -1.0;
+  };
+  EXPECT_EQ(statOf("first", "engine.incremental.cache_misses"), 1.0);
+  EXPECT_EQ(statOf("first", "engine.incremental.encodes"), 1.0);
+  EXPECT_EQ(statOf("second", "engine.incremental.cache_hits"), 1.0);
+  // A hit never touches the encode counter, so the second request's
+  // stats carry no encodes entry at all (statOf reports -1) — and
+  // certainly not a positive count.
+  EXPECT_LE(statOf("second", "engine.incremental.encodes"), 0.0);
+  EXPECT_EQ(T.drain(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// SIGTERM drains of the real tools
+//===----------------------------------------------------------------------===//
+
+#if defined(VBMC_SERVE_TOOL_PATH)
+
+std::string readAll(const std::filesystem::path &P) {
+  std::ifstream In(P);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+/// Runs `Cmd &`, SIGTERMs it after \p DelaySeconds, waits, and returns
+/// the tool's exit code (-1 when it died by signal — the failure mode
+/// these tests exist to rule out).
+int sigtermAfter(const std::string &Cmd, double DelaySeconds) {
+  std::filesystem::path RcFile = uniquePath("sigterm-rc");
+  std::string Script = Cmd + " & P=$!; sleep " +
+                       std::to_string(DelaySeconds) +
+                       "; kill -TERM $P 2>/dev/null; wait $P; echo $? > " +
+                       RcFile.string();
+  int Status = std::system(("sh -c '" + Script + "'").c_str());
+  EXPECT_TRUE(WIFEXITED(Status) && WEXITSTATUS(Status) == 0);
+  int Rc = -1;
+  std::istringstream(readAll(RcFile)) >> Rc;
+  std::filesystem::remove(RcFile);
+  // 128+SIGTERM from the shell means the tool died on the signal
+  // instead of draining.
+  return Rc >= 128 ? -1 : Rc;
+}
+
+TEST(SigtermDrain, ServeDaemonDrainsAndWritesSummary) {
+  std::filesystem::path Sock = uniquePath("serve-drain.sock");
+  std::filesystem::path Json = uniquePath("serve-drain.json");
+  std::thread Daemon([&] {
+    EXPECT_EQ(sigtermAfter(std::string(VBMC_SERVE_TOOL_PATH) +
+                               " --socket " + Sock.string() +
+                               " --report-json " + Json.string() + " --quiet",
+                           2.5),
+              0);
+  });
+  // Meanwhile: real traffic into the daemon that is about to be signalled.
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(Sock.string(), 10, &Err)) << Err;
+  for (int I = 0; I < 6; ++I)
+    ASSERT_TRUE(C.send(makeRequest("t" + std::to_string(I),
+                                   I % 2 ? UnsafeProg : SafeProg)));
+  auto Got = receiveAll(C, 6, 60);
+  EXPECT_EQ(Got.size(), 6u);
+  Daemon.join();
+
+  json::Value Doc;
+  ASSERT_TRUE(json::parse(readAll(Json), Doc, &Err)) << Err;
+  EXPECT_EQ(Doc.get("schema")->asString(), SummarySchema);
+  EXPECT_EQ(Doc.get("drain")->get("reason")->asString(), "sigterm");
+  EXPECT_EQ(Doc.get("answered")->asNumber(),
+            Doc.get("accepted")->asNumber());
+  std::filesystem::remove(Json);
+}
+
+TEST(SigtermDrain, FarmWritesValidJsonOnSigterm) {
+  std::filesystem::path Json = uniquePath("farm-drain.json");
+  // A sweep big enough to still be running when the signal lands; the
+  // drain path must record pending shards as skipped and write the
+  // artifact through the normal exit.
+  int Rc = sigtermAfter(std::string(VBMC_FARM_TOOL_PATH) +
+                            " --universe litmus --tests 4004 --workers 2" +
+                            " --quiet --json " + Json.string(),
+                        0.5);
+  EXPECT_GE(Rc, 0) << "vbmc-farm died on SIGTERM instead of draining";
+  EXPECT_LE(Rc, 1);
+  std::string Err;
+  json::Value Doc;
+  ASSERT_TRUE(json::parse(readAll(Json), Doc, &Err))
+      << "truncated farm artifact: " << Err;
+  ASSERT_NE(Doc.get("schema"), nullptr);
+  EXPECT_EQ(Doc.get("schema")->asString(), "vbmc-farm/v1");
+  std::filesystem::remove(Json);
+}
+
+TEST(SigtermDrain, FuzzWritesValidJsonOnSigterm) {
+  std::filesystem::path Json = uniquePath("fuzz-drain.json");
+  int Rc = sigtermAfter(std::string(VBMC_FUZZ_TOOL_PATH) +
+                            " --seed 7 --budget 120 --quiet --json " +
+                            Json.string(),
+                        0.5);
+  EXPECT_GE(Rc, 0) << "vbmc-fuzz died on SIGTERM instead of draining";
+  EXPECT_LE(Rc, 1);
+  std::string Err;
+  json::Value Doc;
+  ASSERT_TRUE(json::parse(readAll(Json), Doc, &Err))
+      << "truncated fuzz artifact: " << Err;
+  ASSERT_NE(Doc.get("schema"), nullptr);
+  EXPECT_EQ(Doc.get("schema")->asString(), "vbmc-fuzz/v1");
+  std::filesystem::remove(Json);
+}
+
+#endif // VBMC_SERVE_TOOL_PATH
+
+} // namespace
