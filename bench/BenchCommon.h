@@ -31,7 +31,7 @@
 #include "support/Cli.h"
 #include "support/Json.h"
 #include "support/Table.h"
-#include "vbmc/Vbmc.h"
+#include "vbmc/Engine.h"
 
 #include <cstdio>
 #include <fstream>
@@ -151,7 +151,9 @@ inline CellResult runVbmc(const ir::Program &P, uint32_t K, uint32_t L,
   O.CasAllowance = NeedsCasStamps ? 6 : 1;
   O.Backend = driver::BackendKind::Sat;
   O.BudgetSeconds = Budget;
-  driver::VbmcResult R = driver::checkProgram(P, O);
+  driver::CheckRequest Req;
+  Req.Opts = O;
+  driver::CheckReport R = driver::Engine().run(P, Req);
   CellResult C;
   C.Seconds = R.Seconds;
   C.TimedOut = R.Outcome == driver::Verdict::Unknown;
@@ -167,7 +169,7 @@ inline CellResult runSmc(const ir::Program &P, smc::SmcStrategy Strategy,
   ir::FlatProgram FP = ir::flatten(bmc::unrollLoops(P, L));
   smc::SmcOptions O;
   O.Strategy = Strategy;
-  O.BudgetSeconds = Budget;
+  O.B.Seconds = Budget;
   smc::SmcResult R = smc::exploreSmc(FP, O);
   CellResult C;
   C.Seconds = R.Seconds;

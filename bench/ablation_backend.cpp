@@ -29,7 +29,7 @@ driver::VbmcOptions makeOpts(driver::BackendKind B, uint32_t K, uint32_t L,
   return O;
 }
 
-CellResult cellFor(const driver::VbmcResult &R, double WallSeconds,
+CellResult cellFor(const driver::CheckReport &R, double WallSeconds,
                    bool ExpectBug) {
   CellResult C;
   C.Seconds = WallSeconds;
@@ -43,7 +43,9 @@ CellResult cellFor(const driver::VbmcResult &R, double WallSeconds,
 CellResult runBackend(const ir::Program &P, driver::BackendKind B,
                       uint32_t K, uint32_t L, double Budget,
                       bool ExpectBug) {
-  driver::VbmcResult R = driver::checkProgram(P, makeOpts(B, K, L, Budget));
+  driver::CheckRequest Req;
+  Req.Opts = makeOpts(B, K, L, Budget);
+  driver::CheckReport R = driver::Engine().run(P, Req);
   return cellFor(R, R.Seconds, ExpectBug);
 }
 
@@ -52,8 +54,10 @@ CellResult runBackend(const ir::Program &P, driver::BackendKind B,
 std::string runPortfolio(const ir::Program &P, uint32_t K, uint32_t L,
                          double Budget, bool ExpectBug, CellResult &Cell) {
   Timer Watch;
-  driver::VbmcResult R = driver::checkPortfolio(
-      P, makeOpts(driver::BackendKind::Explicit, K, L, Budget));
+  driver::CheckRequest Req;
+  Req.Mode = driver::EngineMode::Portfolio;
+  Req.Opts = makeOpts(driver::BackendKind::Explicit, K, L, Budget);
+  driver::CheckReport R = driver::Engine().run(P, Req);
   Cell = cellFor(R, Watch.elapsedSeconds(), ExpectBug);
   std::string S = Cell.str();
   if (!R.WinningBackend.empty())

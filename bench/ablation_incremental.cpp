@@ -32,7 +32,7 @@
 #include "support/Cli.h"
 #include "support/Table.h"
 #include "support/Timer.h"
-#include "vbmc/Vbmc.h"
+#include "vbmc/Engine.h"
 
 #include <cstdio>
 #include <string>

@@ -15,7 +15,7 @@
 #include "support/Rng.h"
 #include "support/Sandbox.h"
 #include "translation/Translate.h"
-#include "vbmc/Vbmc.h"
+#include "vbmc/Engine.h"
 
 #include <benchmark/benchmark.h>
 
@@ -172,7 +172,9 @@ void driverCheckMp(benchmark::State &State, bool Isolate) {
   O.MemLimitBytes = 256u << 20;
   for (auto _ : State) {
     CheckContext Ctx(10);
-    driver::VbmcResult R = driver::checkProgram(*P, O, Ctx);
+    driver::CheckRequest Req;
+    Req.Opts = O;
+    driver::CheckReport R = driver::Engine().run(*P, Req, Ctx);
     benchmark::DoNotOptimize(R.Outcome);
   }
 }

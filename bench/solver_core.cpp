@@ -1,0 +1,225 @@
+//===- solver_core.cpp - arena CDCL solver microbench ---------------------===//
+//
+// Exercises the SAT solver core directly (no BMC pipeline): pigeonhole
+// refutations for conflict analysis and learnt-DB churn, fixed-seed
+// random 3-SAT near the phase transition for the mixed Sat/Unsat path,
+// long implication chains for the blocker-literal propagation fast path,
+// and an assumption re-solve sweep with and without between-solve
+// inprocessing. Every scenario checks its expected verdict, prints one
+// paper-style row, and lands in the --json telemetry (vbmc-bench/v1) so
+// CI can diff solver-core performance across commits.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "sat/Solver.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace vbmc;
+using namespace vbmc::sat;
+using vbmc::bench::BenchConfig;
+using vbmc::bench::CellResult;
+
+namespace {
+
+// Pigeonhole principle PHP(Holes+1, Holes): Unsat, resolution-hard.
+void buildPigeonhole(Solver &S, uint32_t Pigeons, uint32_t Holes) {
+  std::vector<std::vector<Var>> P(Pigeons);
+  for (uint32_t I = 0; I < Pigeons; ++I)
+    for (uint32_t H = 0; H < Holes; ++H)
+      P[I].push_back(S.newVar());
+  for (uint32_t I = 0; I < Pigeons; ++I) {
+    std::vector<Lit> C;
+    for (uint32_t H = 0; H < Holes; ++H)
+      C.push_back(mkLit(P[I][H]));
+    S.addClause(C);
+  }
+  for (uint32_t H = 0; H < Holes; ++H)
+    for (uint32_t I = 0; I < Pigeons; ++I)
+      for (uint32_t J = I + 1; J < Pigeons; ++J)
+        S.addBinary(~mkLit(P[I][H]), ~mkLit(P[J][H]));
+}
+
+void addRandom3Sat(Solver &S, uint32_t NumVars, uint32_t NumClauses,
+                   std::mt19937_64 &Rng) {
+  std::vector<Var> Vs;
+  for (uint32_t I = 0; I < NumVars; ++I)
+    Vs.push_back(S.newVar());
+  for (uint32_t C = 0; C < NumClauses; ++C) {
+    std::vector<Lit> Cl;
+    while (Cl.size() < 3) {
+      Var V = Vs[Rng() % NumVars];
+      bool Dup = false;
+      for (Lit L : Cl)
+        Dup |= L.var() == V;
+      if (!Dup)
+        Cl.push_back(Lit(V, Rng() & 1));
+    }
+    S.addClause(Cl);
+  }
+}
+
+struct Scenario {
+  const char *Name;
+  const char *Expect; // "sat" | "unsat" | "mixed"
+  CellResult (*Run)(double Budget);
+};
+
+CellResult finish(Timer &W, SolveResult R, const char *Expect) {
+  CellResult C;
+  C.Seconds = W.elapsedSeconds();
+  C.TimedOut = R == SolveResult::Unknown;
+  C.Verdict = R == SolveResult::Sat     ? "sat"
+              : R == SolveResult::Unsat ? "unsat"
+                                        : "unknown";
+  if (!C.TimedOut && std::string(Expect) != "mixed")
+    C.WrongVerdict = C.Verdict != Expect;
+  return C;
+}
+
+CellResult runPigeonhole(double Budget) {
+  Solver S;
+  buildPigeonhole(S, 9, 8);
+  Timer W;
+  SolveResult R =
+      S.solve(SolveSpec().withDeadline(Deadline(Budget)));
+  return finish(W, R, "unsat");
+}
+
+// 40 fixed-seed instances at clause ratio ~4.26 (the hard mix of Sat
+// and Unsat answers); the cell reports total time over all of them.
+CellResult runRandom3Sat(double Budget) {
+  std::mt19937_64 Rng(20260808);
+  Timer W;
+  Deadline DL = Deadline(Budget);
+  CellResult C;
+  C.Verdict = "mixed";
+  for (int I = 0; I < 40; ++I) {
+    Solver S;
+    addRandom3Sat(S, 120, 511, Rng);
+    SolveResult R = S.solve(SolveSpec().withDeadline(DL));
+    if (R == SolveResult::Unknown) {
+      C.TimedOut = true;
+      break;
+    }
+  }
+  C.Seconds = W.elapsedSeconds();
+  return C;
+}
+
+// A 200k-literal implication chain re-propagated from alternating
+// assumptions: almost all time is the two-watched propagation loop, so
+// this cell isolates the blocker-literal fast path and arena locality.
+CellResult runChainPropagation(double Budget) {
+  Solver S;
+  const uint32_t N = 200000;
+  std::vector<Var> Vs;
+  for (uint32_t I = 0; I < N; ++I)
+    Vs.push_back(S.newVar());
+  for (uint32_t I = 0; I + 1 < N; ++I)
+    S.addBinary(~mkLit(Vs[I]), mkLit(Vs[I + 1]));
+  Timer W;
+  Deadline DL = Deadline(Budget);
+  SolveResult Last = SolveResult::Unknown;
+  for (int Round = 0; Round < 20; ++Round) {
+    Lit A = Round & 1 ? ~mkLit(Vs[N - 1]) : mkLit(Vs[0]);
+    Last = S.solve(SolveSpec::assuming({A}).withDeadline(DL));
+    if (Last == SolveResult::Unknown)
+      break;
+  }
+  return finish(W, Last, "sat");
+}
+
+// The incremental engine's workload shape: one formula, many assumption
+// re-solves. Run twice from identical state — with inprocess() between
+// solves and without — so the telemetry shows what the inprocessing
+// pass buys (or costs) on this shape.
+CellResult runAssumptionSweep(double Budget, bool Inprocess) {
+  std::mt19937_64 Rng(4004);
+  Solver S;
+  addRandom3Sat(S, 140, 560, Rng);
+  std::vector<Var> Sels;
+  for (int I = 0; I < 12; ++I) {
+    Var Sel = S.newVar();
+    std::vector<Lit> C{Lit(Sel, true)};
+    for (int J = 0; J < 3; ++J)
+      C.push_back(Lit(Rng() % 140, Rng() & 1));
+    S.addClause(C);
+    Sels.push_back(Sel);
+  }
+  Timer W;
+  Deadline DL = Deadline(Budget);
+  SolveResult Last = SolveResult::Unknown;
+  for (Var Sel : Sels) {
+    if (Inprocess && !S.inprocess())
+      break;
+    Last = S.solve(SolveSpec::assuming({mkLit(Sel)}).withDeadline(DL));
+    if (Last == SolveResult::Unknown)
+      break;
+  }
+  CellResult C = finish(W, Last, "mixed");
+  return C;
+}
+
+CellResult runSweepPlain(double Budget) {
+  return runAssumptionSweep(Budget, false);
+}
+CellResult runSweepInprocess(double Budget) {
+  return runAssumptionSweep(Budget, true);
+}
+
+// Learnt-clause churn with a tiny arena-collection threshold: reduceDb
+// frees learnt clauses, every free crosses the ratio, and the solver
+// spends the run relocating — an upper bound on GC overhead.
+CellResult runGcChurn(double Budget) {
+  Solver S;
+  S.setGarbageFrac(0.01);
+  buildPigeonhole(S, 8, 7);
+  Timer W;
+  SolveResult R =
+      S.solve(SolveSpec().withDeadline(Deadline(Budget)));
+  CellResult C = finish(W, R, "unsat");
+  if (S.stats().GcRuns == 0 && !C.TimedOut)
+    C.WrongVerdict = true; // The scenario exists to exercise GC.
+  return C;
+}
+
+const Scenario Scenarios[] = {
+    {"pigeonhole_9_8", "unsat", runPigeonhole},
+    {"random3sat_40x", "mixed", runRandom3Sat},
+    {"chain_propagation", "sat", runChainPropagation},
+    {"assumption_sweep", "mixed", runSweepPlain},
+    {"assumption_sweep_inprocess", "mixed", runSweepInprocess},
+    {"gc_churn", "unsat", runGcChurn},
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchConfig Cfg = BenchConfig::fromArgs(Argc, Argv);
+  std::printf("== solver core ==\n");
+  std::printf("arena CDCL scenarios (docs/ALGORITHMS.md, \"SAT solver "
+              "internals\"); budget %.0fs per scenario\n\n",
+              Cfg.VbmcBudget);
+  Table T({"Scenario", "Expect", "Verdict", "Seconds"});
+  bool AnyWrong = false;
+  for (const Scenario &Sc : Scenarios) {
+    CellResult C = Sc.Run(Cfg.VbmcBudget);
+    AnyWrong |= C.WrongVerdict;
+    T.addRow({Sc.Name, Sc.Expect, C.Verdict + (C.WrongVerdict ? "!" : ""),
+              Table::formatSeconds(C.Seconds, C.TimedOut)});
+    bench::recordCell(Cfg, Sc.Name, "solver", C, 0, 0);
+  }
+  std::printf("%s\n", T.str().c_str());
+  Cfg.writeJson("solver_core");
+  if (AnyWrong) {
+    std::fprintf(stderr, "solver_core: verdict mismatch (see ! rows)\n");
+    return 1;
+  }
+  return 0;
+}

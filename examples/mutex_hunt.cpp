@@ -99,7 +99,7 @@ int main(int Argc, char **Argv) {
   for (const auto &B : Baselines) {
     smc::SmcOptions O;
     O.Strategy = B.Strategy;
-    O.BudgetSeconds = 20;
+    O.B.Seconds = 20;
     smc::SmcResult R = smc::exploreSmc(Unrolled, O);
     std::printf("  %-26s %s  (%llu executions, %.3fs)\n", B.Label,
                 R.FoundBug    ? "bug found"

@@ -15,7 +15,7 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ra/RaExplorer.h"
-#include "vbmc/Vbmc.h"
+#include "vbmc/Engine.h"
 
 #include <cstdio>
 
@@ -74,7 +74,9 @@ int main() {
     Opts.L = 1;
     Opts.CasAllowance = 2;
     Opts.Backend = Backend;
-    driver::VbmcResult R = driver::checkProgram(*Parsed, Opts);
+    driver::CheckRequest Req;
+    Req.Opts = Opts;
+    driver::CheckReport R = driver::Engine().run(*Parsed, Req);
     std::printf("VBMC (%s backend, K=1): %s in %.3fs\n",
                 Backend == driver::BackendKind::Explicit ? "explicit"
                                                          : "sat",

@@ -51,7 +51,7 @@ public:
   /// is ready to solve.
   bool encode() {
     Timer EncodeWatch;
-    DL = Deadline(Opts.BudgetSeconds);
+    DL = Opts.B.startDeadline();
     buildStores();
     for (uint32_t PI = 0; PI < P.numProcs(); ++PI) {
       walkProcess(PI);
@@ -103,20 +103,26 @@ public:
 
   const BmcResult &encodeOutcome() const { return EncodeOutcome; }
 
-  /// One solver call under \p Assumptions. Records per-solve *deltas*
-  /// (SolverStats are solver-lifetime-cumulative) into \p Ctx's registry
-  /// and returns them in the result, so repeated calls on this persistent
-  /// solver report what each solve actually cost. R.Seconds covers just
-  /// this solve.
-  BmcResult solveUnder(const std::vector<sat::Lit> &Assumptions,
-                       const CheckContext *Ctx, Deadline SolveDL,
-                       uint64_t MaxConflicts) {
+  /// The persistent solver's lifetime-cumulative statistics.
+  const sat::SolverStats &solverStats() const { return Solver.stats(); }
+
+  /// Top-level inprocessing pass on the persistent solver (between
+  /// incremental solves). False when it derived unsatisfiability.
+  bool inprocess() { return Solver.inprocess(); }
+
+  /// One solver call under \p Spec's assumptions and budgets. Records
+  /// per-solve *deltas* (SolverStats are solver-lifetime-cumulative) into
+  /// \p Ctx's registry and returns them in the result, so repeated calls
+  /// on this persistent solver report what each solve actually cost.
+  /// R.Seconds covers just this solve.
+  BmcResult solveUnder(sat::SolveSpec Spec, const CheckContext *Ctx) {
     BmcResult R;
     R.CircuitNodes = C.numNodes();
     Timer SolveWatch;
+    if (Ctx && !Spec.Cancel)
+      Spec.Cancel = &Ctx->token();
     sat::SolverStats Before = Solver.stats();
-    sat::SolveResult SR = Solver.solve(Assumptions, MaxConflicts, SolveDL,
-                                       Ctx ? &Ctx->token() : nullptr);
+    sat::SolveResult SR = Solver.solve(Spec);
     double Seconds = SolveWatch.elapsedSeconds();
     sat::SolverStats Delta = Solver.stats() - Before;
     if (Ctx) {
@@ -124,6 +130,13 @@ public:
       St.addSeconds("sat.solve.seconds", Seconds);
       St.addCount("sat.solve.conflicts", Delta.Conflicts);
       St.addCount("sat.solve.decisions", Delta.Decisions);
+      St.addCount("sat.solve.propagations", Delta.Propagations);
+      if (Delta.GcRuns) {
+        St.addCount("sat.gc.runs", Delta.GcRuns);
+        St.addCount("sat.gc.bytes_reclaimed", Delta.GcBytesReclaimed);
+      }
+      if (Delta.Interrupts)
+        St.addCount("sat.interrupts", Delta.Interrupts);
       Ctx->trace().recordElapsed("sat.solve", "sat", Seconds);
     }
     R.SolverConflicts = Delta.Conflicts;
@@ -181,7 +194,11 @@ public:
     }
     Deadline SolveDL =
         std::isinf(Remaining) ? Deadline() : Deadline(Remaining);
-    BmcResult R = solveUnder({}, Opts.Ctx, SolveDL, Opts.MaxConflicts);
+    sat::SolveSpec Spec;
+    Spec.MaxConflicts = Opts.B.Conflicts;
+    Spec.MaxPropagations = Opts.B.Propagations;
+    Spec.DL = SolveDL;
+    BmcResult R = solveUnder(std::move(Spec), Opts.Ctx);
     R.Seconds = Watch.elapsedSeconds();
     return R;
   }
@@ -658,8 +675,34 @@ public:
             : std::numeric_limits<double>::infinity();
     Deadline SolveDL =
         std::isinf(Remaining) ? Deadline() : Deadline(Remaining);
-    BmcResult R =
-        Enc->solveUnder({Selectors[K]}, Ctx, SolveDL, Opts.MaxConflicts);
+    // Inprocess between deepening solves: subsumption / self-subsuming
+    // resolution over the problem clauses is equivalence-preserving, so
+    // every later selector verdict is unchanged while propagation gets
+    // cheaper. The first solve runs on the pristine encoding.
+    if (SolvesDone++ > 0) {
+      Timer InprocWatch;
+      sat::SolverStats Before = Enc->solverStats();
+      bool Consistent = Enc->inprocess();
+      if (Ctx) {
+        sat::SolverStats Delta = Enc->solverStats() - Before;
+        StatsRegistry &St = Ctx->stats();
+        St.addSeconds("sat.inprocess.seconds", InprocWatch.elapsedSeconds());
+        St.addCount("sat.subsumed", Delta.SubsumedClauses);
+        St.addCount("sat.strengthened", Delta.StrengthenedLiterals);
+      }
+      if (!Consistent) {
+        // The formula itself is unsatisfiable: every budget is Safe.
+        BmcResult R;
+        R.Status = BmcStatus::Safe;
+        R.CircuitNodes = Outcome.CircuitNodes;
+        return R;
+      }
+    }
+    sat::SolveSpec SolveSpec = sat::SolveSpec::assuming({Selectors[K]});
+    SolveSpec.MaxConflicts = Opts.B.Conflicts;
+    SolveSpec.MaxPropagations = Opts.B.Propagations;
+    SolveSpec.DL = SolveDL;
+    BmcResult R = Enc->solveUnder(std::move(SolveSpec), Ctx);
     if (Ctx) {
       StatsRegistry &St = Ctx->stats();
       std::string Prefix = "sat.k" + std::to_string(K) + ".";
@@ -678,6 +721,7 @@ public:
   std::vector<sat::Lit> Selectors;
   BmcResult Outcome;
   bool Done = false;
+  uint64_t SolvesDone = 0;
 };
 
 IncrementalBmc::IncrementalBmc(const Program &P, const BmcOptions &Opts,

@@ -29,6 +29,7 @@
 #define VBMC_BMC_ENCODER_H
 
 #include "ir/Program.h"
+#include "support/Budget.h"
 #include "support/CheckContext.h"
 #include "support/Sandbox.h"
 #include "support/Timer.h"
@@ -48,17 +49,17 @@ struct BmcOptions {
   /// enough for every value the program can compute; see the width audit
   /// in BmcBackend.
   uint32_t ValueWidth = 12;
-  /// Wall-clock budget (0 = unlimited).
-  double BudgetSeconds = 0;
-  /// Conflict budget for the solver (0 = unlimited).
-  uint64_t MaxConflicts = 0;
+  /// Resource budget: B.Seconds is the wall clock for the whole check
+  /// (0 = unlimited), B.Conflicts / B.Propagations bound each solver
+  /// call. See support/Budget.h for the shared vocabulary.
+  support::Budget B;
   /// Memory ceiling for the encoding in bytes (0 = unlimited): when the
   /// circuit's estimated footprint exceeds it, encoding aborts cleanly
   /// with Unknown + FailureKind::OutOfMemory instead of risking a
   /// std::bad_alloc death on huge instances.
   uint64_t MemLimitBytes = 0;
   /// Optional engine context. Its *remaining* deadline governs every
-  /// stage (unroll, encode, solve) — unlike BudgetSeconds, whose clock
+  /// stage (unroll, encode, solve) — unlike B.Seconds, whose clock
   /// starts inside checkBmc — its token cancels them cooperatively, and
   /// sat.* stage stats are recorded into its registry.
   const CheckContext *Ctx = nullptr;

@@ -8,7 +8,7 @@
 #include "sc/ScExplorer.h"
 #include "smc/Smc.h"
 #include "translation/Translate.h"
-#include "vbmc/Vbmc.h"
+#include "vbmc/Engine.h"
 
 #include <algorithm>
 #include <limits>
@@ -161,7 +161,9 @@ CheckOutcome checkRaVsTranslation(const Program &P, const DiffOptions &O,
   VO.MaxStates = O.MaxStates;
   VO.MemLimitBytes = O.MemLimitBytes;
   CheckContext Child = Ctx.child();
-  driver::VbmcResult VR = driver::checkProgram(P, VO, Child);
+  driver::CheckRequest Req;
+  Req.Opts = VO;
+  driver::CheckReport VR = driver::Engine().run(P, Req, Child);
   if (VR.Outcome == driver::Verdict::Unknown)
     return inconclusive(Name, Ctx, "vbmc explicit inconclusive: " + VR.Note);
 
@@ -191,13 +193,16 @@ CheckOutcome checkExplicitVsSat(const Program &P, const DiffOptions &O,
 
   VO.Backend = driver::BackendKind::Explicit;
   CheckContext C1 = Ctx.child();
-  driver::VbmcResult Ex = driver::checkProgram(P, VO, C1);
+  driver::CheckRequest Req;
+  Req.Opts = VO;
+  driver::CheckReport Ex = driver::Engine().run(P, Req, C1);
   if (Ex.Outcome == driver::Verdict::Unknown)
     return inconclusive(Name, Ctx, "explicit inconclusive: " + Ex.Note);
 
   VO.Backend = driver::BackendKind::Sat;
   CheckContext C2 = Ctx.child();
-  driver::VbmcResult Sat = driver::checkProgram(P, VO, C2);
+  Req.Opts = VO;
+  driver::CheckReport Sat = driver::Engine().run(P, Req, C2);
   if (Sat.Outcome == driver::Verdict::Unknown)
     return inconclusive(Name, Ctx, "sat inconclusive: " + Sat.Note);
 
@@ -247,8 +252,8 @@ CheckOutcome checkSmcVsRa(const Program &P, const DiffOptions &O,
 
   smc::SmcOptions SO;
   SO.Strategy = smc::SmcStrategy::Dpor;
-  SO.BudgetSeconds = budgetLeft(Ctx);
-  SO.MaxExecutions = O.MaxStates;
+  SO.B.Seconds = budgetLeft(Ctx);
+  SO.B.Work = O.MaxStates;
   smc::SmcResult SR = smc::exploreSmc(FP, SO);
   if (!SR.FoundBug && !SR.Complete)
     return inconclusive(Name, Ctx, "smc exploration truncated");

@@ -6,7 +6,7 @@
 #include "ir/Printer.h"
 #include "support/Sandbox.h"
 #include "support/Signals.h"
-#include "vbmc/Vbmc.h"
+#include "vbmc/Engine.h"
 
 #include <algorithm>
 #include <filesystem>
@@ -523,7 +523,9 @@ ReplayFileResult replayFile(const std::string &Path, const FuzzOptions &O) {
         continue;
       VO.Backend = B;
       CheckContext C(O.PerProgramSeconds > 0 ? O.PerProgramSeconds * 10 : 0);
-      driver::VbmcResult VR = driver::checkProgram(P, VO, C);
+      driver::CheckRequest Req;
+      Req.Opts = VO;
+      driver::CheckReport VR = driver::Engine().run(P, Req, C);
       bool Want = E.Unsafe;
       const char *Backend =
           B == driver::BackendKind::Explicit ? "explicit" : "sat";

@@ -7,7 +7,7 @@
 #include "ra/RaExplorer.h"
 #include "support/Diagnostics.h"
 #include "support/Rng.h"
-#include "vbmc/Vbmc.h"
+#include "vbmc/Engine.h"
 
 using namespace vbmc;
 using namespace vbmc::ir;
@@ -334,8 +334,10 @@ SweepResult vbmc::litmus::runVbmcSweep(const std::vector<LitmusTest> &Tests,
                                    : driver::BackendKind::Explicit;
       VO.SwitchOnlyAfterWrite = true;
       VO.BudgetSeconds = O.BudgetSeconds;
-      driver::VbmcResult R =
-          driver::checkProgram(makeObserverProgram(T, Outcome), VO);
+      driver::CheckRequest Req;
+      Req.Opts = VO;
+      driver::CheckReport R =
+          driver::Engine().run(makeObserverProgram(T, Outcome), Req);
       if (R.Outcome == driver::Verdict::Unknown) {
         ++SR.Inconclusive;
         continue;

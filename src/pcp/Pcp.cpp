@@ -251,7 +251,7 @@ bool vbmc::pcp::allTermReachable(const Program &P, uint64_t MaxStates,
   smc::SmcOptions SO;
   SO.Goal = smc::SmcGoal::AllDone;
   SO.Strategy = smc::SmcStrategy::Dpor;
-  SO.BudgetSeconds = BudgetSeconds > 0 ? BudgetSeconds * 0.5 : 20;
+  SO.B.Seconds = BudgetSeconds > 0 ? BudgetSeconds * 0.5 : 20;
   smc::SmcResult SR = smc::exploreSmc(FP, SO);
   if (SR.FoundBug)
     return true;

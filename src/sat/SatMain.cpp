@@ -43,9 +43,10 @@ int main(int Argc, char **Argv) {
   }
 
   Timer W;
-  SolveResult R =
-      S.solve({}, static_cast<uint64_t>(CL.getInt("max-conflicts", 0)),
-              Deadline(CL.getDouble("budget", 0)));
+  SolveSpec Spec;
+  Spec.MaxConflicts = static_cast<uint64_t>(CL.getInt("max-conflicts", 0));
+  Spec.DL = Deadline(CL.getDouble("budget", 0));
+  SolveResult R = S.solve(Spec);
   std::fprintf(stderr,
                "c vars=%u clauses=%u conflicts=%llu decisions=%llu "
                "time=%.3fs\n",

@@ -51,25 +51,60 @@ bool Solver::addClause(const std::vector<Lit> &Lits) {
     return false;
   }
   if (Simplified.size() == 1) {
-    enqueue(Simplified[0], InvalidClause);
-    if (propagate() != InvalidClause)
+    enqueue(Simplified[0], CRefUndef);
+    if (propagate() != CRefUndef)
       Unsat = true;
     return !Unsat;
   }
-  ClauseRef CR = static_cast<ClauseRef>(Clauses.size());
-  Clauses.push_back(Clause{std::move(Simplified), 0, 0, false});
-  attachClause(CR);
+  CRef R = Arena.alloc(Simplified, /*Learnt=*/false);
+  ProblemClauses.push_back(R);
+  attachClause(R);
   return true;
 }
 
-void Solver::attachClause(ClauseRef CR) {
-  Clause &C = Clauses[CR];
-  assert(C.Lits.size() >= 2 && "attaching a short clause");
-  Watches[(~C.Lits[0]).code()].push_back(Watcher{CR, C.Lits[1]});
-  Watches[(~C.Lits[1]).code()].push_back(Watcher{CR, C.Lits[0]});
+void Solver::attachClause(CRef R) {
+  ClauseAllocator::Clause C = Arena.get(R);
+  assert(C.size() >= 2 && "attaching a short clause");
+  Watches[(~C[0]).code()].push_back(Watcher{R, C[1]});
+  Watches[(~C[1]).code()].push_back(Watcher{R, C[0]});
 }
 
-void Solver::enqueue(Lit L, ClauseRef Reason) {
+void Solver::detachClause(CRef R) {
+  ClauseAllocator::Clause C = Arena.get(R);
+  for (int W = 0; W < 2; ++W) {
+    auto &Ws = Watches[(~C[W]).code()];
+    for (size_t J = 0; J < Ws.size(); ++J)
+      if (Ws[J].Cls == R) {
+        Ws[J] = Ws.back();
+        Ws.pop_back();
+        break;
+      }
+  }
+}
+
+bool Solver::locked(CRef R) const {
+  ClauseAllocator::Clause C =
+      const_cast<ClauseAllocator &>(Arena).get(R);
+  Lit L0 = C[0];
+  return litValue(L0) == ValTrue && Info[L0.var()].Reason == R;
+}
+
+void Solver::removeClause(CRef R, bool /*FromProblemList*/) {
+  // A clause serving as reason for a root-level assignment may still be
+  // dropped: analysis never follows level-0 reasons. Clear the back
+  // pointer so garbage collection does not chase a freed clause.
+  ClauseAllocator::Clause C = Arena.get(R);
+  Lit L0 = C[0];
+  if (litValue(L0) == ValTrue && Info[L0.var()].Reason == R) {
+    assert(Info[L0.var()].Level == 0 &&
+           "removing the reason of a non-root assignment");
+    Info[L0.var()].Reason = CRefUndef;
+  }
+  detachClause(R);
+  Arena.free(R);
+}
+
+void Solver::enqueue(Lit L, CRef Reason) {
   assert(litValue(L) == ValUndef && "enqueue of assigned literal");
   Assigns[L.var()] = L.negated() ? ValFalse : ValTrue;
   Phase[L.var()] = L.negated() ? 0 : 1;
@@ -77,35 +112,47 @@ void Solver::enqueue(Lit L, ClauseRef Reason) {
   Trail.push_back(L);
 }
 
-Solver::ClauseRef Solver::propagate() {
+CRef Solver::propagate() {
   while (PropagateHead < Trail.size()) {
+    // Anytime control lives here, next to the work it bounds: the async
+    // interrupt flag (relaxed load per propagated literal), the
+    // propagation-count budget, and an amortized deadline check — so a
+    // solve grinding through one huge propagation chain between
+    // conflicts still stops promptly.
+    if (InterruptRequested.load(std::memory_order_relaxed) ||
+        (PropagationLimit && Stats.Propagations >= PropagationLimit) ||
+        ((Stats.Propagations & 0x7ff) == 0 && SolveDL.expired())) {
+      AbortRequested = true;
+      return CRefUndef;
+    }
     Lit P = Trail[PropagateHead++];
     ++Stats.Propagations;
     std::vector<Watcher> &Ws = Watches[P.code()];
     size_t Keep = 0;
     for (size_t I = 0; I < Ws.size(); ++I) {
       Watcher W = Ws[I];
-      // Blocker fast path: clause already satisfied.
+      // Blocker fast path: clause already satisfied, no deref needed.
       if (litValue(W.Blocker) == ValTrue) {
         Ws[Keep++] = W;
         continue;
       }
-      Clause &C = Clauses[W.Cls];
+      ClauseAllocator::Clause C = Arena.get(W.Cls);
       Lit FalseLit = ~P;
-      if (C.Lits[0] == FalseLit)
-        std::swap(C.Lits[0], C.Lits[1]);
-      assert(C.Lits[1] == FalseLit && "watch invariant broken");
-      Lit First = C.Lits[0];
-      if (litValue(First) == ValTrue) {
+      if (C[0] == FalseLit)
+        std::swap(C[0], C[1]);
+      assert(C[1] == FalseLit && "watch invariant broken");
+      Lit First = C[0];
+      if (First != W.Blocker && litValue(First) == ValTrue) {
         Ws[Keep++] = Watcher{W.Cls, First};
         continue;
       }
       // Look for a replacement watch.
       bool Moved = false;
-      for (size_t J = 2; J < C.Lits.size(); ++J) {
-        if (litValue(C.Lits[J]) != ValFalse) {
-          std::swap(C.Lits[1], C.Lits[J]);
-          Watches[(~C.Lits[1]).code()].push_back(Watcher{W.Cls, First});
+      uint32_t Size = C.size();
+      for (uint32_t J = 2; J < Size; ++J) {
+        if (litValue(C[J]) != ValFalse) {
+          std::swap(C[1], C[J]);
+          Watches[(~C[1]).code()].push_back(Watcher{W.Cls, First});
           Moved = true;
           break;
         }
@@ -125,7 +172,7 @@ Solver::ClauseRef Solver::propagate() {
     }
     Ws.resize(Keep);
   }
-  return InvalidClause;
+  return CRefUndef;
 }
 
 void Solver::varBumpActivity(Var V) {
@@ -141,16 +188,18 @@ void Solver::varBumpActivity(Var V) {
 
 void Solver::varDecayActivity() { VarInc /= 0.95; }
 
-void Solver::claBumpActivity(Clause &C) {
-  C.Activity += ClaInc;
-  if (C.Activity > 1e20) {
-    for (ClauseRef CR : Learnts)
-      Clauses[CR].Activity *= 1e-20;
+void Solver::claBumpActivity(ClauseAllocator::Clause C) {
+  C.setActivity(C.activity() + static_cast<float>(ClaInc));
+  if (C.activity() > 1e20f) {
+    for (CRef R : Learnts) {
+      ClauseAllocator::Clause L = Arena.get(R);
+      L.setActivity(L.activity() * 1e-20f);
+    }
     ClaInc *= 1e-20;
   }
 }
 
-void Solver::analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
+void Solver::analyze(CRef Conflict, std::vector<Lit> &Learnt,
                      uint32_t &BacktrackLevel, uint32_t &Lbd) {
   Learnt.clear();
   Learnt.push_back(Lit()); // Slot for the asserting literal.
@@ -158,15 +207,16 @@ void Solver::analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
   Lit P;
   bool PValid = false;
   size_t TrailIdx = Trail.size();
-  ClauseRef Reason = Conflict;
+  CRef Reason = Conflict;
 
   do {
-    assert(Reason != InvalidClause && "no reason during analysis");
-    Clause &C = Clauses[Reason];
-    if (C.Learnt)
+    assert(Reason != CRefUndef && "no reason during analysis");
+    ClauseAllocator::Clause C = Arena.get(Reason);
+    if (C.learnt())
       claBumpActivity(C);
-    for (size_t J = PValid ? 1 : 0; J < C.Lits.size(); ++J) {
-      Lit Q = C.Lits[J];
+    uint32_t Size = C.size();
+    for (uint32_t J = PValid ? 1 : 0; J < Size; ++J) {
+      Lit Q = C[J];
       if (Seen[Q.var()] || Info[Q.var()].Level == 0)
         continue;
       Seen[Q.var()] = 1;
@@ -187,12 +237,13 @@ void Solver::analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
     --PathCount;
     if (PathCount > 0) {
       // Put the reason's asserting literal first for the next iteration.
-      assert(Reason != InvalidClause);
-      Clause &RC = Clauses[Reason];
-      if (RC.Lits[0] != P) {
-        for (size_t J = 1; J < RC.Lits.size(); ++J)
-          if (RC.Lits[J] == P) {
-            std::swap(RC.Lits[0], RC.Lits[J]);
+      assert(Reason != CRefUndef);
+      ClauseAllocator::Clause RC = Arena.get(Reason);
+      if (RC[0] != P) {
+        uint32_t RSize = RC.size();
+        for (uint32_t J = 1; J < RSize; ++J)
+          if (RC[J] == P) {
+            std::swap(RC[0], RC[J]);
             break;
           }
       }
@@ -206,7 +257,7 @@ void Solver::analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
     AbstractLevels |= 1u << (Info[Learnt[I].var()].Level & 31);
   size_t Keep = 1;
   for (size_t I = 1; I < Learnt.size(); ++I) {
-    if (Info[Learnt[I].var()].Reason == InvalidClause ||
+    if (Info[Learnt[I].var()].Reason == CRefUndef ||
         !litRedundant(Learnt[I], AbstractLevels))
       Learnt[Keep++] = Learnt[I];
   }
@@ -250,19 +301,20 @@ bool Solver::litRedundant(Lit L, uint32_t AbstractLevels) {
   while (!Stack.empty()) {
     Lit Cur = Stack.back();
     Stack.pop_back();
-    ClauseRef Reason = Info[Cur.var()].Reason;
-    if (Reason == InvalidClause) {
+    CRef Reason = Info[Cur.var()].Reason;
+    if (Reason == CRefUndef) {
       for (Var V : Cleared)
         Seen[V] = 0;
       return false;
     }
-    Clause &C = Clauses[Reason];
-    for (size_t J = 0; J < C.Lits.size(); ++J) {
-      Lit Q = C.Lits[J];
+    ClauseAllocator::Clause C = Arena.get(Reason);
+    uint32_t Size = C.size();
+    for (uint32_t J = 0; J < Size; ++J) {
+      Lit Q = C[J];
       if (Q.var() == Cur.var() || Seen[Q.var()] ||
           Info[Q.var()].Level == 0)
         continue;
-      if (Info[Q.var()].Reason == InvalidClause ||
+      if (Info[Q.var()].Reason == CRefUndef ||
           !(AbstractLevels & (1u << (Info[Q.var()].Level & 31)))) {
         for (Var V : Cleared)
           Seen[V] = 0;
@@ -284,7 +336,7 @@ void Solver::backtrackTo(uint32_t Level) {
   for (size_t I = Trail.size(); I-- > Bound;) {
     Var V = Trail[I].var();
     Assigns[V] = ValUndef;
-    Info[V].Reason = InvalidClause;
+    Info[V].Reason = CRefUndef;
     if (OrderPos[V] < 0)
       heapInsert(V);
   }
@@ -296,48 +348,94 @@ void Solver::backtrackTo(uint32_t Level) {
 Lit Solver::pickBranchLit() {
   while (!heapEmpty()) {
     Var V = heapPopMax();
-    if (Assigns[V] == ValUndef)
-      return Lit(V, Phase[V] == 0);
+    if (Assigns[V] == ValUndef) {
+      bool Negated;
+      switch (CurPhaseMode) {
+      case PhaseMode::Positive:
+        Negated = false;
+        break;
+      case PhaseMode::Negative:
+        Negated = true;
+        break;
+      case PhaseMode::Random: {
+        // xorshift64: deterministic per (seed, decision sequence).
+        uint64_t X = PhaseRngState;
+        X ^= X << 13;
+        X ^= X >> 7;
+        X ^= X << 17;
+        PhaseRngState = X;
+        Negated = X & 1;
+        break;
+      }
+      case PhaseMode::Saved:
+      default:
+        Negated = Phase[V] == 0;
+        break;
+      }
+      return Lit(V, Negated);
+    }
   }
   return Lit(); // No unassigned variable: model found (checked by caller).
 }
 
 void Solver::reduceDb() {
   // Keep the better half by (LBD, activity); never drop reason clauses.
-  std::sort(Learnts.begin(), Learnts.end(), [&](ClauseRef A, ClauseRef B) {
-    const Clause &CA = Clauses[A], &CB = Clauses[B];
-    if (CA.Lbd != CB.Lbd)
-      return CA.Lbd < CB.Lbd;
-    return CA.Activity > CB.Activity;
+  std::sort(Learnts.begin(), Learnts.end(), [&](CRef A, CRef B) {
+    ClauseAllocator::Clause CA = Arena.get(A), CB = Arena.get(B);
+    if (CA.lbd() != CB.lbd())
+      return CA.lbd() < CB.lbd();
+    return CA.activity() > CB.activity();
   });
   size_t Keep = Learnts.size() / 2;
-  std::vector<ClauseRef> Kept(Learnts.begin(), Learnts.begin() + Keep);
+  std::vector<CRef> Kept(Learnts.begin(), Learnts.begin() + Keep);
   for (size_t I = Keep; I < Learnts.size(); ++I) {
-    ClauseRef CR = Learnts[I];
-    Clause &C = Clauses[CR];
-    bool Locked = false;
-    Lit L0 = C.Lits[0];
-    if (litValue(L0) == ValTrue && Info[L0.var()].Reason == CR)
-      Locked = true;
-    if (Locked || C.Lbd <= 2) {
-      Kept.push_back(CR);
+    CRef R = Learnts[I];
+    ClauseAllocator::Clause C = Arena.get(R);
+    if (locked(R) || C.lbd() <= 2) {
+      Kept.push_back(R);
       continue;
     }
-    // Detach.
-    for (int W = 0; W < 2; ++W) {
-      auto &Ws = Watches[(~C.Lits[W]).code()];
-      for (size_t J = 0; J < Ws.size(); ++J)
-        if (Ws[J].Cls == CR) {
-          Ws[J] = Ws.back();
-          Ws.pop_back();
-          break;
-        }
-    }
-    C.Lits.clear();
-    C.Lits.shrink_to_fit();
+    detachClause(R);
+    Arena.free(R);
     ++Stats.ClausesDeleted;
   }
   Learnts = std::move(Kept);
+}
+
+void Solver::garbageCollect() {
+  ClauseAllocator To;
+  size_t BytesBefore = Arena.sizeWords() * sizeof(uint32_t);
+
+  // Relocate every live reference in one pass each: watch lists first
+  // (their order becomes the new arena's allocation order, which is the
+  // order propagation touches clauses), then trail reasons, then the
+  // clause lists. reloc() copies on first visit and follows the
+  // forwarding ref afterwards, so shared references stay shared.
+  for (auto &Ws : Watches)
+    for (Watcher &W : Ws)
+      Arena.reloc(W.Cls, To);
+  for (Lit L : Trail) {
+    CRef &Reason = Info[L.var()].Reason;
+    if (Reason != CRefUndef)
+      Arena.reloc(Reason, To);
+  }
+  auto relocList = [&](std::vector<CRef> &List) {
+    size_t Keep = 0;
+    for (CRef &R : List) {
+      if (Arena.get(R).mark())
+        continue; // Freed but not yet dropped from the list.
+      Arena.reloc(R, To);
+      List[Keep++] = R;
+    }
+    List.resize(Keep);
+  };
+  relocList(ProblemClauses);
+  relocList(Learnts);
+
+  size_t BytesAfter = To.sizeWords() * sizeof(uint32_t);
+  Stats.GcBytesReclaimed += BytesBefore - BytesAfter;
+  ++Stats.GcRuns;
+  Arena.swap(To);
 }
 
 uint64_t Solver::luby(uint64_t I) {
@@ -354,21 +452,55 @@ uint64_t Solver::luby(uint64_t I) {
   return 1ULL << (K - 1);
 }
 
+SolveResult Solver::abortSolve() {
+  // propagate() may have bailed out mid-queue; rewinding PropagateHead to
+  // the trail start makes the next solve rescan the root assignments, so
+  // no implication is ever silently lost.
+  backtrackTo(0);
+  PropagateHead = 0;
+  return SolveResult::Unknown;
+}
+
 SolveResult Solver::solve(const std::vector<Lit> &Assumptions,
                           uint64_t MaxConflicts, Deadline DL,
                           const CancellationToken *Cancel) {
+  SolveSpec Spec;
+  Spec.Assumptions = Assumptions;
+  Spec.MaxConflicts = MaxConflicts;
+  Spec.DL = DL;
+  Spec.Cancel = Cancel;
+  return solve(Spec);
+}
+
+SolveResult Solver::solve(const SolveSpec &Spec) {
   if (Unsat)
     return SolveResult::Unsat;
-  if (propagate() != InvalidClause) {
+
+  // Per-solve anytime controls, consulted from inside propagate().
+  AbortRequested = false;
+  PropagationLimit =
+      Spec.MaxPropagations ? Stats.Propagations + Spec.MaxPropagations : 0;
+  SolveDL = Spec.DL;
+  CurPhaseMode = Spec.Phase;
+  PhaseRngState = (Spec.PhaseSeed * 0x9E3779B97F4A7C15ULL) | 1;
+
+  const std::vector<Lit> &Assumptions = Spec.Assumptions;
+  const CancellationToken *Cancel = Spec.Cancel;
+
+  if (propagate() != CRefUndef) {
     Unsat = true;
     return SolveResult::Unsat;
+  }
+  if (AbortRequested) {
+    if (InterruptRequested.load(std::memory_order_relaxed))
+      ++Stats.Interrupts;
+    return abortSolve();
   }
 
   uint64_t ConflictsAtStart = Stats.Conflicts;
   uint64_t RestartUnit = 128;
   uint64_t RestartIdx = 0;
-  uint64_t NextRestart =
-      Stats.Conflicts + RestartUnit * luby(RestartIdx);
+  uint64_t NextRestart = Stats.Conflicts + RestartUnit * luby(RestartIdx);
   size_t MaxLearnts = 4096;
   std::vector<Lit> Learnt;
   uint64_t Ticks = 0;
@@ -377,9 +509,14 @@ SolveResult Solver::solve(const std::vector<Lit> &Assumptions,
     // Cheap cooperative abort: an atomic load every few hundred search
     // loop iterations, independent of the conflict rate.
     if ((++Ticks & 0xff) == 0 && Cancel && Cancel->cancelled())
-      return SolveResult::Unknown;
-    ClauseRef Conflict = propagate();
-    if (Conflict != InvalidClause) {
+      return abortSolve();
+    CRef Conflict = propagate();
+    if (AbortRequested) {
+      if (InterruptRequested.load(std::memory_order_relaxed))
+        ++Stats.Interrupts;
+      return abortSolve();
+    }
+    if (Conflict != CRefUndef) {
       ++Stats.Conflicts;
       if (currentLevel() == 0) {
         Unsat = true;
@@ -394,33 +531,39 @@ SolveResult Solver::solve(const std::vector<Lit> &Assumptions,
       backtrackTo(BtLevel);
       Stats.LearntLiterals += Learnt.size();
       if (Learnt.size() == 1) {
-        enqueue(Learnt[0], InvalidClause);
+        enqueue(Learnt[0], CRefUndef);
       } else {
-        ClauseRef CR = static_cast<ClauseRef>(Clauses.size());
-        Clauses.push_back(Clause{Learnt, ClaInc, Lbd, true});
-        Learnts.push_back(CR);
-        attachClause(CR);
-        enqueue(Learnt[0], CR);
+        CRef R = Arena.alloc(Learnt, /*Learnt=*/true);
+        ClauseAllocator::Clause C = Arena.get(R);
+        C.setActivity(static_cast<float>(ClaInc));
+        C.setLbd(Lbd);
+        Learnts.push_back(R);
+        attachClause(R);
+        enqueue(Learnt[0], R);
       }
       varDecayActivity();
       continue;
     }
 
-    // No conflict: maybe restart / reduce, then decide.
-    if (Stats.Conflicts >= NextRestart && currentLevel() > Assumptions.size()) {
+    // No conflict: maybe restart / reduce / collect, then decide.
+    if (Stats.Conflicts >= NextRestart &&
+        currentLevel() > Assumptions.size()) {
       ++Stats.Restarts;
       ++RestartIdx;
       NextRestart = Stats.Conflicts + RestartUnit * luby(RestartIdx);
       backtrackTo(static_cast<uint32_t>(Assumptions.size()));
       continue;
     }
-    if (MaxConflicts && Stats.Conflicts - ConflictsAtStart >= MaxConflicts)
-      return SolveResult::Unknown;
-    if ((Stats.Conflicts & 0xff) == 0 && DL.expired())
-      return SolveResult::Unknown;
+    if (Spec.MaxConflicts &&
+        Stats.Conflicts - ConflictsAtStart >= Spec.MaxConflicts)
+      return abortSolve();
+    if ((Stats.Conflicts & 0xff) == 0 && SolveDL.expired())
+      return abortSolve();
     if (Learnts.size() >= MaxLearnts) {
       reduceDb();
       MaxLearnts += MaxLearnts / 2;
+      if (Arena.shouldCollect(GarbageFrac))
+        garbageCollect();
     }
 
     Lit Decision;
@@ -460,8 +603,251 @@ SolveResult Solver::solve(const std::vector<Lit> &Assumptions,
       ++Stats.Decisions;
     }
     TrailLims.push_back(static_cast<uint32_t>(Trail.size()));
-    enqueue(Decision, InvalidClause);
+    enqueue(Decision, CRefUndef);
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Inprocessing: top-level subsumption + self-subsuming resolution
+//===----------------------------------------------------------------------===//
+
+uint32_t Solver::clauseAbstraction(CRef R) const {
+  ClauseAllocator::Clause C = const_cast<ClauseAllocator &>(Arena).get(R);
+  uint32_t Abst = 0;
+  for (Lit L : C)
+    Abst |= 1u << (L.var() & 31);
+  return Abst;
+}
+
+/// Does clause \p A subsume \p B, possibly modulo one flipped literal?
+/// Returns 1 for plain subsumption (every literal of A occurs in B),
+/// 2 with SelfSubsumeLit set to the one literal of B whose negation
+/// occurs in A (self-subsuming resolution: B may be strengthened by
+/// dropping it), and 0 otherwise.
+int Solver::subsumes(CRef A, CRef B, Lit &SelfSubsumeLit) const {
+  ClauseAllocator &Ar = const_cast<ClauseAllocator &>(Arena);
+  ClauseAllocator::Clause CA = Ar.get(A), CB = Ar.get(B);
+  bool Flipped = false;
+  for (Lit La : CA) {
+    bool Matched = false;
+    for (Lit Lb : CB) {
+      if (Lb == La) {
+        Matched = true;
+        break;
+      }
+      if (!Flipped && Lb == ~La) {
+        Flipped = true;
+        SelfSubsumeLit = Lb;
+        Matched = true;
+        break;
+      }
+    }
+    if (!Matched)
+      return 0;
+  }
+  return Flipped ? 2 : 1;
+}
+
+bool Solver::inprocess() {
+  if (Unsat)
+    return false;
+  assert(currentLevel() == 0 && "inprocess requires the root level");
+
+  // Fresh control state: the last solve's budgets do not bound this pass
+  // (a sticky interrupt() still applies and simply skips the work).
+  AbortRequested = false;
+  PropagationLimit = 0;
+  SolveDL = Deadline();
+  PropagateHead = 0; // Rescan everything: cheap, and restores the queue
+                     // invariant after any aborted solve.
+  if (InterruptRequested.load(std::memory_order_relaxed))
+    return true;
+  if (propagate() != CRefUndef) {
+    Unsat = true;
+    return false;
+  }
+
+  // Phase 1 — top-level simplification: drop root-satisfied clauses,
+  // prune root-false literals (detach / shrink / reattach).
+  size_t LiveEnd = 0;
+  for (size_t I = 0; I < ProblemClauses.size(); ++I) {
+    CRef R = ProblemClauses[I];
+    ClauseAllocator::Clause C = Arena.get(R);
+    if (C.mark())
+      continue;
+    bool Satisfied = false;
+    uint32_t FalseLits = 0;
+    for (Lit L : C) {
+      uint8_t V = litValue(L);
+      if (V == ValTrue) {
+        Satisfied = true;
+        break;
+      }
+      if (V == ValFalse)
+        ++FalseLits;
+    }
+    if (Satisfied) {
+      removeClause(R, true);
+      ++Stats.ClausesDeleted;
+      continue;
+    }
+    if (FalseLits) {
+      detachClause(R);
+      for (uint32_t J = C.size(); J-- > 0;)
+        if (litValue(C[J]) == ValFalse)
+          C.dropLit(J);
+      Arena.accountShrink(FalseLits);
+      if (C.size() == 1) {
+        Lit U = C[0];
+        Arena.free(R);
+        assert(litValue(U) == ValUndef && "unit survived propagation");
+        enqueue(U, CRefUndef);
+        if (propagate() != CRefUndef) {
+          Unsat = true;
+          return false;
+        }
+        continue;
+      }
+      attachClause(R);
+    }
+    ProblemClauses[LiveEnd++] = R;
+  }
+  ProblemClauses.resize(LiveEnd);
+
+  // Phase 2 — backward subsumption / self-subsuming resolution among the
+  // problem clauses. Occurrence lists are per *variable*; short clauses
+  // act as subsumers first. A literal-comparison budget bounds the pass
+  // on pathological instances; inprocessing is an optimization, not a
+  // completeness requirement, so stopping early is always sound.
+  constexpr uint32_t MaxSubsumerSize = 24;
+  uint64_t CheckBudget = 4'000'000;
+
+  std::vector<std::vector<CRef>> Occ(numVars());
+  for (CRef R : ProblemClauses) {
+    ClauseAllocator::Clause C = Arena.get(R);
+    for (Lit L : C)
+      Occ[L.var()].push_back(R);
+  }
+  std::vector<CRef> BySize = ProblemClauses;
+  std::sort(BySize.begin(), BySize.end(), [&](CRef A, CRef B) {
+    uint32_t SA = Arena.get(A).size(), SB = Arena.get(B).size();
+    if (SA != SB)
+      return SA < SB;
+    return A < B; // Deterministic tie-break.
+  });
+
+  for (CRef R : BySize) {
+    if (CheckBudget == 0)
+      break;
+    if (InterruptRequested.load(std::memory_order_relaxed))
+      break;
+    ClauseAllocator::Clause C = Arena.get(R);
+    if (C.mark() || C.size() > MaxSubsumerSize)
+      continue;
+    uint32_t AbstC = clauseAbstraction(R);
+    // Scan the occurrence list of the least-frequent variable in C.
+    Var Best = C[0].var();
+    for (Lit L : C)
+      if (Occ[L.var()].size() < Occ[Best].size())
+        Best = L.var();
+    for (CRef DR : Occ[Best]) {
+      if (DR == R)
+        continue;
+      ClauseAllocator::Clause D = Arena.get(DR);
+      if (D.mark() || C.mark())
+        continue;
+      if (D.size() < C.size())
+        continue;
+      if (CheckBudget <= D.size()) {
+        CheckBudget = 0;
+        break;
+      }
+      CheckBudget -= D.size();
+      if (AbstC & ~clauseAbstraction(DR))
+        continue; // Some variable of C is missing from D.
+      Lit SelfLit;
+      int Rel = subsumes(R, DR, SelfLit);
+      if (Rel == 0)
+        continue;
+      if (Rel == 1) {
+        // D is a superset of C: delete it.
+        removeClause(DR, true);
+        ++Stats.SubsumedClauses;
+        continue;
+      }
+      // Self-subsuming resolution: resolving C and D on SelfLit yields a
+      // strict subset of D, so D may drop SelfLit.
+      detachClause(DR);
+      uint32_t DSize = D.size();
+      for (uint32_t J = 0; J < DSize; ++J)
+        if (D[J] == SelfLit) {
+          D.dropLit(J);
+          break;
+        }
+      Arena.accountShrink(1);
+      ++Stats.StrengthenedLiterals;
+      if (D.size() == 1) {
+        Lit U = D[0];
+        Arena.free(DR);
+        uint8_t V = litValue(U);
+        if (V == ValFalse) {
+          Unsat = true;
+          return false;
+        }
+        if (V == ValUndef)
+          enqueue(U, CRefUndef);
+      } else {
+        attachClause(DR);
+      }
+    }
+  }
+
+  // Settle any units produced by strengthening, drop freed clauses from
+  // the problem list, and compact the arena if the pass wasted enough.
+  if (propagate() != CRefUndef) {
+    Unsat = true;
+    return false;
+  }
+  LiveEnd = 0;
+  for (CRef R : ProblemClauses)
+    if (!Arena.get(R).mark())
+      ProblemClauses[LiveEnd++] = R;
+  ProblemClauses.resize(LiveEnd);
+  if (Arena.shouldCollect(GarbageFrac))
+    garbageCollect();
+  return true;
+}
+
+bool Solver::checkWatchInvariants() const {
+  ClauseAllocator &Ar = const_cast<ClauseAllocator &>(Arena);
+  auto watchedIn = [&](CRef R, Lit L) {
+    const auto &Ws = Watches[(~L).code()];
+    for (const Watcher &W : Ws)
+      if (W.Cls == R)
+        return true;
+    return false;
+  };
+  for (const std::vector<CRef> *List : {&ProblemClauses, &Learnts}) {
+    for (CRef R : *List) {
+      ClauseAllocator::Clause C = Ar.get(R);
+      if (C.mark())
+        continue; // Freed but not yet compacted: must be detached.
+      if (C.size() < 2)
+        return false;
+      if (!watchedIn(R, C[0]) || !watchedIn(R, C[1]))
+        return false;
+    }
+  }
+  for (uint32_t Code = 0; Code < Watches.size(); ++Code) {
+    for (const Watcher &W : Watches[Code]) {
+      ClauseAllocator::Clause C = Ar.get(W.Cls);
+      if (C.mark())
+        return false; // Watcher on a freed clause.
+      if (!((~C[0]).code() == Code || (~C[1]).code() == Code))
+        return false;
+    }
+  }
+  return true;
 }
 
 /// \name Activity heap (binary max-heap with position index)

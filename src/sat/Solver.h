@@ -4,22 +4,35 @@
 /// A from-scratch CDCL SAT solver in the MiniSat lineage, standing in for
 /// the SAT engine inside CBMC (the paper's backend). Features:
 ///
-///  * two-watched-literal propagation,
+///  * contiguous arena clause storage (32-bit refs) with relocating
+///    garbage collection triggered by the wasted-bytes ratio,
+///  * two-watched-literal propagation with a blocker-literal fast path,
 ///  * first-UIP conflict analysis with clause minimization,
 ///  * exponential VSIDS activities with phase saving,
 ///  * Luby-sequence restarts,
 ///  * LBD-based learnt-clause database reduction,
 ///  * solving under assumptions,
-///  * conflict/time budgets for anytime use.
+///  * conflict / propagation / wall-clock budgets plus an asynchronous
+///    interrupt() for anytime use,
+///  * polarity modes (saved / positive / negative / random-seeded),
+///  * top-level inprocessing (subsumption + self-subsuming resolution)
+///    between solves.
+///
+/// All budgets, assumptions and polarity controls travel in one SolveSpec
+/// (see support/Budget.h for the cross-backend budget vocabulary); the
+/// historical positional `solve(Assumptions, MaxConflicts, DL, Cancel)`
+/// overload remains for one release as a deprecated shim.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef VBMC_SAT_SOLVER_H
 #define VBMC_SAT_SOLVER_H
 
+#include "support/Budget.h"
 #include "support/CheckContext.h"
 #include "support/Timer.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <vector>
@@ -56,7 +69,83 @@ inline Lit mkLit(Var V) { return Lit(V, false); }
 enum class SolveResult {
   Sat,
   Unsat,
-  Unknown, ///< Budget exhausted.
+  Unknown, ///< Budget exhausted, cancelled, or interrupted.
+};
+
+/// Decision polarity policy for unforced branch literals.
+enum class PhaseMode {
+  Saved,    ///< Last assigned polarity (classic phase saving; default).
+  Positive, ///< Always branch true first.
+  Negative, ///< Always branch false first.
+  Random,   ///< Seeded pseudo-random polarity per decision.
+};
+
+/// Everything one solve() call needs: assumptions, budgets, cancellation
+/// and polarity policy. Replaces the positional-argument spread that used
+/// to exist in near-identical copies across the solver, the BMC encoder,
+/// the explorers and the engine plumbing.
+struct SolveSpec {
+  std::vector<Lit> Assumptions;
+  /// Conflict cap for this call (0 = unlimited).
+  uint64_t MaxConflicts = 0;
+  /// Propagation cap for this call (0 = unlimited) — a deterministic
+  /// work measure, unlike wall clock.
+  uint64_t MaxPropagations = 0;
+  /// Wall-clock budget; checked inside the propagation loop, so expiry
+  /// is precise even when conflicts are rare.
+  Deadline DL;
+  /// Cooperative cancellation (portfolio racing); polled periodically.
+  const CancellationToken *Cancel = nullptr;
+  PhaseMode Phase = PhaseMode::Saved;
+  /// Seed for PhaseMode::Random (same seed => same decision polarities).
+  uint64_t PhaseSeed = 0;
+
+  SolveSpec() = default;
+  /// Implicit from an assumption list: `solve(Assumptions)` keeps working.
+  SolveSpec(std::vector<Lit> A) : Assumptions(std::move(A)) {}
+  /// Implicit from a braced literal list: `solve({A, ~B})` keeps working
+  /// (a braced list cannot reach the vector constructor on its own — that
+  /// would take two user-defined conversions).
+  SolveSpec(std::initializer_list<Lit> A) : Assumptions(A) {}
+
+  static SolveSpec assuming(std::vector<Lit> A) {
+    return SolveSpec(std::move(A));
+  }
+  /// Budgets from the cross-backend vocabulary: Seconds becomes a
+  /// Deadline starting now; Conflicts/Propagations map directly.
+  static SolveSpec fromBudget(const support::Budget &B) {
+    SolveSpec S;
+    S.MaxConflicts = B.Conflicts;
+    S.MaxPropagations = B.Propagations;
+    S.DL = B.startDeadline();
+    return S;
+  }
+
+  SolveSpec &withAssumptions(std::vector<Lit> A) {
+    Assumptions = std::move(A);
+    return *this;
+  }
+  SolveSpec &withConflicts(uint64_t N) {
+    MaxConflicts = N;
+    return *this;
+  }
+  SolveSpec &withPropagations(uint64_t N) {
+    MaxPropagations = N;
+    return *this;
+  }
+  SolveSpec &withDeadline(Deadline D) {
+    DL = D;
+    return *this;
+  }
+  SolveSpec &withCancel(const CancellationToken *C) {
+    Cancel = C;
+    return *this;
+  }
+  SolveSpec &withPhase(PhaseMode M, uint64_t Seed = 0) {
+    Phase = M;
+    PhaseSeed = Seed;
+    return *this;
+  }
 };
 
 /// Solver statistics (cumulative over the solver lifetime). Callers that
@@ -70,6 +159,11 @@ struct SolverStats {
   uint64_t Restarts = 0;
   uint64_t LearntLiterals = 0;
   uint64_t ClausesDeleted = 0;
+  uint64_t GcRuns = 0;           ///< Arena garbage collections.
+  uint64_t GcBytesReclaimed = 0; ///< Bytes compacted away by GC.
+  uint64_t SubsumedClauses = 0;  ///< Clauses removed by inprocessing.
+  uint64_t StrengthenedLiterals = 0; ///< Lits removed by self-subsumption.
+  uint64_t Interrupts = 0;       ///< solve() aborts via interrupt().
 };
 
 /// Per-solve delta between two cumulative snapshots: \p After - \p Before,
@@ -83,8 +177,174 @@ inline SolverStats operator-(const SolverStats &After,
   D.Restarts = After.Restarts - Before.Restarts;
   D.LearntLiterals = After.LearntLiterals - Before.LearntLiterals;
   D.ClausesDeleted = After.ClausesDeleted - Before.ClausesDeleted;
+  D.GcRuns = After.GcRuns - Before.GcRuns;
+  D.GcBytesReclaimed = After.GcBytesReclaimed - Before.GcBytesReclaimed;
+  D.SubsumedClauses = After.SubsumedClauses - Before.SubsumedClauses;
+  D.StrengthenedLiterals =
+      After.StrengthenedLiterals - Before.StrengthenedLiterals;
+  D.Interrupts = After.Interrupts - Before.Interrupts;
   return D;
 }
+
+/// Reference to a clause in the arena: a word offset. 32 bits bound the
+/// arena at 16 GiB (4-byte words), far beyond any encoding this repo
+/// produces; alloc() aborts cleanly before overflow.
+using CRef = uint32_t;
+constexpr CRef CRefUndef = 0xFFFFFFFFu;
+
+/// Contiguous clause storage. A clause is a span of 32-bit words:
+///
+///   [ header | (activity lbd)? | lit0 lit1 ... litN-1 ]
+///
+/// header = size << 3 | learnt << 2 | reloced << 1 | mark. Learnt clauses
+/// carry two extra bookkeeping words (float activity as bits, LBD).
+/// free() only accounts the waste; garbageCollect() copies the live
+/// clauses into a fresh arena in allocation order (cache-friendly for
+/// propagation) and leaves a forwarding CRef behind the reloced bit so
+/// watches/reasons relocate in one pass.
+class ClauseAllocator {
+public:
+  /// Mutable view of one clause; valid until the next alloc() or
+  /// garbageCollect() (the arena may move).
+  class Clause {
+  public:
+    uint32_t size() const { return B[0] >> 3; }
+    bool learnt() const { return B[0] & 4; }
+    bool reloced() const { return B[0] & 2; }
+    /// Mark = deleted; GC drops marked clauses.
+    bool mark() const { return B[0] & 1; }
+    void setMark() { B[0] |= 1; }
+
+    Lit *lits() { return reinterpret_cast<Lit *>(B + 1 + extraWords()); }
+    const Lit *lits() const {
+      return reinterpret_cast<const Lit *>(B + 1 + extraWords());
+    }
+    Lit &operator[](uint32_t I) { return lits()[I]; }
+    Lit operator[](uint32_t I) const { return lits()[I]; }
+    Lit *begin() { return lits(); }
+    Lit *end() { return lits() + size(); }
+    const Lit *begin() const { return lits(); }
+    const Lit *end() const { return lits() + size(); }
+
+    float activity() const {
+      assert(learnt());
+      float A;
+      __builtin_memcpy(&A, &B[1], sizeof(A));
+      return A;
+    }
+    void setActivity(float A) {
+      assert(learnt());
+      __builtin_memcpy(&B[1], &A, sizeof(A));
+    }
+    uint32_t lbd() const { return learnt() ? B[2] : 0; }
+    void setLbd(uint32_t L) {
+      assert(learnt());
+      B[2] = L;
+    }
+
+    /// Shrinks the clause in place by dropping the literal at \p I
+    /// (order of the remaining literals above I is preserved only from
+    /// I onward). Caller handles watches and waste accounting.
+    void dropLit(uint32_t I) {
+      Lit *L = lits();
+      uint32_t N = size();
+      for (uint32_t J = I; J + 1 < N; ++J)
+        L[J] = L[J + 1];
+      B[0] = ((N - 1) << 3) | (B[0] & 7);
+    }
+
+    CRef relocation() const {
+      assert(reloced());
+      return B[1];
+    }
+    void relocate(CRef To) {
+      B[0] |= 2;
+      B[1] = To;
+    }
+
+  private:
+    friend class ClauseAllocator;
+    explicit Clause(uint32_t *B) : B(B) {}
+    uint32_t extraWords() const { return learnt() ? 2 : 0; }
+    uint32_t totalWords() const { return 1 + extraWords() + size(); }
+    uint32_t *B;
+  };
+
+  CRef alloc(const std::vector<Lit> &Lits, bool Learnt) {
+    return alloc(Lits.data(), static_cast<uint32_t>(Lits.size()), Learnt);
+  }
+
+  CRef alloc(const Lit *Lits, uint32_t N, bool Learnt) {
+    uint32_t Words = 1 + (Learnt ? 2 : 0) + N;
+    CRef R = static_cast<CRef>(Mem.size());
+    Mem.resize(Mem.size() + Words);
+    uint32_t *B = Mem.data() + R;
+    B[0] = (N << 3) | (Learnt ? 4u : 0u);
+    Clause C(B);
+    if (Learnt) {
+      C.setActivity(0);
+      C.setLbd(0);
+    }
+    for (uint32_t I = 0; I < N; ++I)
+      C[I] = Lits[I];
+    return R;
+  }
+
+  Clause get(CRef R) {
+    assert(R < Mem.size());
+    return Clause(Mem.data() + R);
+  }
+
+  /// Retires a clause: waste accounting only; the words are reclaimed by
+  /// the next garbageCollect().
+  void free(CRef R) {
+    Clause C = get(R);
+    Wasted += C.totalWords();
+    C.setMark();
+  }
+
+  /// Accounts \p Words freed in place (clause shrink).
+  void accountShrink(uint32_t Words) { Wasted += Words; }
+
+  size_t wastedWords() const { return Wasted; }
+  size_t sizeWords() const { return Mem.size(); }
+
+  /// True when the wasted ratio crosses \p GarbageFrac.
+  bool shouldCollect(double GarbageFrac) const {
+    return !Mem.empty() &&
+           static_cast<double>(Wasted) >
+               GarbageFrac * static_cast<double>(Mem.size());
+  }
+
+  /// Copies the live (unmarked) clause at \p R into \p To on first call
+  /// and updates \p R to the new location; later calls follow the stored
+  /// forwarding ref. Marked clauses must not be relocated.
+  void reloc(CRef &R, ClauseAllocator &To) {
+    Clause C = get(R);
+    if (C.reloced()) {
+      R = C.relocation();
+      return;
+    }
+    assert(!C.mark() && "relocating a freed clause");
+    CRef New = To.alloc(C.lits(), C.size(), C.learnt());
+    if (C.learnt()) {
+      Clause NC = To.get(New);
+      NC.setActivity(C.activity());
+      NC.setLbd(C.lbd());
+    }
+    C.relocate(New);
+    R = New;
+  }
+
+  void swap(ClauseAllocator &O) {
+    Mem.swap(O.Mem);
+    std::swap(Wasted, O.Wasted);
+  }
+
+private:
+  std::vector<uint32_t> Mem;
+  size_t Wasted = 0;
+};
 
 /// The CDCL solver.
 class Solver {
@@ -105,13 +365,37 @@ public:
   bool addBinary(Lit A, Lit B) { return addClause({A, B}); }
   bool addTernary(Lit A, Lit B, Lit C) { return addClause({A, B, C}); }
 
-  /// Solves the formula under \p Assumptions. \p MaxConflicts == 0 means
-  /// unbounded; \p DL is a wall-clock budget; \p Cancel, when non-null, is
-  /// polled cooperatively so a portfolio driver can abort a race loser
-  /// (returns Unknown).
-  SolveResult solve(const std::vector<Lit> &Assumptions = {},
-                    uint64_t MaxConflicts = 0, Deadline DL = Deadline(),
+  /// Solves the formula under \p Spec: its assumptions, budgets
+  /// (conflicts, propagations, deadline), cancellation token and
+  /// polarity mode. Returns Unknown when any budget ran out, the token
+  /// was cancelled, or interrupt() fired.
+  SolveResult solve(const SolveSpec &Spec = {});
+
+  /// Deprecated positional form, kept for one release; delegates to the
+  /// SolveSpec overload (pinned by LegacyApiTest).
+  [[deprecated("build a sat::SolveSpec instead")]]
+  SolveResult solve(const std::vector<Lit> &Assumptions,
+                    uint64_t MaxConflicts, Deadline DL = Deadline(),
                     const CancellationToken *Cancel = nullptr);
+
+  /// Asynchronously aborts the current (or next) solve() with Unknown.
+  /// Safe to call from another thread; a relaxed-atomic flag is checked
+  /// in the propagation loop, so the abort is prompt even when the
+  /// solver is grinding through one huge propagation between conflicts.
+  /// The flag is sticky until clearInterrupt().
+  void interrupt() { InterruptRequested.store(true, std::memory_order_relaxed); }
+  void clearInterrupt() {
+    InterruptRequested.store(false, std::memory_order_relaxed);
+  }
+
+  /// Top-level inprocessing: backward subsumption and self-subsuming
+  /// resolution over the problem clauses. Equivalence-preserving (see
+  /// docs/ALGORITHMS.md, "SAT solver internals"), so verdicts under any
+  /// later assumption set are unchanged — safe between the incremental
+  /// engine's per-budget solves. Must be called at decision level 0
+  /// (always true between solve() calls). Returns false when the pass
+  /// derived top-level unsatisfiability.
+  bool inprocess();
 
   /// Value of \p V in the model found by the last Sat answer.
   bool modelValue(Var V) const {
@@ -124,28 +408,31 @@ public:
   /// True once addClause derived top-level unsatisfiability.
   bool inConflict() const { return Unsat; }
 
+  /// Runs a relocation GC unconditionally (tests force arena movement;
+  /// solve() triggers it by the wasted ratio).
+  void garbageCollect();
+
+  /// Wasted-ratio threshold above which solve() collects (default 0.20).
+  void setGarbageFrac(double F) { GarbageFrac = F; }
+
+  /// Invariant audit for the property suite: every live clause is
+  /// watched on exactly its first two literals, every watcher points at
+  /// a live clause that watches the list's literal, and no freed clause
+  /// is reachable. Returns false (and asserts in debug builds) on any
+  /// violation.
+  bool checkWatchInvariants() const;
+
 private:
   /// Truth values on the trail: 0 undef, 1 true, 2 false (lit-phased).
   enum : uint8_t { ValUndef = 0, ValTrue = 1, ValFalse = 2 };
 
-  /// Clause storage: a flat arena; a clause is [header, lits...]. We keep
-  /// it simple with an index-based heap of clause objects.
-  struct Clause {
-    std::vector<Lit> Lits;
-    double Activity = 0;
-    uint32_t Lbd = 0;
-    bool Learnt = false;
-  };
-  using ClauseRef = uint32_t;
-  static constexpr ClauseRef InvalidClause = ~0u;
-
   struct Watcher {
-    ClauseRef Cls;
+    CRef Cls;
     Lit Blocker;
   };
 
   struct VarInfo {
-    ClauseRef Reason = InvalidClause;
+    CRef Reason = CRefUndef;
     uint32_t Level = 0;
   };
 
@@ -156,25 +443,37 @@ private:
     return (V == ValTrue) != L.negated() ? ValTrue : ValFalse;
   }
 
-  void enqueue(Lit L, ClauseRef Reason);
-  ClauseRef propagate();
-  void analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
+  void enqueue(Lit L, CRef Reason);
+  CRef propagate();
+  void analyze(CRef Conflict, std::vector<Lit> &Learnt,
                uint32_t &BacktrackLevel, uint32_t &Lbd);
   bool litRedundant(Lit L, uint32_t AbstractLevels);
   void backtrackTo(uint32_t Level);
   Lit pickBranchLit();
   void varBumpActivity(Var V);
   void varDecayActivity();
-  void claBumpActivity(Clause &C);
+  void claBumpActivity(ClauseAllocator::Clause C);
   void reduceDb();
-  void attachClause(ClauseRef CR);
+  void attachClause(CRef R);
+  void detachClause(CRef R);
+  void removeClause(CRef R, bool FromProblemList);
+  bool locked(CRef R) const;
+  /// Abort bookkeeping shared by every inconclusive exit: restore the
+  /// root level and rewind the propagation queue (an early propagate()
+  /// exit may have left implications unexplored).
+  SolveResult abortSolve();
   uint32_t currentLevel() const {
     return static_cast<uint32_t>(TrailLims.size());
   }
   static uint64_t luby(uint64_t I);
+  /// 0 = no relation, 1 = A subsumes B, 2 = self-subsuming resolution
+  /// (SelfSubsumeLit is the literal of B to drop).
+  int subsumes(CRef A, CRef B, Lit &SelfSubsumeLit) const;
+  uint32_t clauseAbstraction(CRef R) const;
 
-  std::vector<Clause> Clauses;          ///< All clauses (problem + learnt).
-  std::vector<ClauseRef> Learnts;       ///< Indices of learnt clauses.
+  ClauseAllocator Arena;
+  std::vector<CRef> ProblemClauses;     ///< Attached original clauses.
+  std::vector<CRef> Learnts;            ///< Attached learnt clauses.
   std::vector<std::vector<Watcher>> Watches; ///< Indexed by literal code.
   std::vector<uint8_t> Assigns;         ///< Var -> ValUndef/True/False.
   std::vector<uint8_t> Phase;           ///< Saved phases.
@@ -188,13 +487,22 @@ private:
   double VarInc = 1.0;
   double ClaInc = 1.0;
   bool Unsat = false;
+  double GarbageFrac = 0.20;
   std::vector<uint8_t> Seen;    ///< Scratch for conflict analysis.
   std::vector<Var> MarkedVars;  ///< Vars with Seen set (for cleanup).
   std::vector<bool> Model;
   SolverStats Stats;
 
+  /// Per-solve control state (propagate() consults these so the budget
+  /// checks live next to the work they bound).
+  std::atomic<bool> InterruptRequested{false};
+  bool AbortRequested = false;  ///< Set by propagate() on budget/interrupt.
+  uint64_t PropagationLimit = 0; ///< Absolute Stats.Propagations cap (0 = off).
+  Deadline SolveDL;
+  PhaseMode CurPhaseMode = PhaseMode::Saved;
+  uint64_t PhaseRngState = 0;
+
   void heapInsert(Var V);
-  void heapDecrease(Var V);
   Var heapPopMax();
   bool heapEmpty() const { return Order.empty(); }
   bool heapLess(Var A, Var B) const { return Activity[A] < Activity[B]; }

@@ -52,7 +52,7 @@ struct Node {
 
 ScResult vbmc::sc::exploreSc(const FlatProgram &FP, const ScQuery &Q) {
   Timer Watch;
-  Deadline DL(Q.BudgetSeconds);
+  Deadline DL = Q.B.startDeadline();
   ScResult Result;
 
   // Single exit point: stamp the status/time and mirror the work counters
@@ -111,7 +111,7 @@ ScResult vbmc::sc::exploreSc(const FlatProgram &FP, const ScQuery &Q) {
 
   std::vector<ScStep> Steps;
   while (!Frontier.empty()) {
-    if (Q.MaxStates && Result.StatesVisited >= Q.MaxStates)
+    if (Q.B.Work && Result.StatesVisited >= Q.B.Work)
       return finish(ScStatus::StateLimit);
     // Cancellation is an atomic load: poll it every state for promptness.
     if (Q.Ctx && Q.Ctx->cancelled())

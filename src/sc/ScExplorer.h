@@ -12,6 +12,7 @@
 #define VBMC_SC_SCEXPLORER_H
 
 #include "sc/ScSemantics.h"
+#include "support/Budget.h"
 #include "support/CheckContext.h"
 #include "support/Timer.h"
 
@@ -44,10 +45,12 @@ struct ScQuery {
   /// a single action to the other processes. Off by default; the
   /// correctness tests exercise the unreduced semantics.
   bool SwitchOnlyAfterWrite = false;
-  uint64_t MaxStates = 0;
-  double BudgetSeconds = 0;
+  /// Resource budget: B.Work caps visited states (0 = unlimited),
+  /// B.Seconds is a standalone wall clock whose timer starts when the
+  /// query runs. See support/Budget.h for the shared vocabulary.
+  support::Budget B;
   /// Optional engine context: the explorer polls its deadline and
-  /// cancellation token (in addition to BudgetSeconds, which stays
+  /// cancellation token (in addition to B.Seconds, which stays
   /// supported for standalone queries) and records explicit.* stats into
   /// its registry.
   const CheckContext *Ctx = nullptr;

@@ -15,7 +15,7 @@ namespace {
 class StatelessExplorer {
 public:
   StatelessExplorer(const FlatProgram &FP, const SmcOptions &Opts)
-      : FP(FP), Opts(Opts), DL(Opts.BudgetSeconds) {}
+      : FP(FP), Opts(Opts), DL(Opts.B.startDeadline()) {}
 
   SmcResult run() {
     Timer Watch;
@@ -94,7 +94,7 @@ private:
       Result.TimedOut = true;
       return false;
     }
-    if (Opts.MaxExecutions && Result.Executions >= Opts.MaxExecutions)
+    if (Opts.B.Work && Result.Executions >= Opts.B.Work)
       return false;
     if (Depth > Opts.MaxStepsPerRun)
       return false;

@@ -34,6 +34,7 @@
 #define VBMC_SMC_SMC_H
 
 #include "ra/RaSemantics.h"
+#include "support/Budget.h"
 #include "support/Timer.h"
 
 #include <cstdint>
@@ -59,10 +60,10 @@ struct SmcOptions {
   /// (goal-directed analogue of the paper's K bound). 0 = unbounded.
   uint32_t ViewSwitchBound = 0;
   bool BoundViewSwitches = false;
-  /// Wall-clock budget in seconds (0 = unlimited).
-  double BudgetSeconds = 0;
-  /// Cap on completed executions (0 = unlimited).
-  uint64_t MaxExecutions = 0;
+  /// Resource budget: B.Seconds is the wall clock (0 = unlimited),
+  /// B.Work caps completed executions. See support/Budget.h for the
+  /// shared vocabulary.
+  support::Budget B;
   /// Cap on the length of a single execution (guards against unbounded
   /// loops slipping through).
   uint64_t MaxStepsPerRun = 1u << 20;

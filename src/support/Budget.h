@@ -1,0 +1,83 @@
+//===- Budget.h - unified resource budget vocabulary ------------*- C++ -*-===//
+///
+/// \file
+/// One budget vocabulary for every backend. Before this header existed the
+/// same four ideas — wall clock, solver conflicts, solver propagations,
+/// backend work units — were spelled as near-identical positional
+/// parameters and option fields in five places (`sat::Solver::solve`,
+/// `bmc::BmcOptions`, `sc::ScQuery`, `smc::SmcOptions`, and the
+/// CheckContext plumbing). A Budget names them once:
+///
+///  * `Seconds`      wall-clock budget (0 = unlimited), turned into a
+///                   `Deadline` at the point the work starts;
+///  * `Conflicts`    CDCL conflict cap (0 = unlimited);
+///  * `Propagations` CDCL propagation cap (0 = unlimited) — a
+///                   deterministic work measure, unlike wall clock;
+///  * `Work`         backend-specific work units: explicit-state visits
+///                   for the SC explorer, executions for the statistical
+///                   checker (0 = unlimited).
+///
+/// Budgets are plain data with fluent builders so call sites read as
+/// `Budget::seconds(5).withConflicts(10000)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_SUPPORT_BUDGET_H
+#define VBMC_SUPPORT_BUDGET_H
+
+#include "support/Timer.h"
+
+#include <cstdint>
+
+namespace vbmc::support {
+
+struct Budget {
+  /// Wall-clock budget in seconds; non-positive = unlimited.
+  double Seconds = 0;
+  /// CDCL conflict cap; 0 = unlimited.
+  uint64_t Conflicts = 0;
+  /// CDCL propagation cap; 0 = unlimited.
+  uint64_t Propagations = 0;
+  /// Backend-specific work units (states, executions); 0 = unlimited.
+  uint64_t Work = 0;
+
+  constexpr Budget() = default;
+
+  /// True when no dimension is bounded.
+  bool unlimited() const {
+    return Seconds <= 0 && Conflicts == 0 && Propagations == 0 && Work == 0;
+  }
+
+  /// A Deadline whose clock starts now; default-constructed (no expiry)
+  /// when Seconds is unlimited.
+  Deadline startDeadline() const {
+    return Seconds > 0 ? Deadline(Seconds) : Deadline();
+  }
+
+  static Budget seconds(double S) {
+    Budget B;
+    B.Seconds = S;
+    return B;
+  }
+
+  Budget &withSeconds(double S) {
+    Seconds = S;
+    return *this;
+  }
+  Budget &withConflicts(uint64_t N) {
+    Conflicts = N;
+    return *this;
+  }
+  Budget &withPropagations(uint64_t N) {
+    Propagations = N;
+    return *this;
+  }
+  Budget &withWork(uint64_t N) {
+    Work = N;
+    return *this;
+  }
+};
+
+} // namespace vbmc::support
+
+#endif // VBMC_SUPPORT_BUDGET_H

@@ -33,6 +33,7 @@
 #ifndef VBMC_SUPPORT_CHECKCONTEXT_H
 #define VBMC_SUPPORT_CHECKCONTEXT_H
 
+#include "support/Budget.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
 
@@ -143,6 +144,11 @@ public:
     DL = Deadline(BudgetSeconds);
   }
 
+  /// Context whose deadline starts now per \p B.Seconds (the other budget
+  /// dimensions are enforced by whichever backend consumes them).
+  explicit CheckContext(const support::Budget &B)
+      : CheckContext(B.Seconds) {}
+
   /// The run-wide monotonic deadline. Copies of this context (and
   /// children) share its start time, so every stage observes the
   /// remaining budget.
@@ -191,6 +197,11 @@ public:
     if (Budget != std::numeric_limits<double>::infinity())
       C.DL = Deadline(Budget > 0 ? Budget : 1e-9); // 1e-9: expire instantly.
     return C;
+  }
+
+  /// childWithBudget over the shared budget vocabulary (\p B.Seconds).
+  CheckContext childWithBudget(const support::Budget &B) const {
+    return childWithBudget(B.Seconds);
   }
 
 private:

@@ -21,7 +21,6 @@
 #include "support/FaultInjection.h"
 #include "support/Timer.h"
 #include "vbmc/Isolation.h"
-#include "vbmc/Vbmc.h"
 
 #include <algorithm>
 #include <csignal>
@@ -155,8 +154,8 @@ CheckReport runExplicit(const ir::Program &Translated, uint32_t ContextBound,
   Q.Goal = sc::ScGoalKind::AnyError;
   Q.ContextBound = ContextBound;
   Q.SwitchOnlyAfterWrite = Opts.SwitchOnlyAfterWrite;
-  Q.BudgetSeconds = Opts.BudgetSeconds;
-  Q.MaxStates = Opts.MaxStates;
+  Q.B.Seconds = Opts.BudgetSeconds;
+  Q.B.Work = Opts.MaxStates;
   Q.Ctx = &Ctx;
   sc::ScResult SR = sc::exploreSc(FP, Q);
   R.Work = SR.StatesVisited;

@@ -16,8 +16,8 @@
 /// re-running a request on the same program reuses the encoding.
 ///
 /// The historical free functions checkProgram / checkIterative /
-/// checkPortfolio / checkParallelDeepening (Vbmc.h) survive as thin
-/// deprecated wrappers that build a CheckRequest and delegate here.
+/// checkPortfolio / checkParallelDeepening spent one release as deprecated
+/// wrappers and are gone: build a CheckRequest and call Engine::run.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -117,7 +117,7 @@ struct Attempt {
 };
 
 /// The one report type for every mode (the former VbmcResult /
-/// IterativeResult split, collapsed; those names remain as aliases).
+/// IterativeResult split, collapsed).
 struct CheckReport {
   Verdict Outcome = Verdict::Unknown;
   /// For Unknown: why no verdict exists, when the cause is a classified
@@ -213,6 +213,14 @@ private:
 /// every literal constant). Exposed so the incremental engine encodes at
 /// exactly the width fresh per-K runs use.
 uint32_t satValueWidth(const ir::Program &P);
+
+/// Internal: one SAT-BMC attempt on the already-translated program
+/// (defined in SatBackend.cpp; called by the Engine's backend dispatch).
+/// \p Translated is the [[P]]_K sequentialization, \p ContextBound the
+/// SC context budget the translation certified.
+CheckReport runSatBackend(const ir::Program &Translated,
+                          uint32_t ContextBound, const VbmcOptions &Opts,
+                          const CheckContext *Ctx = nullptr);
 
 } // namespace vbmc::driver
 

@@ -3,7 +3,7 @@
 // One verification attempt = one forked child. The child re-runs the
 // plain in-process pipeline (translate + backend) under a fresh context
 // carrying the parent's *remaining* deadline, then writes a line-based
-// serialization of the VbmcResult and its StatsRegistry snapshot to the
+// serialization of the CheckReport and its StatsRegistry snapshot to the
 // report pipe. The parent classifies every way the child can die — exit
 // code, signal, OOM, wall-clock kill — into the FailureKind carried on
 // the result, so no backend misbehaviour can take the engine down.
@@ -93,7 +93,7 @@ sandbox::FailureKind failureFromName(const std::string &Name) {
 
 } // namespace
 
-std::string vbmc::driver::serializeResult(const VbmcResult &R,
+std::string vbmc::driver::serializeResult(const CheckReport &R,
                                           const StatsRegistry &Stats,
                                           const TraceRecorder *Trace) {
   std::ostringstream Out;
@@ -134,10 +134,10 @@ std::string vbmc::driver::serializeResult(const VbmcResult &R,
   return Out.str();
 }
 
-VbmcResult vbmc::driver::parseResult(const std::string &Payload,
+CheckReport vbmc::driver::parseResult(const std::string &Payload,
                                      StatsRegistry *MergeInto,
                                      std::vector<TraceSpan> *SpansOut) {
-  VbmcResult R;
+  CheckReport R;
   std::istringstream In(Payload);
   std::string Line;
   bool SawEnd = false;
@@ -254,7 +254,7 @@ VbmcResult vbmc::driver::parseResult(const std::string &Payload,
   if (!SawEnd) {
     // A truncated report means the child died mid-write; do not trust
     // whatever prefix made it through.
-    VbmcResult Bad;
+    CheckReport Bad;
     Bad.Outcome = Verdict::Unknown;
     Bad.Failure = sandbox::FailureKind::ExitFailure;
     Bad.Note = "truncated report from sandboxed child";
@@ -339,7 +339,7 @@ CheckReport vbmc::driver::runIsolatedRequest(const ir::Program &P,
   return R;
 }
 
-VbmcResult vbmc::driver::runIsolatedAttempt(const ir::Program &P,
+CheckReport vbmc::driver::runIsolatedAttempt(const ir::Program &P,
                                             const VbmcOptions &Opts,
                                             CheckContext &Ctx) {
   CheckRequest Req;

@@ -1,9 +1,9 @@
 //===- Isolation.h - sandboxed verification attempts ------------*- C++ -*-===//
 ///
 /// \file
-/// Internal glue between the driver pipeline (Vbmc.cpp) and the process
-/// sandbox (support/Sandbox.h): runs one checkProgram attempt in a forked
-/// child, serializes the VbmcResult and the child's StatsRegistry over the
+/// Internal glue between the driver pipeline (Engine.cpp) and the process
+/// sandbox (support/Sandbox.h): runs one single-backend attempt in a forked
+/// child, serializes the CheckReport and the child's StatsRegistry over the
 /// report pipe, and classifies child death into the result's FailureKind.
 /// Not part of the public driver API — the public entry points dispatch
 /// here when VbmcOptions::Isolate is set.
@@ -13,20 +13,20 @@
 #ifndef VBMC_VBMC_ISOLATION_H
 #define VBMC_VBMC_ISOLATION_H
 
-#include "vbmc/Vbmc.h"
+#include "vbmc/Engine.h"
 
 #include <string>
 
 namespace vbmc::driver {
 
-/// Runs one single-backend checkProgram attempt for \p P in a sandboxed
+/// Runs one single-backend verification attempt for \p P in a sandboxed
 /// child (fresh address space, RLIMIT_AS headroom of Opts.MemLimitBytes,
 /// wall-clock kill at the context's remaining deadline). The child runs
 /// with Isolate and RetryReduced off — the parent owns the retry policy.
 /// On completion the child's stats are merged into \p Ctx's registry; on
 /// child death the result is Unknown with the classified FailureKind and
 /// the matching sandbox.{crash,oom,timeout} counter is bumped.
-VbmcResult runIsolatedAttempt(const ir::Program &P, const VbmcOptions &Opts,
+CheckReport runIsolatedAttempt(const ir::Program &P, const VbmcOptions &Opts,
                               CheckContext &Ctx);
 
 /// Runs one whole CheckRequest (any mode) in a sandboxed child: the child
@@ -45,13 +45,13 @@ CheckReport runIsolatedRequest(const ir::Program &P, const CheckRequest &Req,
 /// decimal separator cannot corrupt child timing stats. \p Trace, when
 /// non-null and enabled, appends the child recorder's spans so the parent
 /// can merge them into its own timeline.
-std::string serializeResult(const VbmcResult &R, const StatsRegistry &Stats,
+std::string serializeResult(const CheckReport &R, const StatsRegistry &Stats,
                             const TraceRecorder *Trace = nullptr);
 /// Parses a child report. Malformed lines (missing fields, unparseable
 /// numbers — the silent-zero strtod("") failure mode) are never absorbed
 /// as zeros: the field is skipped and the damage is surfaced in the
 /// result's Note. \p SpansOut, when non-null, receives any span lines.
-VbmcResult parseResult(const std::string &Payload, StatsRegistry *MergeInto,
+CheckReport parseResult(const std::string &Payload, StatsRegistry *MergeInto,
                        std::vector<TraceSpan> *SpansOut = nullptr);
 
 } // namespace vbmc::driver

@@ -22,7 +22,7 @@ RobustnessResult vbmc::driver::checkRobustness(const ir::Program &P,
   // Assertion reachability on both sides.
   sc::ScQuery SQ;
   SQ.Goal = sc::ScGoalKind::AnyError;
-  SQ.MaxStates = MaxStates;
+  SQ.B.Work = MaxStates;
   sc::ScResult ScErr = sc::exploreSc(FP, SQ);
 
   ra::RaQuery RQ;

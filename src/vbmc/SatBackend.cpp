@@ -7,7 +7,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bmc/Encoder.h"
-#include "vbmc/Vbmc.h"
+#include "vbmc/Engine.h"
 
 using namespace vbmc;
 using namespace vbmc::driver;
@@ -65,7 +65,7 @@ uint32_t vbmc::driver::satValueWidth(const ir::Program &P) {
   return std::max(8u, Bits + 3);
 }
 
-VbmcResult vbmc::driver::runSatBackend(const ir::Program &Translated,
+CheckReport vbmc::driver::runSatBackend(const ir::Program &Translated,
                                        uint32_t ContextBound,
                                        const VbmcOptions &Opts,
                                        const CheckContext *Ctx) {
@@ -73,7 +73,7 @@ VbmcResult vbmc::driver::runSatBackend(const ir::Program &Translated,
   BO.UnrollBound = Opts.L;
   BO.ContextBound = ContextBound;
   BO.ValueWidth = satValueWidth(Translated);
-  BO.BudgetSeconds = Opts.BudgetSeconds;
+  BO.B.Seconds = Opts.BudgetSeconds;
   // The engine's memory ceiling caps the encoding in-process: a circuit
   // outgrowing it aborts with a classified OutOfMemory (no bad_alloc),
   // which the driver's retry policy may then re-attempt at reduced
@@ -85,7 +85,7 @@ VbmcResult vbmc::driver::runSatBackend(const ir::Program &Translated,
   BO.Ctx = Ctx;
   bmc::BmcResult BR = bmc::checkBmc(Translated, BO);
 
-  VbmcResult R;
+  CheckReport R;
   R.Seconds = BR.Seconds;
   R.Work = BR.SolverConflicts;
   switch (BR.Status) {

@@ -28,7 +28,7 @@
 #include "support/Cli.h"
 #include "support/Sandbox.h"
 #include "vbmc/Report.h"
-#include "vbmc/Vbmc.h"
+#include "vbmc/Engine.h"
 
 #include <cstdio>
 #include <exception>

@@ -12,7 +12,7 @@
 #include "ir/Printer.h"
 #include "ra/RaExplorer.h"
 #include "sc/ScExplorer.h"
-#include "vbmc/Vbmc.h"
+#include "vbmc/Engine.h"
 
 #include "fuzz/Generator.h"
 
@@ -30,6 +30,14 @@ Program parseOrDie(const std::string &Src) {
   auto P = parseProgram(Src);
   EXPECT_TRUE(P) << (P ? "" : P.error().str());
   return P.take();
+}
+
+/// Single-mode Engine run (the former checkProgram free function).
+driver::CheckReport runSingle(const Program &P,
+                              const driver::VbmcOptions &O) {
+  driver::CheckRequest Req;
+  Req.Opts = O;
+  return driver::Engine().run(P, Req);
 }
 
 BmcResult bmcCheck(const Program &P, uint32_t ContextBound, uint32_t L = 4) {
@@ -288,7 +296,7 @@ TEST(BmcEndToEndTest, VbmcSatBackendMatchesRaGroundTruth) {
     Opts.CasAllowance = 2;
     Opts.L = 2;
     Opts.Backend = driver::BackendKind::Sat;
-    driver::VbmcResult R = driver::checkSource(Sources[I], Opts);
+    driver::CheckReport R = runSingle(parseOrDie(Sources[I]), Opts);
     ASSERT_NE(R.Outcome, driver::Verdict::Unknown) << R.Note;
     EXPECT_EQ(R.unsafe(), ExpectedUnsafe[I]) << Sources[I];
   }
@@ -311,8 +319,8 @@ TEST(BmcEndToEndTest, SatAndExplicitBackendsAgreeOnRandomPrograms) {
     driver::VbmcOptions Sat = Explicit;
     Sat.Backend = driver::BackendKind::Sat;
     Sat.L = 2;
-    driver::VbmcResult RE = driver::checkProgram(P, Explicit);
-    driver::VbmcResult RS = driver::checkProgram(P, Sat);
+    driver::CheckReport RE = runSingle(P, Explicit);
+    driver::CheckReport RS = runSingle(P, Sat);
     ASSERT_NE(RE.Outcome, driver::Verdict::Unknown);
     ASSERT_NE(RS.Outcome, driver::Verdict::Unknown) << RS.Note;
     EXPECT_EQ(RE.unsafe(), RS.unsafe()) << "iter " << Iter << "\n"

@@ -14,13 +14,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bmc/Encoder.h"
 #include "ir/Flatten.h"
 #include "ir/Parser.h"
 #include "protocols/Protocols.h"
 #include "sc/ScExplorer.h"
 #include "support/Timer.h"
 #include "translation/Translate.h"
-#include "vbmc/Vbmc.h"
+#include "vbmc/Engine.h"
 
 #include <gtest/gtest.h>
 
@@ -62,6 +63,50 @@ driver::VbmcOptions smallOpts(driver::BackendKind B, uint32_t K) {
   return O;
 }
 
+driver::CheckRequest makeReq(driver::EngineMode Mode,
+                             const driver::VbmcOptions &O, uint32_t MaxK = 0,
+                             uint32_t Threads = 1) {
+  driver::CheckRequest Req;
+  Req.Mode = Mode;
+  Req.Opts = O;
+  Req.MaxK = MaxK;
+  Req.Threads = Threads;
+  return Req;
+}
+
+// Engine-API spellings of the deleted free-function wrappers, local to
+// this suite: every mode goes through Engine::run(CheckRequest).
+driver::CheckReport runSingle(const Program &P,
+                              const driver::VbmcOptions &O) {
+  return driver::Engine().run(P, makeReq(driver::EngineMode::Single, O));
+}
+
+driver::CheckReport runSingle(const Program &P, const driver::VbmcOptions &O,
+                              CheckContext &Ctx) {
+  return driver::Engine().run(P, makeReq(driver::EngineMode::Single, O),
+                              Ctx);
+}
+
+driver::CheckReport runPortfolio(const Program &P,
+                                 const driver::VbmcOptions &O,
+                                 CheckContext &Ctx) {
+  return driver::Engine().run(P, makeReq(driver::EngineMode::Portfolio, O),
+                              Ctx);
+}
+
+driver::CheckReport runIterative(const Program &P, uint32_t MaxK,
+                                 const driver::VbmcOptions &O) {
+  return driver::Engine().run(
+      P, makeReq(driver::EngineMode::Iterative, O, MaxK));
+}
+
+driver::CheckReport runDeepening(const Program &P, uint32_t MaxK,
+                                 uint32_t Threads,
+                                 const driver::VbmcOptions &O) {
+  return driver::Engine().run(
+      P, makeReq(driver::EngineMode::ParallelDeepening, O, MaxK, Threads));
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -72,9 +117,8 @@ TEST(EngineCancellationTest, PreCancelledContextReturnsUnknown) {
   Program P = parseOrDie(MpUnsafeSrc);
   CheckContext Ctx;
   Ctx.cancel();
-  driver::VbmcResult R =
-      driver::checkProgram(P, smallOpts(driver::BackendKind::Explicit, 1),
-                           Ctx);
+  driver::CheckReport R =
+      runSingle(P, smallOpts(driver::BackendKind::Explicit, 1), Ctx);
   EXPECT_EQ(R.Outcome, driver::Verdict::Unknown);
   EXPECT_EQ(R.Note, "cancelled");
 }
@@ -116,10 +160,9 @@ TEST(EngineCancellationTest, DriverMapsCancellationToUnknown) {
   Program P =
       protocols::makePeterson(protocols::MutexOptions::fencedAll(3));
   CheckContext Ctx;
-  driver::VbmcResult R;
+  driver::CheckReport R;
   std::thread Run([&] {
-    R = driver::checkProgram(
-        P, smallOpts(driver::BackendKind::Explicit, 2), Ctx);
+    R = runSingle(P, smallOpts(driver::BackendKind::Explicit, 2), Ctx);
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
   Ctx.cancel();
@@ -136,11 +179,11 @@ TEST(EngineBudgetTest, ExhaustedBudgetReportsUnknownNotSafe) {
   Program P = parseOrDie(MpSafeSrc);
   driver::VbmcOptions O = smallOpts(driver::BackendKind::Explicit, 2);
   O.BudgetSeconds = 1e-9;
-  driver::IterativeResult R = driver::checkIterative(P, 3, O);
+  driver::CheckReport R = runIterative(P, 3, O);
   EXPECT_EQ(R.Outcome, driver::Verdict::Unknown);
 
   CheckContext Ctx(1e-9);
-  driver::VbmcResult Single = driver::checkProgram(P, O, Ctx);
+  driver::CheckReport Single = runSingle(P, O, Ctx);
   EXPECT_EQ(Single.Outcome, driver::Verdict::Unknown);
 }
 
@@ -155,7 +198,7 @@ TEST(EngineBudgetTest, SatBackendHonorsDeadlineDuringEncoding) {
   O.CasAllowance = 4;
   CheckContext Ctx(0.05);
   Timer Watch;
-  driver::VbmcResult R = driver::checkProgram(P, O, Ctx);
+  driver::CheckReport R = runSingle(P, O, Ctx);
   EXPECT_EQ(R.Outcome, driver::Verdict::Unknown);
   // Generous bound: without the in-encoding deadline check this instance
   // encodes and solves for much longer.
@@ -189,14 +232,14 @@ TEST(PortfolioTest, AgreesWithBothBackendsOnSafeUnsafeMatrix) {
 
   for (const Case &C : Matrix) {
     if (C.ExplicitFeasible) {
-      driver::VbmcResult E = driver::checkProgram(
+      driver::CheckReport E = runSingle(
           C.Prog, smallOpts(driver::BackendKind::Explicit, C.K));
       EXPECT_EQ(E.Outcome, C.Expect) << C.Name << " (explicit)";
     }
-    driver::VbmcResult S = driver::checkProgram(
+    driver::CheckReport S = runSingle(
         C.Prog, smallOpts(driver::BackendKind::Sat, C.K));
     CheckContext Ctx;
-    driver::VbmcResult Pf = driver::checkPortfolio(
+    driver::CheckReport Pf = runPortfolio(
         C.Prog, smallOpts(driver::BackendKind::Explicit, C.K), Ctx);
     EXPECT_EQ(S.Outcome, C.Expect) << C.Name << " (sat)";
     EXPECT_EQ(Pf.Outcome, C.Expect) << C.Name << " (portfolio)";
@@ -213,7 +256,7 @@ TEST(PortfolioTest, SurvivesOneBackendHittingItsLimit) {
   driver::VbmcOptions O = smallOpts(driver::BackendKind::Explicit, 1);
   O.MaxStates = 3;
   CheckContext Ctx;
-  driver::VbmcResult R = driver::checkPortfolio(P, O, Ctx);
+  driver::CheckReport R = runPortfolio(P, O, Ctx);
   EXPECT_EQ(R.Outcome, driver::Verdict::Unsafe);
   EXPECT_EQ(R.WinningBackend, "sat");
 }
@@ -226,7 +269,7 @@ TEST(ParallelDeepeningTest, ReportsSmallestBuggyK) {
   // The MP bug exists at every K >= 1; racing K = 0..4 concurrently must
   // still attribute the bug to K = 1 even if a larger K finishes first.
   Program P = parseOrDie(MpUnsafeSrc);
-  driver::IterativeResult R = driver::checkParallelDeepening(
+  driver::CheckReport R = runDeepening(
       P, 4, 5, smallOpts(driver::BackendKind::Explicit, 0));
   EXPECT_EQ(R.Outcome, driver::Verdict::Unsafe);
   EXPECT_EQ(R.KUsed, 1u);
@@ -238,7 +281,7 @@ TEST(ParallelDeepeningTest, ReportsSmallestBuggyK) {
 
 TEST(ParallelDeepeningTest, SafeOnlyWhenAllKExhausted) {
   Program P = parseOrDie(MpSafeSrc);
-  driver::IterativeResult R = driver::checkParallelDeepening(
+  driver::CheckReport R = runDeepening(
       P, 2, 3, smallOpts(driver::BackendKind::Explicit, 0));
   EXPECT_EQ(R.Outcome, driver::Verdict::Safe);
   EXPECT_EQ(R.KUsed, 2u);
@@ -250,8 +293,8 @@ TEST(ParallelDeepeningTest, SafeOnlyWhenAllKExhausted) {
 TEST(ParallelDeepeningTest, MatchesSequentialWithSatBackend) {
   Program P = parseOrDie(MpUnsafeSrc);
   driver::VbmcOptions O = smallOpts(driver::BackendKind::Sat, 0);
-  driver::IterativeResult Seq = driver::checkIterative(P, 3, O);
-  driver::IterativeResult Par = driver::checkParallelDeepening(P, 3, 2, O);
+  driver::CheckReport Seq = runIterative(P, 3, O);
+  driver::CheckReport Par = runDeepening(P, 3, 2, O);
   EXPECT_EQ(Seq.Outcome, driver::Verdict::Unsafe);
   EXPECT_EQ(Par.Outcome, Seq.Outcome);
   EXPECT_EQ(Par.KUsed, Seq.KUsed);
@@ -261,7 +304,7 @@ TEST(ParallelDeepeningTest, ExhaustedBudgetReportsUnknown) {
   Program P = parseOrDie(MpSafeSrc);
   driver::VbmcOptions O = smallOpts(driver::BackendKind::Explicit, 0);
   O.BudgetSeconds = 1e-9;
-  driver::IterativeResult R = driver::checkParallelDeepening(P, 3, 2, O);
+  driver::CheckReport R = runDeepening(P, 3, 2, O);
   EXPECT_EQ(R.Outcome, driver::Verdict::Unknown);
 }
 
@@ -272,7 +315,7 @@ TEST(ParallelDeepeningTest, ExhaustedBudgetReportsUnknown) {
 TEST(EngineStatsTest, ExplicitRunRecordsStages) {
   Program P = parseOrDie(MpUnsafeSrc);
   CheckContext Ctx;
-  driver::VbmcResult R = driver::checkProgram(
+  driver::CheckReport R = runSingle(
       P, smallOpts(driver::BackendKind::Explicit, 1), Ctx);
   EXPECT_EQ(R.Outcome, driver::Verdict::Unsafe);
   StatsRegistry &S = Ctx.stats();
@@ -290,7 +333,7 @@ TEST(EngineStatsTest, ExplicitRunRecordsStages) {
 TEST(EngineStatsTest, SatRunRecordsStages) {
   Program P = parseOrDie(MpUnsafeSrc);
   CheckContext Ctx;
-  driver::VbmcResult R = driver::checkProgram(
+  driver::CheckReport R = runSingle(
       P, smallOpts(driver::BackendKind::Sat, 1), Ctx);
   EXPECT_EQ(R.Outcome, driver::Verdict::Unsafe);
   StatsRegistry &S = Ctx.stats();
@@ -307,11 +350,99 @@ TEST(EngineStatsTest, PortfolioRecordsBothBackends) {
   Program P = protocols::makeSimplifiedDekker(
       protocols::MutexOptions::unfenced(2));
   CheckContext Ctx;
-  driver::VbmcResult R = driver::checkPortfolio(
+  driver::CheckReport R = runPortfolio(
       P, smallOpts(driver::BackendKind::Explicit, 2), Ctx);
   EXPECT_EQ(R.Outcome, driver::Verdict::Unsafe);
   StatsRegistry &S = Ctx.stats();
   EXPECT_GT(S.seconds("translate.seconds"), 0.0);
   EXPECT_GT(S.count("explicit.states"), 0u);
   EXPECT_GT(S.count("sat.encode.nodes"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Iterative deepening driver (folded in from the former DriverTest.cpp)
+//===----------------------------------------------------------------------===//
+
+TEST(IterativeDriverTest, StopsAtSmallestBugK) {
+  // MP violation needs exactly one view switch.
+  Program P = parseOrDie(MpUnsafeSrc);
+  driver::VbmcOptions O;
+  O.Backend = driver::BackendKind::Explicit;
+  O.CasAllowance = 2;
+  driver::CheckReport R = runIterative(P, 4, O);
+  EXPECT_TRUE(R.unsafe());
+  EXPECT_EQ(R.KUsed, 1u);
+  ASSERT_EQ(R.Attempts.size(), 2u); // k=0 safe, k=1 unsafe.
+  EXPECT_EQ(R.Attempts[0].Outcome, driver::Verdict::Safe);
+  EXPECT_EQ(R.Attempts[1].Outcome, driver::Verdict::Unsafe);
+}
+
+TEST(IterativeDriverTest, SafeProgramExhaustsAllK) {
+  Program P = parseOrDie(MpSafeSrc);
+  driver::VbmcOptions O;
+  O.Backend = driver::BackendKind::Explicit;
+  O.CasAllowance = 2;
+  driver::CheckReport R = runIterative(P, 2, O);
+  EXPECT_EQ(R.Outcome, driver::Verdict::Safe);
+  EXPECT_EQ(R.Attempts.size(), 3u);
+}
+
+TEST(IterativeDriverTest, BudgetYieldsUnknown) {
+  Program P = parseOrDie(MpSafeSrc);
+  driver::VbmcOptions O;
+  O.Backend = driver::BackendKind::Explicit;
+  O.BudgetSeconds = 1e-9;
+  driver::CheckReport R = runIterative(P, 3, O);
+  EXPECT_EQ(R.Outcome, driver::Verdict::Unknown);
+}
+
+//===----------------------------------------------------------------------===//
+// Witness reporting (folded in from the former DriverTest.cpp)
+//===----------------------------------------------------------------------===//
+
+TEST(BmcWitnessTest, FailedAssertionNamed) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc good { reg a; a = 1; assert(a == 1); }
+    proc bad  { reg b; b = nondet(0, 3); assert(b != 2); }
+  )");
+  bmc::BmcOptions O;
+  O.ContextBound = 2;
+  O.UnrollBound = 1;
+  bmc::BmcResult R = bmc::checkBmc(P, O);
+  ASSERT_TRUE(R.unsafe());
+  ASSERT_FALSE(R.FailedAssertions.empty());
+  EXPECT_EQ(R.FailedAssertions[0], "bad: assert #0");
+}
+
+TEST(BmcWitnessTest, WitnessReachesDriverNote) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc w { reg d; x = 1; }
+    proc r { reg a; a = x; assert(a == 0); }
+  )");
+  driver::VbmcOptions O;
+  O.K = 1;
+  O.L = 1;
+  O.CasAllowance = 2;
+  O.Backend = driver::BackendKind::Sat;
+  driver::CheckReport R = runSingle(P, O);
+  ASSERT_TRUE(R.unsafe());
+  EXPECT_NE(R.Note.find("r: assert #0"), std::string::npos) << R.Note;
+}
+
+TEST(BmcWitnessTest, MultipleAssertsIndexedPerProcess) {
+  Program P = parseOrDie(R"(
+    var x;
+    proc p { reg a; a = nondet(0, 1);
+             assert(a <= 1);
+             assert(a != 1); }
+  )");
+  bmc::BmcOptions O;
+  O.ContextBound = 1;
+  O.UnrollBound = 1;
+  bmc::BmcResult R = bmc::checkBmc(P, O);
+  ASSERT_TRUE(R.unsafe());
+  ASSERT_EQ(R.FailedAssertions.size(), 1u);
+  EXPECT_EQ(R.FailedAssertions[0], "p: assert #1");
 }

@@ -24,7 +24,8 @@
 #include "fuzz/Differ.h"
 #include "fuzz/Fuzzer.h"
 #include "ir/Parser.h"
-#include "vbmc/Vbmc.h"
+#include "sat/Solver.h"
+#include "vbmc/Engine.h"
 
 #include <gtest/gtest.h>
 
@@ -239,45 +240,55 @@ TEST(IncrementalStatsTest, PerBudgetSolveDeltasAreRecorded) {
 }
 
 //===----------------------------------------------------------------------===//
-// Deprecated free functions delegate to Engine::run
+// Deprecated positional solve() shim
 //===----------------------------------------------------------------------===//
 
-TEST(LegacyApiTest, FreeFunctionsDelegateToEngineRun) {
-  Program P = parseOrDie(MpStaleSrc);
-  driver::VbmcOptions O;
-  O.K = 1;
-  O.L = 2;
-  O.CasAllowance = 2;
+TEST(LegacyApiTest, PositionalSolveDelegatesToSolveSpec) {
+  // The positional solve(Assumptions, MaxConflicts, DL, Cancel) overload
+  // stays for one release as a deprecated shim over SolveSpec; it must
+  // answer exactly like the SolveSpec spelling on the same formula.
+  auto build = [](sat::Solver &S) {
+    sat::Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+    S.addBinary(~sat::mkLit(A), sat::mkLit(B));
+    S.addBinary(~sat::mkLit(B), sat::mkLit(C));
+    S.addBinary(~sat::mkLit(A), ~sat::mkLit(C));
+    return std::vector<sat::Lit>{sat::mkLit(A)};
+  };
 
-  // ModeRan is only ever set by Engine::run's dispatch, so seeing the
-  // right mode on each legacy result proves the delegation.
-  driver::VbmcResult Single = driver::checkProgram(P, O);
-  EXPECT_EQ(Single.Outcome, driver::Verdict::Unsafe);
-  EXPECT_EQ(Single.ModeRan, driver::EngineMode::Single);
+  sat::Solver Legacy;
+  std::vector<sat::Lit> Assume = build(Legacy);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  sat::SolveResult LegacyGot = Legacy.solve(Assume, /*MaxConflicts=*/100);
+#pragma GCC diagnostic pop
 
-  driver::VbmcResult Port = driver::checkPortfolio(P, O);
-  EXPECT_EQ(Port.Outcome, driver::Verdict::Unsafe);
-  EXPECT_EQ(Port.ModeRan, driver::EngineMode::Portfolio);
+  sat::Solver Fresh;
+  std::vector<sat::Lit> Assume2 = build(Fresh);
+  sat::SolveResult SpecGot = Fresh.solve(
+      sat::SolveSpec::assuming(Assume2).withConflicts(100));
 
-  driver::IterativeResult Iter = driver::checkIterative(P, 2, O);
-  EXPECT_EQ(Iter.Outcome, driver::Verdict::Unsafe);
-  EXPECT_EQ(Iter.ModeRan, driver::EngineMode::Iterative);
-  EXPECT_EQ(Iter.KUsed, 1u);
+  EXPECT_EQ(LegacyGot, sat::SolveResult::Unsat);
+  EXPECT_EQ(SpecGot, LegacyGot);
 
-  driver::IterativeResult Par = driver::checkParallelDeepening(P, 2, 2, O);
-  EXPECT_EQ(Par.Outcome, driver::Verdict::Unsafe);
-  EXPECT_EQ(Par.ModeRan, driver::EngineMode::ParallelDeepening);
-  EXPECT_EQ(Par.KUsed, 1u);
+  // Both spellings leave the solver reusable without assumptions.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_EQ(Legacy.solve(std::vector<sat::Lit>{}, 0),
+            sat::SolveResult::Sat);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(Fresh.solve(), sat::SolveResult::Sat);
 }
 
-TEST(LegacyApiTest, ResultAliasesShareTheReportType) {
-  // VbmcResult and IterativeResult are both CheckReport now; the aliases
-  // must stay assignment-compatible for downstream users.
-  static_assert(
-      std::is_same_v<driver::VbmcResult, driver::CheckReport>);
-  static_assert(
-      std::is_same_v<driver::IterativeResult, driver::CheckReport>);
-  static_assert(std::is_same_v<driver::IterationReport, driver::Attempt>);
+TEST(LegacyApiTest, SolveSpecImplicitFromAssumptionList) {
+  // The brace-list spelling solve({lit}) must keep compiling via the
+  // implicit SolveSpec conversion the redesign promised.
+  sat::Solver S;
+  sat::Var A = S.newVar(), B = S.newVar();
+  S.addBinary(~sat::mkLit(A), sat::mkLit(B));
+  EXPECT_EQ(S.solve({sat::mkLit(A), ~sat::mkLit(B)}),
+            sat::SolveResult::Unsat);
+  EXPECT_EQ(S.solve({sat::mkLit(A)}), sat::SolveResult::Sat);
+  EXPECT_TRUE(S.modelValue(B));
 }
 
 //===----------------------------------------------------------------------===//

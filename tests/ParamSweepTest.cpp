@@ -77,7 +77,7 @@ bool raHasBugBounded(const ir::Program &P, uint32_t K) {
   O.Strategy = smc::SmcStrategy::Dpor;
   O.BoundViewSwitches = true;
   O.ViewSwitchBound = K;
-  O.BudgetSeconds = 60;
+  O.B.Seconds = 60;
   return smc::exploreSmc(flatten(bmc::unrollLoops(P, 2)), O).FoundBug;
 }
 

@@ -26,7 +26,7 @@ bool scUnsafe(const Program &P, uint64_t MaxStates = 0) {
   FlatProgram FP = flatten(P);
   sc::ScQuery Q;
   Q.Goal = sc::ScGoalKind::AnyError;
-  Q.MaxStates = MaxStates;
+  Q.B.Work = MaxStates;
   sc::ScResult R = sc::exploreSc(FP, Q);
   EXPECT_TRUE(R.reached() || R.exhausted()) << "inconclusive SC search";
   return R.reached();

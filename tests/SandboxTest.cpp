@@ -20,8 +20,8 @@
 #include "support/CheckContext.h"
 #include "support/FaultInjection.h"
 #include "support/Sandbox.h"
+#include "vbmc/Engine.h"
 #include "vbmc/Isolation.h"
-#include "vbmc/Vbmc.h"
 
 #include "gtest/gtest.h"
 
@@ -44,6 +44,23 @@ ir::Program parse(const std::string &Text) {
   auto P = ir::parseProgram(Text);
   EXPECT_TRUE(static_cast<bool>(P)) << (P ? "" : P.error().str());
   return P.take();
+}
+
+/// Engine-API spellings of the deleted checkProgram / checkPortfolio
+/// wrappers: one Single / Portfolio request through Engine::run.
+CheckReport runSingle(const ir::Program &P, const VbmcOptions &O,
+                      CheckContext &Ctx) {
+  CheckRequest Req;
+  Req.Opts = O;
+  return Engine().run(P, Req, Ctx);
+}
+
+CheckReport runPortfolio(const ir::Program &P, const VbmcOptions &O,
+                         CheckContext &Ctx) {
+  CheckRequest Req;
+  Req.Mode = EngineMode::Portfolio;
+  Req.Opts = O;
+  return Engine().run(P, Req, Ctx);
 }
 
 // Message passing with flipped reads: safe at k=0, unsafe at k=1.
@@ -208,7 +225,7 @@ TEST(SandboxTest, CancellationKillsChildWithoutFailure) {
 //===----------------------------------------------------------------------===//
 
 TEST(IsolationProtocolTest, ResultRoundTripsWithStats) {
-  VbmcResult R;
+  CheckReport R;
   R.Outcome = Verdict::Unsafe;
   R.Note = "note with\ttab and\nnewline and back\\slash";
   R.WinningBackend = "sat";
@@ -222,7 +239,7 @@ TEST(IsolationProtocolTest, ResultRoundTripsWithStats) {
   ChildStats.addSeconds("solve.seconds", 0.5);
 
   StatsRegistry Merged;
-  VbmcResult P = parseResult(serializeResult(R, ChildStats), &Merged);
+  CheckReport P = parseResult(serializeResult(R, ChildStats), &Merged);
   EXPECT_EQ(P.Outcome, Verdict::Unsafe);
   EXPECT_EQ(P.Note, R.Note);
   EXPECT_EQ(P.WinningBackend, "sat");
@@ -236,12 +253,12 @@ TEST(IsolationProtocolTest, ResultRoundTripsWithStats) {
 }
 
 TEST(IsolationProtocolTest, TruncatedReportIsClassified) {
-  VbmcResult R;
+  CheckReport R;
   R.Outcome = Verdict::Safe;
   StatsRegistry St;
   std::string Full = serializeResult(R, St);
   // A child killed mid-write delivers a prefix without the end sentinel.
-  VbmcResult P = parseResult(Full.substr(0, Full.size() / 2), nullptr);
+  CheckReport P = parseResult(Full.substr(0, Full.size() / 2), nullptr);
   EXPECT_EQ(P.Outcome, Verdict::Unknown);
   EXPECT_EQ(P.Failure, sandbox::FailureKind::ExitFailure);
 }
@@ -270,7 +287,7 @@ struct ScopedCommaLocale {
 TEST(IsolationProtocolTest, WireFormatSurvivesCommaDecimalLocale) {
   ScopedCommaLocale Locale;
 
-  VbmcResult R;
+  CheckReport R;
   R.Outcome = Verdict::Unsafe;
   R.Seconds = 1.5;
   R.TranslateSeconds = 0.125;
@@ -286,7 +303,7 @@ TEST(IsolationProtocolTest, WireFormatSurvivesCommaDecimalLocale) {
   ASSERT_EQ(Probe.str(), "1,5") << "global locale not in effect";
 
   StatsRegistry Merged;
-  VbmcResult P = parseResult(serializeResult(R, ChildStats), &Merged);
+  CheckReport P = parseResult(serializeResult(R, ChildStats), &Merged);
   EXPECT_EQ(P.Outcome, Verdict::Unsafe);
   EXPECT_DOUBLE_EQ(P.Seconds, 1.5);
   EXPECT_DOUBLE_EQ(P.TranslateSeconds, 0.125);
@@ -307,7 +324,7 @@ TEST(IsolationProtocolTest, MalformedNumericLinesAreRejectedAndSurfaced) {
                         "attempt\t2\tunsafe\tnone\t\n" // Empty seconds.
                         "work\t7\n"
                         "end\t\n";
-  VbmcResult P = parseResult(Payload, nullptr);
+  CheckReport P = parseResult(Payload, nullptr);
   EXPECT_EQ(P.Outcome, Verdict::Unsafe);
   EXPECT_EQ(P.Work, 7u);
   EXPECT_EQ(P.KUsed, 0u);
@@ -326,7 +343,7 @@ TEST(IsolationProtocolTest, MalformedStatLinesDoNotCorruptRegistry) {
                         "stat.count\tok.counter\t3\n"
                         "end\t\n";
   StatsRegistry Merged;
-  VbmcResult P = parseResult(Payload, &Merged);
+  CheckReport P = parseResult(Payload, &Merged);
   EXPECT_EQ(P.Outcome, Verdict::Safe);
   EXPECT_EQ(Merged.count("sat.encode.bytes"), 0u);
   EXPECT_DOUBLE_EQ(Merged.seconds("solve.seconds"), 0.0);
@@ -341,13 +358,13 @@ TEST(IsolationProtocolTest, UnknownKeysAreSkippedSilently) {
   std::string Payload = "verdict\tsafe\n"
                         "frobnicate\t1\t2\t3\n"
                         "end\t\n";
-  VbmcResult P = parseResult(Payload, nullptr);
+  CheckReport P = parseResult(Payload, nullptr);
   EXPECT_EQ(P.Outcome, Verdict::Safe);
   EXPECT_TRUE(P.Note.empty()) << P.Note;
 }
 
 TEST(IsolationProtocolTest, TraceSpansCrossTheWire) {
-  VbmcResult R;
+  CheckReport R;
   R.Outcome = Verdict::Safe;
   StatsRegistry St;
   TraceRecorder Tr;
@@ -356,7 +373,7 @@ TEST(IsolationProtocolTest, TraceSpansCrossTheWire) {
   Tr.record("sat.solve", "sat", 20, 50);
 
   std::vector<TraceSpan> Spans;
-  VbmcResult P = parseResult(serializeResult(R, St, &Tr), nullptr, &Spans);
+  CheckReport P = parseResult(serializeResult(R, St, &Tr), nullptr, &Spans);
   EXPECT_EQ(P.Outcome, Verdict::Safe);
   ASSERT_EQ(Spans.size(), 2u);
   EXPECT_EQ(Spans[0].Name, "attempt.k1");
@@ -383,7 +400,7 @@ TEST(IsolatedDriverTest, InjectedCrashIsClassifiedAndParentSurvives) {
   O.K = 1;
   O.Isolate = true;
   CheckContext Ctx(60);
-  VbmcResult R = checkProgram(parse(MpStale), O, Ctx);
+  CheckReport R = runSingle(parse(MpStale), O, Ctx);
   // Reaching these asserts at all is the point: the SIGSEGV stayed in the
   // child.
   EXPECT_EQ(R.Outcome, Verdict::Unknown);
@@ -400,7 +417,7 @@ TEST(IsolatedDriverTest, InjectedCrashWithoutIsolationKillsTheProcess) {
         VbmcOptions O;
         O.K = 1;
         CheckContext Ctx(60);
-        checkProgram(parse(MpStale), O, Ctx);
+        runSingle(parse(MpStale), O, Ctx);
       },
       "");
 }
@@ -414,7 +431,7 @@ TEST(IsolatedDriverTest, MemoryHogIsClassifiedOomAndRetriedOnce) {
   O.Isolate = true;
   O.MemLimitBytes = 64u << 20;
   CheckContext Ctx(120);
-  VbmcResult R = checkProgram(parse(MpStale), O, Ctx);
+  CheckReport R = runSingle(parse(MpStale), O, Ctx);
   EXPECT_EQ(R.Outcome, Verdict::Unknown);
   EXPECT_EQ(R.Failure, sandbox::FailureKind::OutOfMemory);
   // The hog fires on the retry too, so both attempts die and the note
@@ -432,7 +449,7 @@ TEST(IsolatedDriverTest, PortfolioSurvivesCrashingArms) {
   O.K = 1;
   O.Isolate = true;
   CheckContext Ctx(120);
-  VbmcResult R = checkPortfolio(parse(MpStale), O, Ctx);
+  CheckReport R = runPortfolio(parse(MpStale), O, Ctx);
   EXPECT_EQ(R.Outcome, Verdict::Unknown);
   EXPECT_EQ(R.Failure, sandbox::FailureKind::Crash);
   // Both racing arms died in their own sandboxes.
@@ -469,7 +486,7 @@ TEST(RetryPolicyTest, RecoversAtReducedBoundsAfterEncoderCeiling) {
     O.L = L;
     O.RetryReduced = false;
     CheckContext C(120);
-    checkProgram(P, O, C);
+    runSingle(P, O, C);
     return C.stats().count("sat.encode.bytes");
   };
   uint64_t Full = encodeBytes(Base.K, Base.L);
@@ -480,7 +497,7 @@ TEST(RetryPolicyTest, RecoversAtReducedBoundsAfterEncoderCeiling) {
   O.MemLimitBytes = (Full + Half) / 2;
   O.RetryReduced = true;
   CheckContext Ctx(120);
-  VbmcResult R = checkProgram(P, O, Ctx);
+  CheckReport R = runSingle(P, O, Ctx);
   // Attempt 1 hits the ceiling; the retry at k=0 l=3 fits and delivers a
   // verdict (safe at k=0) instead of a dead Unknown.
   EXPECT_EQ(Ctx.stats().count("sandbox.retries"), 1u);

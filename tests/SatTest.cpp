@@ -109,7 +109,7 @@ TEST(SatTest, PigeonholeUnsat) {
 TEST(SatTest, ConflictBudgetReturnsUnknown) {
   Solver S;
   buildPigeonhole(S, 9, 8); // Hard for CDCL.
-  EXPECT_EQ(S.solve({}, /*MaxConflicts=*/20), SolveResult::Unknown);
+  EXPECT_EQ(S.solve(SolveSpec().withConflicts(20)), SolveResult::Unknown);
 }
 
 TEST(SatTest, AssumptionsBasic) {

@@ -213,7 +213,7 @@ TEST(ScExplorerTest, TimeoutStatus) {
     proc r { reg a; a = x; assert(a < 10000); }
   )");
   ScQuery Q;
-  Q.BudgetSeconds = 1e-9;
+  Q.B.Seconds = 1e-9;
   ScResult R = exploreSc(FP, Q);
   EXPECT_EQ(R.Status, ScStatus::Timeout);
 }

@@ -31,7 +31,7 @@ SmcResult runStrategy(const FlatProgram &FP, SmcStrategy S,
                       double Budget = 30) {
   SmcOptions O;
   O.Strategy = S;
-  O.BudgetSeconds = Budget;
+  O.B.Seconds = Budget;
   return exploreSmc(FP, O);
 }
 
@@ -126,7 +126,7 @@ TEST(SmcTest, BudgetYieldsTimeout) {
   FlatProgram FP = unrolledFlat(makeBakery(MutexOptions::fencedAll(3)), 2);
   SmcOptions O;
   O.Strategy = SmcStrategy::Naive;
-  O.BudgetSeconds = 0.05;
+  O.B.Seconds = 0.05;
   SmcResult R = exploreSmc(FP, O);
   EXPECT_TRUE(R.TimedOut || R.FoundBug || R.Complete);
   EXPECT_FALSE(R.FoundBug) << "fenced bakery must not report a bug";
@@ -164,7 +164,7 @@ TEST(SmcTest, ExecutionCapStopsSearch) {
   FlatProgram FP = flatten(P);
   SmcOptions O;
   O.Strategy = SmcStrategy::Naive;
-  O.MaxExecutions = 3;
+  O.B.Work = 3;
   SmcResult R = exploreSmc(FP, O);
   EXPECT_FALSE(R.Complete);
   EXPECT_LE(R.Executions, 3u);

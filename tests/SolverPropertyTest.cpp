@@ -1,0 +1,333 @@
+//===- SolverPropertyTest.cpp - arena solver property suite -----*- C++ -*-===//
+//
+// Property coverage for the arena-based CDCL core (sat/Solver.{h,cpp}):
+//
+//  * verdict equivalence against a brute-force reference on 500
+//    fixed-seed fuzzed CNFs, with model sanity on every Sat answer;
+//  * watch invariants and verdict stability across forced
+//    garbageCollect() runs (the arena relocates, nothing may dangle);
+//  * inprocessing (subsumption + self-subsuming resolution) preserving
+//    verdicts under assumptions, with the sat.subsumed / strengthened
+//    counters moving on a constructed instance;
+//  * asynchronous interrupt() from another thread: Unknown promptly,
+//    Interrupts counted, solver reusable after clearInterrupt();
+//  * propagation budgets and every PhaseMode answering soundly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Solver.h"
+#include "support/Rng.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+using namespace vbmc;
+using namespace vbmc::sat;
+
+namespace {
+
+struct Cnf {
+  uint32_t NumVars = 0;
+  std::vector<std::vector<Lit>> Clauses;
+};
+
+/// Fixed-seed fuzzed CNF: mixed unit/binary/ternary clauses over a
+/// brute-forceable variable count.
+Cnf makeRandomCnf(Rng &R) {
+  Cnf F;
+  F.NumVars = 3 + R.nextBelow(8); // 3..10
+  uint32_t NumClauses = 2 + R.nextBelow(4 * F.NumVars);
+  for (uint32_t I = 0; I < NumClauses; ++I) {
+    uint32_t Len = 1 + R.nextBelow(3);
+    std::vector<Lit> C;
+    for (uint32_t J = 0; J < Len; ++J)
+      C.push_back(
+          Lit(static_cast<Var>(R.nextBelow(F.NumVars)), R.nextChance(1, 2)));
+    F.Clauses.push_back(std::move(C));
+  }
+  return F;
+}
+
+bool bruteForceSat(const Cnf &F, uint64_t AssumeMask = 0,
+                   uint64_t AssumeFixed = 0) {
+  for (uint64_t Mask = 0; Mask < (1ULL << F.NumVars); ++Mask) {
+    if ((Mask & AssumeFixed) != AssumeMask)
+      continue;
+    bool All = true;
+    for (const auto &C : F.Clauses) {
+      bool Any = false;
+      for (Lit L : C)
+        Any |= ((Mask >> L.var()) & 1) != L.negated();
+      if (!Any) {
+        All = false;
+        break;
+      }
+    }
+    if (All)
+      return true;
+  }
+  return false;
+}
+
+/// Loads \p F into a fresh solver. Returns false when addClause already
+/// derived top-level unsatisfiability.
+bool load(Solver &S, const Cnf &F) {
+  for (uint32_t V = 0; V < F.NumVars; ++V)
+    (void)S.newVar();
+  bool Ok = true;
+  for (const auto &C : F.Clauses)
+    Ok = S.addClause(C) && Ok;
+  return Ok;
+}
+
+void expectModelSatisfies(const Solver &S, const Cnf &F) {
+  for (const auto &C : F.Clauses) {
+    bool Any = false;
+    for (Lit L : C)
+      Any |= S.modelValue(L.var()) != L.negated();
+    EXPECT_TRUE(Any) << "model violates a clause";
+  }
+}
+
+/// Builds the pigeonhole principle PHP(Pigeons, Holes) — hard for CDCL
+/// when Pigeons > Holes, so budgets and interrupts have time to fire.
+void buildPigeonhole(Solver &S, uint32_t Pigeons, uint32_t Holes) {
+  std::vector<std::vector<Var>> P(Pigeons, std::vector<Var>(Holes));
+  for (auto &Row : P)
+    for (Var &V : Row)
+      V = S.newVar();
+  for (uint32_t I = 0; I < Pigeons; ++I) {
+    std::vector<Lit> C;
+    for (uint32_t J = 0; J < Holes; ++J)
+      C.push_back(mkLit(P[I][J]));
+    S.addClause(C);
+  }
+  for (uint32_t J = 0; J < Holes; ++J)
+    for (uint32_t I1 = 0; I1 < Pigeons; ++I1)
+      for (uint32_t I2 = I1 + 1; I2 < Pigeons; ++I2)
+        S.addBinary(~mkLit(P[I1][J]), ~mkLit(P[I2][J]));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Verdict equivalence vs the brute-force reference
+//===----------------------------------------------------------------------===//
+
+TEST(SolverPropertyTest, FiveHundredFuzzedCnfsMatchReference) {
+  Rng R(20260808);
+  for (int Round = 0; Round < 500; ++Round) {
+    Cnf F = makeRandomCnf(R);
+    Solver S;
+    bool AddOk = load(S, F);
+    bool Expected = bruteForceSat(F);
+    SolveResult Got = AddOk ? S.solve() : SolveResult::Unsat;
+    ASSERT_EQ(Got, Expected ? SolveResult::Sat : SolveResult::Unsat)
+        << "round " << Round;
+    if (Got == SolveResult::Sat)
+      expectModelSatisfies(S, F);
+    EXPECT_TRUE(S.checkWatchInvariants()) << "round " << Round;
+  }
+}
+
+TEST(SolverPropertyTest, AssumptionVerdictsMatchReference) {
+  Rng R(4242);
+  for (int Round = 0; Round < 200; ++Round) {
+    Cnf F = makeRandomCnf(R);
+    Solver S;
+    if (!load(S, F))
+      continue;
+    // Assume the first two variables to fixed random polarities.
+    bool V0 = R.nextChance(1, 2), V1 = R.nextChance(1, 2);
+    std::vector<Lit> Assume = {Lit(0, !V0), Lit(1, !V1)};
+    uint64_t Fixed = 0b11;
+    uint64_t Mask = (V0 ? 1u : 0u) | (V1 ? 2u : 0u);
+    bool Expected = bruteForceSat(F, Mask, Fixed);
+    ASSERT_EQ(S.solve(SolveSpec::assuming(Assume)),
+              Expected ? SolveResult::Sat : SolveResult::Unsat)
+        << "round " << Round;
+    // The solver stays usable without assumptions afterwards.
+    bool Free = bruteForceSat(F);
+    ASSERT_EQ(S.solve(), Free ? SolveResult::Sat : SolveResult::Unsat)
+        << "round " << Round;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Garbage collection: relocation keeps watches, reasons and verdicts
+//===----------------------------------------------------------------------===//
+
+TEST(SolverPropertyTest, ForcedGcKeepsWatchInvariantsAndVerdicts) {
+  Rng R(99187);
+  for (int Round = 0; Round < 100; ++Round) {
+    Cnf F = makeRandomCnf(R);
+    Solver S;
+    if (!load(S, F))
+      continue;
+    bool Expected = bruteForceSat(F);
+    SolveResult First = S.solve();
+    ASSERT_EQ(First, Expected ? SolveResult::Sat : SolveResult::Unsat);
+    uint64_t GcBefore = S.stats().GcRuns;
+    S.garbageCollect();
+    EXPECT_EQ(S.stats().GcRuns, GcBefore + 1);
+    EXPECT_TRUE(S.checkWatchInvariants()) << "round " << Round;
+    // The relocated arena must answer identically, and a Sat model must
+    // still satisfy the original clauses.
+    SolveResult Second = S.solve();
+    ASSERT_EQ(Second, First) << "round " << Round;
+    if (Second == SolveResult::Sat)
+      expectModelSatisfies(S, F);
+  }
+}
+
+TEST(SolverPropertyTest, GcReclaimsBytesFreedByInprocessing) {
+  // Subsumption frees arena clauses; with automatic collection disabled
+  // the waste stays until the forced run, which must reclaim it.
+  Solver S;
+  S.setGarbageFrac(1e9); // No automatic collection during this test.
+  Var A = S.newVar(), B = S.newVar();
+  std::vector<Var> Extra;
+  for (int I = 0; I < 16; ++I)
+    Extra.push_back(S.newVar());
+  S.addBinary(mkLit(A), mkLit(B));
+  for (Var V : Extra)
+    S.addTernary(mkLit(A), mkLit(B), mkLit(V)); // All subsumed by (a|b).
+  ASSERT_TRUE(S.inprocess());
+  ASSERT_GE(S.stats().SubsumedClauses, 16u);
+  uint64_t Before = S.stats().GcBytesReclaimed;
+  S.garbageCollect();
+  EXPECT_GT(S.stats().GcBytesReclaimed, Before);
+  EXPECT_TRUE(S.checkWatchInvariants());
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_EQ(S.solve({~mkLit(A), ~mkLit(B)}), SolveResult::Unsat);
+}
+
+//===----------------------------------------------------------------------===//
+// Inprocessing: equivalence-preserving simplification
+//===----------------------------------------------------------------------===//
+
+TEST(SolverPropertyTest, InprocessPreservesVerdictsUnderAssumptions) {
+  Rng R(777001);
+  for (int Round = 0; Round < 150; ++Round) {
+    Cnf F = makeRandomCnf(R);
+    Solver S;
+    if (!load(S, F))
+      continue;
+    bool V0 = R.nextChance(1, 2);
+    std::vector<Lit> Assume = {Lit(0, !V0)};
+    bool ExpectAssumed =
+        bruteForceSat(F, V0 ? 1u : 0u, 1u);
+    SolveResult Before = S.solve(SolveSpec::assuming(Assume));
+    ASSERT_EQ(Before,
+              ExpectAssumed ? SolveResult::Sat : SolveResult::Unsat);
+    bool Consistent = S.inprocess();
+    EXPECT_TRUE(S.checkWatchInvariants()) << "round " << Round;
+    SolveResult After = Consistent ? S.solve(SolveSpec::assuming(Assume))
+                                   : SolveResult::Unsat;
+    ASSERT_EQ(After, Before) << "round " << Round;
+    if (After == SolveResult::Sat)
+      expectModelSatisfies(S, F);
+  }
+}
+
+TEST(SolverPropertyTest, SubsumptionAndStrengtheningFireOnConstructedCnf) {
+  Solver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar(), D = S.newVar();
+  (void)D;
+  // (a | b) subsumes (a | b | c); (a | b) self-subsumes (~a | b | c)
+  // down to (b | c).
+  S.addBinary(mkLit(A), mkLit(B));
+  S.addTernary(mkLit(A), mkLit(B), mkLit(C));
+  S.addTernary(~mkLit(A), mkLit(B), mkLit(C));
+  ASSERT_TRUE(S.inprocess());
+  EXPECT_GE(S.stats().SubsumedClauses, 1u);
+  EXPECT_GE(S.stats().StrengthenedLiterals, 1u);
+  EXPECT_TRUE(S.checkWatchInvariants());
+  // Semantics unchanged: still satisfiable, and assuming ~b forces the
+  // strengthened world consistently.
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_EQ(S.solve({~mkLit(B)}), SolveResult::Sat);
+  EXPECT_EQ(S.solve({~mkLit(A), ~mkLit(B)}), SolveResult::Unsat);
+}
+
+//===----------------------------------------------------------------------===//
+// Asynchronous interrupt and deterministic budgets
+//===----------------------------------------------------------------------===//
+
+TEST(SolverPropertyTest, InterruptFromAnotherThreadReturnsUnknownPromptly) {
+  Solver S;
+  buildPigeonhole(S, 9, 8); // Far beyond test-time CDCL reach.
+  Timer Watch;
+  SolveResult R = SolveResult::Sat;
+  std::thread Run([&] { R = S.solve(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  S.interrupt();
+  Run.join();
+  EXPECT_EQ(R, SolveResult::Unknown);
+  EXPECT_GE(S.stats().Interrupts, 1u);
+  // "Promptly": orders of magnitude below what PHP(9,8) would need.
+  EXPECT_LT(Watch.elapsedSeconds(), 30.0);
+
+  // The flag is sticky: the next solve aborts immediately too.
+  EXPECT_EQ(S.solve(SolveSpec().withConflicts(5)), SolveResult::Unknown);
+  // After clearing, the solver works again (budgeted: still Unknown on
+  // this instance, but now by conflicts, having done real work).
+  S.clearInterrupt();
+  uint64_t ConflictsBefore = S.stats().Conflicts;
+  EXPECT_EQ(S.solve(SolveSpec().withConflicts(50)), SolveResult::Unknown);
+  EXPECT_GT(S.stats().Conflicts, ConflictsBefore);
+  EXPECT_TRUE(S.checkWatchInvariants());
+}
+
+TEST(SolverPropertyTest, PropagationBudgetIsDeterministicAndResumable) {
+  // A long implication chain fired by an assumption (a unit clause would
+  // propagate the whole chain inside addClause, outside any budget).
+  Solver S;
+  const int N = 2000;
+  std::vector<Var> Vs;
+  for (int I = 0; I < N; ++I)
+    Vs.push_back(S.newVar());
+  for (int I = 0; I + 1 < N; ++I)
+    S.addBinary(~mkLit(Vs[I]), mkLit(Vs[I + 1]));
+  EXPECT_EQ(S.solve(SolveSpec::assuming({mkLit(Vs[0])})
+                        .withPropagations(50)),
+            SolveResult::Unknown);
+  // With the budget lifted the same solver completes, and the aborted
+  // propagation left no implication behind.
+  ASSERT_EQ(S.solve(SolveSpec::assuming({mkLit(Vs[0])})),
+            SolveResult::Sat);
+  for (Var V : Vs)
+    EXPECT_TRUE(S.modelValue(V));
+}
+
+TEST(SolverPropertyTest, AllPhaseModesAnswerSoundly) {
+  Rng R(31337);
+  struct {
+    PhaseMode Mode;
+    uint64_t Seed;
+  } Modes[] = {{PhaseMode::Saved, 0},
+               {PhaseMode::Positive, 0},
+               {PhaseMode::Negative, 0},
+               {PhaseMode::Random, 1},
+               {PhaseMode::Random, 2}};
+  for (int Round = 0; Round < 60; ++Round) {
+    Cnf F = makeRandomCnf(R);
+    bool Expected = bruteForceSat(F);
+    for (const auto &M : Modes) {
+      Solver S;
+      if (!load(S, F)) {
+        EXPECT_FALSE(Expected);
+        continue;
+      }
+      SolveResult Got = S.solve(SolveSpec().withPhase(M.Mode, M.Seed));
+      ASSERT_EQ(Got, Expected ? SolveResult::Sat : SolveResult::Unsat)
+          << "round " << Round << " mode "
+          << static_cast<int>(M.Mode) << " seed " << M.Seed;
+      if (Got == SolveResult::Sat)
+        expectModelSatisfies(S, F);
+    }
+  }
+}

@@ -12,7 +12,7 @@
 #include "ir/Printer.h"
 #include "ra/RaExplorer.h"
 #include "translation/Translate.h"
-#include "vbmc/Vbmc.h"
+#include "vbmc/Engine.h"
 
 #include "fuzz/Generator.h"
 
@@ -28,6 +28,14 @@ Program parseOrDie(const std::string &Src) {
   auto P = parseProgram(Src);
   EXPECT_TRUE(P) << (P ? "" : P.error().str());
   return P.take();
+}
+
+/// Single-mode Engine run (the former checkProgram free function).
+driver::CheckReport runSingle(const Program &P,
+                              const driver::VbmcOptions &O) {
+  driver::CheckRequest Req;
+  Req.Opts = O;
+  return driver::Engine().run(P, Req);
 }
 
 /// RA-side k-bounded assertion reachability (ground truth).
@@ -278,12 +286,12 @@ TEST(VbmcDriverTest, EndToEndUnsafe) {
   driver::VbmcOptions Opts;
   Opts.K = 1;
   Opts.CasAllowance = 2;
-  driver::VbmcResult R = driver::checkSource(R"(
+  driver::CheckReport R = runSingle(parseOrDie(R"(
     var x y;
     proc p0 { reg d; x = 1; y = 1; }
     proc p1 { reg r1 r2; r1 = y; r2 = x; assert(!(r1 == 1 && r2 == 1)); }
-  )",
-                                             Opts);
+  )"),
+                                    Opts);
   EXPECT_TRUE(R.unsafe());
   EXPECT_FALSE(R.Trace.empty());
 }
@@ -292,20 +300,22 @@ TEST(VbmcDriverTest, EndToEndSafe) {
   driver::VbmcOptions Opts;
   Opts.K = 1;
   Opts.CasAllowance = 2;
-  driver::VbmcResult R = driver::checkSource(R"(
+  driver::CheckReport R = runSingle(parseOrDie(R"(
     var x y;
     proc p0 { reg d; x = 1; y = 1; }
     proc p1 { reg r1 r2; r1 = y; r2 = x; assert(!(r1 == 1 && r2 == 0)); }
-  )",
-                                             Opts);
+  )"),
+                                    Opts);
   EXPECT_TRUE(R.safe());
 }
 
-TEST(VbmcDriverTest, ParseErrorYieldsUnknown) {
-  driver::VbmcOptions Opts;
-  driver::VbmcResult R = driver::checkSource("var x; proc p { bogus }", Opts);
-  EXPECT_EQ(R.Outcome, driver::Verdict::Unknown);
-  EXPECT_NE(R.Note.find("parse error"), std::string::npos);
+TEST(VbmcDriverTest, ParseErrorIsDiagnosed) {
+  // The former checkSource wrapper absorbed parse failures into an
+  // Unknown report; with the wrapper gone, callers parse first and the
+  // parser's diagnostic is the contract.
+  auto P = ir::parseProgram("var x; proc p { bogus }");
+  ASSERT_FALSE(P);
+  EXPECT_FALSE(P.error().str().empty());
 }
 
 namespace {
