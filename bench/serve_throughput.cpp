@@ -82,6 +82,8 @@ double runColdSide(uint64_t Requests, double Budget) {
 }
 
 /// One persistent worker serving the whole mix over the daemon protocol.
+/// The supervisor's verdict cache is off: this side measures the warm
+/// worker pool alone (the pre-verdict-cache daemon baseline).
 double runWarmSide(uint64_t Requests, double Budget, bool &Ok) {
   Ok = false;
   serve::ServerOptions O;
@@ -91,6 +93,7 @@ double runWarmSide(uint64_t Requests, double Budget, bool &Ok) {
   O.Workers = 1; // One Engine, so every program stays cache-resident.
   O.QueueCap = Requests + 8;
   O.DefaultDeadlineSeconds = Budget;
+  O.VerdictCacheEntries = 0;
   serve::Server S(O);
   std::string Err;
   if (!S.start(&Err)) {
@@ -137,6 +140,80 @@ double runWarmSide(uint64_t Requests, double Budget, bool &Ok) {
   return Seconds;
 }
 
+/// The repeat-heavy side: the same three-program mix, but sent
+/// SEQUENTIALLY (send, await the answer, send the next) so the
+/// supervisor's verdict cache can answer repeats at admission. Run twice
+/// — \p CacheEntries = 0 is the warm-daemon baseline, 256 the cached
+/// daemon — and the two runs' per-request verdicts must be identical:
+/// the cache may only make answers faster, never different.
+double runRepeatHeavySide(uint64_t Requests, double Budget,
+                          size_t CacheEntries, bool &Ok,
+                          std::map<std::string, std::string> &Verdicts,
+                          uint64_t &CachedAnswers) {
+  Ok = false;
+  CachedAnswers = 0;
+  serve::ServerOptions O;
+  O.SocketPath = (std::filesystem::temp_directory_path() /
+                  ("serve-bench-rh." + std::to_string(::getpid()) + "." +
+                   std::to_string(CacheEntries) + ".sock"))
+                     .string();
+  O.Workers = 1;
+  O.QueueCap = Requests + 8;
+  O.DefaultDeadlineSeconds = Budget;
+  O.VerdictCacheEntries = CacheEntries;
+  serve::Server S(O);
+  std::string Err;
+  if (!S.start(&Err)) {
+    std::fprintf(stderr, "serve start failed: %s\n", Err.c_str());
+    return 0;
+  }
+  std::thread Waiter([&] { S.wait(); });
+
+  serve::Client C;
+  if (!C.connect(O.SocketPath, 10, &Err)) {
+    std::fprintf(stderr, "connect failed: %s\n", Err.c_str());
+    S.requestDrain("bench-error");
+    Waiter.join();
+    return 0;
+  }
+  Timer Watch;
+  serve::Request R;
+  R.Check = benchRequest();
+  uint64_t Answered = 0;
+  for (uint64_t I = 0; I < Requests; ++I) {
+    const NamedProgram &P = Programs[I % NumPrograms];
+    R.Id = std::string(P.Name) + "#" + std::to_string(I);
+    R.Program = P.Text;
+    if (!C.send(R)) {
+      std::fprintf(stderr, "send failed\n");
+      break;
+    }
+    serve::Response Resp;
+    if (!C.receive(Resp, Budget * 4 + 30, &Err)) {
+      std::fprintf(stderr, "receive failed: %s\n", Err.c_str());
+      break;
+    }
+    if (Resp.Status != "ok")
+      break;
+    ++Answered;
+    Verdicts[Resp.Id] = Resp.Verdict;
+    if (Resp.Cached)
+      ++CachedAnswers;
+  }
+  double Seconds = Watch.elapsedSeconds();
+  C.close();
+  S.requestDrain("bench-done");
+  Waiter.join();
+  if (Answered != Requests) {
+    std::fprintf(stderr, "repeat-heavy side answered %llu/%llu\n",
+                 static_cast<unsigned long long>(Answered),
+                 static_cast<unsigned long long>(Requests));
+    return 0;
+  }
+  Ok = true;
+  return Seconds;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -163,6 +240,34 @@ int main(int Argc, char **Argv) {
   if (ColdRps > 0 && WarmRps > 0)
     std::printf("speedup:      %6.2fx\n", WarmRps / ColdRps);
 
+  // The verdict-cache side: the same mix, sequential submissions, with
+  // the supervisor cache off (the warm-daemon baseline) then on.
+  std::printf("\n== repeat-heavy mix (verdict cache) ==\n");
+  bool NoCacheOk = false, CacheOk = false;
+  std::map<std::string, std::string> NoCacheVerdicts, CacheVerdicts;
+  uint64_t NoCacheCached = 0, CacheCached = 0;
+  double NoCacheSeconds = runRepeatHeavySide(
+      Requests, Cfg.VbmcBudget, 0, NoCacheOk, NoCacheVerdicts, NoCacheCached);
+  double CacheSeconds = runRepeatHeavySide(
+      Requests, Cfg.VbmcBudget, 256, CacheOk, CacheVerdicts, CacheCached);
+  double NoCacheRps =
+      NoCacheOk && NoCacheSeconds > 0 ? double(Requests) / NoCacheSeconds : 0;
+  double CacheRps =
+      CacheOk && CacheSeconds > 0 ? double(Requests) / CacheSeconds : 0;
+  std::printf("warm-nocache: %6.2f req/s  (%.2fs total)\n", NoCacheRps,
+              NoCacheSeconds);
+  std::printf("warm-cache:   %6.2f req/s  (%.2fs total, %llu/%llu answered "
+              "from cache)\n",
+              CacheRps, CacheSeconds,
+              static_cast<unsigned long long>(CacheCached),
+              static_cast<unsigned long long>(Requests));
+  if (NoCacheRps > 0 && CacheRps > 0)
+    std::printf("cache-speedup: %5.2fx\n", CacheRps / NoCacheRps);
+  bool VerdictsMatch = NoCacheOk && CacheOk && NoCacheVerdicts == CacheVerdicts;
+  std::printf("verdicts: %s\n",
+              VerdictsMatch ? "identical across cache settings"
+                            : "DIFFER (verdict cache changed an answer)");
+
   bench::BenchRecord Cold;
   Cold.Program = "litmus-mix";
   Cold.Tool = "cold-process";
@@ -178,6 +283,22 @@ int main(int Argc, char **Argv) {
   Warm.Seconds = WarmSeconds;
   Warm.TimedOut = !WarmOk;
   Cfg.record(Warm);
+  bench::BenchRecord NoCache;
+  NoCache.Program = "litmus-mix-repeat";
+  NoCache.Tool = "serve-warm-nocache";
+  NoCache.Verdict = NoCacheOk ? "safe" : "unknown";
+  NoCache.K = 2;
+  NoCache.Seconds = NoCacheSeconds;
+  NoCache.TimedOut = !NoCacheOk;
+  Cfg.record(NoCache);
+  bench::BenchRecord Cache;
+  Cache.Program = "litmus-mix-repeat";
+  Cache.Tool = "serve-warm-cache";
+  Cache.Verdict = CacheOk ? "safe" : "unknown";
+  Cache.K = 2;
+  Cache.Seconds = CacheSeconds;
+  Cache.TimedOut = !CacheOk;
+  Cfg.record(Cache);
   Cfg.writeJson("serve_throughput");
-  return WarmOk ? 0 : 1;
+  return WarmOk && VerdictsMatch ? 0 : 1;
 }

@@ -197,6 +197,8 @@ public:
     sat::SolveSpec Spec;
     Spec.MaxConflicts = Opts.B.Conflicts;
     Spec.MaxPropagations = Opts.B.Propagations;
+    Spec.Phase = Opts.Phase;
+    Spec.PhaseSeed = Opts.PhaseSeed;
     Spec.DL = SolveDL;
     BmcResult R = solveUnder(std::move(Spec), Opts.Ctx);
     R.Seconds = Watch.elapsedSeconds();
@@ -701,6 +703,8 @@ public:
     sat::SolveSpec SolveSpec = sat::SolveSpec::assuming({Selectors[K]});
     SolveSpec.MaxConflicts = Opts.B.Conflicts;
     SolveSpec.MaxPropagations = Opts.B.Propagations;
+    SolveSpec.Phase = Opts.Phase;
+    SolveSpec.PhaseSeed = Opts.PhaseSeed;
     SolveSpec.DL = SolveDL;
     BmcResult R = Enc->solveUnder(std::move(SolveSpec), Ctx);
     if (Ctx) {

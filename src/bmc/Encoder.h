@@ -29,6 +29,7 @@
 #define VBMC_BMC_ENCODER_H
 
 #include "ir/Program.h"
+#include "sat/Solver.h"
 #include "support/Budget.h"
 #include "support/CheckContext.h"
 #include "support/Sandbox.h"
@@ -72,6 +73,12 @@ struct BmcOptions {
   /// unless the program is instrumented (the [[.]]_K translation's
   /// `s_ra` and stamp markers qualify).
   std::vector<ir::VarId> MonotoneVars;
+  /// Decision-polarity policy for every solver call this check issues.
+  /// Forwarded verbatim into each SolveSpec; an IncrementalBmc captures
+  /// it at construction like the rest of these options.
+  sat::PhaseMode Phase = sat::PhaseMode::Saved;
+  /// Seed for PhaseMode::Random (ignored otherwise).
+  uint64_t PhaseSeed = 0;
 };
 
 enum class BmcStatus {

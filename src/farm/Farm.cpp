@@ -480,19 +480,6 @@ void logLine(FarmState &St, const std::string &Line) {
     *St.Log << Line << '\n';
 }
 
-void writeShardFile(const FarmOptions &O, uint64_t Lo, uint64_t Hi,
-                    const std::string &Doc) {
-  if (O.ShardDir.empty())
-    return;
-  std::error_code Ec;
-  std::filesystem::create_directories(O.ShardDir, Ec);
-  std::filesystem::path Path =
-      std::filesystem::path(O.ShardDir) /
-      ("shard_" + std::to_string(Lo) + "_" + std::to_string(Hi) + ".json");
-  std::ofstream File(Path);
-  File << Doc << '\n';
-}
-
 void workerLoop(const FarmOptions &O, const Deadline &FarmDeadline,
                 FarmState &St) {
   for (;;) {
@@ -621,6 +608,33 @@ void workerLoop(const FarmOptions &O, const Deadline &FarmDeadline,
 }
 
 } // namespace
+
+uint64_t vbmc::farm::farmUniverseSize(const FarmOptions &O) {
+  return universeSize(O);
+}
+
+ir::Program vbmc::farm::universeProgramAt(const FarmOptions &O,
+                                          uint64_t Index) {
+  return programAt(O, Index);
+}
+
+uint32_t vbmc::farm::farmDefaultShardCount(const FarmOptions &O,
+                                           uint64_t Size) {
+  return defaultShardCount(O, Size);
+}
+
+void vbmc::farm::writeShardFile(const FarmOptions &O, uint64_t Lo,
+                                uint64_t Hi, const std::string &Doc) {
+  if (O.ShardDir.empty())
+    return;
+  std::error_code Ec;
+  std::filesystem::create_directories(O.ShardDir, Ec);
+  std::filesystem::path Path =
+      std::filesystem::path(O.ShardDir) /
+      ("shard_" + std::to_string(Lo) + "_" + std::to_string(Hi) + ".json");
+  std::ofstream File(Path);
+  File << Doc << '\n';
+}
 
 FarmSummary vbmc::farm::runFarm(const FarmOptions &O, std::ostream *Log) {
   Timer Watch;

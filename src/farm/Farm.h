@@ -153,6 +153,19 @@ struct FarmSummary {
 std::vector<std::pair<uint64_t, uint64_t>> planShards(uint64_t Size,
                                                       uint32_t Shards);
 
+/// Size of \p O's universe (litmus universe size or fuzz program count).
+uint64_t farmUniverseSize(const FarmOptions &O);
+
+/// The program at universe index \p Index, regenerated generator-only (no
+/// oracle, no backends) — safe to materialize in a farm parent or daemon
+/// client even when the index kills a worker.
+ir::Program universeProgramAt(const FarmOptions &O, uint64_t Index);
+
+/// The auto shard count used when FarmOptions::Shards is 0 — a pure
+/// function of the spec, shared by the in-process pool and the daemon
+/// client so both modes schedule the identical plan.
+uint32_t farmDefaultShardCount(const FarmOptions &O, uint64_t Size);
+
 /// Runs the whole farm per \p O, logging one line per finished shard to
 /// \p Log when non-null.
 FarmSummary runFarm(const FarmOptions &O, std::ostream *Log);
@@ -166,6 +179,11 @@ ShardResult runShardInProcess(const FarmOptions &O, uint64_t Lo,
 std::string formatShardResult(const ShardResult &R, const FarmOptions &O);
 bool parseShardResult(const json::Value &Doc, ShardResult &R,
                       std::string *Err = nullptr);
+
+/// Writes one vbmc-farm-shard/v1 document \p Doc for range [Lo, Hi) into
+/// FarmOptions::ShardDir (no-op when ShardDir is empty).
+void writeShardFile(const FarmOptions &O, uint64_t Lo, uint64_t Hi,
+                    const std::string &Doc);
 
 /// Folds one shard's result into \p S (no sorting/dedup — see
 /// finalizeSummary).

@@ -1,0 +1,418 @@
+//===- FarmClient.cpp - farm/fuzz as vbmc-serve daemon clients ------------===//
+
+#include "farm/FarmClient.h"
+
+#include "ir/Printer.h"
+#include "serve/Client.h"
+#include "support/CheckContext.h"
+#include "support/Json.h"
+#include "support/Signals.h"
+#include "support/Timer.h"
+
+#include <chrono>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <thread>
+
+using namespace vbmc;
+using namespace vbmc::farm;
+
+//===----------------------------------------------------------------------===//
+// vbmc-farm-shard-spec/v1
+//===----------------------------------------------------------------------===//
+
+std::string vbmc::farm::formatShardSpec(const FarmOptions &O, uint64_t Lo,
+                                        uint64_t Hi) {
+  json::JsonWriter W;
+  W.beginObject();
+  W.key("schema").value(ShardSpecSchema);
+  W.key("universe").value(universeKindName(O.Universe));
+  W.key("lo").value(Lo);
+  W.key("hi").value(Hi);
+  if (O.Universe == UniverseKind::Litmus) {
+    W.key("seed").value(O.Litmus.Seed);
+    W.key("tests").value(O.Litmus.Tests);
+    W.key("include_classics").value(O.Litmus.IncludeClassics);
+    W.key("vbmc_every").value(O.Litmus.VbmcEvery);
+    W.key("vbmc_budget_seconds").value(O.Litmus.VbmcBudgetSeconds);
+  } else {
+    W.key("seed").value(O.Fuzz.Seed);
+    W.key("count").value(O.Fuzz.Count);
+    W.key("per_program_seconds").value(O.Fuzz.PerProgramSeconds);
+    W.key("isolate").value(O.Fuzz.Isolate);
+    W.key("mem_limit_mb").value(O.Fuzz.MemLimitMb);
+  }
+  W.endObject();
+  return W.str();
+}
+
+namespace {
+
+bool specUint(const json::Value &Doc, const char *Key, uint64_t &Out) {
+  const json::Value *V = Doc.get(Key);
+  if (!V || !V->isNumber() || V->asNumber() < 0)
+    return false;
+  Out = static_cast<uint64_t>(V->asNumber());
+  return true;
+}
+
+bool specDouble(const json::Value &Doc, const char *Key, double &Out) {
+  const json::Value *V = Doc.get(Key);
+  if (!V || !V->isNumber())
+    return false;
+  Out = V->asNumber();
+  return true;
+}
+
+bool specBool(const json::Value &Doc, const char *Key, bool &Out) {
+  const json::Value *V = Doc.get(Key);
+  if (!V || !V->isBool())
+    return false;
+  Out = V->asBool();
+  return true;
+}
+
+} // namespace
+
+bool vbmc::farm::parseShardSpec(const std::string &SpecJson, FarmOptions &O,
+                                uint64_t &Lo, uint64_t &Hi,
+                                std::string *Err) {
+  auto Fail = [&](const std::string &What) {
+    if (Err)
+      *Err = std::string(ShardSpecSchema) + ": " + What;
+    return false;
+  };
+  json::Value Doc;
+  std::string PErr;
+  if (!json::parse(SpecJson, Doc, &PErr))
+    return Fail("bad JSON: " + PErr);
+  if (!Doc.isObject())
+    return Fail("not an object");
+  const json::Value *Schema = Doc.get("schema");
+  if (!Schema || !Schema->isString() || Schema->asString() != ShardSpecSchema)
+    return Fail("bad or missing 'schema'");
+  const json::Value *U = Doc.get("universe");
+  if (!U || !U->isString())
+    return Fail("bad or missing 'universe'");
+  FarmOptions Out;
+  if (U->asString() == "litmus")
+    Out.Universe = UniverseKind::Litmus;
+  else if (U->asString() == "fuzz")
+    Out.Universe = UniverseKind::Fuzz;
+  else
+    return Fail("unknown universe '" + U->asString() + "'");
+  uint64_t SpecLo = 0, SpecHi = 0;
+  if (!specUint(Doc, "lo", SpecLo) || !specUint(Doc, "hi", SpecHi) ||
+      SpecHi < SpecLo)
+    return Fail("bad or missing 'lo'/'hi'");
+  if (Out.Universe == UniverseKind::Litmus) {
+    if (!specUint(Doc, "seed", Out.Litmus.Seed) ||
+        !specUint(Doc, "tests", Out.Litmus.Tests) ||
+        !specBool(Doc, "include_classics", Out.Litmus.IncludeClassics) ||
+        !specUint(Doc, "vbmc_every", Out.Litmus.VbmcEvery) ||
+        !specDouble(Doc, "vbmc_budget_seconds", Out.Litmus.VbmcBudgetSeconds))
+      return Fail("bad or missing litmus spec field");
+  } else {
+    if (!specUint(Doc, "seed", Out.Fuzz.Seed) ||
+        !specUint(Doc, "count", Out.Fuzz.Count) ||
+        !specDouble(Doc, "per_program_seconds", Out.Fuzz.PerProgramSeconds) ||
+        !specBool(Doc, "isolate", Out.Fuzz.Isolate) ||
+        !specUint(Doc, "mem_limit_mb", Out.Fuzz.MemLimitMb))
+      return Fail("bad or missing fuzz spec field");
+  }
+  if (SpecHi > farmUniverseSize(Out))
+    return Fail("'hi' past the end of the universe");
+  O = std::move(Out);
+  Lo = SpecLo;
+  Hi = SpecHi;
+  return true;
+}
+
+std::string vbmc::farm::runShardSpec(const std::string &SpecJson,
+                                     double DeadlineSeconds) {
+  // The supervisor enforces the request deadline; the shard's results must
+  // be a function of the spec alone, so the budget never reaches the
+  // payload.
+  (void)DeadlineSeconds;
+  FarmOptions O;
+  uint64_t Lo = 0, Hi = 0;
+  if (!parseShardSpec(SpecJson, O, Lo, Hi))
+    return "";
+  return formatShardResult(runShardInProcess(O, Lo, Hi), O);
+}
+
+//===----------------------------------------------------------------------===//
+// The connected farm scheduler
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Flight {
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+  Clock::time_point Sent;
+};
+
+void clientLog(std::ostream *Log, const std::string &Line) {
+  if (Log)
+    *Log << Line << '\n';
+}
+
+std::string rangeStr(uint64_t Lo, uint64_t Hi) {
+  return "[" + std::to_string(Lo) + ", " + std::to_string(Hi) + ")";
+}
+
+} // namespace
+
+FarmSummary vbmc::farm::runFarmConnected(const FarmOptions &O,
+                                         const ConnectOptions &C,
+                                         std::ostream *Log,
+                                         std::string *Err) {
+  Timer Watch;
+  FarmSummary S;
+  StatsRegistry Stats;
+
+  uint64_t Size = farmUniverseSize(O);
+  S.UniverseSize = Size;
+  uint32_t Shards = O.Shards ? O.Shards : farmDefaultShardCount(O, Size);
+  auto Plan = planShards(Size, Shards);
+  S.ShardsPlanned = Plan.size();
+
+  std::deque<std::pair<uint64_t, uint64_t>> Work(Plan.begin(), Plan.end());
+  std::map<std::string, Flight> InFlight;
+  uint64_t NextId = 0;
+  auto ThrottleUntil = Clock::now();
+  bool Draining = false;
+
+  auto recordSkipped = [&](uint64_t Lo, uint64_t Hi,
+                           const std::string &Detail) {
+    ShardRecord Rec;
+    Rec.Lo = Lo;
+    Rec.Hi = Hi;
+    Rec.Outcome = "skipped";
+    Rec.Detail = Detail;
+    S.ShardRecords.push_back(std::move(Rec));
+    Stats.addCount("farm.shards.skipped");
+  };
+
+  serve::Client Cl;
+  std::string CErr;
+  if (!Cl.connect(C.SocketPath, C.ConnectTimeoutSeconds, &CErr)) {
+    if (Err)
+      *Err = "cannot reach daemon at " + C.SocketPath + ": " + CErr;
+    while (!Work.empty()) {
+      recordSkipped(Work.front().first, Work.front().second,
+                    "daemon unreachable before the shard ran");
+      Work.pop_front();
+    }
+    finalizeSummary(S, O.CorpusDir);
+    S.Seconds = Watch.elapsedSeconds();
+    return S;
+  }
+
+  clientLog(Log, "farm: universe " +
+                     std::string(universeKindName(O.Universe)) + ", " +
+                     std::to_string(Size) + " tests, " +
+                     std::to_string(Plan.size()) + " shards over daemon " +
+                     C.SocketPath);
+
+  Deadline FarmDeadline(O.BudgetSeconds); // Non-positive = unlimited.
+
+  while (!Work.empty() || !InFlight.empty()) {
+    // A delivered SIGTERM/SIGINT drains exactly like an exhausted budget:
+    // in-flight shards still get their answers (the daemon answers every
+    // accepted request), pending shards are recorded as skipped.
+    if (!Draining && (FarmDeadline.expired() || signals::drainRequested()))
+      Draining = true;
+    if (Draining) {
+      std::string Detail =
+          signals::drainRequested()
+              ? "farm drained on a termination signal before the shard ran"
+              : "farm budget exhausted before the shard ran";
+      while (!Work.empty()) {
+        recordSkipped(Work.front().first, Work.front().second, Detail);
+        Work.pop_front();
+      }
+    }
+
+    // Keep the daemon's queue fed up to the in-flight window; the daemon
+    // sheds with a retry-after hint when we outrun it.
+    bool SendFailed = false;
+    while (!Work.empty() &&
+           InFlight.size() < std::max<size_t>(1, C.MaxInFlight) &&
+           Clock::now() >= ThrottleUntil) {
+      auto [Lo, Hi] = Work.front();
+      Work.pop_front();
+      serve::Request Req;
+      Req.Id = "shard." + std::to_string(NextId++);
+      Req.ShardJson = formatShardSpec(O, Lo, Hi);
+      Req.DeadlineSeconds = O.ShardTimeoutSeconds;
+      if (!Cl.send(Req)) {
+        SendFailed = true;
+        Work.push_front({Lo, Hi});
+        break;
+      }
+      InFlight.emplace(Req.Id, Flight{Lo, Hi, Clock::now()});
+    }
+    if (SendFailed) {
+      if (Err)
+        *Err = "daemon went away mid-send";
+      break;
+    }
+    if (InFlight.empty()) {
+      if (Work.empty())
+        break;
+      // Throttled by a shed hint with nothing in flight: wait it out.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+
+    serve::Response Resp;
+    std::string RErr;
+    if (!Cl.receive(Resp, 0.25, &RErr)) {
+      if (RErr == "timeout")
+        continue;
+      if (Err)
+        *Err = "daemon connection lost: " + RErr;
+      break;
+    }
+    auto It = InFlight.find(Resp.Id);
+    if (It == InFlight.end())
+      continue; // Duplicate or unknown id.
+    Flight F = It->second;
+    InFlight.erase(It);
+
+    if (Resp.Status == "shed") {
+      // Admission pushback: the range goes back on the queue and the
+      // submit loop honors the daemon's hint.
+      Work.push_front({F.Lo, F.Hi});
+      double Wait = std::min(std::max(Resp.RetryAfterSeconds, 0.01), 5.0);
+      ThrottleUntil = Clock::now() +
+                      std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(Wait));
+      Stats.addCount("farm.connect.shed");
+      continue;
+    }
+    if (Resp.Status != "ok") {
+      // "rejected" means a wire-format bug on our side; no answer path
+      // exists for the range, so the sweep cannot complete faithfully.
+      if (Err)
+        *Err = "daemon rejected shard " + rangeStr(F.Lo, F.Hi) + ": " +
+               Resp.Error;
+      recordSkipped(F.Lo, F.Hi,
+                    "daemon rejected the shard request: " + Resp.Error);
+      break;
+    }
+
+    ShardRecord Rec;
+    Rec.Lo = F.Lo;
+    Rec.Hi = F.Hi;
+    Rec.Seconds =
+        std::chrono::duration<double>(Clock::now() - F.Sent).count();
+
+    std::string Failure =
+        Resp.Failure.empty() ? std::string("none") : Resp.Failure;
+    if (Failure == "none") {
+      json::Value Doc;
+      std::string PErr;
+      ShardResult R;
+      bool Usable = json::parse(Resp.ReportJson, Doc, &PErr) &&
+                    parseShardResult(Doc, R, &PErr);
+      if (Usable) {
+        Rec.Outcome = "ok";
+        mergeShardResult(S, R);
+        writeShardFile(O, F.Lo, F.Hi, Resp.ReportJson);
+        Stats.addCount("farm.shards.ok");
+        Stats.addCount("farm.tests.done", R.Tests + R.Checked);
+        Stats.addCount("farm.mismatches", R.Mismatches.size());
+        Stats.addCount("farm.witnesses", R.Witnesses.size());
+        Stats.addSeconds("farm.worker", R.Seconds);
+        clientLog(Log, "shard " + rangeStr(F.Lo, F.Hi) + " ok: " +
+                           std::to_string(R.Tests + R.Checked) + " tests, " +
+                           std::to_string(R.Mismatches.size() +
+                                          R.Witnesses.size()) +
+                           " findings" + (Resp.Cached ? " (cached)" : ""));
+        S.ShardRecords.push_back(std::move(Rec));
+        continue;
+      }
+      // A daemon answer whose report does not parse is as dead as a
+      // crashed worker: classify and descend on the range.
+      Failure = "exit";
+      Resp.Error = "unparseable shard report: " + PErr;
+    }
+
+    // The daemon classified a worker death on this range (shard requests
+    // are exempt from its halved-bounds retry): the same split-and-requeue
+    // descent as the in-process pool.
+    if (F.Hi - F.Lo > 1) {
+      uint64_t Mid = F.Lo + (F.Hi - F.Lo) / 2;
+      Rec.Outcome = "split";
+      Rec.Detail = "daemon worker " + Failure +
+                   (Resp.Error.empty() ? "" : ": " + Resp.Error);
+      Work.push_back({F.Lo, Mid});
+      Work.push_back({Mid, F.Hi});
+      Stats.addCount("farm.shards.split");
+      clientLog(Log, "shard " + rangeStr(F.Lo, F.Hi) + " " + Failure +
+                         ", split and requeued");
+    } else {
+      // A single universe index kills its worker: a finding, not a farm
+      // failure. Materialize the program generator-only in the client.
+      Rec.Outcome = Failure;
+      Rec.Detail = "daemon worker " + Failure +
+                   (Resp.Error.empty() ? "" : ": " + Resp.Error);
+      WitnessRecord W;
+      W.Index = F.Lo;
+      W.Check = "crash";
+      W.Failure = Failure;
+      W.Detail = "worker died on universe index " + std::to_string(F.Lo) +
+                 " (" + Failure + " under vbmc-serve)";
+      W.ProgramText = ir::printProgram(universeProgramAt(O, F.Lo));
+      W.Stmts = 0;
+      ShardResult Failed;
+      Failed.Lo = F.Lo;
+      Failed.Hi = F.Hi;
+      Failed.Seconds = Rec.Seconds;
+      Failed.Witnesses.push_back(W);
+      writeShardFile(O, F.Lo, F.Hi, formatShardResult(Failed, O));
+      S.Witnesses.push_back(std::move(W));
+      ++S.WorkerFailures;
+      Stats.addCount("farm.worker.failures");
+      clientLog(Log, "shard " + rangeStr(F.Lo, F.Hi) + " WORKER " + Failure +
+                         " at index " + std::to_string(F.Lo) +
+                         " (witnessed)");
+    }
+    S.ShardRecords.push_back(std::move(Rec));
+  }
+
+  // Ranges stranded by a connection-level failure (never by a clean run:
+  // the loop above only exits with both queues empty otherwise).
+  for (const auto &[Id, F] : InFlight)
+    recordSkipped(F.Lo, F.Hi,
+                  "daemon connection lost before the shard completed");
+  while (!Work.empty()) {
+    recordSkipped(Work.front().first, Work.front().second,
+                  "daemon connection lost before the shard ran");
+    Work.pop_front();
+  }
+  Cl.close();
+
+  finalizeSummary(S, O.CorpusDir);
+  for (const StatsRegistry::Entry &E : Stats.snapshot()) {
+    if (E.IsCounter)
+      S.StatCounts[E.Name] += E.Count;
+    else
+      S.StatSeconds[E.Name] += E.Seconds;
+  }
+  S.Seconds = Watch.elapsedSeconds();
+  clientLog(Log,
+            "farm: " + std::to_string(S.Tests + S.Checked) +
+                " tests done, " + std::to_string(S.Mismatches.size()) +
+                " mismatches, " + std::to_string(S.Witnesses.size()) +
+                " witnesses (" + std::to_string(S.DedupedWitnesses) +
+                " duplicates dropped), " + std::to_string(S.WorkerFailures) +
+                " worker failures");
+  return S;
+}

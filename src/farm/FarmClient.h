@@ -1,0 +1,82 @@
+//===- FarmClient.h - farm/fuzz as vbmc-serve daemon clients -----*- C++ -*-===//
+///
+/// \file
+/// The daemon-client side of `vbmc-farm --connect` / `vbmc-fuzz
+/// --connect`: instead of forking its own sandboxed worker pool, the farm
+/// ships each shard to a running vbmc-serve daemon as a
+/// `vbmc-farm-shard-spec/v1` request and merges the streamed
+/// `vbmc-farm-shard/v1` results. The determinism contract is unchanged —
+///
+///  * the shard plan is the same pure function of the universe spec the
+///    in-process pool uses, so the merged "results" object
+///    (writeFarmResults) is bit-identical between `--connect` and the
+///    local pool for any daemon worker count;
+///  * a worker death the daemon classifies (shard requests are exempt
+///    from the daemon's halved-bounds retry) triggers the same
+///    split-and-requeue binary descent as the in-process pool, converging
+///    on the single universe index that kills a worker;
+///  * a SIGTERM/SIGINT or exhausted farm budget stops submitting, records
+///    pending shards as skipped, and still waits for every in-flight
+///    request's answer (the daemon's every-accepted-request-answered
+///    guarantee carries over).
+///
+/// The shard spec intentionally carries only the universe spec fields the
+/// CLI exposes (seed / size / cadence); generator- and diff-level knob
+/// overrides stay at their universe defaults in daemon mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_FARM_FARMCLIENT_H
+#define VBMC_FARM_FARMCLIENT_H
+
+#include "farm/Farm.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace vbmc::farm {
+
+inline constexpr const char *ShardSpecSchema = "vbmc-farm-shard-spec/v1";
+
+/// Renders the shard spec for range [Lo, Hi) of \p O's universe: one JSON
+/// object fully determining what the shard runs (never how long the
+/// daemon lets it run — results must not depend on budgets).
+std::string formatShardSpec(const FarmOptions &O, uint64_t Lo, uint64_t Hi);
+
+/// Parses a shard spec into a fresh FarmOptions (universe + spec fields
+/// only; scheduling fields stay default) and its range. False with a
+/// one-line reason in \p Err on malformed input.
+bool parseShardSpec(const std::string &SpecJson, FarmOptions &O,
+                    uint64_t &Lo, uint64_t &Hi, std::string *Err = nullptr);
+
+/// The daemon-side shard entry point (wired into
+/// serve::ServerOptions::ShardRunner by the tool mains): parses
+/// \p SpecJson and runs the shard in-process, returning the
+/// vbmc-farm-shard/v1 result document — or "" on a malformed spec, which
+/// the daemon answers as an internal error. \p DeadlineSeconds is
+/// deliberately unused: the supervisor enforces the request deadline, and
+/// results must be a function of the spec alone.
+std::string runShardSpec(const std::string &SpecJson, double DeadlineSeconds);
+
+struct ConnectOptions {
+  /// The daemon's unix-domain socket.
+  std::string SocketPath;
+  /// How long to wait for the daemon to come up.
+  double ConnectTimeoutSeconds = 10;
+  /// Shard requests kept in flight at once; the daemon's shed/retry-after
+  /// pushback throttles below this when its queue fills.
+  size_t MaxInFlight = 32;
+};
+
+/// Runs the whole farm per \p O with the daemon at \p C as the worker
+/// pool, logging one line per finished shard to \p Log when non-null.
+/// On a connection-level failure \p Err (when non-null) gets a one-line
+/// reason and the summary covers whatever completed before the failure
+/// (unfinished shards are recorded as skipped).
+FarmSummary runFarmConnected(const FarmOptions &O, const ConnectOptions &C,
+                             std::ostream *Log, std::string *Err = nullptr);
+
+} // namespace vbmc::farm
+
+#endif // VBMC_FARM_FARMCLIENT_H

@@ -19,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "farm/Farm.h"
+#include "farm/FarmClient.h"
 #include "ir/Printer.h"
 #include "support/Cli.h"
 #include "support/FaultInjection.h"
@@ -63,6 +64,13 @@ void printUsage() {
       "                     as skipped)\n"
       "  --shard-timeout S  per-shard sandbox deadline (default 600)\n"
       "  --mem-limit-mb N   address-space headroom per worker (default 0)\n"
+      "daemon mode:\n"
+      "  --connect SOCK     run shards on the vbmc-serve daemon at SOCK\n"
+      "                     instead of a local worker pool (merged results\n"
+      "                     stay bit-identical; --workers/--mem-limit-mb\n"
+      "                     are the daemon's to govern)\n"
+      "  --connect-timeout S  wait up to S seconds for the daemon\n"
+      "                     (default 10)\n"
       "outputs:\n"
       "  --json FILE|-      write the merged vbmc-farm/v1 artifact\n"
       "  --shard-dir DIR    write each shard's vbmc-farm-shard/v1 document\n"
@@ -142,7 +150,8 @@ int runMain(int Argc, char **Argv) {
       {"universe", "workers", "shards", "seed", "tests", "no-classics",
        "vbmc-every", "vbmc-budget", "count", "per-program", "budget",
        "shard-timeout", "mem-limit-mb", "json", "shard-dir", "corpus",
-       "index", "inject-fault", "quiet", "help"});
+       "index", "inject-fault", "quiet", "help", "connect",
+       "connect-timeout"});
   if (!Unknown.empty() || !CL.positionals().empty()) {
     for (const std::string &F : Unknown)
       std::fprintf(stderr, "vbmc-farm: unknown flag '--%s'\n", F.c_str());
@@ -172,7 +181,23 @@ int runMain(int Argc, char **Argv) {
     return runSingleIndex(O, static_cast<uint64_t>(CL.getInt("index", 0)));
 
   const bool Quiet = CL.hasFlag("quiet");
-  FarmSummary S = runFarm(O, Quiet ? nullptr : &std::cout);
+  FarmSummary S;
+  std::string Connect = CL.getString("connect", "");
+  if (!Connect.empty()) {
+    // Daemon-client mode: the vbmc-serve daemon is the worker pool; the
+    // merge, split-descent and artifacts stay client-side.
+    ConnectOptions CO;
+    CO.SocketPath = Connect;
+    CO.ConnectTimeoutSeconds = CL.getDouble("connect-timeout", 10);
+    std::string Err;
+    S = runFarmConnected(O, CO, Quiet ? nullptr : &std::cout, &Err);
+    if (!Err.empty()) {
+      std::fprintf(stderr, "vbmc-farm: %s\n", Err.c_str());
+      return 3;
+    }
+  } else {
+    S = runFarm(O, Quiet ? nullptr : &std::cout);
+  }
   if (Quiet)
     std::printf("farm: %llu tests, %zu mismatches, %zu witnesses\n",
                 static_cast<unsigned long long>(S.Tests + S.Checked),

@@ -23,6 +23,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "farm/FarmClient.h"
 #include "fuzz/Fuzzer.h"
 #include "ir/Printer.h"
 #include "support/Cli.h"
@@ -76,6 +77,15 @@ void printUsage() {
       "                     (\"vbmc-fuzz/v1\": counts, sandbox verdicts,\n"
       "                     one record per discrepancy) to FILE\n"
       "  --quiet            summary line only\n"
+      "daemon mode:\n"
+      "  --connect SOCK     run the campaign's index shards on the\n"
+      "                     vbmc-serve daemon at SOCK (needs --count;\n"
+      "                     generator/diff knobs ride at their defaults;\n"
+      "                     results are bit-identical to a local farm\n"
+      "                     sweep of the same fuzz universe)\n"
+      "  --connect-timeout S  wait up to S seconds for the daemon\n"
+      "                     (default 10)\n"
+      "  --shards N         shards the universe is cut into (default auto)\n"
       "replay (positional args are files or directories of .ra files):\n"
       "  each file is cross-checked and any '// expect: safe|unsafe k=N'\n"
       "  directives are verified against both backends\n"
@@ -104,7 +114,8 @@ int runMain(int Argc, char **Argv) {
        "loop-permille", "assert-permille", "max-value", "heavy-every",
        "max-states", "cas-allowance", "corpus", "index", "repro",
        "inject-fault", "no-minimize", "no-sat", "isolate", "incremental",
-       "mem-limit-mb", "json", "quiet", "help"});
+       "mem-limit-mb", "json", "quiet", "help", "connect",
+       "connect-timeout", "shards", "shard-timeout"});
   if (!Unknown.empty()) {
     for (const std::string &F : Unknown)
       std::fprintf(stderr, "vbmc-fuzz: unknown flag '--%s'\n", F.c_str());
@@ -197,6 +208,89 @@ int runMain(int Argc, char **Argv) {
   // SIGTERM/SIGINT stop the campaign at the next program boundary and
   // still write the --json summary and corpus files; never die mid-write.
   signals::installDrainHandlers();
+
+  // Daemon-client mode: ship the campaign's index shards to a running
+  // vbmc-serve daemon (farm::runFarmConnected) and fold the merged farm
+  // summary back into the vbmc-fuzz/v1 shape.
+  std::string Connect = CL.getString("connect", "");
+  if (!Connect.empty()) {
+    if (O.Count == 0) {
+      std::fprintf(stderr, "vbmc-fuzz: --connect needs --count\n");
+      return 2;
+    }
+    if (O.StartIndex != 0) {
+      std::fprintf(stderr,
+                   "vbmc-fuzz: --start-index is not supported with "
+                   "--connect (the universe covers [0, count))\n");
+      return 2;
+    }
+    farm::FarmOptions FO;
+    FO.Universe = farm::UniverseKind::Fuzz;
+    FO.Shards = static_cast<uint32_t>(CL.getInt("shards", 0));
+    FO.Fuzz.Seed = O.Seed;
+    FO.Fuzz.Count = O.Count;
+    FO.Fuzz.PerProgramSeconds = O.PerProgramSeconds;
+    FO.Fuzz.MemLimitMb = O.MemLimitMb;
+    // Generator/diff knobs stay at the universe defaults (which mirror
+    // this CLI's defaults); Isolate stays on so a crashing program is
+    // witnessed inside its shard instead of killing a daemon worker.
+    FO.BudgetSeconds = O.BudgetSeconds;
+    FO.ShardTimeoutSeconds = CL.getDouble("shard-timeout", 600);
+    FO.CorpusDir = O.CorpusDir;
+    farm::ConnectOptions CO;
+    CO.SocketPath = Connect;
+    CO.ConnectTimeoutSeconds = CL.getDouble("connect-timeout", 10);
+    std::string Err;
+    farm::FarmSummary S = farm::runFarmConnected(FO, CO, Log, &Err);
+    if (!Err.empty()) {
+      std::fprintf(stderr, "vbmc-fuzz: %s\n", Err.c_str());
+      return 3;
+    }
+    if (Quiet)
+      std::printf("fuzz: %llu programs, %zu discrepancies\n",
+                  static_cast<unsigned long long>(S.Checked),
+                  S.Witnesses.size());
+    std::string JsonPath = CL.getString("json", "");
+    if (!JsonPath.empty()) {
+      auto Stat = [&](const char *Name) {
+        auto It = S.StatCounts.find(Name);
+        return It == S.StatCounts.end() ? uint64_t(0) : It->second;
+      };
+      json::JsonWriter W;
+      W.beginObject();
+      W.key("schema").value("vbmc-fuzz/v1");
+      W.key("seed").value(FO.Fuzz.Seed);
+      W.key("checked").value(S.Checked);
+      W.key("passed").value(S.Passed);
+      W.key("skipped").value(S.Skipped);
+      W.key("timeouts").value(S.Timeouts);
+      W.key("sandbox").beginObject();
+      W.key("crashes").value(Stat("sandbox.crash"));
+      W.key("ooms").value(Stat("sandbox.oom"));
+      W.key("timeouts").value(Stat("sandbox.timeout"));
+      W.key("retries").value(Stat("sandbox.retries"));
+      W.endObject();
+      W.key("discrepancies").beginArray();
+      for (const farm::WitnessRecord &D : S.Witnesses) {
+        W.beginObject();
+        W.key("seed").value(FO.Fuzz.Seed);
+        W.key("index").value(D.Index);
+        W.key("check").value(D.Check);
+        W.key("detail").value(D.Detail);
+        W.key("stmts").value(D.Stmts);
+        W.key("path").value(D.Path);
+        W.endObject();
+      }
+      W.endArray();
+      W.endObject();
+      std::ofstream Out(JsonPath);
+      Out << W.str() << '\n';
+      if (!Out)
+        std::fprintf(stderr, "vbmc-fuzz: cannot write summary to '%s'\n",
+                     JsonPath.c_str());
+    }
+    return S.clean() ? 0 : 1;
+  }
 
   fuzz::FuzzCampaignResult R = fuzz::runFuzzCampaign(O, Log);
   if (Quiet)

@@ -1,0 +1,150 @@
+//===- Batch.cpp - shed-aware request batch over a serve client -----------===//
+
+#include "serve/Batch.h"
+
+#include <chrono>
+#include <map>
+#include <thread>
+
+using namespace vbmc;
+using namespace vbmc::serve;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-request client-side state, erased on the terminal response.
+struct Tracked {
+  Request Req;
+  /// When the request first went out: the anchor the original deadline
+  /// is measured from, across every resubmit.
+  Clock::time_point FirstSent;
+};
+
+} // namespace
+
+BatchResult vbmc::serve::runBatch(Client &C,
+                                  const std::vector<Request> &Requests,
+                                  const BatchOptions &O) {
+  BatchResult Out;
+  std::map<std::string, Tracked> Pending;
+  std::map<std::string, uint64_t> ShedRetries;
+  std::vector<std::pair<Clock::time_point, std::string>> Resubmit;
+
+  const auto Start = Clock::now();
+  auto secondsLeft = [&] {
+    return O.TimeoutSeconds -
+           std::chrono::duration<double>(Clock::now() - Start).count();
+  };
+  auto finish = [&](const Response &R) {
+    ++Out.Answered;
+    if (R.Status != "ok")
+      ++Out.NotOk;
+    // Terminal: every per-request record dies with the answer, so the
+    // batch's footprint tracks the in-flight set.
+    Pending.erase(R.Id);
+    ShedRetries.erase(R.Id);
+    if (O.OnResponse)
+      O.OnResponse(R);
+  };
+
+  for (const Request &R : Requests) {
+    if (!C.send(R)) {
+      Out.LastError = "daemon went away mid-send";
+      return Out;
+    }
+    ++Out.Sent;
+    Pending.emplace(R.Id, Tracked{R, Clock::now()});
+  }
+
+  Response R;
+  std::string Err;
+  while (Out.Answered < Out.Sent) {
+    // Fire every resubmit that has come due.
+    const auto Now = Clock::now();
+    bool SendFailed = false;
+    for (size_t I = 0; I < Resubmit.size();) {
+      if (Resubmit[I].first > Now) {
+        ++I;
+        continue;
+      }
+      auto It = Pending.find(Resubmit[I].second);
+      if (It == Pending.end()) {
+        SendFailed = true;
+      } else {
+        // The deadline the daemon sees shrinks by the time already spent
+        // since the FIRST send: re-admission must not restart the
+        // request's clock. (0 means "server default", which has no
+        // budget to preserve.)
+        Request Wire = It->second.Req;
+        if (Wire.DeadlineSeconds > 0) {
+          double Spent = std::chrono::duration<double>(
+                             Now - It->second.FirstSent)
+                             .count();
+          Wire.DeadlineSeconds =
+              std::max(0.001, Wire.DeadlineSeconds - Spent);
+          Out.LastResubmitDeadline = Wire.DeadlineSeconds;
+        }
+        if (!C.send(Wire))
+          SendFailed = true;
+        else
+          ++Out.Resubmits;
+      }
+      Resubmit[I] = Resubmit.back();
+      Resubmit.pop_back();
+    }
+    double Left = secondsLeft();
+    if (Left <= 0) {
+      Out.LastError = "batch timeout";
+      break;
+    }
+    if (SendFailed) {
+      Out.LastError = "daemon went away mid-resubmit";
+      break;
+    }
+    double Poll = std::min(Left, 0.25);
+    if (!C.receive(R, Poll, &Err)) {
+      if (Err == "timeout")
+        continue;
+      if (!Resubmit.empty()) {
+        // Connection is unhealthy but resubmits are queued; give them a
+        // chance to fire (their send failing ends the loop).
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      Out.LastError = Err;
+      break;
+    }
+    auto It = Pending.find(R.Id);
+    if (It == Pending.end())
+      continue; // Duplicate or unknown id; already answered.
+    if (R.Status == "shed") {
+      // A shed is terminal once the retry budget — or the request's own
+      // deadline — is exhausted; otherwise honor the hint and resubmit.
+      bool BudgetLeft =
+          It->second.Req.DeadlineSeconds <= 0 ||
+          std::chrono::duration<double>(Clock::now() - It->second.FirstSent)
+                  .count() < It->second.Req.DeadlineSeconds;
+      if (BudgetLeft && ShedRetries[R.Id]++ < O.MaxShedRetries) {
+        Out.RetryMapPeak =
+            std::max<uint64_t>(Out.RetryMapPeak, ShedRetries.size());
+        double Wait = std::min(std::max(R.RetryAfterSeconds, 0.01), 5.0);
+        Resubmit.emplace_back(
+            Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(Wait)),
+            R.Id);
+        continue;
+      }
+      Out.RetryMapPeak =
+          std::max<uint64_t>(Out.RetryMapPeak, ShedRetries.size());
+      finish(R);
+      continue;
+    }
+    finish(R);
+  }
+  Out.RetryMapLeft = ShedRetries.size();
+  if (!Out.complete() && Out.LastError.empty())
+    Out.LastError = "responses missing";
+  return Out;
+}

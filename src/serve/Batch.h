@@ -1,0 +1,74 @@
+//===- Batch.h - shed-aware request batch over a serve client ----*- C++ -*-===//
+///
+/// \file
+/// The client-side batch driver shared by `vbmc-serve --connect`, the
+/// farm/fuzz daemon-client mode and the serve throughput bench: submit a
+/// set of requests, stream responses, and resubmit shed requests after
+/// the daemon's retry-after hint — with two contracts the ad-hoc client
+/// loop used to violate:
+///
+///  * bookkeeping for a request (the shed-retry counter, the pending
+///    copy) is erased the moment its terminal response arrives, so a
+///    long batch holds memory proportional to its *in-flight* set, not
+///    its history (BatchResult::RetryMapPeak / RetryMapLeft pin this);
+///  * a resubmitted request carries its ORIGINAL deadline minus the time
+///    already spent since its first send, so shed-and-retry can never
+///    extend a request's wall-clock budget past what the caller asked
+///    for (a request whose budget is exhausted treats the next shed as
+///    terminal instead of resubmitting).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VBMC_SERVE_BATCH_H
+#define VBMC_SERVE_BATCH_H
+
+#include "serve/Client.h"
+#include "serve/Serve.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace vbmc::serve {
+
+struct BatchOptions {
+  /// Overall wall clock for the whole batch.
+  double TimeoutSeconds = 300;
+  /// Resubmits per shed request; past it the shed response is terminal.
+  uint64_t MaxShedRetries = 32;
+  /// Called once per terminal response (ok / rejected / exhausted shed).
+  std::function<void(const Response &)> OnResponse;
+};
+
+struct BatchResult {
+  uint64_t Sent = 0;      ///< Distinct requests submitted.
+  uint64_t Answered = 0;  ///< Terminal responses received.
+  uint64_t NotOk = 0;     ///< Terminal responses with status != "ok".
+  uint64_t Resubmits = 0; ///< Shed requests re-sent.
+  /// Peak entry count of the shed-retry map: stays bounded by the
+  /// number of distinct requests shed at least once, never by batch
+  /// length (the memory-stability pin).
+  uint64_t RetryMapPeak = 0;
+  /// Shed-retry entries still resident after the batch; 0 after a batch
+  /// whose every request got a terminal answer (the leak pin).
+  uint64_t RetryMapLeft = 0;
+  /// DeadlineSeconds carried by the most recent resubmit (-1 = none):
+  /// for a request submitted with deadline D and resubmitted after E
+  /// seconds this is max(epsilon, D - E), never D again.
+  double LastResubmitDeadline = -1;
+  std::string LastError;
+
+  bool complete() const { return Answered == Sent; }
+};
+
+/// Sends every request in \p Requests over \p C and drives the receive /
+/// shed-resubmit loop until every request is terminally answered, the
+/// timeout expires, or the connection dies. Requests must carry unique
+/// ids.
+BatchResult runBatch(Client &C, const std::vector<Request> &Requests,
+                     const BatchOptions &O);
+
+} // namespace vbmc::serve
+
+#endif // VBMC_SERVE_BATCH_H

@@ -30,10 +30,12 @@
 #include <csignal>
 #include <cstring>
 #include <limits>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -59,7 +61,9 @@ const std::set<std::string> &knownRequestKeys() {
       "schema",        "id",          "program",       "mode",
       "backend",       "k",           "l",             "max_k",
       "threads",       "cas_allowance", "mem_limit_mb", "max_states",
-      "deadline_seconds", "priority"};
+      "deadline_seconds", "priority",  "max_conflicts",
+      "max_propagations", "phase",     "phase_seed",
+      "monotone_lemmas",  "shard"};
   return Keys;
 }
 
@@ -93,9 +97,17 @@ std::string vbmc::serve::formatRequestLine(const Request &R) {
   W.key("cas_allowance").value(R.Check.Opts.CasAllowance);
   W.key("mem_limit_mb").value(R.Check.Opts.MemLimitBytes >> 20);
   W.key("max_states").value(R.Check.Opts.MaxStates);
+  W.key("max_conflicts").value(R.Check.Opts.MaxConflicts);
+  W.key("max_propagations").value(R.Check.Opts.MaxPropagations);
+  W.key("phase").value(driver::phasePolicyName(R.Check.Opts.Phase));
+  W.key("phase_seed").value(R.Check.Opts.PhaseSeed);
+  W.key("monotone_lemmas").value(R.Check.Opts.MonotoneLemmas);
   W.key("deadline_seconds").value(R.DeadlineSeconds);
   W.key("priority").value(static_cast<int64_t>(R.Priority));
-  W.key("program").value(R.Program);
+  if (R.isShard())
+    W.key("shard").value(R.ShardJson);
+  else
+    W.key("program").value(R.Program);
   W.endObject();
   return W.str();
 }
@@ -139,11 +151,24 @@ bool vbmc::serve::parseRequestLine(const std::string &Line, Request &R,
   }
   Out.Id = Id->asString();
   const json::Value *Prog = V.get("program");
-  if (!Prog || !Prog->isString() || Prog->asString().empty()) {
-    Err = "missing or empty 'program' (required string)";
-    return false;
+  const json::Value *Shard = V.get("shard");
+  if (Shard) {
+    if (!Shard->isString() || Shard->asString().empty()) {
+      Err = "'shard' must be a non-empty string (a shard-spec document)";
+      return false;
+    }
+    if (Prog) {
+      Err = "'program' and 'shard' are mutually exclusive";
+      return false;
+    }
+    Out.ShardJson = Shard->asString();
+  } else {
+    if (!Prog || !Prog->isString() || Prog->asString().empty()) {
+      Err = "missing or empty 'program' (required string)";
+      return false;
+    }
+    Out.Program = Prog->asString();
   }
-  Out.Program = Prog->asString();
 
   if (const json::Value *M = V.get("mode")) {
     if (!M->isString() ||
@@ -214,6 +239,39 @@ bool vbmc::serve::parseRequestLine(const std::string &Line, Request &R,
     }
     Out.Priority = static_cast<int64_t>(F->asNumber());
   }
+  if (const json::Value *F = V.get("max_conflicts")) {
+    if (!readUint(*F, "max_conflicts",
+                  std::numeric_limits<int64_t>::max(), N, Err))
+      return false;
+    Out.Check.Opts.MaxConflicts = N;
+  }
+  if (const json::Value *F = V.get("max_propagations")) {
+    if (!readUint(*F, "max_propagations",
+                  std::numeric_limits<int64_t>::max(), N, Err))
+      return false;
+    Out.Check.Opts.MaxPropagations = N;
+  }
+  if (const json::Value *F = V.get("phase")) {
+    if (!F->isString() || !driver::phasePolicyFromName(
+                              F->asString(), Out.Check.Opts.Phase)) {
+      Err = "phase must be \"saved\", \"positive\", \"negative\" or "
+            "\"random\"";
+      return false;
+    }
+  }
+  if (const json::Value *F = V.get("phase_seed")) {
+    if (!readUint(*F, "phase_seed", std::numeric_limits<int64_t>::max(), N,
+                  Err))
+      return false;
+    Out.Check.Opts.PhaseSeed = N;
+  }
+  if (const json::Value *F = V.get("monotone_lemmas")) {
+    if (!F->isBool()) {
+      Err = "monotone_lemmas must be a boolean";
+      return false;
+    }
+    Out.Check.Opts.MonotoneLemmas = F->asBool();
+  }
   R = std::move(Out);
   return true;
 }
@@ -243,6 +301,8 @@ bool vbmc::serve::parseResponseLine(const std::string &Line, Response &Out,
     R.RetryAfterSeconds = F->asNumber();
   if (const json::Value *F = V.get("retries"); F && F->isNumber())
     R.Retries = static_cast<uint64_t>(F->asNumber());
+  if (const json::Value *F = V.get("cached"); F && F->isBool())
+    R.Cached = F->asBool();
   if (const json::Value *Rep = V.get("report"); Rep && Rep->isObject()) {
     R.ReportJson = json::format(*Rep);
     if (const json::Value *F = Rep->get("verdict"); F && F->isString())
@@ -264,7 +324,8 @@ std::string formatResponseLine(const std::string &Id,
                                const std::string &Status,
                                const std::string &Error, double RetryAfter,
                                uint64_t Retries,
-                               const std::string *ReportJson) {
+                               const std::string *ReportJson,
+                               bool Cached = false) {
   json::JsonWriter W;
   W.beginObject();
   W.key("schema").value(ResponseSchema);
@@ -274,6 +335,8 @@ std::string formatResponseLine(const std::string &Id,
     W.key("error").value(Error);
   if (Status == "shed")
     W.key("retry_after_seconds").value(RetryAfter);
+  if (Cached)
+    W.key("cached").value(true);
   if (ReportJson) {
     W.key("retries").value(Retries);
     W.key("report").raw(*ReportJson);
@@ -391,6 +454,18 @@ std::string failureReportLine(const Request &R, driver::Verdict V,
         Out = failureReportLine(R, driver::Verdict::Unknown,
                                 sandbox::FailureKind::None,
                                 "malformed worker wire request: " + Err);
+      } else if (R.isShard()) {
+        // Farm-client mode: run the whole shard in this worker. A crash
+        // anywhere inside it is this process dying — the supervisor
+        // classifies it and the farm client splits the shard.
+        Out = O.ShardRunner ? O.ShardRunner(R.ShardJson, R.DeadlineSeconds)
+                            : std::string();
+        if (Out.empty())
+          Out = failureReportLine(
+              R, driver::Verdict::Unknown, sandbox::FailureKind::None,
+              O.ShardRunner ? "shard runner returned no document"
+                            : "shard requests are not enabled on this "
+                              "daemon");
       } else {
         auto Parsed = ir::parseProgram(R.Program);
         if (!Parsed) {
@@ -452,6 +527,14 @@ public:
     Request Req;
     Deadline DL;
     std::shared_ptr<Connection> Client;
+    /// driver::verdictCacheKey of the parsed program; empty when the
+    /// request is not cacheable (shards, cache disabled). The success
+    /// path inserts the report under this key.
+    std::string CacheKey;
+    /// Hash of driver::encodingCacheKey — the affinity handle matching
+    /// what a worker Engine's encoding LRU would hold. 0 = no affinity
+    /// (shards, non-incremental modes).
+    uint64_t AKey = 0;
   };
 
   /// Max-heap order: priority, then least remaining deadline, then FIFO.
@@ -472,6 +555,11 @@ public:
     uint64_t ServedSinceSpawn = 0;
     unsigned ConsecutiveDeaths = 0;
     bool Broken = false;
+    /// Affinity model of the worker's Engine encoding-LRU: the AKeys of
+    /// the incremental jobs this slot ran since its last (re)spawn,
+    /// MRU-first, bounded by O.CacheEntries. Guarded by QueueM (it is
+    /// read by every slot's scheduling decision).
+    std::vector<uint64_t> Warm;
   };
 
   ServerOptions O;
@@ -497,6 +585,52 @@ public:
   std::atomic<uint64_t> InFlight{0};
   std::mutex PeakM;
   uint64_t InFlightPeak = 0;
+
+  /// The cross-request verdict cache: an LRU over verdictCacheKey whose
+  /// values are the worker's full report documents, answered from the
+  /// accept path without touching the queue. Only conclusive,
+  /// failure-free, first-attempt, non-reduced-bounds verdicts enter, so
+  /// a hit never replays a budget- or luck-dependent answer.
+  struct VerdictEntry {
+    std::string Key;
+    std::string ReportJson;
+    std::string Verdict;
+  };
+  std::mutex VCacheM;
+  std::list<VerdictEntry> VCache; ///< MRU first.
+  std::unordered_map<std::string, std::list<VerdictEntry>::iterator>
+      VCacheIndex;
+  std::atomic<uint64_t> CacheHits{0}, CacheMisses{0}, CacheEvictions{0};
+  std::atomic<uint64_t> AffinityHits{0}, AffinityMisses{0};
+
+  /// Looks up \p Key, touching the entry MRU on a hit. The report is
+  /// copied out (entries can be evicted by other threads the moment the
+  /// lock drops).
+  bool verdictCacheLookup(const std::string &Key, VerdictEntry &Out) {
+    std::lock_guard<std::mutex> L(VCacheM);
+    auto It = VCacheIndex.find(Key);
+    if (It == VCacheIndex.end())
+      return false;
+    VCache.splice(VCache.begin(), VCache, It->second);
+    Out = *It->second;
+    return true;
+  }
+
+  void verdictCacheInsert(VerdictEntry E) {
+    if (O.VerdictCacheEntries == 0)
+      return;
+    std::lock_guard<std::mutex> L(VCacheM);
+    if (VCacheIndex.count(E.Key))
+      return; // A racing identical request already inserted it.
+    while (VCache.size() >= O.VerdictCacheEntries) {
+      VCacheIndex.erase(VCache.back().Key);
+      VCache.pop_back();
+      CacheEvictions.fetch_add(1);
+      Stats.addCount("serve.cache.evictions");
+    }
+    VCache.push_front(std::move(E));
+    VCacheIndex.emplace(VCache.front().Key, VCache.begin());
+  }
 
   std::mutex TallyM;
   std::map<std::string, uint64_t> Verdicts, Failures;
@@ -531,6 +665,13 @@ public:
     S.Pid = Pid;
     S.Chan = sockets::LineChannel(std::move(ParentEnd));
     S.ServedSinceSpawn = 0;
+    {
+      // A fresh worker starts with a cold Engine: forget the affinity
+      // model or repeat keys would keep routing to a slot that lost its
+      // encodings with the old process.
+      std::lock_guard<std::mutex> L(QueueM);
+      S.Warm.clear();
+    }
     return true;
   }
 
@@ -662,6 +803,16 @@ public:
         if (const json::Value *F = Rep.get("failure"); F && F->isString())
           Failure = F->asString();
         tally(Verdict, Failure);
+        // Feed the cross-request verdict cache — but only with answers a
+        // repeat request is guaranteed to reproduce: a conclusive
+        // verdict, from the first attempt (retries run at halved
+        // bounds), with no classified failure and not recovered at
+        // reduced bounds after a memory kill.
+        if (!J.CacheKey.empty() && Attempt == 0 &&
+            (Verdict == "safe" || Verdict == "unsafe") &&
+            (Failure.empty() || Failure == "none") &&
+            Out.find("recovered at reduced bounds") == std::string::npos)
+          verdictCacheInsert(VerdictEntry{J.CacheKey, Out, Verdict});
         answer(J, formatResponseLine(J.Req.Id, "ok", "", 0, Attempt, &Out));
         return;
       }
@@ -674,10 +825,13 @@ public:
                       "killed on the request deadline", Attempt);
         return;
       }
-      // EOF / error: the worker died underneath the request.
+      // EOF / error: the worker died underneath the request. Shard
+      // requests are never retried at halved bounds — the classified
+      // failure goes straight back so the farm client can split the
+      // shard and requeue the halves (its fault-isolation contract).
       sandbox::FailureKind Kind = reapWorker(S, /*DeadlineKill=*/false);
-      if (Attempt + 1 < MaxAttempts && J.DL.remainingSeconds() > 0 &&
-          !S.Broken) {
+      if (!J.Req.isShard() && Attempt + 1 < MaxAttempts &&
+          J.DL.remainingSeconds() > 0 && !S.Broken) {
         Retries.fetch_add(1);
         Stats.addCount("serve.retries");
         // Halved bounds: the retry must be cheaper than the attempt that
@@ -696,10 +850,47 @@ public:
     }
   }
 
+  /// Affinity classes for one job as seen from slot \p Idx: 2 = warm
+  /// here (the worker's Engine likely still holds the encoding), 1 = no
+  /// affinity anywhere (fresh key, shard, non-incremental), 0 = warm on
+  /// some *other* live slot. Called under QueueM; returns the
+  /// JobOrder-best job of the best class.
+  size_t pickJobIndex(unsigned Idx, int &BestClass) {
+    auto warmOn = [&](uint64_t AKey, unsigned SlotIdx) {
+      const Slot &T = Slots[SlotIdx];
+      return !T.Broken &&
+             std::find(T.Warm.begin(), T.Warm.end(), AKey) != T.Warm.end();
+    };
+    auto classify = [&](const Job &J) {
+      if (J.AKey == 0)
+        return 1;
+      if (warmOn(J.AKey, Idx))
+        return 2;
+      for (unsigned T = 0; T < Slots.size(); ++T)
+        if (T != Idx && warmOn(J.AKey, T))
+          return 0;
+      return 1;
+    };
+    size_t Best = 0;
+    BestClass = classify(Queue[0]);
+    for (size_t I = 1; I < Queue.size(); ++I) {
+      int C = classify(Queue[I]);
+      if (C > BestClass ||
+          (C == BestClass && JobOrder()(Queue[Best], Queue[I]))) {
+        Best = I;
+        BestClass = C;
+      }
+    }
+    return Best;
+  }
+
   void slotLoop(unsigned Idx) {
     Slot &S = Slots[Idx];
+    unsigned DeferRounds = 0;
     for (;;) {
       Job J;
+      bool AffinityHit = false;
+      bool AffinityRelevant = false;
       {
         std::unique_lock<std::mutex> L(QueueM);
         QueueCv.wait(L, [&] {
@@ -707,9 +898,46 @@ public:
         });
         if (Queue.empty())
           return;
-        std::pop_heap(Queue.begin(), Queue.end(), JobOrder());
-        J = std::move(Queue.back());
+        int BestClass = 0;
+        size_t Pick = pickJobIndex(Idx, BestClass);
+        if (BestClass == 0 && DeferRounds < 2 && !DrainComplete.load()) {
+          // Everything runnable is warm on another slot: give the warm
+          // owner a beat to claim its key before stealing. Bounded, so
+          // a busy (or broken-and-cleared) owner cannot starve the
+          // queue; draining skips the courtesy entirely.
+          ++DeferRounds;
+          QueueCv.wait_for(L, std::chrono::milliseconds(25));
+          continue;
+        }
+        DeferRounds = 0;
+        J = std::move(Queue[Pick]);
+        Queue[Pick] = std::move(Queue.back());
         Queue.pop_back();
+        std::make_heap(Queue.begin(), Queue.end(), JobOrder());
+        if (J.AKey != 0) {
+          AffinityRelevant = true;
+          AffinityHit = BestClass == 2;
+          // Update the affinity model at dispatch, MRU-first, bounded by
+          // the worker Engine's own LRU capacity so the model evicts
+          // when the real cache would.
+          auto It = std::find(S.Warm.begin(), S.Warm.end(), J.AKey);
+          if (It != S.Warm.end())
+            S.Warm.erase(It);
+          S.Warm.insert(S.Warm.begin(), J.AKey);
+          // The Engine clamps its capacity to >= 1; mirror that here.
+          size_t WarmCap = O.CacheEntries ? O.CacheEntries : 1;
+          if (S.Warm.size() > WarmCap)
+            S.Warm.resize(WarmCap);
+        }
+      }
+      if (AffinityRelevant) {
+        if (AffinityHit) {
+          AffinityHits.fetch_add(1);
+          Stats.addCount("serve.affinity.hits");
+        } else {
+          AffinityMisses.fetch_add(1);
+          Stats.addCount("serve.affinity.misses");
+        }
       }
       InFlight.fetch_add(1);
       {
@@ -738,15 +966,34 @@ public:
       C->write(formatResponseLine(Id, "rejected", Err, 0, 0, nullptr));
       return;
     }
-    auto Parsed = ir::parseProgram(R.Program);
-    if (!Parsed) {
-      Rejected.fetch_add(1);
-      Stats.addCount("serve.rejected");
-      C->write(formatResponseLine(R.Id, "rejected",
-                                  "program parse error: " +
-                                      Parsed.error().str(),
-                                  0, 0, nullptr));
-      return;
+    std::string CacheKey;
+    uint64_t AKey = 0;
+    if (R.isShard()) {
+      if (!O.ShardRunner) {
+        Rejected.fetch_add(1);
+        Stats.addCount("serve.rejected");
+        C->write(formatResponseLine(
+            R.Id, "rejected",
+            "shard requests are not enabled on this daemon", 0, 0,
+            nullptr));
+        return;
+      }
+    } else {
+      auto Parsed = ir::parseProgram(R.Program);
+      if (!Parsed) {
+        Rejected.fetch_add(1);
+        Stats.addCount("serve.rejected");
+        C->write(formatResponseLine(R.Id, "rejected",
+                                    "program parse error: " +
+                                        Parsed.error().str(),
+                                    0, 0, nullptr));
+        return;
+      }
+      if (O.VerdictCacheEntries > 0)
+        CacheKey = driver::verdictCacheKey(*Parsed, R.Check);
+      if (R.Check.Mode == driver::EngineMode::Incremental)
+        AKey = std::hash<std::string>{}(
+            driver::encodingCacheKey(*Parsed, R.Check));
     }
     if (Draining.load()) {
       Shed.fetch_add(1);
@@ -754,6 +1001,26 @@ public:
       C->write(
           formatResponseLine(R.Id, "shed", "draining", 1.0, 0, nullptr));
       return;
+    }
+    if (!CacheKey.empty()) {
+      VerdictEntry Hit;
+      if (verdictCacheLookup(CacheKey, Hit)) {
+        // Answer from the accept path: the request is accounted as
+        // accepted-and-answered without ever touching the queue or a
+        // worker, and the response says so with "cached":true.
+        CacheHits.fetch_add(1);
+        Stats.addCount("serve.cache.hits");
+        Accepted.fetch_add(1);
+        Stats.addCount("serve.accepted");
+        tally(Hit.Verdict, "");
+        C->write(formatResponseLine(R.Id, "ok", "", 0, 0, &Hit.ReportJson,
+                                    /*Cached=*/true));
+        Answered.fetch_add(1);
+        Stats.addCount("serve.answered");
+        return;
+      }
+      CacheMisses.fetch_add(1);
+      Stats.addCount("serve.cache.misses");
     }
     {
       std::lock_guard<std::mutex> L(QueueM);
@@ -774,6 +1041,8 @@ public:
                                             : O.DefaultDeadlineSeconds);
       J.Req = std::move(R);
       J.Client = C;
+      J.CacheKey = std::move(CacheKey);
+      J.AKey = AKey;
       C->Pending.fetch_add(1);
       Accepted.fetch_add(1);
       Stats.addCount("serve.accepted");
@@ -781,7 +1050,9 @@ public:
       std::push_heap(Queue.begin(), Queue.end(), JobOrder());
       QueuePeak = std::max(QueuePeak, (uint64_t)Queue.size());
     }
-    QueueCv.notify_one();
+    // All slots wake: affinity selection wants the *warm* slot to see
+    // the job, and a notify_one could rouse only a cold one.
+    QueueCv.notify_all();
   }
 
   void readerLoop(std::shared_ptr<Connection> C) {
@@ -974,6 +1245,16 @@ public:
     Sum.Retries = Retries.load();
     Sum.WorkerRestarts = Restarts.load();
     Sum.BreakerTrips = BreakerTrips.load();
+    Sum.CacheHits = CacheHits.load();
+    Sum.CacheMisses = CacheMisses.load();
+    Sum.CacheEvictions = CacheEvictions.load();
+    Sum.CacheCapacity = O.VerdictCacheEntries;
+    {
+      std::lock_guard<std::mutex> L(VCacheM);
+      Sum.CacheEntriesUsed = VCache.size();
+    }
+    Sum.AffinityHits = AffinityHits.load();
+    Sum.AffinityMisses = AffinityMisses.load();
     {
       std::lock_guard<std::mutex> L(QueueM);
       Sum.QueuePeak = QueuePeak;
@@ -1015,6 +1296,17 @@ public:
     W.key("breaker_trips").value(Sum.BreakerTrips);
     W.key("queue_depth_peak").value(Sum.QueuePeak);
     W.key("in_flight_peak").value(Sum.InFlightPeak);
+    W.key("cache").beginObject();
+    W.key("capacity").value(Sum.CacheCapacity);
+    W.key("entries").value(Sum.CacheEntriesUsed);
+    W.key("hits").value(Sum.CacheHits);
+    W.key("misses").value(Sum.CacheMisses);
+    W.key("evictions").value(Sum.CacheEvictions);
+    W.endObject();
+    W.key("affinity").beginObject();
+    W.key("hits").value(Sum.AffinityHits);
+    W.key("misses").value(Sum.AffinityMisses);
+    W.endObject();
     W.key("drain").beginObject();
     W.key("requested").value(Sum.DrainRequested);
     W.key("reason").value(Sum.DrainReason);

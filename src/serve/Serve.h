@@ -38,6 +38,7 @@
 #include "vbmc/Engine.h"
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -60,6 +61,15 @@ struct Request {
   double DeadlineSeconds = 0;
   /// Higher runs first; ties go to the earlier deadline, then FIFO.
   int64_t Priority = 0;
+  /// Farm-client mode: an opaque shard spec (vbmc-farm-shard-spec/v1
+  /// JSON) executed by the daemon's ShardRunner instead of a single
+  /// program check. Mutually exclusive with Program. Shard requests
+  /// bypass the verdict cache, affinity and the halved-bounds retry — a
+  /// worker death is classified and reported so the client can
+  /// split-and-requeue.
+  std::string ShardJson;
+
+  bool isShard() const { return !ShardJson.empty(); }
 };
 
 /// Renders \p R as one normalized request line (every field explicit).
@@ -88,7 +98,11 @@ struct Response {
   /// From the embedded report: "none" | "crash" | "oom" | "timeout" | "exit".
   std::string Failure;
   /// The embedded vbmc-run-report/v1 document, verbatim ("" unless ok).
+  /// Shard requests embed a vbmc-farm-shard/v1 document instead.
   std::string ReportJson;
+  /// True when the answer came from the supervisor's cross-request
+  /// verdict cache (no worker touched it; Retries is 0).
+  bool Cached = false;
 };
 
 /// Parses one response line; false with \p Err on malformed input.
@@ -115,6 +129,20 @@ struct ServerOptions {
   unsigned BreakerThreshold = 5;
   /// Encoding-cache capacity of each worker's Engine.
   size_t CacheEntries = 16;
+  /// Capacity of the supervisor's cross-request verdict cache (0 =
+  /// disabled). Keys are driver::verdictCacheKey over the parsed program
+  /// and the full solve-relevant option tuple; only conclusive
+  /// (safe/unsafe, failure-free, non-reduced-bounds) first-attempt
+  /// verdicts are inserted, so a hit is sound regardless of the budget
+  /// the repeat request brings.
+  size_t VerdictCacheEntries = 256;
+  /// Executes a shard request's spec inside a worker and returns the
+  /// vbmc-farm-shard/v1 result document (empty string = internal error).
+  /// Left empty, shard requests are rejected at admission. Wired up by
+  /// tool mains that link the farm library (farm::runShardSpec).
+  std::function<std::string(const std::string &ShardJson,
+                            double DeadlineSeconds)>
+      ShardRunner;
   /// Drain automatically once this many accepted requests were answered
   /// (0 = only on request; used by tests and benches).
   uint64_t DrainAfterRequests = 0;
@@ -136,6 +164,14 @@ struct ServerSummary {
   uint64_t BreakerTrips = 0;
   uint64_t QueuePeak = 0;
   uint64_t InFlightPeak = 0;
+  uint64_t CacheHits = 0;      ///< Answered from the verdict cache.
+  uint64_t CacheMisses = 0;    ///< Cacheable lookups that missed.
+  uint64_t CacheEvictions = 0; ///< Capacity-pressure evictions.
+  uint64_t CacheEntriesUsed = 0; ///< Entries resident at drain.
+  uint64_t CacheCapacity = 0;    ///< Configured capacity.
+  uint64_t AffinityHits = 0;   ///< Dispatches to a slot already warm
+                               ///< for the job's encoding key.
+  uint64_t AffinityMisses = 0; ///< Dispatches that had to cold-start.
   std::map<std::string, uint64_t> Verdicts; ///< verdict name -> count.
   std::map<std::string, uint64_t> Failures; ///< failure name -> count (faults only).
   bool DrainRequested = false;

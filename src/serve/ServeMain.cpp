@@ -17,6 +17,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "farm/FarmClient.h"
+#include "serve/Batch.h"
 #include "serve/Client.h"
 #include "serve/Serve.h"
 #include "support/Cli.h"
@@ -59,6 +61,8 @@ void printUsage() {
       "                      slot's circuit breaker trips (default 5)\n"
       "  --cache-entries N   per-worker Engine encoding-cache capacity\n"
       "                      (default 16)\n"
+      "  --verdict-cache N   supervisor cross-request verdict cache\n"
+      "                      capacity (default 256; 0 disables)\n"
       "  --drain-after N     drain once N requests were answered\n"
       "                      (default 0 = only on signal; for tests)\n"
       "  --report-json FILE|-  write the vbmc-serve-summary/v1 document\n"
@@ -91,8 +95,16 @@ int runDaemon(const CommandLine &CL) {
   O.BackoffSeconds = CL.getDouble("backoff", 0.05);
   O.BreakerThreshold = static_cast<unsigned>(CL.getInt("breaker", 5));
   O.CacheEntries = static_cast<size_t>(CL.getInt("cache-entries", 16));
+  O.VerdictCacheEntries =
+      static_cast<size_t>(CL.getInt("verdict-cache", 256));
   O.DrainAfterRequests =
       static_cast<uint64_t>(CL.getInt("drain-after", 0));
+  // Shard requests (vbmc-farm/vbmc-fuzz --connect) run whole universe
+  // shards inside the workers; the tool wires the farm runner in, the
+  // library stays farm-agnostic.
+  O.ShardRunner = [](const std::string &Spec, double DeadlineSeconds) {
+    return farm::runShardSpec(Spec, DeadlineSeconds);
+  };
   std::string TracePath = CL.getString("trace-out");
   O.EnableTrace = !TracePath.empty();
   const bool Quiet = CL.hasFlag("quiet");
@@ -176,7 +188,7 @@ int runClient(const CommandLine &CL) {
     return 2;
   }
 
-  std::map<std::string, Request> Pending;
+  std::vector<Request> Batch;
   for (uint64_t Round = 0; Round < Repeat; ++Round) {
     for (size_t F = 0; F < Files.size(); ++F) {
       const std::string &File = Files[F];
@@ -190,92 +202,36 @@ int runClient(const CommandLine &CL) {
       Request R = Base;
       R.Program = Text.str();
       R.Id = File + "#" + std::to_string(Round) + "." + std::to_string(F);
-      Pending[R.Id] = R;
+      Batch.push_back(std::move(R));
     }
   }
-  const uint64_t Sent = Pending.size();
-  for (const auto &KV : Pending)
-    if (!C.send(KV.second)) {
-      std::fprintf(stderr, "vbmc-serve: daemon went away mid-send\n");
-      return 1;
-    }
 
-  // Shed responses are not final: honor the daemon's retry-after hint and
-  // resubmit, bounded per request so a daemon stuck in drain cannot loop
-  // the batch forever. Resubmits are queued with a due time rather than
-  // slept on inline, so a burst of sheds never stalls the receive loop.
-  const uint64_t MaxShedRetries =
+  // The shed-resubmit / deadline bookkeeping lives in serve::runBatch
+  // (shared with the farm/fuzz client mode); this loop just prints.
+  BatchOptions BO;
+  BO.TimeoutSeconds = RecvTimeout;
+  BO.MaxShedRetries =
       static_cast<uint64_t>(CL.getInt("max-shed-retries", 32));
-  std::map<std::string, uint64_t> ShedRetries;
-  std::vector<std::pair<std::chrono::steady_clock::time_point, std::string>>
-      Resubmit;
-  const auto Start = std::chrono::steady_clock::now();
-  auto secondsLeft = [&] {
-    return RecvTimeout - std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - Start)
-                             .count();
-  };
-  uint64_t Got = 0, NotOk = 0;
-  Response R;
-  while (Got < Sent) {
-    // Fire every resubmit that has come due.
-    const auto Now = std::chrono::steady_clock::now();
-    bool SendFailed = false;
-    for (size_t I = 0; I < Resubmit.size();) {
-      if (Resubmit[I].first > Now) {
-        ++I;
-        continue;
-      }
-      auto It = Pending.find(Resubmit[I].second);
-      if (It == Pending.end() || !C.send(It->second))
-        SendFailed = true;
-      Resubmit[I] = Resubmit.back();
-      Resubmit.pop_back();
-    }
-    double Left = secondsLeft();
-    if (Left <= 0 || SendFailed)
-      break;
-    double Poll = std::min(Left, 0.25);
-    if (!C.receive(R, Poll, &Err)) {
-      if (Err == "timeout")
-        continue;
-      if (!Resubmit.empty()) {
-        // Connection is unhealthy but resubmits are queued; give them a
-        // chance to fire (their send failing ends the loop).
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
-        continue;
-      }
-      break;
-    }
-    if (R.Status == "shed" && ShedRetries[R.Id]++ < MaxShedRetries &&
-        Pending.count(R.Id)) {
-      double Wait = std::min(std::max(R.RetryAfterSeconds, 0.01), 5.0);
-      Resubmit.emplace_back(std::chrono::steady_clock::now() +
-                                std::chrono::duration_cast<
-                                    std::chrono::steady_clock::duration>(
-                                    std::chrono::duration<double>(Wait)),
-                            R.Id);
-      continue;
-    }
-    ++Got;
-    if (R.Status != "ok")
-      ++NotOk;
-    std::printf("%s\t%s\t%s%s%s\n", R.Id.c_str(), R.Status.c_str(),
+  BO.OnResponse = [](const Response &R) {
+    std::printf("%s\t%s\t%s%s%s%s\n", R.Id.c_str(), R.Status.c_str(),
                 R.Status == "ok" ? R.Verdict.c_str() : R.Error.c_str(),
                 R.Failure.empty() || R.Failure == "none" ? "" : "\tfailure=",
                 R.Failure.empty() || R.Failure == "none" ? ""
-                                                         : R.Failure.c_str());
-  }
-  if (Got < Sent) {
+                                                         : R.Failure.c_str(),
+                R.Cached ? "\tcached" : "");
+  };
+  BatchResult BR = runBatch(C, Batch, BO);
+  if (!BR.complete()) {
     std::fprintf(stderr,
                  "vbmc-serve: %llu of %llu responses missing (last: %s)\n",
-                 static_cast<unsigned long long>(Sent - Got),
-                 static_cast<unsigned long long>(Sent), Err.c_str());
+                 static_cast<unsigned long long>(BR.Sent - BR.Answered),
+                 static_cast<unsigned long long>(BR.Sent),
+                 BR.LastError.c_str());
     return 1;
   }
   std::fprintf(stderr, "vbmc-serve: %llu responses (%llu not ok)\n",
-               static_cast<unsigned long long>(Got),
-               static_cast<unsigned long long>(NotOk));
+               static_cast<unsigned long long>(BR.Answered),
+               static_cast<unsigned long long>(BR.NotOk));
   return 0;
 }
 
@@ -289,7 +245,8 @@ int runMain(int Argc, char **Argv) {
   std::vector<std::string> Unknown = CL.unknownFlags(
       {"socket", "workers", "queue-cap", "max-line-bytes",
        "default-deadline", "no-retry", "backoff", "breaker", "cache-entries",
-       "drain-after", "report-json", "trace-out", "quiet", "connect",
+       "verdict-cache", "drain-after", "report-json", "trace-out", "quiet",
+       "connect",
        "connect-timeout", "mode", "k", "l", "max-k", "threads", "deadline",
        "priority", "repeat", "timeout", "max-shed-retries", "inject-fault",
        "help"});

@@ -89,6 +89,70 @@ Verdict vbmc::driver::verdictFromName(const std::string &Name) {
   return Verdict::Unknown;
 }
 
+const char *vbmc::driver::phasePolicyName(PhasePolicy P) {
+  switch (P) {
+  case PhasePolicy::Saved:
+    return "saved";
+  case PhasePolicy::Positive:
+    return "positive";
+  case PhasePolicy::Negative:
+    return "negative";
+  case PhasePolicy::Random:
+    return "random";
+  }
+  return "saved";
+}
+
+bool vbmc::driver::phasePolicyFromName(const std::string &Name,
+                                       PhasePolicy &P) {
+  if (Name == "saved")
+    P = PhasePolicy::Saved;
+  else if (Name == "positive")
+    P = PhasePolicy::Positive;
+  else if (Name == "negative")
+    P = PhasePolicy::Negative;
+  else if (Name == "random")
+    P = PhasePolicy::Random;
+  else
+    return false;
+  return true;
+}
+
+std::string vbmc::driver::encodingCacheKey(const ir::Program &P,
+                                           const CheckRequest &Req) {
+  const VbmcOptions &O = Req.Opts;
+  // PhaseSeed only disambiguates Random polarities; canonicalize it to 0
+  // otherwise so e.g. `--phase saved --phase-seed 7` still shares the
+  // default encoding.
+  uint64_t Seed = O.Phase == PhasePolicy::Random ? O.PhaseSeed : 0;
+  return "maxk=" + std::to_string(Req.MaxK) +
+         "|l=" + std::to_string(O.L) +
+         "|cas=" + std::to_string(O.CasAllowance) +
+         "|mem=" + std::to_string(O.MemLimitBytes) +
+         "|conf=" + std::to_string(O.MaxConflicts) +
+         "|prop=" + std::to_string(O.MaxPropagations) +
+         "|phase=" + phasePolicyName(O.Phase) +
+         "|seed=" + std::to_string(Seed) +
+         "|mono=" + (O.MonotoneLemmas ? "1" : "0") + "|" +
+         ir::printProgram(P);
+}
+
+std::string vbmc::driver::verdictCacheKey(const ir::Program &P,
+                                          const CheckRequest &Req) {
+  const VbmcOptions &O = Req.Opts;
+  // Strategy fields first, then the full encoding identity (which already
+  // ends with the program text). Budget/deadline/isolation knobs are
+  // deliberately absent: callers must only cache conclusive verdicts, and
+  // those are budget-independent.
+  return "mode=" + std::string(engineModeName(Req.Mode)) +
+         "|backend=" + (O.Backend == BackendKind::Sat ? "sat" : "explicit") +
+         "|k=" + std::to_string(O.K) +
+         "|threads=" + std::to_string(Req.Threads) +
+         "|maxstates=" + std::to_string(O.MaxStates) +
+         "|sow=" + (O.SwitchOnlyAfterWrite ? "1" : "0") + "|" +
+         encodingCacheKey(P, Req);
+}
+
 namespace {
 
 //===----------------------------------------------------------------------===//
@@ -553,12 +617,10 @@ public:
   using CacheList = std::list<CacheEntry>;
 
   static std::string cacheKey(const ir::Program &P, const CheckRequest &Req) {
-    const VbmcOptions &O = Req.Opts;
-    return "maxk=" + std::to_string(Req.MaxK) +
-           "|l=" + std::to_string(O.L) +
-           "|cas=" + std::to_string(O.CasAllowance) +
-           "|mem=" + std::to_string(O.MemLimitBytes) + "|" +
-           ir::printProgram(P);
+    // The canonical key is shared with vbmc-serve (affinity scheduling
+    // keys on the same string); keep every solve-relevant option in it —
+    // see encodingCacheKey's contract.
+    return encodingCacheKey(P, Req);
   }
 
   /// Finds and touches the entry for \p Key; null on miss. The returned
@@ -667,6 +729,26 @@ vbmc::driver::Engine::Impl::runIncremental(const ir::Program &P,
       BO.ContextBound = TR.ContextBound;
       BO.ValueWidth = satValueWidth(TR.Prog);
       BO.MemLimitBytes = Opts.MemLimitBytes;
+      // IncrementalBmc captures BO by value, so every per-solve knob set
+      // here is frozen into the cached encoding — which is exactly why
+      // each of these participates in encodingCacheKey.
+      BO.B.Conflicts = Opts.MaxConflicts;
+      BO.B.Propagations = Opts.MaxPropagations;
+      switch (Opts.Phase) {
+      case PhasePolicy::Positive:
+        BO.Phase = sat::PhaseMode::Positive;
+        break;
+      case PhasePolicy::Negative:
+        BO.Phase = sat::PhaseMode::Negative;
+        break;
+      case PhasePolicy::Random:
+        BO.Phase = sat::PhaseMode::Random;
+        break;
+      case PhasePolicy::Saved:
+        BO.Phase = sat::PhaseMode::Saved;
+        break;
+      }
+      BO.PhaseSeed = Opts.PhaseSeed;
       BO.Ctx = &Ctx;
       bmc::IncrementalSpec Spec;
       Spec.BudgetVar = TR.SRaVar;
@@ -689,10 +771,14 @@ vbmc::driver::Engine::Impl::runIncremental(const ir::Program &P,
       // Monotone instrumentation counters get redundant per-round
       // monotonicity lemmas so the selectors' final-value bounds
       // propagate instead of being re-derived by conflicts per budget.
-      Spec.MonotoneVars.push_back(TR.SRaVar);
-      for (const auto &PerVar : TR.UsedStampVars)
-        Spec.MonotoneVars.insert(Spec.MonotoneVars.end(), PerVar.begin(),
-                                 PerVar.end());
+      // --no-monotone-lemmas drops them (a pure performance ablation:
+      // the lemmas are redundant, so verdicts cannot change).
+      if (Opts.MonotoneLemmas) {
+        Spec.MonotoneVars.push_back(TR.SRaVar);
+        for (const auto &PerVar : TR.UsedStampVars)
+          Spec.MonotoneVars.insert(Spec.MonotoneVars.end(), PerVar.begin(),
+                                   PerVar.end());
+      }
       auto Inc =
           std::make_unique<bmc::IncrementalBmc>(TR.Prog, BO, Spec);
       Ctx.stats().addCount("engine.incremental.encodes");

@@ -41,6 +41,26 @@ enum class BackendKind {
   Sat,      ///< BMC pipeline (unroll + sequentialize + CDCL SAT).
 };
 
+/// Driver-level mirror of sat::PhaseMode: how the CDCL solver picks the
+/// polarity of a fresh decision. Lives here (not in sat/) so the driver
+/// and serve layers can key caches on it without pulling in the solver
+/// headers.
+enum class PhasePolicy {
+  Saved,    ///< Remember and reuse the last assigned polarity (default).
+  Positive, ///< Always decide true first.
+  Negative, ///< Always decide false first.
+  Random,   ///< Per-variable pseudo-random polarity seeded by PhaseSeed.
+};
+
+/// Canonical lowercase names for PhasePolicy: "saved", "positive",
+/// "negative", "random". Used by `vbmc --phase`, the serve wire format,
+/// and the cache keys.
+const char *phasePolicyName(PhasePolicy P);
+
+/// Parses a canonical phase-policy name; returns false (leaving \p P
+/// untouched) on anything else.
+bool phasePolicyFromName(const std::string &Name, PhasePolicy &P);
+
 struct VbmcOptions {
   /// View-switch budget K.
   uint32_t K = 2;
@@ -72,6 +92,23 @@ struct VbmcOptions {
   /// reduced-bound verdict is flagged in the result note, since it covers
   /// a smaller execution subset.
   bool RetryReduced = true;
+  /// Per-solver-call conflict cap for the Sat backend (0 = unlimited). A
+  /// capped solve that runs out answers Unknown, so the cap is
+  /// solve-relevant and participates in both cache keys.
+  uint64_t MaxConflicts = 0;
+  /// Per-solver-call propagation cap for the Sat backend (0 = unlimited);
+  /// a deterministic work measure, same caveat as MaxConflicts.
+  uint64_t MaxPropagations = 0;
+  /// CDCL decision-polarity policy (Sat backend).
+  PhasePolicy Phase = PhasePolicy::Saved;
+  /// Seed for PhasePolicy::Random; ignored by the other policies (and
+  /// canonicalized to 0 in the cache keys when ignored).
+  uint64_t PhaseSeed = 0;
+  /// Incremental mode: assert the redundant monotonicity lemmas (budget
+  /// variable + used-stamp chains) when encoding. Off changes the clause
+  /// database the persistent solver carries across K, so the toggle is
+  /// part of the encoding identity.
+  bool MonotoneLemmas = true;
 };
 
 enum class Verdict {
@@ -208,6 +245,25 @@ public:
 private:
   std::unique_ptr<Impl> I;
 };
+
+/// Canonical identity of the persistent encoding the Engine's LRU holds
+/// for (\p P, \p Req): the printed program text plus every option that
+/// shapes the max-K encoding or the per-budget solves (MaxK, L,
+/// CasAllowance, MemLimitBytes, the solver budget caps, the phase policy
+/// and the monotone-lemma toggle). Two requests with equal keys may share
+/// an encoding soundly; any solve-relevant option added later MUST be
+/// folded in here (CacheKeyTest mutates each field and asserts a miss).
+/// Shared with vbmc-serve's worker-affinity scheduler.
+std::string encodingCacheKey(const ir::Program &P, const CheckRequest &Req);
+
+/// Canonical identity of a *verdict* for (\p P, \p Req):
+/// encodingCacheKey plus the strategy fields (mode, backend, K, threads,
+/// state cap, scheduling optimization). Two requests with equal keys are
+/// guaranteed the same conclusive verdict, so vbmc-serve may answer the
+/// second from its cross-request cache. Budget/deadline/isolation fields
+/// are deliberately excluded: only conclusive, budget-independent
+/// verdicts are ever cached.
+std::string verdictCacheKey(const ir::Program &P, const CheckRequest &Req);
 
 /// Bit width the Sat backend would pick for \p P (headroom-audited over
 /// every literal constant). Exposed so the incremental engine encodes at

@@ -46,6 +46,20 @@ void auditBody(const std::vector<ir::Stmt> &Body, int64_t &MaxAbs) {
   }
 }
 
+sat::PhaseMode toSatPhase(PhasePolicy P) {
+  switch (P) {
+  case PhasePolicy::Positive:
+    return sat::PhaseMode::Positive;
+  case PhasePolicy::Negative:
+    return sat::PhaseMode::Negative;
+  case PhasePolicy::Random:
+    return sat::PhaseMode::Random;
+  case PhasePolicy::Saved:
+    break;
+  }
+  return sat::PhaseMode::Saved;
+}
+
 } // namespace
 
 /// Picks a bit width with headroom: enough for every literal constant in
@@ -74,6 +88,10 @@ CheckReport vbmc::driver::runSatBackend(const ir::Program &Translated,
   BO.ContextBound = ContextBound;
   BO.ValueWidth = satValueWidth(Translated);
   BO.B.Seconds = Opts.BudgetSeconds;
+  BO.B.Conflicts = Opts.MaxConflicts;
+  BO.B.Propagations = Opts.MaxPropagations;
+  BO.Phase = toSatPhase(Opts.Phase);
+  BO.PhaseSeed = Opts.PhaseSeed;
   // The engine's memory ceiling caps the encoding in-process: a circuit
   // outgrowing it aborts with a classified OutOfMemory (no bad_alloc),
   // which the driver's retry policy may then re-attempt at reduced

@@ -75,6 +75,17 @@ void printUsage() {
       "                     address-space headroom). 0 = unlimited\n"
       "  --no-retry         disable the one retry at reduced bounds after\n"
       "                     a memory-killed attempt\n"
+      "  --max-conflicts N  per-solver-call conflict cap (sat backend;\n"
+      "                     0 = unlimited)\n"
+      "  --max-propagations N\n"
+      "                     per-solver-call propagation cap (sat backend;\n"
+      "                     0 = unlimited)\n"
+      "  --phase MODE       saved | positive | negative | random — CDCL\n"
+      "                     decision-polarity policy (default saved)\n"
+      "  --phase-seed N     seed for --phase random\n"
+      "  --no-monotone-lemmas\n"
+      "                     incremental mode: skip the redundant\n"
+      "                     monotonicity lemmas (performance ablation)\n"
       "  --stats            dump per-stage counters/timers after the "
       "verdict\n"
       "  --report-json F    write a structured JSON run report (verdict,\n"
@@ -139,7 +150,7 @@ int runMain(int Argc, char **Argv) {
       Argc, Argv,
       {"portfolio", "stats", "dump-translation", "show-trace",
        "ra-reference", "iterative", "incremental", "no-incremental",
-       "isolate", "no-retry", "help"});
+       "isolate", "no-retry", "no-monotone-lemmas", "help"});
   if (CL.hasFlag("help") || CL.positionals().size() != 1) {
     printUsage();
     return CL.hasFlag("help") ? 0 : ExitUsage;
@@ -173,6 +184,18 @@ int runMain(int Argc, char **Argv) {
   Opts.MemLimitBytes =
       static_cast<uint64_t>(CL.getInt("mem-limit-mb", 0)) << 20;
   Opts.RetryReduced = !CL.hasFlag("no-retry");
+  Opts.MaxConflicts = static_cast<uint64_t>(CL.getInt("max-conflicts", 0));
+  Opts.MaxPropagations =
+      static_cast<uint64_t>(CL.getInt("max-propagations", 0));
+  Opts.PhaseSeed = static_cast<uint64_t>(CL.getInt("phase-seed", 0));
+  Opts.MonotoneLemmas = !CL.hasFlag("no-monotone-lemmas");
+  std::string PhaseName = CL.getString("phase", "");
+  if (!PhaseName.empty() &&
+      !driver::phasePolicyFromName(PhaseName, Opts.Phase)) {
+    std::fprintf(stderr, "vbmc: unknown --phase '%s'\n", PhaseName.c_str());
+    printUsage();
+    return ExitUsage;
+  }
   if (Opts.Isolate && !sandbox::available())
     std::fprintf(stderr,
                  "vbmc: --isolate unsupported on this platform; running "

@@ -1,0 +1,202 @@
+//===- CacheKeyTest.cpp - engine cache-key identity audit -------*- C++ -*-===//
+//
+// The regression net for the stale-hit class of caching bugs: every
+// solve-relevant field of CheckRequest/VbmcOptions must change
+// encodingCacheKey (when it shapes the persistent encoding) or at least
+// verdictCacheKey (when it shapes the strategy around it), and the
+// deliberately-excluded budget/deadline/isolation fields must change
+// NEITHER — excluding a relevant field caches stale verdicts; including
+// an irrelevant one silently kills the hit rate. Each case mutates one
+// field at a time from a fixed baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "vbmc/Engine.h"
+
+#include "gtest/gtest.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+using namespace vbmc;
+using namespace vbmc::driver;
+
+namespace {
+
+const char *Prog = R"(
+var x f;
+proc p0 { x = 1; f = 1; }
+proc p1 {
+  reg a1 b1;
+  a1 = f;
+  b1 = x;
+  assert(!((a1 == 1) && (b1 == 0)));
+}
+)";
+
+ir::Program parsed() {
+  auto P = ir::parseProgram(Prog);
+  EXPECT_TRUE(static_cast<bool>(P));
+  return *P;
+}
+
+CheckRequest baseline() {
+  CheckRequest Req;
+  Req.Mode = EngineMode::Incremental;
+  Req.MaxK = 4;
+  return Req;
+}
+
+struct FieldCase {
+  const char *Name;
+  std::function<void(CheckRequest &)> Mutate;
+};
+
+/// Fields folded into the persistent-encoding identity: the incremental
+/// engine may only reuse an encoding across requests that agree on all
+/// of them.
+const std::vector<FieldCase> &encodingFields() {
+  static const std::vector<FieldCase> Cases = {
+      {"MaxK", [](CheckRequest &R) { R.MaxK = 9; }},
+      {"Opts.L", [](CheckRequest &R) { R.Opts.L = 7; }},
+      {"Opts.CasAllowance", [](CheckRequest &R) { R.Opts.CasAllowance = 1; }},
+      {"Opts.MemLimitBytes",
+       [](CheckRequest &R) { R.Opts.MemLimitBytes = 1 << 20; }},
+      {"Opts.MaxConflicts",
+       [](CheckRequest &R) { R.Opts.MaxConflicts = 1000; }},
+      {"Opts.MaxPropagations",
+       [](CheckRequest &R) { R.Opts.MaxPropagations = 5000; }},
+      {"Opts.Phase",
+       [](CheckRequest &R) { R.Opts.Phase = PhasePolicy::Negative; }},
+      {"Opts.PhaseSeed(Random)",
+       [](CheckRequest &R) {
+         R.Opts.Phase = PhasePolicy::Random;
+         R.Opts.PhaseSeed = 17;
+       }},
+      {"Opts.MonotoneLemmas",
+       [](CheckRequest &R) { R.Opts.MonotoneLemmas = false; }},
+  };
+  return Cases;
+}
+
+/// Strategy fields on top of the encoding: same encoding, different way
+/// of driving it — a different verdict identity but a shareable solver.
+const std::vector<FieldCase> &strategyFields() {
+  static const std::vector<FieldCase> Cases = {
+      {"Mode", [](CheckRequest &R) { R.Mode = EngineMode::Iterative; }},
+      {"Opts.K", [](CheckRequest &R) { R.Opts.K = 5; }},
+      {"Opts.Backend",
+       [](CheckRequest &R) { R.Opts.Backend = BackendKind::Sat; }},
+      {"Threads", [](CheckRequest &R) { R.Threads = 5; }},
+      {"Opts.MaxStates", [](CheckRequest &R) { R.Opts.MaxStates = 4242; }},
+      {"Opts.SwitchOnlyAfterWrite",
+       [](CheckRequest &R) { R.Opts.SwitchOnlyAfterWrite = false; }},
+  };
+  return Cases;
+}
+
+/// Budget/deadline/isolation knobs: how long and where a run may work,
+/// never what it concludes. Folding one in would be a pure hit-rate bug.
+const std::vector<FieldCase> &excludedFields() {
+  static const std::vector<FieldCase> Cases = {
+      {"Opts.BudgetSeconds",
+       [](CheckRequest &R) { R.Opts.BudgetSeconds = 3.5; }},
+      {"Opts.Isolate", [](CheckRequest &R) { R.Opts.Isolate = true; }},
+      {"Opts.RetryReduced",
+       [](CheckRequest &R) { R.Opts.RetryReduced = false; }},
+  };
+  return Cases;
+}
+
+TEST(CacheKey, EncodingFieldsEachChangeBothKeys) {
+  ir::Program P = parsed();
+  CheckRequest Base = baseline();
+  std::string EncBase = encodingCacheKey(P, Base);
+  std::string VerBase = verdictCacheKey(P, Base);
+  for (const FieldCase &F : encodingFields()) {
+    CheckRequest Req = baseline();
+    F.Mutate(Req);
+    EXPECT_NE(encodingCacheKey(P, Req), EncBase)
+        << F.Name << " is solve-relevant but missing from encodingCacheKey";
+    EXPECT_NE(verdictCacheKey(P, Req), VerBase)
+        << F.Name << " is solve-relevant but missing from verdictCacheKey";
+  }
+}
+
+TEST(CacheKey, StrategyFieldsChangeVerdictKeyButNotEncodingKey) {
+  ir::Program P = parsed();
+  CheckRequest Base = baseline();
+  std::string EncBase = encodingCacheKey(P, Base);
+  std::string VerBase = verdictCacheKey(P, Base);
+  for (const FieldCase &F : strategyFields()) {
+    CheckRequest Req = baseline();
+    F.Mutate(Req);
+    EXPECT_EQ(encodingCacheKey(P, Req), EncBase)
+        << F.Name << " must not invalidate the shared encoding";
+    EXPECT_NE(verdictCacheKey(P, Req), VerBase)
+        << F.Name << " is verdict-relevant but missing from verdictCacheKey";
+  }
+}
+
+TEST(CacheKey, BudgetFieldsChangeNeitherKey) {
+  ir::Program P = parsed();
+  CheckRequest Base = baseline();
+  std::string EncBase = encodingCacheKey(P, Base);
+  std::string VerBase = verdictCacheKey(P, Base);
+  for (const FieldCase &F : excludedFields()) {
+    CheckRequest Req = baseline();
+    F.Mutate(Req);
+    EXPECT_EQ(encodingCacheKey(P, Req), EncBase) << F.Name;
+    EXPECT_EQ(verdictCacheKey(P, Req), VerBase) << F.Name;
+  }
+}
+
+TEST(CacheKey, PhaseSeedCanonicalizedUnlessRandom) {
+  ir::Program P = parsed();
+  CheckRequest A = baseline();
+  CheckRequest B = baseline();
+  B.Opts.PhaseSeed = 99; // Saved policy ignores the seed entirely.
+  EXPECT_EQ(encodingCacheKey(P, A), encodingCacheKey(P, B));
+  EXPECT_EQ(verdictCacheKey(P, A), verdictCacheKey(P, B));
+  A.Opts.Phase = B.Opts.Phase = PhasePolicy::Random;
+  A.Opts.PhaseSeed = 1;
+  EXPECT_NE(encodingCacheKey(P, A), encodingCacheKey(P, B));
+}
+
+TEST(CacheKey, ProgramTextIsPartOfBothKeys) {
+  CheckRequest Base = baseline();
+  ir::Program P1 = parsed();
+  auto P2 = ir::parseProgram("var y;\nproc q0 { y = 2; }\n");
+  ASSERT_TRUE(static_cast<bool>(P2));
+  EXPECT_NE(encodingCacheKey(P1, Base), encodingCacheKey(*P2, Base));
+  EXPECT_NE(verdictCacheKey(P1, Base), verdictCacheKey(*P2, Base));
+}
+
+/// The end-to-end shape of the historical bug: an Engine whose LRU holds
+/// an encoding for one option set must re-encode (cache miss) when a
+/// solve-relevant option flips, not replay the stale solver state.
+TEST(CacheKey, EngineReencodesWhenMonotoneLemmasFlips) {
+  ir::Program P = parsed();
+  Engine E;
+  CheckContext Ctx;
+  CheckReport First = E.run(P, baseline(), Ctx);
+  EXPECT_EQ(First.Outcome, Verdict::Safe);
+  EXPECT_EQ(Ctx.stats().count("engine.incremental.encodes"), 1u);
+
+  CheckRequest Flipped = baseline();
+  Flipped.Opts.MonotoneLemmas = false;
+  CheckReport Second = E.run(P, Flipped, Ctx);
+  EXPECT_EQ(Second.Outcome, Verdict::Safe);
+  // Two distinct encodings were built: flipping the toggle missed.
+  EXPECT_EQ(Ctx.stats().count("engine.incremental.encodes"), 2u);
+  EXPECT_EQ(Ctx.stats().count("engine.incremental.cache_hits"), 0u);
+
+  // And the original option set is still warm: repeating it hits.
+  CheckReport Third = E.run(P, baseline(), Ctx);
+  EXPECT_EQ(Third.Outcome, Verdict::Safe);
+  EXPECT_EQ(Ctx.stats().count("engine.incremental.cache_hits"), 1u);
+}
+
+} // namespace

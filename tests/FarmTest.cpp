@@ -20,16 +20,22 @@
 //===----------------------------------------------------------------------===//
 
 #include "farm/Farm.h"
+#include "farm/FarmClient.h"
+#include "serve/Serve.h"
 #include "support/FaultInjection.h"
 #include "support/Json.h"
 
 #include "gtest/gtest.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <sys/wait.h>
+#include <thread>
 #include <unistd.h>
 
 using namespace vbmc;
@@ -408,6 +414,172 @@ TEST(FarmTools, MergeRejectsUnknownDocuments) {
                          " merge --quiet --out - " + Bad.string());
   EXPECT_EQ(R.ExitCode, 1);
   EXPECT_NE(R.Output.find("unsupported schema"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon-client mode: runFarmConnected against an in-process vbmc-serve
+//===----------------------------------------------------------------------===//
+
+/// An in-process vbmc-serve daemon with the farm shard runner installed —
+/// what `vbmc-serve` wires up when the tool main links the farm library.
+/// The verdict cache is irrelevant here (shard requests bypass it) but is
+/// pinned off anyway so these tests only exercise the shard path.
+class ShardDaemon {
+public:
+  explicit ShardDaemon(unsigned Workers) {
+    Opts.Workers = Workers;
+    Opts.VerdictCacheEntries = 0;
+    Opts.SocketPath =
+        (std::filesystem::temp_directory_path() /
+         ("vbmc-farm-connect-" + std::to_string(getpid()) + "-" +
+          std::to_string(Next++) + ".sock"))
+            .string();
+    Opts.ShardRunner = [](const std::string &Spec, double DeadlineSeconds) {
+      return runShardSpec(Spec, DeadlineSeconds);
+    };
+  }
+  ~ShardDaemon() {
+    drain();
+    std::filesystem::remove(Opts.SocketPath);
+  }
+
+  bool start() {
+    S = std::make_unique<serve::Server>(Opts);
+    std::string Err;
+    if (!S->start(&Err)) {
+      ADD_FAILURE() << "daemon start failed: " << Err;
+      return false;
+    }
+    Waiter = std::thread([this] { Rc.store(S->wait()); });
+    return true;
+  }
+
+  int drain() {
+    if (!Waiter.joinable())
+      return Rc.load();
+    S->requestDrain("test");
+    Waiter.join();
+    return Rc.load();
+  }
+
+  serve::Server &server() { return *S; }
+  const std::string &socket() const { return Opts.SocketPath; }
+
+private:
+  static inline std::atomic<unsigned> Next{0};
+  serve::ServerOptions Opts;
+  std::unique_ptr<serve::Server> S;
+  std::thread Waiter;
+  std::atomic<int> Rc{-1};
+};
+
+TEST(FarmConnect, ResultsBitIdenticalToInProcessPool) {
+  FarmOptions O = smallLitmusFarm(120, 2, 6);
+  FarmSummary Local = runFarm(O, nullptr);
+
+  ShardDaemon D(3); // A worker count the local run never used.
+  ASSERT_TRUE(D.start());
+  ConnectOptions C;
+  C.SocketPath = D.socket();
+  std::string Err;
+  FarmSummary Remote = runFarmConnected(O, C, nullptr, &Err);
+  EXPECT_TRUE(Err.empty()) << Err;
+  EXPECT_EQ(D.drain(), 0);
+
+  // The whole contract: the daemon is just another worker pool. Same
+  // shard plan, same merged deterministic results object, bit for bit.
+  EXPECT_EQ(Remote.UniverseSize, Local.UniverseSize);
+  EXPECT_EQ(Remote.Tests, Local.Tests);
+  EXPECT_EQ(resultsString(Remote), resultsString(Local));
+  EXPECT_TRUE(Remote.clean());
+
+  const serve::ServerSummary &Sum = D.server().summary();
+  EXPECT_EQ(Sum.Answered, Sum.Accepted);
+  EXPECT_EQ(Sum.CacheHits, 0u); // Shards never touch the verdict cache.
+}
+
+TEST(FarmConnect, ServeWorkerDeathSplitsAndStaysBitIdentical) {
+  FarmOptions O = smallLitmusFarm(60, 2, 6);
+  FarmSummary Clean = runFarm(O, nullptr);
+
+  // Every daemon worker SIGSEGVs on its 3rd served request: shards die
+  // positionally, the client splits and requeues, respawned workers
+  // finish the halves — and the merged results lose nothing.
+  fault::ScopedFault Crash("serve.worker-crash");
+  ShardDaemon D(2);
+  ASSERT_TRUE(D.start());
+  ConnectOptions C;
+  C.SocketPath = D.socket();
+  std::string Err;
+  FarmSummary Remote = runFarmConnected(O, C, nullptr, &Err);
+  EXPECT_TRUE(Err.empty()) << Err;
+  EXPECT_EQ(D.drain(), 0);
+
+  EXPECT_EQ(resultsString(Remote), resultsString(Clean));
+  EXPECT_TRUE(Remote.clean());
+  uint64_t Splits = 0;
+  for (const ShardRecord &R : Remote.ShardRecords)
+    if (R.Outcome == "split")
+      ++Splits;
+  EXPECT_GE(Splits, 1u);
+  EXPECT_GE(D.server().summary().WorkerRestarts, 1u);
+}
+
+TEST(FarmConnect, IndexBoundCrashIsWitnessedOverConnect) {
+  // farm.worker-crash kills whichever worker runs universe index 3 — in
+  // daemon mode that is the serve worker executing the shard. The client
+  // must descend to the single index and witness it, like the local pool.
+  fault::ScopedFault Crash("farm.worker-crash");
+  ShardDaemon D(2);
+  ASSERT_TRUE(D.start());
+  FarmOptions O = smallLitmusFarm(40, 2, 4);
+  ConnectOptions C;
+  C.SocketPath = D.socket();
+  std::string Err;
+  FarmSummary S = runFarmConnected(O, C, nullptr, &Err);
+  EXPECT_TRUE(Err.empty()) << Err;
+  EXPECT_EQ(D.drain(), 0);
+
+  EXPECT_EQ(S.WorkerFailures, 1u);
+  EXPECT_EQ(S.Tests, S.UniverseSize - 1);
+  ASSERT_EQ(S.Witnesses.size(), 1u);
+  EXPECT_EQ(S.Witnesses[0].Index, 3u);
+  EXPECT_EQ(S.Witnesses[0].Check, "crash");
+  EXPECT_NE(S.Witnesses[0].Detail.find("under vbmc-serve"),
+            std::string::npos)
+      << S.Witnesses[0].Detail;
+  EXPECT_FALSE(S.Witnesses[0].ProgramText.empty());
+  EXPECT_FALSE(S.clean());
+}
+
+TEST(FarmConnect, DaemonDrainMidSweepAnswersEveryAcceptedRequest) {
+  ShardDaemon D(2);
+  ASSERT_TRUE(D.start());
+  FarmOptions O = smallLitmusFarm(200, 2, 40);
+  ConnectOptions C;
+  C.SocketPath = D.socket();
+  C.MaxInFlight = 2; // Trickle submissions so the drain lands mid-sweep.
+  std::thread Drainer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    D.server().requestDrain("test-mid-sweep");
+  });
+  std::string Err;
+  FarmSummary S = runFarmConnected(O, C, nullptr, &Err);
+  Drainer.join();
+  EXPECT_EQ(D.drain(), 0);
+
+  // The daemon's guarantee carries over: every accepted shard request
+  // was answered, and the client accounted for the whole universe —
+  // indexes either ran or were explicitly recorded as skipped.
+  const serve::ServerSummary &Sum = D.server().summary();
+  EXPECT_EQ(Sum.Answered, Sum.Accepted);
+  EXPECT_TRUE(Sum.DrainRequested);
+  uint64_t SkippedIndexes = 0;
+  for (const ShardRecord &R : S.ShardRecords)
+    if (R.Outcome == "skipped")
+      SkippedIndexes += R.Hi - R.Lo;
+  EXPECT_EQ(S.Tests + SkippedIndexes, S.UniverseSize);
+  EXPECT_TRUE(S.clean());
 }
 
 } // namespace

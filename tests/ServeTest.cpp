@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "serve/Batch.h"
 #include "serve/Client.h"
 #include "serve/Serve.h"
 #include "support/FaultInjection.h"
@@ -75,10 +76,15 @@ Request makeRequest(const std::string &Id, const char *Prog) {
 
 /// An in-process daemon on a unique socket plus its wait() thread.
 /// Tests drive a Client against it, then drain() and assert on the
-/// summary.
+/// summary. The verdict cache defaults OFF here (most tests pin *worker*
+/// behavior — crash positions, engine cache stats — that a supervisor
+/// cache hit would bypass); cache tests opt back in with KeepVerdictCache.
 class TestServer {
 public:
-  explicit TestServer(ServerOptions O) : Opts(std::move(O)) {
+  explicit TestServer(ServerOptions O, bool KeepVerdictCache = false)
+      : Opts(std::move(O)) {
+    if (!KeepVerdictCache)
+      Opts.VerdictCacheEntries = 0;
     if (Opts.SocketPath.empty())
       Opts.SocketPath = uniquePath("vbmc-serve-test.sock").string();
   }
@@ -187,6 +193,47 @@ TEST(ServeProtocol, RejectsMalformedRequests) {
   EXPECT_FALSE(parseRequestLine(
       R"({"id":"req-9","program":"var x;","bogus":1})", R, Err, &Id));
   EXPECT_EQ(Id, "req-9");
+}
+
+TEST(ServeProtocol, SolveOptionFieldsRoundTrip) {
+  Request R = makeRequest("req-2", SafeProg);
+  R.Check.Opts.MaxConflicts = 1000;
+  R.Check.Opts.MaxPropagations = 5000;
+  R.Check.Opts.Phase = driver::PhasePolicy::Random;
+  R.Check.Opts.PhaseSeed = 42;
+  R.Check.Opts.MonotoneLemmas = false;
+
+  Request Back;
+  std::string Err;
+  ASSERT_TRUE(parseRequestLine(formatRequestLine(R), Back, Err)) << Err;
+  EXPECT_EQ(Back.Check.Opts.MaxConflicts, 1000u);
+  EXPECT_EQ(Back.Check.Opts.MaxPropagations, 5000u);
+  EXPECT_EQ(Back.Check.Opts.Phase, driver::PhasePolicy::Random);
+  EXPECT_EQ(Back.Check.Opts.PhaseSeed, 42u);
+  EXPECT_FALSE(Back.Check.Opts.MonotoneLemmas);
+  // Unknown phase names are rejected, not silently defaulted.
+  EXPECT_FALSE(parseRequestLine(
+      R"({"id":"a","program":"var x;","phase":"sideways"})", Back, Err));
+  EXPECT_FALSE(parseRequestLine(
+      R"({"id":"a","program":"var x;","monotone_lemmas":"yes"})", Back,
+      Err));
+}
+
+TEST(ServeProtocol, ShardRequestRoundTripAndExclusivity) {
+  Request R;
+  R.Id = "sh-1";
+  R.ShardJson = R"({"schema":"vbmc-farm-shard-spec/v1","lo":0,"hi":4})";
+
+  Request Back;
+  std::string Err;
+  ASSERT_TRUE(parseRequestLine(formatRequestLine(R), Back, Err)) << Err;
+  EXPECT_TRUE(Back.isShard());
+  EXPECT_EQ(Back.ShardJson, R.ShardJson);
+  EXPECT_TRUE(Back.Program.empty());
+  // A line carrying both a program and a shard spec is malformed.
+  EXPECT_FALSE(parseRequestLine(
+      R"({"id":"a","program":"var x;","shard":"{}"})", Back, Err));
+  EXPECT_NE(Err.find("shard"), std::string::npos) << Err;
 }
 
 //===----------------------------------------------------------------------===//
@@ -539,6 +586,304 @@ TEST(ServeServer, EncodingCacheWarmAcrossIdenticalRequests) {
   // stats carry no encodes entry at all (statOf reports -1) — and
   // certainly not a positive count.
   EXPECT_LE(statOf("second", "engine.incremental.encodes"), 0.0);
+  EXPECT_EQ(T.drain(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// The cross-request verdict cache
+//===----------------------------------------------------------------------===//
+
+/// Sends one request and blocks for its single response.
+static Response roundTrip(Client &C, Request R) {
+  EXPECT_TRUE(C.send(R));
+  auto Got = receiveAll(C, 1);
+  EXPECT_EQ(Got.size(), 1u);
+  return Got[R.Id];
+}
+
+TEST(ServeVerdictCache, RepeatAnsweredFromCacheWithoutWorker) {
+  ServerOptions O;
+  O.Workers = 1;
+  O.VerdictCacheEntries = 8;
+  TestServer T(O, /*KeepVerdictCache=*/true);
+  ASSERT_TRUE(T.start());
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(T.socket(), 10, &Err)) << Err;
+  Response First = roundTrip(C, makeRequest("c0", SafeProg));
+  ASSERT_EQ(First.Status, "ok");
+  EXPECT_EQ(First.Verdict, "safe");
+  EXPECT_FALSE(First.Cached);
+
+  Response Repeat = roundTrip(C, makeRequest("c1", SafeProg));
+  ASSERT_EQ(Repeat.Status, "ok");
+  EXPECT_EQ(Repeat.Verdict, "safe");
+  EXPECT_TRUE(Repeat.Cached);
+  EXPECT_EQ(Repeat.Retries, 0u);
+  // A cache hit replays the original run report verbatim.
+  EXPECT_EQ(Repeat.ReportJson, First.ReportJson);
+
+  EXPECT_EQ(T.drain(), 0);
+  const ServerSummary &Sum = T.server().summary();
+  EXPECT_EQ(Sum.CacheHits, 1u);
+  EXPECT_EQ(Sum.CacheMisses, 1u);
+  EXPECT_EQ(Sum.CacheEntriesUsed, 1u);
+  EXPECT_EQ(Sum.CacheCapacity, 8u);
+  EXPECT_EQ(Sum.Answered, 2u); // The hit still counts as answered.
+
+  // The summary document carries the cache section.
+  json::Value Doc;
+  std::string E;
+  ASSERT_TRUE(json::parse(T.server().formatSummaryJson(), Doc, &E)) << E;
+  const json::Value *Cache = Doc.get("cache");
+  ASSERT_NE(Cache, nullptr);
+  EXPECT_EQ(Cache->get("hits")->asNumber(), 1.0);
+  EXPECT_EQ(Cache->get("misses")->asNumber(), 1.0);
+  EXPECT_EQ(Cache->get("capacity")->asNumber(), 8.0);
+}
+
+TEST(ServeVerdictCache, DisabledCacheNeverHits) {
+  ServerOptions O;
+  O.Workers = 1;
+  O.VerdictCacheEntries = 0;
+  TestServer T(O, /*KeepVerdictCache=*/true);
+  ASSERT_TRUE(T.start());
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(T.socket(), 10, &Err)) << Err;
+  for (int I = 0; I < 3; ++I) {
+    Response R = roundTrip(C, makeRequest("n" + std::to_string(I), SafeProg));
+    ASSERT_EQ(R.Status, "ok");
+    EXPECT_FALSE(R.Cached);
+  }
+  EXPECT_EQ(T.drain(), 0);
+  const ServerSummary &Sum = T.server().summary();
+  EXPECT_EQ(Sum.CacheHits, 0u);
+  EXPECT_EQ(Sum.CacheMisses, 0u); // Disabled means no lookups at all.
+  EXPECT_EQ(Sum.CacheCapacity, 0u);
+}
+
+TEST(ServeVerdictCache, EverySolveRelevantOptionKeysTheCache) {
+  ServerOptions O;
+  O.Workers = 1;
+  O.VerdictCacheEntries = 64;
+  TestServer T(O, /*KeepVerdictCache=*/true);
+  ASSERT_TRUE(T.start());
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(T.socket(), 10, &Err)) << Err;
+  int Next = 0;
+  auto fresh = [&] { return makeRequest("k" + std::to_string(Next++), SafeProg); };
+
+  // Seed the cache, then prove the seed entry hits on an exact repeat.
+  ASSERT_EQ(roundTrip(C, fresh()).Status, "ok");
+  EXPECT_TRUE(roundTrip(C, fresh()).Cached);
+
+  // Every solve-relevant option must change the verdict-cache key: each
+  // single-field mutation below has to MISS (Cached stays false). This
+  // is the regression net for the stale-hit class of bugs — an option
+  // added to the engine but forgotten in Engine::cacheKey would show up
+  // here as an unexpected hit.
+  std::vector<std::function<void(Request &)>> Mutations = {
+      [](Request &R) { R.Check.MaxK = 3; },
+      [](Request &R) { R.Check.Opts.K = 7; },
+      [](Request &R) { R.Check.Opts.L = 5; },
+      [](Request &R) { R.Check.Opts.CasAllowance = 1; },
+      [](Request &R) { R.Check.Opts.MemLimitBytes = 1 << 20; },
+      [](Request &R) { R.Check.Opts.MaxConflicts = 500; },
+      [](Request &R) { R.Check.Opts.MaxPropagations = 9000; },
+      [](Request &R) { R.Check.Opts.Phase = driver::PhasePolicy::Positive; },
+      [](Request &R) {
+        R.Check.Opts.Phase = driver::PhasePolicy::Random;
+        R.Check.Opts.PhaseSeed = 11;
+      },
+      [](Request &R) { R.Check.Opts.MonotoneLemmas = false; },
+      [](Request &R) { R.Check.Mode = driver::EngineMode::Iterative; },
+      [](Request &R) { R.Check.Threads = 3; },
+      [](Request &R) { R.Check.Opts.MaxStates = 12345; },
+  };
+  for (size_t I = 0; I < Mutations.size(); ++I) {
+    Request R = fresh();
+    Mutations[I](R);
+    Response Resp = roundTrip(C, R);
+    ASSERT_EQ(Resp.Status, "ok") << "mutation " << I << ": " << Resp.Error;
+    EXPECT_FALSE(Resp.Cached) << "mutation " << I << " hit a stale entry";
+  }
+
+  // PhaseSeed is canonicalized to 0 unless the policy is Random: a seed
+  // under the default Saved policy must NOT change the key.
+  Request Canon = fresh();
+  Canon.Check.Opts.PhaseSeed = 99;
+  EXPECT_TRUE(roundTrip(C, Canon).Cached);
+
+  EXPECT_EQ(T.drain(), 0);
+  const ServerSummary &Sum = T.server().summary();
+  EXPECT_EQ(Sum.CacheHits, 2u);
+  EXPECT_EQ(Sum.CacheMisses, 1u + Mutations.size());
+}
+
+TEST(ServeVerdictCache, CapacityOneEvictsLeastRecentlyUsed) {
+  ServerOptions O;
+  O.Workers = 1;
+  O.VerdictCacheEntries = 1;
+  TestServer T(O, /*KeepVerdictCache=*/true);
+  ASSERT_TRUE(T.start());
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(T.socket(), 10, &Err)) << Err;
+  EXPECT_FALSE(roundTrip(C, makeRequest("v0", SafeProg)).Cached);
+  EXPECT_FALSE(roundTrip(C, makeRequest("v1", UnsafeProg)).Cached);
+  // The unsafe entry evicted the safe one, so the safe repeat misses.
+  EXPECT_FALSE(roundTrip(C, makeRequest("v2", SafeProg)).Cached);
+  // ...and the unsafe entry was evicted in turn by the re-insert.
+  EXPECT_TRUE(roundTrip(C, makeRequest("v3", SafeProg)).Cached);
+
+  EXPECT_EQ(T.drain(), 0);
+  const ServerSummary &Sum = T.server().summary();
+  EXPECT_GE(Sum.CacheEvictions, 2u);
+  EXPECT_EQ(Sum.CacheEntriesUsed, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Worker-affinity scheduling
+//===----------------------------------------------------------------------===//
+
+TEST(ServeAffinity, RepeatKeyKeepsLandingOnTheWarmWorker) {
+  ServerOptions O;
+  O.Workers = 2;
+  // Verdict cache off (TestServer default): every repeat must reach a
+  // worker, which is exactly what affinity scheduling governs.
+  TestServer T(O);
+  ASSERT_TRUE(T.start());
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(T.socket(), 10, &Err)) << Err;
+  const size_t N = 4;
+  size_t EngineWarmHits = 0;
+  for (size_t I = 0; I < N; ++I) {
+    Response R = roundTrip(C, makeRequest("a" + std::to_string(I), SafeProg));
+    ASSERT_EQ(R.Status, "ok");
+    EXPECT_EQ(R.Verdict, "safe");
+    json::Value Rep;
+    std::string E;
+    ASSERT_TRUE(json::parse(R.ReportJson, Rep, &E)) << E;
+    const json::Value *Stats = Rep.get("stats");
+    const json::Value *Hits =
+        Stats ? Stats->get("engine.incremental.cache_hits") : nullptr;
+    if (Hits && Hits->asNumber() == 1.0)
+      ++EngineWarmHits;
+  }
+  EXPECT_EQ(T.drain(), 0);
+  const ServerSummary &Sum = T.server().summary();
+  // Sequential repeats of one key: after the first dispatch warms a
+  // worker's Engine, the scheduler must keep routing the key there
+  // instead of round-robining onto the cold worker.
+  EXPECT_EQ(Sum.AffinityHits + Sum.AffinityMisses, N);
+  EXPECT_GE(Sum.AffinityHits, N - 2);
+  // And the routing is visible end-to-end: the warm worker's Engine
+  // answers later repeats from its encoding LRU.
+  EXPECT_GE(EngineWarmHits, N - 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Shard requests without a runner
+//===----------------------------------------------------------------------===//
+
+TEST(ServeServer, ShardRequestWithoutRunnerRejected) {
+  ServerOptions O;
+  O.Workers = 1;
+  TestServer T(O); // TestServer never installs a ShardRunner.
+  ASSERT_TRUE(T.start());
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(T.socket(), 10, &Err)) << Err;
+  Request R;
+  R.Id = "sh-0";
+  R.ShardJson = R"({"schema":"vbmc-farm-shard-spec/v1","lo":0,"hi":1})";
+  Response Resp = roundTrip(C, R);
+  EXPECT_EQ(Resp.Status, "rejected");
+  EXPECT_NE(Resp.Error.find("shard"), std::string::npos) << Resp.Error;
+  EXPECT_EQ(T.drain(), 0);
+  EXPECT_EQ(T.server().summary().Rejected, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// The shed-aware batch driver
+//===----------------------------------------------------------------------===//
+
+TEST(ServeBatch, ShedResubmitErasesBookkeepingAndShrinksDeadline) {
+  fault::ScopedFault Slow("serve.slow-request"); // ~1.5s per solve.
+  ServerOptions O;
+  O.Workers = 1;
+  O.QueueCap = 1; // One in flight + one queued: the third request sheds.
+  TestServer T(O);
+  ASSERT_TRUE(T.start());
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(T.socket(), 10, &Err)) << Err;
+  std::vector<Request> Batch;
+  for (int I = 0; I < 3; ++I) {
+    Request R = makeRequest("b" + std::to_string(I), SafeProg);
+    R.DeadlineSeconds = 30;
+    Batch.push_back(R);
+  }
+  BatchOptions BO;
+  BO.TimeoutSeconds = 120;
+  BatchResult B = runBatch(C, Batch, BO);
+  EXPECT_TRUE(B.complete()) << B.LastError;
+  EXPECT_EQ(B.Sent, 3u);
+  EXPECT_EQ(B.Answered, 3u);
+  EXPECT_GE(B.Resubmits, 1u);
+  EXPECT_GE(B.RetryMapPeak, 1u);
+  // Terminal answers erase their shed-retry entries: a long-running
+  // client's retry map is bounded by in-flight sheds, not batch history.
+  EXPECT_EQ(B.RetryMapLeft, 0u);
+  // The resubmit carried the ORIGINAL deadline minus the time already
+  // burned waiting — a shed-then-resubmit cycle can never extend a
+  // request's budget back to the full 30 seconds.
+  ASSERT_GT(B.LastResubmitDeadline, 0.0);
+  EXPECT_LT(B.LastResubmitDeadline, 30.0);
+  EXPECT_EQ(T.drain(), 0);
+}
+
+TEST(ServeBatch, ExhaustedShedRetriesAreTerminalAndErased) {
+  fault::ScopedFault Slow("serve.slow-request");
+  ServerOptions O;
+  O.Workers = 1;
+  O.QueueCap = 1;
+  TestServer T(O);
+  ASSERT_TRUE(T.start());
+
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(T.socket(), 10, &Err)) << Err;
+  std::vector<Request> Batch;
+  for (int I = 0; I < 4; ++I)
+    Batch.push_back(makeRequest("e" + std::to_string(I), SafeProg));
+  BatchOptions BO;
+  BO.TimeoutSeconds = 120;
+  BO.MaxShedRetries = 0; // The first shed is terminal.
+  uint64_t ShedTerminal = 0;
+  BO.OnResponse = [&](const Response &R) {
+    if (R.Status == "shed")
+      ++ShedTerminal;
+  };
+  BatchResult B = runBatch(C, Batch, BO);
+  EXPECT_TRUE(B.complete()) << B.LastError;
+  EXPECT_EQ(B.Resubmits, 0u);
+  EXPECT_GE(ShedTerminal, 1u);
+  EXPECT_EQ(B.NotOk, ShedTerminal);
+  // Terminally-shed requests erase their retry-map entries too: the
+  // leak was precisely here (answered ids kept their counters forever).
+  EXPECT_EQ(B.RetryMapLeft, 0u);
+  EXPECT_GE(B.RetryMapPeak, 1u);
   EXPECT_EQ(T.drain(), 0);
 }
 
